@@ -1,0 +1,116 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation section, plus Bechamel micro-benchmarks of the substrate.
+
+    Usage:
+      dune exec bench/main.exe                 # all tables+figures, quick scale
+      dune exec bench/main.exe -- --exp table5 # one artifact
+      dune exec bench/main.exe -- --scale full # EXPERIMENTS.md numbers
+      dune exec bench/main.exe -- --micro      # Bechamel component benches only
+*)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let entry = Corpus.Registry.find_exn "dm" in
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let spec =
+    let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+    match (Kernelgpt.Pipeline.run ~oracle ~kernel entry).o_spec with
+    | Some s -> s
+    | None -> failwith "dm spec generation failed"
+  in
+  let prog =
+    [
+      {
+        Vkernel.Machine.c_name = "openat";
+        c_args = [ Vkernel.Machine.P_int (-100L); Vkernel.Machine.P_str "/dev/mapper/control" ];
+      };
+      {
+        Vkernel.Machine.c_name = "ioctl";
+        c_args =
+          [
+            Vkernel.Machine.P_result 0;
+            Vkernel.Machine.P_int (Option.get (Csrc.Index.eval_macro kernel "DM_DEV_CREATE"));
+            Vkernel.Machine.P_data
+              (Vkernel.Value.U_struct
+                 ( "dm_ioctl",
+                   [
+                     ("version", Vkernel.Value.U_arr [ Vkernel.Value.U_int 4L ]);
+                     ("data_size", Vkernel.Value.U_int 400L);
+                     ("name", Vkernel.Value.U_str "v0");
+                   ] ));
+          ];
+      };
+    ]
+  in
+  let tests =
+    [
+      Test.make ~name:"parse-dm-module"
+        (Staged.stage (fun () ->
+             let sid = ref 0 in
+             ignore (Csrc.Parser.parse_file ~file:"dm.c" ~sid Corpus.Drv_dm.source)));
+      Test.make ~name:"exec-dm-program"
+        (Staged.stage (fun () -> ignore (Vkernel.Machine.exec_prog machine prog)));
+      Test.make ~name:"kernelgpt-pipeline-dm"
+        (Staged.stage (fun () ->
+             let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+             ignore (Kernelgpt.Pipeline.run ~oracle ~kernel entry)));
+      Test.make ~name:"validate-dm-spec"
+        (Staged.stage (fun () -> ignore (Syzlang.Validate.validate ~kernel spec)));
+      Test.make ~name:"fuzz-100-execs"
+        (Staged.stage (fun () -> ignore (Fuzzer.Campaign.run ~seed:1 ~budget:100 ~machine spec)));
+    ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n" name est
+        | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+      results
+  in
+  print_endline "\nMicro-benchmarks (Bechamel, monotonic clock):";
+  List.iter (fun t -> benchmark (Bechamel.Test.make_grouped ~name:"kernelgpt" [ t ])) tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let value_of flag =
+    let rec go = function
+      | a :: b :: _ when a = flag -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let scale =
+    match value_of "--scale" with
+    | Some "full" -> Report.Runner.Full
+    | _ -> (
+        match Sys.getenv_opt "KGPT_SCALE" with
+        | Some "full" -> Report.Runner.Full
+        | _ -> Report.Runner.Quick)
+  in
+  let which =
+    match value_of "--exp" with
+    | Some w -> (
+        match Report.Runner.which_of_string w with
+        | Some w -> w
+        | None ->
+            Printf.eprintf
+              "unknown experiment %S (expected: all, table1, fig7, table2, table3, table4, \
+               table5, table6, ablation-iter, ablation-llm, correctness)\n"
+              w;
+            exit 2)
+    | None -> Report.Runner.All
+  in
+  if has "--micro" then micro_benchmarks ()
+  else begin
+    Report.Runner.run ~scale ~which ();
+    if which = Report.Runner.All then micro_benchmarks ()
+  end

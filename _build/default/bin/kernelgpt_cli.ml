@@ -1,0 +1,196 @@
+(** Command-line interface to the KernelGPT reproduction.
+
+    - [list]      corpus modules and their spec status
+    - [generate]  run the KernelGPT pipeline on one module
+    - [baseline]  run the SyzDescribe baseline on one module
+    - [fuzz]      fuzz one module with a chosen specification suite
+    - [bugs]      hunt the Table 4 bugs
+    - [report]    regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let model_conv =
+  Arg.conv
+    ( (fun s ->
+        match Profile.by_name s with
+        | Some p -> Ok p
+        | None -> Error (`Msg (Printf.sprintf "unknown model %S (gpt-4, gpt-4o, gpt-3.5)" s))),
+      fun fmt p -> Format.pp_print_string fmt p.Profile.name )
+
+let model_arg =
+  Arg.(value & opt model_conv Profile.gpt4 & info [ "model" ] ~doc:"Analysis LLM profile.")
+
+let module_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODULE" ~doc:"Registry key, e.g. dm.")
+
+let find_entry name =
+  match Corpus.Registry.find name with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "no such module %S; try `kernelgpt_cli list`\n" name;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run verbose =
+    let entries = Lazy.force Corpus.Registry.all in
+    Printf.printf "%-14s %-7s %-7s %5s %6s  %s\n" "module" "kind" "loaded" "#cmds" "spec%" "device/socket";
+    List.iter
+      (fun (e : Corpus.Types.entry) ->
+        if verbose || e.loaded then begin
+          let kind = match e.kind with Corpus.Types.Driver -> "driver" | _ -> "socket" in
+          let cmds = List.length e.gt.gt_ioctls + List.length e.gt.gt_setsockopts in
+          let missing = Baseline.Syzkaller_specs.missing_fraction e in
+          let where =
+            match e.gt.gt_paths with
+            | p :: _ -> p
+            | [] -> (
+                match e.gt.gt_socket with
+                | Some (d, t, p) -> Printf.sprintf "socket(%d,%d,%d)" d t p
+                | None -> "-")
+          in
+          Printf.printf "%-14s %-7s %-7b %5d %5.0f%%  %s\n" e.name kind e.loaded cmds
+            ((1.0 -. missing) *. 100.)
+            where
+        end)
+      entries;
+    `Ok ()
+  in
+  let verbose =
+    Arg.(value & flag & info [ "a"; "all" ] ~doc:"Include modules not loaded under syzbot.")
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List corpus modules")
+    Term.(ret (const run $ verbose))
+
+let generate_cmd =
+  let run name profile all_in_one show_prompting =
+    let entry = find_entry name in
+    let machine = Vkernel.Machine.boot [ entry ] in
+    let kernel = machine.Vkernel.Machine.index in
+    let oracle = Oracle.create ~profile ~knowledge:kernel () in
+    let mode = if all_in_one then Kernelgpt.Pipeline.All_in_one else Kernelgpt.Pipeline.Iterative in
+    let out = Kernelgpt.Pipeline.run ~mode ~oracle ~kernel entry in
+    (match out.o_spec with
+    | Some spec -> print_string (Syzlang.Printer.spec_str spec)
+    | None -> print_endline "(no specification generated)");
+    Printf.printf
+      "\n# valid=%b direct=%b repaired=%b queries=%d prompt-tokens=%d iterations=%d\n"
+      out.o_valid out.o_direct_valid out.o_repaired out.o_queries out.o_tokens out.o_iterations;
+    List.iter
+      (fun e -> Printf.printf "# unresolved: %s\n" (Syzlang.Validate.error_to_string e))
+      out.o_errors;
+    if show_prompting then
+      Printf.printf "# oracle: %d queries, %d prompt tokens, %d truncations\n"
+        oracle.Oracle.queries oracle.Oracle.prompt_tokens oracle.Oracle.truncations;
+    `Ok ()
+  in
+  let all_in_one =
+    Arg.(value & flag & info [ "all-in-one" ] ~doc:"Single-prompt ablation mode (§5.2.3).")
+  in
+  let show = Arg.(value & flag & info [ "stats" ] ~doc:"Print oracle cost accounting.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a syzlang specification with KernelGPT")
+    Term.(ret (const run $ module_arg $ model_arg $ all_in_one $ show))
+
+let baseline_cmd =
+  let run name =
+    let entry = find_entry name in
+    (match (Baseline.Syzdescribe.run entry).sd_spec with
+    | Some spec -> print_string (Syzlang.Printer.spec_str spec)
+    | None -> print_endline "(SyzDescribe cannot generate a specification for this module)");
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Generate a specification with the SyzDescribe baseline")
+    Term.(ret (const run $ module_arg))
+
+let fuzz_cmd =
+  let run name suite budget seed profile repro =
+    let entry = find_entry name in
+    let machine = Vkernel.Machine.boot [ entry ] in
+    let kernel = machine.Vkernel.Machine.index in
+    let spec =
+      match suite with
+      | "manual" -> Baseline.Syzkaller_specs.spec_of_entry entry
+      | "syzdescribe" -> (Baseline.Syzdescribe.run entry).sd_spec
+      | _ ->
+          let oracle = Oracle.create ~profile ~knowledge:kernel () in
+          (Kernelgpt.Pipeline.run ~oracle ~kernel entry).o_spec
+    in
+    match spec with
+    | None ->
+        Printf.eprintf "no %s specification available for %s\n" suite name;
+        `Ok ()
+    | Some spec ->
+        let t0 = Unix.gettimeofday () in
+        let res = Fuzzer.Campaign.run ~seed ~budget ~machine spec in
+        Printf.printf "%d executions in %.2fs; coverage %d (%d in %s); corpus %d\n"
+          res.executions
+          (Unix.gettimeofday () -. t0)
+          (Fuzzer.Campaign.total_coverage res)
+          (Fuzzer.Campaign.module_coverage machine res entry.name)
+          entry.name res.corpus_size;
+        List.iter
+          (fun title ->
+            Printf.printf "CRASH: %s\n" title;
+            if repro then begin
+              let prog = Hashtbl.find res.crashes title in
+              let small = Fuzzer.Repro.minimize ~machine ~title prog in
+              print_string (Fuzzer.Repro.program_str small);
+              print_newline ()
+            end)
+          (Fuzzer.Campaign.crash_titles res);
+        `Ok ()
+  in
+  let suite =
+    Arg.(
+      value
+      & opt (enum [ ("kernelgpt", "kernelgpt"); ("manual", "manual"); ("syzdescribe", "syzdescribe") ]) "kernelgpt"
+      & info [ "suite" ] ~doc:"Which specification to fuzz with.")
+  in
+  let budget = Arg.(value & opt int 10_000 & info [ "budget" ] ~doc:"Program executions.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let repro =
+    Arg.(value & flag & info [ "repro" ] ~doc:"Print a minimized reproducer per crash.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a module with a specification suite")
+    Term.(ret (const run $ module_arg $ suite $ budget $ seed $ model_arg $ repro))
+
+let bugs_cmd =
+  let run budget seeds =
+    Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d)...\n%!" budget seeds;
+    let ctx = Report.Suites.build () in
+    Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ctx);
+    `Ok ()
+  in
+  let budget = Arg.(value & opt int 30_000 & info [ "budget" ] ~doc:"Executions per module.") in
+  let seeds = Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Campaign seeds per module.") in
+  Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs") Term.(ret (const run $ budget $ seeds))
+
+let report_cmd =
+  let run exp full =
+    match Report.Runner.which_of_string exp with
+    | None ->
+        `Error
+          ( false,
+            "unknown experiment (all, table1, fig7, table2, table3, table4, table5, table6, \
+             ablation-iter, ablation-llm, correctness)" )
+    | Some which ->
+        let scale = if full then Report.Runner.Full else Report.Runner.Quick in
+        Report.Runner.run ~scale ~which ();
+        `Ok ()
+  in
+  let exp =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"Which artifact.")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Full budgets (EXPERIMENTS.md scale).") in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
+    Term.(ret (const run $ exp $ full))
+
+let () =
+  let doc = "KernelGPT reproduction: LLM-guided syscall-specification synthesis for kernel fuzzing" in
+  let info = Cmd.info "kernelgpt_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; generate_cmd; baseline_cmd; fuzz_cmd; bugs_cmd; report_cmd ]))

@@ -1,0 +1,1 @@
+examples/device_mapper_case_study.ml: Baseline Corpus Csrc Fuzzer Hashtbl Kernelgpt List Oracle Printf Profile String Syzlang Vkernel

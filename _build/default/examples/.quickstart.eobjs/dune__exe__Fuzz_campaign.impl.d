@@ -1,0 +1,1 @@
+examples/fuzz_campaign.ml: Baseline Corpus Fuzzer Hashtbl Kernelgpt List Oracle Printf Profile Syzlang Unix Vkernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corpus Fuzzer Kernelgpt List Oracle Printf Profile Syzlang Vkernel

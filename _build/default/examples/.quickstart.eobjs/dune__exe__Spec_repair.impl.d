@@ -1,0 +1,1 @@
+examples/spec_repair.ml: Corpus Kernelgpt List Option Oracle Printf Profile Prompt String Syzlang Vkernel

@@ -1,0 +1,71 @@
+(** The paper's running example (Figure 2): the device-mapper driver.
+
+    Shows why the device mapper defeats rule-based static analysis —
+    the [.nodename] registration field and the [_IOC_NR] command rewrite
+    — by generating specifications with both SyzDescribe and KernelGPT
+    and executing each against the virtual kernel.
+
+    Run with:  dune exec examples/device_mapper_case_study.exe *)
+
+let line = String.make 72 '-'
+
+let () =
+  let entry = Corpus.Registry.find_exn "dm" in
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+
+  print_endline line;
+  print_endline "The registration source (Figure 2a/2b):";
+  print_endline line;
+  let midx = Kernelgpt.Extractor.module_index entry.source in
+  (match Csrc.Index.extract_source midx "_ctl_fops" with
+  | Some s -> print_endline s
+  | None -> ());
+  (match Csrc.Index.extract_source midx "_dm_misc" with
+  | Some s -> print_endline s
+  | None -> ());
+
+  (* --- SyzDescribe --- *)
+  print_endline line;
+  print_endline "SyzDescribe (static rules — Figure 2c):";
+  print_endline line;
+  (match (Baseline.Syzdescribe.run entry).sd_spec with
+  | Some spec ->
+      let text = Syzlang.Printer.spec_str spec in
+      (* print only the head: the wrong device name and raw command values *)
+      String.split_on_char '\n' text
+      |> List.filteri (fun i _ -> i < 6)
+      |> List.iter print_endline;
+      print_endline "...";
+      let res = Fuzzer.Campaign.run ~seed:7 ~budget:10_000 ~machine spec in
+      Printf.printf
+        "\n=> wrong device name (/dev/device-mapper) and raw _IOC_NR values:\n\
+         \   coverage %d, crashes %d\n"
+        (Fuzzer.Campaign.total_coverage res)
+        (Hashtbl.length res.crashes)
+  | None -> print_endline "(no spec)");
+
+  (* --- KernelGPT --- *)
+  print_endline line;
+  print_endline "KernelGPT (iterative LLM analysis — Figure 2d):";
+  print_endline line;
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let out = Kernelgpt.Pipeline.run ~oracle ~kernel entry in
+  (match out.o_spec with
+  | Some spec ->
+      let text = Syzlang.Printer.spec_str spec in
+      String.split_on_char '\n' text
+      |> List.filteri (fun i _ -> i < 8)
+      |> List.iter print_endline;
+      print_endline "...";
+      Printf.printf "\n(repaired after validation: %b)\n" out.o_repaired;
+      let res = Fuzzer.Campaign.run ~seed:7 ~budget:60_000 ~machine spec in
+      Printf.printf
+        "=> correct nodename path and encoded commands: coverage %d, crashes:\n"
+        (Fuzzer.Campaign.total_coverage res);
+      List.iter (Printf.printf "   - %s\n") (Fuzzer.Campaign.crash_titles res)
+  | None -> print_endline "(no spec)");
+  print_endline line;
+  print_endline
+    "The two dm CVEs of Table 4 (CVE-2024-23851, CVE-2023-52429) are only\n\
+     reachable through the KernelGPT specification."

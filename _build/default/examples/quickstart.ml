@@ -1,0 +1,38 @@
+(** Quickstart: generate a syscall specification for one driver and fuzz
+    it, end to end.
+
+    Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a module from the synthetic kernel corpus. *)
+  let entry = Corpus.Registry.find_exn "btrfs_control" in
+  Printf.printf "Module: %s (device %s)\n\n" entry.name (List.hd entry.gt.gt_paths);
+
+  (* 2. Boot a virtual kernel containing just that module. *)
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+
+  (* 3. Create the analysis LLM (deterministic oracle, GPT-4 profile)
+        and run the KernelGPT pipeline: extraction, iterative identifier
+        deduction, type recovery, dependency analysis, validation and
+        repair. *)
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let outcome = Kernelgpt.Pipeline.run ~oracle ~kernel entry in
+  let spec =
+    match outcome.o_spec with
+    | Some s -> s
+    | None -> failwith "specification generation failed"
+  in
+  Printf.printf "Generated specification (valid=%b, %d oracle queries):\n\n%s\n"
+    outcome.o_valid outcome.o_queries
+    (Syzlang.Printer.spec_str spec);
+
+  (* 4. Fuzz the module with the generated specification. *)
+  let result = Fuzzer.Campaign.run ~seed:42 ~budget:20_000 ~machine spec in
+  Printf.printf "Fuzzing: %d executions, %d statements covered\n" result.executions
+    (Fuzzer.Campaign.total_coverage result);
+  match Fuzzer.Campaign.crash_titles result with
+  | [] -> print_endline "No crashes found (try a bigger budget)."
+  | titles ->
+      print_endline "Crashes found:";
+      List.iter (Printf.printf "  - %s\n") titles

@@ -1,0 +1,104 @@
+(** The validation-and-repair loop (§3.2), observed up close.
+
+    The analysis LLM occasionally hallucinates a constant or type name.
+    Validation (the syz-extract / syz-generate stand-in) flags it, and a
+    repair prompt carrying the error message fixes the description. This
+    example finds a module where that happened and replays the loop.
+
+    Run with:  dune exec examples/spec_repair.exe *)
+
+let () =
+  let entries = Corpus.Registry.loaded () in
+  let machine = Vkernel.Machine.boot entries in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+
+  (* find a module whose generation needed repair *)
+  let repaired =
+    List.filter_map
+      (fun e ->
+        let out = Kernelgpt.Pipeline.run ~oracle ~kernel e in
+        if out.o_repaired && out.o_valid then Some (e, out) else None)
+      entries
+  in
+  Printf.printf "%d of %d loaded handlers needed (and survived) repair.\n\n"
+    (List.length repaired) (List.length entries);
+
+  match repaired with
+  | [] -> print_endline "No repairs this seed — try another oracle profile."
+  | (entry, _out) :: _ ->
+      Printf.printf "Replaying the loop for %s:\n\n" entry.name;
+      (* Re-run the stages and validate the *unrepaired* spec to show the
+         errors the repair prompt received. We reconstruct it by asking a
+         fresh oracle and validating before its repair pass: the pipeline
+         result records only the end state, so instead we show the raw
+         error messages the validator produces for a deliberately broken
+         spec derived from the final one. *)
+      let out = Kernelgpt.Pipeline.run ~oracle ~kernel entry in
+      let spec = Option.get out.o_spec in
+      (* break it the way the oracle's hallucinations do *)
+      let broken =
+        (* misname the first ioctl command constant, the typical slip *)
+        match
+          List.find_opt
+            (fun (c : Syzlang.Ast.syscall) -> c.call_name = "ioctl" && c.variant <> None)
+            spec.Syzlang.Ast.syscalls
+        with
+        | Some c ->
+            let bad = Option.get c.Syzlang.Ast.variant in
+            Syzlang.Rewrite.substitute_name spec ~bad ~good:(bad ^ "_V2")
+        | None -> spec
+      in
+      let errors = Syzlang.Validate.validate ~kernel broken in
+      print_endline "Validation errors on the corrupted specification:";
+      List.iter
+        (fun e -> Printf.printf "  %s\n" (Syzlang.Validate.error_to_string e))
+        errors;
+      (* ask the repair model *)
+      print_endline "\nRepair responses:";
+      List.iter
+        (fun (e : Syzlang.Validate.error) ->
+          let resp =
+            Oracle.query oracle
+              {
+                Prompt.task =
+                  Prompt.Repair
+                    {
+                      item = Syzlang.Validate.item_to_string e.err_item;
+                      description = "";
+                      error = e.err_msg;
+                    };
+                snippets = [];
+                usage = [];
+              }
+          in
+          match resp.Prompt.r_repaired with
+          | Some fix -> Printf.printf "  %s  ->  %s\n" e.err_msg fix
+          | None -> Printf.printf "  %s  ->  (no fix found)\n" e.err_msg)
+        errors;
+      let fixed =
+        List.fold_left
+          (fun s (e : Syzlang.Validate.error) ->
+            let words = String.split_on_char ' ' e.Syzlang.Validate.err_msg in
+            let bad = List.nth words (List.length words - 1) in
+            let resp =
+              Oracle.query oracle
+                {
+                  Prompt.task =
+                    Prompt.Repair
+                      {
+                        item = Syzlang.Validate.item_to_string e.err_item;
+                        description = "";
+                        error = e.err_msg;
+                      };
+                  snippets = [];
+                  usage = [];
+                }
+            in
+            match resp.Prompt.r_repaired with
+            | Some good -> Syzlang.Rewrite.substitute_name s ~bad ~good
+            | None -> s)
+          broken errors
+      in
+      Printf.printf "\nAfter repair: %d validation errors remain.\n"
+        (List.length (Syzlang.Validate.validate ~kernel fixed))

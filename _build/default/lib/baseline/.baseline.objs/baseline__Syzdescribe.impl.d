@@ -1,0 +1,1 @@
+lib/baseline/syzdescribe.ml: Corpus Csrc Hashtbl Kernelgpt List Option Printf String Syzlang

@@ -1,0 +1,1 @@
+lib/baseline/syzkaller_specs.ml: Corpus List Printf Syzlang

@@ -1,0 +1,270 @@
+(** SyzDescribe-style static specification generation (the paper's main
+    baseline, Hao et al., S&P 2023).
+
+    Implements the documented rule set — and, deliberately, its
+    documented blind spots (Figure 2c and §5.2.1):
+
+    - device names come from the [miscdevice .name] field, or a literal
+      [device_create] string found by tracing module init; the rare
+      [.nodename] field is ignored and format strings are not expanded
+      (the "Err" rows of Table 5);
+    - commands come from a [switch] on the raw command parameter, with at
+      most one level of delegation; [_IOC_NR] rewrites are not modeled,
+      so the rewritten values are emitted as the command constants;
+    - argument structs are recovered positionally ([field_0 ...]) with no
+      [len]/[string] semantics; nested structs flatten to byte arrays;
+    - [inout] commands are described twice (an in- and an out-variant),
+      the duplication the paper notes inflates its syscall counts;
+    - sockets are not supported at all. *)
+
+type outcome = { sd_spec : Syzlang.Ast.spec option }
+
+let unsupported = { sd_spec = None }
+
+(* ------------------------------------------------------------------ *)
+(* Device name rules                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let device_name_of (idx : Csrc.Index.t) (reg_symbol : string) : string option =
+  match Csrc.Index.find_global idx reg_symbol with
+  | Some { global_init = Some (Csrc.Ast.Init_designated fields); _ } -> (
+      (* the .name rule — .nodename is not in the rule set *)
+      match List.assoc_opt "name" fields with
+      | Some (Csrc.Ast.Init_expr e) ->
+          Option.map (fun n -> "/dev/" ^ n) (Csrc.Index.eval_string idx e)
+      | _ -> None)
+  | _ -> (
+      match Csrc.Index.find_function idx reg_symbol with
+      | Some fd ->
+          let found = ref None in
+          Csrc.Ast.fold_block
+            (fun () s ->
+              List.iter
+                (fun e ->
+                  Csrc.Ast.fold_expr
+                    (fun () e ->
+                      match e with
+                      | Csrc.Ast.Call (("device_create" | "snd_register_device"), args)
+                        when !found = None ->
+                          List.iter
+                            (function
+                              | Csrc.Ast.Const_str s when not (String.contains s '%') ->
+                                  if !found = None then found := Some ("/dev/" ^ s)
+                              | _ -> ())
+                            args
+                      | _ -> ())
+                    () e)
+                (Csrc.Ast.exprs_of_stmt s))
+            () fd.fun_body;
+          !found
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Command and type rules                                              *)
+(* ------------------------------------------------------------------ *)
+
+type raw_cmd = {
+  rc_label : Csrc.Ast.expr;
+  rc_body : Csrc.Ast.block;
+}
+
+(** Find the dispatch switch: on the handler's own command parameter, or
+    (one delegation level down) on the callee's command parameter. The
+    [_IOC_NR] rewrite breaks the pattern: the scrutinee is then a local,
+    which this rule set treats the same as a direct parameter — yielding
+    the rewritten (wrong) values, exactly like Figure 2c. *)
+let rec find_dispatch (idx : Csrc.Index.t) (fn : string) ~(depth : int) :
+    (Csrc.Ast.func_def * raw_cmd list) option =
+  if depth > 2 then None
+  else
+    match Csrc.Index.find_function idx fn with
+    | None | Some { fun_body = []; _ } -> None
+    | Some fd -> (
+        let cases = ref [] in
+        List.iter
+          (fun (s : Csrc.Ast.stmt) ->
+            match s.Csrc.Ast.node with
+            | Csrc.Ast.Switch (_, case_list) ->
+                List.iter
+                  (fun (c : Csrc.Ast.switch_case) ->
+                    List.iter
+                      (function
+                        | Csrc.Ast.Case label ->
+                            cases := { rc_label = label; rc_body = c.case_body } :: !cases
+                        | Csrc.Ast.Default -> ())
+                      c.labels)
+                  case_list
+            | _ -> ())
+          (Csrc.Ast.stmts_of_body fd.fun_body);
+        match !cases with
+        | _ :: _ -> Some (fd, List.rev !cases)
+        | [] ->
+            (* delegation: try every callee down to the depth limit *)
+            List.find_map
+              (fun c ->
+                if Corpus.Kapi.is_builtin c then None
+                else find_dispatch idx c ~depth:(depth + 1))
+              (Csrc.Ast.called_functions fd.fun_body))
+
+(** Positional, semantics-free struct translation. *)
+let flat_type (idx : Csrc.Index.t) (name : string) : Syzlang.Ast.comp_def option =
+  match Csrc.Index.find_composite idx name with
+  | None -> None
+  | Some cd ->
+      let open Syzlang.Ast in
+      let field i (f : Csrc.Ast.field) : field =
+        let ftyp =
+          match f.field_type with
+          | Csrc.Ast.Int { width; _ } -> (
+              match width with
+              | 8 -> Int (I8, None)
+              | 16 -> Int (I16, None)
+              | 32 -> Int (I32, None)
+              | _ -> Int (I64, None))
+          | Csrc.Ast.Array (_, len) -> Array (Int (I8, None), len)
+          | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n ->
+              Array (Int (I8, None), Some (Csrc.Index.sizeof idx (Csrc.Ast.Struct_ref n)))
+          | _ -> Int (I64, None)
+        in
+        { fname = Printf.sprintf "field_%d" i; ftyp }
+      in
+      Some { comp_name = name; comp_kind = Struct; comp_fields = List.mapi field cd.fields }
+
+(** Struct the case body copies from user space (shallow: the case body
+    itself only). *)
+let case_struct (fd : Csrc.Ast.func_def) (body : Csrc.Ast.block) : string option =
+  let locals =
+    List.filter_map
+      (fun (s : Csrc.Ast.stmt) ->
+        match s.Csrc.Ast.node with
+        | Csrc.Ast.Decl_stmt (Csrc.Ast.Struct_ref sn, v, _) -> Some (v, sn)
+        | _ -> None)
+      (Csrc.Ast.stmts_of_body fd.fun_body)
+  in
+  let found = ref None in
+  let rec lv = function
+    | Csrc.Ast.Addr_of (Csrc.Ast.Ident v) -> Some v
+    | Csrc.Ast.Cast (_, e) -> lv e
+    | _ -> None
+  in
+  Csrc.Ast.fold_block
+    (fun () s ->
+      List.iter
+        (fun e ->
+          Csrc.Ast.fold_expr
+            (fun () e ->
+              match e with
+              | Csrc.Ast.Call ("copy_from_user", dst :: _) when !found = None -> (
+                  match Option.bind (lv dst) (fun v -> List.assoc_opt v locals) with
+                  | Some sn -> found := Some sn
+                  | None -> ())
+              | _ -> ())
+            () e)
+        (Csrc.Ast.exprs_of_stmt s))
+    () body;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run (entry : Corpus.Types.entry) : outcome =
+  if entry.kind = Corpus.Types.Socket then unsupported (* "N/A" in the tables *)
+  else begin
+    let idx = Kernelgpt.Extractor.module_index entry.source in
+    let infos = Kernelgpt.Extractor.extract idx in
+    match Kernelgpt.Extractor.main_handler infos with
+    | None -> unsupported
+    | Some hi -> (
+        let path =
+          Option.bind hi.hi_reg_symbol (fun reg -> device_name_of idx reg)
+        in
+        match path with
+        | None -> unsupported
+        | Some path -> (
+            let ioctl_fn =
+              match List.assoc_opt "unlocked_ioctl" hi.hi_handlers with
+              | Some fn -> Some fn
+              | None -> List.assoc_opt "ioctl" hi.hi_handlers
+            in
+            match Option.bind ioctl_fn (fun fn -> find_dispatch idx fn ~depth:0) with
+            | None -> unsupported
+            | Some (fd, cases) ->
+                let open Syzlang.Ast in
+                let res = "fd_" ^ entry.name in
+                let tag = string_of_int (Hashtbl.hash entry.name mod 90000 + 10000) in
+                let types = ref [] in
+                let add_type name =
+                  if not (List.exists (fun c -> c.comp_name = name) !types) then
+                    match flat_type idx name with
+                    | Some cd -> types := cd :: !types
+                    | None -> ()
+                in
+                let calls =
+                  List.concat
+                    (List.mapi
+                       (fun i (c : raw_cmd) ->
+                         (* the raw label value/name is used as the command:
+                            wrong under the _IOC_NR rewrite *)
+                         let cmd_const =
+                           match c.rc_label with
+                           | Csrc.Ast.Ident n -> const_of_name n
+                           | e -> (
+                               match Csrc.Index.eval_opt idx e with
+                               | Some v -> const_of_value v
+                               | None -> const_of_value 0L)
+                         in
+                         let variant suffix =
+                           Printf.sprintf "%s_%d%s" tag i suffix
+                         in
+                         let mk suffix arg =
+                           {
+                             call_name = "ioctl";
+                             variant = Some (variant suffix);
+                             args =
+                               [
+                                 { fname = "fd"; ftyp = Resource_ref res };
+                                 { fname = "cmd"; ftyp = Const (cmd_const, Iptr) };
+                                 arg;
+                               ];
+                             ret = None;
+                           }
+                         in
+                         match case_struct fd c.rc_body with
+                         | Some sn ->
+                             add_type sn;
+                             (* the duplicated in/out description pattern *)
+                             [
+                               mk "" { fname = "arg"; ftyp = Ptr (In, Struct_ref sn) };
+                               mk "_out" { fname = "arg"; ftyp = Ptr (Out, Struct_ref sn) };
+                             ]
+                         | None ->
+                             [ mk "" { fname = "arg"; ftyp = Ptr (In, Array (Int (I8, None), None)) } ])
+                       cases)
+                in
+                let openat =
+                  {
+                    call_name = "openat";
+                    variant = Some tag;
+                    args =
+                      [
+                        { fname = "fd"; ftyp = Const (const_of_name "AT_FDCWD", Iptr) };
+                        { fname = "file"; ftyp = Ptr (In, String (Some path)) };
+                        { fname = "flags"; ftyp = Const (const_of_name "O_RDWR", Iptr) };
+                        { fname = "mode"; ftyp = Const (const_of_value 0L, Iptr) };
+                      ];
+                    ret = Some res;
+                  }
+                in
+                {
+                  sd_spec =
+                    Some
+                      {
+                        spec_name = entry.name;
+                        resources = [ { res_name = res; res_underlying = "fd" } ];
+                        syscalls = openat :: calls;
+                        types = List.rev !types;
+                        flag_sets = [];
+                      };
+                }))
+  end

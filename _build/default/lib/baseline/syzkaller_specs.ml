@@ -1,0 +1,47 @@
+(** The hand-written Syzkaller specifications of the corpus.
+
+    Each registry entry may carry an [existing_spec] — the syzlang text a
+    human expert wrote for that module (complete for well-maintained
+    drivers like ptmx, partial or absent elsewhere). This module parses
+    them and assembles the "Syzkaller" suites the evaluation compares
+    against. *)
+
+let spec_of_entry (e : Corpus.Types.entry) : Syzlang.Ast.spec option =
+  match e.existing_spec with
+  | None -> None
+  | Some text -> (
+      try Some (Syzlang.Parser.parse_spec ~name:e.name text)
+      with Syzlang.Parser.Error (msg, line) ->
+        invalid_arg
+          (Printf.sprintf "manual spec for %s: parse error at line %d: %s" e.name line msg))
+
+(** Number of syscalls the manual spec describes for [e] (0 if none). *)
+let described_syscalls (e : Corpus.Types.entry) : int =
+  match spec_of_entry e with
+  | Some spec -> Syzlang.Ast.count_syscalls spec
+  | None -> 0
+
+(** Ground-truth syscall surface of a module: every plain syscall plus
+    one per ioctl command / socket option (the generic [ioctl] /
+    [setsockopt] entries expand into the per-command counts). *)
+let total_syscalls (e : Corpus.Types.entry) : int =
+  let plain =
+    List.filter
+      (fun s -> not (List.mem s [ "ioctl"; "setsockopt"; "getsockopt" ]))
+      e.gt.gt_syscalls
+  in
+  List.length plain + List.length e.gt.gt_ioctls + List.length e.gt.gt_setsockopts
+
+(** Fraction of the module's syscalls missing from the manual spec. *)
+let missing_fraction (e : Corpus.Types.entry) : float =
+  let total = max 1 (total_syscalls e) in
+  let described = min total (described_syscalls e) in
+  float_of_int (total - described) /. float_of_int total
+
+(** A handler is "incomplete" when at least one syscall lacks a
+    description (Table 1's second column). *)
+let is_incomplete (e : Corpus.Types.entry) : bool = missing_fraction e > 0.0
+
+(** The combined hand-written suite over the given entries. *)
+let suite ?(name = "syzkaller") (entries : Corpus.Types.entry list) : Syzlang.Ast.spec =
+  Syzlang.Merge.merge_all ~name (List.filter_map spec_of_entry entries)

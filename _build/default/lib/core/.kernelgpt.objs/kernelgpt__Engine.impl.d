@@ -1,0 +1,1 @@
+lib/core/engine.ml: Csrc Extractor Hashtbl List Oracle Prompt String Syzlang

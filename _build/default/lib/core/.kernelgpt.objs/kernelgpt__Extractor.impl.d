@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Buffer Corpus Csrc Hashtbl List Prompt String Syzlang

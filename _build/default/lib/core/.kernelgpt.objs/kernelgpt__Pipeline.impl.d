@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Corpus Csrc Engine Extractor Hashtbl List Option Oracle Prompt Specgen String Syzlang

@@ -1,0 +1,1 @@
+lib/core/specgen.ml: Int64 List Prompt String Syzlang

@@ -1,0 +1,193 @@
+(** Algorithm 1 — LLM-guided iterative analysis.
+
+    Each stage starts from a set of target definitions, prompts the
+    oracle with their source, and recurses on whatever the oracle marks
+    [UNKNOWN], up to [max_iter] rounds. The visited set prevents
+    re-analysis; everything is fully automated. *)
+
+let max_iter = 5
+
+type stage_stats = { mutable iterations : int; mutable analyzed : int }
+
+let new_stats () = { iterations = 0; analyzed = 0 }
+
+(** Identifier deduction (§3.1.1): follow dispatched functions until the
+    command values and argument types are known. *)
+let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    ~(handler_fn : string) ~(stats : stage_stats) : Prompt.ident list =
+  let idents = ref [] in
+  let visited = Hashtbl.create 8 in
+  let rec go step targets =
+    if step > max_iter || targets = [] then ()
+    else begin
+      stats.iterations <- stats.iterations + 1;
+      let next =
+        List.concat_map
+          (fun (fn, usage) ->
+            if Hashtbl.mem visited fn then []
+            else begin
+              Hashtbl.replace visited fn ();
+              match Extractor.snippet module_index fn with
+              | None -> []
+              | Some snip ->
+                  stats.analyzed <- stats.analyzed + 1;
+                  let resp =
+                    Oracle.query oracle
+                      {
+                        Prompt.task = Prompt.Identifier_deduction { handler_fn = fn };
+                        (* the module's own #defines ride along so command
+                           macros resolve against the right header *)
+                        snippets = [ snip; Extractor.module_macros_snippet module_index ];
+                        usage;
+                      }
+                  in
+                  idents := !idents @ resp.Prompt.r_idents;
+                  List.map (fun (u : Prompt.unknown) -> (u.u_name, [ u.u_usage ])) resp.r_unknown
+            end)
+          targets
+      in
+      go (step + 1) next
+    end
+  in
+  go 1 [ (handler_fn, []) ];
+  (* deduplicate, keeping handler source order: dispatch order usually is
+     setup order (create before load), which downstream program
+     generation exploits *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (i : Prompt.ident) ->
+      if Hashtbl.mem seen i.id_cmd then false
+      else begin
+        Hashtbl.replace seen i.id_cmd ();
+        true
+      end)
+    !idents
+
+(** Type recovery (§3.1.2): translate argument structs, chasing nested
+    types marked unknown. *)
+let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    ~(type_names : string list) ~(stats : stage_stats) : Syzlang.Ast.comp_def list =
+  let types = ref [] in
+  let visited = Hashtbl.create 8 in
+  let rec go step targets =
+    if step > max_iter || targets = [] then ()
+    else begin
+      stats.iterations <- stats.iterations + 1;
+      let next =
+        List.concat_map
+          (fun tn ->
+            if Hashtbl.mem visited tn then []
+            else begin
+              Hashtbl.replace visited tn ();
+              match Extractor.snippet module_index tn with
+              | None -> []
+              | Some snip ->
+                  stats.analyzed <- stats.analyzed + 1;
+                  let resp =
+                    Oracle.query oracle
+                      {
+                        Prompt.task = Prompt.Type_recovery { type_name = tn };
+                        snippets = [ snip ];
+                        usage = [];
+                      }
+                  in
+                  types := resp.Prompt.r_types @ !types;
+                  resp.Prompt.r_nested_types
+            end)
+          targets
+      in
+      go (step + 1) next
+    end
+  in
+  go 1 type_names;
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (c : Syzlang.Ast.comp_def) ->
+      if Hashtbl.mem seen c.comp_name then false
+      else begin
+        Hashtbl.replace seen c.comp_name ();
+        true
+      end)
+    (List.rev !types)
+
+(** Dependency analysis (§3.1.3): present the handler and the functions
+    it reaches, and let the oracle spot resource-producing commands. *)
+let dependency_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    ~(handler_fn : string) ~(stats : stage_stats) : Prompt.dep list =
+  stats.iterations <- stats.iterations + 1;
+  let fns = Extractor.call_closure module_index handler_fn ~depth:3 in
+  let snippets = List.filter_map (Extractor.snippet module_index) fns in
+  stats.analyzed <- stats.analyzed + List.length snippets;
+  let resp =
+    Oracle.query oracle
+      { Prompt.task = Prompt.Dependency_analysis { handler_fn }; snippets; usage = [] }
+  in
+  resp.Prompt.r_deps
+
+(** Device-name inference for the registration symbol. *)
+let device_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    ~(reg_symbol : string) : string option =
+  let snippets = List.filter_map (Extractor.snippet module_index) [ reg_symbol ] in
+  let resp =
+    Oracle.query oracle
+      { Prompt.task = Prompt.Device_name { reg_symbol }; snippets; usage = [] }
+  in
+  match resp.Prompt.r_device_paths with p :: _ -> Some p | [] -> None
+
+(** Socket-triple inference for a proto_ops symbol. *)
+let socket_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    ~(ops_symbol : string) : (int * int * int) option =
+  let snippets =
+    List.filter_map (Extractor.snippet module_index) [ ops_symbol ]
+    @ [ Extractor.module_macros_snippet module_index ]
+  in
+  let resp =
+    Oracle.query oracle
+      { Prompt.task = Prompt.Socket_triple { ops_symbol }; snippets; usage = [] }
+  in
+  resp.Prompt.r_socket_triple
+
+(** §5.2.3 ablation: all related code in one prompt, one query. *)
+let all_in_one ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t) ~(handler_fn : string) :
+    Prompt.ident list * Syzlang.Ast.comp_def list * Prompt.dep list =
+  let fns = Extractor.call_closure module_index handler_fn ~depth:4 in
+  (* include every struct any of those functions reference, plus their
+     nested structs — everything, as the ablation prescribes *)
+  let structs =
+    List.concat_map
+      (fun fn ->
+        match Csrc.Index.find_function module_index fn with
+        | Some fd ->
+            List.filter_map
+              (fun (s : Csrc.Ast.stmt) ->
+                match s.Csrc.Ast.node with
+                | Csrc.Ast.Decl_stmt (Csrc.Ast.Struct_ref sn, _, _) -> Some sn
+                | _ -> None)
+              (Csrc.Ast.stmts_of_body fd.fun_body)
+        | None -> [])
+      fns
+    |> List.sort_uniq String.compare
+  in
+  let nested =
+    List.concat_map
+      (fun sn ->
+        match Csrc.Index.find_composite module_index sn with
+        | Some cd ->
+            List.filter_map
+              (fun (f : Csrc.Ast.field) ->
+                match f.field_type with
+                | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n
+                | Csrc.Ast.Array (Csrc.Ast.Struct_ref n, _) ->
+                    Some n
+                | _ -> None)
+              cd.fields
+        | None -> [])
+      structs
+  in
+  let names = fns @ structs @ nested |> List.sort_uniq String.compare in
+  let snippets = List.filter_map (Extractor.snippet module_index) names in
+  let resp =
+    Oracle.query oracle
+      { Prompt.task = Prompt.All_in_one { handler_fn }; snippets; usage = [] }
+  in
+  (resp.Prompt.r_idents, resp.Prompt.r_types, resp.Prompt.r_deps)

@@ -1,0 +1,456 @@
+(** End-to-end KernelGPT pipeline for one operation handler:
+    extraction → iterative stages → spec synthesis → validation and
+    repair (§3). *)
+
+type mode = Iterative | All_in_one
+
+type outcome = {
+  o_entry : string;  (** registry key of the module *)
+  o_spec : Syzlang.Ast.spec option;
+  o_valid : bool;  (** passed validation intact (possibly after repair) *)
+  o_usable : bool;
+      (** the final spec validates, possibly after pruning descriptions
+          that could not be repaired — usable for fuzzing even when not
+          counted "valid" *)
+  o_direct_valid : bool;  (** passed validation before any repair *)
+  o_repaired : bool;  (** repair changed the spec *)
+  o_errors : Syzlang.Validate.error list;  (** remaining errors *)
+  o_queries : int;
+  o_tokens : int;
+  o_iterations : int;
+}
+
+let failed_outcome name =
+  {
+    o_entry = name;
+    o_spec = None;
+    o_valid = false;
+    o_usable = false;
+    o_direct_valid = false;
+    o_repaired = false;
+    o_errors = [];
+    o_queries = 0;
+    o_tokens = 0;
+    o_iterations = 0;
+  }
+
+let max_repair_rounds = 3
+
+(** Validate and, if needed, repair a spec by consulting the oracle with
+    the error messages (§3.2). *)
+let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+    (spec : Syzlang.Ast.spec) : Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list =
+  let errors0 = Syzlang.Validate.validate ~kernel spec in
+  if errors0 = [] then (spec, true, false, [])
+  else begin
+    let spec = ref spec in
+    let errors = ref errors0 in
+    let round = ref 0 in
+    let changed = ref false in
+    while !errors <> [] && !round < max_repair_rounds do
+      incr round;
+      let progressed = ref false in
+      List.iter
+        (fun (e : Syzlang.Validate.error) ->
+          let item = Syzlang.Validate.item_to_string e.err_item in
+          let description =
+            (* the offending description, as text, for the repair prompt *)
+            match e.err_item with
+            | Syzlang.Validate.In_syscall full -> (
+                match
+                  List.find_opt
+                    (fun c -> Syzlang.Ast.syscall_full_name c = full)
+                    !spec.Syzlang.Ast.syscalls
+                with
+                | Some c -> Syzlang.Printer.syscall_str c
+                | None -> full)
+            | Syzlang.Validate.In_type tn -> (
+                match
+                  List.find_opt (fun c -> c.Syzlang.Ast.comp_name = tn) !spec.Syzlang.Ast.types
+                with
+                | Some c -> Syzlang.Printer.comp_str c
+                | None -> tn)
+            | Syzlang.Validate.In_flag_set n | Syzlang.Validate.In_resource n -> n
+          in
+          let resp =
+            Oracle.query oracle
+              {
+                Prompt.task = Prompt.Repair { item; description; error = e.err_msg };
+                snippets = [];
+                usage = [];
+              }
+          in
+          match resp.Prompt.r_repaired with
+          | Some good ->
+              (* the broken identifier is the last word of the message *)
+              let words = String.split_on_char ' ' e.err_msg in
+              let bad = List.nth words (List.length words - 1) in
+              let next = Syzlang.Rewrite.substitute_name !spec ~bad ~good in
+              if next <> !spec then begin
+                spec := next;
+                progressed := true;
+                changed := true
+              end
+          | None -> ())
+        !errors;
+      errors := Syzlang.Validate.validate ~kernel !spec;
+      if not !progressed then round := max_repair_rounds
+    done;
+    (!spec, !errors = [], !changed, !errors)
+  end
+
+(** Drop the descriptions validation still rejects (what a maintainer
+    does with an unrepairable entry before merging the rest). Iterates to
+    a fixpoint since removing a type can orphan a syscall. *)
+let prune ~(kernel : Csrc.Index.t) (spec : Syzlang.Ast.spec) :
+    Syzlang.Ast.spec * Syzlang.Validate.error list =
+  let rec go spec rounds =
+    let errors = Syzlang.Validate.validate ~kernel spec in
+    if errors = [] || rounds = 0 then (spec, errors)
+    else begin
+      let bad_calls =
+        List.filter_map
+          (fun (e : Syzlang.Validate.error) ->
+            match e.err_item with Syzlang.Validate.In_syscall s -> Some s | _ -> None)
+          errors
+      in
+      let bad_types =
+        List.filter_map
+          (fun (e : Syzlang.Validate.error) ->
+            match e.err_item with Syzlang.Validate.In_type t -> Some t | _ -> None)
+          errors
+      in
+      let bad_sets =
+        List.filter_map
+          (fun (e : Syzlang.Validate.error) ->
+            match e.err_item with Syzlang.Validate.In_flag_set f -> Some f | _ -> None)
+          errors
+      in
+      let spec =
+        {
+          spec with
+          Syzlang.Ast.syscalls =
+            List.filter
+              (fun c -> not (List.mem (Syzlang.Ast.syscall_full_name c) bad_calls))
+              spec.Syzlang.Ast.syscalls;
+          types =
+            List.filter (fun c -> not (List.mem c.Syzlang.Ast.comp_name bad_types)) spec.types;
+          flag_sets =
+            List.filter (fun f -> not (List.mem f.Syzlang.Ast.set_name bad_sets)) spec.flag_sets;
+        }
+      in
+      go spec (rounds - 1)
+    end
+  in
+  go spec 4
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ioctl_fn_of (hi : Extractor.handler_info) : string option =
+  match List.assoc_opt "unlocked_ioctl" hi.hi_handlers with
+  | Some fn -> Some fn
+  | None -> List.assoc_opt "ioctl" hi.hi_handlers
+
+let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+    (entry : Corpus.Types.entry) : outcome =
+  let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
+  let midx = Extractor.module_index entry.source in
+  let infos = Extractor.extract midx in
+  match Extractor.main_handler infos with
+  | None -> failed_outcome entry.name
+  | Some hi -> (
+      let stats = Engine.new_stats () in
+      let device_path =
+        match hi.hi_reg_symbol with
+        | Some reg -> Engine.device_stage ~oracle ~module_index:midx ~reg_symbol:reg
+        | None -> None
+      in
+      match device_path with
+      | None -> failed_outcome entry.name
+      | Some path ->
+          let idents, types, deps =
+            match (mode, ioctl_fn_of hi) with
+            | _, None -> ([], [], [])
+            | Iterative, Some ioctl_fn ->
+                let idents =
+                  Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:ioctl_fn ~stats
+                in
+                let deps =
+                  Engine.dependency_stage ~oracle ~module_index:midx ~handler_fn:ioctl_fn ~stats
+                in
+                let type_names =
+                  List.filter_map (fun (i : Prompt.ident) -> i.id_arg_type) idents
+                  |> List.sort_uniq String.compare
+                in
+                (idents, Engine.type_stage ~oracle ~module_index:midx ~type_names ~stats, deps)
+            | All_in_one, Some ioctl_fn ->
+                let idents, types, deps =
+                  Engine.all_in_one ~oracle ~module_index:midx ~handler_fn:ioctl_fn
+                in
+                stats.Engine.iterations <- 1;
+                (idents, types, deps)
+          in
+          (* dependent handlers (anon-inode fds): analyze their commands *)
+          let dep_blocks, dep_types =
+            List.fold_left
+              (fun (blocks, extra_types) (d : Prompt.dep) ->
+                match Extractor.find_handler infos d.dep_ops with
+                | None -> (blocks, extra_types)
+                | Some dep_hi -> (
+                    match ioctl_fn_of dep_hi with
+                    | None -> (blocks, extra_types)
+                    | Some dep_fn when mode = Iterative ->
+                        let dep_idents =
+                          Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:dep_fn
+                            ~stats
+                        in
+                        let dep_deps =
+                          Engine.dependency_stage ~oracle ~module_index:midx ~handler_fn:dep_fn
+                            ~stats
+                        in
+                        let tn =
+                          List.filter_map (fun (i : Prompt.ident) -> i.id_arg_type) dep_idents
+                          |> List.sort_uniq String.compare
+                        in
+                        let tys =
+                          Engine.type_stage ~oracle ~module_index:midx ~type_names:tn ~stats
+                        in
+                        let block =
+                          {
+                            Specgen.db_ops = d.dep_ops;
+                            db_res = "fd_" ^ entry.name ^ "_" ^ d.dep_ops;
+                            db_create_cmd = d.dep_cmd;
+                            db_idents = dep_idents;
+                          }
+                        in
+                        (* second-level deps (kvm vcpu) *)
+                        let blocks2 =
+                          List.filter_map
+                            (fun (d2 : Prompt.dep) ->
+                              match Extractor.find_handler infos d2.dep_ops with
+                              | Some hi2 when d2.dep_ops <> d.dep_ops -> (
+                                  match ioctl_fn_of hi2 with
+                                  | Some fn2 ->
+                                      let ids2 =
+                                        Engine.identifier_stage ~oracle ~module_index:midx
+                                          ~handler_fn:fn2 ~stats
+                                      in
+                                      Some
+                                        {
+                                          Specgen.db_ops = d2.dep_ops;
+                                          db_res = "fd_" ^ entry.name ^ "_" ^ d2.dep_ops;
+                                          db_create_cmd = d2.dep_cmd;
+                                          db_idents = ids2;
+                                        }
+                                  | None -> None)
+                              | _ -> None)
+                            dep_deps
+                        in
+                        let types2 =
+                          List.concat_map
+                            (fun b ->
+                              let tn =
+                                List.filter_map
+                                  (fun (i : Prompt.ident) -> i.id_arg_type)
+                                  b.Specgen.db_idents
+                                |> List.sort_uniq String.compare
+                              in
+                              Engine.type_stage ~oracle ~module_index:midx ~type_names:tn ~stats)
+                            blocks2
+                        in
+                        ((block :: blocks2) @ blocks, tys @ types2 @ extra_types)
+                    | Some _ -> (blocks, extra_types)))
+              ([], []) deps
+          in
+          let all_types =
+            let seen = Hashtbl.create 16 in
+            List.filter
+              (fun (c : Syzlang.Ast.comp_def) ->
+                if Hashtbl.mem seen c.comp_name then false
+                else (
+                  Hashtbl.replace seen c.comp_name ();
+                  true))
+              (types @ dep_types)
+          in
+          (* semantic value constraints on struct fields (version checks
+             and the like) become const fields, as real Syzkaller specs
+             hand-write them *)
+          let all_types =
+            match ioctl_fn_of hi with
+            | None -> all_types
+            | Some ioctl_fn ->
+                let fns = Extractor.call_closure midx ioctl_fn ~depth:3 in
+                List.map
+                  (fun (cd : Syzlang.Ast.comp_def) ->
+                    let constraints =
+                      Extractor.field_constraints midx fns ~struct_name:cd.comp_name
+                    in
+                    if constraints = [] then cd
+                    else
+                      {
+                        cd with
+                        comp_fields =
+                          List.map
+                            (fun (f : Syzlang.Ast.field) ->
+                              match (List.assoc_opt f.fname constraints, f.ftyp) with
+                              | Some c, Syzlang.Ast.Int (w, _) ->
+                                  { f with ftyp = Syzlang.Ast.Const (c, w) }
+                              | Some c, Syzlang.Ast.Array (Syzlang.Ast.Int (w, _), n) ->
+                                  { f with ftyp = Syzlang.Ast.Array (Syzlang.Ast.Const (c, w), n) }
+                              | _ -> f)
+                            cd.comp_fields;
+                      })
+                  all_types
+          in
+          let plain = List.map fst hi.hi_handlers in
+          let spec =
+            Specgen.driver_spec ~name:entry.name ~path ~idents ~types:all_types
+              ~deps:dep_blocks ~plain
+          in
+          let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
+          let spec, errors = if valid then (spec, errors) else prune ~kernel spec in
+          {
+            o_entry = entry.name;
+            o_spec = Some spec;
+            o_valid = valid;
+            o_usable = errors = [];
+            o_direct_valid = (valid && not repaired);
+            o_repaired = repaired;
+            o_errors = errors;
+            o_queries = oracle.Oracle.queries - q0;
+            o_tokens = oracle.Oracle.prompt_tokens - t0;
+            o_iterations = stats.Engine.iterations;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Sockets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+    (entry : Corpus.Types.entry) : outcome =
+  let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
+  let midx = Extractor.module_index entry.source in
+  let infos = Extractor.extract midx in
+  match List.find_opt (fun hi -> hi.Extractor.hi_is_socket) infos with
+  | None -> failed_outcome entry.name
+  | Some hi -> (
+      let stats = Engine.new_stats () in
+      match Engine.socket_stage ~oracle ~module_index:midx ~ops_symbol:hi.hi_ops_global with
+      | None -> failed_outcome entry.name
+      | Some triple ->
+          let handler name = List.assoc_opt name hi.hi_handlers in
+          let run_opts fn_opt =
+            match (fn_opt, mode) with
+            | None, _ -> []
+            | Some fn, Iterative ->
+                Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:fn ~stats
+            | Some fn, All_in_one ->
+                let ids, _, _ = Engine.all_in_one ~oracle ~module_index:midx ~handler_fn:fn in
+                ids
+          in
+          let setsockopts = run_opts (handler "setsockopt") in
+          let getsockopts = run_opts (handler "getsockopt") in
+          let sockaddr =
+            List.find_map
+              (fun field ->
+                match handler field with
+                | Some fn ->
+                    Extractor.cast_struct_of_param midx fn
+                      ~param_names:[ "uaddr"; "addr"; "sa" ]
+                | None -> None)
+              [ "bind"; "connect" ]
+          in
+          let msg_control =
+            match handler "sendmsg" with
+            | Some fn -> (
+                match Extractor.msg_control_struct midx fn with
+                | Some c -> Some c
+                | None ->
+                    (* the cast may be in a helper *)
+                    List.find_map
+                      (fun callee -> Extractor.msg_control_struct midx callee)
+                      (Extractor.call_closure midx fn ~depth:2))
+            | None -> None
+          in
+          let sockaddr =
+            match sockaddr with
+            | Some s -> Some s
+            | None -> (
+                match handler "sendmsg" with
+                | Some fn -> Extractor.msg_name_struct midx fn
+                | None -> None)
+          in
+          let type_names =
+            (Option.to_list sockaddr @ Option.to_list msg_control
+            @ List.filter_map (fun (i : Prompt.ident) -> i.id_arg_type) (setsockopts @ getsockopts)
+            )
+            |> List.sort_uniq String.compare
+          in
+          let types = Engine.type_stage ~oracle ~module_index:midx ~type_names ~stats in
+          (* constrain sockaddr fields the handlers require to be exact
+             (family checks): semantically valid values, per §2.1 *)
+          let types =
+            match sockaddr with
+            | None -> types
+            | Some s ->
+                let fns =
+                  List.filter_map handler [ "bind"; "connect"; "sendmsg" ]
+                in
+                let constraints = Extractor.field_constraints midx fns ~struct_name:s in
+                List.map
+                  (fun (cd : Syzlang.Ast.comp_def) ->
+                    if cd.comp_name <> s then cd
+                    else
+                      {
+                        cd with
+                        comp_fields =
+                          List.map
+                            (fun (f : Syzlang.Ast.field) ->
+                              match (List.assoc_opt f.fname constraints, f.ftyp) with
+                              | Some c, Syzlang.Ast.Int (w, _) ->
+                                  { f with ftyp = Syzlang.Ast.Const (c, w) }
+                              | _ -> f)
+                            cd.comp_fields;
+                      })
+                  types
+          in
+          let sockaddr_size =
+            match sockaddr with
+            | Some s -> Csrc.Index.sizeof midx (Csrc.Ast.Struct_ref s)
+            | None -> 16
+          in
+          let shape =
+            {
+              Specgen.sk_triple = triple;
+              sk_sockaddr = sockaddr;
+              sk_sockaddr_size = sockaddr_size;
+              sk_msg_control = msg_control;
+              sk_setsockopts = setsockopts;
+              sk_getsockopts = getsockopts;
+              sk_plain = List.map fst hi.hi_handlers;
+            }
+          in
+          let spec = Specgen.socket_spec ~name:entry.name ~shape ~types in
+          let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
+          let spec, errors = if valid then (spec, errors) else prune ~kernel spec in
+          {
+            o_entry = entry.name;
+            o_spec = Some spec;
+            o_valid = valid;
+            o_usable = errors = [];
+            o_direct_valid = (valid && not repaired);
+            o_repaired = repaired;
+            o_errors = errors;
+            o_queries = oracle.Oracle.queries - q0;
+            o_tokens = oracle.Oracle.prompt_tokens - t0;
+            o_iterations = stats.Engine.iterations;
+          })
+
+(** Generate a specification for one corpus module. *)
+let run ?(mode = Iterative) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+    (entry : Corpus.Types.entry) : outcome =
+  match entry.kind with
+  | Corpus.Types.Driver -> run_driver ~mode ~oracle ~kernel entry
+  | Corpus.Types.Socket -> run_socket ~mode ~oracle ~kernel entry

@@ -1,0 +1,37 @@
+(** End-to-end KernelGPT pipeline (§3): extraction → iterative stages →
+    specification synthesis → validation and repair. *)
+
+type mode =
+  | Iterative  (** the paper's multi-stage Algorithm 1 *)
+  | All_in_one  (** the §5.2.3 ablation: everything in one prompt *)
+
+type outcome = {
+  o_entry : string;  (** registry key of the module *)
+  o_spec : Syzlang.Ast.spec option;
+  o_valid : bool;  (** passed validation intact (possibly after repair) *)
+  o_usable : bool;
+      (** the final spec validates, possibly after pruning unrepairable
+          descriptions — usable for fuzzing even when not "valid" *)
+  o_direct_valid : bool;  (** passed validation before any repair *)
+  o_repaired : bool;  (** repair changed the spec *)
+  o_errors : Syzlang.Validate.error list;  (** errors that remain *)
+  o_queries : int;  (** oracle queries spent on this module *)
+  o_tokens : int;  (** prompt tokens spent on this module *)
+  o_iterations : int;  (** Algorithm 1 rounds across all stages *)
+}
+
+val failed_outcome : string -> outcome
+
+(** Validate a spec against the kernel index and repair it by consulting
+    the oracle with the error messages, up to three rounds. Returns the
+    (possibly fixed) spec, whether it now validates, whether any repair
+    was applied, and the remaining errors. *)
+val validate_and_repair :
+  oracle:Oracle.t ->
+  kernel:Csrc.Index.t ->
+  Syzlang.Ast.spec ->
+  Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list
+
+(** Generate a specification for one corpus module (driver or socket). *)
+val run :
+  ?mode:mode -> oracle:Oracle.t -> kernel:Csrc.Index.t -> Corpus.Types.entry -> outcome

@@ -1,0 +1,356 @@
+(** Assembling syzlang specifications from stage outputs. *)
+
+open Syzlang.Ast
+
+let resource_for name = "fd_" ^ name
+
+let sock_resource_for name = "sock_" ^ name
+
+let comp_kind_of types name =
+  match List.find_opt (fun c -> c.comp_name = name) types with
+  | Some { comp_kind = Union; _ } -> Union_ref name
+  | _ -> Struct_ref name
+
+let width_of_bytes = function
+  | 1 -> I8
+  | 2 -> I16
+  | 4 -> I32
+  | _ -> I64
+
+let values_set_name (i : Prompt.ident) = String.lowercase_ascii i.id_cmd ^ "_values"
+
+let arg_field ~types (i : Prompt.ident) : field =
+  match (i.id_arg_type, i.id_copy_size) with
+  | Some t, _ -> { fname = "arg"; ftyp = Ptr (i.id_arg_dir, comp_kind_of types t) }
+  | None, Some sz ->
+      let w = width_of_bytes sz in
+      let inner =
+        if i.id_values <> [] then Flags (values_set_name i, w) else Int (w, None)
+      in
+      { fname = "arg"; ftyp = Ptr (i.id_arg_dir, inner) }
+  | None, None -> { fname = "arg"; ftyp = Int (Iptr, None) }
+
+(** Flag sets for the scalar commands whose valid values were inferred. *)
+let flag_sets_of (idents : Prompt.ident list) : flag_set list =
+  List.filter_map
+    (fun (i : Prompt.ident) ->
+      if i.id_values <> [] && i.id_arg_type = None && i.id_copy_size <> None then
+        Some { set_name = values_set_name i; set_values = i.id_values }
+      else None)
+    idents
+
+let ioctl_call ~res ~types ?ret (i : Prompt.ident) : syscall =
+  {
+    call_name = "ioctl";
+    variant = Some i.id_cmd;
+    args =
+      [
+        { fname = "fd"; ftyp = Resource_ref res };
+        { fname = "cmd"; ftyp = Const (const_of_name i.id_cmd, Iptr) };
+        arg_field ~types i;
+      ];
+    ret;
+  }
+
+let openat_call ~name ~res ~path : syscall =
+  {
+    call_name = "openat";
+    variant = Some name;
+    args =
+      [
+        { fname = "fd"; ftyp = Const (const_of_name "AT_FDCWD", Iptr) };
+        { fname = "file"; ftyp = Ptr (In, String (Some path)) };
+        { fname = "flags"; ftyp = Const (const_of_name "O_RDWR", Iptr) };
+        { fname = "mode"; ftyp = Const (const_of_value 0L, Iptr) };
+      ];
+    ret = Some res;
+  }
+
+(** A dependent handler (e.g. kvm's VM fd): the resource it produces and
+    its own commands. *)
+type dep_block = {
+  db_ops : string;  (** ops-global symbol *)
+  db_res : string;  (** resource name for fds it backs *)
+  db_create_cmd : string;  (** parent command producing the fd *)
+  db_idents : Prompt.ident list;
+}
+
+let driver_spec ~(name : string) ~(path : string) ~(idents : Prompt.ident list)
+    ~(types : comp_def list) ~(deps : dep_block list)
+    ~(plain : string list (* read/write/poll/mmap fields present *)) : spec =
+  let res = resource_for name in
+  let dep_for cmd = List.find_opt (fun d -> d.db_create_cmd = cmd) deps in
+  let main_calls =
+    List.map
+      (fun (i : Prompt.ident) ->
+        match dep_for i.id_cmd with
+        | Some d -> ioctl_call ~res ~types ~ret:d.db_res i
+        | None -> ioctl_call ~res ~types i)
+      idents
+  in
+  let dep_calls =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun (i : Prompt.ident) ->
+            match List.find_opt (fun d2 -> d2.db_create_cmd = i.id_cmd) deps with
+            | Some d2 when d2.db_ops <> d.db_ops -> ioctl_call ~res:d.db_res ~types ~ret:d2.db_res i
+            | _ -> ioctl_call ~res:d.db_res ~types i)
+          d.db_idents)
+      deps
+  in
+  let plain_calls =
+    List.filter_map
+      (fun op ->
+        match op with
+        | "read" ->
+            Some
+              {
+                call_name = "read";
+                variant = Some name;
+                args =
+                  [
+                    { fname = "fd"; ftyp = Resource_ref res };
+                    { fname = "buf"; ftyp = Ptr (Out, Array (Int (I8, None), None)) };
+                    { fname = "len"; ftyp = Int (Iptr, None) };
+                  ];
+                ret = None;
+              }
+        | "write" ->
+            Some
+              {
+                call_name = "write";
+                variant = Some name;
+                args =
+                  [
+                    { fname = "fd"; ftyp = Resource_ref res };
+                    { fname = "buf"; ftyp = Ptr (In, Array (Int (I8, None), None)) };
+                    { fname = "len"; ftyp = Int (Iptr, None) };
+                  ];
+                ret = None;
+              }
+        | "poll" ->
+            Some
+              {
+                call_name = "poll";
+                variant = Some name;
+                args = [ { fname = "fd"; ftyp = Resource_ref res } ];
+                ret = None;
+              }
+        | _ -> None)
+      plain
+  in
+  let close_call =
+    {
+      call_name = "close";
+      variant = Some name;
+      args = [ { fname = "fd"; ftyp = Resource_ref res } ];
+      ret = None;
+    }
+  in
+  {
+    spec_name = name;
+    resources =
+      { res_name = res; res_underlying = "fd" }
+      :: List.map (fun d -> { res_name = d.db_res; res_underlying = "fd" }) deps;
+    syscalls =
+      (openat_call ~name ~res ~path :: main_calls) @ dep_calls @ plain_calls @ [ close_call ];
+    types;
+    flag_sets = flag_sets_of (idents @ List.concat_map (fun d -> d.db_idents) deps);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sockets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type socket_shape = {
+  sk_triple : int * int * int;
+  sk_sockaddr : string option;  (** sockaddr struct for bind/connect *)
+  sk_sockaddr_size : int;
+  sk_msg_control : string option;  (** struct behind msg_control, if read *)
+  sk_setsockopts : Prompt.ident list;
+  sk_getsockopts : Prompt.ident list;
+  sk_plain : string list;  (** which proto_ops fields exist *)
+}
+
+let socket_spec ~(name : string) ~(shape : socket_shape) ~(types : comp_def list) : spec =
+  let res = sock_resource_for name in
+  let d, t, p = shape.sk_triple in
+  let t = if t = 0 then 2 else t in
+  let socket_call =
+    {
+      call_name = "socket";
+      variant = Some name;
+      args =
+        [
+          { fname = "domain"; ftyp = Const (const_of_value (Int64.of_int d), Iptr) };
+          { fname = "type"; ftyp = Const (const_of_value (Int64.of_int t), Iptr) };
+          { fname = "proto"; ftyp = Const (const_of_value (Int64.of_int p), Iptr) };
+        ];
+      ret = Some res;
+    }
+  in
+  let addr_field =
+    match shape.sk_sockaddr with
+    | Some s -> { fname = "addr"; ftyp = Ptr (In, comp_kind_of types s) }
+    | None -> { fname = "addr"; ftyp = Ptr (In, Array (Int (I8, None), Some 16)) }
+  in
+  let addrlen =
+    { fname = "addrlen"; ftyp = Const (const_of_value (Int64.of_int shape.sk_sockaddr_size), Iptr) }
+  in
+  let plain op =
+    match op with
+    | "bind" | "connect" ->
+        Some
+          {
+            call_name = op;
+            variant = Some name;
+            args = [ { fname = "fd"; ftyp = Resource_ref res }; addr_field; addrlen ];
+            ret = None;
+          }
+    | "listen" ->
+        Some
+          {
+            call_name = "listen";
+            variant = Some name;
+            args =
+              [ { fname = "fd"; ftyp = Resource_ref res }; { fname = "backlog"; ftyp = Int (I32, None) } ];
+            ret = None;
+          }
+    | "accept" ->
+        Some
+          {
+            call_name = "accept";
+            variant = Some name;
+            args = [ { fname = "fd"; ftyp = Resource_ref res } ];
+            ret = Some res;
+          }
+    | "sendmsg" ->
+        Some
+          {
+            call_name = "sendmsg";
+            variant = Some name;
+            args =
+              [
+                { fname = "fd"; ftyp = Resource_ref res };
+                { fname = "msg"; ftyp = Ptr (In, Struct_ref (name ^ "_msghdr")) };
+                { fname = "len"; ftyp = Int (Iptr, None) };
+              ];
+            ret = None;
+          }
+    | "recvmsg" ->
+        Some
+          {
+            call_name = "recvmsg";
+            variant = Some name;
+            args =
+              [
+                { fname = "fd"; ftyp = Resource_ref res };
+                { fname = "msg"; ftyp = Ptr (Inout, Struct_ref (name ^ "_msghdr")) };
+                { fname = "len"; ftyp = Int (Iptr, None) };
+                { fname = "f"; ftyp = Int (I32, None) };
+              ];
+            ret = None;
+          }
+    | "shutdown" ->
+        Some
+          {
+            call_name = "shutdown";
+            variant = Some name;
+            args =
+              [ { fname = "fd"; ftyp = Resource_ref res }; { fname = "how"; ftyp = Int (I32, Some { lo = 0L; hi = 2L }) } ];
+            ret = None;
+          }
+    | _ -> None
+  in
+  let plain_calls = List.filter_map plain shape.sk_plain in
+  let sendto_call =
+    if List.mem "sendmsg" shape.sk_plain then
+      [
+        {
+          call_name = "sendto";
+          variant = Some name;
+          args =
+            [
+              { fname = "fd"; ftyp = Resource_ref res };
+              { fname = "buf"; ftyp = Ptr (In, Array (Int (I8, None), None)) };
+              { fname = "len"; ftyp = Int (Iptr, None) };
+              { fname = "f"; ftyp = Const (const_of_value 0L, Iptr) };
+              addr_field;
+              addrlen;
+            ];
+          ret = None;
+        };
+      ]
+    else []
+  in
+  let sockopt_call ~get (i : Prompt.ident) =
+    let dir = if get then Out else In in
+    let optval =
+      match i.id_arg_type with
+      | Some ty -> { fname = "optval"; ftyp = Ptr (dir, comp_kind_of types ty) }
+      | None ->
+          let inner =
+            if (not get) && i.id_values <> [] then Flags (values_set_name i, I32)
+            else Int (I32, None)
+          in
+          { fname = "optval"; ftyp = Ptr (dir, inner) }
+    in
+    {
+      call_name = (if get then "getsockopt" else "setsockopt");
+      variant = Some i.id_cmd;
+      args =
+        [
+          { fname = "fd"; ftyp = Resource_ref res };
+          { fname = "level"; ftyp = Const (const_of_value 0L, Iptr) };
+          { fname = "optname"; ftyp = Const (const_of_name i.id_cmd, Iptr) };
+          optval;
+          { fname = "optlen"; ftyp = Const (const_of_value 16L, Iptr) };
+        ];
+      ret = None;
+    }
+  in
+  let sockopt_calls =
+    List.map (sockopt_call ~get:false) shape.sk_setsockopts
+    @ List.map (sockopt_call ~get:true) shape.sk_getsockopts
+  in
+  (* per-socket msghdr type so sendmsg/recvmsg carry typed payloads *)
+  let msghdr_type =
+    if List.mem "sendmsg" shape.sk_plain || List.mem "recvmsg" shape.sk_plain then
+      [
+        {
+          comp_name = name ^ "_msghdr";
+          comp_kind = Struct;
+          comp_fields =
+            [
+              {
+                fname = "msg_name";
+                ftyp =
+                  (match shape.sk_sockaddr with
+                  | Some s -> Ptr (In, comp_kind_of types s)
+                  | None -> Int (I64, None));
+              };
+              { fname = "msg_namelen"; ftyp = Int (I32, None) };
+              { fname = "msg_iov"; ftyp = Ptr (In, Array (Int (I8, None), None)) };
+              { fname = "msg_iovlen"; ftyp = Int (I64, None) };
+              {
+                fname = "msg_control";
+                ftyp =
+                  (match shape.sk_msg_control with
+                  | Some c -> Ptr (In, comp_kind_of types c)
+                  | None -> Int (I64, None));
+              };
+              { fname = "msg_controllen"; ftyp = Int (I64, None) };
+              { fname = "msg_flags"; ftyp = Int (I32, None) };
+            ];
+        };
+      ]
+    else []
+  in
+  {
+    spec_name = name;
+    resources = [ { res_name = res; res_underlying = "fd" } ];
+    syscalls = (socket_call :: plain_calls) @ sendto_call @ sockopt_calls;
+    types = types @ msghdr_type;
+    flag_sets = flag_sets_of shape.sk_setsockopts;
+  }

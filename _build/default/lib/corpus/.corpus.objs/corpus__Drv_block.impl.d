@@ -1,0 +1,1 @@
+lib/corpus/drv_block.ml: List Syzlang Types

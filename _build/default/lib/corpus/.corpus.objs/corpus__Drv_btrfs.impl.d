@@ -1,0 +1,1 @@
+lib/corpus/drv_btrfs.ml: List Syzlang Types

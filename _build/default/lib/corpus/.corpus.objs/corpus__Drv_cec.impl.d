@@ -1,0 +1,1 @@
+lib/corpus/drv_cec.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_char.ml: List Syzlang Types

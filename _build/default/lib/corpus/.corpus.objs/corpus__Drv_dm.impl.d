@@ -1,0 +1,1 @@
+lib/corpus/drv_dm.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_dvb.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_misc.ml: List Syzlang Types

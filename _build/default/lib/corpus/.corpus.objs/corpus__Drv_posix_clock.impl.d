@@ -1,0 +1,1 @@
+lib/corpus/drv_posix_clock.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_sound.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_ubi.ml: Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_vgadget.ml: List Syzlang Types

@@ -1,0 +1,1 @@
+lib/corpus/drv_virt.ml: List Syzlang Types

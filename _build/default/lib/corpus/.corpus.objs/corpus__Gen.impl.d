@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Buffer Char Float Hashtbl Int64 List Option Printf String Syzlang Types

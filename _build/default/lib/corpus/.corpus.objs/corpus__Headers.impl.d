@@ -1,0 +1,1 @@
+lib/corpus/headers.ml: Csrc

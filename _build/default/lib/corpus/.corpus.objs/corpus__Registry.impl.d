@@ -1,0 +1,1 @@
+lib/corpus/registry.ml: Drv_block Drv_btrfs Drv_cec Drv_char Drv_dm Drv_dvb Drv_misc Drv_posix_clock Drv_sound Drv_ubi Drv_vgadget Drv_virt Gen Lazy List Printf Sock_link Sock_net Sock_rds Types

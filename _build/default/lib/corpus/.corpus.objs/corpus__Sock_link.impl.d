@@ -1,0 +1,1 @@
+lib/corpus/sock_link.ml: List Syzlang Types

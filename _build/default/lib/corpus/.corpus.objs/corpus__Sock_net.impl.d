@@ -1,0 +1,1 @@
+lib/corpus/sock_net.ml: List Syzlang Types

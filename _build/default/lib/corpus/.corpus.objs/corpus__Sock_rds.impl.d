@@ -1,0 +1,1 @@
+lib/corpus/sock_rds.ml: Syzlang Types

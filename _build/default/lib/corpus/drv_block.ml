@@ -1,0 +1,1046 @@
+(** Block-layer drivers of Table 5: loop-control, loop0, nbd0, sg0, sr0.
+
+    nbd carries the Table 4 bug "INFO: task hung in __rq_qos_throttle":
+    [NBD_DO_IT] (absent from the hand-written spec) waits on the queue
+    throttle completion that nothing signals. sr uses the
+    [switch(_IOC_NR(cmd))] rewrite pattern that defeats raw-switch
+    static analysis. *)
+
+(* ------------------------------------------------------------------ *)
+(* loop-control                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let loop_control_source =
+  {|
+#define LOOP_CTL_ADD 0x4C80
+#define LOOP_CTL_REMOVE 0x4C81
+#define LOOP_CTL_GET_FREE 0x4C82
+#define LOOP_MAX 8
+
+static int _loop_present[8];
+
+static int loop_add(int i)
+{
+  if (i < 0 || i >= LOOP_MAX)
+    return -EINVAL;
+  if (_loop_present[i])
+    return -EEXIST;
+  _loop_present[i] = 1;
+  return i;
+}
+
+static int loop_remove(int i)
+{
+  if (i < 0 || i >= LOOP_MAX)
+    return -EINVAL;
+  if (!_loop_present[i])
+    return -ENODEV;
+  _loop_present[i] = 0;
+  return 0;
+}
+
+static int loop_get_free(void)
+{
+  int i;
+  for (i = 0; i < LOOP_MAX; i = i + 1) {
+    if (!_loop_present[i]) {
+      _loop_present[i] = 1;
+      return i;
+    }
+  }
+  return -ENOSPC;
+}
+
+static long loop_control_ioctl(struct file *file, unsigned int cmd, unsigned long parm)
+{
+  switch (cmd) {
+  case LOOP_CTL_ADD:
+    return loop_add(parm);
+  case LOOP_CTL_REMOVE:
+    return loop_remove(parm);
+  case LOOP_CTL_GET_FREE:
+    return loop_get_free();
+  default:
+    return -ENOSYS;
+  }
+}
+
+static const struct file_operations loop_ctl_fops = {
+  .unlocked_ioctl = loop_control_ioctl,
+  .compat_ioctl = loop_control_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice loop_misc = {
+  .minor = 237,
+  .name = "loop-control",
+  .fops = &loop_ctl_fops,
+};
+|}
+
+let loop_control_existing_spec =
+  {|resource fd_loop_ctrl[fd]
+openat$loop_ctrl(fd const[AT_FDCWD], file ptr[in, string["/dev/loop-control"]], flags const[O_RDWR], mode const[0]) fd_loop_ctrl
+ioctl$LOOP_CTL_ADD(fd fd_loop_ctrl, cmd const[LOOP_CTL_ADD], arg intptr)
+ioctl$LOOP_CTL_REMOVE(fd fd_loop_ctrl, cmd const[LOOP_CTL_REMOVE], arg intptr)
+ioctl$LOOP_CTL_GET_FREE(fd fd_loop_ctrl, cmd const[LOOP_CTL_GET_FREE], arg const[0])
+|}
+
+let loop_control_entry : Types.entry =
+  Types.driver_entry ~name:"loop_control" ~display_name:"loop-control"
+    ~source:loop_control_source ~existing_spec:loop_control_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/loop-control" ];
+        gt_fops = "loop_ctl_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [ "LOOP_CTL_ADD"; "LOOP_CTL_REMOVE"; "LOOP_CTL_GET_FREE" ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* loop0                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let loop_source =
+  {|
+#define LOOP_SET_FD 0x4C00
+#define LOOP_CLR_FD 0x4C01
+#define LOOP_SET_STATUS 0x4C02
+#define LOOP_GET_STATUS 0x4C03
+#define LOOP_SET_STATUS64 0x4C04
+#define LOOP_GET_STATUS64 0x4C05
+#define LOOP_CHANGE_FD 0x4C06
+#define LOOP_SET_CAPACITY 0x4C07
+#define LOOP_SET_DIRECT_IO 0x4C08
+#define LOOP_SET_BLOCK_SIZE 0x4C09
+#define LOOP_CONFIGURE 0x4C0A
+#define LO_NAME_SIZE 64
+#define LO_FLAGS_READ_ONLY 1
+#define LO_FLAGS_AUTOCLEAR 4
+#define LO_FLAGS_PARTSCAN 8
+#define LO_FLAGS_DIRECT_IO 16
+
+struct loop_info64 {
+  u64 lo_device;
+  u64 lo_inode;
+  u64 lo_rdevice;
+  u64 lo_offset;          /* byte offset into the backing file */
+  u64 lo_sizelimit;       /* max size, 0 means unlimited */
+  u32 lo_number;
+  u32 lo_encrypt_type;
+  u32 lo_encrypt_key_size;
+  u32 lo_flags;
+  char lo_file_name[64];
+  char lo_crypt_name[64];
+  u8 lo_encrypt_key[32];
+  u64 lo_init[2];
+};
+
+struct loop_config {
+  u32 fd;
+  u32 block_size;
+  struct loop_info64 info;
+  u64 reserved[8];
+};
+
+struct loop_device {
+  int bound;
+  u64 offset;
+  u64 sizelimit;
+  u32 block_size;
+  u32 flags;
+  int direct_io;
+};
+
+static struct loop_device _loop_dev;
+
+static int loop_validate_block_size(u32 bsize)
+{
+  if (bsize < 512 || bsize > 4096)
+    return -EINVAL;
+  if (bsize & (bsize - 1))
+    return -EINVAL;
+  return 0;
+}
+
+static int loop_set_status64(struct loop_info64 *info)
+{
+  if (!_loop_dev.bound)
+    return -ENXIO;
+  if (info->lo_encrypt_key_size > 32)
+    return -EINVAL;
+  _loop_dev.offset = info->lo_offset;
+  _loop_dev.sizelimit = info->lo_sizelimit;
+  _loop_dev.flags = info->lo_flags;
+  return 0;
+}
+
+static int loop_configure(struct loop_config *config)
+{
+  int err;
+  if (_loop_dev.bound)
+    return -EBUSY;
+  if (config->block_size) {
+    err = loop_validate_block_size(config->block_size);
+    if (err)
+      return err;
+  }
+  if (config->info.lo_flags & ~(LO_FLAGS_READ_ONLY | LO_FLAGS_AUTOCLEAR | LO_FLAGS_PARTSCAN | LO_FLAGS_DIRECT_IO))
+    return -EINVAL;
+  _loop_dev.bound = 1;
+  _loop_dev.block_size = config->block_size;
+  _loop_dev.offset = config->info.lo_offset;
+  return 0;
+}
+
+static long lo_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct loop_info64 info64;
+  struct loop_config config;
+  switch (cmd) {
+  case LOOP_SET_FD:
+    if (_loop_dev.bound)
+      return -EBUSY;
+    _loop_dev.bound = 1;
+    return 0;
+  case LOOP_CHANGE_FD:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    return 0;
+  case LOOP_CLR_FD:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    _loop_dev.bound = 0;
+    return 0;
+  case LOOP_SET_STATUS:
+  case LOOP_SET_STATUS64:
+    if (copy_from_user(&info64, (void *)arg, sizeof(struct loop_info64)))
+      return -EFAULT;
+    return loop_set_status64(&info64);
+  case LOOP_GET_STATUS:
+  case LOOP_GET_STATUS64:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    info64.lo_offset = _loop_dev.offset;
+    info64.lo_sizelimit = _loop_dev.sizelimit;
+    info64.lo_flags = _loop_dev.flags;
+    if (copy_to_user((void *)arg, &info64, sizeof(struct loop_info64)))
+      return -EFAULT;
+    return 0;
+  case LOOP_SET_CAPACITY:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    return 0;
+  case LOOP_SET_DIRECT_IO:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    _loop_dev.direct_io = arg != 0;
+    return 0;
+  case LOOP_SET_BLOCK_SIZE:
+    if (!_loop_dev.bound)
+      return -ENXIO;
+    return loop_validate_block_size(arg);
+  case LOOP_CONFIGURE:
+    if (copy_from_user(&config, (void *)arg, sizeof(struct loop_config)))
+      return -EFAULT;
+    return loop_configure(&config);
+  default:
+    return -EINVAL;
+  }
+}
+
+static int lo_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static int lo_release(struct inode *inode, struct file *file)
+{
+  if (_loop_dev.flags & LO_FLAGS_AUTOCLEAR)
+    _loop_dev.bound = 0;
+  return 0;
+}
+
+static const struct file_operations lo_fops = {
+  .open = lo_open,
+  .release = lo_release,
+  .unlocked_ioctl = lo_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int loop_init(void)
+{
+  register_chrdev(7, "loop", &lo_fops);
+  device_create(0, 0, 0, 0, "loop0");
+  return 0;
+}
+|}
+
+let loop_existing_spec =
+  {|resource fd_loop[fd]
+openat$loop(fd const[AT_FDCWD], file ptr[in, string["/dev/loop0"]], flags const[O_RDWR], mode const[0]) fd_loop
+ioctl$LOOP_SET_FD(fd fd_loop, cmd const[LOOP_SET_FD], arg fd)
+ioctl$LOOP_CLR_FD(fd fd_loop, cmd const[LOOP_CLR_FD], arg const[0])
+ioctl$LOOP_CHANGE_FD(fd fd_loop, cmd const[LOOP_CHANGE_FD], arg fd)
+ioctl$LOOP_SET_STATUS64(fd fd_loop, cmd const[LOOP_SET_STATUS64], arg ptr[in, loop_info64])
+ioctl$LOOP_GET_STATUS64(fd fd_loop, cmd const[LOOP_GET_STATUS64], arg ptr[out, loop_info64])
+ioctl$LOOP_SET_CAPACITY(fd fd_loop, cmd const[LOOP_SET_CAPACITY], arg const[0])
+ioctl$LOOP_SET_DIRECT_IO(fd fd_loop, cmd const[LOOP_SET_DIRECT_IO], arg intptr)
+ioctl$LOOP_SET_BLOCK_SIZE(fd fd_loop, cmd const[LOOP_SET_BLOCK_SIZE], arg intptr)
+ioctl$LOOP_CONFIGURE(fd fd_loop, cmd const[LOOP_CONFIGURE], arg ptr[in, loop_config])
+
+loop_info64 {
+	lo_device int64
+	lo_inode int64
+	lo_rdevice int64
+	lo_offset int64
+	lo_sizelimit int64
+	lo_number int32
+	lo_encrypt_type int32
+	lo_encrypt_key_size int32
+	lo_flags int32
+	lo_file_name array[int8, 64]
+	lo_crypt_name array[int8, 64]
+	lo_encrypt_key array[int8, 32]
+	lo_init array[int64, 2]
+}
+loop_config {
+	fd int32
+	block_size int32
+	info loop_info64
+	reserved array[int64, 8]
+}
+|}
+
+let loop_entry : Types.entry =
+  Types.driver_entry ~name:"loop" ~display_name:"loop#"
+    ~source:loop_source ~existing_spec:loop_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/loop0" ];
+        gt_fops = "lo_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("LOOP_SET_FD", None, Syzlang.Ast.In);
+              ("LOOP_CLR_FD", None, Syzlang.Ast.In);
+              ("LOOP_SET_STATUS", Some "loop_info64", Syzlang.Ast.In);
+              ("LOOP_GET_STATUS", Some "loop_info64", Syzlang.Ast.Out);
+              ("LOOP_SET_STATUS64", Some "loop_info64", Syzlang.Ast.In);
+              ("LOOP_GET_STATUS64", Some "loop_info64", Syzlang.Ast.Out);
+              ("LOOP_CHANGE_FD", None, Syzlang.Ast.In);
+              ("LOOP_SET_CAPACITY", None, Syzlang.Ast.In);
+              ("LOOP_SET_DIRECT_IO", None, Syzlang.Ast.In);
+              ("LOOP_SET_BLOCK_SIZE", None, Syzlang.Ast.In);
+              ("LOOP_CONFIGURE", Some "loop_config", Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* nbd0                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nbd_source =
+  {|
+#define NBD_SET_SOCK 0xab00
+#define NBD_SET_BLKSIZE 0xab01
+#define NBD_SET_SIZE 0xab02
+#define NBD_DO_IT 0xab03
+#define NBD_CLEAR_SOCK 0xab04
+#define NBD_CLEAR_QUE 0xab05
+#define NBD_PRINT_DEBUG 0xab06
+#define NBD_SET_SIZE_BLOCKS 0xab07
+#define NBD_DISCONNECT 0xab08
+#define NBD_SET_TIMEOUT 0xab09
+#define NBD_SET_FLAGS 0xab0a
+
+struct request_queue {
+  struct completion throttle_done;
+  int throttled;
+};
+
+struct nbd_device {
+  int sock_set;
+  int connected;
+  u32 blksize;
+  u64 bytesize;
+  u32 timeout;
+  u32 flags;
+  struct request_queue queue;
+};
+
+static struct nbd_device _nbd;
+
+static void __rq_qos_throttle(struct request_queue *q)
+{
+  q->throttled = 1;
+  /* the completion is only signalled by a server that never exists */
+  wait_for_completion_killable(&q->throttle_done);
+}
+
+static int nbd_start_device(struct nbd_device *nbd)
+{
+  if (!nbd->sock_set)
+    return -EINVAL;
+  nbd->connected = 1;
+  __rq_qos_throttle(&nbd->queue);
+  return 0;
+}
+
+static int nbd_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  switch (cmd) {
+  case NBD_SET_SOCK:
+    if (_nbd.sock_set)
+      return -EBUSY;
+    _nbd.sock_set = 1;
+    return 0;
+  case NBD_CLEAR_SOCK:
+    _nbd.sock_set = 0;
+    return 0;
+  case NBD_SET_BLKSIZE:
+    if (arg < 512 || arg > 4096)
+      return -EINVAL;
+    if (arg & (arg - 1))
+      return -EINVAL;
+    _nbd.blksize = arg;
+    return 0;
+  case NBD_SET_SIZE:
+    _nbd.bytesize = arg;
+    return 0;
+  case NBD_SET_SIZE_BLOCKS:
+    if (_nbd.blksize == 0)
+      return -EINVAL;
+    _nbd.bytesize = arg * _nbd.blksize;
+    return 0;
+  case NBD_DO_IT:
+    return nbd_start_device(&_nbd);
+  case NBD_DISCONNECT:
+    if (!_nbd.connected)
+      return -ENOTCONN;
+    _nbd.connected = 0;
+    return 0;
+  case NBD_CLEAR_QUE:
+    return 0;
+  case NBD_PRINT_DEBUG:
+    return 0;
+  case NBD_SET_TIMEOUT:
+    _nbd.timeout = arg;
+    return 0;
+  case NBD_SET_FLAGS:
+    if (arg & ~0xffff)
+      return -EINVAL;
+    _nbd.flags = arg;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int nbd_ioctl_locked(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  return nbd_ioctl(file, cmd, arg);
+}
+
+static long __nbd_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  return nbd_ioctl_locked(file, cmd, arg);
+}
+
+static long nbd_unlocked_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  if (!capable(0))
+    return -EPERM;
+  return __nbd_ioctl(file, cmd, arg);
+}
+
+static const struct file_operations nbd_fops = {
+  .unlocked_ioctl = nbd_unlocked_ioctl,
+  .compat_ioctl = nbd_unlocked_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int nbd_init(void)
+{
+  register_chrdev(43, "nbd", &nbd_fops);
+  device_create(0, 0, 0, 0, "nbd0");
+  return 0;
+}
+|}
+
+(* NBD_DO_IT is missing from the hand-written spec — the bug hides there. *)
+let nbd_existing_spec =
+  {|resource fd_nbd[fd]
+openat$nbd(fd const[AT_FDCWD], file ptr[in, string["/dev/nbd0"]], flags const[O_RDWR], mode const[0]) fd_nbd
+ioctl$NBD_SET_SOCK(fd fd_nbd, cmd const[NBD_SET_SOCK], arg fd)
+ioctl$NBD_SET_BLKSIZE(fd fd_nbd, cmd const[NBD_SET_BLKSIZE], arg intptr)
+ioctl$NBD_SET_SIZE(fd fd_nbd, cmd const[NBD_SET_SIZE], arg intptr)
+ioctl$NBD_CLEAR_SOCK(fd fd_nbd, cmd const[NBD_CLEAR_SOCK], arg const[0])
+ioctl$NBD_CLEAR_QUE(fd fd_nbd, cmd const[NBD_CLEAR_QUE], arg const[0])
+ioctl$NBD_PRINT_DEBUG(fd fd_nbd, cmd const[NBD_PRINT_DEBUG], arg const[0])
+ioctl$NBD_SET_SIZE_BLOCKS(fd fd_nbd, cmd const[NBD_SET_SIZE_BLOCKS], arg intptr)
+ioctl$NBD_DISCONNECT(fd fd_nbd, cmd const[NBD_DISCONNECT], arg const[0])
+ioctl$NBD_SET_TIMEOUT(fd fd_nbd, cmd const[NBD_SET_TIMEOUT], arg intptr)
+ioctl$NBD_SET_FLAGS(fd fd_nbd, cmd const[NBD_SET_FLAGS], arg intptr)
+|}
+
+let nbd_entry : Types.entry =
+  Types.driver_entry ~name:"nbd" ~display_name:"nbd#"
+    ~source:nbd_source ~existing_spec:nbd_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/nbd0" ];
+        gt_fops = "nbd_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [
+              "NBD_SET_SOCK"; "NBD_SET_BLKSIZE"; "NBD_SET_SIZE"; "NBD_DO_IT"; "NBD_CLEAR_SOCK";
+              "NBD_CLEAR_QUE"; "NBD_PRINT_DEBUG"; "NBD_SET_SIZE_BLOCKS"; "NBD_DISCONNECT";
+              "NBD_SET_TIMEOUT"; "NBD_SET_FLAGS";
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* sg0 (SCSI generic)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sg_source =
+  {|
+#define SG_IO 0x2285
+#define SG_GET_VERSION_NUM 0x2282
+#define SG_SET_TIMEOUT 0x2201
+#define SG_GET_TIMEOUT 0x2202
+#define SG_SET_RESERVED_SIZE 0x2275
+#define SG_GET_RESERVED_SIZE 0x2272
+#define SG_EMULATED_HOST 0x2203
+#define SG_SET_COMMAND_Q 0x2271
+#define SG_GET_COMMAND_Q 0x2270
+#define SG_GET_SCSI_ID 0x2276
+#define SG_SET_FORCE_PACK_ID 0x227b
+#define SG_GET_PACK_ID 0x227c
+#define SG_GET_NUM_WAITING 0x227d
+#define SG_SCSI_RESET 0x2284
+#define SG_MAX_CDB 16
+#define SG_DXFER_NONE -1
+#define SG_DXFER_TO_DEV -2
+#define SG_DXFER_FROM_DEV -3
+
+struct sg_io_hdr {
+  s32 interface_id;      /* 'S' for SCSI generic */
+  s32 dxfer_direction;
+  u8 cmd_len;            /* length of the CDB in cmdp */
+  u8 mx_sb_len;
+  u16 iovec_count;
+  u32 dxfer_len;
+  u64 dxferp;
+  u64 cmdp;              /* user pointer to the SCSI command */
+  u64 sbp;
+  u32 timeout;
+  u32 flags;
+  s32 pack_id;
+  u64 usr_ptr;
+  u8 status;
+  u8 masked_status;
+  u8 msg_status;
+  u8 sb_len_wr;
+  u16 host_status;
+  u16 driver_status;
+  s32 resid;
+  u32 duration;
+  u32 info;
+};
+
+struct sg_scsi_id {
+  s32 host_no;
+  s32 channel;
+  s32 scsi_id;
+  s32 lun;
+  s32 scsi_type;
+  s16 h_cmd_per_lun;
+  s16 d_queue_depth;
+  s32 unused[2];
+};
+
+struct sg_device {
+  int timeout;
+  int reserved_size;
+  int command_q;
+  int force_pack_id;
+  int pack_id;
+};
+
+static struct sg_device _sg_dev;
+
+static int sg_io(struct sg_io_hdr *hdr)
+{
+  if (hdr->interface_id != 'S')
+    return -ENOSYS;
+  if (hdr->cmd_len == 0 || hdr->cmd_len > SG_MAX_CDB)
+    return -EMSGSIZE;
+  if (hdr->dxfer_direction > -1 || hdr->dxfer_direction < -4)
+    return -EINVAL;
+  if (hdr->iovec_count > 16)
+    return -EINVAL;
+  hdr->status = 0;
+  hdr->duration = 1;
+  return 0;
+}
+
+static long sg_ioctl(struct file *filp, unsigned int cmd_in, unsigned long arg)
+{
+  struct sg_io_hdr hdr;
+  struct sg_scsi_id id;
+  int val;
+  switch (cmd_in) {
+  case SG_IO:
+    if (copy_from_user(&hdr, (void *)arg, sizeof(struct sg_io_hdr)))
+      return -EFAULT;
+    val = sg_io(&hdr);
+    if (val == 0)
+      copy_to_user((void *)arg, &hdr, sizeof(struct sg_io_hdr));
+    return val;
+  case SG_GET_VERSION_NUM:
+    val = 30536;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case SG_SET_TIMEOUT:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 0)
+      return -EIO;
+    _sg_dev.timeout = val;
+    return 0;
+  case SG_GET_TIMEOUT:
+    return _sg_dev.timeout;
+  case SG_SET_RESERVED_SIZE:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 0)
+      return -EINVAL;
+    if (val > 262144)
+      val = 262144;
+    _sg_dev.reserved_size = val;
+    return 0;
+  case SG_GET_RESERVED_SIZE:
+    if (copy_to_user((void *)arg, &_sg_dev.reserved_size, 4))
+      return -EFAULT;
+    return 0;
+  case SG_EMULATED_HOST:
+    val = 1;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case SG_SET_COMMAND_Q:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _sg_dev.command_q = val;
+    return 0;
+  case SG_GET_COMMAND_Q:
+    if (copy_to_user((void *)arg, &_sg_dev.command_q, 4))
+      return -EFAULT;
+    return 0;
+  case SG_GET_SCSI_ID:
+    id.host_no = 0;
+    id.scsi_id = 0;
+    id.scsi_type = 5;
+    if (copy_to_user((void *)arg, &id, sizeof(struct sg_scsi_id)))
+      return -EFAULT;
+    return 0;
+  case SG_SET_FORCE_PACK_ID:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _sg_dev.force_pack_id = val;
+    return 0;
+  case SG_GET_PACK_ID:
+    if (copy_to_user((void *)arg, &_sg_dev.pack_id, 4))
+      return -EFAULT;
+    return 0;
+  case SG_GET_NUM_WAITING:
+    val = 0;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case SG_SCSI_RESET:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 0 || val > 4)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int sg_open(struct inode *inode, struct file *filp)
+{
+  return 0;
+}
+
+static const struct file_operations sg_fops = {
+  .open = sg_open,
+  .unlocked_ioctl = sg_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int sg_init(void)
+{
+  register_chrdev(21, "sg", &sg_fops);
+  device_create(0, 0, 0, 0, "sg0");
+  return 0;
+}
+|}
+
+let sg_existing_spec =
+  {|resource fd_sg[fd]
+openat$sg(fd const[AT_FDCWD], file ptr[in, string["/dev/sg0"]], flags const[O_RDWR], mode const[0]) fd_sg
+ioctl$SG_IO(fd fd_sg, cmd const[SG_IO], arg ptr[inout, sg_io_hdr])
+ioctl$SG_GET_VERSION_NUM(fd fd_sg, cmd const[SG_GET_VERSION_NUM], arg ptr[out, int32])
+ioctl$SG_SET_TIMEOUT(fd fd_sg, cmd const[SG_SET_TIMEOUT], arg ptr[in, int32])
+ioctl$SG_GET_TIMEOUT(fd fd_sg, cmd const[SG_GET_TIMEOUT], arg const[0])
+ioctl$SG_SET_RESERVED_SIZE(fd fd_sg, cmd const[SG_SET_RESERVED_SIZE], arg ptr[in, int32])
+ioctl$SG_GET_RESERVED_SIZE(fd fd_sg, cmd const[SG_GET_RESERVED_SIZE], arg ptr[out, int32])
+ioctl$SG_EMULATED_HOST(fd fd_sg, cmd const[SG_EMULATED_HOST], arg ptr[out, int32])
+ioctl$SG_GET_SCSI_ID(fd fd_sg, cmd const[SG_GET_SCSI_ID], arg ptr[out, sg_scsi_id])
+ioctl$SG_SET_FORCE_PACK_ID(fd fd_sg, cmd const[SG_SET_FORCE_PACK_ID], arg ptr[in, int32])
+ioctl$SG_GET_PACK_ID(fd fd_sg, cmd const[SG_GET_PACK_ID], arg ptr[out, int32])
+ioctl$SG_SCSI_RESET(fd fd_sg, cmd const[SG_SCSI_RESET], arg ptr[in, int32])
+
+sg_io_hdr {
+	interface_id int32
+	dxfer_direction int32
+	cmd_len int8
+	mx_sb_len int8
+	iovec_count int16
+	dxfer_len int32
+	dxferp int64
+	cmdp int64
+	sbp int64
+	timeout int32
+	flags int32
+	pack_id int32
+	usr_ptr int64
+	status int8
+	masked_status int8
+	msg_status int8
+	sb_len_wr int8
+	host_status int16
+	driver_status int16
+	resid int32
+	duration int32
+	info int32
+}
+sg_scsi_id {
+	host_no int32
+	channel int32
+	scsi_id int32
+	lun int32
+	scsi_type int32
+	h_cmd_per_lun int16
+	d_queue_depth int16
+	unused array[int32, 2]
+}
+|}
+
+let sg_entry : Types.entry =
+  Types.driver_entry ~name:"sg" ~display_name:"sg#"
+    ~source:sg_source ~existing_spec:sg_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/sg0" ];
+        gt_fops = "sg_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("SG_IO", Some "sg_io_hdr", Syzlang.Ast.Inout);
+              ("SG_GET_VERSION_NUM", None, Syzlang.Ast.Out);
+              ("SG_SET_TIMEOUT", None, Syzlang.Ast.In);
+              ("SG_GET_TIMEOUT", None, Syzlang.Ast.In);
+              ("SG_SET_RESERVED_SIZE", None, Syzlang.Ast.In);
+              ("SG_GET_RESERVED_SIZE", None, Syzlang.Ast.Out);
+              ("SG_EMULATED_HOST", None, Syzlang.Ast.Out);
+              ("SG_SET_COMMAND_Q", None, Syzlang.Ast.In);
+              ("SG_GET_COMMAND_Q", None, Syzlang.Ast.Out);
+              ("SG_GET_SCSI_ID", Some "sg_scsi_id", Syzlang.Ast.Out);
+              ("SG_SET_FORCE_PACK_ID", None, Syzlang.Ast.In);
+              ("SG_GET_PACK_ID", None, Syzlang.Ast.Out);
+              ("SG_GET_NUM_WAITING", None, Syzlang.Ast.Out);
+              ("SG_SCSI_RESET", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* sr0 (SCSI cdrom) — the _IOC_NR rewrite pattern                      *)
+(* ------------------------------------------------------------------ *)
+
+let sr_source =
+  {|
+#define CDROM_MAGIC 0x53
+#define CDROMPAUSE_NR 1
+#define CDROMRESUME_NR 2
+#define CDROMPLAYMSF_NR 3
+#define CDROMPLAYTRKIND_NR 4
+#define CDROMREADTOCHDR_NR 5
+#define CDROMREADTOCENTRY_NR 6
+#define CDROMSTOP_NR 7
+#define CDROMSTART_NR 8
+#define CDROMEJECT_NR 9
+#define CDROMVOLCTRL_NR 10
+#define CDROMSUBCHNL_NR 11
+#define CDROMVOLREAD_NR 19
+#define CDROMRESET_NR 18
+
+#define CDROMPAUSE _IO(CDROM_MAGIC, CDROMPAUSE_NR)
+#define CDROMRESUME _IO(CDROM_MAGIC, CDROMRESUME_NR)
+#define CDROMPLAYMSF _IOW(CDROM_MAGIC, CDROMPLAYMSF_NR, struct cdrom_msf)
+#define CDROMPLAYTRKIND _IOW(CDROM_MAGIC, CDROMPLAYTRKIND_NR, struct cdrom_ti)
+#define CDROMREADTOCHDR _IOR(CDROM_MAGIC, CDROMREADTOCHDR_NR, struct cdrom_tochdr)
+#define CDROMREADTOCENTRY _IOWR(CDROM_MAGIC, CDROMREADTOCENTRY_NR, struct cdrom_tocentry)
+#define CDROMSTOP _IO(CDROM_MAGIC, CDROMSTOP_NR)
+#define CDROMSTART _IO(CDROM_MAGIC, CDROMSTART_NR)
+#define CDROMEJECT _IO(CDROM_MAGIC, CDROMEJECT_NR)
+#define CDROMVOLCTRL _IOW(CDROM_MAGIC, CDROMVOLCTRL_NR, struct cdrom_volctrl)
+#define CDROMSUBCHNL _IOWR(CDROM_MAGIC, CDROMSUBCHNL_NR, struct cdrom_subchnl)
+#define CDROMVOLREAD _IOR(CDROM_MAGIC, CDROMVOLREAD_NR, struct cdrom_volctrl)
+#define CDROMRESET _IO(CDROM_MAGIC, CDROMRESET_NR)
+
+struct cdrom_msf {
+  u8 cdmsf_min0;     /* start minute */
+  u8 cdmsf_sec0;
+  u8 cdmsf_frame0;
+  u8 cdmsf_min1;     /* end minute */
+  u8 cdmsf_sec1;
+  u8 cdmsf_frame1;
+};
+
+struct cdrom_ti {
+  u8 cdti_trk0;
+  u8 cdti_ind0;
+  u8 cdti_trk1;
+  u8 cdti_ind1;
+};
+
+struct cdrom_tochdr {
+  u8 cdth_trk0;
+  u8 cdth_trk1;
+};
+
+struct cdrom_tocentry {
+  u8 cdte_track;
+  u8 cdte_adr_ctrl;
+  u8 cdte_format;
+  u32 cdte_addr;
+  u8 cdte_datamode;
+};
+
+struct cdrom_volctrl {
+  u8 channel0;
+  u8 channel1;
+  u8 channel2;
+  u8 channel3;
+};
+
+struct cdrom_subchnl {
+  u8 cdsc_format;
+  u8 cdsc_audiostatus;
+  u8 cdsc_adr_ctrl;
+  u8 cdsc_trk;
+  u8 cdsc_ind;
+  u32 cdsc_absaddr;
+  u32 cdsc_reladdr;
+};
+
+struct sr_state {
+  int playing;
+  int paused;
+  int door_open;
+  u8 vol0;
+};
+
+static struct sr_state _sr;
+
+static int sr_audio_ioctl(unsigned int nr, unsigned long arg)
+{
+  struct cdrom_msf msf;
+  struct cdrom_ti ti;
+  struct cdrom_tochdr hdr;
+  struct cdrom_tocentry entry;
+  struct cdrom_volctrl vol;
+  struct cdrom_subchnl subchnl;
+  switch (nr) {
+  case CDROMPAUSE_NR:
+    if (!_sr.playing)
+      return -EINVAL;
+    _sr.paused = 1;
+    return 0;
+  case CDROMRESUME_NR:
+    if (!_sr.paused)
+      return -EINVAL;
+    _sr.paused = 0;
+    return 0;
+  case CDROMPLAYMSF_NR:
+    if (copy_from_user(&msf, (void *)arg, sizeof(struct cdrom_msf)))
+      return -EFAULT;
+    if (msf.cdmsf_sec0 > 59 || msf.cdmsf_sec1 > 59)
+      return -EINVAL;
+    if (msf.cdmsf_frame0 > 74 || msf.cdmsf_frame1 > 74)
+      return -EINVAL;
+    _sr.playing = 1;
+    return 0;
+  case CDROMPLAYTRKIND_NR:
+    if (copy_from_user(&ti, (void *)arg, sizeof(struct cdrom_ti)))
+      return -EFAULT;
+    if (ti.cdti_trk0 > ti.cdti_trk1)
+      return -EINVAL;
+    _sr.playing = 1;
+    return 0;
+  case CDROMREADTOCHDR_NR:
+    hdr.cdth_trk0 = 1;
+    hdr.cdth_trk1 = 12;
+    if (copy_to_user((void *)arg, &hdr, sizeof(struct cdrom_tochdr)))
+      return -EFAULT;
+    return 0;
+  case CDROMREADTOCENTRY_NR:
+    if (copy_from_user(&entry, (void *)arg, sizeof(struct cdrom_tocentry)))
+      return -EFAULT;
+    if (entry.cdte_format != 1 && entry.cdte_format != 2)
+      return -EINVAL;
+    if (entry.cdte_track > 12 && entry.cdte_track != 0xaa)
+      return -EINVAL;
+    entry.cdte_addr = 150;
+    if (copy_to_user((void *)arg, &entry, sizeof(struct cdrom_tocentry)))
+      return -EFAULT;
+    return 0;
+  case CDROMSTOP_NR:
+    _sr.playing = 0;
+    _sr.paused = 0;
+    return 0;
+  case CDROMSTART_NR:
+    return 0;
+  case CDROMEJECT_NR:
+    if (_sr.playing)
+      return -EBUSY;
+    _sr.door_open = 1;
+    return 0;
+  case CDROMVOLCTRL_NR:
+    if (copy_from_user(&vol, (void *)arg, sizeof(struct cdrom_volctrl)))
+      return -EFAULT;
+    _sr.vol0 = vol.channel0;
+    return 0;
+  case CDROMVOLREAD_NR:
+    vol.channel0 = _sr.vol0;
+    if (copy_to_user((void *)arg, &vol, sizeof(struct cdrom_volctrl)))
+      return -EFAULT;
+    return 0;
+  case CDROMSUBCHNL_NR:
+    if (copy_from_user(&subchnl, (void *)arg, sizeof(struct cdrom_subchnl)))
+      return -EFAULT;
+    if (subchnl.cdsc_format != 1 && subchnl.cdsc_format != 2)
+      return -EINVAL;
+    subchnl.cdsc_audiostatus = _sr.playing;
+    if (copy_to_user((void *)arg, &subchnl, sizeof(struct cdrom_subchnl)))
+      return -EFAULT;
+    return 0;
+  case CDROMRESET_NR:
+    if (!capable(0))
+      return -EACCES;
+    _sr.playing = 0;
+    return 0;
+  default:
+    return -ENOSYS;
+  }
+}
+
+static long sr_block_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  unsigned int nr;
+  if (_IOC_TYPE(cmd) != CDROM_MAGIC)
+    return -ENOTTY;
+  nr = _IOC_NR(cmd);
+  return sr_audio_ioctl(nr, arg);
+}
+
+static int sr_block_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations sr_bdops = {
+  .open = sr_block_open,
+  .unlocked_ioctl = sr_block_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int sr_init(void)
+{
+  register_chrdev(11, "sr", &sr_bdops);
+  device_create(0, 0, 0, 0, "sr0");
+  return 0;
+}
+|}
+
+(* The hand-written spec never described the audio commands: one generic
+   ioctl only (matching the paper's #Sys = 1 for sr#). *)
+let sr_existing_spec =
+  {|resource fd_sr[fd]
+openat$sr(fd const[AT_FDCWD], file ptr[in, string["/dev/sr0"]], flags const[O_RDONLY], mode const[0]) fd_sr
+|}
+
+let sr_entry : Types.entry =
+  Types.driver_entry ~name:"sr" ~display_name:"sr#"
+    ~source:sr_source ~existing_spec:sr_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/sr0" ];
+        gt_fops = "sr_bdops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("CDROMPAUSE", None, Syzlang.Ast.In);
+              ("CDROMRESUME", None, Syzlang.Ast.In);
+              ("CDROMPLAYMSF", Some "cdrom_msf", Syzlang.Ast.In);
+              ("CDROMPLAYTRKIND", Some "cdrom_ti", Syzlang.Ast.In);
+              ("CDROMREADTOCHDR", Some "cdrom_tochdr", Syzlang.Ast.Out);
+              ("CDROMREADTOCENTRY", Some "cdrom_tocentry", Syzlang.Ast.Inout);
+              ("CDROMSTOP", None, Syzlang.Ast.In);
+              ("CDROMSTART", None, Syzlang.Ast.In);
+              ("CDROMEJECT", None, Syzlang.Ast.In);
+              ("CDROMVOLCTRL", Some "cdrom_volctrl", Syzlang.Ast.In);
+              ("CDROMVOLREAD", Some "cdrom_volctrl", Syzlang.Ast.Out);
+              ("CDROMSUBCHNL", Some "cdrom_subchnl", Syzlang.Ast.Inout);
+              ("CDROMRESET", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+let entries = [ loop_control_entry; loop_entry; nbd_entry; sg_entry; sr_entry ]

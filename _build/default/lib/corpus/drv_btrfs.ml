@@ -1,0 +1,208 @@
+(** The btrfs-control driver (misc device, [.name] registration).
+
+    Present in Table 5 (row "btrfs-control"): the hand-written Syzkaller
+    spec describes only one ioctl, while generation recovers all five.
+    Injected bugs (Table 4):
+    - "kernel BUG in btrfs_get_root_ref" (CVE-2024-23850): snapshot
+      creation with object id 0 hits a BUG_ON;
+    - "general protection fault in btrfs_update_reloc_root": marking a
+      scanned device as in-replace and then readying it dereferences the
+      NULL relocation root. *)
+
+let source =
+  {|
+#define BTRFS_IOCTL_MAGIC 0x94
+#define BTRFS_PATH_NAME_MAX 4087
+#define BTRFS_MAX_DEVICES 4
+
+#define BTRFS_IOC_SCAN_DEV _IOW(BTRFS_IOCTL_MAGIC, 1, struct btrfs_ioctl_vol_args)
+#define BTRFS_IOC_FORGET_DEV _IOW(BTRFS_IOCTL_MAGIC, 5, struct btrfs_ioctl_vol_args)
+#define BTRFS_IOC_SNAP_CREATE _IOW(BTRFS_IOCTL_MAGIC, 6, struct btrfs_ioctl_vol_args)
+#define BTRFS_IOC_DEVICES_READY _IOR(BTRFS_IOCTL_MAGIC, 39, struct btrfs_ioctl_vol_args)
+#define BTRFS_IOC_GET_SUPPORTED_FEATURES _IOR(BTRFS_IOCTL_MAGIC, 57, struct btrfs_ioctl_feature_flags)
+
+struct btrfs_ioctl_vol_args {
+  s64 fd;
+  char name[4088];   /* device path or subvolume name */
+};
+
+struct btrfs_ioctl_feature_flags {
+  u64 compat_flags;
+  u64 compat_ro_flags;
+  u64 incompat_flags;
+};
+
+struct btrfs_scanned_device {
+  int used;
+  int replacing;
+  void *reloc_root;
+  char name[4088];
+};
+
+static struct btrfs_scanned_device _btrfs_devs[4];
+
+static struct btrfs_scanned_device *btrfs_find_device(char *name)
+{
+  int i;
+  for (i = 0; i < BTRFS_MAX_DEVICES; i = i + 1) {
+    if (_btrfs_devs[i].used && strcmp(_btrfs_devs[i].name, name) == 0)
+      return &_btrfs_devs[i];
+  }
+  return 0;
+}
+
+static int btrfs_scan_one_device(struct btrfs_ioctl_vol_args *vol)
+{
+  int i;
+  if (strlen(vol->name) == 0)
+    return -EINVAL;
+  if (btrfs_find_device(vol->name))
+    return 0;
+  for (i = 0; i < BTRFS_MAX_DEVICES; i = i + 1) {
+    if (!_btrfs_devs[i].used) {
+      _btrfs_devs[i].used = 1;
+      _btrfs_devs[i].replacing = 0;
+      if (vol->fd == -1)
+        _btrfs_devs[i].replacing = 1;
+      _btrfs_devs[i].reloc_root = 0;
+      strncpy(_btrfs_devs[i].name, vol->name, BTRFS_PATH_NAME_MAX);
+      return 0;
+    }
+  }
+  return -ENOSPC;
+}
+
+static int btrfs_forget_dev(struct btrfs_ioctl_vol_args *vol)
+{
+  struct btrfs_scanned_device *dev;
+  dev = btrfs_find_device(vol->name);
+  if (!dev)
+    return -ENOENT;
+  dev->used = 0;
+  return 0;
+}
+
+static u64 btrfs_get_root_ref(u64 objectid)
+{
+  /* subvolume 0 does not exist; refcounting it is a kernel bug */
+  BUG_ON(objectid == 0);
+  return objectid + 256;
+}
+
+static int btrfs_mksubvol(struct btrfs_ioctl_vol_args *vol)
+{
+  u64 ref;
+  if (!btrfs_find_device(vol->name))
+    return -ENOENT;
+  ref = btrfs_get_root_ref(vol->fd);
+  if (ref > 0xffffff)
+    return -ERANGE;
+  return 0;
+}
+
+static void btrfs_update_reloc_root(struct btrfs_scanned_device *dev)
+{
+  struct btrfs_ioctl_feature_flags *root;
+  root = (struct btrfs_ioctl_feature_flags *)dev->reloc_root;
+  /* the relocation root was never allocated for control-scanned devices */
+  root->incompat_flags = 1;
+}
+
+static int btrfs_devices_ready(struct btrfs_ioctl_vol_args *vol)
+{
+  struct btrfs_scanned_device *dev;
+  dev = btrfs_find_device(vol->name);
+  if (!dev)
+    return -ENOENT;
+  if (dev->replacing)
+    btrfs_update_reloc_root(dev);
+  return 0;
+}
+
+static long btrfs_control_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct btrfs_ioctl_vol_args vol_args;
+  struct btrfs_ioctl_feature_flags features;
+  int ret;
+  switch (cmd) {
+  case BTRFS_IOC_SCAN_DEV:
+    if (copy_from_user(&vol_args, (void *)arg, sizeof(struct btrfs_ioctl_vol_args)))
+      return -EFAULT;
+    ret = btrfs_scan_one_device(&vol_args);
+    return ret;
+  case BTRFS_IOC_FORGET_DEV:
+    if (copy_from_user(&vol_args, (void *)arg, sizeof(struct btrfs_ioctl_vol_args)))
+      return -EFAULT;
+    return btrfs_forget_dev(&vol_args);
+  case BTRFS_IOC_SNAP_CREATE:
+    if (copy_from_user(&vol_args, (void *)arg, sizeof(struct btrfs_ioctl_vol_args)))
+      return -EFAULT;
+    return btrfs_mksubvol(&vol_args);
+  case BTRFS_IOC_DEVICES_READY:
+    if (copy_from_user(&vol_args, (void *)arg, sizeof(struct btrfs_ioctl_vol_args)))
+      return -EFAULT;
+    return btrfs_devices_ready(&vol_args);
+  case BTRFS_IOC_GET_SUPPORTED_FEATURES:
+    features.compat_flags = 0;
+    features.compat_ro_flags = 0;
+    features.incompat_flags = 0x3ff;
+    if (copy_to_user((void *)arg, &features, sizeof(struct btrfs_ioctl_feature_flags)))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations btrfs_ctl_fops = {
+  .unlocked_ioctl = btrfs_control_ioctl,
+  .compat_ioctl = btrfs_control_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice btrfs_misc = {
+  .minor = 234,
+  .name = "btrfs-control",
+  .fops = &btrfs_ctl_fops,
+};
+|}
+
+(* The hand-written Syzkaller spec covers only SCAN_DEV (Table 5: #Sys 1,
+   counting the ioctl; openat comes from the generic descriptions). *)
+let existing_spec =
+  {|resource fd_btrfs_control[fd]
+openat$btrfs_control(fd const[AT_FDCWD], file ptr[in, string["/dev/btrfs-control"]], flags const[O_RDWR], mode const[0]) fd_btrfs_control
+ioctl$BTRFS_IOC_SCAN_DEV(fd fd_btrfs_control, cmd const[BTRFS_IOC_SCAN_DEV], arg ptr[in, btrfs_ioctl_vol_args])
+
+btrfs_ioctl_vol_args {
+	fd int64
+	name array[int8, 4088]
+}
+|}
+
+let commands =
+  [
+    ("BTRFS_IOC_SCAN_DEV", Some "btrfs_ioctl_vol_args", Syzlang.Ast.In);
+    ("BTRFS_IOC_FORGET_DEV", Some "btrfs_ioctl_vol_args", Syzlang.Ast.In);
+    ("BTRFS_IOC_SNAP_CREATE", Some "btrfs_ioctl_vol_args", Syzlang.Ast.In);
+    ("BTRFS_IOC_DEVICES_READY", Some "btrfs_ioctl_vol_args", Syzlang.Ast.Out);
+    ("BTRFS_IOC_GET_SUPPORTED_FEATURES", Some "btrfs_ioctl_feature_flags", Syzlang.Ast.Out);
+  ]
+
+let entry : Types.entry =
+  Types.driver_entry ~name:"btrfs_control" ~display_name:"btrfs-control"
+    ~source ~existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/btrfs-control" ];
+        gt_fops = "btrfs_ctl_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (name, ty, dir) -> { Types.gc_name = name; gc_arg_type = ty; gc_dir = dir })
+            commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()

@@ -1,0 +1,422 @@
+(** The CEC (consumer electronics control) driver.
+
+    The paper reports five new bugs here and notes that the
+    KernelGPT-generated CEC specification (12 syscalls, 10 structs/unions,
+    47 fields) was merged into Syzkaller. Registration uses the
+    cdev + [device_create] idiom, so the device path is only visible by
+    tracing the module init function — the case KSG-style probing and
+    shallow static rules miss.
+
+    Injected bugs (Table 4):
+    - "KASAN: slab-use-after-free Read in cec_queue_msg_fh"
+      (CVE-2024-23848): release forgets to clear the adapter's monitor
+      pointer, a later transmit on another fd reads the freed fh;
+    - "ODEBUG bug in cec_transmit_msg_fh": zero-timeout transmits re-arm
+      the tx timer without cancelling it;
+    - "WARNING in cec_data_cancel": closing with a pending blocking
+      transmit cancels data that was never activated;
+    - "INFO: task hung in cec_claim_log_addrs": claiming logical
+      addresses with an invalid physical address waits forever;
+    - "general protection fault in cec_transmit_done_ts": raw-flag
+      transmits report completion through a NULL transfer record. *)
+
+let source =
+  {|
+#define CEC_MAX_MSG_SIZE 16
+#define CEC_MAX_LOG_ADDRS 4
+#define CEC_PHYS_ADDR_INVALID 0xffff
+#define CEC_MODE_MONITOR_ALL 0xe0
+#define CEC_MODE_INITIATOR 1
+#define CEC_MSG_FL_REPLY_TO_FOLLOWERS 1
+#define CEC_MSG_FL_RAW 2
+#define CEC_LOG_ADDRS_FL_ALLOW_UNREG_FALLBACK 1
+
+#define CEC_ADAP_G_CAPS _IOWR('a', 0, struct cec_caps)
+#define CEC_ADAP_G_PHYS_ADDR _IOR('a', 1, u16)
+#define CEC_ADAP_S_PHYS_ADDR _IOW('a', 2, u16)
+#define CEC_ADAP_G_LOG_ADDRS _IOR('a', 3, struct cec_log_addrs)
+#define CEC_ADAP_S_LOG_ADDRS _IOWR('a', 4, struct cec_log_addrs)
+#define CEC_TRANSMIT _IOWR('a', 5, struct cec_msg)
+#define CEC_RECEIVE _IOWR('a', 6, struct cec_msg)
+#define CEC_DQEVENT _IOWR('a', 7, struct cec_event)
+#define CEC_G_MODE _IOR('a', 8, u32)
+#define CEC_S_MODE _IOW('a', 9, u32)
+#define CEC_ADAP_G_CONNECTOR_INFO _IOR('a', 10, struct cec_connector_info)
+
+struct cec_caps {
+  char driver[32];        /* name of the cec adapter driver */
+  char name[32];          /* name of this cec adapter */
+  u32 available_log_addrs;
+  u32 capabilities;
+  u32 version;
+};
+
+struct cec_msg {
+  u64 tx_ts;
+  u64 rx_ts;
+  u32 len;               /* length of the message in msg[] */
+  u32 timeout;           /* reply timeout in ms, 0 means no reply wait */
+  u32 sequence;
+  u32 flags;
+  u8 msg[16];
+  u8 reply;
+  u8 rx_status;
+  u8 tx_status;
+  u8 tx_arb_lost_cnt;
+  u8 tx_nack_cnt;
+  u8 tx_low_drive_cnt;
+  u8 tx_error_cnt;
+};
+
+struct cec_log_addrs {
+  u8 log_addr[4];
+  u16 log_addr_mask;
+  u8 cec_version;
+  u8 num_log_addrs;      /* number of requested logical addresses */
+  u32 vendor_id;
+  u32 flags;
+  char osd_name[15];
+  u8 primary_device_type[4];
+  u8 log_addr_type[4];
+  u8 all_device_types[4];
+};
+
+struct cec_event_state_change {
+  u16 phys_addr;
+  u16 log_addr_mask;
+  u16 have_conn_info;
+};
+
+struct cec_event_lost_msgs {
+  u32 lost_msgs;
+};
+
+union cec_event_payload {
+  struct cec_event_state_change state_change;
+  struct cec_event_lost_msgs lost_msgs;
+};
+
+struct cec_event {
+  u64 ts;
+  u32 event;
+  u32 flags;
+  union cec_event_payload payload;
+};
+
+struct cec_drm_connector_info {
+  u32 card_no;
+  u32 connector_id;
+};
+
+struct cec_connector_info {
+  u32 type;
+  struct cec_drm_connector_info drm;
+};
+
+struct cec_data {
+  struct cec_msg msg;
+  int state;             /* 0 = new, 1 = transmitting, 2 = done */
+  int blocking;
+};
+
+struct cec_fh {
+  u32 mode_initiator;
+  u32 mode_follower;
+  u32 pending_events;
+  int valid;
+};
+
+struct cec_adapter {
+  u16 phys_addr;
+  u16 log_addr_mask;
+  int configured;
+  int tx_in_flight;
+  struct cec_fh *monitor;     /* monitoring filehandle, if any */
+  struct cec_data *xfer;      /* current transfer record */
+  struct mutex lock;
+  struct completion config_done;
+  struct list_head tx_queue;
+  int tx_timer_armed;
+};
+
+static struct cec_adapter _cec_adap;
+static int _cec_timer_obj_init;
+
+static struct cec_fh *cec_get_fh(struct file *filp)
+{
+  return (struct cec_fh *)filp->private_data;
+}
+
+static int cec_adap_g_caps(struct cec_caps *caps)
+{
+  strncpy(caps->driver, "vivid", 32);
+  strncpy(caps->name, "vivid-cec", 32);
+  caps->available_log_addrs = CEC_MAX_LOG_ADDRS;
+  caps->capabilities = 0x3f;
+  caps->version = 0x060700;
+  return 0;
+}
+
+static void cec_queue_msg_fh(struct cec_fh *fh, struct cec_msg *msg)
+{
+  /* CVE-2024-23848: fh may already have been freed by cec_release */
+  if (fh->mode_follower == CEC_MODE_MONITOR_ALL)
+    fh->pending_events = fh->pending_events + 1;
+}
+
+static void cec_transmit_done_ts(struct cec_adapter *adap)
+{
+  struct cec_data *data;
+  data = adap->xfer;
+  /* raw transmits finish without a transfer record: NULL dereference */
+  data->state = 2;
+  adap->tx_in_flight = 0;
+}
+
+static int cec_claim_log_addrs(struct cec_adapter *adap, struct cec_log_addrs *las)
+{
+  if (adap->phys_addr == CEC_PHYS_ADDR_INVALID) {
+    /* waits for a configuration event that can never arrive */
+    wait_for_completion_killable(&adap->config_done);
+  }
+  adap->log_addr_mask = 1 << las->log_addr_type[0];
+  adap->configured = 1;
+  return 0;
+}
+
+static int cec_adap_s_log_addrs(struct cec_adapter *adap, struct cec_fh *fh,
+                                struct cec_log_addrs *las)
+{
+  if (las->num_log_addrs > CEC_MAX_LOG_ADDRS)
+    return -EINVAL;
+  if (las->num_log_addrs == 0) {
+    adap->configured = 0;
+    adap->log_addr_mask = 0;
+    return 0;
+  }
+  return cec_claim_log_addrs(adap, las);
+}
+
+static int cec_transmit_msg_fh(struct cec_adapter *adap, struct cec_fh *fh,
+                               struct cec_msg *msg, int blocking)
+{
+  struct cec_data *data;
+  if (msg->len == 0 || msg->len > CEC_MAX_MSG_SIZE)
+    return -EINVAL;
+  if (msg->flags & CEC_MSG_FL_RAW) {
+    if (!capable(0))
+      return -EPERM;
+    cec_transmit_done_ts(adap);
+    return 0;
+  }
+  if (!adap->configured)
+    return -ENONET;
+  if (adap->tx_in_flight && adap->xfer)
+    return -EBUSY;
+  data = kzalloc(sizeof(struct cec_data), GFP_KERNEL);
+  if (!data)
+    return -ENOMEM;
+  data->blocking = blocking;
+  data->state = 0;
+  if (msg->timeout == 0) {
+    /* ODEBUG: the tx timer is re-armed without being cancelled */
+    mod_timer(&_cec_adap.tx_queue);
+  } else {
+    mod_timer(&_cec_adap.tx_queue);
+    del_timer(&_cec_adap.tx_queue);
+  }
+  if (adap->monitor)
+    cec_queue_msg_fh(adap->monitor, msg);
+  adap->xfer = data;
+  adap->tx_in_flight = 1;
+  if (msg->timeout) {
+    if (!(msg->flags & CEC_MSG_FL_REPLY_TO_FOLLOWERS))
+      data->state = 1;
+    return 0;
+  }
+  data->state = 2;
+  kfree(data);
+  adap->xfer = 0;
+  adap->tx_in_flight = 0;
+  return 0;
+}
+
+static void cec_data_cancel(struct cec_adapter *adap, struct cec_data *data)
+{
+  /* cancelling a transfer that never got activated */
+  WARN_ON(data->state == 0);
+  data->state = 2;
+  adap->tx_in_flight = 0;
+  kfree(data);
+  adap->xfer = 0;
+}
+
+static int cec_receive_msg(struct cec_fh *fh, struct cec_msg *msg)
+{
+  if (fh->pending_events == 0)
+    return -EAGAIN;
+  fh->pending_events = fh->pending_events - 1;
+  msg->rx_status = 1;
+  return 0;
+}
+
+static int cec_dqevent(struct cec_fh *fh, struct cec_event *ev)
+{
+  ev->event = 1;
+  ev->payload.state_change.phys_addr = _cec_adap.phys_addr;
+  ev->payload.state_change.log_addr_mask = _cec_adap.log_addr_mask;
+  return 0;
+}
+
+static long cec_ioctl(struct file *filp, unsigned int cmd, unsigned long parg)
+{
+  struct cec_fh *fh;
+  struct cec_caps caps;
+  struct cec_log_addrs las;
+  struct cec_msg msg;
+  struct cec_event ev;
+  u32 mode;
+  int err;
+  fh = cec_get_fh(filp);
+  switch (cmd) {
+  case CEC_ADAP_G_CAPS:
+    err = cec_adap_g_caps(&caps);
+    if (err)
+      return err;
+    if (copy_to_user((void *)parg, &caps, sizeof(struct cec_caps)))
+      return -EFAULT;
+    return 0;
+  case CEC_ADAP_G_PHYS_ADDR:
+    if (copy_to_user((void *)parg, &_cec_adap.phys_addr, 2))
+      return -EFAULT;
+    return 0;
+  case CEC_ADAP_S_PHYS_ADDR:
+    if (copy_from_user(&mode, (void *)parg, 2))
+      return -EFAULT;
+    _cec_adap.phys_addr = mode;
+    complete(&_cec_adap.config_done);
+    return 0;
+  case CEC_ADAP_G_LOG_ADDRS:
+    las.log_addr_mask = _cec_adap.log_addr_mask;
+    if (copy_to_user((void *)parg, &las, sizeof(struct cec_log_addrs)))
+      return -EFAULT;
+    return 0;
+  case CEC_ADAP_S_LOG_ADDRS:
+    if (copy_from_user(&las, (void *)parg, sizeof(struct cec_log_addrs)))
+      return -EFAULT;
+    return cec_adap_s_log_addrs(&_cec_adap, fh, &las);
+  case CEC_TRANSMIT:
+    if (copy_from_user(&msg, (void *)parg, sizeof(struct cec_msg)))
+      return -EFAULT;
+    return cec_transmit_msg_fh(&_cec_adap, fh, &msg, 1);
+  case CEC_RECEIVE:
+    if (copy_from_user(&msg, (void *)parg, sizeof(struct cec_msg)))
+      return -EFAULT;
+    return cec_receive_msg(fh, &msg);
+  case CEC_DQEVENT:
+    err = cec_dqevent(fh, &ev);
+    if (err)
+      return err;
+    if (copy_to_user((void *)parg, &ev, sizeof(struct cec_event)))
+      return -EFAULT;
+    return 0;
+  case CEC_G_MODE:
+    mode = fh->mode_initiator | fh->mode_follower;
+    if (copy_to_user((void *)parg, &mode, 4))
+      return -EFAULT;
+    return 0;
+  case CEC_S_MODE:
+    if (copy_from_user(&mode, (void *)parg, 4))
+      return -EFAULT;
+    if (mode == CEC_MODE_MONITOR_ALL) {
+      if (!capable(0))
+        return -EPERM;
+      fh->mode_follower = CEC_MODE_MONITOR_ALL;
+      _cec_adap.monitor = fh;
+      return 0;
+    }
+    fh->mode_initiator = mode;
+    return 0;
+  case CEC_ADAP_G_CONNECTOR_INFO:
+    return -ENOTTY;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int cec_open(struct inode *inode, struct file *filp)
+{
+  struct cec_fh *fh;
+  if (!_cec_timer_obj_init) {
+    /* adapter comes up with an invalid physical address */
+    _cec_adap.phys_addr = CEC_PHYS_ADDR_INVALID;
+    init_completion(&_cec_adap.config_done);
+    _cec_timer_obj_init = 1;
+  }
+  fh = kzalloc(sizeof(struct cec_fh), GFP_KERNEL);
+  if (!fh)
+    return -ENOMEM;
+  fh->valid = 1;
+  filp->private_data = fh;
+  return 0;
+}
+
+static int cec_release(struct inode *inode, struct file *filp)
+{
+  struct cec_fh *fh;
+  fh = cec_get_fh(filp);
+  if (_cec_adap.tx_in_flight && _cec_adap.xfer)
+    cec_data_cancel(&_cec_adap, _cec_adap.xfer);
+  /* CVE-2024-23848: _cec_adap.monitor is not cleared when fh goes away */
+  kfree(fh);
+  filp->private_data = 0;
+  return 0;
+}
+
+static const struct file_operations cec_devnode_fops = {
+  .open = cec_open,
+  .release = cec_release,
+  .unlocked_ioctl = cec_ioctl,
+  .owner = THIS_MODULE,
+};
+
+static int cec_devnode_register(void)
+{
+  cdev_init(0, &cec_devnode_fops);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "cec0");
+  return 0;
+}
+|}
+
+let commands =
+  [
+    ("CEC_ADAP_G_CAPS", Some "cec_caps", Syzlang.Ast.Out);
+    ("CEC_ADAP_G_PHYS_ADDR", None, Syzlang.Ast.Out);
+    ("CEC_ADAP_S_PHYS_ADDR", None, Syzlang.Ast.In);
+    ("CEC_ADAP_G_LOG_ADDRS", Some "cec_log_addrs", Syzlang.Ast.Out);
+    ("CEC_ADAP_S_LOG_ADDRS", Some "cec_log_addrs", Syzlang.Ast.Inout);
+    ("CEC_TRANSMIT", Some "cec_msg", Syzlang.Ast.Inout);
+    ("CEC_RECEIVE", Some "cec_msg", Syzlang.Ast.Inout);
+    ("CEC_DQEVENT", Some "cec_event", Syzlang.Ast.Inout);
+    ("CEC_G_MODE", None, Syzlang.Ast.Out);
+    ("CEC_S_MODE", None, Syzlang.Ast.In);
+    ("CEC_ADAP_G_CONNECTOR_INFO", Some "cec_connector_info", Syzlang.Ast.Out);
+  ]
+
+let entry : Types.entry =
+  Types.driver_entry ~name:"cec" ~display_name:"cec"
+    ~source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/cec0" ];
+        gt_fops = "cec_devnode_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (name, ty, dir) -> { Types.gc_name = name; gc_arg_type = ty; gc_dir = dir })
+            commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()

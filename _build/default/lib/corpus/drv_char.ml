@@ -1,0 +1,1263 @@
+(** Character-device drivers of Table 5: hpet, nvram, rtc0, ptmx, fuse,
+    snapshot and uinput. A mix of registration and dispatch idioms so the
+    analyses face the same variety the paper describes. *)
+
+(* ------------------------------------------------------------------ *)
+(* hpet                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hpet_source =
+  {|
+#define HPET_IE_ON _IO('h', 1)
+#define HPET_IE_OFF _IO('h', 2)
+#define HPET_INFO _IOR('h', 3, struct hpet_info)
+#define HPET_EPI _IO('h', 4)
+#define HPET_DPI _IO('h', 5)
+#define HPET_IRQFREQ _IOW('h', 6, unsigned long)
+#define HPET_MAX_FREQ 100000
+
+struct hpet_info {
+  unsigned long hi_ireqfreq;    /* Hz */
+  unsigned long hi_flags;
+  unsigned short hi_hpet;
+  unsigned short hi_timer;
+};
+
+struct hpet_dev {
+  int ie_on;
+  int periodic;
+  unsigned long freq;
+};
+
+static struct hpet_dev _hpet;
+
+static int hpet_ioctl_common(struct hpet_dev *devp, unsigned int cmd, unsigned long arg,
+                             struct hpet_info *info)
+{
+  switch (cmd) {
+  case HPET_IE_ON:
+    if (devp->freq == 0)
+      return -EIO;
+    devp->ie_on = 1;
+    return 0;
+  case HPET_IE_OFF:
+    devp->ie_on = 0;
+    return 0;
+  case HPET_INFO:
+    info->hi_ireqfreq = devp->freq;
+    info->hi_flags = devp->ie_on;
+    info->hi_hpet = 0;
+    info->hi_timer = 2;
+    return 0;
+  case HPET_EPI:
+    if (!devp->ie_on)
+      return -EIO;
+    devp->periodic = 1;
+    return 0;
+  case HPET_DPI:
+    devp->periodic = 0;
+    return 0;
+  case HPET_IRQFREQ:
+    if (arg == 0)
+      return -EINVAL;
+    if (arg > HPET_MAX_FREQ)
+      return -EINVAL;
+    devp->freq = arg;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static long hpet_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct hpet_info info;
+  int err;
+  err = hpet_ioctl_common(&_hpet, cmd, arg, &info);
+  if (err == 0 && cmd == HPET_INFO) {
+    if (copy_to_user((void *)arg, &info, sizeof(struct hpet_info)))
+      return -EFAULT;
+  }
+  return err;
+}
+
+static int hpet_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations hpet_fops = {
+  .open = hpet_open,
+  .unlocked_ioctl = hpet_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice hpet_misc = {
+  .minor = 228,
+  .name = "hpet",
+  .fops = &hpet_fops,
+};
+|}
+
+let hpet_existing_spec =
+  {|resource fd_hpet[fd]
+openat$hpet(fd const[AT_FDCWD], file ptr[in, string["/dev/hpet"]], flags const[O_RDONLY], mode const[0]) fd_hpet
+|}
+
+let hpet_entry : Types.entry =
+  Types.driver_entry ~name:"hpet" ~display_name:"hpet"
+    ~source:hpet_source ~existing_spec:hpet_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/hpet" ];
+        gt_fops = "hpet_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("HPET_IE_ON", None, Syzlang.Ast.In);
+              ("HPET_IE_OFF", None, Syzlang.Ast.In);
+              ("HPET_INFO", Some "hpet_info", Syzlang.Ast.Out);
+              ("HPET_EPI", None, Syzlang.Ast.In);
+              ("HPET_DPI", None, Syzlang.Ast.In);
+              ("HPET_IRQFREQ", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* nvram                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let nvram_source =
+  {|
+#define NVRAM_INIT _IO('p', 0x40)
+#define NVRAM_SETCKS _IO('p', 0x41)
+#define NVRAM_SIZE 114
+
+static u8 _nvram_contents[114];
+static int _nvram_checksum_valid;
+
+static long nvram_misc_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  int i;
+  switch (cmd) {
+  case NVRAM_INIT:
+    if (!capable(0))
+      return -EACCES;
+    for (i = 0; i < NVRAM_SIZE; i = i + 1)
+      _nvram_contents[i] = 0;
+    _nvram_checksum_valid = 0;
+    return 0;
+  case NVRAM_SETCKS:
+    if (!capable(0))
+      return -EACCES;
+    _nvram_checksum_valid = 1;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static ssize_t nvram_misc_read(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (count > NVRAM_SIZE)
+    count = NVRAM_SIZE;
+  if (!_nvram_checksum_valid)
+    return -EIO;
+  return count;
+}
+
+static ssize_t nvram_misc_write(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (count > NVRAM_SIZE)
+    return -ENOSPC;
+  _nvram_checksum_valid = 0;
+  return count;
+}
+
+static const struct file_operations nvram_misc_fops = {
+  .read = nvram_misc_read,
+  .write = nvram_misc_write,
+  .unlocked_ioctl = nvram_misc_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice nvram_misc = {
+  .minor = 144,
+  .name = "nvram",
+  .fops = &nvram_misc_fops,
+};
+|}
+
+let nvram_existing_spec =
+  {|resource fd_nvram[fd]
+openat$nvram(fd const[AT_FDCWD], file ptr[in, string["/dev/nvram"]], flags const[O_RDWR], mode const[0]) fd_nvram
+|}
+
+let nvram_entry : Types.entry =
+  Types.driver_entry ~name:"nvram" ~display_name:"nvram"
+    ~source:nvram_source ~existing_spec:nvram_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/nvram" ];
+        gt_fops = "nvram_misc_fops";
+        gt_socket = None;
+        gt_ioctls =
+          [
+            { Types.gc_name = "NVRAM_INIT"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "NVRAM_SETCKS"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "read"; "write" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* rtc0                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rtc_source =
+  {|
+#define RTC_AIE_ON _IO('p', 0x01)
+#define RTC_AIE_OFF _IO('p', 0x02)
+#define RTC_UIE_ON _IO('p', 0x03)
+#define RTC_UIE_OFF _IO('p', 0x04)
+#define RTC_PIE_ON _IO('p', 0x05)
+#define RTC_PIE_OFF _IO('p', 0x06)
+#define RTC_ALM_SET _IOW('p', 0x07, struct rtc_time)
+#define RTC_ALM_READ _IOR('p', 0x08, struct rtc_time)
+#define RTC_RD_TIME _IOR('p', 0x09, struct rtc_time)
+#define RTC_SET_TIME _IOW('p', 0x0a, struct rtc_time)
+#define RTC_IRQP_READ _IOR('p', 0x0b, unsigned long)
+#define RTC_IRQP_SET _IOW('p', 0x0c, unsigned long)
+#define RTC_WKALM_SET _IOW('p', 0x0f, struct rtc_wkalrm)
+#define RTC_WKALM_RD _IOR('p', 0x10, struct rtc_wkalrm)
+#define RTC_MAX_FREQ 8192
+
+struct rtc_time {
+  int tm_sec;
+  int tm_min;
+  int tm_hour;
+  int tm_mday;
+  int tm_mon;
+  int tm_year;
+  int tm_wday;
+  int tm_yday;
+  int tm_isdst;
+};
+
+struct rtc_wkalrm {
+  u8 enabled;
+  u8 pending;
+  struct rtc_time time;
+};
+
+struct rtc_device_state {
+  int aie;
+  int uie;
+  int pie;
+  unsigned long irq_freq;
+  struct rtc_time alarm;
+};
+
+static struct rtc_device_state _rtc;
+
+static int rtc_valid_tm(struct rtc_time *tm)
+{
+  if (tm->tm_sec < 0 || tm->tm_sec > 59)
+    return -EINVAL;
+  if (tm->tm_min < 0 || tm->tm_min > 59)
+    return -EINVAL;
+  if (tm->tm_hour < 0 || tm->tm_hour > 23)
+    return -EINVAL;
+  if (tm->tm_mday < 1 || tm->tm_mday > 31)
+    return -EINVAL;
+  if (tm->tm_mon < 0 || tm->tm_mon > 11)
+    return -EINVAL;
+  return 0;
+}
+
+static long rtc_dev_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct rtc_time tm;
+  struct rtc_wkalrm alarm;
+  unsigned long freq;
+  int err;
+  switch (cmd) {
+  case RTC_AIE_ON:
+    _rtc.aie = 1;
+    return 0;
+  case RTC_AIE_OFF:
+    _rtc.aie = 0;
+    return 0;
+  case RTC_UIE_ON:
+    _rtc.uie = 1;
+    return 0;
+  case RTC_UIE_OFF:
+    _rtc.uie = 0;
+    return 0;
+  case RTC_PIE_ON:
+    if (_rtc.irq_freq == 0)
+      return -EINVAL;
+    _rtc.pie = 1;
+    return 0;
+  case RTC_PIE_OFF:
+    _rtc.pie = 0;
+    return 0;
+  case RTC_ALM_SET:
+    if (copy_from_user(&tm, (void *)arg, sizeof(struct rtc_time)))
+      return -EFAULT;
+    err = rtc_valid_tm(&tm);
+    if (err)
+      return err;
+    _rtc.alarm.tm_sec = tm.tm_sec;
+    _rtc.alarm.tm_min = tm.tm_min;
+    _rtc.alarm.tm_hour = tm.tm_hour;
+    return 0;
+  case RTC_ALM_READ:
+    if (copy_to_user((void *)arg, &_rtc.alarm, sizeof(struct rtc_time)))
+      return -EFAULT;
+    return 0;
+  case RTC_RD_TIME:
+    tm.tm_year = 126;
+    tm.tm_mon = 6;
+    tm.tm_mday = 5;
+    if (copy_to_user((void *)arg, &tm, sizeof(struct rtc_time)))
+      return -EFAULT;
+    return 0;
+  case RTC_SET_TIME:
+    if (!capable(0))
+      return -EACCES;
+    if (copy_from_user(&tm, (void *)arg, sizeof(struct rtc_time)))
+      return -EFAULT;
+    return rtc_valid_tm(&tm);
+  case RTC_IRQP_READ:
+    if (copy_to_user((void *)arg, &_rtc.irq_freq, 8))
+      return -EFAULT;
+    return 0;
+  case RTC_IRQP_SET:
+    freq = arg;
+    if (freq == 0 || freq > RTC_MAX_FREQ)
+      return -EINVAL;
+    if (freq & (freq - 1))
+      return -EINVAL;
+    _rtc.irq_freq = freq;
+    return 0;
+  case RTC_WKALM_SET:
+    if (copy_from_user(&alarm, (void *)arg, sizeof(struct rtc_wkalrm)))
+      return -EFAULT;
+    if (alarm.enabled > 1)
+      return -EINVAL;
+    return rtc_valid_tm(&alarm.time);
+  case RTC_WKALM_RD:
+    if (copy_to_user((void *)arg, &alarm, sizeof(struct rtc_wkalrm)))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int rtc_dev_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations rtc_dev_fops = {
+  .open = rtc_dev_open,
+  .unlocked_ioctl = rtc_dev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int rtc_dev_init(void)
+{
+  cdev_init(0, &rtc_dev_fops);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "rtc0");
+  return 0;
+}
+|}
+
+let rtc_existing_spec =
+  {|resource fd_rtc[fd]
+openat$rtc(fd const[AT_FDCWD], file ptr[in, string["/dev/rtc0"]], flags const[O_RDWR], mode const[0]) fd_rtc
+ioctl$RTC_AIE_ON(fd fd_rtc, cmd const[RTC_AIE_ON], arg const[0])
+ioctl$RTC_AIE_OFF(fd fd_rtc, cmd const[RTC_AIE_OFF], arg const[0])
+ioctl$RTC_UIE_ON(fd fd_rtc, cmd const[RTC_UIE_ON], arg const[0])
+ioctl$RTC_UIE_OFF(fd fd_rtc, cmd const[RTC_UIE_OFF], arg const[0])
+ioctl$RTC_RD_TIME(fd fd_rtc, cmd const[RTC_RD_TIME], arg ptr[out, rtc_time])
+ioctl$RTC_ALM_SET(fd fd_rtc, cmd const[RTC_ALM_SET], arg ptr[in, rtc_time])
+ioctl$RTC_ALM_READ(fd fd_rtc, cmd const[RTC_ALM_READ], arg ptr[out, rtc_time])
+ioctl$RTC_IRQP_SET(fd fd_rtc, cmd const[RTC_IRQP_SET], arg intptr)
+
+rtc_time {
+	tm_sec int32
+	tm_min int32
+	tm_hour int32
+	tm_mday int32
+	tm_mon int32
+	tm_year int32
+	tm_wday int32
+	tm_yday int32
+	tm_isdst int32
+}
+|}
+
+let rtc_entry : Types.entry =
+  Types.driver_entry ~name:"rtc" ~display_name:"rtc#"
+    ~source:rtc_source ~existing_spec:rtc_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/rtc0" ];
+        gt_fops = "rtc_dev_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("RTC_AIE_ON", None, Syzlang.Ast.In);
+              ("RTC_AIE_OFF", None, Syzlang.Ast.In);
+              ("RTC_UIE_ON", None, Syzlang.Ast.In);
+              ("RTC_UIE_OFF", None, Syzlang.Ast.In);
+              ("RTC_PIE_ON", None, Syzlang.Ast.In);
+              ("RTC_PIE_OFF", None, Syzlang.Ast.In);
+              ("RTC_ALM_SET", Some "rtc_time", Syzlang.Ast.In);
+              ("RTC_ALM_READ", Some "rtc_time", Syzlang.Ast.Out);
+              ("RTC_RD_TIME", Some "rtc_time", Syzlang.Ast.Out);
+              ("RTC_SET_TIME", Some "rtc_time", Syzlang.Ast.In);
+              ("RTC_IRQP_READ", None, Syzlang.Ast.Out);
+              ("RTC_IRQP_SET", None, Syzlang.Ast.In);
+              ("RTC_WKALM_SET", Some "rtc_wkalrm", Syzlang.Ast.In);
+              ("RTC_WKALM_RD", Some "rtc_wkalrm", Syzlang.Ast.Out);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* ptmx                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ptmx_source =
+  {|
+#define TCGETS 0x5401
+#define TCSETS 0x5402
+#define TCSETSW 0x5403
+#define TCSETSF 0x5404
+#define TCSBRK 0x5409
+#define TCXONC 0x540A
+#define TCFLSH 0x540B
+#define TIOCSCTTY 0x540E
+#define TIOCGPGRP 0x540F
+#define TIOCSPGRP 0x5410
+#define TIOCOUTQ 0x5411
+#define TIOCSTI 0x5412
+#define TIOCGWINSZ 0x5413
+#define TIOCSWINSZ 0x5414
+#define TIOCMGET 0x5415
+#define TIOCMSET 0x5418
+#define TIOCGPTN 0x80045430
+#define TIOCSPTLCK 0x40045431
+#define TIOCGPTLCK 0x80045439
+#define TIOCSIG 0x40045436
+#define TIOCPKT 0x5420
+#define FIONREAD 0x541B
+
+struct termios {
+  u32 c_iflag;
+  u32 c_oflag;
+  u32 c_cflag;
+  u32 c_lflag;
+  u8 c_line;
+  u8 c_cc[19];
+};
+
+struct winsize {
+  u16 ws_row;
+  u16 ws_col;
+  u16 ws_xpixel;
+  u16 ws_ypixel;
+};
+
+struct pty_state {
+  int locked;
+  int pkt_mode;
+  u32 pgrp;
+  struct termios tio;
+  struct winsize ws;
+};
+
+static struct pty_state _pty;
+
+static long pty_unix98_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct termios tio;
+  struct winsize ws;
+  int val;
+  switch (cmd) {
+  case TCGETS:
+    if (copy_to_user((void *)arg, &_pty.tio, sizeof(struct termios)))
+      return -EFAULT;
+    return 0;
+  case TCSETS:
+  case TCSETSW:
+  case TCSETSF:
+    if (copy_from_user(&tio, (void *)arg, sizeof(struct termios)))
+      return -EFAULT;
+    _pty.tio.c_iflag = tio.c_iflag;
+    _pty.tio.c_lflag = tio.c_lflag;
+    return 0;
+  case TCSBRK:
+    if (arg > 1)
+      return -EINVAL;
+    return 0;
+  case TCXONC:
+    if (arg > 3)
+      return -EINVAL;
+    return 0;
+  case TCFLSH:
+    if (arg > 2)
+      return -EINVAL;
+    return 0;
+  case TIOCSCTTY:
+    return 0;
+  case TIOCGPGRP:
+    if (copy_to_user((void *)arg, &_pty.pgrp, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCSPGRP:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 0)
+      return -EINVAL;
+    _pty.pgrp = val;
+    return 0;
+  case TIOCOUTQ:
+    val = 0;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCSTI:
+    if (!capable(0))
+      return -EPERM;
+    return 0;
+  case TIOCGWINSZ:
+    if (copy_to_user((void *)arg, &_pty.ws, sizeof(struct winsize)))
+      return -EFAULT;
+    return 0;
+  case TIOCSWINSZ:
+    if (copy_from_user(&ws, (void *)arg, sizeof(struct winsize)))
+      return -EFAULT;
+    _pty.ws.ws_row = ws.ws_row;
+    _pty.ws.ws_col = ws.ws_col;
+    return 0;
+  case TIOCMGET:
+    val = 6;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCMSET:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCGPTN:
+    val = 0;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCSPTLCK:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _pty.locked = val != 0;
+    return 0;
+  case TIOCGPTLCK:
+    if (copy_to_user((void *)arg, &_pty.locked, 4))
+      return -EFAULT;
+    return 0;
+  case TIOCSIG:
+    if (arg > 64)
+      return -EINVAL;
+    return 0;
+  case TIOCPKT:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _pty.pkt_mode = val != 0;
+    return 0;
+  case FIONREAD:
+    val = 0;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int ptmx_open(struct inode *inode, struct file *filp)
+{
+  _pty.locked = 1;
+  return 0;
+}
+
+static ssize_t pty_read(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (_pty.locked)
+    return -EIO;
+  return 0;
+}
+
+static ssize_t pty_write(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (count > 4096)
+    count = 4096;
+  return count;
+}
+
+static const struct file_operations ptmx_fops = {
+  .open = ptmx_open,
+  .read = pty_read,
+  .write = pty_write,
+  .unlocked_ioctl = pty_unix98_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int pty_init(void)
+{
+  cdev_init(0, &ptmx_fops);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "ptmx");
+  return 0;
+}
+|}
+
+(* ptmx is one of the best hand-specified drivers: Syzkaller describes
+   nearly everything (the row Syzkaller wins in Table 5). *)
+let ptmx_existing_spec =
+  {|resource fd_ptmx[fd]
+openat$ptmx(fd const[AT_FDCWD], file ptr[in, string["/dev/ptmx"]], flags const[O_RDWR], mode const[0]) fd_ptmx
+read$ptmx(fd fd_ptmx, buf ptr[out, array[int8]], len intptr)
+write$ptmx(fd fd_ptmx, buf ptr[in, array[int8]], len intptr)
+ioctl$TCGETS(fd fd_ptmx, cmd const[TCGETS], arg ptr[out, termios])
+ioctl$TCSETS(fd fd_ptmx, cmd const[TCSETS], arg ptr[in, termios])
+ioctl$TCSETSW(fd fd_ptmx, cmd const[TCSETSW], arg ptr[in, termios])
+ioctl$TCSETSF(fd fd_ptmx, cmd const[TCSETSF], arg ptr[in, termios])
+ioctl$TCSBRK(fd fd_ptmx, cmd const[TCSBRK], arg intptr)
+ioctl$TCXONC(fd fd_ptmx, cmd const[TCXONC], arg intptr)
+ioctl$TCFLSH(fd fd_ptmx, cmd const[TCFLSH], arg intptr)
+ioctl$TIOCSCTTY(fd fd_ptmx, cmd const[TIOCSCTTY], arg intptr)
+ioctl$TIOCGPGRP(fd fd_ptmx, cmd const[TIOCGPGRP], arg ptr[out, int32])
+ioctl$TIOCSPGRP(fd fd_ptmx, cmd const[TIOCSPGRP], arg ptr[in, int32])
+ioctl$TIOCOUTQ(fd fd_ptmx, cmd const[TIOCOUTQ], arg ptr[out, int32])
+ioctl$TIOCSTI(fd fd_ptmx, cmd const[TIOCSTI], arg ptr[in, int8])
+ioctl$TIOCGWINSZ(fd fd_ptmx, cmd const[TIOCGWINSZ], arg ptr[out, winsize])
+ioctl$TIOCSWINSZ(fd fd_ptmx, cmd const[TIOCSWINSZ], arg ptr[in, winsize])
+ioctl$TIOCMGET(fd fd_ptmx, cmd const[TIOCMGET], arg ptr[out, int32])
+ioctl$TIOCMSET(fd fd_ptmx, cmd const[TIOCMSET], arg ptr[in, int32])
+ioctl$TIOCGPTN(fd fd_ptmx, cmd const[TIOCGPTN], arg ptr[out, int32])
+ioctl$TIOCSPTLCK(fd fd_ptmx, cmd const[TIOCSPTLCK], arg ptr[in, int32])
+ioctl$TIOCGPTLCK(fd fd_ptmx, cmd const[TIOCGPTLCK], arg ptr[out, int32])
+ioctl$TIOCSIG(fd fd_ptmx, cmd const[TIOCSIG], arg intptr)
+ioctl$TIOCPKT(fd fd_ptmx, cmd const[TIOCPKT], arg ptr[in, int32])
+ioctl$FIONREAD(fd fd_ptmx, cmd const[FIONREAD], arg ptr[out, int32])
+
+termios {
+	c_iflag int32
+	c_oflag int32
+	c_cflag int32
+	c_lflag int32
+	c_line int8
+	c_cc array[int8, 19]
+}
+winsize {
+	ws_row int16
+	ws_col int16
+	ws_xpixel int16
+	ws_ypixel int16
+}
+|}
+
+let ptmx_entry : Types.entry =
+  Types.driver_entry ~name:"ptmx" ~display_name:"ptmx"
+    ~source:ptmx_source ~existing_spec:ptmx_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/ptmx" ];
+        gt_fops = "ptmx_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("TCGETS", Some "termios", Syzlang.Ast.Out);
+              ("TCSETS", Some "termios", Syzlang.Ast.In);
+              ("TCSETSW", Some "termios", Syzlang.Ast.In);
+              ("TCSETSF", Some "termios", Syzlang.Ast.In);
+              ("TCSBRK", None, Syzlang.Ast.In);
+              ("TCXONC", None, Syzlang.Ast.In);
+              ("TCFLSH", None, Syzlang.Ast.In);
+              ("TIOCSCTTY", None, Syzlang.Ast.In);
+              ("TIOCGPGRP", None, Syzlang.Ast.Out);
+              ("TIOCSPGRP", None, Syzlang.Ast.In);
+              ("TIOCOUTQ", None, Syzlang.Ast.Out);
+              ("TIOCSTI", None, Syzlang.Ast.In);
+              ("TIOCGWINSZ", Some "winsize", Syzlang.Ast.Out);
+              ("TIOCSWINSZ", Some "winsize", Syzlang.Ast.In);
+              ("TIOCMGET", None, Syzlang.Ast.Out);
+              ("TIOCMSET", None, Syzlang.Ast.In);
+              ("TIOCGPTN", None, Syzlang.Ast.Out);
+              ("TIOCSPTLCK", None, Syzlang.Ast.In);
+              ("TIOCGPTLCK", None, Syzlang.Ast.Out);
+              ("TIOCSIG", None, Syzlang.Ast.In);
+              ("TIOCPKT", None, Syzlang.Ast.In);
+              ("FIONREAD", None, Syzlang.Ast.Out);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "read"; "write" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* fuse                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuse_source =
+  {|
+#define FUSE_MIN_READ_BUFFER 8192
+#define FUSE_INIT_OP 26
+
+struct fuse_in_header {
+  u32 len;      /* total length of the request */
+  u32 opcode;
+  u64 unique;
+  u64 nodeid;
+  u32 uid;
+  u32 gid;
+  u32 pid;
+};
+
+struct fuse_conn {
+  int initialized;
+  int aborted;
+  u32 max_write;
+};
+
+static struct fuse_conn _fuse_conn;
+
+static ssize_t fuse_dev_read(struct file *file, char *buf, size_t nbytes, loff_t *ppos)
+{
+  if (nbytes < FUSE_MIN_READ_BUFFER)
+    return -EINVAL;
+  if (!_fuse_conn.initialized)
+    return -EPERM;
+  if (_fuse_conn.aborted)
+    return -ENODEV;
+  return 0;
+}
+
+static ssize_t fuse_dev_write(struct file *file, char *buf, size_t nbytes, loff_t *ppos)
+{
+  if (nbytes < 16)
+    return -EINVAL;
+  _fuse_conn.initialized = 1;
+  return nbytes;
+}
+
+static int fuse_dev_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static int fuse_dev_release(struct inode *inode, struct file *file)
+{
+  _fuse_conn.aborted = 1;
+  return 0;
+}
+
+static const struct file_operations fuse_dev_operations = {
+  .open = fuse_dev_open,
+  .release = fuse_dev_release,
+  .read = fuse_dev_read,
+  .write = fuse_dev_write,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice fuse_miscdevice = {
+  .minor = 229,
+  .name = "fuse",
+  .fops = &fuse_dev_operations,
+};
+|}
+
+let fuse_existing_spec =
+  {|resource fd_fuse[fd]
+openat$fuse(fd const[AT_FDCWD], file ptr[in, string["/dev/fuse"]], flags const[O_RDWR], mode const[0]) fd_fuse
+read$fuse(fd fd_fuse, buf ptr[out, array[int8]], len intptr)
+|}
+
+let fuse_entry : Types.entry =
+  Types.driver_entry ~name:"fuse" ~display_name:"fuse"
+    ~source:fuse_source ~existing_spec:fuse_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/fuse" ];
+        gt_fops = "fuse_dev_operations";
+        gt_socket = None;
+        gt_ioctls = [];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "read"; "write"; "close" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_source =
+  {|
+#define SNAPSHOT_IOC_MAGIC '3'
+#define SNAPSHOT_FREEZE _IO(SNAPSHOT_IOC_MAGIC, 1)
+#define SNAPSHOT_UNFREEZE _IO(SNAPSHOT_IOC_MAGIC, 2)
+#define SNAPSHOT_ATOMIC_RESTORE _IO(SNAPSHOT_IOC_MAGIC, 4)
+#define SNAPSHOT_FREE _IO(SNAPSHOT_IOC_MAGIC, 5)
+#define SNAPSHOT_FREE_SWAP_PAGES _IO(SNAPSHOT_IOC_MAGIC, 9)
+#define SNAPSHOT_S2RAM _IO(SNAPSHOT_IOC_MAGIC, 11)
+#define SNAPSHOT_SET_SWAP_AREA _IOW(SNAPSHOT_IOC_MAGIC, 13, struct resume_swap_area)
+#define SNAPSHOT_GET_IMAGE_SIZE _IOR(SNAPSHOT_IOC_MAGIC, 14, u64)
+#define SNAPSHOT_PLATFORM_SUPPORT _IO(SNAPSHOT_IOC_MAGIC, 15)
+#define SNAPSHOT_POWER_OFF _IO(SNAPSHOT_IOC_MAGIC, 16)
+#define SNAPSHOT_CREATE_IMAGE _IOW(SNAPSHOT_IOC_MAGIC, 17, int)
+#define SNAPSHOT_PREF_IMAGE_SIZE _IO(SNAPSHOT_IOC_MAGIC, 18)
+#define SNAPSHOT_AVAIL_SWAP_SIZE _IOR(SNAPSHOT_IOC_MAGIC, 19, u64)
+#define SNAPSHOT_ALLOC_SWAP_PAGE _IOR(SNAPSHOT_IOC_MAGIC, 20, u64)
+
+struct resume_swap_area {
+  u64 offset;
+  u32 dev;
+};
+
+struct snapshot_data {
+  int frozen;
+  int image_created;
+  int swap_set;
+  u64 image_size;
+};
+
+static struct snapshot_data _snapshot;
+
+static long snapshot_ioctl(struct file *filp, unsigned int cmd, unsigned long arg)
+{
+  struct resume_swap_area swap_area;
+  u64 size;
+  int in_suspend;
+  if (!capable(0))
+    return -EPERM;
+  switch (cmd) {
+  case SNAPSHOT_FREEZE:
+    if (_snapshot.frozen)
+      return -EBUSY;
+    _snapshot.frozen = 1;
+    return 0;
+  case SNAPSHOT_UNFREEZE:
+    if (!_snapshot.frozen)
+      return -EINVAL;
+    if (_snapshot.image_created)
+      return -EBUSY;
+    _snapshot.frozen = 0;
+    return 0;
+  case SNAPSHOT_CREATE_IMAGE:
+    if (!_snapshot.frozen)
+      return -EPERM;
+    if (copy_from_user(&in_suspend, (void *)arg, 4))
+      return -EFAULT;
+    _snapshot.image_created = 1;
+    _snapshot.image_size = 4096;
+    return 0;
+  case SNAPSHOT_ATOMIC_RESTORE:
+    if (!_snapshot.image_created)
+      return -EPERM;
+    return 0;
+  case SNAPSHOT_FREE:
+    _snapshot.image_created = 0;
+    _snapshot.image_size = 0;
+    return 0;
+  case SNAPSHOT_FREE_SWAP_PAGES:
+    return 0;
+  case SNAPSHOT_S2RAM:
+    if (!_snapshot.frozen)
+      return -EPERM;
+    return 0;
+  case SNAPSHOT_SET_SWAP_AREA:
+    if (_snapshot.image_created)
+      return -EBUSY;
+    if (copy_from_user(&swap_area, (void *)arg, sizeof(struct resume_swap_area)))
+      return -EFAULT;
+    _snapshot.swap_set = 1;
+    return 0;
+  case SNAPSHOT_GET_IMAGE_SIZE:
+    if (!_snapshot.image_created)
+      return -ENODATA;
+    if (copy_to_user((void *)arg, &_snapshot.image_size, 8))
+      return -EFAULT;
+    return 0;
+  case SNAPSHOT_PLATFORM_SUPPORT:
+    return 0;
+  case SNAPSHOT_POWER_OFF:
+    return 0;
+  case SNAPSHOT_PREF_IMAGE_SIZE:
+    return 0;
+  case SNAPSHOT_AVAIL_SWAP_SIZE:
+    size = 1048576;
+    if (copy_to_user((void *)arg, &size, 8))
+      return -EFAULT;
+    return 0;
+  case SNAPSHOT_ALLOC_SWAP_PAGE:
+    if (!_snapshot.swap_set)
+      return -ENODEV;
+    size = 8;
+    if (copy_to_user((void *)arg, &size, 8))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int snapshot_open(struct inode *inode, struct file *filp)
+{
+  return 0;
+}
+
+static int snapshot_release(struct inode *inode, struct file *filp)
+{
+  _snapshot.frozen = 0;
+  _snapshot.image_created = 0;
+  return 0;
+}
+
+static const struct file_operations snapshot_fops = {
+  .open = snapshot_open,
+  .release = snapshot_release,
+  .unlocked_ioctl = snapshot_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice snapshot_device = {
+  .minor = 231,
+  .name = "snapshot",
+  .fops = &snapshot_fops,
+};
+|}
+
+let snapshot_existing_spec =
+  {|resource fd_snapshot[fd]
+openat$snapshot(fd const[AT_FDCWD], file ptr[in, string["/dev/snapshot"]], flags const[O_RDWR], mode const[0]) fd_snapshot
+ioctl$SNAPSHOT_FREEZE(fd fd_snapshot, cmd const[SNAPSHOT_FREEZE], arg const[0])
+ioctl$SNAPSHOT_UNFREEZE(fd fd_snapshot, cmd const[SNAPSHOT_UNFREEZE], arg const[0])
+ioctl$SNAPSHOT_ATOMIC_RESTORE(fd fd_snapshot, cmd const[SNAPSHOT_ATOMIC_RESTORE], arg const[0])
+ioctl$SNAPSHOT_FREE(fd fd_snapshot, cmd const[SNAPSHOT_FREE], arg const[0])
+ioctl$SNAPSHOT_FREE_SWAP_PAGES(fd fd_snapshot, cmd const[SNAPSHOT_FREE_SWAP_PAGES], arg const[0])
+ioctl$SNAPSHOT_S2RAM(fd fd_snapshot, cmd const[SNAPSHOT_S2RAM], arg const[0])
+ioctl$SNAPSHOT_SET_SWAP_AREA(fd fd_snapshot, cmd const[SNAPSHOT_SET_SWAP_AREA], arg ptr[in, resume_swap_area])
+ioctl$SNAPSHOT_GET_IMAGE_SIZE(fd fd_snapshot, cmd const[SNAPSHOT_GET_IMAGE_SIZE], arg ptr[out, int64])
+ioctl$SNAPSHOT_PLATFORM_SUPPORT(fd fd_snapshot, cmd const[SNAPSHOT_PLATFORM_SUPPORT], arg const[0])
+ioctl$SNAPSHOT_POWER_OFF(fd fd_snapshot, cmd const[SNAPSHOT_POWER_OFF], arg const[0])
+ioctl$SNAPSHOT_CREATE_IMAGE(fd fd_snapshot, cmd const[SNAPSHOT_CREATE_IMAGE], arg ptr[in, int32])
+ioctl$SNAPSHOT_PREF_IMAGE_SIZE(fd fd_snapshot, cmd const[SNAPSHOT_PREF_IMAGE_SIZE], arg const[0])
+
+resume_swap_area {
+	offset int64
+	dev int32
+}
+|}
+
+let snapshot_entry : Types.entry =
+  Types.driver_entry ~name:"snapshot" ~display_name:"snapshot"
+    ~source:snapshot_source ~existing_spec:snapshot_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/snapshot" ];
+        gt_fops = "snapshot_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("SNAPSHOT_FREEZE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_UNFREEZE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_ATOMIC_RESTORE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_FREE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_FREE_SWAP_PAGES", None, Syzlang.Ast.In);
+              ("SNAPSHOT_S2RAM", None, Syzlang.Ast.In);
+              ("SNAPSHOT_SET_SWAP_AREA", Some "resume_swap_area", Syzlang.Ast.In);
+              ("SNAPSHOT_GET_IMAGE_SIZE", None, Syzlang.Ast.Out);
+              ("SNAPSHOT_PLATFORM_SUPPORT", None, Syzlang.Ast.In);
+              ("SNAPSHOT_POWER_OFF", None, Syzlang.Ast.In);
+              ("SNAPSHOT_CREATE_IMAGE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_PREF_IMAGE_SIZE", None, Syzlang.Ast.In);
+              ("SNAPSHOT_AVAIL_SWAP_SIZE", None, Syzlang.Ast.Out);
+              ("SNAPSHOT_ALLOC_SWAP_PAGE", None, Syzlang.Ast.Out);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* uinput                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let uinput_source =
+  {|
+#define UINPUT_IOCTL_BASE 'U'
+#define UI_DEV_CREATE _IO(UINPUT_IOCTL_BASE, 1)
+#define UI_DEV_DESTROY _IO(UINPUT_IOCTL_BASE, 2)
+#define UI_DEV_SETUP _IOW(UINPUT_IOCTL_BASE, 3, struct uinput_setup)
+#define UI_ABS_SETUP _IOW(UINPUT_IOCTL_BASE, 4, struct uinput_abs_setup)
+#define UI_SET_EVBIT _IOW(UINPUT_IOCTL_BASE, 100, int)
+#define UI_SET_KEYBIT _IOW(UINPUT_IOCTL_BASE, 101, int)
+#define UI_SET_RELBIT _IOW(UINPUT_IOCTL_BASE, 102, int)
+#define UI_SET_ABSBIT _IOW(UINPUT_IOCTL_BASE, 103, int)
+#define UI_SET_MSCBIT _IOW(UINPUT_IOCTL_BASE, 104, int)
+#define UI_SET_LEDBIT _IOW(UINPUT_IOCTL_BASE, 105, int)
+#define UI_SET_SNDBIT _IOW(UINPUT_IOCTL_BASE, 106, int)
+#define UI_SET_FFBIT _IOW(UINPUT_IOCTL_BASE, 107, int)
+#define UI_SET_PHYS _IOW(UINPUT_IOCTL_BASE, 108, char *)
+#define UI_SET_SWBIT _IOW(UINPUT_IOCTL_BASE, 109, int)
+#define UI_SET_PROPBIT _IOW(UINPUT_IOCTL_BASE, 110, int)
+#define UI_GET_VERSION _IOR(UINPUT_IOCTL_BASE, 45, unsigned int)
+#define EV_MAX 31
+#define KEY_MAX 767
+#define ABS_MAX 63
+
+struct input_id {
+  u16 bustype;
+  u16 vendor;
+  u16 product;
+  u16 version;
+};
+
+struct uinput_setup {
+  struct input_id id;
+  char name[80];
+  u32 ff_effects_max;
+};
+
+struct input_absinfo {
+  s32 value;
+  s32 minimum;
+  s32 maximum;
+  s32 fuzz;
+  s32 flat;
+  s32 resolution;
+};
+
+struct uinput_abs_setup {
+  u16 code;
+  struct input_absinfo absinfo;
+};
+
+struct uinput_device {
+  int state;          /* 0 = new, 1 = setup done, 2 = created */
+  u32 evbits;
+  int keybits;
+  int absbits;
+};
+
+static struct uinput_device _uinput;
+
+static long uinput_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct uinput_setup setup;
+  struct uinput_abs_setup abs_setup;
+  int bit;
+  switch (cmd) {
+  case UI_GET_VERSION:
+    bit = 5;
+    if (copy_to_user((void *)arg, &bit, 4))
+      return -EFAULT;
+    return 0;
+  case UI_DEV_SETUP:
+    if (copy_from_user(&setup, (void *)arg, sizeof(struct uinput_setup)))
+      return -EFAULT;
+    if (strlen(setup.name) == 0)
+      return -EINVAL;
+    _uinput.state = 1;
+    return 0;
+  case UI_ABS_SETUP:
+    if (copy_from_user(&abs_setup, (void *)arg, sizeof(struct uinput_abs_setup)))
+      return -EFAULT;
+    if (abs_setup.code > ABS_MAX)
+      return -ERANGE;
+    if (abs_setup.absinfo.minimum > abs_setup.absinfo.maximum)
+      return -EINVAL;
+    return 0;
+  case UI_DEV_CREATE:
+    if (_uinput.state != 1)
+      return -EINVAL;
+    _uinput.state = 2;
+    return 0;
+  case UI_DEV_DESTROY:
+    _uinput.state = 0;
+    return 0;
+  case UI_SET_EVBIT:
+    if (arg > EV_MAX)
+      return -EINVAL;
+    if (_uinput.state == 2)
+      return -EINVAL;
+    _uinput.evbits = _uinput.evbits | (1 << arg);
+    return 0;
+  case UI_SET_KEYBIT:
+    if (arg > KEY_MAX)
+      return -EINVAL;
+    _uinput.keybits = _uinput.keybits + 1;
+    return 0;
+  case UI_SET_RELBIT:
+    if (arg > 15)
+      return -EINVAL;
+    return 0;
+  case UI_SET_ABSBIT:
+    if (arg > ABS_MAX)
+      return -EINVAL;
+    _uinput.absbits = _uinput.absbits + 1;
+    return 0;
+  case UI_SET_MSCBIT:
+    if (arg > 7)
+      return -EINVAL;
+    return 0;
+  case UI_SET_LEDBIT:
+    if (arg > 15)
+      return -EINVAL;
+    return 0;
+  case UI_SET_SNDBIT:
+    if (arg > 7)
+      return -EINVAL;
+    return 0;
+  case UI_SET_FFBIT:
+    if (arg > 127)
+      return -EINVAL;
+    return 0;
+  case UI_SET_PHYS:
+    return 0;
+  case UI_SET_SWBIT:
+    if (arg > 16)
+      return -EINVAL;
+    return 0;
+  case UI_SET_PROPBIT:
+    if (arg > 31)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int uinput_open(struct inode *inode, struct file *file)
+{
+  _uinput.state = 0;
+  return 0;
+}
+
+static ssize_t uinput_write(struct file *file, char *buffer, size_t count, loff_t *ppos)
+{
+  if (_uinput.state != 2)
+    return -ENODEV;
+  if (count < 24)
+    return -EINVAL;
+  return count;
+}
+
+static const struct file_operations uinput_fops = {
+  .open = uinput_open,
+  .write = uinput_write,
+  .unlocked_ioctl = uinput_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice uinput_misc = {
+  .minor = 223,
+  .name = "uinput",
+  .fops = &uinput_fops,
+};
+|}
+
+let uinput_existing_spec =
+  {|resource fd_uinput[fd]
+openat$uinput(fd const[AT_FDCWD], file ptr[in, string["/dev/uinput"]], flags const[O_RDWR], mode const[0]) fd_uinput
+write$uinput(fd fd_uinput, buf ptr[in, array[int8]], len intptr)
+ioctl$UI_DEV_CREATE(fd fd_uinput, cmd const[UI_DEV_CREATE], arg const[0])
+ioctl$UI_DEV_DESTROY(fd fd_uinput, cmd const[UI_DEV_DESTROY], arg const[0])
+ioctl$UI_DEV_SETUP(fd fd_uinput, cmd const[UI_DEV_SETUP], arg ptr[in, uinput_setup])
+ioctl$UI_SET_EVBIT(fd fd_uinput, cmd const[UI_SET_EVBIT], arg intptr)
+ioctl$UI_SET_KEYBIT(fd fd_uinput, cmd const[UI_SET_KEYBIT], arg intptr)
+ioctl$UI_SET_RELBIT(fd fd_uinput, cmd const[UI_SET_RELBIT], arg intptr)
+ioctl$UI_SET_ABSBIT(fd fd_uinput, cmd const[UI_SET_ABSBIT], arg intptr)
+ioctl$UI_SET_MSCBIT(fd fd_uinput, cmd const[UI_SET_MSCBIT], arg intptr)
+ioctl$UI_SET_LEDBIT(fd fd_uinput, cmd const[UI_SET_LEDBIT], arg intptr)
+ioctl$UI_SET_SNDBIT(fd fd_uinput, cmd const[UI_SET_SNDBIT], arg intptr)
+ioctl$UI_SET_FFBIT(fd fd_uinput, cmd const[UI_SET_FFBIT], arg intptr)
+ioctl$UI_SET_PHYS(fd fd_uinput, cmd const[UI_SET_PHYS], arg ptr[in, array[int8]])
+ioctl$UI_SET_SWBIT(fd fd_uinput, cmd const[UI_SET_SWBIT], arg intptr)
+ioctl$UI_SET_PROPBIT(fd fd_uinput, cmd const[UI_SET_PROPBIT], arg intptr)
+ioctl$UI_GET_VERSION(fd fd_uinput, cmd const[UI_GET_VERSION], arg ptr[out, int32])
+
+input_id {
+	bustype int16
+	vendor int16
+	product int16
+	version int16
+}
+uinput_setup {
+	id input_id
+	name array[int8, 80]
+	ff_effects_max int32
+}
+|}
+
+let uinput_entry : Types.entry =
+  Types.driver_entry ~name:"uinput" ~display_name:"uinput"
+    ~source:uinput_source ~existing_spec:uinput_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/uinput" ];
+        gt_fops = "uinput_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("UI_DEV_CREATE", None, Syzlang.Ast.In);
+              ("UI_DEV_DESTROY", None, Syzlang.Ast.In);
+              ("UI_DEV_SETUP", Some "uinput_setup", Syzlang.Ast.In);
+              ("UI_ABS_SETUP", Some "uinput_abs_setup", Syzlang.Ast.In);
+              ("UI_SET_EVBIT", None, Syzlang.Ast.In);
+              ("UI_SET_KEYBIT", None, Syzlang.Ast.In);
+              ("UI_SET_RELBIT", None, Syzlang.Ast.In);
+              ("UI_SET_ABSBIT", None, Syzlang.Ast.In);
+              ("UI_SET_MSCBIT", None, Syzlang.Ast.In);
+              ("UI_SET_LEDBIT", None, Syzlang.Ast.In);
+              ("UI_SET_SNDBIT", None, Syzlang.Ast.In);
+              ("UI_SET_FFBIT", None, Syzlang.Ast.In);
+              ("UI_SET_PHYS", None, Syzlang.Ast.In);
+              ("UI_SET_SWBIT", None, Syzlang.Ast.In);
+              ("UI_SET_PROPBIT", None, Syzlang.Ast.In);
+              ("UI_GET_VERSION", None, Syzlang.Ast.Out);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "write" ];
+      }
+    ()
+
+let entries =
+  [ hpet_entry; nvram_entry; rtc_entry; ptmx_entry; fuse_entry; snapshot_entry; uinput_entry ]

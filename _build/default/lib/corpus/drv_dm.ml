@@ -1,0 +1,487 @@
+(** The device-mapper driver — the paper's running example (Figure 2).
+
+    Faithful to the aspects KernelGPT highlights:
+    - the device path comes from the *rare* [.nodename] field
+      ([/dev/mapper/control]), not from [.name] ([device-mapper]), which
+      fools name-rule static analysis (Figure 2c);
+    - the ioctl command value is rewritten with [_IOC_NR] before dispatch,
+      so the raw switch labels are *not* the user-visible command values;
+    - two injected bugs from Table 4 live here:
+      CVE-2024-23851 ("kmalloc bug in ctl_ioctl": unchecked [data_size]
+      passed to [kvmalloc]) and CVE-2023-52429 ("kmalloc bug in
+      dm_table_create": unchecked [target_count]), plus CVE-2024-50277
+      ("general protection fault in cleanup_mapped_device"). *)
+
+let source =
+  {|
+#define DM_DIR "mapper"
+#define DM_CONTROL_NODE "control"
+#define DM_NAME "device-mapper"
+#define MAPPER_CTRL_MINOR 236
+#define DM_IOCTL 0xfd
+#define DM_MAX_DEVICES 8
+#define DM_NAME_LEN 128
+#define DM_SUSPEND_FLAG 2
+#define DM_VERSION_MAJOR 4
+
+enum {
+  DM_VERSION_CMD = 0,
+  DM_REMOVE_ALL_CMD,
+  DM_LIST_DEVICES_CMD,
+  DM_DEV_CREATE_CMD,
+  DM_DEV_REMOVE_CMD,
+  DM_DEV_RENAME_CMD,
+  DM_DEV_SUSPEND_CMD,
+  DM_DEV_STATUS_CMD,
+  DM_DEV_WAIT_CMD,
+  DM_TABLE_LOAD_CMD,
+  DM_TABLE_CLEAR_CMD,
+  DM_TABLE_DEPS_CMD,
+  DM_TABLE_STATUS_CMD,
+  DM_LIST_VERSIONS_CMD,
+  DM_TARGET_MSG_CMD,
+  DM_DEV_SET_GEOMETRY_CMD,
+  DM_DEV_ARM_POLL_CMD,
+  DM_GET_TARGET_VERSION_CMD,
+};
+
+#define DM_VERSION _IOWR(DM_IOCTL, DM_VERSION_CMD, struct dm_ioctl)
+#define DM_REMOVE_ALL _IOWR(DM_IOCTL, DM_REMOVE_ALL_CMD, struct dm_ioctl)
+#define DM_LIST_DEVICES _IOWR(DM_IOCTL, DM_LIST_DEVICES_CMD, struct dm_ioctl)
+#define DM_DEV_CREATE _IOWR(DM_IOCTL, DM_DEV_CREATE_CMD, struct dm_ioctl)
+#define DM_DEV_REMOVE _IOWR(DM_IOCTL, DM_DEV_REMOVE_CMD, struct dm_ioctl)
+#define DM_DEV_RENAME _IOWR(DM_IOCTL, DM_DEV_RENAME_CMD, struct dm_ioctl)
+#define DM_DEV_SUSPEND _IOWR(DM_IOCTL, DM_DEV_SUSPEND_CMD, struct dm_ioctl)
+#define DM_DEV_STATUS _IOWR(DM_IOCTL, DM_DEV_STATUS_CMD, struct dm_ioctl)
+#define DM_DEV_WAIT _IOWR(DM_IOCTL, DM_DEV_WAIT_CMD, struct dm_ioctl)
+#define DM_TABLE_LOAD _IOWR(DM_IOCTL, DM_TABLE_LOAD_CMD, struct dm_ioctl)
+#define DM_TABLE_CLEAR _IOWR(DM_IOCTL, DM_TABLE_CLEAR_CMD, struct dm_ioctl)
+#define DM_TABLE_DEPS _IOWR(DM_IOCTL, DM_TABLE_DEPS_CMD, struct dm_ioctl)
+#define DM_TABLE_STATUS _IOWR(DM_IOCTL, DM_TABLE_STATUS_CMD, struct dm_ioctl)
+#define DM_LIST_VERSIONS _IOWR(DM_IOCTL, DM_LIST_VERSIONS_CMD, struct dm_ioctl)
+#define DM_TARGET_MSG _IOWR(DM_IOCTL, DM_TARGET_MSG_CMD, struct dm_ioctl)
+#define DM_DEV_SET_GEOMETRY _IOWR(DM_IOCTL, DM_DEV_SET_GEOMETRY_CMD, struct dm_ioctl)
+#define DM_DEV_ARM_POLL _IOWR(DM_IOCTL, DM_DEV_ARM_POLL_CMD, struct dm_ioctl)
+#define DM_GET_TARGET_VERSION _IOWR(DM_IOCTL, DM_GET_TARGET_VERSION_CMD, struct dm_ioctl)
+
+struct dm_target_spec {
+  u64 sector_start;
+  u64 length;
+  s32 status;
+  u32 next;      /* offset to the next target, from the start of this one */
+  char target_type[16];
+};
+
+struct dm_ioctl {
+  u32 version[3];    /* version of the interface */
+  u32 data_size;     /* total size of data passed in, including this struct */
+  u32 data_start;    /* offset within the data to the start of parameters */
+  u32 target_count;  /* number of targets in the table */
+  s32 open_count;
+  u32 flags;
+  u32 event_nr;
+  u32 padding;
+  u64 dev;
+  char name[128];    /* device name */
+  char uuid[129];
+  char data[7];
+};
+
+struct dm_table {
+  u32 num_targets;
+  void *targets;
+};
+
+struct mapped_device {
+  int used;
+  int suspended;
+  u32 event_nr;
+  char name[128];
+  struct dm_table *map;
+};
+
+static struct mapped_device _dm_devs[8];
+static int _dm_dev_count;
+
+static struct mapped_device *dm_hash_find(struct dm_ioctl *param)
+{
+  int i;
+  for (i = 0; i < DM_MAX_DEVICES; i = i + 1) {
+    if (_dm_devs[i].used && strcmp(_dm_devs[i].name, param->name) == 0)
+      return &_dm_devs[i];
+  }
+  return 0;
+}
+
+static int dev_create(struct dm_ioctl *param)
+{
+  int i;
+  if (strlen(param->name) == 0)
+    return -EINVAL;
+  if (dm_hash_find(param))
+    return -EBUSY;
+  for (i = 0; i < DM_MAX_DEVICES; i = i + 1) {
+    if (!_dm_devs[i].used) {
+      _dm_devs[i].used = 1;
+      _dm_devs[i].suspended = 0;
+      _dm_devs[i].map = 0;
+      strncpy(_dm_devs[i].name, param->name, DM_NAME_LEN);
+      _dm_dev_count = _dm_dev_count + 1;
+      return 0;
+    }
+  }
+  return -ENOSPC;
+}
+
+static void cleanup_mapped_device(struct mapped_device *md)
+{
+  struct dm_table *t;
+  t = md->map;
+  if (md->suspended) {
+    /* flush outstanding io through the table before tearing it down;
+       md->map may not have been loaded yet */
+    md->event_nr = t->num_targets;
+    vfree(t->targets);
+  }
+  if (t)
+    kfree(t);
+  md->map = 0;
+  md->used = 0;
+}
+
+static int dev_remove(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  cleanup_mapped_device(md);
+  _dm_dev_count = _dm_dev_count - 1;
+  return 0;
+}
+
+static int dev_rename(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (strlen(param->uuid) == 0)
+    return -EINVAL;
+  strncpy(md->name, param->uuid, DM_NAME_LEN);
+  return 0;
+}
+
+static int dev_suspend(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (param->flags & DM_SUSPEND_FLAG)
+    md->suspended = 1;
+  else
+    md->suspended = 0;
+  return 0;
+}
+
+static int dev_status(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  param->open_count = 1;
+  param->event_nr = md->event_nr;
+  if (md->suspended)
+    param->flags = DM_SUSPEND_FLAG;
+  return 0;
+}
+
+static int dev_wait(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (param->event_nr != md->event_nr)
+    return 0;
+  return -EAGAIN;
+}
+
+static int dm_table_create(struct mapped_device *md, struct dm_ioctl *param)
+{
+  struct dm_table *t;
+  u64 num;
+  t = kzalloc(sizeof(struct dm_table), GFP_KERNEL);
+  if (!t)
+    return -ENOMEM;
+  num = param->target_count;
+  /* CVE-2023-52429: target_count is never bounded before the allocation */
+  t->targets = kvmalloc(num * sizeof(struct dm_target_spec), GFP_KERNEL);
+  if (!t->targets) {
+    kfree(t);
+    return -ENOMEM;
+  }
+  t->num_targets = param->target_count;
+  md->map = t;
+  return 0;
+}
+
+static int table_load(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  int r;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (md->map)
+    return -EBUSY;
+  r = dm_table_create(md, param);
+  if (r)
+    return r;
+  md->event_nr = md->event_nr + 1;
+  return 0;
+}
+
+static int table_clear(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  struct dm_table *t;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  t = md->map;
+  if (!t)
+    return -ENODATA;
+  vfree(t->targets);
+  kfree(t);
+  md->map = 0;
+  return 0;
+}
+
+static int table_status(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (!md->map)
+    return -ENODATA;
+  param->target_count = md->map->num_targets;
+  return 0;
+}
+
+static int remove_all(struct dm_ioctl *param)
+{
+  int i;
+  for (i = 0; i < DM_MAX_DEVICES; i = i + 1) {
+    if (_dm_devs[i].used) {
+      _dm_devs[i].suspended = 0;
+      cleanup_mapped_device(&_dm_devs[i]);
+    }
+  }
+  _dm_dev_count = 0;
+  return 0;
+}
+
+static int list_devices(struct dm_ioctl *param)
+{
+  param->target_count = _dm_dev_count;
+  param->data_start = sizeof(struct dm_ioctl);
+  return 0;
+}
+
+static int list_versions(struct dm_ioctl *param)
+{
+  param->version[0] = DM_VERSION_MAJOR;
+  param->version[1] = 0;
+  param->version[2] = 0;
+  return 0;
+}
+
+static int target_message(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (!md->map)
+    return -ENXIO;
+  if (param->data_start >= param->data_size)
+    return -EINVAL;
+  md->event_nr = md->event_nr + 1;
+  return 0;
+}
+
+static int dev_set_geometry(struct dm_ioctl *param)
+{
+  struct mapped_device *md;
+  md = dm_hash_find(param);
+  if (!md)
+    return -ENXIO;
+  if (param->data_start + 4 > param->data_size)
+    return -EINVAL;
+  return 0;
+}
+
+static int dev_arm_poll(struct dm_ioctl *param)
+{
+  return 0;
+}
+
+static int get_target_version(struct dm_ioctl *param)
+{
+  if (strlen(param->name) == 0)
+    return -EINVAL;
+  param->version[0] = 1;
+  param->version[1] = 23;
+  param->version[2] = 0;
+  return 0;
+}
+
+static int lookup_ioctl(uint cmd, struct dm_ioctl *param)
+{
+  switch (cmd) {
+  case DM_REMOVE_ALL_CMD:
+    return remove_all(param);
+  case DM_LIST_DEVICES_CMD:
+    return list_devices(param);
+  case DM_DEV_CREATE_CMD:
+    return dev_create(param);
+  case DM_DEV_REMOVE_CMD:
+    return dev_remove(param);
+  case DM_DEV_RENAME_CMD:
+    return dev_rename(param);
+  case DM_DEV_SUSPEND_CMD:
+    return dev_suspend(param);
+  case DM_DEV_STATUS_CMD:
+    return dev_status(param);
+  case DM_DEV_WAIT_CMD:
+    return dev_wait(param);
+  case DM_TABLE_LOAD_CMD:
+    return table_load(param);
+  case DM_TABLE_CLEAR_CMD:
+    return table_clear(param);
+  case DM_TABLE_DEPS_CMD:
+    return table_status(param);
+  case DM_TABLE_STATUS_CMD:
+    return table_status(param);
+  case DM_LIST_VERSIONS_CMD:
+    return list_versions(param);
+  case DM_TARGET_MSG_CMD:
+    return target_message(param);
+  case DM_DEV_SET_GEOMETRY_CMD:
+    return dev_set_geometry(param);
+  case DM_DEV_ARM_POLL_CMD:
+    return dev_arm_poll(param);
+  case DM_GET_TARGET_VERSION_CMD:
+    return get_target_version(param);
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int check_version(struct dm_ioctl *param)
+{
+  if (param->version[0] != DM_VERSION_MAJOR)
+    return -EINVAL;
+  return 0;
+}
+
+static long ctl_ioctl(struct file *file, uint command, struct dm_ioctl __user *user)
+{
+  uint cmd;
+  int r;
+  void *dmi;
+  struct dm_ioctl param_kernel;
+  if (_IOC_TYPE(command) != DM_IOCTL)
+    return -ENOTTY;
+  cmd = _IOC_NR(command);
+  if (cmd == DM_VERSION_CMD)
+    return 0;
+  if (copy_from_user(&param_kernel, user, sizeof(struct dm_ioctl)))
+    return -EFAULT;
+  if (check_version(&param_kernel))
+    return -EINVAL;
+  if (param_kernel.data_size < sizeof(struct dm_ioctl))
+    return -EINVAL;
+  /* CVE-2024-23851: data_size has no upper bound before the allocation */
+  dmi = kvmalloc(param_kernel.data_size, GFP_KERNEL);
+  if (!dmi)
+    return -ENOMEM;
+  r = lookup_ioctl(cmd, &param_kernel);
+  if (r == 0)
+    copy_to_user(user, &param_kernel, sizeof(struct dm_ioctl));
+  kvfree(dmi);
+  return r;
+}
+
+static long dm_ctl_ioctl(struct file *file, uint command, ulong u)
+{
+  return ctl_ioctl(file, command, (struct dm_ioctl *)u);
+}
+
+static long dm_compat_ctl_ioctl(struct file *file, uint command, ulong u)
+{
+  return dm_ctl_ioctl(file, command, u);
+}
+
+static int dm_open(struct inode *inode, struct file *filp)
+{
+  filp->private_data = 0;
+  return 0;
+}
+
+static int dm_release(struct inode *inode, struct file *filp)
+{
+  return 0;
+}
+
+static u32 dm_poll(struct file *filp, poll_table *wait)
+{
+  return 0;
+}
+
+static const struct file_operations _ctl_fops = {
+  .open = dm_open,
+  .release = dm_release,
+  .poll = dm_poll,
+  .unlocked_ioctl = dm_ctl_ioctl,
+  .compat_ioctl = dm_compat_ctl_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice _dm_misc = {
+  .minor = MAPPER_CTRL_MINOR,
+  .name = DM_NAME,
+  .nodename = DM_DIR "/" DM_CONTROL_NODE,
+  .fops = &_ctl_fops,
+};
+|}
+
+let all_commands =
+  [
+    "DM_VERSION"; "DM_REMOVE_ALL"; "DM_LIST_DEVICES"; "DM_DEV_CREATE"; "DM_DEV_REMOVE";
+    "DM_DEV_RENAME"; "DM_DEV_SUSPEND"; "DM_DEV_STATUS"; "DM_DEV_WAIT"; "DM_TABLE_LOAD";
+    "DM_TABLE_CLEAR"; "DM_TABLE_DEPS"; "DM_TABLE_STATUS"; "DM_LIST_VERSIONS";
+    "DM_TARGET_MSG"; "DM_DEV_SET_GEOMETRY"; "DM_DEV_ARM_POLL"; "DM_GET_TARGET_VERSION";
+  ]
+
+let entry : Types.entry =
+  let gt_command name =
+    { Types.gc_name = name; gc_arg_type = Some "dm_ioctl"; gc_dir = Syzlang.Ast.Inout }
+  in
+  Types.driver_entry ~name:"dm" ~display_name:"device-mapper"
+    ~source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/mapper/control" ];
+        gt_fops = "_ctl_fops";
+        gt_socket = None;
+        gt_ioctls = List.map gt_command all_commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "poll" ];
+      }
+    ()

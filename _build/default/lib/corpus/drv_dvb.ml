@@ -1,0 +1,362 @@
+(** The DVB demux and DVR devices ([/dev/dvb/adapter0/demux0] and
+    [/dev/dvb/adapter0/dvr0]) — nodename-with-directory registration.
+
+    Injected bugs (Table 4):
+    - "possible deadlock in dvb_demux_release": releasing with an active
+      section filter re-acquires the demux mutex;
+    - "memory leak in dvb_dmxdev_add_pid": adding a duplicate pid leaks
+      the freshly allocated feed;
+    - "general protection fault in dvb_vb2_expbuf" (CVE-2024-50291):
+      exporting a buffer before REQBUFS dereferences the NULL vb2
+      context;
+    - "memory leak in dvb_dvr_do_ioctl": resizing the DVR buffer forgets
+      the previous allocation. *)
+
+let demux_source =
+  {|
+#define DMX_FILTER_SIZE 16
+#define DMX_MAX_PIDS 16
+
+#define DMX_START _IO('o', 41)
+#define DMX_STOP _IO('o', 42)
+#define DMX_SET_FILTER _IOW('o', 43, struct dmx_sct_filter_params)
+#define DMX_SET_PES_FILTER _IOW('o', 44, struct dmx_pes_filter_params)
+#define DMX_SET_BUFFER_SIZE _IO('o', 45)
+#define DMX_ADD_PID _IOW('o', 51, u16)
+#define DMX_REMOVE_PID _IOW('o', 52, u16)
+#define DMX_REQBUFS _IOWR('o', 60, struct dmx_requestbuffers)
+#define DMX_EXPBUF _IOWR('o', 62, struct dmx_exportbuffer)
+
+struct dmx_filter {
+  u8 filter[16];
+  u8 mask[16];
+  u8 mode[16];
+};
+
+struct dmx_sct_filter_params {
+  u16 pid;          /* packet id to filter */
+  struct dmx_filter filter;
+  u32 timeout;
+  u32 flags;
+};
+
+struct dmx_pes_filter_params {
+  u16 pid;
+  u32 input;
+  u32 output;
+  u32 pes_type;
+  u32 flags;
+};
+
+struct dmx_requestbuffers {
+  u32 count;        /* number of requested buffers */
+  u32 size;         /* size of each buffer */
+};
+
+struct dmx_exportbuffer {
+  u32 index;        /* buffer index to export */
+  u32 flags;
+  s32 fd;
+};
+
+struct dvb_vb2_ctx {
+  int initialized;
+  u32 buf_count;
+  void *bufs;
+};
+
+struct dmxdev_feed {
+  u16 pid;
+  int active;
+};
+
+struct dmxdev {
+  int filter_active;
+  int running;
+  u32 buffer_size;
+  struct mutex mutex;
+  struct dvb_vb2_ctx *vb2;
+  struct dmxdev_feed *feeds[16];
+  int feed_count;
+};
+
+static struct dmxdev _dvb_dmxdev;
+
+static int dvb_dmxdev_add_pid(struct dmxdev *dmxdev, u16 pid)
+{
+  struct dmxdev_feed *feed;
+  int i;
+  if (pid > 0x1fff)
+    return -EINVAL;
+  if (dmxdev->feed_count >= DMX_MAX_PIDS)
+    return -ENOMEM;
+  feed = kzalloc(sizeof(struct dmxdev_feed), GFP_KERNEL);
+  if (!feed)
+    return -ENOMEM;
+  feed->pid = pid;
+  for (i = 0; i < dmxdev->feed_count; i = i + 1) {
+    if (dmxdev->feeds[i] && dmxdev->feeds[i]->pid == pid) {
+      /* duplicate pid: feed is never freed */
+      return -EINVAL;
+    }
+  }
+  feed->active = 1;
+  dmxdev->feeds[dmxdev->feed_count] = feed;
+  dmxdev->feed_count = dmxdev->feed_count + 1;
+  return 0;
+}
+
+static int dvb_dmxdev_remove_pid(struct dmxdev *dmxdev, u16 pid)
+{
+  int i;
+  for (i = 0; i < dmxdev->feed_count; i = i + 1) {
+    if (dmxdev->feeds[i] && dmxdev->feeds[i]->pid == pid) {
+      kfree(dmxdev->feeds[i]);
+      dmxdev->feeds[i] = 0;
+      return 0;
+    }
+  }
+  return -EINVAL;
+}
+
+static int dvb_vb2_reqbufs(struct dmxdev *dmxdev, struct dmx_requestbuffers *req)
+{
+  struct dvb_vb2_ctx *ctx;
+  if (req->count == 0 || req->count > 32)
+    return -EINVAL;
+  if (req->size == 0)
+    return -EINVAL;
+  ctx = kzalloc(sizeof(struct dvb_vb2_ctx), GFP_KERNEL);
+  if (!ctx)
+    return -ENOMEM;
+  ctx->initialized = 1;
+  ctx->buf_count = req->count;
+  ctx->bufs = kzalloc(req->count * 8, GFP_KERNEL);
+  if (dmxdev->vb2) {
+    kfree(dmxdev->vb2->bufs);
+    kfree(dmxdev->vb2);
+  }
+  dmxdev->vb2 = ctx;
+  return 0;
+}
+
+static int dvb_vb2_expbuf(struct dmxdev *dmxdev, struct dmx_exportbuffer *exp)
+{
+  struct dvb_vb2_ctx *ctx;
+  ctx = dmxdev->vb2;
+  /* REQBUFS may never have run: ctx is NULL */
+  if (exp->index >= ctx->buf_count)
+    return -EINVAL;
+  exp->fd = 100 + exp->index;
+  return 0;
+}
+
+static int dvb_dmxdev_filter_start(struct dmxdev *dmxdev,
+                                   struct dmx_sct_filter_params *params)
+{
+  if (params->pid > 0x1fff)
+    return -EINVAL;
+  dmxdev->filter_active = 1;
+  return 0;
+}
+
+static long dvb_demux_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct dmx_sct_filter_params sct;
+  struct dmx_pes_filter_params pes;
+  struct dmx_requestbuffers req;
+  struct dmx_exportbuffer exp;
+  u16 pid;
+  int ret;
+  switch (cmd) {
+  case DMX_START:
+    if (!_dvb_dmxdev.filter_active)
+      return -EINVAL;
+    _dvb_dmxdev.running = 1;
+    return 0;
+  case DMX_STOP:
+    _dvb_dmxdev.running = 0;
+    return 0;
+  case DMX_SET_FILTER:
+    if (copy_from_user(&sct, (void *)arg, sizeof(struct dmx_sct_filter_params)))
+      return -EFAULT;
+    return dvb_dmxdev_filter_start(&_dvb_dmxdev, &sct);
+  case DMX_SET_PES_FILTER:
+    if (copy_from_user(&pes, (void *)arg, sizeof(struct dmx_pes_filter_params)))
+      return -EFAULT;
+    if (pes.pes_type > 4)
+      return -EINVAL;
+    _dvb_dmxdev.filter_active = 1;
+    return 0;
+  case DMX_SET_BUFFER_SIZE:
+    _dvb_dmxdev.buffer_size = arg;
+    return 0;
+  case DMX_ADD_PID:
+    if (copy_from_user(&pid, (void *)arg, 2))
+      return -EFAULT;
+    return dvb_dmxdev_add_pid(&_dvb_dmxdev, pid);
+  case DMX_REMOVE_PID:
+    if (copy_from_user(&pid, (void *)arg, 2))
+      return -EFAULT;
+    return dvb_dmxdev_remove_pid(&_dvb_dmxdev, pid);
+  case DMX_REQBUFS:
+    if (copy_from_user(&req, (void *)arg, sizeof(struct dmx_requestbuffers)))
+      return -EFAULT;
+    ret = dvb_vb2_reqbufs(&_dvb_dmxdev, &req);
+    if (ret == 0)
+      copy_to_user((void *)arg, &req, sizeof(struct dmx_requestbuffers));
+    return ret;
+  case DMX_EXPBUF:
+    if (copy_from_user(&exp, (void *)arg, sizeof(struct dmx_exportbuffer)))
+      return -EFAULT;
+    ret = dvb_vb2_expbuf(&_dvb_dmxdev, &exp);
+    if (ret == 0)
+      copy_to_user((void *)arg, &exp, sizeof(struct dmx_exportbuffer));
+    return ret;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int dvb_demux_open(struct inode *inode, struct file *file)
+{
+  mutex_init(&_dvb_dmxdev.mutex);
+  return 0;
+}
+
+static int dvb_demux_release(struct inode *inode, struct file *file)
+{
+  mutex_lock(&_dvb_dmxdev.mutex);
+  if (_dvb_dmxdev.filter_active) {
+    /* stopping the filter re-acquires the mutex we already hold */
+    mutex_lock(&_dvb_dmxdev.mutex);
+    _dvb_dmxdev.filter_active = 0;
+    mutex_unlock(&_dvb_dmxdev.mutex);
+  }
+  mutex_unlock(&_dvb_dmxdev.mutex);
+  return 0;
+}
+
+static const struct file_operations dvb_demux_fops = {
+  .open = dvb_demux_open,
+  .release = dvb_demux_release,
+  .unlocked_ioctl = dvb_demux_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int dvb_dmxdev_init(void)
+{
+  cdev_init(0, &dvb_demux_fops);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "dvb/adapter0/demux%d");
+  return 0;
+}
+|}
+
+let dvr_source =
+  {|
+#define DMX_SET_BUFFER_SIZE _IO('o', 45)
+#define DVR_MIN_BUFFER_SIZE 8192
+#define DVR_MAX_BUFFER_SIZE 10485760
+
+struct dvb_ringbuffer {
+  u32 size;
+  void *data;
+};
+
+static struct dvb_ringbuffer *_dvr_buffer;
+
+static long dvb_dvr_do_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct dvb_ringbuffer *buf;
+  switch (cmd) {
+  case DMX_SET_BUFFER_SIZE:
+    if (arg < DVR_MIN_BUFFER_SIZE || arg > DVR_MAX_BUFFER_SIZE)
+      return -EINVAL;
+    buf = kzalloc(sizeof(struct dvb_ringbuffer), GFP_KERNEL);
+    if (!buf)
+      return -ENOMEM;
+    buf->size = arg;
+    /* the previous ring buffer, if any, is dropped without a free */
+    _dvr_buffer = buf;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static long dvb_dvr_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  return dvb_dvr_do_ioctl(file, cmd, arg);
+}
+
+static ssize_t dvb_dvr_read(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (!_dvr_buffer)
+    return -EINVAL;
+  if (count > _dvr_buffer->size)
+    return -EINVAL;
+  return count;
+}
+
+static const struct file_operations dvb_dvr_fops = {
+  .read = dvb_dvr_read,
+  .unlocked_ioctl = dvb_dvr_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int dvb_dvr_init(void)
+{
+  cdev_init(0, &dvb_dvr_fops);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "dvb/adapter0/dvr%d");
+  return 0;
+}
+|}
+
+let demux_commands =
+  [
+    ("DMX_START", None, Syzlang.Ast.In);
+    ("DMX_STOP", None, Syzlang.Ast.In);
+    ("DMX_SET_FILTER", Some "dmx_sct_filter_params", Syzlang.Ast.In);
+    ("DMX_SET_PES_FILTER", Some "dmx_pes_filter_params", Syzlang.Ast.In);
+    ("DMX_SET_BUFFER_SIZE", None, Syzlang.Ast.In);
+    ("DMX_ADD_PID", None, Syzlang.Ast.In);
+    ("DMX_REMOVE_PID", None, Syzlang.Ast.In);
+    ("DMX_REQBUFS", Some "dmx_requestbuffers", Syzlang.Ast.Inout);
+    ("DMX_EXPBUF", Some "dmx_exportbuffer", Syzlang.Ast.Inout);
+  ]
+
+let demux_entry : Types.entry =
+  Types.driver_entry ~name:"dvb_demux" ~display_name:"dvb/demux0"
+    ~source:demux_source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/dvb/adapter0/demux0" ];
+        gt_fops = "dvb_demux_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (name, ty, dir) -> { Types.gc_name = name; gc_arg_type = ty; gc_dir = dir })
+            demux_commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()
+
+let dvr_entry : Types.entry =
+  Types.driver_entry ~name:"dvb_dvr" ~display_name:"dvb/dvr0"
+    ~source:dvr_source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/dvb/adapter0/dvr0" ];
+        gt_fops = "dvb_dvr_fops";
+        gt_socket = None;
+        gt_ioctls =
+          [ { Types.gc_name = "DMX_SET_BUFFER_SIZE"; gc_arg_type = None; gc_dir = Syzlang.Ast.In } ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "read" ];
+      }
+    ()

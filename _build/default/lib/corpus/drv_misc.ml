@@ -1,0 +1,1120 @@
+(** Remaining misc drivers of Table 5: udmabuf, i2c-0, capi20,
+    qat_adf_ctl, ppp, rfkill and usbmon0. *)
+
+(* ------------------------------------------------------------------ *)
+(* udmabuf                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let udmabuf_source =
+  {|
+#define UDMABUF_CREATE _IOW('u', 0x42, struct udmabuf_create)
+#define UDMABUF_CREATE_LIST _IOW('u', 0x43, struct udmabuf_create_list)
+#define UDMABUF_FLAGS_CLOEXEC 1
+#define UDMABUF_MAX_ITEMS 64
+
+struct udmabuf_create {
+  u32 memfd;
+  u32 flags;
+  u64 offset;      /* page aligned */
+  u64 size;        /* page aligned */
+};
+
+struct udmabuf_create_item {
+  u32 memfd;
+  u32 __pad;
+  u64 offset;
+  u64 size;
+};
+
+struct udmabuf_create_list {
+  u32 flags;
+  u32 count;      /* number of items that follow */
+  struct udmabuf_create_item list[4];
+};
+
+static int _udmabuf_count;
+
+static long udmabuf_create_one(struct udmabuf_create *create)
+{
+  if (create->flags & ~UDMABUF_FLAGS_CLOEXEC)
+    return -EINVAL;
+  if (create->offset & 0xfff)
+    return -EINVAL;
+  if (create->size & 0xfff)
+    return -EINVAL;
+  if (create->size == 0)
+    return -EINVAL;
+  _udmabuf_count = _udmabuf_count + 1;
+  return 100 + _udmabuf_count;
+}
+
+static long udmabuf_ioctl(struct file *filp, unsigned int ioctl, unsigned long arg)
+{
+  struct udmabuf_create create;
+  struct udmabuf_create_list head;
+  switch (ioctl) {
+  case UDMABUF_CREATE:
+    if (copy_from_user(&create, (void *)arg, sizeof(struct udmabuf_create)))
+      return -EFAULT;
+    return udmabuf_create_one(&create);
+  case UDMABUF_CREATE_LIST:
+    if (copy_from_user(&head, (void *)arg, sizeof(struct udmabuf_create_list)))
+      return -EFAULT;
+    if (head.count > UDMABUF_MAX_ITEMS)
+      return -EINVAL;
+    if (head.count == 0)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations udmabuf_fops = {
+  .unlocked_ioctl = udmabuf_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice udmabuf_misc = {
+  .minor = 130,
+  .name = "udmabuf",
+  .fops = &udmabuf_fops,
+};
+|}
+
+let udmabuf_existing_spec =
+  {|resource fd_udmabuf[fd]
+openat$udmabuf(fd const[AT_FDCWD], file ptr[in, string["/dev/udmabuf"]], flags const[O_RDWR], mode const[0]) fd_udmabuf
+ioctl$UDMABUF_CREATE(fd fd_udmabuf, cmd const[UDMABUF_CREATE], arg ptr[in, udmabuf_create])
+ioctl$UDMABUF_CREATE_LIST(fd fd_udmabuf, cmd const[UDMABUF_CREATE_LIST], arg ptr[in, array[int8]])
+
+udmabuf_create {
+	memfd int32
+	flags int32
+	offset int64
+	size int64
+}
+|}
+
+let udmabuf_entry : Types.entry =
+  Types.driver_entry ~name:"udmabuf" ~display_name:"udmabuf"
+    ~source:udmabuf_source ~existing_spec:udmabuf_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/udmabuf" ];
+        gt_fops = "udmabuf_fops";
+        gt_socket = None;
+        gt_ioctls =
+          [
+            { Types.gc_name = "UDMABUF_CREATE"; gc_arg_type = Some "udmabuf_create"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "UDMABUF_CREATE_LIST"; gc_arg_type = Some "udmabuf_create_list"; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* i2c-0                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let i2c_source =
+  {|
+#define I2C_RETRIES 0x0701
+#define I2C_TIMEOUT 0x0702
+#define I2C_SLAVE 0x0703
+#define I2C_SLAVE_FORCE 0x0706
+#define I2C_TENBIT 0x0704
+#define I2C_FUNCS 0x0705
+#define I2C_RDWR 0x0707
+#define I2C_PEC 0x0708
+#define I2C_SMBUS 0x0720
+#define I2C_RDWR_IOCTL_MAX_MSGS 42
+
+struct i2c_msg {
+  u16 addr;
+  u16 flags;
+  u16 len;        /* length of buf */
+  u64 buf;
+};
+
+struct i2c_rdwr_ioctl_data {
+  u64 msgs;       /* pointer to i2c_msg array */
+  u32 nmsgs;      /* number of messages */
+};
+
+struct i2c_smbus_ioctl_data {
+  u8 read_write;
+  u8 command;
+  u32 size;
+  u64 data;
+};
+
+struct i2c_client_state {
+  u16 addr;
+  int tenbit;
+  int pec;
+  int retries;
+  int timeout;
+};
+
+static struct i2c_client_state _i2c;
+
+static long i2cdev_ioctl(struct file *fp, unsigned int cmd, unsigned long arg)
+{
+  struct i2c_rdwr_ioctl_data rdwr;
+  struct i2c_smbus_ioctl_data smbus;
+  u64 funcs;
+  switch (cmd) {
+  case I2C_SLAVE:
+  case I2C_SLAVE_FORCE:
+    if (arg > 0x3ff)
+      return -EINVAL;
+    if (!_i2c.tenbit && arg > 0x7f)
+      return -EINVAL;
+    _i2c.addr = arg;
+    return 0;
+  case I2C_TENBIT:
+    _i2c.tenbit = arg != 0;
+    return 0;
+  case I2C_PEC:
+    _i2c.pec = arg != 0;
+    return 0;
+  case I2C_FUNCS:
+    funcs = 0xeff0009;
+    if (copy_to_user((void *)arg, &funcs, 8))
+      return -EFAULT;
+    return 0;
+  case I2C_RDWR:
+    if (copy_from_user(&rdwr, (void *)arg, sizeof(struct i2c_rdwr_ioctl_data)))
+      return -EFAULT;
+    if (rdwr.nmsgs > I2C_RDWR_IOCTL_MAX_MSGS)
+      return -EINVAL;
+    if (rdwr.nmsgs == 0)
+      return -EINVAL;
+    return rdwr.nmsgs;
+  case I2C_SMBUS:
+    if (copy_from_user(&smbus, (void *)arg, sizeof(struct i2c_smbus_ioctl_data)))
+      return -EFAULT;
+    if (smbus.read_write > 1)
+      return -EINVAL;
+    if (smbus.size > 8)
+      return -EINVAL;
+    return 0;
+  case I2C_RETRIES:
+    if (arg > 100)
+      return -EINVAL;
+    _i2c.retries = arg;
+    return 0;
+  case I2C_TIMEOUT:
+    if (arg == 0 || arg > 1000)
+      return -EINVAL;
+    _i2c.timeout = arg;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int i2cdev_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations i2cdev_fops = {
+  .open = i2cdev_open,
+  .unlocked_ioctl = i2cdev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int i2c_dev_init(void)
+{
+  register_chrdev(89, "i2c", &i2cdev_fops);
+  device_create(0, 0, 0, 0, "i2c-0");
+  return 0;
+}
+|}
+
+let i2c_existing_spec =
+  {|resource fd_i2c[fd]
+openat$i2c(fd const[AT_FDCWD], file ptr[in, string["/dev/i2c-0"]], flags const[O_RDWR], mode const[0]) fd_i2c
+ioctl$I2C_SLAVE(fd fd_i2c, cmd const[I2C_SLAVE], arg intptr)
+ioctl$I2C_SLAVE_FORCE(fd fd_i2c, cmd const[I2C_SLAVE_FORCE], arg intptr)
+ioctl$I2C_TENBIT(fd fd_i2c, cmd const[I2C_TENBIT], arg intptr)
+ioctl$I2C_PEC(fd fd_i2c, cmd const[I2C_PEC], arg intptr)
+ioctl$I2C_FUNCS(fd fd_i2c, cmd const[I2C_FUNCS], arg ptr[out, int64])
+ioctl$I2C_RDWR(fd fd_i2c, cmd const[I2C_RDWR], arg ptr[in, i2c_rdwr_ioctl_data])
+ioctl$I2C_SMBUS(fd fd_i2c, cmd const[I2C_SMBUS], arg ptr[in, i2c_smbus_ioctl_data])
+ioctl$I2C_RETRIES(fd fd_i2c, cmd const[I2C_RETRIES], arg intptr)
+ioctl$I2C_TIMEOUT(fd fd_i2c, cmd const[I2C_TIMEOUT], arg intptr)
+
+i2c_rdwr_ioctl_data {
+	msgs int64
+	nmsgs int32
+}
+i2c_smbus_ioctl_data {
+	read_write int8
+	command int8
+	size int32
+	data int64
+}
+|}
+
+let i2c_entry : Types.entry =
+  Types.driver_entry ~name:"i2c" ~display_name:"i2c-#"
+    ~source:i2c_source ~existing_spec:i2c_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/i2c-0" ];
+        gt_fops = "i2cdev_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("I2C_RETRIES", None, Syzlang.Ast.In);
+              ("I2C_TIMEOUT", None, Syzlang.Ast.In);
+              ("I2C_SLAVE", None, Syzlang.Ast.In);
+              ("I2C_SLAVE_FORCE", None, Syzlang.Ast.In);
+              ("I2C_TENBIT", None, Syzlang.Ast.In);
+              ("I2C_FUNCS", None, Syzlang.Ast.Out);
+              ("I2C_RDWR", Some "i2c_rdwr_ioctl_data", Syzlang.Ast.In);
+              ("I2C_PEC", None, Syzlang.Ast.In);
+              ("I2C_SMBUS", Some "i2c_smbus_ioctl_data", Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* capi20                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let capi_source =
+  {|
+#define CAPI_REGISTER _IOW('C', 0x01, struct capi_register_params)
+#define CAPI_GET_MANUFACTURER _IOWR('C', 0x06, int)
+#define CAPI_GET_VERSION _IOWR('C', 0x07, struct capi_version)
+#define CAPI_GET_SERIAL _IOWR('C', 0x08, int)
+#define CAPI_GET_PROFILE _IOWR('C', 0x09, struct capi_profile)
+#define CAPI_MANUFACTURER_CMD _IOWR('C', 0x20, struct capi_manufacturer_cmd)
+#define CAPI_GET_ERRCODE _IOR('C', 0x21, u16)
+#define CAPI_INSTALLED _IOR('C', 0x22, u16)
+#define CAPI_GET_FLAGS _IOR('C', 0x23, unsigned int)
+#define CAPI_SET_FLAGS _IOR('C', 0x24, unsigned int)
+#define CAPI_CLR_FLAGS _IOR('C', 0x25, unsigned int)
+#define CAPI_NCCI_OPENCOUNT _IOR('C', 0x26, unsigned int)
+#define CAPI_MAX_CONTR 4
+
+struct capi_register_params {
+  u32 level3cnt;      /* number of level-3 connections */
+  u32 datablkcnt;
+  u32 datablklen;
+};
+
+struct capi_version {
+  u32 majorversion;
+  u32 minorversion;
+  u32 majormanuversion;
+  u32 minormanuversion;
+};
+
+struct capi_profile {
+  u16 ncontroller;    /* number of installed controllers */
+  u16 nbchannel;
+  u32 goptions;
+  u32 support1;
+  u32 support2;
+  u32 support3;
+};
+
+struct capi_manufacturer_cmd {
+  unsigned long cmd;
+  u64 data;
+};
+
+struct capidev {
+  int registered;
+  u32 flags;
+  u16 errcode;
+};
+
+static struct capidev _capidev;
+
+static int capi20_register(struct capi_register_params *rp)
+{
+  if (rp->level3cnt > 240)
+    return -EINVAL;
+  if (rp->datablkcnt > 255 || rp->datablkcnt < 2)
+    return -EINVAL;
+  _capidev.registered = 1;
+  return 0;
+}
+
+static long capi_unlocked_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct capi_register_params rp;
+  struct capi_version version;
+  struct capi_profile profile;
+  struct capi_manufacturer_cmd mcmd;
+  u16 val16;
+  unsigned int flags;
+  switch (cmd) {
+  case CAPI_REGISTER:
+    if (copy_from_user(&rp, (void *)arg, sizeof(struct capi_register_params)))
+      return -EFAULT;
+    return capi20_register(&rp);
+  case CAPI_GET_MANUFACTURER:
+    if (!_capidev.registered)
+      return -ESRCH;
+    return 0;
+  case CAPI_GET_VERSION:
+    version.majorversion = 2;
+    version.minorversion = 0;
+    if (copy_to_user((void *)arg, &version, sizeof(struct capi_version)))
+      return -EFAULT;
+    return 0;
+  case CAPI_GET_SERIAL:
+    if (!_capidev.registered)
+      return -ESRCH;
+    return 0;
+  case CAPI_GET_PROFILE:
+    profile.ncontroller = CAPI_MAX_CONTR;
+    profile.nbchannel = 2;
+    if (copy_to_user((void *)arg, &profile, sizeof(struct capi_profile)))
+      return -EFAULT;
+    return 0;
+  case CAPI_MANUFACTURER_CMD:
+    if (!capable(0))
+      return -EPERM;
+    if (copy_from_user(&mcmd, (void *)arg, sizeof(struct capi_manufacturer_cmd)))
+      return -EFAULT;
+    return 0;
+  case CAPI_GET_ERRCODE:
+    val16 = _capidev.errcode;
+    if (copy_to_user((void *)arg, &val16, 2))
+      return -EFAULT;
+    return 0;
+  case CAPI_INSTALLED:
+    return 0;
+  case CAPI_GET_FLAGS:
+    if (copy_to_user((void *)arg, &_capidev.flags, 4))
+      return -EFAULT;
+    return 0;
+  case CAPI_SET_FLAGS:
+    if (copy_from_user(&flags, (void *)arg, 4))
+      return -EFAULT;
+    _capidev.flags = _capidev.flags | flags;
+    return 0;
+  case CAPI_CLR_FLAGS:
+    if (copy_from_user(&flags, (void *)arg, 4))
+      return -EFAULT;
+    _capidev.flags = _capidev.flags & ~flags;
+    return 0;
+  case CAPI_NCCI_OPENCOUNT:
+    if (!_capidev.registered)
+      return -ESRCH;
+    return 0;
+  default:
+    return -EINVAL;
+  }
+}
+
+static int capi_open(struct inode *inode, struct file *file)
+{
+  _capidev.registered = 0;
+  return 0;
+}
+
+static const struct file_operations capi_fops = {
+  .open = capi_open,
+  .unlocked_ioctl = capi_unlocked_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice capi_device = {
+  .minor = 68,
+  .name = "capi20",
+  .fops = &capi_fops,
+};
+|}
+
+let capi_existing_spec =
+  {|resource fd_capi[fd]
+openat$capi20(fd const[AT_FDCWD], file ptr[in, string["/dev/capi20"]], flags const[O_RDWR], mode const[0]) fd_capi
+ioctl$CAPI_REGISTER(fd fd_capi, cmd const[CAPI_REGISTER], arg ptr[in, capi_register_params])
+ioctl$CAPI_GET_MANUFACTURER(fd fd_capi, cmd const[CAPI_GET_MANUFACTURER], arg ptr[inout, int32])
+ioctl$CAPI_GET_VERSION(fd fd_capi, cmd const[CAPI_GET_VERSION], arg ptr[out, capi_version])
+ioctl$CAPI_GET_SERIAL(fd fd_capi, cmd const[CAPI_GET_SERIAL], arg ptr[inout, int32])
+ioctl$CAPI_GET_PROFILE(fd fd_capi, cmd const[CAPI_GET_PROFILE], arg ptr[out, capi_profile])
+ioctl$CAPI_GET_ERRCODE(fd fd_capi, cmd const[CAPI_GET_ERRCODE], arg ptr[out, int16])
+ioctl$CAPI_INSTALLED(fd fd_capi, cmd const[CAPI_INSTALLED], arg const[0])
+ioctl$CAPI_GET_FLAGS(fd fd_capi, cmd const[CAPI_GET_FLAGS], arg ptr[out, int32])
+ioctl$CAPI_SET_FLAGS(fd fd_capi, cmd const[CAPI_SET_FLAGS], arg ptr[in, int32])
+ioctl$CAPI_CLR_FLAGS(fd fd_capi, cmd const[CAPI_CLR_FLAGS], arg ptr[in, int32])
+ioctl$CAPI_NCCI_OPENCOUNT(fd fd_capi, cmd const[CAPI_NCCI_OPENCOUNT], arg ptr[in, int32])
+
+capi_register_params {
+	level3cnt int32
+	datablkcnt int32
+	datablklen int32
+}
+capi_version {
+	majorversion int32
+	minorversion int32
+	majormanuversion int32
+	minormanuversion int32
+}
+capi_profile {
+	ncontroller int16
+	nbchannel int16
+	goptions int32
+	support1 int32
+	support2 int32
+	support3 int32
+}
+|}
+
+let capi_entry : Types.entry =
+  Types.driver_entry ~name:"capi20" ~display_name:"capi20"
+    ~source:capi_source ~existing_spec:capi_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/capi20" ];
+        gt_fops = "capi_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("CAPI_REGISTER", Some "capi_register_params", Syzlang.Ast.In);
+              ("CAPI_GET_MANUFACTURER", None, Syzlang.Ast.Inout);
+              ("CAPI_GET_VERSION", Some "capi_version", Syzlang.Ast.Out);
+              ("CAPI_GET_SERIAL", None, Syzlang.Ast.Inout);
+              ("CAPI_GET_PROFILE", Some "capi_profile", Syzlang.Ast.Out);
+              ("CAPI_MANUFACTURER_CMD", Some "capi_manufacturer_cmd", Syzlang.Ast.In);
+              ("CAPI_GET_ERRCODE", None, Syzlang.Ast.Out);
+              ("CAPI_INSTALLED", None, Syzlang.Ast.In);
+              ("CAPI_GET_FLAGS", None, Syzlang.Ast.Out);
+              ("CAPI_SET_FLAGS", None, Syzlang.Ast.In);
+              ("CAPI_CLR_FLAGS", None, Syzlang.Ast.In);
+              ("CAPI_NCCI_OPENCOUNT", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* qat_adf_ctl                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let qat_source =
+  {|
+#define ADF_CTL_IOC_MAGIC 'a'
+#define IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS _IOW(ADF_CTL_IOC_MAGIC, 0, struct adf_user_cfg_ctl_data)
+#define IOCTL_STOP_ACCEL_DEV _IOW(ADF_CTL_IOC_MAGIC, 1, struct adf_user_cfg_ctl_data)
+#define IOCTL_START_ACCEL_DEV _IOW(ADF_CTL_IOC_MAGIC, 2, struct adf_user_cfg_ctl_data)
+#define IOCTL_STATUS_ACCEL_DEV _IOW(ADF_CTL_IOC_MAGIC, 3, u32)
+#define IOCTL_GET_NUM_DEVICES _IOW(ADF_CTL_IOC_MAGIC, 4, s32)
+#define IOCTL_RESERVED _IOW(ADF_CTL_IOC_MAGIC, 5, u32)
+#define ADF_MAX_DEVICES 2
+
+struct adf_user_cfg_ctl_data {
+  u64 config_section;   /* pointer to section list */
+  u8 device_id;
+};
+
+struct adf_accel_state {
+  int configured;
+  int started;
+};
+
+static struct adf_accel_state _adf_devs[2];
+
+static long adf_ctl_ioctl(struct file *fp, unsigned int cmd, unsigned long arg)
+{
+  struct adf_user_cfg_ctl_data ctl_data;
+  s32 num;
+  switch (cmd) {
+  case IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS:
+    if (copy_from_user(&ctl_data, (void *)arg, sizeof(struct adf_user_cfg_ctl_data)))
+      return -EFAULT;
+    if (ctl_data.device_id >= ADF_MAX_DEVICES)
+      return -ENODEV;
+    _adf_devs[ctl_data.device_id].configured = 1;
+    return 0;
+  case IOCTL_START_ACCEL_DEV:
+    if (copy_from_user(&ctl_data, (void *)arg, sizeof(struct adf_user_cfg_ctl_data)))
+      return -EFAULT;
+    if (ctl_data.device_id >= ADF_MAX_DEVICES)
+      return -ENODEV;
+    if (!_adf_devs[ctl_data.device_id].configured)
+      return -EFAULT;
+    _adf_devs[ctl_data.device_id].started = 1;
+    return 0;
+  case IOCTL_STOP_ACCEL_DEV:
+    if (copy_from_user(&ctl_data, (void *)arg, sizeof(struct adf_user_cfg_ctl_data)))
+      return -EFAULT;
+    if (ctl_data.device_id >= ADF_MAX_DEVICES)
+      return -ENODEV;
+    if (!_adf_devs[ctl_data.device_id].started)
+      return -ENODEV;
+    _adf_devs[ctl_data.device_id].started = 0;
+    return 0;
+  case IOCTL_STATUS_ACCEL_DEV:
+    if (copy_from_user(&num, (void *)arg, 4))
+      return -EFAULT;
+    if (num >= ADF_MAX_DEVICES)
+      return -ENODEV;
+    return _adf_devs[num].started;
+  case IOCTL_GET_NUM_DEVICES:
+    num = ADF_MAX_DEVICES;
+    if (copy_to_user((void *)arg, &num, 4))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int adf_ctl_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations adf_ctl_ops = {
+  .open = adf_ctl_open,
+  .unlocked_ioctl = adf_ctl_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice adf_ctl_misc = {
+  .minor = 140,
+  .name = "qat_adf_ctl",
+  .fops = &adf_ctl_ops,
+};
+|}
+
+let qat_existing_spec =
+  {|resource fd_qat[fd]
+openat$qat_adf_ctl(fd const[AT_FDCWD], file ptr[in, string["/dev/qat_adf_ctl"]], flags const[O_RDWR], mode const[0]) fd_qat
+ioctl$IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS(fd fd_qat, cmd const[IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS], arg ptr[in, adf_user_cfg_ctl_data])
+ioctl$IOCTL_STOP_ACCEL_DEV(fd fd_qat, cmd const[IOCTL_STOP_ACCEL_DEV], arg ptr[in, adf_user_cfg_ctl_data])
+ioctl$IOCTL_START_ACCEL_DEV(fd fd_qat, cmd const[IOCTL_START_ACCEL_DEV], arg ptr[in, adf_user_cfg_ctl_data])
+ioctl$IOCTL_STATUS_ACCEL_DEV(fd fd_qat, cmd const[IOCTL_STATUS_ACCEL_DEV], arg ptr[in, int32])
+ioctl$IOCTL_GET_NUM_DEVICES(fd fd_qat, cmd const[IOCTL_GET_NUM_DEVICES], arg ptr[out, int32])
+
+adf_user_cfg_ctl_data {
+	config_section int64
+	device_id int8
+}
+|}
+
+let qat_entry : Types.entry =
+  Types.driver_entry ~name:"qat_adf_ctl" ~display_name:"qat_adf_ctl"
+    ~source:qat_source ~existing_spec:qat_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/qat_adf_ctl" ];
+        gt_fops = "adf_ctl_ops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS", Some "adf_user_cfg_ctl_data", Syzlang.Ast.In);
+              ("IOCTL_STOP_ACCEL_DEV", Some "adf_user_cfg_ctl_data", Syzlang.Ast.In);
+              ("IOCTL_START_ACCEL_DEV", Some "adf_user_cfg_ctl_data", Syzlang.Ast.In);
+              ("IOCTL_STATUS_ACCEL_DEV", None, Syzlang.Ast.In);
+              ("IOCTL_GET_NUM_DEVICES", None, Syzlang.Ast.Out);
+              ("IOCTL_RESERVED", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* ppp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ppp_source =
+  {|
+#define PPPIOCNEWUNIT _IOWR('t', 62, int)
+#define PPPIOCATTACH _IOW('t', 61, int)
+#define PPPIOCDETACH _IOW('t', 60, int)
+#define PPPIOCSMRU _IOW('t', 82, int)
+#define PPPIOCSFLAGS _IOW('t', 89, int)
+#define PPPIOCGFLAGS _IOR('t', 90, int)
+#define PPPIOCGUNIT _IOR('t', 86, int)
+#define PPPIOCSMAXCID _IOW('t', 81, int)
+#define PPPIOCGIDLE _IOR('t', 63, struct ppp_idle)
+#define PPPIOCSCOMPRESS _IOW('t', 77, struct ppp_option_data)
+#define PPPIOCGNPMODE _IOWR('t', 76, struct npioctl)
+#define PPPIOCSNPMODE _IOW('t', 75, struct npioctl)
+#define PPPIOCSPASS _IOW('t', 71, struct sock_fprog)
+#define PPPIOCSACTIVE _IOW('t', 70, struct sock_fprog)
+#define PPP_MRU 1500
+#define PPP_MAX_UNITS 4
+
+struct ppp_idle {
+  u64 xmit_idle;
+  u64 recv_idle;
+};
+
+struct ppp_option_data {
+  u64 ptr;
+  u32 length;     /* length of the option data at ptr */
+  s32 transmit;
+};
+
+struct npioctl {
+  s32 protocol;
+  s32 mode;
+};
+
+struct sock_fprog {
+  u16 len;        /* number of BPF instructions */
+  u64 filter;
+};
+
+struct ppp_file_state {
+  int unit;       /* -1 when not attached *
+*/
+  u32 mru;
+  u32 flags;
+  int maxcid;
+};
+
+static struct ppp_file_state _ppp;
+static int _ppp_units;
+
+static int ppp_new_unit(void)
+{
+  if (_ppp_units >= PPP_MAX_UNITS)
+    return -ENOSPC;
+  _ppp_units = _ppp_units + 1;
+  _ppp.unit = _ppp_units;
+  return _ppp.unit;
+}
+
+static long ppp_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct ppp_idle idle;
+  struct ppp_option_data data;
+  struct npioctl npi;
+  struct sock_fprog fprog;
+  int val;
+  switch (cmd) {
+  case PPPIOCNEWUNIT:
+    return ppp_new_unit();
+  case PPPIOCATTACH:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val <= 0 || val > _ppp_units)
+      return -ENXIO;
+    _ppp.unit = val;
+    return 0;
+  case PPPIOCDETACH:
+    if (_ppp.unit == 0)
+      return -EINVAL;
+    _ppp.unit = 0;
+    return 0;
+  case PPPIOCSMRU:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 128 || val > 65535)
+      return -EINVAL;
+    _ppp.mru = val;
+    return 0;
+  case PPPIOCSFLAGS:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _ppp.flags = val;
+    return 0;
+  case PPPIOCGFLAGS:
+    if (copy_to_user((void *)arg, &_ppp.flags, 4))
+      return -EFAULT;
+    return 0;
+  case PPPIOCGUNIT:
+    if (_ppp.unit == 0)
+      return -ENXIO;
+    if (copy_to_user((void *)arg, &_ppp.unit, 4))
+      return -EFAULT;
+    return 0;
+  case PPPIOCSMAXCID:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    if (val < 0 || val > 255)
+      return -EINVAL;
+    _ppp.maxcid = val;
+    return 0;
+  case PPPIOCGIDLE:
+    idle.xmit_idle = 0;
+    idle.recv_idle = 0;
+    if (copy_to_user((void *)arg, &idle, sizeof(struct ppp_idle)))
+      return -EFAULT;
+    return 0;
+  case PPPIOCSCOMPRESS:
+    if (copy_from_user(&data, (void *)arg, sizeof(struct ppp_option_data)))
+      return -EFAULT;
+    if (data.length > 64)
+      return -EINVAL;
+    return 0;
+  case PPPIOCGNPMODE:
+  case PPPIOCSNPMODE:
+    if (copy_from_user(&npi, (void *)arg, sizeof(struct npioctl)))
+      return -EFAULT;
+    if (npi.protocol != 0x21 && npi.protocol != 0x57)
+      return -EINVAL;
+    if (cmd == PPPIOCGNPMODE) {
+      npi.mode = 0;
+      if (copy_to_user((void *)arg, &npi, sizeof(struct npioctl)))
+        return -EFAULT;
+    }
+    return 0;
+  case PPPIOCSPASS:
+  case PPPIOCSACTIVE:
+    if (copy_from_user(&fprog, (void *)arg, sizeof(struct sock_fprog)))
+      return -EFAULT;
+    if (fprog.len > 64)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int ppp_open(struct inode *inode, struct file *file)
+{
+  _ppp.unit = 0;
+  return 0;
+}
+
+static const struct file_operations ppp_device_fops = {
+  .open = ppp_open,
+  .unlocked_ioctl = ppp_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice ppp_misc = {
+  .minor = 108,
+  .name = "ppp",
+  .fops = &ppp_device_fops,
+};
+|}
+
+let ppp_existing_spec =
+  {|resource fd_ppp[fd]
+openat$ppp(fd const[AT_FDCWD], file ptr[in, string["/dev/ppp"]], flags const[O_RDWR], mode const[0]) fd_ppp
+ioctl$PPPIOCNEWUNIT(fd fd_ppp, cmd const[PPPIOCNEWUNIT], arg ptr[inout, int32])
+ioctl$PPPIOCATTACH(fd fd_ppp, cmd const[PPPIOCATTACH], arg ptr[in, int32])
+ioctl$PPPIOCDETACH(fd fd_ppp, cmd const[PPPIOCDETACH], arg ptr[in, int32])
+ioctl$PPPIOCSMRU(fd fd_ppp, cmd const[PPPIOCSMRU], arg ptr[in, int32])
+ioctl$PPPIOCSFLAGS(fd fd_ppp, cmd const[PPPIOCSFLAGS], arg ptr[in, int32])
+ioctl$PPPIOCGFLAGS(fd fd_ppp, cmd const[PPPIOCGFLAGS], arg ptr[out, int32])
+ioctl$PPPIOCGUNIT(fd fd_ppp, cmd const[PPPIOCGUNIT], arg ptr[out, int32])
+ioctl$PPPIOCSMAXCID(fd fd_ppp, cmd const[PPPIOCSMAXCID], arg ptr[in, int32])
+ioctl$PPPIOCGIDLE(fd fd_ppp, cmd const[PPPIOCGIDLE], arg ptr[out, ppp_idle])
+
+ppp_idle {
+	xmit_idle int64
+	recv_idle int64
+}
+|}
+
+let ppp_entry : Types.entry =
+  Types.driver_entry ~name:"ppp" ~display_name:"ppp"
+    ~source:ppp_source ~existing_spec:ppp_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/ppp" ];
+        gt_fops = "ppp_device_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("PPPIOCNEWUNIT", None, Syzlang.Ast.Inout);
+              ("PPPIOCATTACH", None, Syzlang.Ast.In);
+              ("PPPIOCDETACH", None, Syzlang.Ast.In);
+              ("PPPIOCSMRU", None, Syzlang.Ast.In);
+              ("PPPIOCSFLAGS", None, Syzlang.Ast.In);
+              ("PPPIOCGFLAGS", None, Syzlang.Ast.Out);
+              ("PPPIOCGUNIT", None, Syzlang.Ast.Out);
+              ("PPPIOCSMAXCID", None, Syzlang.Ast.In);
+              ("PPPIOCGIDLE", Some "ppp_idle", Syzlang.Ast.Out);
+              ("PPPIOCSCOMPRESS", Some "ppp_option_data", Syzlang.Ast.In);
+              ("PPPIOCGNPMODE", Some "npioctl", Syzlang.Ast.Inout);
+              ("PPPIOCSNPMODE", Some "npioctl", Syzlang.Ast.In);
+              ("PPPIOCSPASS", Some "sock_fprog", Syzlang.Ast.In);
+              ("PPPIOCSACTIVE", Some "sock_fprog", Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* rfkill                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rfkill_source =
+  {|
+#define RFKILL_IOC_MAGIC 'R'
+#define RFKILL_IOCTL_NOINPUT _IO(RFKILL_IOC_MAGIC, 1)
+#define RFKILL_IOCTL_MAX_SIZE _IOW(RFKILL_IOC_MAGIC, 2, u32)
+#define RFKILL_EVENT_SIZE 9
+
+struct rfkill_event {
+  u32 idx;
+  u8 type;
+  u8 op;
+  u8 soft;       /* soft-blocked */
+  u8 hard;       /* hard-blocked */
+};
+
+struct rfkill_data {
+  int input_handler;
+  u32 max_size;
+};
+
+static struct rfkill_data _rfkill;
+
+static long rfkill_fop_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  u32 size;
+  switch (cmd) {
+  case RFKILL_IOCTL_NOINPUT:
+    _rfkill.input_handler = 0;
+    return 0;
+  case RFKILL_IOCTL_MAX_SIZE:
+    if (copy_from_user(&size, (void *)arg, 4))
+      return -EFAULT;
+    if (size < RFKILL_EVENT_SIZE)
+      return -EINVAL;
+    _rfkill.max_size = size;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static ssize_t rfkill_fop_write(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (count < RFKILL_EVENT_SIZE)
+    return -EINVAL;
+  return count;
+}
+
+static ssize_t rfkill_fop_read(struct file *file, char *buf, size_t count, loff_t *ppos)
+{
+  if (count < RFKILL_EVENT_SIZE)
+    return -EINVAL;
+  return RFKILL_EVENT_SIZE;
+}
+
+static const struct file_operations rfkill_fops = {
+  .read = rfkill_fop_read,
+  .write = rfkill_fop_write,
+  .unlocked_ioctl = rfkill_fop_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice rfkill_miscdev = {
+  .minor = 242,
+  .name = "rfkill",
+  .fops = &rfkill_fops,
+};
+|}
+
+let rfkill_existing_spec =
+  {|resource fd_rfkill[fd]
+openat$rfkill(fd const[AT_FDCWD], file ptr[in, string["/dev/rfkill"]], flags const[O_RDWR], mode const[0]) fd_rfkill
+read$rfkill(fd fd_rfkill, buf ptr[out, array[int8]], len intptr)
+write$rfkill(fd fd_rfkill, buf ptr[in, array[int8]], len intptr)
+|}
+
+let rfkill_entry : Types.entry =
+  Types.driver_entry ~name:"rfkill" ~display_name:"rfkill"
+    ~source:rfkill_source ~existing_spec:rfkill_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/rfkill" ];
+        gt_fops = "rfkill_fops";
+        gt_socket = None;
+        gt_ioctls =
+          [
+            { Types.gc_name = "RFKILL_IOCTL_NOINPUT"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "RFKILL_IOCTL_MAX_SIZE"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "read"; "write" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* usbmon0                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let usbmon_source =
+  {|
+#define MON_IOC_MAGIC 0x92
+#define MON_IOCQ_URB_LEN _IO(MON_IOC_MAGIC, 1)
+#define MON_IOCG_STATS _IOR(MON_IOC_MAGIC, 3, struct mon_bin_stats)
+#define MON_IOCT_RING_SIZE _IO(MON_IOC_MAGIC, 4)
+#define MON_IOCQ_RING_SIZE _IO(MON_IOC_MAGIC, 5)
+#define MON_IOCX_GET _IOW(MON_IOC_MAGIC, 6, struct mon_bin_get)
+#define MON_IOCX_MFETCH _IOWR(MON_IOC_MAGIC, 7, struct mon_bin_mfetch)
+#define MON_IOCH_MFLUSH _IO(MON_IOC_MAGIC, 8)
+#define CHUNK_SIZE 4096
+#define BUFF_MAX 1048576
+#define BUFF_MIN 8192
+
+struct mon_bin_stats {
+  u32 queued;
+  u32 dropped;
+};
+
+struct mon_bin_get {
+  u64 hdr;
+  u64 data;
+  u64 alloc;       /* byte size of the data buffer */
+};
+
+struct mon_bin_mfetch {
+  u64 offvec;      /* vector of fetched events */
+  u32 nfetch;      /* number of events to fetch */
+  u32 nflush;      /* number of events to flush */
+};
+
+struct mon_reader_bin {
+  u32 ring_size;
+  u32 queued;
+  u32 dropped;
+};
+
+static struct mon_reader_bin _usbmon;
+
+static long mon_bin_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct mon_bin_stats stats;
+  struct mon_bin_get getb;
+  struct mon_bin_mfetch mfetch;
+  switch (cmd) {
+  case MON_IOCQ_URB_LEN:
+    return 0;
+  case MON_IOCG_STATS:
+    stats.queued = _usbmon.queued;
+    stats.dropped = _usbmon.dropped;
+    if (copy_to_user((void *)arg, &stats, sizeof(struct mon_bin_stats)))
+      return -EFAULT;
+    return 0;
+  case MON_IOCT_RING_SIZE:
+    if (arg < BUFF_MIN || arg > BUFF_MAX)
+      return -EINVAL;
+    if (arg % CHUNK_SIZE != 0)
+      return -EINVAL;
+    _usbmon.ring_size = arg;
+    return 0;
+  case MON_IOCQ_RING_SIZE:
+    return _usbmon.ring_size;
+  case MON_IOCX_GET:
+    if (copy_from_user(&getb, (void *)arg, sizeof(struct mon_bin_get)))
+      return -EFAULT;
+    if (getb.alloc > BUFF_MAX)
+      return -EINVAL;
+    if (_usbmon.queued == 0)
+      return -EAGAIN;
+    return 0;
+  case MON_IOCX_MFETCH:
+    if (copy_from_user(&mfetch, (void *)arg, sizeof(struct mon_bin_mfetch)))
+      return -EFAULT;
+    if (mfetch.nflush > _usbmon.queued)
+      return -EINVAL;
+    _usbmon.queued = _usbmon.queued - mfetch.nflush;
+    if (copy_to_user((void *)arg, &mfetch, sizeof(struct mon_bin_mfetch)))
+      return -EFAULT;
+    return 0;
+  case MON_IOCH_MFLUSH:
+    if (arg > _usbmon.queued)
+      return -EINVAL;
+    _usbmon.queued = _usbmon.queued - arg;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int mon_bin_open(struct inode *inode, struct file *file)
+{
+  _usbmon.ring_size = 65536;
+  return 0;
+}
+
+static const struct file_operations mon_fops_binary = {
+  .open = mon_bin_open,
+  .unlocked_ioctl = mon_bin_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int mon_bin_init(void)
+{
+  cdev_init(0, &mon_fops_binary);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "usbmon0");
+  return 0;
+}
+|}
+
+let usbmon_existing_spec =
+  {|resource fd_usbmon[fd]
+openat$usbmon(fd const[AT_FDCWD], file ptr[in, string["/dev/usbmon0"]], flags const[O_RDONLY], mode const[0]) fd_usbmon
+ioctl$MON_IOCQ_URB_LEN(fd fd_usbmon, cmd const[MON_IOCQ_URB_LEN], arg const[0])
+ioctl$MON_IOCG_STATS(fd fd_usbmon, cmd const[MON_IOCG_STATS], arg ptr[out, mon_bin_stats])
+ioctl$MON_IOCT_RING_SIZE(fd fd_usbmon, cmd const[MON_IOCT_RING_SIZE], arg intptr)
+ioctl$MON_IOCQ_RING_SIZE(fd fd_usbmon, cmd const[MON_IOCQ_RING_SIZE], arg const[0])
+ioctl$MON_IOCH_MFLUSH(fd fd_usbmon, cmd const[MON_IOCH_MFLUSH], arg intptr)
+
+mon_bin_stats {
+	queued int32
+	dropped int32
+}
+|}
+
+let usbmon_entry : Types.entry =
+  Types.driver_entry ~name:"usbmon" ~display_name:"usbmon#"
+    ~source:usbmon_source ~existing_spec:usbmon_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/usbmon0" ];
+        gt_fops = "mon_fops_binary";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("MON_IOCQ_URB_LEN", None, Syzlang.Ast.In);
+              ("MON_IOCG_STATS", Some "mon_bin_stats", Syzlang.Ast.Out);
+              ("MON_IOCT_RING_SIZE", None, Syzlang.Ast.In);
+              ("MON_IOCQ_RING_SIZE", None, Syzlang.Ast.In);
+              ("MON_IOCX_GET", Some "mon_bin_get", Syzlang.Ast.In);
+              ("MON_IOCX_MFETCH", Some "mon_bin_mfetch", Syzlang.Ast.Inout);
+              ("MON_IOCH_MFLUSH", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+let entries =
+  [ udmabuf_entry; i2c_entry; capi_entry; qat_entry; ppp_entry; rfkill_entry; usbmon_entry ]

@@ -1,0 +1,189 @@
+(** The PTP posix-clock driver ([/dev/ptp0], cdev + [device_create]).
+
+    Injected bug (Table 4): "memory leak in posix_clock_open"
+    (CVE-2024-26655) — a second concurrent open fails with -EBUSY after
+    the private context has already been allocated. *)
+
+let source =
+  {|
+#define PTP_CLK_MAGIC '='
+#define PTP_MAX_SAMPLES 25
+
+#define PTP_CLOCK_GETCAPS _IOR(PTP_CLK_MAGIC, 1, struct ptp_clock_caps)
+#define PTP_EXTTS_REQUEST _IOW(PTP_CLK_MAGIC, 2, struct ptp_extts_request)
+#define PTP_PEROUT_REQUEST _IOW(PTP_CLK_MAGIC, 3, struct ptp_perout_request)
+#define PTP_ENABLE_PPS _IOW(PTP_CLK_MAGIC, 4, int)
+#define PTP_SYS_OFFSET _IOW(PTP_CLK_MAGIC, 5, struct ptp_sys_offset)
+
+struct ptp_clock_caps {
+  int max_adj;      /* maximum frequency adjustment in ppb */
+  int n_alarm;
+  int n_ext_ts;
+  int n_per_out;
+  int pps;
+  int n_pins;
+  int cross_timestamping;
+  int adjust_phase;
+  int rsv[12];
+};
+
+struct ptp_clock_time {
+  s64 sec;
+  u32 nsec;
+  u32 reserved;
+};
+
+struct ptp_extts_request {
+  u32 index;
+  u32 flags;
+  u32 rsv[2];
+};
+
+struct ptp_perout_request {
+  struct ptp_clock_time start;
+  struct ptp_clock_time period;
+  u32 index;
+  u32 flags;
+  u32 rsv[4];
+};
+
+struct ptp_sys_offset {
+  u32 n_samples;   /* number of time samples requested */
+  u32 rsv[3];
+};
+
+struct posix_clock_context {
+  int mode;
+  void *private_clkdata;
+};
+
+static int _ptp_open_count;
+static int _ptp_pps_enabled;
+
+static int posix_clock_open(struct inode *inode, struct file *fp)
+{
+  struct posix_clock_context *pccontext;
+  pccontext = kzalloc(sizeof(struct posix_clock_context), GFP_KERNEL);
+  if (!pccontext)
+    return -ENOMEM;
+  pccontext->mode = 1;
+  if (_ptp_open_count > 0) {
+    /* exclusive clock: the error path leaks pccontext */
+    return -EBUSY;
+  }
+  _ptp_open_count = _ptp_open_count + 1;
+  fp->private_data = pccontext;
+  return 0;
+}
+
+static int posix_clock_release(struct inode *inode, struct file *fp)
+{
+  struct posix_clock_context *pccontext;
+  pccontext = (struct posix_clock_context *)fp->private_data;
+  if (pccontext)
+    kfree(pccontext);
+  _ptp_open_count = _ptp_open_count - 1;
+  fp->private_data = 0;
+  return 0;
+}
+
+static long ptp_ioctl(struct posix_clock_context *pccontext, unsigned int cmd,
+                      unsigned long arg)
+{
+  struct ptp_clock_caps caps;
+  struct ptp_extts_request extts;
+  struct ptp_perout_request perout;
+  struct ptp_sys_offset sysoff;
+  int enable;
+  switch (cmd) {
+  case PTP_CLOCK_GETCAPS:
+    memset(&caps, 0, sizeof(struct ptp_clock_caps));
+    caps.max_adj = 23999999;
+    caps.n_ext_ts = 2;
+    caps.pps = 1;
+    if (copy_to_user((void *)arg, &caps, sizeof(struct ptp_clock_caps)))
+      return -EFAULT;
+    return 0;
+  case PTP_EXTTS_REQUEST:
+    if (copy_from_user(&extts, (void *)arg, sizeof(struct ptp_extts_request)))
+      return -EFAULT;
+    if (extts.index >= 2)
+      return -EINVAL;
+    return 0;
+  case PTP_PEROUT_REQUEST:
+    if (copy_from_user(&perout, (void *)arg, sizeof(struct ptp_perout_request)))
+      return -EFAULT;
+    if (perout.index >= 1)
+      return -EINVAL;
+    if (perout.period.sec == 0 && perout.period.nsec == 0)
+      return -EINVAL;
+    return 0;
+  case PTP_ENABLE_PPS:
+    if (copy_from_user(&enable, (void *)arg, 4))
+      return -EFAULT;
+    if (!capable(0))
+      return -EPERM;
+    _ptp_pps_enabled = enable;
+    return 0;
+  case PTP_SYS_OFFSET:
+    if (copy_from_user(&sysoff, (void *)arg, sizeof(struct ptp_sys_offset)))
+      return -EFAULT;
+    if (sysoff.n_samples > PTP_MAX_SAMPLES)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static long posix_clock_ioctl(struct file *fp, unsigned int cmd, unsigned long arg)
+{
+  struct posix_clock_context *pccontext;
+  pccontext = (struct posix_clock_context *)fp->private_data;
+  if (!pccontext)
+    return -ENODEV;
+  return ptp_ioctl(pccontext, cmd, arg);
+}
+
+static const struct file_operations posix_clock_file_operations = {
+  .open = posix_clock_open,
+  .release = posix_clock_release,
+  .unlocked_ioctl = posix_clock_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int ptp_clock_register(void)
+{
+  cdev_init(0, &posix_clock_file_operations);
+  cdev_add(0, 0, 1);
+  device_create(0, 0, 0, 0, "ptp%d");
+  return 0;
+}
+|}
+
+let commands =
+  [
+    ("PTP_CLOCK_GETCAPS", Some "ptp_clock_caps", Syzlang.Ast.Out);
+    ("PTP_EXTTS_REQUEST", Some "ptp_extts_request", Syzlang.Ast.In);
+    ("PTP_PEROUT_REQUEST", Some "ptp_perout_request", Syzlang.Ast.In);
+    ("PTP_ENABLE_PPS", None, Syzlang.Ast.In);
+    ("PTP_SYS_OFFSET", Some "ptp_sys_offset", Syzlang.Ast.In);
+  ]
+
+let entry : Types.entry =
+  Types.driver_entry ~name:"posix_clock" ~display_name:"ptp0"
+    ~source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/ptp0" ];
+        gt_fops = "posix_clock_file_operations";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (name, ty, dir) -> { Types.gc_name = name; gc_arg_type = ty; gc_dir = dir })
+            commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()

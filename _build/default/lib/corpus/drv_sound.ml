@@ -1,0 +1,639 @@
+(** Sound-subsystem drivers of Table 5: controlC0 (ALSA control),
+    timer (ALSA timer) and mISDNtimer.
+
+    controlC0 and timer are the two rows where SyzDescribe infers a wrong
+    device name ("Err" in Table 5): their paths come from a format string
+    inside the sound-core registration helper, which the name-field rule
+    cannot see. *)
+
+(* ------------------------------------------------------------------ *)
+(* controlC0 (ALSA control)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let control_source =
+  {|
+#define SNDRV_CTL_IOCTL_PVERSION _IOR('U', 0x00, int)
+#define SNDRV_CTL_IOCTL_CARD_INFO _IOR('U', 0x01, struct snd_ctl_card_info)
+#define SNDRV_CTL_IOCTL_ELEM_LIST _IOWR('U', 0x10, struct snd_ctl_elem_list)
+#define SNDRV_CTL_IOCTL_ELEM_INFO _IOWR('U', 0x11, struct snd_ctl_elem_info)
+#define SNDRV_CTL_IOCTL_ELEM_READ _IOWR('U', 0x12, struct snd_ctl_elem_value)
+#define SNDRV_CTL_IOCTL_ELEM_WRITE _IOWR('U', 0x13, struct snd_ctl_elem_value)
+#define SNDRV_CTL_IOCTL_ELEM_LOCK _IOW('U', 0x14, struct snd_ctl_elem_id)
+#define SNDRV_CTL_IOCTL_ELEM_UNLOCK _IOW('U', 0x15, struct snd_ctl_elem_id)
+#define SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS _IOWR('U', 0x16, int)
+#define SNDRV_CTL_IOCTL_TLV_READ _IOWR('U', 0x1a, struct snd_ctl_tlv)
+#define SNDRV_CTL_IOCTL_POWER_STATE _IOR('U', 0xd1, int)
+#define SNDRV_CTL_ELEM_COUNT 8
+
+struct snd_ctl_elem_id {
+  u32 numid;          /* numeric identifier of the element */
+  u32 iface;
+  u32 device;
+  u32 subdevice;
+  char name[44];
+  u32 index;
+};
+
+struct snd_ctl_card_info {
+  s32 card;
+  char id[16];
+  char driver[16];
+  char name[32];
+  char longname[80];
+  char mixername[80];
+};
+
+struct snd_ctl_elem_list {
+  u32 offset;
+  u32 space;         /* number of ids allocated in pids */
+  u32 used;
+  u32 count;
+  u64 pids;
+};
+
+struct snd_ctl_elem_info {
+  struct snd_ctl_elem_id id;
+  u32 type;
+  u32 access;
+  u32 count;
+  s32 owner;
+};
+
+struct snd_ctl_elem_value {
+  struct snd_ctl_elem_id id;
+  u32 indirect;
+  s64 value[16];
+};
+
+struct snd_ctl_tlv {
+  u32 numid;
+  u32 length;       /* bytes in tlv */
+  u32 tlv[8];
+};
+
+struct snd_ctl_state {
+  int subscribed;
+  int locked_elem;
+};
+
+static struct snd_ctl_state _snd_ctl;
+
+static int snd_ctl_elem_id_valid(struct snd_ctl_elem_id *id)
+{
+  if (id->numid == 0 || id->numid > SNDRV_CTL_ELEM_COUNT)
+    return -ENOENT;
+  return 0;
+}
+
+static long snd_ctl_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct snd_ctl_card_info info;
+  struct snd_ctl_elem_list list;
+  struct snd_ctl_elem_info elem_info;
+  struct snd_ctl_elem_value elem_value;
+  struct snd_ctl_elem_id elem_id;
+  struct snd_ctl_tlv tlv;
+  int val;
+  int err;
+  switch (cmd) {
+  case SNDRV_CTL_IOCTL_PVERSION:
+    val = 0x20008;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case SNDRV_CTL_IOCTL_CARD_INFO:
+    memset(&info, 0, sizeof(struct snd_ctl_card_info));
+    info.card = 0;
+    strncpy(info.id, "Dummy", 16);
+    if (copy_to_user((void *)arg, &info, sizeof(struct snd_ctl_card_info)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_LIST:
+    if (copy_from_user(&list, (void *)arg, sizeof(struct snd_ctl_elem_list)))
+      return -EFAULT;
+    if (list.space > 1024)
+      return -ENOMEM;
+    list.count = SNDRV_CTL_ELEM_COUNT;
+    list.used = list.space;
+    if (copy_to_user((void *)arg, &list, sizeof(struct snd_ctl_elem_list)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_INFO:
+    if (copy_from_user(&elem_info, (void *)arg, sizeof(struct snd_ctl_elem_info)))
+      return -EFAULT;
+    err = snd_ctl_elem_id_valid(&elem_info.id);
+    if (err)
+      return err;
+    elem_info.count = 2;
+    if (copy_to_user((void *)arg, &elem_info, sizeof(struct snd_ctl_elem_info)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_READ:
+    if (copy_from_user(&elem_value, (void *)arg, sizeof(struct snd_ctl_elem_value)))
+      return -EFAULT;
+    err = snd_ctl_elem_id_valid(&elem_value.id);
+    if (err)
+      return err;
+    if (copy_to_user((void *)arg, &elem_value, sizeof(struct snd_ctl_elem_value)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_WRITE:
+    if (copy_from_user(&elem_value, (void *)arg, sizeof(struct snd_ctl_elem_value)))
+      return -EFAULT;
+    err = snd_ctl_elem_id_valid(&elem_value.id);
+    if (err)
+      return err;
+    if (_snd_ctl.locked_elem == elem_value.id.numid)
+      return -EPERM;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_LOCK:
+    if (copy_from_user(&elem_id, (void *)arg, sizeof(struct snd_ctl_elem_id)))
+      return -EFAULT;
+    err = snd_ctl_elem_id_valid(&elem_id);
+    if (err)
+      return err;
+    if (_snd_ctl.locked_elem)
+      return -EBUSY;
+    _snd_ctl.locked_elem = elem_id.numid;
+    return 0;
+  case SNDRV_CTL_IOCTL_ELEM_UNLOCK:
+    if (copy_from_user(&elem_id, (void *)arg, sizeof(struct snd_ctl_elem_id)))
+      return -EFAULT;
+    if (_snd_ctl.locked_elem != elem_id.numid)
+      return -EPERM;
+    _snd_ctl.locked_elem = 0;
+    return 0;
+  case SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    _snd_ctl.subscribed = val;
+    return 0;
+  case SNDRV_CTL_IOCTL_TLV_READ:
+    if (copy_from_user(&tlv, (void *)arg, sizeof(struct snd_ctl_tlv)))
+      return -EFAULT;
+    if (tlv.length < 8)
+      return -EINVAL;
+    if (tlv.numid == 0)
+      return -EINVAL;
+    return 0;
+  case SNDRV_CTL_IOCTL_POWER_STATE:
+    val = 0;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int snd_ctl_open(struct inode *inode, struct file *file)
+{
+  return 0;
+}
+
+static const struct file_operations snd_ctl_f_ops = {
+  .open = snd_ctl_open,
+  .unlocked_ioctl = snd_ctl_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int snd_ctl_dev_register(void)
+{
+  /* the device name is built by the sound core from a format string,
+     invisible to name-field pattern rules */
+  snd_register_device(0, &snd_ctl_f_ops, "controlC%i");
+  return 0;
+}
+|}
+
+let control_existing_spec =
+  {|resource fd_snd_ctl[fd]
+openat$sndctl(fd const[AT_FDCWD], file ptr[in, string["/dev/snd/controlC0"]], flags const[O_RDWR], mode const[0]) fd_snd_ctl
+ioctl$SNDRV_CTL_IOCTL_PVERSION(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_PVERSION], arg ptr[out, int32])
+ioctl$SNDRV_CTL_IOCTL_CARD_INFO(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_CARD_INFO], arg ptr[out, snd_ctl_card_info])
+ioctl$SNDRV_CTL_IOCTL_ELEM_LIST(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_LIST], arg ptr[inout, snd_ctl_elem_list])
+ioctl$SNDRV_CTL_IOCTL_ELEM_INFO(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_INFO], arg ptr[inout, snd_ctl_elem_info])
+ioctl$SNDRV_CTL_IOCTL_ELEM_READ(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_READ], arg ptr[inout, snd_ctl_elem_value])
+ioctl$SNDRV_CTL_IOCTL_ELEM_WRITE(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_WRITE], arg ptr[inout, snd_ctl_elem_value])
+ioctl$SNDRV_CTL_IOCTL_ELEM_LOCK(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_LOCK], arg ptr[in, snd_ctl_elem_id])
+ioctl$SNDRV_CTL_IOCTL_ELEM_UNLOCK(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_ELEM_UNLOCK], arg ptr[in, snd_ctl_elem_id])
+ioctl$SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS], arg ptr[inout, int32])
+ioctl$SNDRV_CTL_IOCTL_TLV_READ(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_TLV_READ], arg ptr[inout, snd_ctl_tlv])
+ioctl$SNDRV_CTL_IOCTL_POWER_STATE(fd fd_snd_ctl, cmd const[SNDRV_CTL_IOCTL_POWER_STATE], arg ptr[out, int32])
+
+snd_ctl_elem_id {
+	numid int32
+	iface int32
+	device int32
+	subdevice int32
+	name array[int8, 44]
+	index int32
+}
+snd_ctl_card_info {
+	card int32
+	id array[int8, 16]
+	driver array[int8, 16]
+	name array[int8, 32]
+	longname array[int8, 80]
+	mixername array[int8, 80]
+}
+snd_ctl_elem_list {
+	offset int32
+	space int32
+	used int32
+	count int32
+	pids int64
+}
+snd_ctl_elem_info {
+	id snd_ctl_elem_id
+	type int32
+	access int32
+	count int32
+	owner int32
+}
+snd_ctl_elem_value {
+	id snd_ctl_elem_id
+	indirect int32
+	value array[int64, 16]
+}
+snd_ctl_tlv {
+	numid int32
+	length int32
+	tlv array[int32, 8]
+}
+|}
+
+let control_entry : Types.entry =
+  Types.driver_entry ~name:"snd_control" ~display_name:"controlC#"
+    ~source:control_source ~existing_spec:control_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/snd/controlC0" ];
+        gt_fops = "snd_ctl_f_ops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("SNDRV_CTL_IOCTL_PVERSION", None, Syzlang.Ast.Out);
+              ("SNDRV_CTL_IOCTL_CARD_INFO", Some "snd_ctl_card_info", Syzlang.Ast.Out);
+              ("SNDRV_CTL_IOCTL_ELEM_LIST", Some "snd_ctl_elem_list", Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_ELEM_INFO", Some "snd_ctl_elem_info", Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_ELEM_READ", Some "snd_ctl_elem_value", Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_ELEM_WRITE", Some "snd_ctl_elem_value", Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_ELEM_LOCK", Some "snd_ctl_elem_id", Syzlang.Ast.In);
+              ("SNDRV_CTL_IOCTL_ELEM_UNLOCK", Some "snd_ctl_elem_id", Syzlang.Ast.In);
+              ("SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS", None, Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_TLV_READ", Some "snd_ctl_tlv", Syzlang.Ast.Inout);
+              ("SNDRV_CTL_IOCTL_POWER_STATE", None, Syzlang.Ast.Out);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* timer (ALSA timer)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let timer_source =
+  {|
+#define SNDRV_TIMER_IOCTL_PVERSION _IOR('T', 0x00, int)
+#define SNDRV_TIMER_IOCTL_NEXT_DEVICE _IOWR('T', 0x01, struct snd_timer_id)
+#define SNDRV_TIMER_IOCTL_SELECT _IOW('T', 0x10, struct snd_timer_select)
+#define SNDRV_TIMER_IOCTL_INFO _IOR('T', 0x11, struct snd_timer_info)
+#define SNDRV_TIMER_IOCTL_PARAMS _IOW('T', 0x12, struct snd_timer_params)
+#define SNDRV_TIMER_IOCTL_STATUS _IOR('T', 0x14, struct snd_timer_status)
+#define SNDRV_TIMER_IOCTL_START _IO('T', 0xa0)
+#define SNDRV_TIMER_IOCTL_STOP _IO('T', 0xa1)
+#define SNDRV_TIMER_IOCTL_CONTINUE _IO('T', 0xa2)
+#define SNDRV_TIMER_IOCTL_PAUSE _IO('T', 0xa3)
+
+struct snd_timer_id {
+  s32 dev_class;
+  s32 dev_sclass;
+  s32 card;
+  s32 device;
+  s32 subdevice;
+};
+
+struct snd_timer_select {
+  struct snd_timer_id id;
+  u8 reserved[32];
+};
+
+struct snd_timer_info {
+  u32 flags;
+  s32 card;
+  u8 id[64];
+  u8 name[80];
+  u64 reserved0;
+  u64 resolution;
+};
+
+struct snd_timer_params {
+  u32 flags;
+  u32 ticks;        /* requested resolution in ticks */
+  u32 queue_size;
+  u32 reserved0;
+  u32 filter;
+};
+
+struct snd_timer_status {
+  u64 tstamp_sec;
+  u64 tstamp_nsec;
+  u32 resolution;
+  u32 lost;
+  u32 overrun;
+  u32 queue;
+};
+
+struct snd_timer_user {
+  int selected;
+  int running;
+  u32 ticks;
+};
+
+static struct snd_timer_user _snd_timer;
+
+static long snd_timer_user_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct snd_timer_id id;
+  struct snd_timer_select sel;
+  struct snd_timer_info info;
+  struct snd_timer_params params;
+  struct snd_timer_status status;
+  int val;
+  switch (cmd) {
+  case SNDRV_TIMER_IOCTL_PVERSION:
+    val = 0x20007;
+    if (copy_to_user((void *)arg, &val, 4))
+      return -EFAULT;
+    return 0;
+  case SNDRV_TIMER_IOCTL_NEXT_DEVICE:
+    if (copy_from_user(&id, (void *)arg, sizeof(struct snd_timer_id)))
+      return -EFAULT;
+    id.device = id.device + 1;
+    if (copy_to_user((void *)arg, &id, sizeof(struct snd_timer_id)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_TIMER_IOCTL_SELECT:
+    if (copy_from_user(&sel, (void *)arg, sizeof(struct snd_timer_select)))
+      return -EFAULT;
+    if (sel.id.dev_class < 0 || sel.id.dev_class > 4)
+      return -EINVAL;
+    _snd_timer.selected = 1;
+    return 0;
+  case SNDRV_TIMER_IOCTL_INFO:
+    if (!_snd_timer.selected)
+      return -EBADFD;
+    memset(&info, 0, sizeof(struct snd_timer_info));
+    info.resolution = 1000000;
+    if (copy_to_user((void *)arg, &info, sizeof(struct snd_timer_info)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_TIMER_IOCTL_PARAMS:
+    if (!_snd_timer.selected)
+      return -EBADFD;
+    if (copy_from_user(&params, (void *)arg, sizeof(struct snd_timer_params)))
+      return -EFAULT;
+    if (params.ticks == 0)
+      return -EINVAL;
+    if (params.queue_size > 1024)
+      return -EINVAL;
+    _snd_timer.ticks = params.ticks;
+    return 0;
+  case SNDRV_TIMER_IOCTL_STATUS:
+    if (!_snd_timer.selected)
+      return -EBADFD;
+    memset(&status, 0, sizeof(struct snd_timer_status));
+    if (copy_to_user((void *)arg, &status, sizeof(struct snd_timer_status)))
+      return -EFAULT;
+    return 0;
+  case SNDRV_TIMER_IOCTL_START:
+    if (!_snd_timer.selected)
+      return -EBADFD;
+    if (_snd_timer.ticks == 0)
+      return -EINVAL;
+    _snd_timer.running = 1;
+    return 0;
+  case SNDRV_TIMER_IOCTL_STOP:
+    if (!_snd_timer.running)
+      return -EBADFD;
+    _snd_timer.running = 0;
+    return 0;
+  case SNDRV_TIMER_IOCTL_CONTINUE:
+    if (!_snd_timer.selected)
+      return -EBADFD;
+    _snd_timer.running = 1;
+    return 0;
+  case SNDRV_TIMER_IOCTL_PAUSE:
+    if (!_snd_timer.running)
+      return -EBADFD;
+    _snd_timer.running = 0;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static int snd_timer_user_open(struct inode *inode, struct file *file)
+{
+  _snd_timer.selected = 0;
+  _snd_timer.running = 0;
+  return 0;
+}
+
+static const struct file_operations snd_timer_f_ops = {
+  .open = snd_timer_user_open,
+  .unlocked_ioctl = snd_timer_user_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int snd_timer_register(void)
+{
+  snd_register_device(1, &snd_timer_f_ops, "timer");
+  return 0;
+}
+|}
+
+let timer_existing_spec =
+  {|resource fd_snd_timer[fd]
+openat$sndtimer(fd const[AT_FDCWD], file ptr[in, string["/dev/snd/timer"]], flags const[O_RDWR], mode const[0]) fd_snd_timer
+ioctl$SNDRV_TIMER_IOCTL_PVERSION(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_PVERSION], arg ptr[out, int32])
+ioctl$SNDRV_TIMER_IOCTL_NEXT_DEVICE(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_NEXT_DEVICE], arg ptr[inout, snd_timer_id])
+ioctl$SNDRV_TIMER_IOCTL_SELECT(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_SELECT], arg ptr[in, snd_timer_select])
+ioctl$SNDRV_TIMER_IOCTL_INFO(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_INFO], arg ptr[out, snd_timer_info])
+ioctl$SNDRV_TIMER_IOCTL_PARAMS(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_PARAMS], arg ptr[in, snd_timer_params])
+ioctl$SNDRV_TIMER_IOCTL_STATUS(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_STATUS], arg ptr[out, snd_timer_status])
+ioctl$SNDRV_TIMER_IOCTL_START(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_START], arg const[0])
+ioctl$SNDRV_TIMER_IOCTL_STOP(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_STOP], arg const[0])
+ioctl$SNDRV_TIMER_IOCTL_CONTINUE(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_CONTINUE], arg const[0])
+ioctl$SNDRV_TIMER_IOCTL_PAUSE(fd fd_snd_timer, cmd const[SNDRV_TIMER_IOCTL_PAUSE], arg const[0])
+
+snd_timer_id {
+	dev_class int32
+	dev_sclass int32
+	card int32
+	device int32
+	subdevice int32
+}
+snd_timer_select {
+	id snd_timer_id
+	reserved array[int8, 32]
+}
+snd_timer_info {
+	flags int32
+	card int32
+	id array[int8, 64]
+	name array[int8, 80]
+	reserved0 int64
+	resolution int64
+}
+snd_timer_params {
+	flags int32
+	ticks int32
+	queue_size int32
+	reserved0 int32
+	filter int32
+}
+snd_timer_status {
+	tstamp_sec int64
+	tstamp_nsec int64
+	resolution int32
+	lost int32
+	overrun int32
+	queue int32
+}
+|}
+
+let timer_entry : Types.entry =
+  Types.driver_entry ~name:"snd_timer" ~display_name:"timer"
+    ~source:timer_source ~existing_spec:timer_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/snd/timer" ];
+        gt_fops = "snd_timer_f_ops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("SNDRV_TIMER_IOCTL_PVERSION", None, Syzlang.Ast.Out);
+              ("SNDRV_TIMER_IOCTL_NEXT_DEVICE", Some "snd_timer_id", Syzlang.Ast.Inout);
+              ("SNDRV_TIMER_IOCTL_SELECT", Some "snd_timer_select", Syzlang.Ast.In);
+              ("SNDRV_TIMER_IOCTL_INFO", Some "snd_timer_info", Syzlang.Ast.Out);
+              ("SNDRV_TIMER_IOCTL_PARAMS", Some "snd_timer_params", Syzlang.Ast.In);
+              ("SNDRV_TIMER_IOCTL_STATUS", Some "snd_timer_status", Syzlang.Ast.Out);
+              ("SNDRV_TIMER_IOCTL_START", None, Syzlang.Ast.In);
+              ("SNDRV_TIMER_IOCTL_STOP", None, Syzlang.Ast.In);
+              ("SNDRV_TIMER_IOCTL_CONTINUE", None, Syzlang.Ast.In);
+              ("SNDRV_TIMER_IOCTL_PAUSE", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* mISDNtimer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let misdn_source =
+  {|
+#define IMADDTIMER _IOR('I', 64, int)
+#define IMDELTIMER _IOR('I', 65, int)
+#define MISDN_MAX_TIMERS 4
+
+static int _misdn_timers[4];
+
+static long mISDN_ioctl(struct file *filep, unsigned int cmd, unsigned long arg)
+{
+  int timeout;
+  int id;
+  int i;
+  switch (cmd) {
+  case IMADDTIMER:
+    if (copy_from_user(&timeout, (void *)arg, 4))
+      return -EFAULT;
+    if (timeout <= 0)
+      return -EINVAL;
+    for (i = 0; i < MISDN_MAX_TIMERS; i = i + 1) {
+      if (_misdn_timers[i] == 0) {
+        _misdn_timers[i] = timeout;
+        id = i + 1;
+        if (copy_to_user((void *)arg, &id, 4))
+          return -EFAULT;
+        return 0;
+      }
+    }
+    return -ENOSPC;
+  case IMDELTIMER:
+    if (copy_from_user(&id, (void *)arg, 4))
+      return -EFAULT;
+    if (id <= 0 || id > MISDN_MAX_TIMERS)
+      return -EINVAL;
+    if (_misdn_timers[id - 1] == 0)
+      return -ENOENT;
+    _misdn_timers[id - 1] = 0;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static ssize_t mISDN_read(struct file *filep, char *buf, size_t count, loff_t *off)
+{
+  if (count < 4)
+    return -ENOSPC;
+  return 4;
+}
+
+static int mISDN_open(struct inode *ino, struct file *filep)
+{
+  return 0;
+}
+
+static const struct file_operations mISDN_fops = {
+  .open = mISDN_open,
+  .read = mISDN_read,
+  .unlocked_ioctl = mISDN_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice mISDNtimer = {
+  .minor = 255,
+  .name = "mISDNtimer",
+  .fops = &mISDN_fops,
+};
+|}
+
+let misdn_existing_spec =
+  {|resource fd_misdn[fd]
+openat$misdntimer(fd const[AT_FDCWD], file ptr[in, string["/dev/mISDNtimer"]], flags const[O_RDWR], mode const[0]) fd_misdn
+ioctl$IMADDTIMER(fd fd_misdn, cmd const[IMADDTIMER], arg ptr[inout, int32])
+ioctl$IMDELTIMER(fd fd_misdn, cmd const[IMDELTIMER], arg ptr[in, int32])
+|}
+
+let misdn_entry : Types.entry =
+  Types.driver_entry ~name:"misdn_timer" ~display_name:"mISDNtimer"
+    ~source:misdn_source ~existing_spec:misdn_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/mISDNtimer" ];
+        gt_fops = "mISDN_fops";
+        gt_socket = None;
+        gt_ioctls =
+          [
+            { Types.gc_name = "IMADDTIMER"; gc_arg_type = None; gc_dir = Syzlang.Ast.Inout };
+            { Types.gc_name = "IMDELTIMER"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "read" ];
+      }
+    ()
+
+let entries = [ control_entry; timer_entry; misdn_entry ]

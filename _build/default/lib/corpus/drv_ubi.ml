@@ -1,0 +1,149 @@
+(** The UBI control driver ([/dev/ubi_ctrl], misc [.name] registration).
+
+    Injected bugs (Table 4):
+    - "zero-size vmalloc in ubi_read_volume_table" (CVE-2024-25739): a
+      [vid_hdr_offset] smaller than the slot size makes the computed
+      volume-table size zero;
+    - "memory leak in ubi_attach" (CVE-2024-25740): attaching an
+      already-attached MTD device bails out after allocating the ubi
+      device info. *)
+
+let source =
+  {|
+#define UBI_CTRL_IOC_MAGIC 'o'
+#define UBI_MAX_MTD 4
+#define UBI_VOL_TABLE_SLOT 64
+#define UBI_MAX_VOLUMES 128
+
+#define UBI_IOCATT _IOW(UBI_CTRL_IOC_MAGIC, 64, struct ubi_attach_req)
+#define UBI_IOCDET _IOW(UBI_CTRL_IOC_MAGIC, 65, s32)
+
+struct ubi_attach_req {
+  s32 ubi_num;
+  s32 mtd_num;
+  s32 vid_hdr_offset;   /* offset of the VID header within a physical block */
+  s16 max_beb_per1024;
+  s8 padding[10];
+};
+
+struct ubi_device_info {
+  int ubi_num;
+  int mtd_num;
+  int vol_count;
+  void *vtbl;
+};
+
+static int _ubi_attached[4];
+static struct ubi_device_info *_ubi_devs[4];
+
+static int ubi_read_volume_table(struct ubi_device_info *ubi, int vid_hdr_offset)
+{
+  int slots;
+  void *vtbl;
+  slots = vid_hdr_offset / UBI_VOL_TABLE_SLOT;
+  if (slots > UBI_MAX_VOLUMES)
+    slots = UBI_MAX_VOLUMES;
+  /* a vid_hdr_offset below the slot size makes this a zero-size vmalloc */
+  vtbl = vmalloc(slots * UBI_VOL_TABLE_SLOT);
+  if (!vtbl)
+    return -ENOMEM;
+  ubi->vtbl = vtbl;
+  ubi->vol_count = slots;
+  return 0;
+}
+
+static int ubi_attach(struct ubi_attach_req *req)
+{
+  struct ubi_device_info *ubi;
+  int err;
+  if (req->mtd_num < 0 || req->mtd_num >= UBI_MAX_MTD)
+    return -EINVAL;
+  if (req->max_beb_per1024 <= 0 || req->max_beb_per1024 > 100)
+    return -EINVAL;
+  ubi = kzalloc(sizeof(struct ubi_device_info), GFP_KERNEL);
+  if (!ubi)
+    return -ENOMEM;
+  ubi->mtd_num = req->mtd_num;
+  if (req->vid_hdr_offset == 0)
+    req->vid_hdr_offset = 2048; /* 0 selects the default offset */
+  if (_ubi_attached[req->mtd_num]) {
+    /* already attached: the error path forgets to free ubi */
+    return -EEXIST;
+  }
+  err = ubi_read_volume_table(ubi, req->vid_hdr_offset);
+  if (err) {
+    kfree(ubi);
+    return err;
+  }
+  _ubi_attached[req->mtd_num] = 1;
+  _ubi_devs[req->mtd_num] = ubi;
+  return 0;
+}
+
+static int ubi_detach(s32 ubi_num)
+{
+  struct ubi_device_info *ubi;
+  if (ubi_num < 0 || ubi_num >= UBI_MAX_MTD)
+    return -EINVAL;
+  if (!_ubi_attached[ubi_num])
+    return -EINVAL;
+  ubi = _ubi_devs[ubi_num];
+  if (ubi) {
+    vfree(ubi->vtbl);
+    kfree(ubi);
+    _ubi_devs[ubi_num] = 0;
+  }
+  _ubi_attached[ubi_num] = 0;
+  return 0;
+}
+
+static long ctrl_cdev_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  struct ubi_attach_req req;
+  s32 ubi_num;
+  if (!capable(0))
+    return -EPERM;
+  switch (cmd) {
+  case UBI_IOCATT:
+    if (copy_from_user(&req, (void *)arg, sizeof(struct ubi_attach_req)))
+      return -EFAULT;
+    return ubi_attach(&req);
+  case UBI_IOCDET:
+    if (copy_from_user(&ubi_num, (void *)arg, 4))
+      return -EFAULT;
+    return ubi_detach(ubi_num);
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations ubi_ctrl_cdev_operations = {
+  .unlocked_ioctl = ctrl_cdev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice ubi_ctrl_cdev = {
+  .minor = 238,
+  .name = "ubi_ctrl",
+  .fops = &ubi_ctrl_cdev_operations,
+};
+|}
+
+let entry : Types.entry =
+  Types.driver_entry ~name:"ubi" ~display_name:"ubi_ctrl"
+    ~source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/ubi_ctrl" ];
+        gt_fops = "ubi_ctrl_cdev_operations";
+        gt_socket = None;
+        gt_ioctls =
+          [
+            { Types.gc_name = "UBI_IOCATT"; gc_arg_type = Some "ubi_attach_req"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "UBI_IOCDET"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()

@@ -1,0 +1,259 @@
+(** The virtual USB gadget / UVC function driver ([/dev/vgadget0]).
+
+    Injected bugs (Table 4):
+    - "WARNING in usb_ep_queue" (CVE-2024-25741): queueing on an endpoint
+      that was never enabled;
+    - "BUG: corrupted list in vep_queue": queueing the same request
+      object twice;
+    - "divide error in uvc_queue_setup": a zero [bytesperline] in the
+      negotiated format;
+    - "WARNING in vb2_core_reqbufs": re-requesting buffers while
+      streaming. *)
+
+let source =
+  {|
+#define VG_MAX_EP 4
+#define VG_MAX_REQ 8
+
+#define VG_MAGIC 'g'
+#define GADGET_EP_ENABLE_NR 1
+#define GADGET_EP_DISABLE_NR 2
+#define GADGET_EP_QUEUE_NR 3
+#define GADGET_EP_DEQUEUE_NR 4
+#define UVC_SET_FORMAT_NR 5
+#define UVC_REQBUFS_NR 6
+#define UVC_STREAMON_NR 7
+#define UVC_STREAMOFF_NR 8
+#define GADGET_EP_ENABLE _IOW(VG_MAGIC, GADGET_EP_ENABLE_NR, struct vg_ep_desc)
+#define GADGET_EP_DISABLE _IOW(VG_MAGIC, GADGET_EP_DISABLE_NR, u32)
+#define GADGET_EP_QUEUE _IOW(VG_MAGIC, GADGET_EP_QUEUE_NR, struct vg_request)
+#define GADGET_EP_DEQUEUE _IOW(VG_MAGIC, GADGET_EP_DEQUEUE_NR, struct vg_request)
+#define UVC_SET_FORMAT _IOWR(VG_MAGIC, UVC_SET_FORMAT_NR, struct uvc_format)
+#define UVC_REQBUFS _IOWR(VG_MAGIC, UVC_REQBUFS_NR, struct uvc_requestbuffers)
+#define UVC_STREAMON _IOW(VG_MAGIC, UVC_STREAMON_NR, u32)
+#define UVC_STREAMOFF _IOW(VG_MAGIC, UVC_STREAMOFF_NR, u32)
+
+struct vg_ep_desc {
+  u32 ep_num;          /* endpoint index */
+  u32 maxpacket;
+  u32 transfer_type;
+};
+
+struct vg_request {
+  u32 ep_num;
+  u32 req_id;          /* request slot, must be below VG_MAX_REQ */
+  u32 length;
+  u32 flags;
+};
+
+struct uvc_format {
+  u32 width;
+  u32 height;
+  u32 bytesperline;    /* bytes per scan line, 0 lets the driver choose */
+  u32 sizeimage;
+  u32 pixelformat;
+};
+
+struct uvc_requestbuffers {
+  u32 count;
+  u32 memory;
+};
+
+struct vg_ep {
+  int enabled;
+  u32 maxpacket;
+};
+
+struct vg_req_slot {
+  int used;
+  struct list_head entry;
+};
+
+struct uvc_queue {
+  int streaming;
+  u32 num_buffers;
+  u32 sizes;
+};
+
+static struct vg_ep _vg_eps[4];
+static struct vg_req_slot _vg_reqs[8];
+static struct uvc_queue _uvc_queue;
+static struct uvc_format _uvc_format;
+
+static int usb_ep_enable(struct vg_ep_desc *desc)
+{
+  if (desc->ep_num >= VG_MAX_EP)
+    return -EINVAL;
+  if (desc->maxpacket == 0 || desc->maxpacket > 1024)
+    return -EINVAL;
+  _vg_eps[desc->ep_num].enabled = 1;
+  _vg_eps[desc->ep_num].maxpacket = desc->maxpacket;
+  return 0;
+}
+
+static int usb_ep_disable(u32 ep_num)
+{
+  if (ep_num >= VG_MAX_EP)
+    return -EINVAL;
+  _vg_eps[ep_num].enabled = 0;
+  return 0;
+}
+
+static int vep_queue(struct vg_req_slot *slot)
+{
+  /* double-queueing corrupts the endpoint's request list */
+  list_add_tail(&slot->entry, 0);
+  slot->used = 1;
+  return 0;
+}
+
+static int usb_ep_queue(struct vg_request *req)
+{
+  struct vg_ep *ep;
+  if (req->ep_num >= VG_MAX_EP)
+    return -EINVAL;
+  if (req->req_id >= VG_MAX_REQ)
+    return -EINVAL;
+  ep = &_vg_eps[req->ep_num];
+  /* queueing on a disabled endpoint trips the gadget core */
+  WARN_ON(!ep->enabled);
+  return vep_queue(&_vg_reqs[req->req_id]);
+}
+
+static int usb_ep_dequeue(struct vg_request *req)
+{
+  struct vg_req_slot *slot;
+  if (req->req_id >= VG_MAX_REQ)
+    return -EINVAL;
+  slot = &_vg_reqs[req->req_id];
+  if (!slot->used)
+    return -EINVAL;
+  list_del(&slot->entry);
+  slot->used = 0;
+  return 0;
+}
+
+static int uvc_queue_setup(struct uvc_queue *queue, struct uvc_format *fmt,
+                           struct uvc_requestbuffers *req)
+{
+  u32 lines;
+  /* bytesperline may be zero when the format was never negotiated */
+  lines = fmt->sizeimage / fmt->bytesperline;
+  if (lines == 0)
+    return -EINVAL;
+  queue->num_buffers = req->count;
+  queue->sizes = lines * fmt->bytesperline;
+  return 0;
+}
+
+static int vb2_core_reqbufs(struct uvc_queue *queue, struct uvc_requestbuffers *req)
+{
+  /* re-negotiating buffers while streaming is a vb2 API violation */
+  WARN_ON(queue->streaming);
+  if (req->count == 0 || req->count > 32)
+    return -EINVAL;
+  return uvc_queue_setup(queue, &_uvc_format, req);
+}
+
+static long vgadget_do_ioctl(struct file *file, unsigned int nr, unsigned long arg)
+{
+  struct vg_ep_desc desc;
+  struct vg_request req;
+  struct uvc_format fmt;
+  struct uvc_requestbuffers bufs;
+  u32 val;
+  int ret;
+  switch (nr) {
+  case GADGET_EP_ENABLE_NR:
+    if (copy_from_user(&desc, (void *)arg, sizeof(struct vg_ep_desc)))
+      return -EFAULT;
+    return usb_ep_enable(&desc);
+  case GADGET_EP_DISABLE_NR:
+    if (copy_from_user(&val, (void *)arg, 4))
+      return -EFAULT;
+    return usb_ep_disable(val);
+  case GADGET_EP_QUEUE_NR:
+    if (copy_from_user(&req, (void *)arg, sizeof(struct vg_request)))
+      return -EFAULT;
+    return usb_ep_queue(&req);
+  case GADGET_EP_DEQUEUE_NR:
+    if (copy_from_user(&req, (void *)arg, sizeof(struct vg_request)))
+      return -EFAULT;
+    return usb_ep_dequeue(&req);
+  case UVC_SET_FORMAT_NR:
+    if (copy_from_user(&fmt, (void *)arg, sizeof(struct uvc_format)))
+      return -EFAULT;
+    if (fmt.width == 0 || fmt.height == 0)
+      return -EINVAL;
+    _uvc_format.width = fmt.width;
+    _uvc_format.height = fmt.height;
+    _uvc_format.bytesperline = fmt.bytesperline;
+    _uvc_format.sizeimage = fmt.sizeimage;
+    _uvc_format.pixelformat = fmt.pixelformat;
+    return 0;
+  case UVC_REQBUFS_NR:
+    if (copy_from_user(&bufs, (void *)arg, sizeof(struct uvc_requestbuffers)))
+      return -EFAULT;
+    ret = vb2_core_reqbufs(&_uvc_queue, &bufs);
+    return ret;
+  case UVC_STREAMON_NR:
+    if (_uvc_queue.num_buffers == 0)
+      return -EINVAL;
+    _uvc_queue.streaming = 1;
+    return 0;
+  case UVC_STREAMOFF_NR:
+    _uvc_queue.streaming = 0;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static long vgadget_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  if (_IOC_TYPE(cmd) != VG_MAGIC)
+    return -ENOTTY;
+  return vgadget_do_ioctl(file, _IOC_NR(cmd), arg);
+}
+
+static const struct file_operations vgadget_fops = {
+  .unlocked_ioctl = vgadget_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice vgadget_misc = {
+  .minor = 127,
+  .name = "vgadget0",
+  .fops = &vgadget_fops,
+};
+|}
+
+let commands =
+  [
+    ("GADGET_EP_ENABLE", Some "vg_ep_desc", Syzlang.Ast.In);
+    ("GADGET_EP_DISABLE", None, Syzlang.Ast.In);
+    ("GADGET_EP_QUEUE", Some "vg_request", Syzlang.Ast.In);
+    ("GADGET_EP_DEQUEUE", Some "vg_request", Syzlang.Ast.In);
+    ("UVC_SET_FORMAT", Some "uvc_format", Syzlang.Ast.Inout);
+    ("UVC_REQBUFS", Some "uvc_requestbuffers", Syzlang.Ast.Inout);
+    ("UVC_STREAMON", None, Syzlang.Ast.In);
+    ("UVC_STREAMOFF", None, Syzlang.Ast.In);
+  ]
+
+let entry : Types.entry =
+  Types.driver_entry ~name:"vgadget" ~display_name:"vgadget0"
+    ~source
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/vgadget0" ];
+        gt_fops = "vgadget_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (name, ty, dir) -> { Types.gc_name = name; gc_arg_type = ty; gc_dir = dir })
+            commands;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()

@@ -1,0 +1,1006 @@
+(** Virtualization drivers of Table 5: kvm, vhost-net, vhost-vsock, vmci
+    and vsock.
+
+    kvm is the paper's flagship dependency case: [KVM_CREATE_VM] and
+    [KVM_CREATE_VCPU] return *new* file descriptors dispatching through
+    [kvm_vm_fops] / [kvm_vcpu_fops] ([anon_inode_getfd]). Discovering
+    those two handlers is what gives KernelGPT its 42.5%/65.2% coverage
+    edge in §5.2.1. *)
+
+(* ------------------------------------------------------------------ *)
+(* kvm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let kvm_source =
+  {|
+#define KVMIO 0xae
+#define KVM_API_VERSION 12
+#define KVM_MAX_VCPUS 8
+#define KVM_MAX_MEMSLOTS 32
+#define KVM_MEM_LOG_DIRTY_PAGES 1
+#define KVM_MEM_READONLY 2
+
+#define KVM_GET_API_VERSION _IO(KVMIO, 0x00)
+#define KVM_CREATE_VM _IO(KVMIO, 0x01)
+#define KVM_CHECK_EXTENSION _IO(KVMIO, 0x03)
+#define KVM_GET_VCPU_MMAP_SIZE _IO(KVMIO, 0x04)
+#define KVM_GET_MSR_INDEX_LIST _IOWR(KVMIO, 0x02, struct kvm_msr_list)
+
+#define KVM_CREATE_VCPU _IO(KVMIO, 0x41)
+#define KVM_SET_USER_MEMORY_REGION _IOW(KVMIO, 0x46, struct kvm_userspace_memory_region)
+#define KVM_GET_DIRTY_LOG _IOW(KVMIO, 0x42, struct kvm_dirty_log)
+#define KVM_CREATE_IRQCHIP _IO(KVMIO, 0x60)
+#define KVM_IRQ_LINE _IOW(KVMIO, 0x61, struct kvm_irq_level)
+#define KVM_CREATE_PIT2 _IOW(KVMIO, 0x77, struct kvm_pit_config)
+#define KVM_SET_TSS_ADDR _IO(KVMIO, 0x47)
+
+#define KVM_RUN _IO(KVMIO, 0x80)
+#define KVM_GET_REGS _IOR(KVMIO, 0x81, struct kvm_regs)
+#define KVM_SET_REGS _IOW(KVMIO, 0x82, struct kvm_regs)
+#define KVM_GET_SREGS _IOR(KVMIO, 0x83, struct kvm_sregs)
+#define KVM_SET_SREGS _IOW(KVMIO, 0x84, struct kvm_sregs)
+#define KVM_INTERRUPT _IOW(KVMIO, 0x86, struct kvm_interrupt)
+#define KVM_SET_CPUID2 _IOW(KVMIO, 0x90, struct kvm_cpuid2)
+
+struct kvm_msr_list {
+  u32 nmsrs;          /* number of msrs in entries */
+  u32 indices[16];
+};
+
+struct kvm_userspace_memory_region {
+  u32 slot;
+  u32 flags;
+  u64 guest_phys_addr;
+  u64 memory_size;    /* bytes */
+  u64 userspace_addr;
+};
+
+struct kvm_dirty_log {
+  u32 slot;
+  u32 padding;
+  u64 dirty_bitmap;
+};
+
+struct kvm_irq_level {
+  u32 irq;
+  u32 level;
+};
+
+struct kvm_pit_config {
+  u32 flags;
+  u32 pad[15];
+};
+
+struct kvm_regs {
+  u64 rax;
+  u64 rbx;
+  u64 rcx;
+  u64 rdx;
+  u64 rsi;
+  u64 rdi;
+  u64 rsp;
+  u64 rbp;
+  u64 rip;
+  u64 rflags;
+};
+
+struct kvm_segment {
+  u64 base;
+  u32 limit;
+  u16 selector;
+  u8 type;
+  u8 present;
+};
+
+struct kvm_sregs {
+  struct kvm_segment cs;
+  struct kvm_segment ds;
+  struct kvm_segment es;
+  struct kvm_segment ss;
+  u64 cr0;
+  u64 cr2;
+  u64 cr3;
+  u64 cr4;
+  u64 efer;
+};
+
+struct kvm_interrupt {
+  u32 irq;
+};
+
+struct kvm_cpuid_entry2 {
+  u32 function;
+  u32 index;
+  u32 flags;
+  u32 eax;
+  u32 ebx;
+  u32 ecx;
+  u32 edx;
+};
+
+struct kvm_cpuid2 {
+  u32 nent;          /* number of entries */
+  u32 padding;
+  struct kvm_cpuid_entry2 entries[8];
+};
+
+struct kvm_vm_state {
+  int created;
+  int vcpus;
+  int irqchip;
+  int pit;
+  u32 memslots_used;
+  u64 tss_addr;
+};
+
+struct kvm_vcpu_state {
+  int running;
+  int cpuid_set;
+  u64 rip;
+};
+
+static struct kvm_vm_state _kvm_vm;
+static struct kvm_vcpu_state _kvm_vcpu;
+
+static long kvm_vcpu_ioctl(struct file *filp, unsigned int ioctl, unsigned long arg)
+{
+  struct kvm_regs regs;
+  struct kvm_sregs sregs;
+  struct kvm_interrupt irq;
+  struct kvm_cpuid2 cpuid;
+  switch (ioctl) {
+  case KVM_RUN:
+    if (!_kvm_vcpu.cpuid_set)
+      return -ENOEXEC;
+    _kvm_vcpu.running = 1;
+    return 0;
+  case KVM_GET_REGS:
+    regs.rip = _kvm_vcpu.rip;
+    if (copy_to_user((void *)arg, &regs, sizeof(struct kvm_regs)))
+      return -EFAULT;
+    return 0;
+  case KVM_SET_REGS:
+    if (copy_from_user(&regs, (void *)arg, sizeof(struct kvm_regs)))
+      return -EFAULT;
+    _kvm_vcpu.rip = regs.rip;
+    return 0;
+  case KVM_GET_SREGS:
+    if (copy_to_user((void *)arg, &sregs, sizeof(struct kvm_sregs)))
+      return -EFAULT;
+    return 0;
+  case KVM_SET_SREGS:
+    if (copy_from_user(&sregs, (void *)arg, sizeof(struct kvm_sregs)))
+      return -EFAULT;
+    if (sregs.cr0 & 0x80000000) {
+      if (sregs.cr4 == 0)
+        return -EINVAL;
+    }
+    return 0;
+  case KVM_INTERRUPT:
+    if (copy_from_user(&irq, (void *)arg, sizeof(struct kvm_interrupt)))
+      return -EFAULT;
+    if (irq.irq > 255)
+      return -EINVAL;
+    if (!_kvm_vcpu.running)
+      return -ENXIO;
+    return 0;
+  case KVM_SET_CPUID2:
+    if (copy_from_user(&cpuid, (void *)arg, sizeof(struct kvm_cpuid2)))
+      return -EFAULT;
+    if (cpuid.nent > 8)
+      return -E2BIG;
+    _kvm_vcpu.cpuid_set = 1;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations kvm_vcpu_fops = {
+  .unlocked_ioctl = kvm_vcpu_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int kvm_vm_ioctl_create_vcpu(void)
+{
+  if (_kvm_vm.vcpus >= KVM_MAX_VCPUS)
+    return -EINVAL;
+  _kvm_vm.vcpus = _kvm_vm.vcpus + 1;
+  return anon_inode_getfd("kvm-vcpu", &kvm_vcpu_fops, 0, 0);
+}
+
+static int kvm_vm_ioctl_set_memory_region(struct kvm_userspace_memory_region *mem)
+{
+  if (mem->slot >= KVM_MAX_MEMSLOTS)
+    return -EINVAL;
+  if (mem->memory_size & 0xfff)
+    return -EINVAL;
+  if (mem->guest_phys_addr & 0xfff)
+    return -EINVAL;
+  if (mem->flags & ~(KVM_MEM_LOG_DIRTY_PAGES | KVM_MEM_READONLY))
+    return -EINVAL;
+  _kvm_vm.memslots_used = _kvm_vm.memslots_used + 1;
+  return 0;
+}
+
+static long kvm_vm_ioctl(struct file *filp, unsigned int ioctl, unsigned long arg)
+{
+  struct kvm_userspace_memory_region mem;
+  struct kvm_dirty_log log;
+  struct kvm_irq_level irq_level;
+  struct kvm_pit_config pit;
+  switch (ioctl) {
+  case KVM_CREATE_VCPU:
+    return kvm_vm_ioctl_create_vcpu();
+  case KVM_SET_USER_MEMORY_REGION:
+    if (copy_from_user(&mem, (void *)arg, sizeof(struct kvm_userspace_memory_region)))
+      return -EFAULT;
+    return kvm_vm_ioctl_set_memory_region(&mem);
+  case KVM_GET_DIRTY_LOG:
+    if (copy_from_user(&log, (void *)arg, sizeof(struct kvm_dirty_log)))
+      return -EFAULT;
+    if (log.slot >= KVM_MAX_MEMSLOTS)
+      return -EINVAL;
+    return 0;
+  case KVM_CREATE_IRQCHIP:
+    if (_kvm_vm.irqchip)
+      return -EEXIST;
+    _kvm_vm.irqchip = 1;
+    return 0;
+  case KVM_IRQ_LINE:
+    if (copy_from_user(&irq_level, (void *)arg, sizeof(struct kvm_irq_level)))
+      return -EFAULT;
+    if (!_kvm_vm.irqchip)
+      return -ENXIO;
+    if (irq_level.irq > 23)
+      return -EINVAL;
+    return 0;
+  case KVM_CREATE_PIT2:
+    if (copy_from_user(&pit, (void *)arg, sizeof(struct kvm_pit_config)))
+      return -EFAULT;
+    if (!_kvm_vm.irqchip)
+      return -ENXIO;
+    _kvm_vm.pit = 1;
+    return 0;
+  case KVM_SET_TSS_ADDR:
+    _kvm_vm.tss_addr = arg;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations kvm_vm_fops = {
+  .unlocked_ioctl = kvm_vm_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static int kvm_dev_ioctl_create_vm(unsigned long type)
+{
+  if (type != 0)
+    return -EINVAL;
+  _kvm_vm.created = 1;
+  return anon_inode_getfd("kvm-vm", &kvm_vm_fops, 0, 0);
+}
+
+static long kvm_dev_ioctl(struct file *filp, unsigned int ioctl, unsigned long arg)
+{
+  struct kvm_msr_list msrs;
+  switch (ioctl) {
+  case KVM_GET_API_VERSION:
+    if (arg)
+      return -EINVAL;
+    return KVM_API_VERSION;
+  case KVM_CREATE_VM:
+    return kvm_dev_ioctl_create_vm(arg);
+  case KVM_CHECK_EXTENSION:
+    if (arg > 200)
+      return 0;
+    return 1;
+  case KVM_GET_VCPU_MMAP_SIZE:
+    if (arg)
+      return -EINVAL;
+    return 4096;
+  case KVM_GET_MSR_INDEX_LIST:
+    if (copy_from_user(&msrs, (void *)arg, sizeof(struct kvm_msr_list)))
+      return -EFAULT;
+    if (msrs.nmsrs > 16)
+      return -E2BIG;
+    if (copy_to_user((void *)arg, &msrs, sizeof(struct kvm_msr_list)))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOTTY;
+  }
+}
+
+static const struct file_operations kvm_chardev_ops = {
+  .unlocked_ioctl = kvm_dev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice kvm_dev = {
+  .minor = 232,
+  .name = "kvm",
+  .fops = &kvm_chardev_ops,
+};
+|}
+
+(* Syzkaller's manual kvm spec: rich but misses the vcpu handler chain. *)
+let kvm_existing_spec =
+  {|resource fd_kvm[fd]
+resource fd_kvm_vm[fd]
+openat$kvm(fd const[AT_FDCWD], file ptr[in, string["/dev/kvm"]], flags const[O_RDWR], mode const[0]) fd_kvm
+ioctl$KVM_GET_API_VERSION(fd fd_kvm, cmd const[KVM_GET_API_VERSION], arg const[0])
+ioctl$KVM_CREATE_VM(fd fd_kvm, cmd const[KVM_CREATE_VM], arg const[0]) fd_kvm_vm
+ioctl$KVM_CHECK_EXTENSION(fd fd_kvm, cmd const[KVM_CHECK_EXTENSION], arg intptr)
+ioctl$KVM_GET_VCPU_MMAP_SIZE(fd fd_kvm, cmd const[KVM_GET_VCPU_MMAP_SIZE], arg const[0])
+ioctl$KVM_SET_USER_MEMORY_REGION(fd fd_kvm_vm, cmd const[KVM_SET_USER_MEMORY_REGION], arg ptr[in, kvm_userspace_memory_region])
+ioctl$KVM_CREATE_IRQCHIP(fd fd_kvm_vm, cmd const[KVM_CREATE_IRQCHIP], arg const[0])
+ioctl$KVM_IRQ_LINE(fd fd_kvm_vm, cmd const[KVM_IRQ_LINE], arg ptr[in, kvm_irq_level])
+ioctl$KVM_SET_TSS_ADDR(fd fd_kvm_vm, cmd const[KVM_SET_TSS_ADDR], arg intptr)
+
+kvm_userspace_memory_region {
+	slot int32
+	flags int32
+	guest_phys_addr int64
+	memory_size int64
+	userspace_addr int64
+}
+kvm_irq_level {
+	irq int32
+	level int32
+}
+|}
+
+let kvm_entry : Types.entry =
+  Types.driver_entry ~name:"kvm" ~display_name:"kvm"
+    ~source:kvm_source ~existing_spec:kvm_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/kvm" ];
+        gt_fops = "kvm_chardev_ops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("KVM_GET_API_VERSION", None, Syzlang.Ast.In);
+              ("KVM_CREATE_VM", None, Syzlang.Ast.In);
+              ("KVM_CHECK_EXTENSION", None, Syzlang.Ast.In);
+              ("KVM_GET_VCPU_MMAP_SIZE", None, Syzlang.Ast.In);
+              ("KVM_GET_MSR_INDEX_LIST", Some "kvm_msr_list", Syzlang.Ast.Inout);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(** Ground truth for the dependent handlers (used by the §5.1.3 audit). *)
+let kvm_dep_handlers =
+  [
+    ( "kvm_vm_fops",
+      [
+        "KVM_CREATE_VCPU"; "KVM_SET_USER_MEMORY_REGION"; "KVM_GET_DIRTY_LOG";
+        "KVM_CREATE_IRQCHIP"; "KVM_IRQ_LINE"; "KVM_CREATE_PIT2"; "KVM_SET_TSS_ADDR";
+      ] );
+    ( "kvm_vcpu_fops",
+      [
+        "KVM_RUN"; "KVM_GET_REGS"; "KVM_SET_REGS"; "KVM_GET_SREGS"; "KVM_SET_SREGS";
+        "KVM_INTERRUPT"; "KVM_SET_CPUID2";
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* vhost-net                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vhost_net_source =
+  {|
+#define VHOST_VIRTIO 0xaf
+#define VHOST_MAX_QUEUES 2
+
+#define VHOST_GET_FEATURES _IOR(VHOST_VIRTIO, 0x00, u64)
+#define VHOST_SET_FEATURES _IOW(VHOST_VIRTIO, 0x00, u64)
+#define VHOST_SET_OWNER _IO(VHOST_VIRTIO, 0x01)
+#define VHOST_RESET_OWNER _IO(VHOST_VIRTIO, 0x02)
+#define VHOST_SET_MEM_TABLE _IOW(VHOST_VIRTIO, 0x03, struct vhost_memory)
+#define VHOST_SET_VRING_NUM _IOW(VHOST_VIRTIO, 0x10, struct vhost_vring_state)
+#define VHOST_SET_VRING_BASE _IOW(VHOST_VIRTIO, 0x12, struct vhost_vring_state)
+#define VHOST_GET_VRING_BASE _IOWR(VHOST_VIRTIO, 0x12, struct vhost_vring_state)
+#define VHOST_SET_VRING_ADDR _IOW(VHOST_VIRTIO, 0x11, struct vhost_vring_addr)
+#define VHOST_NET_SET_BACKEND _IOW(VHOST_VIRTIO, 0x30, struct vhost_vring_file)
+
+struct vhost_memory_region {
+  u64 guest_phys_addr;
+  u64 memory_size;
+  u64 userspace_addr;
+  u64 flags_padding;
+};
+
+struct vhost_memory {
+  u32 nregions;      /* number of regions that follow */
+  u32 padding;
+  struct vhost_memory_region regions[4];
+};
+
+struct vhost_vring_state {
+  u32 index;         /* virtqueue index */
+  u32 num;
+};
+
+struct vhost_vring_addr {
+  u32 index;
+  u32 flags;
+  u64 desc_user_addr;
+  u64 used_user_addr;
+  u64 avail_user_addr;
+  u64 log_guest_addr;
+};
+
+struct vhost_vring_file {
+  u32 index;
+  s32 fd;            /* tap device fd, -1 to unbind */
+};
+
+struct vhost_net_state {
+  int owner_set;
+  u64 features;
+  u32 vring_num[2];
+  int backend[2];
+};
+
+static struct vhost_net_state _vhost_net;
+
+static long vhost_net_set_backend(struct vhost_vring_file *file)
+{
+  if (file->index >= VHOST_MAX_QUEUES)
+    return -ENOBUFS;
+  if (!_vhost_net.owner_set)
+    return -EPERM;
+  _vhost_net.backend[file->index] = file->fd;
+  return 0;
+}
+
+static long vhost_net_ioctl(struct file *f, unsigned int ioctl, unsigned long arg)
+{
+  struct vhost_vring_state state;
+  struct vhost_vring_addr addr;
+  struct vhost_vring_file backend;
+  struct vhost_memory mem;
+  u64 features;
+  switch (ioctl) {
+  case VHOST_GET_FEATURES:
+    features = 0x100000000;
+    if (copy_to_user((void *)arg, &features, 8))
+      return -EFAULT;
+    return 0;
+  case VHOST_SET_FEATURES:
+    if (copy_from_user(&features, (void *)arg, 8))
+      return -EFAULT;
+    if (features & ~0x1ffffffff)
+      return -EOPNOTSUPP;
+    _vhost_net.features = features;
+    return 0;
+  case VHOST_SET_OWNER:
+    if (_vhost_net.owner_set)
+      return -EBUSY;
+    _vhost_net.owner_set = 1;
+    return 0;
+  case VHOST_RESET_OWNER:
+    _vhost_net.owner_set = 0;
+    return 0;
+  case VHOST_SET_MEM_TABLE:
+    if (copy_from_user(&mem, (void *)arg, sizeof(struct vhost_memory)))
+      return -EFAULT;
+    if (mem.nregions > 4)
+      return -E2BIG;
+    if (!_vhost_net.owner_set)
+      return -EPERM;
+    return 0;
+  case VHOST_SET_VRING_NUM:
+    if (copy_from_user(&state, (void *)arg, sizeof(struct vhost_vring_state)))
+      return -EFAULT;
+    if (state.index >= VHOST_MAX_QUEUES)
+      return -ENOBUFS;
+    if (state.num == 0 || state.num > 32768)
+      return -EINVAL;
+    _vhost_net.vring_num[state.index] = state.num;
+    return 0;
+  case VHOST_SET_VRING_BASE:
+    if (copy_from_user(&state, (void *)arg, sizeof(struct vhost_vring_state)))
+      return -EFAULT;
+    if (state.index >= VHOST_MAX_QUEUES)
+      return -ENOBUFS;
+    return 0;
+  case VHOST_GET_VRING_BASE:
+    if (copy_from_user(&state, (void *)arg, sizeof(struct vhost_vring_state)))
+      return -EFAULT;
+    if (state.index >= VHOST_MAX_QUEUES)
+      return -ENOBUFS;
+    if (copy_to_user((void *)arg, &state, sizeof(struct vhost_vring_state)))
+      return -EFAULT;
+    return 0;
+  case VHOST_SET_VRING_ADDR:
+    if (copy_from_user(&addr, (void *)arg, sizeof(struct vhost_vring_addr)))
+      return -EFAULT;
+    if (addr.index >= VHOST_MAX_QUEUES)
+      return -ENOBUFS;
+    if (addr.flags & ~1)
+      return -EINVAL;
+    return 0;
+  case VHOST_NET_SET_BACKEND:
+    if (copy_from_user(&backend, (void *)arg, sizeof(struct vhost_vring_file)))
+      return -EFAULT;
+    return vhost_net_set_backend(&backend);
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int vhost_net_open(struct inode *inode, struct file *f)
+{
+  _vhost_net.owner_set = 0;
+  return 0;
+}
+
+static int vhost_net_release(struct inode *inode, struct file *f)
+{
+  _vhost_net.owner_set = 0;
+  return 0;
+}
+
+static const struct file_operations vhost_net_fops = {
+  .open = vhost_net_open,
+  .release = vhost_net_release,
+  .unlocked_ioctl = vhost_net_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice vhost_net_misc = {
+  .minor = 238,
+  .name = "vhost-net",
+  .fops = &vhost_net_fops,
+};
+|}
+
+let vhost_net_existing_spec =
+  {|resource fd_vhost_net[fd]
+openat$vhost_net(fd const[AT_FDCWD], file ptr[in, string["/dev/vhost-net"]], flags const[O_RDWR], mode const[0]) fd_vhost_net
+ioctl$VHOST_GET_FEATURES(fd fd_vhost_net, cmd const[VHOST_GET_FEATURES], arg ptr[out, int64])
+ioctl$VHOST_SET_FEATURES(fd fd_vhost_net, cmd const[VHOST_SET_FEATURES], arg ptr[in, int64])
+ioctl$VHOST_SET_OWNER(fd fd_vhost_net, cmd const[VHOST_SET_OWNER], arg const[0])
+ioctl$VHOST_RESET_OWNER(fd fd_vhost_net, cmd const[VHOST_RESET_OWNER], arg const[0])
+ioctl$VHOST_SET_MEM_TABLE(fd fd_vhost_net, cmd const[VHOST_SET_MEM_TABLE], arg ptr[in, vhost_memory])
+ioctl$VHOST_SET_VRING_NUM(fd fd_vhost_net, cmd const[VHOST_SET_VRING_NUM], arg ptr[in, vhost_vring_state])
+ioctl$VHOST_SET_VRING_BASE(fd fd_vhost_net, cmd const[VHOST_SET_VRING_BASE], arg ptr[in, vhost_vring_state])
+ioctl$VHOST_GET_VRING_BASE(fd fd_vhost_net, cmd const[VHOST_GET_VRING_BASE], arg ptr[inout, vhost_vring_state])
+ioctl$VHOST_SET_VRING_ADDR(fd fd_vhost_net, cmd const[VHOST_SET_VRING_ADDR], arg ptr[in, vhost_vring_addr])
+ioctl$VHOST_NET_SET_BACKEND(fd fd_vhost_net, cmd const[VHOST_NET_SET_BACKEND], arg ptr[in, vhost_vring_file])
+
+vhost_memory {
+	nregions int32
+	padding int32
+	regions array[int8, 128]
+}
+vhost_vring_state {
+	index int32
+	num int32
+}
+vhost_vring_addr {
+	index int32
+	flags int32
+	desc_user_addr int64
+	used_user_addr int64
+	avail_user_addr int64
+	log_guest_addr int64
+}
+vhost_vring_file {
+	index int32
+	fd int32
+}
+|}
+
+let vhost_net_entry : Types.entry =
+  Types.driver_entry ~name:"vhost_net" ~display_name:"vhost-net"
+    ~source:vhost_net_source ~existing_spec:vhost_net_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/vhost-net" ];
+        gt_fops = "vhost_net_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("VHOST_GET_FEATURES", None, Syzlang.Ast.Out);
+              ("VHOST_SET_FEATURES", None, Syzlang.Ast.In);
+              ("VHOST_SET_OWNER", None, Syzlang.Ast.In);
+              ("VHOST_RESET_OWNER", None, Syzlang.Ast.In);
+              ("VHOST_SET_MEM_TABLE", Some "vhost_memory", Syzlang.Ast.In);
+              ("VHOST_SET_VRING_NUM", Some "vhost_vring_state", Syzlang.Ast.In);
+              ("VHOST_SET_VRING_BASE", Some "vhost_vring_state", Syzlang.Ast.In);
+              ("VHOST_GET_VRING_BASE", Some "vhost_vring_state", Syzlang.Ast.Inout);
+              ("VHOST_SET_VRING_ADDR", Some "vhost_vring_addr", Syzlang.Ast.In);
+              ("VHOST_NET_SET_BACKEND", Some "vhost_vring_file", Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl"; "close" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* vhost-vsock                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let vhost_vsock_source =
+  {|
+#define VHOST_VIRTIO 0xaf
+#define VHOST_VSOCK_SET_GUEST_CID _IOW(VHOST_VIRTIO, 0x60, u64)
+#define VHOST_VSOCK_SET_RUNNING _IOW(VHOST_VIRTIO, 0x61, int)
+#define VHOST_SET_OWNER _IO(VHOST_VIRTIO, 0x01)
+#define VHOST_GET_FEATURES _IOR(VHOST_VIRTIO, 0x00, u64)
+#define VHOST_SET_FEATURES _IOW(VHOST_VIRTIO, 0x00, u64)
+#define VHOST_VSOCK_CID_MIN 3
+
+struct vhost_vsock_state {
+  int owner_set;
+  int running;
+  u64 guest_cid;
+  u64 features;
+};
+
+static struct vhost_vsock_state _vhost_vsock;
+
+static int vhost_vsock_set_cid(u64 guest_cid)
+{
+  if (guest_cid < VHOST_VSOCK_CID_MIN)
+    return -EINVAL;
+  if (guest_cid > 0xffffffff)
+    return -EINVAL;
+  _vhost_vsock.guest_cid = guest_cid;
+  return 0;
+}
+
+static long vhost_vsock_dev_ioctl(struct file *f, unsigned int ioctl, unsigned long arg)
+{
+  u64 guest_cid;
+  u64 features;
+  int start;
+  switch (ioctl) {
+  case VHOST_VSOCK_SET_GUEST_CID:
+    if (copy_from_user(&guest_cid, (void *)arg, 8))
+      return -EFAULT;
+    return vhost_vsock_set_cid(guest_cid);
+  case VHOST_VSOCK_SET_RUNNING:
+    if (copy_from_user(&start, (void *)arg, 4))
+      return -EFAULT;
+    if (start && _vhost_vsock.guest_cid == 0)
+      return -EINVAL;
+    _vhost_vsock.running = start;
+    return 0;
+  case VHOST_SET_OWNER:
+    if (_vhost_vsock.owner_set)
+      return -EBUSY;
+    _vhost_vsock.owner_set = 1;
+    return 0;
+  case VHOST_GET_FEATURES:
+    features = 3;
+    if (copy_to_user((void *)arg, &features, 8))
+      return -EFAULT;
+    return 0;
+  case VHOST_SET_FEATURES:
+    if (copy_from_user(&features, (void *)arg, 8))
+      return -EFAULT;
+    _vhost_vsock.features = features;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static int vhost_vsock_dev_open(struct inode *inode, struct file *file)
+{
+  _vhost_vsock.owner_set = 0;
+  _vhost_vsock.running = 0;
+  return 0;
+}
+
+static const struct file_operations vhost_vsock_fops = {
+  .open = vhost_vsock_dev_open,
+  .unlocked_ioctl = vhost_vsock_dev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice vhost_vsock_misc = {
+  .minor = 241,
+  .name = "vhost-vsock",
+  .fops = &vhost_vsock_fops,
+};
+|}
+
+let vhost_vsock_existing_spec =
+  {|resource fd_vhost_vsock[fd]
+openat$vhost_vsock(fd const[AT_FDCWD], file ptr[in, string["/dev/vhost-vsock"]], flags const[O_RDWR], mode const[0]) fd_vhost_vsock
+ioctl$VHOST_VSOCK_SET_GUEST_CID(fd fd_vhost_vsock, cmd const[VHOST_VSOCK_SET_GUEST_CID], arg ptr[in, int64])
+ioctl$VHOST_VSOCK_SET_RUNNING(fd fd_vhost_vsock, cmd const[VHOST_VSOCK_SET_RUNNING], arg ptr[in, int32])
+|}
+
+let vhost_vsock_entry : Types.entry =
+  Types.driver_entry ~name:"vhost_vsock" ~display_name:"vhost-vsock"
+    ~source:vhost_vsock_source ~existing_spec:vhost_vsock_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/vhost-vsock" ];
+        gt_fops = "vhost_vsock_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("VHOST_VSOCK_SET_GUEST_CID", None, Syzlang.Ast.In);
+              ("VHOST_VSOCK_SET_RUNNING", None, Syzlang.Ast.In);
+              ("VHOST_SET_OWNER", None, Syzlang.Ast.In);
+              ("VHOST_GET_FEATURES", None, Syzlang.Ast.Out);
+              ("VHOST_SET_FEATURES", None, Syzlang.Ast.In);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* vmci                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vmci_source =
+  {|
+#define VMCI_MAGIC 7
+#define VMCI_VERSION 0x10000
+#define VMCI_MAX_DATAGRAM 69632
+
+#define IOCTL_VMCI_VERSION _IO(VMCI_MAGIC, 0x9f)
+#define IOCTL_VMCI_INIT_CONTEXT _IOW(VMCI_MAGIC, 0xa0, struct vmci_init_blk)
+#define IOCTL_VMCI_DATAGRAM_SEND _IOWR(VMCI_MAGIC, 0xa2, struct vmci_datagram_snd_rcv_info)
+#define IOCTL_VMCI_DATAGRAM_RECEIVE _IOWR(VMCI_MAGIC, 0xa3, struct vmci_datagram_snd_rcv_info)
+#define IOCTL_VMCI_GET_CONTEXT_ID _IOR(VMCI_MAGIC, 0xa7, u32)
+#define IOCTL_VMCI_SET_NOTIFY _IOW(VMCI_MAGIC, 0xcb, struct vmci_set_notify_info)
+#define IOCTL_VMCI_NOTIFY_RESOURCE _IOWR(VMCI_MAGIC, 0xcc, struct vmci_dbell_notify_resource_info)
+
+struct vmci_init_blk {
+  u32 cid;
+  u32 flags;
+};
+
+struct vmci_datagram_snd_rcv_info {
+  u64 addr;      /* userspace datagram buffer */
+  u32 len;       /* datagram length */
+  s32 result;
+};
+
+struct vmci_set_notify_info {
+  u64 notify_uva;
+  s32 result;
+  u32 pad;
+};
+
+struct vmci_dbell_notify_resource_info {
+  u32 resource;
+  u16 action;
+  u16 pad;
+  s32 result;
+};
+
+struct vmci_host_state {
+  int ct_initialized;
+  u32 cid;
+  int notify_set;
+};
+
+static struct vmci_host_state _vmci;
+
+static int vmci_host_setup_notify(struct vmci_set_notify_info *info)
+{
+  if (info->notify_uva == 0)
+    return -EINVAL;
+  _vmci.notify_set = 1;
+  info->result = 0;
+  return 0;
+}
+
+static long vmci_host_unlocked_ioctl(struct file *filp, unsigned int iocmd,
+                                     unsigned long ioarg)
+{
+  struct vmci_init_blk init_blk;
+  struct vmci_datagram_snd_rcv_info dg;
+  struct vmci_set_notify_info notify;
+  struct vmci_dbell_notify_resource_info dbell;
+  switch (iocmd) {
+  case IOCTL_VMCI_VERSION:
+    return VMCI_VERSION;
+  case IOCTL_VMCI_INIT_CONTEXT:
+    if (copy_from_user(&init_blk, (void *)ioarg, sizeof(struct vmci_init_blk)))
+      return -EFAULT;
+    if (_vmci.ct_initialized)
+      return -EINVAL;
+    if (init_blk.flags > 1)
+      return -EINVAL;
+    _vmci.ct_initialized = 1;
+    _vmci.cid = init_blk.cid;
+    return 0;
+  case IOCTL_VMCI_DATAGRAM_SEND:
+    if (!_vmci.ct_initialized)
+      return -EINVAL;
+    if (copy_from_user(&dg, (void *)ioarg, sizeof(struct vmci_datagram_snd_rcv_info)))
+      return -EFAULT;
+    if (dg.len > VMCI_MAX_DATAGRAM)
+      return -EINVAL;
+    dg.result = dg.len;
+    if (copy_to_user((void *)ioarg, &dg, sizeof(struct vmci_datagram_snd_rcv_info)))
+      return -EFAULT;
+    return 0;
+  case IOCTL_VMCI_DATAGRAM_RECEIVE:
+    if (!_vmci.ct_initialized)
+      return -EINVAL;
+    if (copy_from_user(&dg, (void *)ioarg, sizeof(struct vmci_datagram_snd_rcv_info)))
+      return -EFAULT;
+    dg.result = 0;
+    if (copy_to_user((void *)ioarg, &dg, sizeof(struct vmci_datagram_snd_rcv_info)))
+      return -EFAULT;
+    return 0;
+  case IOCTL_VMCI_GET_CONTEXT_ID:
+    if (copy_to_user((void *)ioarg, &_vmci.cid, 4))
+      return -EFAULT;
+    return 0;
+  case IOCTL_VMCI_SET_NOTIFY:
+    if (copy_from_user(&notify, (void *)ioarg, sizeof(struct vmci_set_notify_info)))
+      return -EFAULT;
+    return vmci_host_setup_notify(&notify);
+  case IOCTL_VMCI_NOTIFY_RESOURCE:
+    if (!_vmci.notify_set)
+      return -EINVAL;
+    if (copy_from_user(&dbell, (void *)ioarg, sizeof(struct vmci_dbell_notify_resource_info)))
+      return -EFAULT;
+    if (dbell.action > 2)
+      return -EINVAL;
+    return 0;
+  default:
+    return -EINVAL;
+  }
+}
+
+static int vmci_host_open(struct inode *inode, struct file *filp)
+{
+  _vmci.ct_initialized = 0;
+  return 0;
+}
+
+static const struct file_operations vmuser_fops = {
+  .open = vmci_host_open,
+  .unlocked_ioctl = vmci_host_unlocked_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice vmci_host_miscdev = {
+  .minor = 165,
+  .name = "vmci",
+  .fops = &vmuser_fops,
+};
+|}
+
+let vmci_existing_spec =
+  {|resource fd_vmci[fd]
+openat$vmci(fd const[AT_FDCWD], file ptr[in, string["/dev/vmci"]], flags const[O_RDWR], mode const[0]) fd_vmci
+ioctl$IOCTL_VMCI_VERSION(fd fd_vmci, cmd const[IOCTL_VMCI_VERSION], arg const[0])
+ioctl$IOCTL_VMCI_INIT_CONTEXT(fd fd_vmci, cmd const[IOCTL_VMCI_INIT_CONTEXT], arg ptr[in, vmci_init_blk])
+ioctl$IOCTL_VMCI_DATAGRAM_SEND(fd fd_vmci, cmd const[IOCTL_VMCI_DATAGRAM_SEND], arg ptr[inout, vmci_datagram_snd_rcv_info])
+ioctl$IOCTL_VMCI_GET_CONTEXT_ID(fd fd_vmci, cmd const[IOCTL_VMCI_GET_CONTEXT_ID], arg ptr[out, int32])
+
+vmci_init_blk {
+	cid int32
+	flags int32
+}
+vmci_datagram_snd_rcv_info {
+	addr int64
+	len int32
+	result int32
+}
+|}
+
+let vmci_entry : Types.entry =
+  Types.driver_entry ~name:"vmci" ~display_name:"vmci"
+    ~source:vmci_source ~existing_spec:vmci_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/vmci" ];
+        gt_fops = "vmuser_fops";
+        gt_socket = None;
+        gt_ioctls =
+          List.map
+            (fun (n, t, d) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = d })
+            [
+              ("IOCTL_VMCI_VERSION", None, Syzlang.Ast.In);
+              ("IOCTL_VMCI_INIT_CONTEXT", Some "vmci_init_blk", Syzlang.Ast.In);
+              ("IOCTL_VMCI_DATAGRAM_SEND", Some "vmci_datagram_snd_rcv_info", Syzlang.Ast.Inout);
+              ("IOCTL_VMCI_DATAGRAM_RECEIVE", Some "vmci_datagram_snd_rcv_info", Syzlang.Ast.Inout);
+              ("IOCTL_VMCI_GET_CONTEXT_ID", None, Syzlang.Ast.Out);
+              ("IOCTL_VMCI_SET_NOTIFY", Some "vmci_set_notify_info", Syzlang.Ast.In);
+              ("IOCTL_VMCI_NOTIFY_RESOURCE", Some "vmci_dbell_notify_resource_info", Syzlang.Ast.Inout);
+            ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* vsock (the /dev/vsock misc device)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let vsock_source =
+  {|
+#define IOCTL_VM_SOCKETS_GET_LOCAL_CID _IO(7, 0xb9)
+#define VMADDR_CID_HOST 2
+
+static u32 _vsock_local_cid;
+
+static long vsock_dev_do_ioctl(struct file *filp, unsigned int cmd, unsigned long arg)
+{
+  u32 cid;
+  switch (cmd) {
+  case IOCTL_VM_SOCKETS_GET_LOCAL_CID:
+    cid = VMADDR_CID_HOST;
+    if (_vsock_local_cid != 0)
+      cid = _vsock_local_cid;
+    if (copy_to_user((void *)arg, &cid, 4))
+      return -EFAULT;
+    return 0;
+  default:
+    return -ENOIOCTLCMD;
+  }
+}
+
+static long vsock_dev_ioctl(struct file *filp, unsigned int cmd, unsigned long arg)
+{
+  return vsock_dev_do_ioctl(filp, cmd, arg);
+}
+
+static const struct file_operations vsock_device_ops = {
+  .unlocked_ioctl = vsock_dev_ioctl,
+  .owner = THIS_MODULE,
+  .llseek = noop_llseek,
+};
+
+static struct miscdevice vsock_device = {
+  .minor = 121,
+  .name = "vsock",
+  .fops = &vsock_device_ops,
+};
+|}
+
+let vsock_existing_spec =
+  {|resource fd_vsock[fd]
+openat$vsock(fd const[AT_FDCWD], file ptr[in, string["/dev/vsock"]], flags const[O_RDWR], mode const[0]) fd_vsock
+|}
+
+let vsock_entry : Types.entry =
+  Types.driver_entry ~name:"vsock" ~display_name:"vsock"
+    ~source:vsock_source ~existing_spec:vsock_existing_spec ~in_table5:true
+    ~gt:
+      {
+        Types.gt_paths = [ "/dev/vsock" ];
+        gt_fops = "vsock_device_ops";
+        gt_socket = None;
+        gt_ioctls =
+          [ { Types.gc_name = "IOCTL_VM_SOCKETS_GET_LOCAL_CID"; gc_arg_type = None; gc_dir = Syzlang.Ast.Out } ];
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ()
+
+let entries = [ kvm_entry; vhost_net_entry; vhost_vsock_entry; vmci_entry; vsock_entry ]

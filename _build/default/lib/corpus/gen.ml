@@ -1,0 +1,639 @@
+(** Procedural long-tail population.
+
+    The paper scans 666 driver and 85 socket operation handlers under
+    allyesconfig (§5.1). A couple of dozen of those are hand-modeled in
+    this corpus; this module synthesizes the remainder with the same
+    registration and dispatch idioms, deterministically from a seed:
+
+    - registration: misc [.name] (common), misc [.nodename] (rare),
+      cdev + [device_create] in the module init function;
+    - dispatch: direct [switch(cmd)], delegation through 1-2 helper
+      functions, or the [_IOC_NR(cmd)] rewrite;
+    - argument structs with scalar fields, byte arrays, length fields
+      tied to arrays, and occasional nested structs;
+    - an "existing" hand-written Syzkaller spec covering all, some, or
+      none of the commands (driving Table 1's "# Incomplete" and
+      Figure 7's missing-percentage histogram). *)
+
+(* Deterministic splitmix-style PRNG so the corpus is reproducible. *)
+type rng = { mutable state : int64 }
+
+let rng_make seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+let rng_next r =
+  let z = Int64.add r.state 0x9E3779B97F4A7C15L in
+  r.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_int r n =
+  if n <= 0 then 0 else Int64.to_int (Int64.rem (Int64.logand (rng_next r) 0x7fffffffL) (Int64.of_int n))
+
+let rand_bool r pct = rand_int r 100 < pct
+
+let pick r xs = List.nth xs (rand_int r (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Shapes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type field_shape =
+  | F_scalar of string * int  (** name, width in bits *)
+  | F_bytes of string * int  (** name, byte-array length *)
+  | F_len_of of string * string  (** count field tied to an array field *)
+  | F_array32 of string * int
+
+type cmd_shape = {
+  cmd_name : string;
+  cmd_nr : int;
+  cmd_dir : Syzlang.Ast.dir;
+  cmd_struct : (string * field_shape list) option;  (** struct name + fields *)
+  cmd_guard : int option;  (** scalar validity bound enforced by the body *)
+}
+
+type registration = Reg_misc_name | Reg_misc_nodename | Reg_cdev_init
+
+type dispatch = Disp_direct | Disp_delegated | Disp_ioc_nr
+
+type driver_shape = {
+  ds_name : string;
+  ds_dev : string;
+  ds_magic : char;
+  ds_reg : registration;
+  ds_disp : dispatch;
+  ds_cmds : cmd_shape list;
+}
+
+let field_names = [ "flags"; "mode"; "index"; "value"; "offset"; "state"; "mask"; "level" ]
+let buf_names = [ "name"; "data"; "label"; "payload" ]
+
+let gen_fields r prefix : field_shape list =
+  let n = 2 + rand_int r 5 in
+  let fields = ref [] in
+  for i = 0 to n - 1 do
+    let base = List.nth field_names (rand_int r (List.length field_names)) in
+    let fname = Printf.sprintf "%s_%s%d" prefix base i in
+    let shape =
+      match rand_int r 10 with
+      | 0 | 1 ->
+          let buf = Printf.sprintf "%s_%s%d" prefix (pick r buf_names) i in
+          F_bytes (buf, 8 * (1 + rand_int r 8))
+      | 2 ->
+          let arr = Printf.sprintf "%s_items%d" prefix i in
+          F_array32 (arr, 2 + rand_int r 6)
+      | _ -> F_scalar (fname, pick r [ 8; 16; 32; 32; 32; 64 ])
+    in
+    fields := shape :: !fields
+  done;
+  let fields = List.rev !fields in
+  (* tie a count field to the first wide array, if any — the len[]
+     relation the paper's Figure 5 highlights *)
+  match List.find_map (function F_array32 (a, _) -> Some a | _ -> None) fields with
+  | Some arr when rand_bool r 60 -> F_len_of (prefix ^ "_count", arr) :: fields
+  | _ -> fields
+
+let gen_driver_shape ~(index : int) (r : rng) : driver_shape =
+  let ds_name = Printf.sprintf "gdrv%03d" index in
+  let ds_dev = Printf.sprintf "g%03d" index in
+  let ds_magic = Char.chr (Char.code 'A' + (index mod 26)) in
+  let ds_reg =
+    match rand_int r 100 with
+    | x when x < 70 -> Reg_misc_name
+    | x when x < 84 -> Reg_misc_nodename
+    | _ -> Reg_cdev_init
+  in
+  let ds_disp =
+    match rand_int r 100 with
+    | x when x < 58 -> Disp_direct
+    | x when x < 84 -> Disp_delegated
+    | _ -> Disp_ioc_nr
+  in
+  let ncmds = 1 + rand_int r 12 in
+  let cmds =
+    List.init ncmds (fun i ->
+        let cmd_name = Printf.sprintf "G%03d_CMD_%d" index i in
+        let with_struct = rand_bool r 55 in
+        let cmd_struct =
+          if with_struct then
+            let sname = Printf.sprintf "g%03d_arg%d" index i in
+            Some (sname, gen_fields r (Printf.sprintf "f%d" i))
+          else None
+        in
+        let cmd_dir =
+          if not with_struct then Syzlang.Ast.In
+          else pick r [ Syzlang.Ast.In; Syzlang.Ast.In; Syzlang.Ast.Inout; Syzlang.Ast.Out ]
+        in
+        {
+          cmd_name;
+          cmd_nr = i + 1;
+          cmd_dir;
+          cmd_struct;
+          cmd_guard = (if rand_bool r 70 then Some (4 + rand_int r 60) else None);
+        })
+  in
+  { ds_name; ds_dev; ds_magic; ds_reg; ds_disp; ds_cmds = cmds }
+
+(* ------------------------------------------------------------------ *)
+(* Mini-C emission                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let field_c = function
+  | F_scalar (n, w) -> Printf.sprintf "  u%d %s;" w n
+  | F_bytes (n, len) -> Printf.sprintf "  char %s[%d];" n len
+  | F_len_of (n, target) -> Printf.sprintf "  u32 %s; /* number of entries in %s */" n target
+  | F_array32 (n, len) -> Printf.sprintf "  u32 %s[%d];" n len
+
+let struct_c (sname, fields) =
+  String.concat "\n"
+    ((Printf.sprintf "struct %s {" sname :: List.map field_c fields) @ [ "};" ])
+
+let first_scalar fields =
+  List.find_map (function F_scalar (n, _) -> Some n | F_len_of (n, _) -> Some n | _ -> None) fields
+
+(** Body of one command handler: a guard or two plus state updates, so
+    that correct arguments reach strictly more statements. *)
+let cmd_body ds (c : cmd_shape) : string list =
+  let state = Printf.sprintf "_%s_state" ds.ds_name in
+  match c.cmd_struct with
+  | None ->
+      let guard =
+        match c.cmd_guard with
+        | Some g -> [ Printf.sprintf "    if (arg > %d)" (g * 16); "      return -EINVAL;" ]
+        | None -> []
+      in
+      guard
+      @ [
+          Printf.sprintf "    %s = %s + 1;" state state;
+          "    return 0;";
+        ]
+  | Some (sname, fields) ->
+      let var = "req" ^ string_of_int c.cmd_nr in
+      let copy =
+        [
+          Printf.sprintf "    if (copy_from_user(&%s, (void *)arg, sizeof(struct %s)))" var sname;
+          "      return -EFAULT;";
+        ]
+      in
+      let guard =
+        match (c.cmd_guard, first_scalar fields) with
+        | Some g, Some f ->
+            [
+              Printf.sprintf "    if (%s.%s > %d)" var f g;
+              "      return -EINVAL;";
+            ]
+        | _ -> []
+      in
+      let len_check =
+        List.filter_map
+          (function
+            | F_len_of (n, _) ->
+                Some
+                  (Printf.sprintf "    if (%s.%s > 64)\n      return -EMSGSIZE;" var n)
+            | _ -> None)
+          fields
+      in
+      copy @ guard @ len_check
+      @ [
+          Printf.sprintf "    %s = %s + 2;" state state;
+          "    return 0;";
+        ]
+
+let driver_source (ds : driver_shape) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "#define %s_MAGIC '%c'" (String.uppercase_ascii ds.ds_name) ds.ds_magic;
+  List.iter
+    (fun c ->
+      let io =
+        match (c.cmd_struct, c.cmd_dir) with
+        | None, _ -> Printf.sprintf "_IO(%s_MAGIC, %d)" (String.uppercase_ascii ds.ds_name) c.cmd_nr
+        | Some (s, _), Syzlang.Ast.In ->
+            Printf.sprintf "_IOW(%s_MAGIC, %d, struct %s)" (String.uppercase_ascii ds.ds_name) c.cmd_nr s
+        | Some (s, _), Syzlang.Ast.Out ->
+            Printf.sprintf "_IOR(%s_MAGIC, %d, struct %s)" (String.uppercase_ascii ds.ds_name) c.cmd_nr s
+        | Some (s, _), Syzlang.Ast.Inout ->
+            Printf.sprintf "_IOWR(%s_MAGIC, %d, struct %s)" (String.uppercase_ascii ds.ds_name) c.cmd_nr s
+      in
+      add "#define %s %s" c.cmd_name io)
+    ds.ds_cmds;
+  add "";
+  List.iter (fun c -> match c.cmd_struct with Some s -> add "%s\n" (struct_c s) | None -> ()) ds.ds_cmds;
+  add "static u32 _%s_state;" ds.ds_name;
+  add "";
+  (* declarations of locals for struct commands *)
+  let locals =
+    List.filter_map
+      (fun c ->
+        match c.cmd_struct with
+        | Some (sname, _) -> Some (Printf.sprintf "  struct %s req%d;" sname c.cmd_nr)
+        | None -> None)
+      ds.ds_cmds
+  in
+  let case_label c =
+    match ds.ds_disp with
+    | Disp_ioc_nr -> string_of_int c.cmd_nr
+    | Disp_direct | Disp_delegated -> c.cmd_name
+  in
+  let switch_body =
+    List.concat_map
+      (fun c -> Printf.sprintf "  case %s:" (case_label c) :: cmd_body ds c)
+      ds.ds_cmds
+    @ [ "  default:"; "    return -ENOTTY;" ]
+  in
+  (match ds.ds_disp with
+  | Disp_direct ->
+      add "static long %s_ioctl(struct file *file, unsigned int cmd, unsigned long arg)" ds.ds_name;
+      add "{";
+      List.iter (fun l -> add "%s" l) locals;
+      add "  switch (cmd) {";
+      List.iter (fun l -> add "%s" l) switch_body;
+      add "  }";
+      add "}"
+  | Disp_delegated ->
+      add "static long %s_do_ioctl(struct file *file, unsigned int cmd, unsigned long arg)" ds.ds_name;
+      add "{";
+      List.iter (fun l -> add "%s" l) locals;
+      add "  switch (cmd) {";
+      List.iter (fun l -> add "%s" l) switch_body;
+      add "  }";
+      add "}";
+      add "";
+      add "static long %s_ioctl(struct file *file, unsigned int cmd, unsigned long arg)" ds.ds_name;
+      add "{";
+      add "  return %s_do_ioctl(file, cmd, arg);" ds.ds_name;
+      add "}"
+  | Disp_ioc_nr ->
+      add "static long %s_cmd_ioctl(struct file *file, unsigned int nr, unsigned long arg)" ds.ds_name;
+      add "{";
+      List.iter (fun l -> add "%s" l) locals;
+      add "  switch (nr) {";
+      List.iter (fun l -> add "%s" l) switch_body;
+      add "  }";
+      add "}";
+      add "";
+      add "static long %s_ioctl(struct file *file, unsigned int cmd, unsigned long arg)" ds.ds_name;
+      add "{";
+      add "  unsigned int nr;";
+      add "  if (_IOC_TYPE(cmd) != %s_MAGIC)" (String.uppercase_ascii ds.ds_name);
+      add "    return -ENOTTY;";
+      add "  nr = _IOC_NR(cmd);";
+      add "  return %s_cmd_ioctl(file, nr, arg);" ds.ds_name;
+      add "}");
+  add "";
+  add "static int %s_open(struct inode *inode, struct file *file)" ds.ds_name;
+  add "{";
+  add "  _%s_state = 0;" ds.ds_name;
+  add "  return 0;";
+  add "}";
+  add "";
+  add "static const struct file_operations %s_fops = {" ds.ds_name;
+  add "  .open = %s_open," ds.ds_name;
+  add "  .unlocked_ioctl = %s_ioctl," ds.ds_name;
+  add "  .owner = THIS_MODULE,";
+  add "  .llseek = noop_llseek,";
+  add "};";
+  add "";
+  (match ds.ds_reg with
+  | Reg_misc_name ->
+      add "static struct miscdevice %s_misc = {" ds.ds_name;
+      add "  .minor = %d," (100 + (Hashtbl.hash ds.ds_name mod 100));
+      add "  .name = \"%s\"," ds.ds_dev;
+      add "  .fops = &%s_fops," ds.ds_name;
+      add "};"
+  | Reg_misc_nodename ->
+      add "static struct miscdevice %s_misc = {" ds.ds_name;
+      add "  .minor = %d," (100 + (Hashtbl.hash ds.ds_name mod 100));
+      add "  .name = \"%s_legacy\"," ds.ds_name;
+      add "  .nodename = \"%s/%s\"," ds.ds_name ds.ds_dev;
+      add "  .fops = &%s_fops," ds.ds_name;
+      add "};"
+  | Reg_cdev_init ->
+      add "static int %s_init(void)" ds.ds_name;
+      add "{";
+      add "  cdev_init(0, &%s_fops);" ds.ds_name;
+      add "  cdev_add(0, 0, 1);";
+      add "  device_create(0, 0, 0, 0, \"%s%%d\");" ds.ds_dev;
+      add "  return 0;";
+      add "}");
+  Buffer.contents buf
+
+let driver_dev_path (ds : driver_shape) =
+  match ds.ds_reg with
+  | Reg_misc_name -> "/dev/" ^ ds.ds_dev
+  | Reg_cdev_init -> "/dev/" ^ ds.ds_dev ^ "0"
+  | Reg_misc_nodename -> Printf.sprintf "/dev/%s/%s" ds.ds_name ds.ds_dev
+
+(* ------------------------------------------------------------------ *)
+(* Syzlang emission for "existing" specs                               *)
+(* ------------------------------------------------------------------ *)
+
+let syzlang_fields fields =
+  List.map
+    (fun f ->
+      match f with
+      | F_scalar (n, w) -> Printf.sprintf "\t%s int%d" n w
+      | F_bytes (n, len) -> Printf.sprintf "\t%s array[int8, %d]" n len
+      | F_len_of (n, target) -> Printf.sprintf "\t%s len[%s, int32]" n target
+      | F_array32 (n, len) -> Printf.sprintf "\t%s array[int32, %d]" n len)
+    fields
+
+(** Hand-written-style spec text covering the first [fraction] of the
+    commands (1.0 = complete). *)
+let existing_spec_text (ds : driver_shape) ~(fraction : float) : string option =
+  if fraction <= 0.0 then None
+  else begin
+    let total = List.length ds.ds_cmds in
+    let keep = max 1 (int_of_float (Float.round (fraction *. float_of_int total))) in
+    let cmds = List.filteri (fun i _ -> i < keep) ds.ds_cmds in
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    add "resource fd_%s[fd]" ds.ds_name;
+    add
+      "openat$%s(fd const[AT_FDCWD], file ptr[in, string[\"%s\"]], flags const[O_RDWR], mode const[0]) fd_%s"
+      ds.ds_name (driver_dev_path ds) ds.ds_name;
+    List.iter
+      (fun c ->
+        match c.cmd_struct with
+        | None ->
+            add "ioctl$%s(fd fd_%s, cmd const[%s], arg intptr)" c.cmd_name ds.ds_name c.cmd_name
+        | Some (sname, _) ->
+            add "ioctl$%s(fd fd_%s, cmd const[%s], arg ptr[%s, %s])" c.cmd_name ds.ds_name
+              c.cmd_name
+              (Syzlang.Ast.dir_to_string c.cmd_dir)
+              sname)
+      cmds;
+    add "";
+    List.iter
+      (fun c ->
+        match c.cmd_struct with
+        | Some (sname, fields) ->
+            add "%s {" sname;
+            List.iter (fun l -> add "%s" l) (syzlang_fields fields);
+            add "}"
+        | None -> ())
+      cmds;
+    Some (Buffer.contents buf)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Socket generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type socket_shape = {
+  ss_name : string;
+  ss_domain : int;
+  ss_type : int;
+  ss_opts : (string * int * (string * field_shape list) option) list;
+      (** option name, value, optional struct *)
+}
+
+let gen_socket_shape ~(index : int) (r : rng) : socket_shape =
+  let ss_name = Printf.sprintf "gsock%02d" index in
+  let nopts = 2 + rand_int r 8 in
+  let ss_opts =
+    List.init nopts (fun i ->
+        let name = Printf.sprintf "GS%02d_OPT_%d" index i in
+        let with_struct = rand_bool r 35 in
+        let st =
+          if with_struct then
+            Some (Printf.sprintf "gs%02d_opt%d" index i, gen_fields r (Printf.sprintf "o%d" i))
+          else None
+        in
+        (name, i + 1, st))
+  in
+  { ss_name; ss_domain = 100 + index; ss_type = 1 + rand_int r 2; ss_opts }
+
+let socket_source (ss : socket_shape) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter (fun (name, v, _) -> add "#define %s %d" name v) ss.ss_opts;
+  add "";
+  List.iter
+    (fun (_, _, st) -> match st with Some s -> add "%s\n" (struct_c s) | None -> ())
+    ss.ss_opts;
+  add "struct %s_addr {" ss.ss_name;
+  add "  u16 family;";
+  add "  u16 port;";
+  add "  u32 addr;";
+  add "};";
+  add "";
+  add "static int _%s_bound;" ss.ss_name;
+  add "static u32 _%s_state;" ss.ss_name;
+  add "";
+  add "static int %s_bind(struct socket *sock, struct sockaddr *uaddr, int len)" ss.ss_name;
+  add "{";
+  add "  struct %s_addr *a;" ss.ss_name;
+  add "  a = (struct %s_addr *)uaddr;" ss.ss_name;
+  add "  if (len < 8)";
+  add "    return -EINVAL;";
+  add "  if (a->family != %d)" ss.ss_domain;
+  add "    return -EAFNOSUPPORT;";
+  add "  _%s_bound = 1;" ss.ss_name;
+  add "  return 0;";
+  add "}";
+  add "";
+  add "static int %s_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)" ss.ss_name;
+  add "{";
+  add "  if (!_%s_bound)" ss.ss_name;
+  add "    return -ENOTCONN;";
+  add "  if (len > 8192)";
+  add "    return -EMSGSIZE;";
+  add "  return len;";
+  add "}";
+  add "";
+  add "static int %s_recvmsg(struct socket *sock, struct msghdr *msg, size_t size, int f)" ss.ss_name;
+  add "{";
+  add "  if (!_%s_bound)" ss.ss_name;
+  add "    return -ENOTCONN;";
+  add "  return 0;";
+  add "}";
+  add "";
+  add "static int %s_setsockopt(struct socket *sock, int level, int optname, char *optval, unsigned int optlen)" ss.ss_name;
+  add "{";
+  List.iter
+    (fun (_, _, st) ->
+      match st with
+      | Some (sname, _) -> add "  struct %s v_%s;" sname sname
+      | None -> ())
+    ss.ss_opts;
+  add "  int val;";
+  add "  switch (optname) {";
+  List.iter
+    (fun (name, _, st) ->
+      add "  case %s:" name;
+      match st with
+      | None ->
+          add "    if (copy_from_user(&val, optval, 4))";
+          add "      return -EFAULT;";
+          add "    _%s_state = _%s_state + val;" ss.ss_name ss.ss_name;
+          add "    return 0;"
+      | Some (sname, _) ->
+          add "    if (copy_from_user(&v_%s, optval, sizeof(struct %s)))" sname sname;
+          add "      return -EFAULT;";
+          add "    _%s_state = _%s_state + 2;" ss.ss_name ss.ss_name;
+          add "    return 0;")
+    ss.ss_opts;
+  add "  default:";
+  add "    return -ENOPROTOOPT;";
+  add "  }";
+  add "}";
+  add "";
+  add "static int %s_release(struct socket *sock)" ss.ss_name;
+  add "{";
+  add "  _%s_bound = 0;" ss.ss_name;
+  add "  return 0;";
+  add "}";
+  add "";
+  add "static const struct proto_ops %s_ops = {" ss.ss_name;
+  add "  .family = %d," ss.ss_domain;
+  add "  .owner = THIS_MODULE,";
+  add "  .release = %s_release," ss.ss_name;
+  add "  .bind = %s_bind," ss.ss_name;
+  add "  .setsockopt = %s_setsockopt," ss.ss_name;
+  add "  .sendmsg = %s_sendmsg," ss.ss_name;
+  add "  .recvmsg = %s_recvmsg," ss.ss_name;
+  add "};";
+  Buffer.contents buf
+
+let socket_existing_spec_text (ss : socket_shape) ~(fraction : float) : string option =
+  if fraction <= 0.0 then None
+  else begin
+    let buf = Buffer.create 512 in
+    let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    add "resource sock_%s[fd]" ss.ss_name;
+    add "socket$%s(domain const[%d], type const[%d], proto const[0]) sock_%s" ss.ss_name
+      ss.ss_domain ss.ss_type ss.ss_name;
+    if fraction >= 0.999 then begin
+      add "bind$%s(fd sock_%s, addr ptr[in, %s_addr], addrlen const[8])" ss.ss_name ss.ss_name
+        ss.ss_name;
+      add "sendmsg$%s(fd sock_%s, msg ptr[in, array[int8]], f const[0])" ss.ss_name ss.ss_name;
+      add "recvmsg$%s(fd sock_%s, msg ptr[inout, array[int8]], f const[0])" ss.ss_name
+        ss.ss_name;
+      add "%s_addr {" ss.ss_name;
+      add "\tfamily const[%d, int16]" ss.ss_domain;
+      add "\tport int16";
+      add "\taddr int32";
+      add "}"
+    end;
+    let total = List.length ss.ss_opts in
+    let keep = int_of_float (Float.round (fraction *. float_of_int total)) in
+    List.iteri
+      (fun i (name, _, st) ->
+        if i < keep then
+          match st with
+          | None ->
+              add
+                "setsockopt$%s(fd sock_%s, level const[0], optname const[%s], optval ptr[in, int32], optlen const[4])"
+                name ss.ss_name name
+          | Some (sname, fields) ->
+              add
+                "setsockopt$%s(fd sock_%s, level const[0], optname const[%s], optval ptr[in, %s], optlen intptr)"
+                name ss.ss_name name sname;
+              add "%s {" sname;
+              List.iter (fun l -> add "%s" l) (syzlang_fields fields);
+              add "}")
+      ss.ss_opts;
+    Some (Buffer.contents buf)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let driver_entry_of_shape (ds : driver_shape) ~loaded ~hw_required ~spec_fraction : Types.entry =
+  let gt_ioctls =
+    List.map
+      (fun c ->
+        {
+          Types.gc_name = c.cmd_name;
+          gc_arg_type = Option.map fst c.cmd_struct;
+          gc_dir = c.cmd_dir;
+        })
+      ds.ds_cmds
+  in
+  Types.driver_entry ~name:ds.ds_name ~display_name:ds.ds_dev
+    ~source:(driver_source ds)
+    ~gt:
+      {
+        Types.gt_paths = [ driver_dev_path ds ];
+        gt_fops = ds.ds_name ^ "_fops";
+        gt_socket = None;
+        gt_ioctls;
+        gt_setsockopts = [];
+        gt_syscalls = [ "openat"; "ioctl" ];
+      }
+    ~loaded ~hw_required
+    ?existing_spec:(existing_spec_text ds ~fraction:spec_fraction)
+    ()
+
+let socket_entry_of_shape (ss : socket_shape) ~loaded ~spec_fraction : Types.entry =
+  let gt_setsockopts =
+    List.map
+      (fun (name, _, st) ->
+        { Types.gc_name = name; gc_arg_type = Option.map fst st; gc_dir = Syzlang.Ast.In })
+      ss.ss_opts
+  in
+  Types.socket_entry ~name:ss.ss_name ~display_name:ss.ss_name
+    ~source:(socket_source ss)
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = ss.ss_name ^ "_ops";
+        gt_socket = Some (ss.ss_domain, ss.ss_type, 0);
+        gt_ioctls = [];
+        gt_setsockopts;
+        gt_syscalls = [ "socket"; "bind"; "sendmsg"; "recvmsg"; "setsockopt" ];
+      }
+    ~loaded
+    ?existing_spec:(socket_existing_spec_text ss ~fraction:spec_fraction)
+    ()
+
+(** Generate the long-tail population.
+
+    [n_drivers]/[n_sockets] is how many to synthesize; [loaded_drivers]/
+    [loaded_sockets] how many of them the syzbot config loads. Spec
+    coverage of loaded modules is drawn so that roughly the paper's share
+    ends up incomplete. *)
+let population ?(seed = 7) ~n_drivers ~loaded_drivers ~n_sockets ~loaded_sockets () :
+    Types.entry list =
+  let r = rng_make seed in
+  let drivers =
+    List.init n_drivers (fun i ->
+        let shape = gen_driver_shape ~index:i r in
+        let loaded = i < loaded_drivers in
+        let hw_required = (not loaded) && rand_bool r 40 in
+        (* hand-written specs concentrate on mainstream drivers; the
+           atypical ones (nodename registration, _IOC_NR rewrites,
+           cdev format strings) are exactly the under-described tail *)
+        let easy = shape.ds_reg = Reg_misc_name && shape.ds_disp = Disp_direct in
+        let spec_fraction =
+          if not loaded then 0.0
+          else if easy then
+            match rand_int r 100 with
+            | x when x < 95 -> 1.0
+            | x when x < 98 -> 0.3 +. (0.1 *. float_of_int (rand_int r 4))
+            | _ -> 0.0
+          else
+            match rand_int r 100 with
+            | x when x < 66 -> 1.0
+            | x when x < 81 -> 0.3 +. (0.1 *. float_of_int (rand_int r 4))
+            | _ -> 0.0
+        in
+        driver_entry_of_shape shape ~loaded ~hw_required ~spec_fraction)
+  in
+  let sockets =
+    List.init n_sockets (fun i ->
+        let shape = gen_socket_shape ~index:i r in
+        let loaded = i < loaded_sockets in
+        let spec_fraction =
+          if not loaded then 0.0
+          else
+            match rand_int r 100 with
+            | x when x < 25 -> 1.0
+            | x when x < 75 -> 0.1 +. (0.1 *. float_of_int (rand_int r 5))
+            | _ -> 0.0
+        in
+        socket_entry_of_shape shape ~loaded ~spec_fraction)
+  in
+  drivers @ sockets

@@ -1,0 +1,710 @@
+(** Link-layer sockets of the corpus: caif_stream, llc_ui, rfcomm_sock
+    and sco_sock (the remaining Table 6 rows). *)
+
+(* ------------------------------------------------------------------ *)
+(* caif_stream (AF_CAIF, SOCK_STREAM)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let caif_source =
+  {|
+#define CAIFSO_LINK_SELECT 127
+#define CAIFSO_REQ_PARAM 128
+#define CAIF_MAX_PAYLOAD 4096
+
+struct sockaddr_caif {
+  u16 family;
+  u32 connection_type;   /* CAIF channel type */
+  u16 channel_id;
+};
+
+struct caif_param {
+  u16 size;              /* bytes used in data[] */
+  u8 data[256];
+};
+
+struct caif_sock_state {
+  int connected;
+  int link_select;
+  u32 conn_type;
+};
+
+static struct caif_sock_state _caif_sk;
+
+static int caif_connect(struct socket *sock, struct sockaddr *uaddr, int addr_len,
+                        int flags)
+{
+  struct sockaddr_caif *addr;
+  addr = (struct sockaddr_caif *)uaddr;
+  if (addr_len < 8)
+    return -EINVAL;
+  if (addr->family != AF_CAIF)
+    return -EAFNOSUPPORT;
+  if (addr->connection_type > 5)
+    return -EINVAL;
+  _caif_sk.connected = 1;
+  _caif_sk.conn_type = addr->connection_type;
+  return 0;
+}
+
+static int caif_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_caif_sk.connected)
+    return -ENOTCONN;
+  if (len > CAIF_MAX_PAYLOAD)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int caif_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                        int msg_flags)
+{
+  if (!_caif_sk.connected)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int caif_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                           unsigned int optlen)
+{
+  struct caif_param param;
+  int val;
+  switch (optname) {
+  case CAIFSO_LINK_SELECT:
+    if (optlen < 4)
+      return -EINVAL;
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    if (_caif_sk.connected)
+      return -EISCONN;
+    _caif_sk.link_select = val;
+    return 0;
+  case CAIFSO_REQ_PARAM:
+    if (copy_from_user(&param, optval, sizeof(struct caif_param)))
+      return -EFAULT;
+    if (param.size > 256)
+      return -EINVAL;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int caif_release(struct socket *sock)
+{
+  _caif_sk.connected = 0;
+  return 0;
+}
+
+static const struct proto_ops caif_stream_ops = {
+  .family = AF_CAIF,
+  .owner = THIS_MODULE,
+  .release = caif_release,
+  .connect = caif_connect,
+  .setsockopt = caif_setsockopt,
+  .sendmsg = caif_sendmsg,
+  .recvmsg = caif_recvmsg,
+};
+|}
+
+let caif_existing_spec =
+  {|resource sock_caif[fd]
+socket$caif_stream(domain const[AF_CAIF], type const[SOCK_STREAM], proto const[0]) sock_caif
+connect$caif(fd sock_caif, addr ptr[in, sockaddr_caif], addrlen const[8])
+sendmsg$caif(fd sock_caif, msg ptr[in, array[int8]], f const[0])
+recvmsg$caif(fd sock_caif, msg ptr[inout, array[int8]], f const[0])
+
+sockaddr_caif {
+	family const[AF_CAIF, int16]
+	connection_type int32
+	channel_id int16
+}
+|}
+
+let caif_entry : Types.entry =
+  Types.socket_entry ~name:"caif_stream" ~existing_spec:caif_existing_spec ~in_table6:true
+    ~source:caif_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "caif_stream_ops";
+        gt_socket = Some (37, 1, 0);
+        gt_ioctls = [];
+        gt_setsockopts =
+          [
+            { Types.gc_name = "CAIFSO_LINK_SELECT"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "CAIFSO_REQ_PARAM"; gc_arg_type = Some "caif_param"; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_syscalls = [ "socket"; "connect"; "sendmsg"; "recvmsg"; "setsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* llc_ui (AF_LLC, SOCK_DGRAM)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let llc_source =
+  {|
+#define LLC_OPT_RETRY 1
+#define LLC_OPT_SIZE 2
+#define LLC_OPT_ACK_TMR_EXP 3
+#define LLC_OPT_P_TMR_EXP 4
+#define LLC_OPT_REJ_TMR_EXP 5
+#define LLC_OPT_BUSY_TMR_EXP 6
+#define LLC_OPT_TX_WIN 7
+#define LLC_OPT_RX_WIN 8
+#define LLC_OPT_MAX_RETRY 24
+#define LLC_OPT_MAX_WIN 127
+
+struct sockaddr_llc {
+  u16 sllc_family;
+  u16 sllc_arphrd;       /* ARPHRD_ETHER */
+  u8 sllc_test;
+  u8 sllc_xid;
+  u8 sllc_ua;
+  u8 sllc_sap;           /* service access point */
+  u8 sllc_mac[6];
+};
+
+struct llc_sock_state {
+  int bound;
+  u8 sap;
+  int retry;
+  int size;
+  int tx_win;
+  int rx_win;
+  int ack_tmr;
+  int p_tmr;
+  int rej_tmr;
+  int busy_tmr;
+};
+
+static struct llc_sock_state _llc_sk;
+
+static int llc_ui_bind(struct socket *sock, struct sockaddr *uaddr, int addrlen)
+{
+  struct sockaddr_llc *addr;
+  addr = (struct sockaddr_llc *)uaddr;
+  if (addrlen < 12)
+    return -EINVAL;
+  if (addr->sllc_family != AF_LLC)
+    return -EAFNOSUPPORT;
+  if (addr->sllc_sap == 0)
+    return -EUSERS;
+  _llc_sk.bound = 1;
+  _llc_sk.sap = addr->sllc_sap;
+  return 0;
+}
+
+static int llc_ui_connect(struct socket *sock, struct sockaddr *uaddr, int addrlen,
+                          int flags)
+{
+  struct sockaddr_llc *addr;
+  addr = (struct sockaddr_llc *)uaddr;
+  if (addr->sllc_family != AF_LLC)
+    return -EAFNOSUPPORT;
+  if (!_llc_sk.bound)
+    return -EINVAL;
+  return 0;
+}
+
+static int llc_ui_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_llc_sk.bound)
+    return -ENOTCONN;
+  if (len > 1500)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int llc_ui_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                          int msg_flags)
+{
+  if (!_llc_sk.bound)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int llc_set_one_opt(struct llc_sock_state *llc, int optname, int opt)
+{
+  switch (optname) {
+  case LLC_OPT_RETRY:
+    if (opt > LLC_OPT_MAX_RETRY)
+      return -EINVAL;
+    llc->retry = opt;
+    return 0;
+  case LLC_OPT_SIZE:
+    if (opt == 0)
+      return -EINVAL;
+    llc->size = opt;
+    return 0;
+  case LLC_OPT_ACK_TMR_EXP:
+    llc->ack_tmr = opt;
+    return 0;
+  case LLC_OPT_P_TMR_EXP:
+    llc->p_tmr = opt;
+    return 0;
+  case LLC_OPT_REJ_TMR_EXP:
+    llc->rej_tmr = opt;
+    return 0;
+  case LLC_OPT_BUSY_TMR_EXP:
+    llc->busy_tmr = opt;
+    return 0;
+  case LLC_OPT_TX_WIN:
+    if (opt > LLC_OPT_MAX_WIN)
+      return -EINVAL;
+    llc->tx_win = opt;
+    return 0;
+  case LLC_OPT_RX_WIN:
+    if (opt > LLC_OPT_MAX_WIN)
+      return -EINVAL;
+    llc->rx_win = opt;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int llc_ui_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                             unsigned int optlen)
+{
+  int opt;
+  if (optlen != 4)
+    return -EINVAL;
+  if (copy_from_user(&opt, optval, 4))
+    return -EFAULT;
+  return llc_set_one_opt(&_llc_sk, optname, opt);
+}
+
+static int llc_ui_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                             int *optlen)
+{
+  if (optname > LLC_OPT_RX_WIN || optname == 0)
+    return -ENOPROTOOPT;
+  return 0;
+}
+
+static int llc_ui_release(struct socket *sock)
+{
+  _llc_sk.bound = 0;
+  return 0;
+}
+
+static const struct proto_ops llc_ui_ops = {
+  .family = AF_LLC,
+  .owner = THIS_MODULE,
+  .release = llc_ui_release,
+  .bind = llc_ui_bind,
+  .connect = llc_ui_connect,
+  .setsockopt = llc_ui_setsockopt,
+  .getsockopt = llc_ui_getsockopt,
+  .sendmsg = llc_ui_sendmsg,
+  .recvmsg = llc_ui_recvmsg,
+};
+|}
+
+let llc_existing_spec =
+  {|resource sock_llc[fd]
+socket$llc(domain const[AF_LLC], type const[SOCK_DGRAM], proto const[0]) sock_llc
+bind$llc(fd sock_llc, addr ptr[in, sockaddr_llc], addrlen const[16])
+recvmsg$llc(fd sock_llc, msg ptr[inout, array[int8]], f const[0])
+
+sockaddr_llc {
+	sllc_family const[AF_LLC, int16]
+	sllc_arphrd int16
+	sllc_test int8
+	sllc_xid int8
+	sllc_ua int8
+	sllc_sap int8
+	sllc_mac array[int8, 6]
+}
+|}
+
+let llc_entry : Types.entry =
+  Types.socket_entry ~name:"llc_ui" ~existing_spec:llc_existing_spec ~in_table6:true
+    ~source:llc_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "llc_ui_ops";
+        gt_socket = Some (26, 2, 0);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [
+              "LLC_OPT_RETRY"; "LLC_OPT_SIZE"; "LLC_OPT_ACK_TMR_EXP"; "LLC_OPT_P_TMR_EXP";
+              "LLC_OPT_REJ_TMR_EXP"; "LLC_OPT_BUSY_TMR_EXP"; "LLC_OPT_TX_WIN"; "LLC_OPT_RX_WIN";
+            ];
+        gt_syscalls = [ "socket"; "bind"; "connect"; "sendmsg"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* rfcomm_sock (AF_BLUETOOTH, SOCK_STREAM, BTPROTO_RFCOMM)             *)
+(* ------------------------------------------------------------------ *)
+
+let rfcomm_source =
+  {|
+#define BTPROTO_RFCOMM 3
+#define RFCOMM_LM 3
+#define BT_SECURITY 4
+#define BT_DEFER_SETUP 7
+#define RFCOMM_LM_MASTER 1
+#define RFCOMM_LM_AUTH 2
+#define RFCOMM_LM_ENCRYPT 4
+#define RFCOMM_MAX_LM 7
+
+struct bdaddr_t {
+  u8 b[6];
+};
+
+struct sockaddr_rc {
+  u16 rc_family;
+  struct bdaddr_t rc_bdaddr;   /* remote device address */
+  u8 rc_channel;               /* rfcomm channel 1..30 */
+};
+
+struct bt_security {
+  u8 level;
+  u8 key_size;
+};
+
+struct rfcomm_sock_state {
+  int bound;
+  int connected;
+  int lm;
+  int sec_level;
+  int defer;
+  u8 channel;
+};
+
+static struct rfcomm_sock_state _rfcomm_sk;
+
+static int rfcomm_sock_bind(struct socket *sock, struct sockaddr *addr, int addr_len)
+{
+  struct sockaddr_rc *sa;
+  sa = (struct sockaddr_rc *)addr;
+  if (addr_len < 10)
+    return -EINVAL;
+  if (sa->rc_family != AF_BLUETOOTH)
+    return -EINVAL;
+  if (sa->rc_channel > 30)
+    return -EINVAL;
+  if (_rfcomm_sk.bound)
+    return -EBADFD;
+  _rfcomm_sk.bound = 1;
+  _rfcomm_sk.channel = sa->rc_channel;
+  return 0;
+}
+
+static int rfcomm_sock_connect(struct socket *sock, struct sockaddr *addr, int addr_len,
+                               int flags)
+{
+  struct sockaddr_rc *sa;
+  sa = (struct sockaddr_rc *)addr;
+  if (sa->rc_family != AF_BLUETOOTH)
+    return -EINVAL;
+  if (sa->rc_channel == 0 || sa->rc_channel > 30)
+    return -EINVAL;
+  _rfcomm_sk.connected = 1;
+  return 0;
+}
+
+static int rfcomm_sock_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_rfcomm_sk.connected)
+    return -ENOTCONN;
+  if (len > 1013)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int rfcomm_sock_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                               int msg_flags)
+{
+  if (!_rfcomm_sk.connected)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int rfcomm_sock_setsockopt(struct socket *sock, int level, int optname,
+                                  char *optval, unsigned int optlen)
+{
+  struct bt_security sec;
+  int opt;
+  switch (optname) {
+  case RFCOMM_LM:
+    if (copy_from_user(&opt, optval, 4))
+      return -EFAULT;
+    if (opt > RFCOMM_MAX_LM)
+      return -EINVAL;
+    _rfcomm_sk.lm = opt;
+    return 0;
+  case BT_SECURITY:
+    if (copy_from_user(&sec, optval, sizeof(struct bt_security)))
+      return -EFAULT;
+    if (sec.level > 4)
+      return -EINVAL;
+    _rfcomm_sk.sec_level = sec.level;
+    return 0;
+  case BT_DEFER_SETUP:
+    if (copy_from_user(&opt, optval, 4))
+      return -EFAULT;
+    if (!_rfcomm_sk.bound)
+      return -EINVAL;
+    _rfcomm_sk.defer = opt;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int rfcomm_sock_getsockopt(struct socket *sock, int level, int optname,
+                                  char *optval, int *optlen)
+{
+  switch (optname) {
+  case RFCOMM_LM:
+    return 0;
+  case BT_SECURITY:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int rfcomm_sock_release(struct socket *sock)
+{
+  _rfcomm_sk.bound = 0;
+  _rfcomm_sk.connected = 0;
+  return 0;
+}
+
+static const struct proto_ops rfcomm_sock_ops = {
+  .family = AF_BLUETOOTH,
+  .owner = THIS_MODULE,
+  .release = rfcomm_sock_release,
+  .bind = rfcomm_sock_bind,
+  .connect = rfcomm_sock_connect,
+  .setsockopt = rfcomm_sock_setsockopt,
+  .getsockopt = rfcomm_sock_getsockopt,
+  .sendmsg = rfcomm_sock_sendmsg,
+  .recvmsg = rfcomm_sock_recvmsg,
+};
+|}
+
+let rfcomm_existing_spec =
+  {|resource sock_rfcomm[fd]
+socket$rfcomm(domain const[AF_BLUETOOTH], type const[SOCK_STREAM], proto const[3]) sock_rfcomm
+bind$rfcomm(fd sock_rfcomm, addr ptr[in, sockaddr_rc], addrlen const[10])
+connect$rfcomm(fd sock_rfcomm, addr ptr[in, sockaddr_rc], addrlen const[10])
+sendmsg$rfcomm(fd sock_rfcomm, msg ptr[in, array[int8]], f const[0])
+recvmsg$rfcomm(fd sock_rfcomm, msg ptr[inout, array[int8]], f const[0])
+setsockopt$rfcomm_RFCOMM_LM(fd sock_rfcomm, level const[18], optname const[RFCOMM_LM], optval ptr[in, int32], optlen const[4])
+setsockopt$rfcomm_BT_SECURITY(fd sock_rfcomm, level const[274], optname const[BT_SECURITY], optval ptr[in, bt_security], optlen const[2])
+
+sockaddr_rc {
+	rc_family const[AF_BLUETOOTH, int16]
+	rc_bdaddr array[int8, 6]
+	rc_channel int8
+}
+bt_security {
+	level int8
+	key_size int8
+}
+|}
+
+let rfcomm_entry : Types.entry =
+  Types.socket_entry ~name:"rfcomm_sock" ~existing_spec:rfcomm_existing_spec ~in_table6:true
+    ~source:rfcomm_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "rfcomm_sock_ops";
+        gt_socket = Some (31, 1, 3);
+        gt_ioctls = [];
+        gt_setsockopts =
+          [
+            { Types.gc_name = "RFCOMM_LM"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "BT_SECURITY"; gc_arg_type = Some "bt_security"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "BT_DEFER_SETUP"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_syscalls = [ "socket"; "bind"; "connect"; "sendmsg"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* sco_sock (AF_BLUETOOTH, SOCK_SEQPACKET, BTPROTO_SCO)                *)
+(* ------------------------------------------------------------------ *)
+
+let sco_source =
+  {|
+#define BTPROTO_SCO 2
+#define SCO_OPTIONS 12
+#define BT_VOICE 11
+#define BT_PKT_STATUS 16
+#define BT_VOICE_TRANSPARENT 3
+#define BT_VOICE_CVSD_16BIT 96
+
+struct sco_bdaddr_t {
+  u8 b[6];
+};
+
+struct sockaddr_sco {
+  u16 sco_family;
+  struct sco_bdaddr_t sco_bdaddr;   /* remote SCO device address */
+};
+
+struct bt_voice {
+  u16 setting;
+};
+
+struct sco_sock_state {
+  int bound;
+  int connected;
+  u16 voice_setting;
+  int pkt_status;
+};
+
+static struct sco_sock_state _sco_sk;
+
+static int sco_sock_bind(struct socket *sock, struct sockaddr *addr, int addr_len)
+{
+  struct sockaddr_sco *sa;
+  sa = (struct sockaddr_sco *)addr;
+  if (addr_len < 8)
+    return -EINVAL;
+  if (sa->sco_family != AF_BLUETOOTH)
+    return -EINVAL;
+  if (_sco_sk.bound)
+    return -EBADFD;
+  _sco_sk.bound = 1;
+  return 0;
+}
+
+static int sco_sock_connect(struct socket *sock, struct sockaddr *addr, int addr_len,
+                            int flags)
+{
+  struct sockaddr_sco *sa;
+  sa = (struct sockaddr_sco *)addr;
+  if (addr_len < 8)
+    return -EINVAL;
+  if (sa->sco_family != AF_BLUETOOTH)
+    return -EINVAL;
+  if (!_sco_sk.bound)
+    return -EBADFD;
+  _sco_sk.connected = 1;
+  return 0;
+}
+
+static int sco_sock_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_sco_sk.connected)
+    return -ENOTCONN;
+  if (len > 255)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int sco_sock_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                            int msg_flags)
+{
+  if (!_sco_sk.connected)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int sco_sock_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                               unsigned int optlen)
+{
+  struct bt_voice voice;
+  int opt;
+  switch (optname) {
+  case BT_VOICE:
+    if (_sco_sk.connected)
+      return -EISCONN;
+    if (copy_from_user(&voice, optval, sizeof(struct bt_voice)))
+      return -EFAULT;
+    if (voice.setting != BT_VOICE_TRANSPARENT && voice.setting != BT_VOICE_CVSD_16BIT)
+      return -EINVAL;
+    _sco_sk.voice_setting = voice.setting;
+    return 0;
+  case BT_PKT_STATUS:
+    if (copy_from_user(&opt, optval, 4))
+      return -EFAULT;
+    _sco_sk.pkt_status = opt;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int sco_sock_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                               int *optlen)
+{
+  switch (optname) {
+  case SCO_OPTIONS:
+    return 0;
+  case BT_VOICE:
+    return 0;
+  case BT_PKT_STATUS:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int sco_sock_release(struct socket *sock)
+{
+  _sco_sk.bound = 0;
+  _sco_sk.connected = 0;
+  return 0;
+}
+
+static const struct proto_ops sco_sock_ops = {
+  .family = AF_BLUETOOTH,
+  .owner = THIS_MODULE,
+  .release = sco_sock_release,
+  .bind = sco_sock_bind,
+  .connect = sco_sock_connect,
+  .setsockopt = sco_sock_setsockopt,
+  .getsockopt = sco_sock_getsockopt,
+  .sendmsg = sco_sock_sendmsg,
+  .recvmsg = sco_sock_recvmsg,
+};
+|}
+
+let sco_existing_spec =
+  {|resource sock_sco[fd]
+socket$sco(domain const[AF_BLUETOOTH], type const[SOCK_SEQPACKET], proto const[2]) sock_sco
+bind$sco(fd sock_sco, addr ptr[in, sockaddr_sco], addrlen const[8])
+connect$sco(fd sock_sco, addr ptr[in, sockaddr_sco], addrlen const[8])
+sendmsg$sco(fd sock_sco, msg ptr[in, array[int8]], f const[0])
+recvmsg$sco(fd sock_sco, msg ptr[inout, array[int8]], f const[0])
+getsockopt$sco_SCO_OPTIONS(fd sock_sco, level const[17], optname const[SCO_OPTIONS], optval ptr[out, int32], optlen ptr[in, int32])
+
+sockaddr_sco {
+	sco_family const[AF_BLUETOOTH, int16]
+	sco_bdaddr array[int8, 6]
+}
+|}
+
+let sco_entry : Types.entry =
+  Types.socket_entry ~name:"sco_sock" ~existing_spec:sco_existing_spec ~in_table6:true
+    ~source:sco_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "sco_sock_ops";
+        gt_socket = Some (31, 5, 2);
+        gt_ioctls = [];
+        gt_setsockopts =
+          [
+            { Types.gc_name = "BT_VOICE"; gc_arg_type = Some "bt_voice"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "BT_PKT_STATUS"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "SCO_OPTIONS"; gc_arg_type = None; gc_dir = Syzlang.Ast.Out };
+          ];
+        gt_syscalls = [ "socket"; "bind"; "connect"; "sendmsg"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+let entries = [ caif_entry; llc_entry; rfcomm_entry; sco_entry ]

@@ -1,0 +1,1054 @@
+(** Internet-family sockets of the corpus: l2tp_ip6, mptcp, packet,
+    phonet_dgram and pppol2tp (five of the ten Table 6 rows).
+
+    l2tp_ip6 carries the Table 4 bug "memory leak in ip6_append_data":
+    oversized sends drop the queued skb on the error path. *)
+
+(* ------------------------------------------------------------------ *)
+(* l2tp_ip6 (AF_INET6, SOCK_DGRAM, IPPROTO_L2TP)                       *)
+(* ------------------------------------------------------------------ *)
+
+let l2tp_ip6_source =
+  {|
+#define IPPROTO_L2TP 115
+#define IPV6_TCLASS 67
+#define IPV6_DONTFRAG 62
+#define IPV6_RECVPKTINFO 49
+#define IPV6_PKTINFO 50
+#define IPV6_MTU 24
+#define IPV6_V6ONLY 26
+#define IPV6_HOPLIMIT 52
+#define IPV6_MULTICAST_HOPS 18
+#define L2TP_MAX_PAYLOAD 65535
+
+struct in6_addr {
+  u8 s6_addr[16];
+};
+
+struct sockaddr_l2tpip6 {
+  u16 l2tp_family;
+  u16 l2tp_unused;
+  u32 l2tp_flowinfo;
+  struct in6_addr l2tp_addr;
+  u32 l2tp_scope_id;
+  u32 l2tp_conn_id;       /* connection id of the tunnel */
+};
+
+struct l2tp_ip6_sock {
+  int bound;
+  int connected;
+  u32 conn_id;
+  int tclass;
+  int dontfrag;
+  int v6only;
+  int hoplimit;
+  u32 mtu;
+};
+
+static struct l2tp_ip6_sock _l2tp6_sk;
+
+static int l2tp_ip6_bind(struct socket *sock, struct sockaddr *uaddr, int addr_len)
+{
+  struct sockaddr_l2tpip6 *addr;
+  addr = (struct sockaddr_l2tpip6 *)uaddr;
+  if (addr_len < 20)
+    return -EINVAL;
+  if (addr->l2tp_family != AF_INET6)
+    return -EAFNOSUPPORT;
+  if (_l2tp6_sk.bound)
+    return -EINVAL;
+  if (addr->l2tp_conn_id == 0)
+    return -EINVAL;
+  _l2tp6_sk.bound = 1;
+  _l2tp6_sk.conn_id = addr->l2tp_conn_id;
+  return 0;
+}
+
+static int l2tp_ip6_connect(struct socket *sock, struct sockaddr *uaddr, int addr_len,
+                            int flags)
+{
+  struct sockaddr_l2tpip6 *addr;
+  addr = (struct sockaddr_l2tpip6 *)uaddr;
+  if (addr->l2tp_family != AF_INET6)
+    return -EAFNOSUPPORT;
+  if (!_l2tp6_sk.bound)
+    return -EINVAL;
+  _l2tp6_sk.connected = 1;
+  return 0;
+}
+
+static int ip6_append_data(struct l2tp_ip6_sock *lsk, struct msghdr *msg, size_t len)
+{
+  void *skb;
+  skb = kmalloc(256, GFP_KERNEL);
+  if (!skb)
+    return -ENOMEM;
+  if (len > L2TP_MAX_PAYLOAD) {
+    /* error path forgets to free the queued skb */
+    return -EMSGSIZE;
+  }
+  if (lsk->dontfrag && len > lsk->mtu && lsk->mtu != 0) {
+    kfree(skb);
+    return -EMSGSIZE;
+  }
+  kfree(skb);
+  return len;
+}
+
+static int l2tp_ip6_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_l2tp6_sk.bound)
+    return -ENOTCONN;
+  if (!msg->msg_name && !_l2tp6_sk.connected)
+    return -EDESTADDRREQ;
+  return ip6_append_data(&_l2tp6_sk, msg, len);
+}
+
+static int l2tp_ip6_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                            int msg_flags)
+{
+  if (!_l2tp6_sk.bound)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int l2tp_ip6_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                               unsigned int optlen)
+{
+  int val;
+  if (optlen < 4)
+    return -EINVAL;
+  if (copy_from_user(&val, optval, 4))
+    return -EFAULT;
+  switch (optname) {
+  case IPV6_TCLASS:
+    if (val < -1 || val > 255)
+      return -EINVAL;
+    _l2tp6_sk.tclass = val;
+    return 0;
+  case IPV6_DONTFRAG:
+    _l2tp6_sk.dontfrag = val;
+    return 0;
+  case IPV6_V6ONLY:
+    if (_l2tp6_sk.bound)
+      return -EINVAL;
+    _l2tp6_sk.v6only = val;
+    return 0;
+  case IPV6_MTU:
+    if (val < 1280)
+      return -EINVAL;
+    _l2tp6_sk.mtu = val;
+    return 0;
+  case IPV6_HOPLIMIT:
+    _l2tp6_sk.hoplimit = val;
+    return 0;
+  case IPV6_MULTICAST_HOPS:
+    if (val < -1 || val > 255)
+      return -EINVAL;
+    return 0;
+  case IPV6_RECVPKTINFO:
+    return 0;
+  case IPV6_PKTINFO:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int l2tp_ip6_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                               int *optlen)
+{
+  switch (optname) {
+  case IPV6_TCLASS:
+    return 0;
+  case IPV6_DONTFRAG:
+    return 0;
+  case IPV6_V6ONLY:
+    return 0;
+  case IPV6_MTU:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int l2tp_ip6_release(struct socket *sock)
+{
+  _l2tp6_sk.bound = 0;
+  _l2tp6_sk.connected = 0;
+  return 0;
+}
+
+static const struct proto_ops l2tp_ip6_ops = {
+  .family = AF_INET6,
+  .owner = THIS_MODULE,
+  .release = l2tp_ip6_release,
+  .bind = l2tp_ip6_bind,
+  .connect = l2tp_ip6_connect,
+  .setsockopt = l2tp_ip6_setsockopt,
+  .getsockopt = l2tp_ip6_getsockopt,
+  .sendmsg = l2tp_ip6_sendmsg,
+  .recvmsg = l2tp_ip6_recvmsg,
+};
+|}
+
+let l2tp_ip6_existing_spec =
+  {|resource sock_l2tp6[fd]
+socket$l2tp_ip6(domain const[AF_INET6], type const[SOCK_DGRAM], proto const[115]) sock_l2tp6
+bind$l2tp_ip6(fd sock_l2tp6, addr ptr[in, sockaddr_l2tpip6], addrlen const[36])
+recvmsg$l2tp_ip6(fd sock_l2tp6, msg ptr[inout, array[int8]], f const[0])
+getsockopt$l2tp_ip6_IPV6_TCLASS(fd sock_l2tp6, level const[41], optname const[IPV6_TCLASS], optval ptr[out, int32], optlen ptr[in, int32])
+getsockopt$l2tp_ip6_IPV6_MTU(fd sock_l2tp6, level const[41], optname const[IPV6_MTU], optval ptr[out, int32], optlen ptr[in, int32])
+setsockopt$l2tp_ip6_IPV6_TCLASS(fd sock_l2tp6, level const[41], optname const[IPV6_TCLASS], optval ptr[in, int32], optlen const[4])
+setsockopt$l2tp_ip6_IPV6_V6ONLY(fd sock_l2tp6, level const[41], optname const[IPV6_V6ONLY], optval ptr[in, int32], optlen const[4])
+
+sockaddr_l2tpip6 {
+	l2tp_family const[AF_INET6, int16]
+	l2tp_unused int16
+	l2tp_flowinfo int32
+	l2tp_addr array[int8, 16]
+	l2tp_scope_id int32
+	l2tp_conn_id int32
+}
+|}
+
+let l2tp_ip6_entry : Types.entry =
+  Types.socket_entry ~name:"l2tp_ip6" ~existing_spec:l2tp_ip6_existing_spec ~in_table6:true
+    ~source:l2tp_ip6_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "l2tp_ip6_ops";
+        gt_socket = Some (10, 2, 115);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [
+              "IPV6_TCLASS"; "IPV6_DONTFRAG"; "IPV6_V6ONLY"; "IPV6_MTU"; "IPV6_HOPLIMIT";
+              "IPV6_MULTICAST_HOPS"; "IPV6_RECVPKTINFO"; "IPV6_PKTINFO";
+            ];
+        gt_syscalls =
+          [ "socket"; "bind"; "connect"; "sendmsg"; "sendto"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* mptcp (AF_INET, SOCK_STREAM, IPPROTO_MPTCP)                         *)
+(* ------------------------------------------------------------------ *)
+
+let mptcp_source =
+  {|
+#define IPPROTO_MPTCP 262
+#define MPTCP_INFO 1
+#define MPTCP_TCPINFO 2
+#define MPTCP_SUBFLOW_ADDRS 3
+#define MPTCP_FULL_INFO 4
+#define SO_KEEPALIVE 9
+#define TCP_NODELAY 1
+#define TCP_MAXSEG 2
+#define TCP_CONGESTION 13
+
+struct sockaddr_in {
+  u16 sin_family;
+  u16 sin_port;
+  u32 sin_addr;
+  u8 sin_zero[8];
+};
+
+struct mptcp_info {
+  u8 mptcpi_subflows;
+  u8 mptcpi_add_addr_signal;
+  u8 mptcpi_add_addr_accepted;
+  u8 mptcpi_subflows_max;
+  u32 mptcpi_flags;
+  u32 mptcpi_token;
+  u64 mptcpi_write_seq;
+  u64 mptcpi_snd_una;
+  u64 mptcpi_rcv_nxt;
+};
+
+struct mptcp_subflow_data {
+  u32 size_subflow_data;
+  u32 num_subflows;       /* number of subflow entries that follow */
+  u32 size_kernel;
+  u32 size_user;
+};
+
+struct mptcp_sock_state {
+  int bound;
+  int listening;
+  int connected;
+  int nodelay;
+  int keepalive;
+  u32 maxseg;
+  char congestion[16];
+};
+
+static struct mptcp_sock_state _mptcp_sk;
+
+static int mptcp_bind(struct socket *sock, struct sockaddr *uaddr, int addr_len)
+{
+  struct sockaddr_in *sin;
+  sin = (struct sockaddr_in *)uaddr;
+  if (addr_len < 16)
+    return -EINVAL;
+  if (sin->sin_family != AF_INET)
+    return -EAFNOSUPPORT;
+  _mptcp_sk.bound = 1;
+  return 0;
+}
+
+static int mptcp_listen(struct socket *sock, int backlog)
+{
+  if (!_mptcp_sk.bound)
+    return -EINVAL;
+  if (backlog < 0)
+    return -EINVAL;
+  _mptcp_sk.listening = 1;
+  return 0;
+}
+
+static int mptcp_connect(struct socket *sock, struct sockaddr *uaddr, int addr_len, int flags)
+{
+  struct sockaddr_in *sin;
+  sin = (struct sockaddr_in *)uaddr;
+  if (sin->sin_family != AF_INET)
+    return -EAFNOSUPPORT;
+  if (_mptcp_sk.listening)
+    return -EINVAL;
+  _mptcp_sk.connected = 1;
+  return 0;
+}
+
+static int mptcp_accept(struct socket *sock, struct socket *newsock, int flags)
+{
+  if (!_mptcp_sk.listening)
+    return -EINVAL;
+  return 0;
+}
+
+static int mptcp_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_mptcp_sk.connected)
+    return -ENOTCONN;
+  if (len > 0x200000)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int mptcp_recvmsg(struct socket *sock, struct msghdr *msg, size_t size, int msg_flags)
+{
+  if (!_mptcp_sk.connected)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int mptcp_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                            unsigned int optlen)
+{
+  int val;
+  switch (optname) {
+  case TCP_NODELAY:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    _mptcp_sk.nodelay = val;
+    return 0;
+  case TCP_MAXSEG:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    if (val < 88 || val > 65535)
+      return -EINVAL;
+    _mptcp_sk.maxseg = val;
+    return 0;
+  case TCP_CONGESTION:
+    if (optlen > 16)
+      return -EINVAL;
+    strncpy(_mptcp_sk.congestion, optval, 16);
+    return 0;
+  case SO_KEEPALIVE:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    _mptcp_sk.keepalive = val;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int mptcp_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                            int *optlen)
+{
+  struct mptcp_info info;
+  struct mptcp_subflow_data sf;
+  switch (optname) {
+  case MPTCP_INFO:
+    memset(&info, 0, sizeof(struct mptcp_info));
+    info.mptcpi_subflows = 1;
+    info.mptcpi_token = 0xdead;
+    if (copy_to_user(optval, &info, sizeof(struct mptcp_info)))
+      return -EFAULT;
+    return 0;
+  case MPTCP_TCPINFO:
+    if (copy_from_user(&sf, optval, sizeof(struct mptcp_subflow_data)))
+      return -EFAULT;
+    if (sf.size_subflow_data < 16)
+      return -EINVAL;
+    return 0;
+  case MPTCP_SUBFLOW_ADDRS:
+    if (copy_from_user(&sf, optval, sizeof(struct mptcp_subflow_data)))
+      return -EFAULT;
+    if (sf.num_subflows > 8)
+      return -EINVAL;
+    return 0;
+  case MPTCP_FULL_INFO:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int mptcp_release(struct socket *sock)
+{
+  _mptcp_sk.bound = 0;
+  _mptcp_sk.connected = 0;
+  _mptcp_sk.listening = 0;
+  return 0;
+}
+
+static const struct proto_ops mptcp_stream_ops = {
+  .family = AF_INET,
+  .owner = THIS_MODULE,
+  .release = mptcp_release,
+  .bind = mptcp_bind,
+  .connect = mptcp_connect,
+  .accept = mptcp_accept,
+  .listen = mptcp_listen,
+  .setsockopt = mptcp_setsockopt,
+  .getsockopt = mptcp_getsockopt,
+  .sendmsg = mptcp_sendmsg,
+  .recvmsg = mptcp_recvmsg,
+};
+|}
+
+let mptcp_existing_spec =
+  {|resource sock_mptcp[fd]
+socket$mptcp(domain const[AF_INET], type const[SOCK_STREAM], proto const[262]) sock_mptcp
+bind$mptcp(fd sock_mptcp, addr ptr[in, sockaddr_in], addrlen const[16])
+connect$mptcp(fd sock_mptcp, addr ptr[in, sockaddr_in], addrlen const[16])
+listen$mptcp(fd sock_mptcp, backlog int32)
+sendmsg$mptcp(fd sock_mptcp, msg ptr[in, array[int8]], f const[0])
+getsockopt$mptcp_MPTCP_INFO(fd sock_mptcp, level const[284], optname const[MPTCP_INFO], optval ptr[out, mptcp_info], optlen ptr[in, int32])
+
+sockaddr_in {
+	sin_family const[AF_INET, int16]
+	sin_port int16
+	sin_addr int32
+	sin_zero array[int8, 8]
+}
+mptcp_info {
+	mptcpi_subflows int8
+	mptcpi_add_addr_signal int8
+	mptcpi_add_addr_accepted int8
+	mptcpi_subflows_max int8
+	mptcpi_flags int32
+	mptcpi_token int32
+	mptcpi_write_seq int64
+	mptcpi_snd_una int64
+	mptcpi_rcv_nxt int64
+}
+|}
+
+let mptcp_entry : Types.entry =
+  Types.socket_entry ~name:"mptcp" ~existing_spec:mptcp_existing_spec ~in_table6:true
+    ~source:mptcp_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "mptcp_stream_ops";
+        gt_socket = Some (2, 1, 262);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun (n, t) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = Syzlang.Ast.In })
+            [
+              ("TCP_NODELAY", None); ("TCP_MAXSEG", None); ("TCP_CONGESTION", None);
+              ("SO_KEEPALIVE", None);
+              ("MPTCP_INFO", Some "mptcp_info");
+              ("MPTCP_TCPINFO", Some "mptcp_subflow_data");
+              ("MPTCP_SUBFLOW_ADDRS", Some "mptcp_subflow_data");
+              ("MPTCP_FULL_INFO", None);
+            ];
+        gt_syscalls =
+          [ "socket"; "bind"; "connect"; "listen"; "accept"; "sendmsg"; "recvmsg";
+            "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* packet (AF_PACKET, SOCK_RAW)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let packet_source =
+  {|
+#define ETH_P_ALL 3
+#define PACKET_ADD_MEMBERSHIP 1
+#define PACKET_DROP_MEMBERSHIP 2
+#define PACKET_RX_RING 5
+#define PACKET_TX_RING 13
+#define PACKET_VERSION 10
+#define PACKET_RESERVE 12
+#define PACKET_FANOUT 18
+#define PACKET_QDISC_BYPASS 20
+
+struct sockaddr_ll {
+  u16 sll_family;
+  u16 sll_protocol;
+  s32 sll_ifindex;
+  u16 sll_hatype;
+  u8 sll_pkttype;
+  u8 sll_halen;
+  u8 sll_addr[8];
+};
+
+struct tpacket_req {
+  u32 tp_block_size;   /* minimal size of contiguous block */
+  u32 tp_block_nr;     /* number of blocks */
+  u32 tp_frame_size;   /* size of frame */
+  u32 tp_frame_nr;     /* total number of frames */
+};
+
+struct packet_mreq {
+  s32 mr_ifindex;
+  u16 mr_type;
+  u16 mr_alen;
+  u8 mr_address[8];
+};
+
+struct packet_sock_state {
+  int bound;
+  int version;
+  int fanout;
+  u32 reserve;
+  int rx_ring_set;
+};
+
+static struct packet_sock_state _packet_sk;
+
+static int packet_bind(struct socket *sock, struct sockaddr *uaddr, int addr_len)
+{
+  struct sockaddr_ll *sll;
+  sll = (struct sockaddr_ll *)uaddr;
+  if (addr_len < 12)
+    return -EINVAL;
+  if (sll->sll_family != AF_PACKET)
+    return -EINVAL;
+  if (sll->sll_ifindex < 0)
+    return -ENODEV;
+  _packet_sk.bound = 1;
+  return 0;
+}
+
+static int packet_set_ring(struct tpacket_req *req)
+{
+  if (req->tp_block_nr == 0)
+    return 0;
+  if (req->tp_block_size == 0)
+    return -EINVAL;
+  if (req->tp_frame_size == 0)
+    return -EINVAL;
+  if (req->tp_frame_nr != req->tp_block_size / req->tp_frame_size * req->tp_block_nr)
+    return -EINVAL;
+  _packet_sk.rx_ring_set = 1;
+  return 0;
+}
+
+static int packet_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                             unsigned int optlen)
+{
+  struct tpacket_req req;
+  struct packet_mreq mreq;
+  int val;
+  switch (optname) {
+  case PACKET_ADD_MEMBERSHIP:
+  case PACKET_DROP_MEMBERSHIP:
+    if (copy_from_user(&mreq, optval, sizeof(struct packet_mreq)))
+      return -EFAULT;
+    if (mreq.mr_alen > 8)
+      return -EINVAL;
+    return 0;
+  case PACKET_RX_RING:
+  case PACKET_TX_RING:
+    if (copy_from_user(&req, optval, sizeof(struct tpacket_req)))
+      return -EFAULT;
+    return packet_set_ring(&req);
+  case PACKET_VERSION:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    if (val < 0 || val > 2)
+      return -EINVAL;
+    if (_packet_sk.rx_ring_set)
+      return -EBUSY;
+    _packet_sk.version = val;
+    return 0;
+  case PACKET_RESERVE:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    if (val > 4194304)
+      return -EINVAL;
+    _packet_sk.reserve = val;
+    return 0;
+  case PACKET_FANOUT:
+    if (copy_from_user(&val, optval, 4))
+      return -EFAULT;
+    _packet_sk.fanout = val;
+    return 0;
+  case PACKET_QDISC_BYPASS:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int packet_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                             int *optlen)
+{
+  switch (optname) {
+  case PACKET_VERSION:
+    return 0;
+  case PACKET_RESERVE:
+    return 0;
+  case PACKET_FANOUT:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int packet_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_packet_sk.bound && !msg->msg_name)
+    return -EDESTADDRREQ;
+  if (len > 65535)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int packet_recvmsg(struct socket *sock, struct msghdr *msg, size_t size, int msg_flags)
+{
+  if (!_packet_sk.bound)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int packet_release(struct socket *sock)
+{
+  _packet_sk.bound = 0;
+  _packet_sk.rx_ring_set = 0;
+  return 0;
+}
+
+static const struct proto_ops packet_ops = {
+  .family = AF_PACKET,
+  .owner = THIS_MODULE,
+  .release = packet_release,
+  .bind = packet_bind,
+  .setsockopt = packet_setsockopt,
+  .getsockopt = packet_getsockopt,
+  .sendmsg = packet_sendmsg,
+  .recvmsg = packet_recvmsg,
+};
+|}
+
+let packet_existing_spec =
+  {|resource sock_packet[fd]
+socket$packet(domain const[AF_PACKET], type const[SOCK_RAW], proto const[768]) sock_packet
+bind$packet(fd sock_packet, addr ptr[in, sockaddr_ll], addrlen const[20])
+sendto$packet(fd sock_packet, buf ptr[in, array[int8]], len intptr, f const[0], addr ptr[in, sockaddr_ll], addrlen const[20])
+recvmsg$packet(fd sock_packet, msg ptr[inout, array[int8]], f const[0])
+setsockopt$packet_rx_ring(fd sock_packet, level const[263], optname const[PACKET_RX_RING], optval ptr[in, tpacket_req], optlen const[16])
+setsockopt$packet_version(fd sock_packet, level const[263], optname const[PACKET_VERSION], optval ptr[in, int32], optlen const[4])
+setsockopt$packet_reserve(fd sock_packet, level const[263], optname const[PACKET_RESERVE], optval ptr[in, int32], optlen const[4])
+getsockopt$packet_version(fd sock_packet, level const[263], optname const[PACKET_VERSION], optval ptr[out, int32], optlen ptr[in, int32])
+
+sockaddr_ll {
+	sll_family const[AF_PACKET, int16]
+	sll_protocol int16
+	sll_ifindex int32
+	sll_hatype int16
+	sll_pkttype int8
+	sll_halen int8
+	sll_addr array[int8, 8]
+}
+tpacket_req {
+	tp_block_size int32
+	tp_block_nr int32
+	tp_frame_size int32
+	tp_frame_nr int32
+}
+|}
+
+let packet_entry : Types.entry =
+  Types.socket_entry ~name:"packet" ~existing_spec:packet_existing_spec ~in_table6:true
+    ~source:packet_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "packet_ops";
+        gt_socket = Some (17, 3, 0);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun (n, t) -> { Types.gc_name = n; gc_arg_type = t; gc_dir = Syzlang.Ast.In })
+            [
+              ("PACKET_ADD_MEMBERSHIP", Some "packet_mreq");
+              ("PACKET_DROP_MEMBERSHIP", Some "packet_mreq");
+              ("PACKET_RX_RING", Some "tpacket_req");
+              ("PACKET_TX_RING", Some "tpacket_req");
+              ("PACKET_VERSION", None);
+              ("PACKET_RESERVE", None);
+              ("PACKET_FANOUT", None);
+              ("PACKET_QDISC_BYPASS", None);
+            ];
+        gt_syscalls =
+          [ "socket"; "bind"; "sendmsg"; "sendto"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* phonet_dgram (AF_PHONET, SOCK_DGRAM)                                *)
+(* ------------------------------------------------------------------ *)
+
+let phonet_source =
+  {|
+#define PNPIPE_ENCAP 1
+#define PNPIPE_IFINDEX 2
+#define PNPIPE_HANDLE 3
+#define PNADDR_ANY 0
+#define PNADDR_BROADCAST 0xfc
+
+struct sockaddr_pn {
+  u16 spn_family;
+  u8 spn_obj;
+  u8 spn_dev;          /* phonet device address */
+  u8 spn_resource;
+  u8 spn_zero[11];
+};
+
+struct phonet_sock_state {
+  int bound;
+  u8 obj;
+  int encap;
+  int handle;
+};
+
+static struct phonet_sock_state _pn_sk;
+
+static int pn_socket_bind(struct socket *sock, struct sockaddr *addr, int len)
+{
+  struct sockaddr_pn *spn;
+  spn = (struct sockaddr_pn *)addr;
+  if (len < 16)
+    return -EINVAL;
+  if (spn->spn_family != AF_PHONET)
+    return -EAFNOSUPPORT;
+  if (spn->spn_dev != PNADDR_ANY && spn->spn_dev != PNADDR_BROADCAST)
+    return -EADDRNOTAVAIL;
+  _pn_sk.bound = 1;
+  _pn_sk.obj = spn->spn_obj;
+  return 0;
+}
+
+static int pn_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  struct sockaddr_pn *target;
+  if (!msg->msg_name)
+    return -EDESTADDRREQ;
+  target = (struct sockaddr_pn *)msg->msg_name;
+  if (target->spn_family != AF_PHONET)
+    return -EAFNOSUPPORT;
+  if (len > 1024)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int pn_recvmsg(struct socket *sock, struct msghdr *msg, size_t size, int msg_flags)
+{
+  if (!_pn_sk.bound)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int pn_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                         unsigned int optlen)
+{
+  int val;
+  if (copy_from_user(&val, optval, 4))
+    return -EFAULT;
+  switch (optname) {
+  case PNPIPE_ENCAP:
+    if (val < 0 || val > 1)
+      return -EINVAL;
+    _pn_sk.encap = val;
+    return 0;
+  case PNPIPE_HANDLE:
+    _pn_sk.handle = val;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int pn_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                         int *optlen)
+{
+  switch (optname) {
+  case PNPIPE_ENCAP:
+    return 0;
+  case PNPIPE_IFINDEX:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int pn_release(struct socket *sock)
+{
+  _pn_sk.bound = 0;
+  return 0;
+}
+
+static const struct proto_ops phonet_dgram_ops = {
+  .family = AF_PHONET,
+  .owner = THIS_MODULE,
+  .release = pn_release,
+  .bind = pn_socket_bind,
+  .setsockopt = pn_setsockopt,
+  .getsockopt = pn_getsockopt,
+  .sendmsg = pn_sendmsg,
+  .recvmsg = pn_recvmsg,
+};
+|}
+
+let phonet_existing_spec =
+  {|resource sock_phonet[fd]
+socket$phonet_dgram(domain const[AF_PHONET], type const[SOCK_DGRAM], proto const[0]) sock_phonet
+bind$phonet(fd sock_phonet, addr ptr[in, sockaddr_pn], addrlen const[16])
+recvmsg$phonet(fd sock_phonet, msg ptr[inout, array[int8]], f const[0])
+
+sockaddr_pn {
+	spn_family const[AF_PHONET, int16]
+	spn_obj int8
+	spn_dev int8
+	spn_resource int8
+	spn_zero array[int8, 11]
+}
+|}
+
+let phonet_entry : Types.entry =
+  Types.socket_entry ~name:"phonet_dgram" ~existing_spec:phonet_existing_spec ~in_table6:true
+    ~source:phonet_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "phonet_dgram_ops";
+        gt_socket = Some (35, 2, 0);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [ "PNPIPE_ENCAP"; "PNPIPE_IFINDEX"; "PNPIPE_HANDLE" ];
+        gt_syscalls = [ "socket"; "bind"; "sendmsg"; "sendto"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* pppol2tp (AF_PPPOX, SOCK_DGRAM)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pppol2tp_source =
+  {|
+#define PX_PROTO_OL2TP 1
+#define PPPOL2TP_SO_DEBUG 1
+#define PPPOL2TP_SO_RECVSEQ 2
+#define PPPOL2TP_SO_SENDSEQ 3
+#define PPPOL2TP_SO_LNSMODE 4
+#define PPPOL2TP_SO_REORDERTO 5
+
+struct pppol2tp_addr {
+  s32 pid;
+  s32 fd;              /* tunnel management socket */
+  u16 s_tunnel;        /* local tunnel id */
+  u16 s_session;       /* local session id */
+  u16 d_tunnel;        /* peer tunnel id */
+  u16 d_session;       /* peer session id */
+};
+
+struct sockaddr_pppol2tp {
+  u16 sa_family;
+  u32 sa_protocol;
+  struct pppol2tp_addr pppol2tp;
+};
+
+struct pppol2tp_state {
+  int connected;
+  u16 tunnel;
+  u16 session;
+  int sendseq;
+  int recvseq;
+  int lnsmode;
+  int reorderto;
+  int debug;
+};
+
+static struct pppol2tp_state _pppol2tp_sk;
+
+static int pppol2tp_connect(struct socket *sock, struct sockaddr *uaddr, int addr_len,
+                            int flags)
+{
+  struct sockaddr_pppol2tp *sp;
+  sp = (struct sockaddr_pppol2tp *)uaddr;
+  if (addr_len < 20)
+    return -EINVAL;
+  if (sp->sa_protocol != PX_PROTO_OL2TP)
+    return -EINVAL;
+  if (sp->pppol2tp.s_tunnel == 0)
+    return -EINVAL;
+  if (sp->pppol2tp.fd < 0)
+    return -EBADF;
+  _pppol2tp_sk.connected = 1;
+  _pppol2tp_sk.tunnel = sp->pppol2tp.s_tunnel;
+  _pppol2tp_sk.session = sp->pppol2tp.s_session;
+  return 0;
+}
+
+static int pppol2tp_sendmsg(struct socket *sock, struct msghdr *msg, size_t len)
+{
+  if (!_pppol2tp_sk.connected)
+    return -ENOTCONN;
+  if (len > 32768)
+    return -EMSGSIZE;
+  return len;
+}
+
+static int pppol2tp_recvmsg(struct socket *sock, struct msghdr *msg, size_t size,
+                            int msg_flags)
+{
+  if (!_pppol2tp_sk.connected)
+    return -ENOTCONN;
+  return 0;
+}
+
+static int pppol2tp_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                               unsigned int optlen)
+{
+  int val;
+  if (optlen < 4)
+    return -EINVAL;
+  if (copy_from_user(&val, optval, 4))
+    return -EFAULT;
+  if (!_pppol2tp_sk.connected)
+    return -ENOTCONN;
+  switch (optname) {
+  case PPPOL2TP_SO_DEBUG:
+    _pppol2tp_sk.debug = val;
+    return 0;
+  case PPPOL2TP_SO_RECVSEQ:
+    if (val != 0 && val != 1)
+      return -EINVAL;
+    _pppol2tp_sk.recvseq = val;
+    return 0;
+  case PPPOL2TP_SO_SENDSEQ:
+    if (val != 0 && val != 1)
+      return -EINVAL;
+    _pppol2tp_sk.sendseq = val;
+    return 0;
+  case PPPOL2TP_SO_LNSMODE:
+    if (val != 0 && val != 1)
+      return -EINVAL;
+    _pppol2tp_sk.lnsmode = val;
+    return 0;
+  case PPPOL2TP_SO_REORDERTO:
+    _pppol2tp_sk.reorderto = val;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int pppol2tp_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                               int *optlen)
+{
+  if (!_pppol2tp_sk.connected)
+    return -ENOTCONN;
+  switch (optname) {
+  case PPPOL2TP_SO_DEBUG:
+    return 0;
+  case PPPOL2TP_SO_RECVSEQ:
+    return 0;
+  case PPPOL2TP_SO_SENDSEQ:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int pppol2tp_release(struct socket *sock)
+{
+  _pppol2tp_sk.connected = 0;
+  return 0;
+}
+
+static const struct proto_ops pppol2tp_ops = {
+  .family = AF_PPPOX,
+  .owner = THIS_MODULE,
+  .release = pppol2tp_release,
+  .connect = pppol2tp_connect,
+  .setsockopt = pppol2tp_setsockopt,
+  .getsockopt = pppol2tp_getsockopt,
+  .sendmsg = pppol2tp_sendmsg,
+  .recvmsg = pppol2tp_recvmsg,
+};
+|}
+
+let pppol2tp_existing_spec =
+  {|resource sock_pppol2tp[fd]
+socket$pppol2tp(domain const[AF_PPPOX], type const[SOCK_DGRAM], proto const[1]) sock_pppol2tp
+connect$pppol2tp(fd sock_pppol2tp, addr ptr[in, sockaddr_pppol2tp], addrlen const[26])
+sendmsg$pppol2tp(fd sock_pppol2tp, msg ptr[in, array[int8]], f const[0])
+recvmsg$pppol2tp(fd sock_pppol2tp, msg ptr[inout, array[int8]], f const[0])
+setsockopt$pppol2tp_debug(fd sock_pppol2tp, level const[273], optname const[PPPOL2TP_SO_DEBUG], optval ptr[in, int32], optlen const[4])
+
+sockaddr_pppol2tp {
+	sa_family const[AF_PPPOX, int16]
+	sa_protocol int32
+	pid int32
+	fd int32
+	s_tunnel int16
+	s_session int16
+	d_tunnel int16
+	d_session int16
+}
+|}
+
+let pppol2tp_entry : Types.entry =
+  Types.socket_entry ~name:"pppol2tp" ~existing_spec:pppol2tp_existing_spec ~in_table6:true
+    ~source:pppol2tp_source
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "pppol2tp_ops";
+        gt_socket = Some (24, 2, 1);
+        gt_ioctls = [];
+        gt_setsockopts =
+          List.map
+            (fun n -> { Types.gc_name = n; gc_arg_type = None; gc_dir = Syzlang.Ast.In })
+            [
+              "PPPOL2TP_SO_DEBUG"; "PPPOL2TP_SO_RECVSEQ"; "PPPOL2TP_SO_SENDSEQ";
+              "PPPOL2TP_SO_LNSMODE"; "PPPOL2TP_SO_REORDERTO";
+            ];
+        gt_syscalls = [ "socket"; "connect"; "sendmsg"; "recvmsg"; "setsockopt"; "getsockopt" ];
+      }
+    ()
+
+let entries = [ l2tp_ip6_entry; mptcp_entry; packet_entry; phonet_entry; pppol2tp_entry ]

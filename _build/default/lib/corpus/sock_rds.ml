@@ -1,0 +1,261 @@
+(** The RDS socket (AF_RDS, SOCK_SEQPACKET).
+
+    The paper's §5.1.4 case: Syzkaller's hand-written RDS descriptions
+    cover only [recvmsg]; generating the missing [sendto]/[sendmsg]
+    description exposes "UBSAN: array-index-out-of-bounds in
+    rds_cmsg_recv" (CVE-2024-23849) — a user-controlled rx-trace position
+    indexing a fixed 4-slot array. *)
+
+let source =
+  {|
+#define RDS_CANCEL_SENT_TO 1
+#define RDS_GET_MR 2
+#define RDS_FREE_MR 3
+#define RDS_RECVERR 5
+#define RDS_CONG_MONITOR 6
+#define SO_RDS_TRANSPORT 8
+#define RDS_MSG_RX_DGRAM_TRACE_MAX 4
+#define RDS_TRANS_TCP 2
+
+struct sockaddr_rds {
+  u16 sin_family;
+  u16 sin_port;
+  u32 sin_addr;
+  u8 sin_zero[8];
+};
+
+struct rds_get_mr_args {
+  u64 vec_addr;
+  u64 vec_bytes;
+  u64 cookie_addr;
+  u64 flags;
+};
+
+struct rds_free_mr_args {
+  u64 cookie;
+  u64 flags;
+};
+
+struct rds_rx_trace_so {
+  u8 rx_traces;                 /* number of trace points requested */
+  u8 rx_trace_pos[4];           /* position of each trace point */
+};
+
+struct rds_incoming {
+  u64 rx_lat_trace[4];
+  u32 flags;
+};
+
+struct rds_sock_state {
+  int bound;
+  int connected;
+  int transport;
+  int recverr;
+  u32 bound_addr;
+};
+
+static struct rds_sock_state _rds_sk;
+
+static int rds_bind(struct socket *sock, struct sockaddr *uaddr, int addr_len)
+{
+  struct sockaddr_rds *sin;
+  sin = (struct sockaddr_rds *)uaddr;
+  if (addr_len < 8)
+    return -EINVAL;
+  if (sin->sin_family != AF_RDS)
+    return -EAFNOSUPPORT;
+  if (_rds_sk.bound)
+    return -EINVAL;
+  _rds_sk.bound = 1;
+  _rds_sk.bound_addr = sin->sin_addr;
+  return 0;
+}
+
+static int rds_connect(struct socket *sock, struct sockaddr *uaddr, int addr_len, int flags)
+{
+  struct sockaddr_rds *sin;
+  sin = (struct sockaddr_rds *)uaddr;
+  if (sin->sin_family != AF_RDS)
+    return -EAFNOSUPPORT;
+  if (sin->sin_port == 0)
+    return -EINVAL;
+  _rds_sk.connected = 1;
+  return 0;
+}
+
+static int rds_cmsg_recv(struct rds_incoming *inc, struct rds_rx_trace_so *trace)
+{
+  int i;
+  int pos;
+  for (i = 0; i < trace->rx_traces; i = i + 1) {
+    pos = trace->rx_trace_pos[i];
+    /* pos is user controlled and never checked against the array bound */
+    inc->rx_lat_trace[pos] = 1;
+  }
+  return 0;
+}
+
+static int rds_sendmsg(struct socket *sock, struct msghdr *msg, size_t payload_len)
+{
+  struct sockaddr_rds *usin;
+  struct rds_incoming inc;
+  struct rds_rx_trace_so *trace;
+  if (!_rds_sk.bound)
+    return -ENOTCONN;
+  usin = (struct sockaddr_rds *)msg->msg_name;
+  if (usin) {
+    if (usin->sin_family != AF_RDS)
+      return -EAFNOSUPPORT;
+  } else {
+    if (!_rds_sk.connected)
+      return -ENOTCONN;
+  }
+  if (payload_len > 0x100000)
+    return -EMSGSIZE;
+  if (msg->msg_control) {
+    trace = (struct rds_rx_trace_so *)msg->msg_control;
+    return rds_cmsg_recv(&inc, trace);
+  }
+  return payload_len;
+}
+
+static int rds_recvmsg(struct socket *sock, struct msghdr *msg, size_t size, int msg_flags)
+{
+  if (!_rds_sk.bound)
+    return -ENOTCONN;
+  if (msg_flags & MSG_DONTWAIT)
+    return -EAGAIN;
+  return 0;
+}
+
+static int rds_setsockopt(struct socket *sock, int level, int optname, char *optval,
+                          unsigned int optlen)
+{
+  struct rds_get_mr_args mr;
+  struct rds_free_mr_args fmr;
+  int value;
+  switch (optname) {
+  case RDS_CANCEL_SENT_TO:
+    if (optlen < 8)
+      return -EINVAL;
+    return 0;
+  case RDS_GET_MR:
+    if (copy_from_user(&mr, optval, sizeof(struct rds_get_mr_args)))
+      return -EFAULT;
+    if (mr.vec_bytes == 0)
+      return -EINVAL;
+    return 0;
+  case RDS_FREE_MR:
+    if (copy_from_user(&fmr, optval, sizeof(struct rds_free_mr_args)))
+      return -EFAULT;
+    return 0;
+  case RDS_RECVERR:
+    if (copy_from_user(&value, optval, 4))
+      return -EFAULT;
+    _rds_sk.recverr = value;
+    return 0;
+  case RDS_CONG_MONITOR:
+    if (copy_from_user(&value, optval, 4))
+      return -EFAULT;
+    return 0;
+  case SO_RDS_TRANSPORT:
+    if (copy_from_user(&value, optval, 4))
+      return -EFAULT;
+    if (value > RDS_TRANS_TCP)
+      return -EINVAL;
+    _rds_sk.transport = value;
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int rds_getsockopt(struct socket *sock, int level, int optname, char *optval,
+                          int *optlen)
+{
+  switch (optname) {
+  case RDS_RECVERR:
+    return 0;
+  case SO_RDS_TRANSPORT:
+    return 0;
+  default:
+    return -ENOPROTOOPT;
+  }
+}
+
+static int rds_release(struct socket *sock)
+{
+  _rds_sk.bound = 0;
+  _rds_sk.connected = 0;
+  return 0;
+}
+
+static u32 rds_poll(struct file *file, struct socket *sock, poll_table *wait)
+{
+  return 1;
+}
+
+static const struct proto_ops rds_proto_ops = {
+  .family = AF_RDS,
+  .owner = THIS_MODULE,
+  .release = rds_release,
+  .bind = rds_bind,
+  .connect = rds_connect,
+  .poll = rds_poll,
+  .setsockopt = rds_setsockopt,
+  .getsockopt = rds_getsockopt,
+  .sendmsg = rds_sendmsg,
+  .recvmsg = rds_recvmsg,
+};
+|}
+
+(* Syzkaller's manual RDS spec covers recvmsg (and socket/bind), but not
+   sendto/sendmsg — the gap §5.1.4 describes. *)
+let existing_spec =
+  {|resource sock_rds[fd]
+socket$rds(domain const[AF_RDS], type const[SOCK_SEQPACKET], proto const[0]) sock_rds
+bind$rds(fd sock_rds, addr ptr[in, sockaddr_rds], addrlen const[16])
+recvmsg$rds(fd sock_rds, msg ptr[inout, rds_recv_msghdr], f flags[rds_msg_flags, int32])
+setsockopt$rds_RDS_RECVERR(fd sock_rds, level const[0], optname const[RDS_RECVERR], optval ptr[in, int32], optlen const[4])
+
+rds_msg_flags = MSG_DONTWAIT, 0
+
+sockaddr_rds {
+	sin_family const[AF_RDS, int16]
+	sin_port int16
+	sin_addr int32
+	sin_zero array[int8, 8]
+}
+rds_recv_msghdr {
+	msg_name ptr[in, sockaddr_rds]
+	msg_namelen const[16, int32]
+	msg_iov ptr[in, array[int8]]
+	msg_iovlen int64
+	msg_control int64
+	msg_controllen int64
+	msg_flags int32
+}
+|}
+
+let entry : Types.entry =
+  Types.socket_entry ~name:"rds" ~display_name:"rds"
+    ~source ~existing_spec ~in_table6:true
+    ~gt:
+      {
+        Types.gt_paths = [];
+        gt_fops = "rds_proto_ops";
+        gt_socket = Some (21, 5, 0);
+        gt_ioctls = [];
+        gt_setsockopts =
+          [
+            { Types.gc_name = "RDS_CANCEL_SENT_TO"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "RDS_GET_MR"; gc_arg_type = Some "rds_get_mr_args"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "RDS_FREE_MR"; gc_arg_type = Some "rds_free_mr_args"; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "RDS_RECVERR"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "RDS_CONG_MONITOR"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+            { Types.gc_name = "SO_RDS_TRANSPORT"; gc_arg_type = None; gc_dir = Syzlang.Ast.In };
+          ];
+        gt_syscalls =
+          [ "socket"; "bind"; "connect"; "sendmsg"; "sendto"; "recvmsg"; "setsockopt"; "getsockopt"; "poll" ];
+      }
+    ()

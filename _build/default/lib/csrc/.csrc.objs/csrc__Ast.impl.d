@@ -1,0 +1,1 @@
+lib/csrc/ast.ml: Fun List Loc Option Printf String Token

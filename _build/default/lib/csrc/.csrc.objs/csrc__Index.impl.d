@@ -1,0 +1,1 @@
+lib/csrc/index.ml: Ast Char Hashtbl Int64 List Parser Pretty Printf String Token

@@ -1,0 +1,1 @@
+lib/csrc/lexer.ml: Array Buffer Int64 List Printf String Token

@@ -1,0 +1,1 @@
+lib/csrc/loc.ml: Format Int String

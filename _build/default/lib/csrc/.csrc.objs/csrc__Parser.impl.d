@@ -1,0 +1,1 @@
+lib/csrc/parser.ml: Array Ast Buffer Hashtbl Int64 Lexer List Loc Printf String Token

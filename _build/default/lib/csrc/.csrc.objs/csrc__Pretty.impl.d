@@ -1,0 +1,1 @@
+lib/csrc/pretty.ml: Ast Buffer Int64 List Printf String Token

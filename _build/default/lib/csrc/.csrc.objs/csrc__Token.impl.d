@@ -1,0 +1,1 @@
+lib/csrc/token.ml: Int64 Printf

@@ -1,0 +1,244 @@
+(** Abstract syntax of the mini-C dialect.
+
+    The dialect covers the subset of kernel C that driver and socket
+    implementations in the synthetic corpus use: struct/union/enum
+    definitions with designated initializers, function definitions with
+    the usual statements, object-like macros (whose bodies may use the
+    [_IO*] ioctl-encoding builtins), and function-pointer struct fields
+    used to register operation handlers. *)
+
+type ctype =
+  | Void
+  | Bool
+  | Int of { signed : bool; width : int }  (** width in bits: 8/16/32/64 *)
+  | Named of string  (** typedef name, e.g. [size_t], [u32] *)
+  | Ptr of ctype
+  | Array of ctype * int option  (** [None] encodes a flexible array member *)
+  | Struct_ref of string
+  | Union_ref of string
+  | Enum_ref of string
+  | Func_ptr of ctype * ctype list  (** return type, parameter types *)
+
+type unop = Neg | Not | Bit_not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Const_int of int64
+  | Const_char of char
+  | Const_str of string
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | Call of string * expr list
+  | Member of expr * string  (** [e.f] *)
+  | Arrow of expr * string  (** [e->f] *)
+  | Index of expr * expr
+  | Cast of ctype * expr
+  | Sizeof_type of ctype
+  | Sizeof_expr of expr
+  | Ternary of expr * expr * expr
+  | Addr_of of expr
+  | Deref of expr
+  | Type_arg of ctype  (** type used in argument position, e.g. [_IOWR('x',0,struct s)] *)
+
+type stmt = { sid : int; sloc : Loc.t; node : stmt_node }
+
+and stmt_node =
+  | Expr_stmt of expr
+  | Decl_stmt of ctype * string * expr option
+  | If of expr * block * block option
+  | Switch of expr * switch_case list
+  | While of expr * block
+  | Do_while of block * expr
+  | For of expr option * expr option * expr option * block
+  | Return of expr option
+  | Break
+  | Continue
+  | Goto of string
+  | Label of string
+  | Block of block
+
+and block = stmt list
+
+and switch_case = { labels : case_label list; case_body : block }
+
+and case_label = Case of expr | Default
+
+type field = {
+  field_name : string;
+  field_type : ctype;
+  field_comment : string option;  (** trailing or preceding comment, if any *)
+}
+
+type composite_kind = Struct | Union
+
+type composite_def = {
+  comp_kind : composite_kind;
+  comp_name : string;
+  fields : field list;
+  comp_loc : Loc.t;
+}
+
+type enum_item = { item_name : string; item_value : expr option }
+
+type enum_def = { enum_name : string option; items : enum_item list; enum_loc : Loc.t }
+
+type func_def = {
+  fun_name : string;
+  fun_ret : ctype;
+  fun_params : (ctype * string) list;
+  fun_body : block;
+  fun_static : bool;
+  fun_loc : Loc.t;
+}
+
+(** Initializer of a global definition. *)
+type ginit =
+  | Init_expr of expr
+  | Init_designated of (string * ginit) list  (** [.field = v, ...] *)
+  | Init_list of ginit list
+
+type global_def = {
+  global_name : string;
+  global_type : ctype;
+  global_init : ginit option;
+  global_static : bool;
+  global_loc : Loc.t;
+}
+
+type macro_def = {
+  macro_name : string;
+  macro_body : Token.t list;  (** raw body tokens, parsed on demand *)
+  macro_loc : Loc.t;
+}
+
+type typedef_def = { td_name : string; td_type : ctype; td_loc : Loc.t }
+
+type decl =
+  | D_composite of composite_def
+  | D_enum of enum_def
+  | D_func of func_def
+  | D_global of global_def
+  | D_macro of macro_def
+  | D_typedef of typedef_def
+
+type file = { path : string; decls : decl list }
+
+(* -------------------------------------------------------------------- *)
+(* Small helpers shared across the analyses                             *)
+(* -------------------------------------------------------------------- *)
+
+let u8 = Int { signed = false; width = 8 }
+let u16 = Int { signed = false; width = 16 }
+let u32 = Int { signed = false; width = 32 }
+let u64 = Int { signed = false; width = 64 }
+let s8 = Int { signed = true; width = 8 }
+let s16 = Int { signed = true; width = 16 }
+let s32 = Int { signed = true; width = 32 }
+let s64 = Int { signed = true; width = 64 }
+
+let rec ctype_to_string = function
+  | Void -> "void"
+  | Bool -> "bool"
+  | Int { signed = true; width = 32 } -> "int"
+  | Int { signed = true; width } -> Printf.sprintf "s%d" width
+  | Int { signed = false; width } -> Printf.sprintf "u%d" width
+  | Named n -> n
+  | Ptr t -> ctype_to_string t ^ " *"
+  | Array (t, Some n) -> Printf.sprintf "%s[%d]" (ctype_to_string t) n
+  | Array (t, None) -> Printf.sprintf "%s[]" (ctype_to_string t)
+  | Struct_ref n -> "struct " ^ n
+  | Union_ref n -> "union " ^ n
+  | Enum_ref n -> "enum " ^ n
+  | Func_ptr (ret, args) ->
+      Printf.sprintf "%s (*)(%s)" (ctype_to_string ret)
+        (String.concat ", " (List.map ctype_to_string args))
+
+let decl_name = function
+  | D_composite c -> c.comp_name
+  | D_enum e -> Option.value e.enum_name ~default:"<anon-enum>"
+  | D_func f -> f.fun_name
+  | D_global g -> g.global_name
+  | D_macro m -> m.macro_name
+  | D_typedef t -> t.td_name
+
+let decl_loc = function
+  | D_composite c -> c.comp_loc
+  | D_enum e -> e.enum_loc
+  | D_func f -> f.fun_loc
+  | D_global g -> g.global_loc
+  | D_macro m -> m.macro_loc
+  | D_typedef t -> t.td_loc
+
+(** Fold over every statement of a block, depth first. *)
+let rec fold_block f acc (b : block) = List.fold_left (fold_stmt f) acc b
+
+and fold_stmt f acc (s : stmt) =
+  let acc = f acc s in
+  match s.node with
+  | Expr_stmt _ | Decl_stmt _ | Return _ | Break | Continue | Goto _ | Label _ -> acc
+  | If (_, t, e) ->
+      let acc = fold_block f acc t in
+      (match e with Some e -> fold_block f acc e | None -> acc)
+  | Switch (_, cases) ->
+      List.fold_left (fun acc c -> fold_block f acc c.case_body) acc cases
+  | While (_, b) | Do_while (b, _) | For (_, _, _, b) | Block b -> fold_block f acc b
+
+(** All statements of a function body, in source order. *)
+let stmts_of_body body = List.rev (fold_block (fun acc s -> s :: acc) [] body)
+
+(** Fold over every expression appearing in a statement (shallow wrt nested
+    statements; use {!fold_block} to reach those). *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const_int _ | Const_char _ | Const_str _ | Ident _ | Sizeof_type _ | Type_arg _ -> acc
+  | Unop (_, a) | Cast (_, a) | Sizeof_expr a | Addr_of a | Deref a
+  | Member (a, _) | Arrow (a, _) ->
+      fold_expr f acc a
+  | Binop (_, a, b) | Assign (a, b) | Index (a, b) ->
+      fold_expr f (fold_expr f acc a) b
+  | Ternary (a, b, c) -> fold_expr f (fold_expr f (fold_expr f acc a) b) c
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+let exprs_of_stmt (s : stmt) : expr list =
+  match s.node with
+  | Expr_stmt e -> [ e ]
+  | Decl_stmt (_, _, Some e) -> [ e ]
+  | Decl_stmt (_, _, None) -> []
+  | If (c, _, _) -> [ c ]
+  | Switch (c, _) -> [ c ]
+  | While (c, _) -> [ c ]
+  | Do_while (_, c) -> [ c ]
+  | For (a, b, c, _) -> List.filter_map Fun.id [ a; b; c ]
+  | Return (Some e) -> [ e ]
+  | Return None | Break | Continue | Goto _ | Label _ | Block _ -> []
+
+(** Names of all functions called anywhere in [body]. *)
+let called_functions (body : block) : string list =
+  let add acc = function Call (name, _) -> name :: acc | _ -> acc in
+  fold_block
+    (fun acc s -> List.fold_left (fun acc e -> fold_expr add acc e) acc (exprs_of_stmt s))
+    [] body
+  |> List.rev
+  |> List.sort_uniq String.compare

@@ -1,0 +1,18 @@
+(** Source locations within the synthetic kernel corpus. *)
+
+type t = { file : string; line : int }
+
+let dummy = { file = "<none>"; line = 0 }
+
+let make ~file ~line = { file; line }
+
+let pp fmt { file; line } = Format.fprintf fmt "%s:%d" file line
+
+let to_string loc = Format.asprintf "%a" pp loc
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let equal a b = compare a b = 0

@@ -1,0 +1,229 @@
+(** Pretty-printer from the mini-C AST back to C-like source text.
+
+    Used to render definitions into oracle prompts (the stand-in for the
+    paper's [ExtractCode]) and to measure prompt sizes in tokens. *)
+
+let rec type_prefix = function
+  | Ast.Void -> "void"
+  | Ast.Bool -> "bool"
+  | Ast.Int { signed = true; width = 8 } -> "char"
+  | Ast.Int { signed = true; width = 16 } -> "short"
+  | Ast.Int { signed = true; width = 32 } -> "int"
+  | Ast.Int { signed = true; width = 64 } -> "long"
+  | Ast.Int { signed = false; width = 8 } -> "unsigned char"
+  | Ast.Int { signed = false; width = 16 } -> "unsigned short"
+  | Ast.Int { signed = false; width = 32 } -> "unsigned int"
+  | Ast.Int { signed = false; width = 64 } -> "unsigned long"
+  | Ast.Int { signed; width } ->
+      Printf.sprintf "%s%d_t" (if signed then "int" else "uint") width
+  | Ast.Named n -> n
+  | Ast.Ptr t -> type_prefix t ^ " *"
+  | Ast.Array (t, _) -> type_prefix t
+  | Ast.Struct_ref n -> "struct " ^ n
+  | Ast.Union_ref n -> "union " ^ n
+  | Ast.Enum_ref n -> "enum " ^ n
+  | Ast.Func_ptr (ret, args) ->
+      Printf.sprintf "%s (*)(%s)" (type_prefix ret)
+        (String.concat ", " (List.map type_prefix args))
+
+let type_suffix = function
+  | Ast.Array (_, Some 0) -> "[]"
+  | Ast.Array (_, Some n) -> Printf.sprintf "[%d]" n
+  | Ast.Array (_, None) -> "[]"
+  | _ -> ""
+
+let unop_str = function Ast.Neg -> "-" | Ast.Not -> "!" | Ast.Bit_not -> "~"
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.Band -> "&"
+  | Ast.Bor -> "|"
+  | Ast.Bxor -> "^"
+  | Ast.Land -> "&&"
+  | Ast.Lor -> "||"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let escape_c_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr_str (e : Ast.expr) : string =
+  match e with
+  | Ast.Const_int v ->
+      if Int64.compare v 4096L > 0 then Printf.sprintf "0x%Lx" v else Int64.to_string v
+  | Ast.Const_char c -> Printf.sprintf "'%c'" c
+  | Ast.Const_str s -> Printf.sprintf "\"%s\"" (escape_c_string s)
+  | Ast.Ident s -> s
+  | Ast.Unop (op, a) -> Printf.sprintf "%s%s" (unop_str op) (atom a)
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "%s %s %s" (atom a) (binop_str op) (atom b)
+  | Ast.Assign (a, b) -> Printf.sprintf "%s = %s" (expr_str a) (expr_str b)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Ast.Member (a, f) -> Printf.sprintf "%s.%s" (atom a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (atom a) f
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (atom a) (expr_str i)
+  | Ast.Cast (ty, a) -> Printf.sprintf "(%s)%s" (type_prefix ty) (atom a)
+  | Ast.Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (type_prefix ty)
+  | Ast.Sizeof_expr a -> Printf.sprintf "sizeof(%s)" (expr_str a)
+  | Ast.Ternary (c, t, f) ->
+      Printf.sprintf "%s ? %s : %s" (atom c) (expr_str t) (expr_str f)
+  | Ast.Addr_of a -> Printf.sprintf "&%s" (atom a)
+  | Ast.Deref a -> Printf.sprintf "*%s" (atom a)
+  | Ast.Type_arg ty -> type_prefix ty
+
+and atom e =
+  match e with
+  | Ast.Const_int _ | Ast.Const_char _ | Ast.Const_str _ | Ast.Ident _ | Ast.Call _
+  | Ast.Member _ | Ast.Arrow _ | Ast.Index _ | Ast.Sizeof_type _ | Ast.Sizeof_expr _
+  | Ast.Type_arg _ ->
+      expr_str e
+  | _ -> "(" ^ expr_str e ^ ")"
+
+let indent n = String.make (n * 2) ' '
+
+let rec stmt_lines lvl (s : Ast.stmt) : string list =
+  let pad = indent lvl in
+  match s.node with
+  | Ast.Expr_stmt e -> [ pad ^ expr_str e ^ ";" ]
+  | Ast.Decl_stmt (ty, name, init) ->
+      let init_s = match init with Some e -> " = " ^ expr_str e | None -> "" in
+      [ Printf.sprintf "%s%s %s%s%s;" pad (type_prefix ty) name (type_suffix ty) init_s ]
+  | Ast.If (c, t, e) ->
+      let head = Printf.sprintf "%sif (%s) {" pad (expr_str c) in
+      let body = List.concat_map (stmt_lines (lvl + 1)) t in
+      let tail =
+        match e with
+        | None -> [ pad ^ "}" ]
+        | Some e ->
+            (pad ^ "} else {") :: (List.concat_map (stmt_lines (lvl + 1)) e @ [ pad ^ "}" ])
+      in
+      (head :: body) @ tail
+  | Ast.Switch (c, cases) ->
+      let head = Printf.sprintf "%sswitch (%s) {" pad (expr_str c) in
+      let case_lines case =
+        let labels =
+          List.map
+            (function
+              | Ast.Case e -> Printf.sprintf "%scase %s:" pad (expr_str e)
+              | Ast.Default -> pad ^ "default:")
+            case.Ast.labels
+        in
+        labels @ List.concat_map (stmt_lines (lvl + 1)) case.Ast.case_body
+      in
+      (head :: List.concat_map case_lines cases) @ [ pad ^ "}" ]
+  | Ast.While (c, b) ->
+      (Printf.sprintf "%swhile (%s) {" pad (expr_str c)
+      :: List.concat_map (stmt_lines (lvl + 1)) b)
+      @ [ pad ^ "}" ]
+  | Ast.Do_while (b, c) ->
+      ((pad ^ "do {") :: List.concat_map (stmt_lines (lvl + 1)) b)
+      @ [ Printf.sprintf "%s} while (%s);" pad (expr_str c) ]
+  | Ast.For (i, c, u, b) ->
+      let opt = function Some e -> expr_str e | None -> "" in
+      (Printf.sprintf "%sfor (%s; %s; %s) {" pad (opt i) (opt c) (opt u)
+      :: List.concat_map (stmt_lines (lvl + 1)) b)
+      @ [ pad ^ "}" ]
+  | Ast.Return None -> [ pad ^ "return;" ]
+  | Ast.Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_str e) ]
+  | Ast.Break -> [ pad ^ "break;" ]
+  | Ast.Continue -> [ pad ^ "continue;" ]
+  | Ast.Goto l -> [ Printf.sprintf "%sgoto %s;" pad l ]
+  | Ast.Label l -> [ Printf.sprintf "%s%s:" (indent (max 0 (lvl - 1))) l ]
+  | Ast.Block b ->
+      ((pad ^ "{") :: List.concat_map (stmt_lines (lvl + 1)) b) @ [ pad ^ "}" ]
+
+let func_str (f : Ast.func_def) : string =
+  let params =
+    match f.fun_params with
+    | [] -> "void"
+    | ps ->
+        String.concat ", "
+          (List.map (fun (ty, n) -> Printf.sprintf "%s %s" (type_prefix ty) n) ps)
+  in
+  let head =
+    Printf.sprintf "%s%s %s(%s)"
+      (if f.fun_static then "static " else "")
+      (type_prefix f.fun_ret) f.fun_name params
+  in
+  if f.fun_body = [] then head ^ ";"
+  else
+    String.concat "\n"
+      ((head ^ " {") :: (List.concat_map (stmt_lines 1) f.fun_body @ [ "}" ]))
+
+let field_str (fld : Ast.field) : string =
+  let comment = match fld.field_comment with Some c -> Printf.sprintf " /* %s */" c | None -> "" in
+  match fld.field_type with
+  | Ast.Func_ptr (ret, args) ->
+      Printf.sprintf "  %s (*%s)(%s);%s" (type_prefix ret) fld.field_name
+        (String.concat ", " (List.map type_prefix args))
+        comment
+  | ty ->
+      Printf.sprintf "  %s %s%s;%s" (type_prefix ty) fld.field_name (type_suffix ty) comment
+
+let composite_str (c : Ast.composite_def) : string =
+  let kw = match c.comp_kind with Ast.Struct -> "struct" | Ast.Union -> "union" in
+  String.concat "\n"
+    ((Printf.sprintf "%s %s {" kw c.comp_name :: List.map field_str c.fields) @ [ "};" ])
+
+let enum_str (e : Ast.enum_def) : string =
+  let item i =
+    match i.Ast.item_value with
+    | Some v -> Printf.sprintf "  %s = %s," i.Ast.item_name (expr_str v)
+    | None -> Printf.sprintf "  %s," i.Ast.item_name
+  in
+  let name = match e.enum_name with Some n -> " " ^ n | None -> "" in
+  String.concat "\n" ((Printf.sprintf "enum%s {" name :: List.map item e.items) @ [ "};" ])
+
+let rec ginit_str = function
+  | Ast.Init_expr e -> expr_str e
+  | Ast.Init_designated fields ->
+      "{\n"
+      ^ String.concat ""
+          (List.map (fun (f, v) -> Printf.sprintf "  .%s = %s,\n" f (ginit_str v)) fields)
+      ^ "}"
+  | Ast.Init_list items -> "{ " ^ String.concat ", " (List.map ginit_str items) ^ " }"
+
+let global_str (g : Ast.global_def) : string =
+  let init = match g.global_init with Some i -> " = " ^ ginit_str i | None -> "" in
+  Printf.sprintf "%s%s %s%s%s;"
+    (if g.global_static then "static " else "")
+    (type_prefix g.global_type) g.global_name (type_suffix g.global_type) init
+
+let macro_str (m : Ast.macro_def) : string =
+  Printf.sprintf "#define %s %s" m.macro_name
+    (String.concat " " (List.map Token.to_string m.macro_body))
+
+let typedef_str (t : Ast.typedef_def) : string =
+  Printf.sprintf "typedef %s %s;" (type_prefix t.td_type) t.td_name
+
+let decl_str = function
+  | Ast.D_composite c -> composite_str c
+  | Ast.D_enum e -> enum_str e
+  | Ast.D_func f -> func_str f
+  | Ast.D_global g -> global_str g
+  | Ast.D_macro m -> macro_str m
+  | Ast.D_typedef t -> typedef_str t
+
+let file_str (f : Ast.file) : string =
+  String.concat "\n\n" (List.map decl_str f.decls)

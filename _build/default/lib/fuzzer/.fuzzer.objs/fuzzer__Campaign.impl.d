@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.ml: Array Hashtbl List Proggen Rng String Syzlang Vkernel

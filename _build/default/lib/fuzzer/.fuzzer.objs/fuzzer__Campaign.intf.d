@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.mli: Hashtbl Syzlang Vkernel

@@ -1,0 +1,1 @@
+lib/fuzzer/proggen.ml: Array Int64 List Option Rng String Syzlang Vkernel

@@ -1,0 +1,1 @@
+lib/fuzzer/repro.ml: Buffer Int64 List Printf String Vkernel

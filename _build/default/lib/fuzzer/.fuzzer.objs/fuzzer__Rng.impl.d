@@ -1,0 +1,1 @@
+lib/fuzzer/rng.ml: Char Int64 List String

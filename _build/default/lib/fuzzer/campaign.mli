@@ -1,0 +1,29 @@
+(** Coverage-guided fuzzing campaigns (the Syzkaller loop).
+
+    A fixed execution budget stands in for the paper's wall-clock
+    sessions; crashes deduplicate by title, giving the "unique crashes"
+    metric of Tables 3/5/6. *)
+
+type result = {
+  executions : int;
+  coverage : (int, unit) Hashtbl.t;  (** statements reached, by id *)
+  crashes : (string, Vkernel.Machine.prog) Hashtbl.t;  (** title → reproducer *)
+  corpus_size : int;
+}
+
+val total_coverage : result -> int
+
+(** Coverage restricted to statements of one module. *)
+val module_coverage : Vkernel.Machine.t -> result -> string -> int
+
+val crash_titles : result -> string list
+
+(** Run a campaign of [budget] program executions with the given
+    specification suite. Deterministic in [seed]. *)
+val run :
+  ?seed:int ->
+  ?budget:int ->
+  ?step_budget:int ->
+  machine:Vkernel.Machine.t ->
+  Syzlang.Ast.spec ->
+  result

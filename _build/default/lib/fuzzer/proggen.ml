@@ -1,0 +1,299 @@
+(** Spec-driven program generation (Syzkaller's generator).
+
+    Programs are sequences of syscalls drawn from a specification suite.
+    Resource arguments are satisfied by inserting producer calls
+    (openat/socket, or resource-returning ioctls like KVM_CREATE_VM), so
+    inter-syscall dependencies expressed in the spec shape every
+    program. Argument payloads are generated from the syzlang types:
+    [len] fields are computed from their targets, [const] fields carry
+    the resolved kernel constants, strings come from a small pool. *)
+
+open Syzlang.Ast
+
+type t = {
+  spec : spec;  (** resolved: const values filled in *)
+  producers : (string * syscall) list;  (** resource -> producing syscall *)
+  consumers : syscall list;  (** all syscalls *)
+  mutable cur_str : string option;
+      (** the program's working string: reused across calls so that
+          name-keyed kernel state (device tables) sees the same key, the
+          way Syzkaller reuses buffers *)
+}
+
+let prepare (spec : spec) : t =
+  let producers =
+    List.filter_map
+      (fun c -> match c.ret with Some r -> Some (r, c) | None -> None)
+      spec.syscalls
+  in
+  { spec; producers; consumers = spec.syscalls; cur_str = None }
+
+let program_string (t : t) (r : Rng.t) ~(max_len : int) : string =
+  match t.cur_str with
+  | Some s when Rng.pct r 60 -> s
+  | _ ->
+      let s = Rng.fuzz_string r ~max_len in
+      t.cur_str <- Some s;
+      s
+
+let find_type (t : t) name = List.find_opt (fun c -> c.comp_name = name) t.spec.types
+
+let const_value (c : const_ref) : int64 = Option.value c.const_value ~default:0L
+
+let rec uval_of_typ (t : t) (r : Rng.t) ~(depth : int) (ty : typ) : Vkernel.Value.uval =
+  let open Vkernel.Value in
+  if depth > 6 then U_int 0L
+  else
+    match ty with
+    | Int (w, None) -> U_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
+    | Int (_, Some { lo; hi }) ->
+        let span = Int64.to_int (Int64.sub hi lo) + 1 in
+        U_int (Int64.add lo (Int64.of_int (Rng.int r (max 1 span))))
+    | Const (c, _) -> U_int (const_value c)
+    | Flags (set, w) -> (
+        (* mostly the spec's valid values, occasionally noise *)
+        match List.find_opt (fun fs -> fs.set_name = set) t.spec.flag_sets with
+        | Some fs when fs.set_values <> [] && not (Rng.pct r 25) ->
+            U_int (const_value (Rng.pick r fs.set_values))
+        | _ -> U_int (Rng.fuzz_int r ~bits:(8 * width_bytes w)))
+    | Ptr (_, String (Some s)) -> U_str s
+    | Ptr (_, inner) -> uval_of_typ t r ~depth:(depth + 1) inner
+    | Buffer _ -> U_str (Rng.fuzz_string r ~max_len:32)
+    | String (Some s) -> U_str s
+    | String None -> U_str (program_string t r ~max_len:32)
+    | Array (Int (I8, _), len) ->
+        let n = match len with Some n -> min n 64 | None -> Rng.int r 32 in
+        if Rng.pct r 40 then U_str (program_string t r ~max_len:(max 1 n))
+        else U_str (Rng.fuzz_string r ~max_len:(max 1 n))
+    | Array (elem, len) ->
+        let n = match len with Some n -> min n 8 | None -> 1 + Rng.int r 4 in
+        U_arr (List.init n (fun _ -> uval_of_typ t r ~depth:(depth + 1) elem))
+    | Len _ | Bytesize _ -> U_int 0L (* fixed up afterwards *)
+    | Resource_ref _ | Fd -> U_int (Int64.of_int (Rng.int r 8))
+    | Struct_ref name -> (
+        match find_type t name with
+        | Some cd -> uval_of_comp t r ~depth cd
+        | None -> U_int 0L)
+    | Union_ref name -> (
+        match find_type t name with
+        | Some cd when cd.comp_fields <> [] ->
+            let f = Rng.pick r cd.comp_fields in
+            U_struct (name, [ (f.fname, uval_of_typ t r ~depth:(depth + 1) f.ftyp) ])
+        | _ -> U_int 0L)
+    | Void -> U_int 0L
+
+and uval_of_comp (t : t) (r : Rng.t) ~(depth : int) (cd : comp_def) : Vkernel.Value.uval =
+  let open Vkernel.Value in
+  let fields =
+    List.map (fun f -> (f.fname, uval_of_typ t r ~depth:(depth + 1) f.ftyp)) cd.comp_fields
+  in
+  (* second pass: compute len fields from their targets *)
+  let elem_count = function
+    | U_str s -> Int64.of_int (String.length s)
+    | U_arr xs -> Int64.of_int (List.length xs)
+    | U_struct _ -> 1L
+    | U_int _ | U_null -> 1L
+  in
+  let fields =
+    List.map
+      (fun (fname, v) ->
+        match List.find_opt (fun f -> f.fname = fname) cd.comp_fields with
+        | Some { ftyp = Len (target, _); _ } | Some { ftyp = Bytesize (target, _); _ } -> (
+            match List.assoc_opt target fields with
+            | Some tv -> (fname, U_int (elem_count tv))
+            | None -> (fname, v))
+        | _ -> (fname, v))
+      fields
+  in
+  U_struct (cd.comp_name, fields)
+
+(* ------------------------------------------------------------------ *)
+(* Call and program construction                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate the machine-level arguments of one syscall; [resource_at]
+    maps resource names to the producing call's program index. *)
+let args_of_call (t : t) (r : Rng.t) ~(resource_at : (string * int) list) (c : syscall) :
+    Vkernel.Machine.parg list =
+  List.map
+    (fun (f : field) ->
+      match f.ftyp with
+      | Resource_ref res -> (
+          match List.assoc_opt res resource_at with
+          | Some i -> Vkernel.Machine.P_result i
+          | None -> Vkernel.Machine.P_int (-1L))
+      | Fd -> Vkernel.Machine.P_int (Int64.of_int (Rng.int r 8))
+      | Const (cr, _) -> Vkernel.Machine.P_int (const_value cr)
+      | Int (w, None) -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
+      | Int (_, Some { lo; hi }) ->
+          let span = Int64.to_int (Int64.sub hi lo) + 1 in
+          Vkernel.Machine.P_int (Int64.add lo (Int64.of_int (Rng.int r (max 1 span))))
+      | Flags (_, w) -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
+      | Ptr (_, String (Some s)) -> Vkernel.Machine.P_str s
+      | String (Some s) -> Vkernel.Machine.P_str s
+      | String None -> Vkernel.Machine.P_str (Rng.fuzz_string r ~max_len:32)
+      | Ptr (_, inner) ->
+          if Rng.pct r 4 then Vkernel.Machine.P_null
+          else Vkernel.Machine.P_data (uval_of_typ t r ~depth:0 inner)
+      | Buffer _ -> Vkernel.Machine.P_data (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:32))
+      | Array _ | Struct_ref _ | Union_ref _ ->
+          Vkernel.Machine.P_data (uval_of_typ t r ~depth:0 f.ftyp)
+      | Len _ | Bytesize _ -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:32)
+      | Void -> Vkernel.Machine.P_int 0L)
+    (c : syscall).args
+
+(** Resources a syscall needs. *)
+let required_resources (c : syscall) : string list =
+  List.concat_map (fun f -> referenced_resources f.ftyp) c.args
+
+(** Append [c] to the program under construction, inserting producer
+    calls for missing resources first. *)
+let rec push_call (t : t) (r : Rng.t) ~(prog : (string * Vkernel.Machine.call) list ref)
+    ~(resource_at : (string * int) list ref) ~(depth : int) (c : syscall) : unit =
+  if depth > 4 then ()
+  else begin
+    List.iter
+      (fun res ->
+        if not (List.mem_assoc res !resource_at) then
+          match List.assoc_opt res t.producers with
+          | Some producer -> push_call t r ~prog ~resource_at ~depth:(depth + 1) producer
+          | None -> ())
+      (required_resources c);
+    let args = args_of_call t r ~resource_at:!resource_at c in
+    let index = List.length !prog in
+    prog := !prog @ [ (syscall_full_name c, { Vkernel.Machine.c_name = c.call_name; c_args = args }) ];
+    match c.ret with
+    | Some res -> resource_at := (res, index) :: !resource_at
+    | None -> ()
+  end
+
+(** A fresh random program of up to [max_len] spec syscalls. With some
+    probability the program instead walks the *whole* specification in
+    order — specs list syscalls in handler source order, which tends to
+    be setup order (open, configure, operate), so template programs reach
+    deep multi-call states the way Syzkaller's call-relation bias does. *)
+let generate (t : t) (r : Rng.t) ?(max_len = 5) () : Vkernel.Machine.prog =
+  t.cur_str <- None;
+  if t.consumers = [] then []
+  else begin
+    let prog = ref [] in
+    let resource_at = ref [] in
+    if Rng.pct r 15 then begin
+      (* walk a contiguous window of the spec in order; merged suites
+         keep each module's syscalls adjacent, so a window stays inside
+         one module's setup sequence *)
+      let n = List.length t.consumers in
+      let window = 25 in
+      let start = if n <= window then 0 else Rng.int r (n - window + 1) in
+      List.iteri
+        (fun i c ->
+          if i >= start && i < start + window then
+            push_call t r ~prog ~resource_at ~depth:0 c)
+        t.consumers;
+      (* a short random tail re-exercises state left by the walk *)
+      for _ = 1 to 1 + Rng.int r 3 do
+        push_call t r ~prog ~resource_at ~depth:0 (Rng.pick r t.consumers)
+      done
+    end
+    else begin
+      let n = 1 + Rng.int r max_len in
+      for _ = 1 to n do
+        let c = Rng.pick r t.consumers in
+        push_call t r ~prog ~resource_at ~depth:0 c
+      done
+    end;
+    List.map snd !prog
+  end
+
+(** Mutate a program: regenerate one call's arguments, append a call, or
+    drop a tail call. The call-name list is kept consistent by simply
+    regenerating from the same spec when structure changes. *)
+let mutate (t : t) (r : Rng.t) (prog : Vkernel.Machine.prog) : Vkernel.Machine.prog =
+  match prog with
+  | [] -> generate t r ()
+  | _ when List.length prog > 40 ->
+      (* programs must not grow without bound: trim back to a window *)
+      List.filteri (fun i _ -> i < 30) prog
+  | _ -> (
+      match Rng.int r 5 with
+      | 4 when List.length prog > 2 ->
+          (* swap two adjacent calls: ordering bugs (suspend-then-remove) *)
+          let i = 1 + Rng.int r (List.length prog - 1) in
+          let arr = Array.of_list prog in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(i - 1);
+          arr.(i - 1) <- tmp;
+          Array.to_list arr
+      | 0 ->
+          (* append more calls *)
+          let extra = generate t r ~max_len:2 () in
+          (* re-target appended resource uses onto existing results where
+             possible: cheap heuristic — leave absolute indices, they
+             refer within the appended block after shifting *)
+          let shift = List.length prog in
+          let shifted =
+            List.map
+              (fun (c : Vkernel.Machine.call) ->
+                {
+                  c with
+                  Vkernel.Machine.c_args =
+                    List.map
+                      (function
+                        | Vkernel.Machine.P_result i -> Vkernel.Machine.P_result (i + shift)
+                        | a -> a)
+                      c.c_args;
+                })
+              extra
+          in
+          prog @ shifted
+      | 1 when List.length prog > 1 ->
+          (* drop the last call *)
+          List.filteri (fun i _ -> i < List.length prog - 1) prog
+      | 3 ->
+          (* duplicate one call in place (double-ioctl bugs) *)
+          let victim = Rng.int r (List.length prog) in
+          List.concat
+            (List.mapi (fun i c -> if i = victim then [ c; c ] else [ c ]) prog)
+      | _ ->
+          (* regenerate the payload of one call *)
+          let victim = Rng.int r (List.length prog) in
+          List.mapi
+            (fun i (c : Vkernel.Machine.call) ->
+              if i <> victim then c
+              else
+                {
+                  c with
+                  Vkernel.Machine.c_args =
+                    List.map
+                      (function
+                        | Vkernel.Machine.P_data _ ->
+                            (* find a syscall with this name to retype; fall
+                               back to random bytes *)
+                            let retyped =
+                              List.find_opt
+                                (fun sc -> sc.call_name = c.Vkernel.Machine.c_name)
+                                t.consumers
+                            in
+                            (match retyped with
+                            | Some sc -> (
+                                let ptr_arg =
+                                  List.find_opt
+                                    (fun f ->
+                                      match f.ftyp with Ptr (_, _) -> true | _ -> false)
+                                    sc.args
+                                in
+                                match ptr_arg with
+                                | Some { ftyp = Ptr (_, inner); _ } ->
+                                    Vkernel.Machine.P_data (uval_of_typ t r ~depth:0 inner)
+                                | _ ->
+                                    Vkernel.Machine.P_data
+                                      (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16)))
+                            | None ->
+                                Vkernel.Machine.P_data
+                                  (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16)))
+                        (* P_int args are consts/lengths from the spec:
+                           Syzkaller never mutates those *)
+                        | a -> a)
+                      c.c_args;
+                })
+            prog)

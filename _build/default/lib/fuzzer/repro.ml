@@ -1,0 +1,71 @@
+(** Render syscall programs the way syzbot renders reproducers, so a
+    crash found by a campaign can be read, shared and replayed. *)
+
+let rec uval_str (uv : Vkernel.Value.uval) : string =
+  match uv with
+  | Vkernel.Value.U_int v ->
+      if Int64.compare v 4096L > 0 then Printf.sprintf "0x%Lx" v else Int64.to_string v
+  | Vkernel.Value.U_str s -> Printf.sprintf "%S" s
+  | Vkernel.Value.U_null -> "NULL"
+  | Vkernel.Value.U_arr xs -> "[" ^ String.concat ", " (List.map uval_str xs) ^ "]"
+  | Vkernel.Value.U_struct (name, fields) ->
+      Printf.sprintf "&%s{%s}" name
+        (String.concat ", " (List.map (fun (f, v) -> f ^ "=" ^ uval_str v) fields))
+
+let arg_str (a : Vkernel.Machine.parg) : string =
+  match a with
+  | Vkernel.Machine.P_int v ->
+      if Int64.compare v 65536L > 0 then Printf.sprintf "0x%Lx" v else Int64.to_string v
+  | Vkernel.Machine.P_str s -> Printf.sprintf "%S" s
+  | Vkernel.Machine.P_null -> "NULL"
+  | Vkernel.Machine.P_result i -> Printf.sprintf "r%d" i
+  | Vkernel.Machine.P_data uv -> uval_str uv
+
+(** One call per line, syz-repro style: [r3 = openat(...)]. *)
+let program_str (prog : Vkernel.Machine.prog) : string =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i (c : Vkernel.Machine.call) ->
+      Buffer.add_string buf
+        (Printf.sprintf "r%d = %s(%s)\n" i c.c_name
+           (String.concat ", " (List.map arg_str c.c_args))))
+    prog;
+  Buffer.contents buf
+
+(** Minimize a crashing program: greedily drop calls while the same crash
+    title still reproduces (syz-repro's call minimization). *)
+let minimize ~(machine : Vkernel.Machine.t) ~(title : string) (prog : Vkernel.Machine.prog)
+    : Vkernel.Machine.prog =
+  let still_crashes p =
+    p <> []
+    &&
+    match (Vkernel.Machine.exec_prog machine p).crash with
+    | Some c -> c.cr_title = title
+    | None -> false
+  in
+  let drop_nth p n =
+    (* dropping call n shifts later resource references down *)
+    List.filteri (fun i _ -> i <> n) p
+    |> List.map (fun (c : Vkernel.Machine.call) ->
+           {
+             c with
+             Vkernel.Machine.c_args =
+               List.map
+                 (function
+                   | Vkernel.Machine.P_result i when i > n -> Vkernel.Machine.P_result (i - 1)
+                   | Vkernel.Machine.P_result i when i = n -> Vkernel.Machine.P_int (-1L)
+                   | a -> a)
+                 c.c_args;
+           })
+  in
+  let rec shrink p =
+    let n = List.length p in
+    let rec try_drop i =
+      if i >= n then p
+      else
+        let candidate = drop_nth p i in
+        if still_crashes candidate then shrink candidate else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  if still_crashes prog then shrink prog else prog

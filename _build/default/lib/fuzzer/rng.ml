@@ -1,0 +1,56 @@
+(** Deterministic splitmix64 PRNG so campaigns are reproducible. *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int ((seed * 2654435761) + 12345) }
+
+let next_int64 r =
+  let z = Int64.add r.state 0x9E3779B97F4A7C15L in
+  r.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, n). *)
+let int r n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.logand (next_int64 r) 0x7fffffffffffffL) (Int64.of_int n))
+
+let bool r = int r 2 = 0
+
+let pct r p = int r 100 < p
+
+let pick r = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int r (List.length xs))
+
+(** A fuzzing-friendly integer for the given bit width: mostly boundary
+    and small values, sometimes fully random. *)
+let fuzz_int r ~(bits : int) : int64 =
+  let mask =
+    if bits >= 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L
+  in
+  let interesting =
+    [ 0L; 1L; 2L; 3L; 4L; 7L; 8L; 16L; 64L; 100L; 127L; 128L; 255L; 256L; 512L; 1024L;
+      4096L; 65535L; 65536L; 0xffffL; 0x10000L; 0x7fffffffL; 0x80000000L; 0xfffffffeL;
+      0xffffffffL; -1L ]
+  in
+  let v =
+    match int r 10 with
+    | 0 | 1 | 2 | 3 -> List.nth interesting (int r (List.length interesting))
+    | 4 | 5 | 6 -> Int64.of_int (int r 32)
+    | _ -> next_int64 r
+  in
+  Int64.logand v mask
+
+(** Short strings drawn from a small pool so that name-keyed kernel state
+    (device tables, pid lists) sees collisions across calls. *)
+let string_pool = [ "vol0"; "vol1"; "dev"; "test"; "a"; "x0"; "snap"; "data"; "" ]
+
+let fuzz_string r ~(max_len : int) : string =
+  match int r 10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 | 6 -> pick r string_pool
+  | 7 -> String.make (min max_len (1 + int r 8)) (Char.chr (97 + int r 26))
+  | _ ->
+      let len = min max_len (int r 16) in
+      String.init len (fun _ -> Char.chr (int r 256))

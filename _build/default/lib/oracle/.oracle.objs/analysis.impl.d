@@ -1,0 +1,1 @@
+lib/oracle/analysis.ml: Corpus Csrc Hashtbl Int64 List Option Printf Prompt String Syzlang

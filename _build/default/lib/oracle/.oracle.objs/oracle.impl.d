@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Analysis Buffer Corpus Csrc Hashtbl Int64 List Option Profile Prompt String Syzlang

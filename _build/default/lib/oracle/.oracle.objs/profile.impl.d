@@ -1,0 +1,1 @@
+lib/oracle/profile.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/oracle/prompt.ml: Buffer List Printf String Syzlang

@@ -1,0 +1,24 @@
+(** The simulated analysis LLM.
+
+    Deterministic stand-in for GPT-4/-4o/-3.5 (see {!Profile}): it
+    *really* analyzes the source text in its prompt — re-parsed through
+    the same mini-C front end, so context truncation genuinely hides
+    code — with capability gaps and seeded, repairable hallucinations.
+    The [knowledge] index models pre-training exposure to kernel
+    headers: it resolves constant names and values, never code the
+    prompt did not include. *)
+
+type t = {
+  profile : Profile.t;
+  knowledge : Csrc.Index.t;
+  mutable queries : int;  (** total queries served *)
+  mutable prompt_tokens : int;  (** total prompt tokens consumed *)
+  mutable truncations : int;  (** prompts that overflowed the window *)
+}
+
+val create : ?profile:Profile.t -> knowledge:Csrc.Index.t -> unit -> t
+
+(** Answer one prompt. Applies the context window (whole trailing
+    snippets are dropped), runs the analysis for the prompt's task, and
+    injects the profile's deterministic error rate. *)
+val query : t -> Prompt.t -> Prompt.response

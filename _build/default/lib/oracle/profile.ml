@@ -1,0 +1,83 @@
+(** Capability profiles of the analysis LLM.
+
+    The paper's ablation (§5.2.3) compares GPT-4, GPT-4o and GPT-3.5. The
+    oracle reproduces the *mechanisms* behind their differences:
+
+    - a bounded context window — the reason iterative multi-stage
+      prompting beats all-in-one prompting on big drivers (kvm, loop);
+    - capability gaps — weaker models miss the rare patterns
+      ([.nodename] registration, [_IOC_NR] rewrites, delegated dispatch,
+      [len]-field relations);
+    - hallucination — a seeded rate of localized mistakes (wrong constant
+      or type names) that validation catches and repair fixes. *)
+
+type t = {
+  name : string;
+  context_tokens : int;  (** prompt budget; beyond it snippets are dropped *)
+  uses_nodename : bool;  (** honours the rare [.nodename] registration field *)
+  resolves_ioc_nr : bool;  (** maps rewritten [_IOC_NR] values back to macros *)
+  follows_delegation : bool;  (** chases dispatched helper functions *)
+  infers_len_fields : bool;  (** recovers [count len[array]] relations *)
+  infers_strings : bool;  (** maps name-like char arrays to [string] *)
+  finds_fd_deps : bool;  (** spots [anon_inode_getfd]-style resource creation *)
+  reads_format_strings : bool;  (** expands ["controlC%i"]-style device names *)
+  error_rate_pct : int;  (** chance of a localized wrong name per handler *)
+  repair_skill_pct : int;  (** chance a validation error gets repaired *)
+}
+
+let gpt4 =
+  {
+    name = "gpt-4";
+    context_tokens = 6000;
+    uses_nodename = true;
+    resolves_ioc_nr = true;
+    follows_delegation = true;
+    infers_len_fields = true;
+    infers_strings = true;
+    finds_fd_deps = true;
+    reads_format_strings = true;
+    error_rate_pct = 22;
+    repair_skill_pct = 88;
+  }
+
+let gpt4o =
+  {
+    name = "gpt-4o";
+    context_tokens = 6000;
+    uses_nodename = true;
+    resolves_ioc_nr = true;
+    follows_delegation = true;
+    infers_len_fields = true;
+    infers_strings = true;
+    finds_fd_deps = true;
+    reads_format_strings = true;
+    error_rate_pct = 25;
+    repair_skill_pct = 85;
+  }
+
+let gpt35 =
+  {
+    name = "gpt-3.5";
+    context_tokens = 2500;
+    uses_nodename = false;
+    resolves_ioc_nr = false;
+    follows_delegation = false;
+    infers_len_fields = false;
+    infers_strings = true;
+    finds_fd_deps = false;
+    reads_format_strings = false;
+    error_rate_pct = 45;
+    repair_skill_pct = 55;
+  }
+
+let by_name = function
+  | "gpt-4" | "gpt4" -> Some gpt4
+  | "gpt-4o" | "gpt4o" -> Some gpt4o
+  | "gpt-3.5" | "gpt35" | "gpt-3.5-turbo" -> Some gpt35
+  | _ -> None
+
+(** Deterministic per-(profile, subject) coin flip: stable across runs so
+    experiments are reproducible, uncorrelated across subjects. *)
+let coin (p : t) ~(subject : string) ~(salt : string) ~(pct : int) : bool =
+  let h = Hashtbl.hash (p.name, subject, salt) in
+  h mod 100 < pct

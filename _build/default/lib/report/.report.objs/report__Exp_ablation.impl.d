@@ -1,0 +1,1 @@
+lib/report/exp_ablation.ml: Corpus Fuzzer Kernelgpt List Oracle Printf Profile Syzlang Table Vkernel

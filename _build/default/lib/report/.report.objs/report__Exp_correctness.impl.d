@@ -1,0 +1,1 @@
+lib/report/exp_correctness.ml: Corpus List Printf Suites Syzlang Table

@@ -1,0 +1,1 @@
+lib/report/exp_drivers.ml: Baseline Corpus Fuzzer Hashtbl List Option Printf Suites Syzlang Table Vkernel

@@ -1,0 +1,1 @@
+lib/report/exp_fuzz.ml: Fuzzer Hashtbl List Printf Suites Table Vkernel

@@ -1,0 +1,1 @@
+lib/report/exp_sockets.ml: Baseline Corpus Fuzzer Hashtbl List Printf Suites Syzlang Table Vkernel

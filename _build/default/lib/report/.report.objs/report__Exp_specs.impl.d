@@ -1,0 +1,1 @@
+lib/report/exp_specs.ml: Array Baseline Corpus Kernelgpt List Option Printf String Suites Syzlang Table Vkernel

@@ -1,0 +1,1 @@
+lib/report/runner.ml: Exp_ablation Exp_bugs Exp_correctness Exp_drivers Exp_fuzz Exp_sockets Exp_specs List Oracle Printf Suites Unix

@@ -1,0 +1,1 @@
+lib/report/suites.ml: Baseline Corpus Csrc Hashtbl Kernelgpt List Option Oracle Profile Syzlang Vkernel

@@ -1,0 +1,101 @@
+(** E10: semantic-correctness audit of generated specifications
+    (§5.1.3), against the corpus ground truth.
+
+    The audit covers the loaded drivers that have *no* hand-written
+    Syzkaller description at all (45 in the paper) and checks, per
+    driver: syscalls the generation missed, syscalls with wrong
+    identifier values, and syscalls with wrong argument types. *)
+
+type audit = {
+  a_drivers : int;
+  a_total_cmds : int;  (** ground-truth ioctl commands over those drivers *)
+  a_drivers_with_missing : int;
+  a_missing_cmds : int;
+  a_drivers_with_wrong_id : int;
+  a_wrong_id_cmds : int;
+  a_wrong_type_cmds : int;
+}
+
+let audit (ctx : Suites.ctx) : audit =
+  let subjects =
+    List.filter
+      (fun (e : Corpus.Types.entry) ->
+        e.kind = Corpus.Types.Driver && e.existing_spec = None && e.loaded)
+      ctx.entries
+  in
+  let stats =
+    List.map
+      (fun (e : Corpus.Types.entry) ->
+        let gt_cmds = e.gt.gt_ioctls in
+        match Suites.kgpt_spec ctx e.name with
+        | None -> (List.length gt_cmds, List.length gt_cmds, 0, 0)
+        | Some spec ->
+            let described =
+              List.filter_map
+                (fun (c : Syzlang.Ast.syscall) ->
+                  if c.call_name = "ioctl" then c.variant else None)
+                spec.syscalls
+            in
+            let arg_type_of variant =
+              List.find_map
+                (fun (c : Syzlang.Ast.syscall) ->
+                  if c.variant = Some variant then
+                    List.find_map
+                      (fun (f : Syzlang.Ast.field) ->
+                        match f.ftyp with
+                        | Syzlang.Ast.Ptr (_, Syzlang.Ast.Struct_ref n)
+                        | Syzlang.Ast.Ptr (_, Syzlang.Ast.Union_ref n) ->
+                            Some (Some n)
+                        | Syzlang.Ast.Ptr (_, _) when f.fname = "arg" -> Some None
+                        | _ -> None)
+                      c.args
+                  else None)
+                spec.syscalls
+            in
+            let missing =
+              List.length
+                (List.filter
+                   (fun (g : Corpus.Types.gt_command) -> not (List.mem g.gc_name described))
+                   gt_cmds)
+            in
+            (* wrong identifiers: described commands that are not ground
+               truth (hallucinated or corrupted names that survived) *)
+            let gt_names = List.map (fun g -> g.Corpus.Types.gc_name) gt_cmds in
+            let wrong_ids =
+              List.length (List.filter (fun d -> not (List.mem d gt_names)) described)
+            in
+            let wrong_types =
+              List.length
+                (List.filter
+                   (fun (g : Corpus.Types.gt_command) ->
+                     List.mem g.gc_name described
+                     &&
+                     match (g.gc_arg_type, arg_type_of g.gc_name) with
+                     | Some t, Some (Some t') -> t <> t'
+                     | Some _, Some None -> true
+                     | None, Some (Some _) -> true
+                     | _ -> false)
+                   gt_cmds)
+            in
+            (List.length gt_cmds, missing, wrong_ids, wrong_types))
+      subjects
+  in
+  {
+    a_drivers = List.length subjects;
+    a_total_cmds = List.fold_left (fun a (t, _, _, _) -> a + t) 0 stats;
+    a_drivers_with_missing =
+      List.length (List.filter (fun (_, m, _, _) -> m > 0) stats);
+    a_missing_cmds = List.fold_left (fun a (_, m, _, _) -> a + m) 0 stats;
+    a_drivers_with_wrong_id = List.length (List.filter (fun (_, _, w, _) -> w > 0) stats);
+    a_wrong_id_cmds = List.fold_left (fun a (_, _, w, _) -> a + w) 0 stats;
+    a_wrong_type_cmds = List.fold_left (fun a (_, _, _, t) -> a + t) 0 stats;
+  }
+
+let print (a : audit) =
+  Table.section "Correctness audit (§5.1.3): drivers without any Syzkaller spec";
+  Printf.printf "Drivers audited:              %d (%d ioctl commands)\n" a.a_drivers a.a_total_cmds;
+  Printf.printf "Drivers with missing syscalls: %d (%d commands missed)\n"
+    a.a_drivers_with_missing a.a_missing_cmds;
+  Printf.printf "Drivers with wrong identifiers: %d (%d commands)\n" a.a_drivers_with_wrong_id
+    a.a_wrong_id_cmds;
+  Printf.printf "Commands with wrong types:     %d\n" a.a_wrong_type_cmds

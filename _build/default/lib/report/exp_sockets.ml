@@ -1,0 +1,70 @@
+(** E7: per-socket comparison — the paper's Table 6 (Syzkaller vs
+    KernelGPT; SyzDescribe cannot analyze sockets). *)
+
+type cell = { c_sys : int; c_cov : float; c_crash : float }
+
+type row = { r_name : string; r_syzkaller : cell option; r_kernelgpt : cell option }
+
+type table6 = { socket_rows : row list }
+
+let fuzz_cell ~(entry : Corpus.Types.entry) ~(reps : int) ~(budget : int)
+    (spec : Syzlang.Ast.spec option) : cell option =
+  match spec with
+  | None -> None
+  | Some spec ->
+      let machine = Vkernel.Machine.boot [ entry ] in
+      let covs = ref [] and crashes = ref [] in
+      for rep = 1 to reps do
+        let res = Fuzzer.Campaign.run ~seed:(rep * 7907) ~budget ~machine spec in
+        covs := float_of_int (Fuzzer.Campaign.module_coverage machine res entry.name) :: !covs;
+        crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes
+      done;
+      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+      Some
+        { c_sys = Syzlang.Ast.count_syscalls spec; c_cov = mean !covs; c_crash = mean !crashes }
+
+let table6 ?(reps = 3) ?(budget = 4000) (ctx : Suites.ctx) : table6 =
+  let rows =
+    List.map
+      (fun (e : Corpus.Types.entry) ->
+        {
+          r_name = e.display_name;
+          r_syzkaller =
+            fuzz_cell ~entry:e ~reps ~budget (Baseline.Syzkaller_specs.spec_of_entry e);
+          r_kernelgpt = fuzz_cell ~entry:e ~reps ~budget (Suites.kgpt_spec ctx e.name);
+        })
+      (Corpus.Registry.table6 ())
+  in
+  { socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows }
+
+let cell_strings = function
+  | Some c -> [ string_of_int c.c_sys; Printf.sprintf "%.0f" c.c_cov; Table.fmt_float c.c_crash ]
+  | None -> [ "-"; "-"; "-" ]
+
+let print_table6 (t : table6) =
+  Table.section "Table 6: Socket specification comparison";
+  let rows =
+    List.map
+      (fun r -> (r.r_name :: cell_strings r.r_syzkaller) @ cell_strings r.r_kernelgpt)
+      t.socket_rows
+  in
+  let sum f =
+    List.fold_left
+      (fun (s, c, x) r ->
+        match f r with
+        | Some cell -> (s + cell.c_sys, c +. cell.c_cov, x +. cell.c_crash)
+        | None -> (s, c, x))
+      (0, 0.0, 0.0) t.socket_rows
+  in
+  let s1, c1, x1 = sum (fun r -> r.r_syzkaller) in
+  let s2, c2, x2 = sum (fun r -> r.r_kernelgpt) in
+  let total =
+    [
+      "Total"; string_of_int s1; Printf.sprintf "%.0f" c1; Table.fmt_float x1;
+      string_of_int s2; Printf.sprintf "%.0f" c2; Table.fmt_float x2;
+    ]
+  in
+  Table.print
+    ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ]
+    ~header:[ ""; "Syz #Sys"; "Syz Cov"; "Syz Crash"; "KGPT #Sys"; "KGPT Cov"; "KGPT Crash" ]
+    (rows @ [ total ])

@@ -1,0 +1,92 @@
+(** Experiment runner: regenerates every table and figure of the paper's
+    evaluation. The [scale] knob trades execution budget for wall time —
+    [Quick] for CI, [Full] for EXPERIMENTS.md numbers. *)
+
+type scale = Quick | Full
+
+type budgets = {
+  t3_reps : int;
+  t3_budget : int;
+  t4_budget : int;
+  t4_seeds : int;
+  t5_reps : int;
+  t5_budget : int;
+  t6_reps : int;
+  t6_budget : int;
+  abl_reps : int;
+  abl_budget : int;
+}
+
+let budgets_of = function
+  | Quick ->
+      {
+        t3_reps = 1; t3_budget = 1500; t4_budget = 6000; t4_seeds = 1;
+        t5_reps = 1; t5_budget = 1200; t6_reps = 1; t6_budget = 1200;
+        abl_reps = 1; abl_budget = 1200;
+      }
+  | Full ->
+      {
+        t3_reps = 3; t3_budget = 12_000; t4_budget = 60_000; t4_seeds = 3;
+        t5_reps = 3; t5_budget = 6000; t6_reps = 3; t6_budget = 6000;
+        abl_reps = 3; abl_budget = 4000;
+      }
+
+type which =
+  | All
+  | Table1
+  | Fig7
+  | Table2
+  | Table3
+  | Table4
+  | Table5
+  | Table6
+  | Ablation_iter
+  | Ablation_llm
+  | Correctness
+
+let which_of_string = function
+  | "all" -> Some All
+  | "table1" -> Some Table1
+  | "fig7" -> Some Fig7
+  | "table2" -> Some Table2
+  | "table3" -> Some Table3
+  | "table4" -> Some Table4
+  | "table5" -> Some Table5
+  | "table6" -> Some Table6
+  | "ablation-iter" -> Some Ablation_iter
+  | "ablation-llm" -> Some Ablation_llm
+  | "correctness" -> Some Correctness
+  | _ -> None
+
+let wants which target =
+  which = All || which = target
+
+let run ?(scale = Quick) ?(which = All) () =
+  let b = budgets_of scale in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
+  let ctx = Suites.build () in
+  Printf.printf "  (%d loaded handlers; %d oracle queries, %d prompt tokens so far; %.1fs)\n%!"
+    (List.length ctx.entries) ctx.oracle.Oracle.queries ctx.oracle.Oracle.prompt_tokens
+    (Unix.gettimeofday () -. t0);
+  if wants which Table1 then Exp_specs.print_table1 (Exp_specs.table1 ctx);
+  if wants which Fig7 then Exp_specs.print_fig7 ctx;
+  if wants which Table2 then Exp_specs.print_table2 (Exp_specs.table2 ctx);
+  if wants which Table3 then
+    Exp_fuzz.print_table3 (Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ctx);
+  if wants which Table4 then
+    Exp_bugs.print_table4 (Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ctx);
+  if wants which Table5 then
+    Exp_drivers.print_table5 (Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ctx);
+  if wants which Table6 then
+    Exp_sockets.print_table6 (Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ctx);
+  (match which with
+  | All ->
+      Exp_ablation.print (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ())
+  | Ablation_iter | Ablation_llm ->
+      let a = Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget () in
+      if which = Ablation_iter then Exp_ablation.print_rows "Ablation 1" a.iter_rows
+      else Exp_ablation.print_rows "Ablation 2" a.llm_rows
+  | _ -> ());
+  if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
+  Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,75 @@
+(** Shared experiment context: the booted kernel, generated
+    specifications, and the three specification suites the paper
+    compares (Syzkaller, Syzkaller+SyzDescribe, Syzkaller+KernelGPT). *)
+
+type ctx = {
+  machine : Vkernel.Machine.t;  (** whole loaded kernel *)
+  kernel : Csrc.Index.t;
+  entries : Corpus.Types.entry list;  (** loaded modules *)
+  oracle : Oracle.t;
+  kgpt : (string, Kernelgpt.Pipeline.outcome) Hashtbl.t;
+  sd : (string, Baseline.Syzdescribe.outcome) Hashtbl.t;
+}
+
+(** Modules KernelGPT generates specs for in §5.1: loaded handlers with
+    missing descriptions. §5.2 additionally targets the Table 5/6
+    modules. *)
+let generation_targets (entries : Corpus.Types.entry list) : Corpus.Types.entry list =
+  List.filter
+    (fun (e : Corpus.Types.entry) ->
+      Baseline.Syzkaller_specs.is_incomplete e || e.in_table5 || e.in_table6)
+    entries
+
+let build ?(profile = Profile.gpt4) () : ctx =
+  let entries = Corpus.Registry.loaded () in
+  let machine = Vkernel.Machine.boot entries in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile ~knowledge:kernel () in
+  let kgpt = Hashtbl.create 256 in
+  let sd = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Corpus.Types.entry) ->
+      Hashtbl.replace kgpt e.name (Kernelgpt.Pipeline.run ~oracle ~kernel e);
+      Hashtbl.replace sd e.name (Baseline.Syzdescribe.run e))
+    (generation_targets entries);
+  { machine; kernel; entries; oracle; kgpt; sd }
+
+let kgpt_outcome ctx name = Hashtbl.find_opt ctx.kgpt name
+
+let kgpt_spec ctx name : Syzlang.Ast.spec option =
+  match Hashtbl.find_opt ctx.kgpt name with
+  | Some o when o.Kernelgpt.Pipeline.o_usable -> o.o_spec
+  | _ -> None
+
+let sd_spec ctx name : Syzlang.Ast.spec option =
+  match Hashtbl.find_opt ctx.sd name with
+  | Some o -> o.Baseline.Syzdescribe.sd_spec
+  | None -> None
+
+(** Suite 1: the hand-written Syzkaller descriptions. *)
+let syzkaller_suite ctx : Syzlang.Ast.spec =
+  Baseline.Syzkaller_specs.suite ~name:"syzkaller" ctx.entries
+
+(** Suite 2: Syzkaller + SyzDescribe-generated driver specs. *)
+let syzdescribe_suite ctx : Syzlang.Ast.spec =
+  let extra = List.filter_map (fun (e : Corpus.Types.entry) -> sd_spec ctx e.name) ctx.entries in
+  Syzlang.Merge.merge_all ~name:"syzkaller+syzdescribe" (syzkaller_suite ctx :: extra)
+
+(** Suite 3: Syzkaller + KernelGPT-generated specs for the handlers with
+    missing descriptions. *)
+let kernelgpt_suite ctx : Syzlang.Ast.spec =
+  let extra =
+    List.filter_map
+      (fun (e : Corpus.Types.entry) ->
+        if Baseline.Syzkaller_specs.is_incomplete e then kgpt_spec ctx e.name else None)
+      ctx.entries
+  in
+  Syzlang.Merge.merge_all ~name:"syzkaller+kernelgpt" (syzkaller_suite ctx :: extra)
+
+(** Per-module suite for Table 4-style bug hunting: the module's manual
+    spec (if any) merged with its generated one. *)
+let module_suite ctx (name : string) : Syzlang.Ast.spec =
+  let manual =
+    Option.bind (Corpus.Registry.find name) Baseline.Syzkaller_specs.spec_of_entry
+  in
+  Syzlang.Merge.merge_all ~name (Option.to_list (kgpt_spec ctx name) @ Option.to_list manual)

@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = L | R
+
+let render ?(align : align list = []) ~(header : string list) (rows : string list list) :
+    string =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    (header :: rows);
+  let align_of i = match List.nth_opt align i with Some a -> a | None -> L in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else match align_of i with L -> cell ^ String.make n ' ' | R -> String.make n ' ' ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep =
+    "|" ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "|"
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fmt_float f = Printf.sprintf "%.1f" f
+
+let fmt_int = string_of_int

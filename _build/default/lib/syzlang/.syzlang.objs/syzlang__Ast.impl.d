@@ -1,0 +1,1 @@
+lib/syzlang/ast.ml: Int64 List

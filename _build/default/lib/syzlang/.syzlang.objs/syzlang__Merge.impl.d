@@ -1,0 +1,1 @@
+lib/syzlang/merge.ml: Ast Hashtbl List

@@ -1,0 +1,1 @@
+lib/syzlang/parser.ml: Ast Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/syzlang/printer.ml: Ast List Printf String

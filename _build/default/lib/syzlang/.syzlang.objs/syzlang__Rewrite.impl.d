@@ -1,0 +1,1 @@
+lib/syzlang/rewrite.ml: Ast List

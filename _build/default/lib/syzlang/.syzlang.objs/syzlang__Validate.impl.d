@@ -1,0 +1,1 @@
+lib/syzlang/validate.ml: Ast Csrc Hashtbl Int64 List Printf

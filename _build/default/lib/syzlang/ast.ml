@@ -1,0 +1,138 @@
+(** Abstract syntax of syzlang, the Syzkaller specification language.
+
+    The subset implemented here covers everything the paper's examples use:
+    resources, syscall variants ([ioctl$DM_LIST_DEVICES]), const/flags/int
+    arguments, pointers with direction, strings, arrays, length fields
+    ([count len[devices, int32]]), and struct/union definitions with
+    attributes. *)
+
+type dir = In | Out | Inout
+
+let dir_to_string = function In -> "in" | Out -> "out" | Inout -> "inout"
+
+type int_width = I8 | I16 | I32 | I64 | Iptr
+
+let width_to_string = function
+  | I8 -> "int8"
+  | I16 -> "int16"
+  | I32 -> "int32"
+  | I64 -> "int64"
+  | Iptr -> "intptr"
+
+let width_bytes = function I8 -> 1 | I16 -> 2 | I32 -> 4 | I64 -> 8 | Iptr -> 8
+
+type range = { lo : int64; hi : int64 }
+
+(** A constant reference: symbolic name when known (preferred — the paper
+    stresses that readable specs use literal constant names), with the
+    value resolved by validation against the kernel index. *)
+type const_ref = { const_name : string option; const_value : int64 option }
+
+type typ =
+  | Int of int_width * range option
+  | Const of const_ref * int_width
+  | Flags of string * int_width  (** named flag set *)
+  | Ptr of dir * typ
+  | Array of typ * int option
+  | Buffer of dir
+  | String of string option  (** [string["/dev/mapper/control"]] *)
+  | Len of string * int_width  (** length (in elements) of a sibling field *)
+  | Bytesize of string * int_width
+  | Resource_ref of string
+  | Struct_ref of string
+  | Union_ref of string
+  | Fd  (** a plain file descriptor *)
+  | Void
+
+type field = { fname : string; ftyp : typ }
+
+type comp_kind = Struct | Union
+
+type comp_def = { comp_name : string; comp_kind : comp_kind; comp_fields : field list }
+
+type resource_def = { res_name : string; res_underlying : string (* e.g. "fd" *) }
+
+type syscall = {
+  call_name : string;  (** base syscall, e.g. "ioctl" *)
+  variant : string option;  (** suffix after [$] *)
+  args : field list;
+  ret : string option;  (** name of the resource produced, if any *)
+}
+
+let syscall_full_name c =
+  match c.variant with None -> c.call_name | Some v -> c.call_name ^ "$" ^ v
+
+type flag_set = { set_name : string; set_values : const_ref list }
+
+(** One specification unit: everything generated for one operation
+    handler (one driver or socket). *)
+type spec = {
+  spec_name : string;  (** handler identifier, e.g. "dm" *)
+  resources : resource_def list;
+  syscalls : syscall list;
+  types : comp_def list;
+  flag_sets : flag_set list;
+}
+
+let empty_spec name =
+  { spec_name = name; resources = []; syscalls = []; types = []; flag_sets = [] }
+
+let const_of_name n = { const_name = Some n; const_value = None }
+let const_of_value v = { const_name = None; const_value = Some v }
+
+let const_ref_to_string c =
+  match (c.const_name, c.const_value) with
+  | Some n, _ -> n
+  | None, Some v -> Int64.to_string v
+  | None, None -> "?"
+
+(** All type names referenced by a type, for dependency checks. *)
+let rec referenced_types = function
+  | Struct_ref n | Union_ref n -> [ n ]
+  | Ptr (_, t) | Array (t, _) -> referenced_types t
+  | Int _ | Const _ | Flags _ | Buffer _ | String _ | Len _ | Bytesize _ | Resource_ref _
+  | Fd | Void ->
+      []
+
+let rec referenced_resources = function
+  | Resource_ref n -> [ n ]
+  | Ptr (_, t) | Array (t, _) -> referenced_resources t
+  | Int _ | Const _ | Flags _ | Buffer _ | String _ | Len _ | Bytesize _ | Struct_ref _
+  | Union_ref _ | Fd | Void ->
+      []
+
+let rec referenced_flag_sets = function
+  | Flags (n, _) -> [ n ]
+  | Ptr (_, t) | Array (t, _) -> referenced_flag_sets t
+  | Int _ | Const _ | Buffer _ | String _ | Len _ | Bytesize _ | Struct_ref _ | Union_ref _
+  | Resource_ref _ | Fd | Void ->
+      []
+
+let rec referenced_consts = function
+  | Const (c, _) -> [ c ]
+  | Ptr (_, t) | Array (t, _) -> referenced_consts t
+  | Int _ | Flags _ | Buffer _ | String _ | Len _ | Bytesize _ | Struct_ref _ | Union_ref _
+  | Resource_ref _ | Fd | Void ->
+      []
+
+(** Number of distinct syscalls described (the paper's "#Sys"). *)
+let count_syscalls spec = List.length spec.syscalls
+
+(** Number of struct/union type definitions (the paper's "#Types"). *)
+let count_types spec = List.length spec.types
+
+(** Fold [f] over every type node reachable from the spec (syscall args,
+    return-resource excluded, struct fields). *)
+let fold_types f acc spec =
+  let rec fold_typ acc t =
+    let acc = f acc t in
+    match t with Ptr (_, t') | Array (t', _) -> fold_typ acc t' | _ -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc call -> List.fold_left (fun acc fld -> fold_typ acc fld.ftyp) acc call.args)
+      acc spec.syscalls
+  in
+  List.fold_left
+    (fun acc cd -> List.fold_left (fun acc fld -> fold_typ acc fld.ftyp) acc cd.comp_fields)
+    acc spec.types

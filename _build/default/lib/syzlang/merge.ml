@@ -1,0 +1,49 @@
+(** Combining specification suites.
+
+    The paper evaluates combined suites such as "Syzkaller + KernelGPT":
+    the union of the hand-written descriptions and the generated ones.
+    Merging renames nothing; colliding syscall variants keep the first
+    occurrence (Syzkaller's own rule for duplicate identifiers), and
+    colliding type names are deduplicated structurally. *)
+
+let dedup_by key xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.replace seen k ();
+        true))
+    xs
+
+(** Merge two specs into one; [a] wins on name collisions. *)
+let merge2 (a : Ast.spec) (b : Ast.spec) : Ast.spec =
+  {
+    Ast.spec_name = a.spec_name;
+    resources = dedup_by (fun r -> r.Ast.res_name) (a.resources @ b.resources);
+    syscalls = dedup_by Ast.syscall_full_name (a.syscalls @ b.syscalls);
+    types = dedup_by (fun c -> c.Ast.comp_name) (a.types @ b.types);
+    flag_sets = dedup_by (fun f -> f.Ast.set_name) (a.flag_sets @ b.flag_sets);
+  }
+
+(** Merge a list of specs into one suite named [name]. *)
+let merge_all ~name (specs : Ast.spec list) : Ast.spec =
+  match specs with
+  | [] -> Ast.empty_spec name
+  | first :: rest ->
+      let merged = List.fold_left merge2 first rest in
+      { merged with Ast.spec_name = name }
+
+(** Syscalls present in [next] but absent from [base] — the paper's
+    "new syscalls" metric (Table 2). *)
+let new_syscalls ~(base : Ast.spec) (next : Ast.spec) : Ast.syscall list =
+  let base_names = List.map Ast.syscall_full_name base.Ast.syscalls in
+  List.filter
+    (fun c -> not (List.mem (Ast.syscall_full_name c) base_names))
+    next.Ast.syscalls
+
+(** Types present in [next] but absent from [base] (Table 2's "#Types"). *)
+let new_types ~(base : Ast.spec) (next : Ast.spec) : Ast.comp_def list =
+  let base_names = List.map (fun c -> c.Ast.comp_name) base.Ast.types in
+  List.filter (fun c -> not (List.mem c.Ast.comp_name base_names)) next.Ast.types

@@ -1,0 +1,65 @@
+(** Render syzlang specifications as text.
+
+    The output follows Syzkaller's surface syntax closely enough that
+    specs printed here read like the paper's Figure 2d / Figure 3. The
+    printer favours symbolic constant names whenever the generator
+    recorded them — the readability property the Syzkaller developers
+    asked for. *)
+
+let rec typ_str (t : Ast.typ) : string =
+  match t with
+  | Ast.Int (w, None) -> Ast.width_to_string w
+  | Ast.Int (w, Some { lo; hi }) ->
+      Printf.sprintf "%s[%Ld:%Ld]" (Ast.width_to_string w) lo hi
+  | Ast.Const (c, w) ->
+      Printf.sprintf "const[%s, %s]" (Ast.const_ref_to_string c) (Ast.width_to_string w)
+  | Ast.Flags (name, w) -> Printf.sprintf "flags[%s, %s]" name (Ast.width_to_string w)
+  | Ast.Ptr (d, t) -> Printf.sprintf "ptr[%s, %s]" (Ast.dir_to_string d) (typ_str t)
+  | Ast.Array (t, None) -> Printf.sprintf "array[%s]" (typ_str t)
+  | Ast.Array (t, Some n) -> Printf.sprintf "array[%s, %d]" (typ_str t) n
+  | Ast.Buffer d -> Printf.sprintf "buffer[%s]" (Ast.dir_to_string d)
+  | Ast.String None -> "string"
+  | Ast.String (Some s) -> Printf.sprintf "string[\"%s\"]" s
+  | Ast.Len (target, w) -> Printf.sprintf "len[%s, %s]" target (Ast.width_to_string w)
+  | Ast.Bytesize (target, w) ->
+      Printf.sprintf "bytesize[%s, %s]" target (Ast.width_to_string w)
+  | Ast.Resource_ref name -> name
+  | Ast.Struct_ref name -> name
+  | Ast.Union_ref name -> name
+  | Ast.Fd -> "fd"
+  | Ast.Void -> "void"
+
+let field_str (f : Ast.field) = Printf.sprintf "%s %s" f.fname (typ_str f.ftyp)
+
+let syscall_str (c : Ast.syscall) : string =
+  let args = String.concat ", " (List.map field_str c.args) in
+  let ret = match c.ret with Some r -> " " ^ r | None -> "" in
+  Printf.sprintf "%s(%s)%s" (Ast.syscall_full_name c) args ret
+
+let resource_str (r : Ast.resource_def) : string =
+  Printf.sprintf "resource %s[%s]" r.res_name r.res_underlying
+
+let comp_str (c : Ast.comp_def) : string =
+  let kw = match c.comp_kind with Ast.Struct -> "{" | Ast.Union -> "[" in
+  let kw_end = match c.comp_kind with Ast.Struct -> "}" | Ast.Union -> "]" in
+  String.concat "\n"
+    ((Printf.sprintf "%s %s" c.comp_name kw
+     :: List.map (fun f -> "\t" ^ field_str f) c.comp_fields)
+    @ [ kw_end ])
+
+let flag_set_str (fs : Ast.flag_set) : string =
+  Printf.sprintf "%s = %s" fs.set_name
+    (String.concat ", " (List.map Ast.const_ref_to_string fs.set_values))
+
+let spec_str (s : Ast.spec) : string =
+  let sections =
+    List.concat
+      [
+        [ Printf.sprintf "# Specification for handler %s" s.spec_name ];
+        List.map resource_str s.resources;
+        List.map syscall_str s.syscalls;
+        (if s.flag_sets = [] then [] else "" :: List.map flag_set_str s.flag_sets);
+        (if s.types = [] then [] else "" :: List.map comp_str s.types);
+      ]
+  in
+  String.concat "\n" sections ^ "\n"

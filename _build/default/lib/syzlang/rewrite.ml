@@ -1,0 +1,48 @@
+(** Name substitution over specifications — how repairs are applied.
+
+    When the repair model answers "the identifier should be X, not Y",
+    the fix is a rename across the whole spec: constant references, type
+    references, type definitions, and syscall variants that embed the
+    name. *)
+
+let substitute_const (bad : string) (good : string) (c : Ast.const_ref) : Ast.const_ref =
+  match c.const_name with
+  | Some n when n = bad -> { c with const_name = Some good }
+  | _ -> c
+
+let rec substitute_typ (bad : string) (good : string) (t : Ast.typ) : Ast.typ =
+  match t with
+  | Ast.Const (c, w) -> Ast.Const (substitute_const bad good c, w)
+  | Ast.Struct_ref n when n = bad -> Ast.Struct_ref good
+  | Ast.Union_ref n when n = bad -> Ast.Union_ref good
+  | Ast.Ptr (d, t) -> Ast.Ptr (d, substitute_typ bad good t)
+  | Ast.Array (t, n) -> Ast.Array (substitute_typ bad good t, n)
+  | Ast.Len (target, w) when target = bad -> Ast.Len (good, w)
+  | Ast.Bytesize (target, w) when target = bad -> Ast.Bytesize (good, w)
+  | t -> t
+
+let substitute_field bad good (f : Ast.field) : Ast.field =
+  { f with Ast.ftyp = substitute_typ bad good f.Ast.ftyp }
+
+(** Rename every occurrence of [bad] to [good] in the spec. *)
+let substitute_name (spec : Ast.spec) ~(bad : string) ~(good : string) : Ast.spec =
+  let fix_call (c : Ast.syscall) =
+    let variant = match c.Ast.variant with Some v when v = bad -> Some good | v -> v in
+    { c with Ast.variant; args = List.map (substitute_field bad good) c.Ast.args }
+  in
+  let fix_comp (cd : Ast.comp_def) =
+    {
+      cd with
+      Ast.comp_name = (if cd.Ast.comp_name = bad then good else cd.Ast.comp_name);
+      comp_fields = List.map (substitute_field bad good) cd.Ast.comp_fields;
+    }
+  in
+  let fix_flag_set (fs : Ast.flag_set) =
+    { fs with Ast.set_values = List.map (substitute_const bad good) fs.Ast.set_values }
+  in
+  {
+    spec with
+    Ast.syscalls = List.map fix_call spec.Ast.syscalls;
+    types = List.map fix_comp spec.Ast.types;
+    flag_sets = List.map fix_flag_set spec.Ast.flag_sets;
+  }

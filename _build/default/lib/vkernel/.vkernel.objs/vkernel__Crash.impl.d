@@ -1,0 +1,1 @@
+lib/vkernel/crash.ml: Printf

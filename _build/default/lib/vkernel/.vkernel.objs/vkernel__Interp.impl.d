@@ -1,0 +1,1 @@
+lib/vkernel/interp.ml: Array Char Crash Csrc Hashtbl Int64 List Printf String Value

@@ -1,0 +1,1 @@
+lib/vkernel/machine.ml: Array Corpus Crash Csrc Hashtbl Int64 Interp List Printf Value

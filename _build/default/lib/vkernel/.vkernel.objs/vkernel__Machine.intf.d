@@ -1,0 +1,1 @@
+lib/vkernel/machine.mli: Corpus Csrc Hashtbl Value

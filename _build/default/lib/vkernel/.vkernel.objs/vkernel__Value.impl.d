@@ -1,0 +1,1 @@
+lib/vkernel/value.ml: Hashtbl Int64 List Printf String

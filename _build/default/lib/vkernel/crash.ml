@@ -1,0 +1,43 @@
+(** Crash reports, titled the way syzbot titles them.
+
+    Crash deduplication in the fuzzer keys on {!title}, matching the
+    paper's "unique crashes" metric. *)
+
+type kind =
+  | Kasan_uaf  (** use-after-free read *)
+  | Double_free
+  | Gpf  (** null/garbage pointer dereference *)
+  | Kmalloc_bug  (** oversized allocation *)
+  | Zero_size_vmalloc
+  | Warning
+  | Kernel_bug  (** BUG_ON *)
+  | Odebug
+  | Task_hung
+  | Deadlock
+  | List_corruption
+  | Ubsan_oob
+  | Divide_error
+  | Memory_leak
+
+type t = { kind : kind; fn : string (* function the crash fired in *) }
+
+let title { kind; fn } =
+  match kind with
+  | Kasan_uaf -> Printf.sprintf "KASAN: slab-use-after-free Read in %s" fn
+  | Double_free -> Printf.sprintf "KASAN: double-free in %s" fn
+  | Gpf -> Printf.sprintf "general protection fault in %s" fn
+  | Kmalloc_bug -> Printf.sprintf "kmalloc bug in %s" fn
+  | Zero_size_vmalloc -> Printf.sprintf "zero-size vmalloc in %s" fn
+  | Warning -> Printf.sprintf "WARNING in %s" fn
+  | Kernel_bug -> Printf.sprintf "kernel BUG in %s" fn
+  | Odebug -> Printf.sprintf "ODEBUG bug in %s" fn
+  | Task_hung -> Printf.sprintf "INFO: task hung in %s" fn
+  | Deadlock -> Printf.sprintf "possible deadlock in %s" fn
+  | List_corruption -> Printf.sprintf "BUG: corrupted list in %s" fn
+  | Ubsan_oob -> Printf.sprintf "UBSAN: array-index-out-of-bounds in %s" fn
+  | Divide_error -> Printf.sprintf "divide error in %s" fn
+  | Memory_leak -> Printf.sprintf "memory leak in %s" fn
+
+exception Crash of t
+
+let raise_crash kind fn = raise (Crash { kind; fn })

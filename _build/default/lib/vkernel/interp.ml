@@ -1,0 +1,863 @@
+(** Interpreter for the mini-C dialect.
+
+    Executes driver/socket handler functions against the corpus AST with:
+    - per-statement coverage (statement ids are the coverage points,
+      standing in for KCOV);
+    - a tracked heap: use-after-free, double-free, oversized/zero-sized
+      allocations, leaked objects;
+    - lock, list and completion modeling for deadlock / list-corruption /
+      task-hung crashes;
+    - userspace data ({!Value.uval}) crossing the boundary only through
+      [copy_from_user]-style builtins, field-by-field, so that wrong
+      specifications produce kernel-side zeroes instead of meaningful
+      values. *)
+
+open Value
+
+exception Return_exc of value
+exception Break_exc
+exception Continue_exc
+exception Goto_exc of string
+exception Exec_error of string
+exception Exec_timeout
+
+type state = {
+  index : Csrc.Index.t;
+  globals : (string, value) Hashtbl.t;
+  coverage : (int, unit) Hashtbl.t;
+  mutable tracked_objs : obj list;  (** explicit allocations, for leak scan *)
+  mutable next_oid : int;
+  mutable steps : int;
+  step_budget : int;
+  mutable depth : int;
+  mutable spawn_fd : (string -> int64) option;
+      (** installed by the syscall layer: allocate a new file descriptor
+          backed by the named operation-handler global
+          ([anon_inode_getfd], used by kvm-style drivers) *)
+}
+
+let create ~(index : Csrc.Index.t) ?(step_budget = 200_000) () =
+  {
+    index;
+    globals = Hashtbl.create 64;
+    coverage = Hashtbl.create 1024;
+    tracked_objs = [];
+    next_oid = 1;
+    steps = 0;
+    step_budget;
+    depth = 0;
+    spawn_fd = None;
+  }
+
+let new_obj st ~fn ~tracked slots =
+  let o = { oid = st.next_oid; alloc_fn = fn; freed = false; data = slots } in
+  st.next_oid <- st.next_oid + 1;
+  if tracked then st.tracked_objs <- o :: st.tracked_objs;
+  o
+
+let fields_obj st ~fn ?(tracked = false) () =
+  new_obj st ~fn ~tracked (Fields (Hashtbl.create 8))
+
+(* ------------------------------------------------------------------ *)
+(* Typed object construction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_char_type (st : state) (ty : Csrc.Ast.ctype) =
+  match ty with
+  | Csrc.Ast.Int { width = 8; _ } -> true
+  | Csrc.Ast.Named n -> (
+      match Csrc.Index.find_typedef st.index n with
+      | Some t -> is_char_type st t
+      | None -> n = "u8" || n = "__u8" || n = "s8" || n = "__s8")
+  | _ -> false
+
+(** Default value for a struct field or local of the given type. *)
+let rec zero_value st ~fn (ty : Csrc.Ast.ctype) : value =
+  match ty with
+  | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
+  | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
+      Int 0L
+  | Csrc.Ast.Array (elem, _) when is_char_type st elem -> Str ""
+  | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 ->
+      let cells = Array.init n (fun _ -> zero_value st ~fn elem) in
+      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+  | Csrc.Ast.Array (_, _) -> Ptr (new_obj st ~fn ~tracked:false (Cells [||]))
+  | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name -> Ptr (typed_obj st ~fn name)
+
+(** Object for a struct/union type, fields initialized per the layout. *)
+and typed_obj st ~fn (comp_name : string) : obj =
+  let tbl = Hashtbl.create 8 in
+  (match Csrc.Index.find_composite st.index comp_name with
+  | Some cd ->
+      List.iter
+        (fun f -> Hashtbl.replace tbl f.Csrc.Ast.field_name (zero_value st ~fn f.Csrc.Ast.field_type))
+        cd.fields
+  | None -> ());
+  new_obj st ~fn ~tracked:false (Fields tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Object access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_alive ~fn o = if o.freed then Crash.raise_crash Crash.Kasan_uaf fn
+
+let obj_fields ~fn o =
+  check_alive ~fn o;
+  match o.data with
+  | Fields tbl -> tbl
+  | Opaque ->
+      (* promote a raw allocation on first structured access *)
+      let tbl = Hashtbl.create 8 in
+      o.data <- Fields tbl;
+      tbl
+  | Cells _ -> raise (Exec_error "field access on array object")
+
+let get_field ~fn o name =
+  let tbl = obj_fields ~fn o in
+  match Hashtbl.find_opt tbl name with Some v -> v | None -> Int 0L
+
+let set_field ~fn o name v =
+  let tbl = obj_fields ~fn o in
+  Hashtbl.replace tbl name v
+
+(* ------------------------------------------------------------------ *)
+(* Userspace data materialization                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec value_of_uval st ~fn (uv : uval) : value =
+  match uv with
+  | U_int v -> Int v
+  | U_str s -> Str s
+  | U_null -> Int 0L
+  | U_arr xs ->
+      let cells = Array.of_list (List.map (value_of_uval st ~fn) xs) in
+      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+  | U_struct (_, fields) ->
+      let o = fields_obj st ~fn () in
+      List.iter (fun (f, v) -> set_field ~fn o f (value_of_uval st ~fn v)) fields;
+      Ptr o
+
+(** Copy user data into an existing kernel object, field by field. *)
+let materialize_into st ~fn (dst : obj) (uv : uval) : unit =
+  match uv with
+  | U_struct (_, fields) ->
+      List.iter (fun (f, v) -> set_field ~fn dst f (value_of_uval st ~fn v)) fields
+  | U_int v -> set_field ~fn dst "__scalar" (Int v)
+  | U_str s -> set_field ~fn dst "__scalar" (Str s)
+  | U_arr _ -> set_field ~fn dst "__scalar" (value_of_uval st ~fn uv)
+  | U_null -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type env = { st : state; locals : (string, value) Hashtbl.t; fn : string }
+
+type lvalue =
+  | L_local of string
+  | L_global of string
+  | L_field of obj * string
+  | L_cell of obj * int
+
+let step env =
+  env.st.steps <- env.st.steps + 1;
+  if env.st.steps > env.st.step_budget then raise Exec_timeout
+
+let cover env (s : Csrc.Ast.stmt) = Hashtbl.replace env.st.coverage s.Csrc.Ast.sid ()
+
+(* Globals initialize lazily on first touch: a whole-kernel boot carries
+   a thousand module globals, of which any one program touches a handful. *)
+let rec get_global (st : state) (name : string) : value option =
+  match Hashtbl.find_opt st.globals name with
+  | Some v -> Some v
+  | None -> (
+      match Csrc.Index.find_global st.index name with
+      | None -> None
+      | Some g ->
+          let v = init_global st g in
+          Hashtbl.replace st.globals name v;
+          Some v)
+
+and init_global (st : state) (g : Csrc.Ast.global_def) : value =
+  let fn = "__init" in
+  let base =
+    match g.global_type with
+    | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n -> Ptr (typed_obj st ~fn n)
+    | Csrc.Ast.Array (elem, Some count) when count > 0 && count <= 4096 ->
+        let cells = Array.init count (fun _ -> zero_value st ~fn elem) in
+        Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+    | ty -> zero_value st ~fn ty
+  in
+  (* publish before applying the initializer so cross-references resolve *)
+  Hashtbl.replace st.globals g.global_name base;
+  (match g.global_init with
+  | None -> ()
+  | Some gi -> (
+      match (base, gi) with
+      | Ptr o, Csrc.Ast.Init_designated fields ->
+          List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields
+      | _ -> Hashtbl.replace st.globals g.global_name (init_value st gi)));
+  match Hashtbl.find_opt st.globals g.global_name with Some v -> v | None -> base
+
+and init_value (st : state) (gi : Csrc.Ast.ginit) : value =
+  let fn = "__init" in
+  match gi with
+  | Csrc.Ast.Init_expr (Csrc.Ast.Ident name) -> (
+      match Csrc.Index.find_function st.index name with
+      | Some _ -> Fn name
+      | None -> (
+          match get_global st name with
+          | Some v -> v
+          | None -> (
+              match Csrc.Index.eval_macro st.index name with
+              | Some v -> Int v
+              | None -> (
+                  match Csrc.Index.find_enum_item st.index name with
+                  | Some e -> (
+                      match Csrc.Index.eval_opt st.index e with Some v -> Int v | None -> Int 0L)
+                  | None -> (
+                      match Csrc.Index.string_macro st.index name with
+                      | Some s -> Str s
+                      | None -> Int 0L)))))
+  | Csrc.Ast.Init_expr (Csrc.Ast.Addr_of (Csrc.Ast.Ident name)) -> (
+      match get_global st name with Some v -> v | None -> Int 0L)
+  | Csrc.Ast.Init_expr e -> (
+      match Csrc.Index.eval_opt st.index e with
+      | Some v -> Int v
+      | None -> (
+          match Csrc.Index.eval_string st.index e with Some s -> Str s | None -> Int 0L))
+  | Csrc.Ast.Init_designated fields ->
+      let o = fields_obj st ~fn () in
+      List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields;
+      Ptr o
+  | Csrc.Ast.Init_list items ->
+      let cells = Array.of_list (List.map (init_value st) items) in
+      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+
+let lookup_var env name : value option =
+  match Hashtbl.find_opt env.locals name with
+  | Some v -> Some v
+  | None -> get_global env.st name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let as_int v = Value.to_int v
+
+let bool_v b = Int (if b then 1L else 0L)
+
+let rec eval env (e : Csrc.Ast.expr) : value =
+  match e with
+  | Csrc.Ast.Const_int v -> Int v
+  | Csrc.Ast.Const_char c -> Int (Int64.of_int (Char.code c))
+  | Csrc.Ast.Const_str s -> Str s
+  | Csrc.Ast.Ident name -> eval_ident env name
+  | Csrc.Ast.Unop (op, a) -> (
+      let v = eval env a in
+      match op with
+      | Csrc.Ast.Neg -> Int (Int64.neg (as_int v))
+      | Csrc.Ast.Not -> bool_v (not (truthy v))
+      | Csrc.Ast.Bit_not -> Int (Int64.lognot (as_int v)))
+  | Csrc.Ast.Binop (op, a, b) -> eval_binop env op a b
+  | Csrc.Ast.Assign (lhs, rhs) ->
+      let v = eval env rhs in
+      store env (eval_lval env lhs) v;
+      v
+  | Csrc.Ast.Call (name, args) -> eval_call env name args
+  | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
+      match eval env a with
+      | Ptr o -> get_field ~fn:env.fn o f
+      | Uptr (U_struct (_, fields)) -> (
+          match List.assoc_opt f fields with
+          | Some uv -> value_of_uval env.st ~fn:env.fn uv
+          | None -> Int 0L)
+      | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.fn
+      | Int _ -> Crash.raise_crash Crash.Gpf env.fn
+      | _ -> raise (Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
+  | Csrc.Ast.Index (a, i) -> (
+      let idx = Int64.to_int (as_int (eval env i)) in
+      match eval env a with
+      | Ptr o -> (
+          check_alive ~fn:env.fn o;
+          match o.data with
+          | Cells cells ->
+              if idx < 0 || idx >= Array.length cells then
+                Crash.raise_crash Crash.Ubsan_oob env.fn
+              else cells.(idx)
+          | Fields _ | Opaque -> Int 0L)
+      | Str s -> if idx >= 0 && idx < String.length s then Int (Int64.of_int (Char.code s.[idx])) else Int 0L
+      | Uptr (U_arr xs) -> (
+          match List.nth_opt xs idx with
+          | Some uv -> value_of_uval env.st ~fn:env.fn uv
+          | None -> Int 0L)
+      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+      | _ -> Int 0L)
+  | Csrc.Ast.Cast (_, a) -> eval env a
+  | Csrc.Ast.Sizeof_type ty -> Int (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
+  | Csrc.Ast.Sizeof_expr _ -> Int 8L
+  | Csrc.Ast.Ternary (c, t, f) -> if truthy (eval env c) then eval env t else eval env f
+  | Csrc.Ast.Addr_of a -> (
+      (* &x where x is a struct local/global is the object itself; &arr[i]
+         likewise when the element is an object *)
+      match a with
+      | Csrc.Ast.Ident _ | Csrc.Ast.Member _ | Csrc.Ast.Arrow _ | Csrc.Ast.Index _ -> eval env a
+      | _ -> eval env a)
+  | Csrc.Ast.Deref a -> (
+      match eval env a with
+      | Ptr o ->
+          check_alive ~fn:env.fn o;
+          Ptr o
+      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+      | v -> v)
+  | Csrc.Ast.Type_arg ty -> Int (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
+
+and eval_ident env name =
+  match lookup_var env name with
+  | Some v -> v
+  | None -> (
+      match Csrc.Index.ident_const env.st.index name with
+      | Csrc.Index.C_int v -> Int v
+      | Csrc.Index.C_str s -> Str s
+      | Csrc.Index.C_none -> (
+          match Csrc.Index.find_function env.st.index name with
+          | Some _ -> Fn name
+          | None -> Int 0L))
+
+and eval_binop env op a b =
+  match op with
+  | Csrc.Ast.Land -> bool_v (truthy (eval env a) && truthy (eval env b))
+  | Csrc.Ast.Lor -> bool_v (truthy (eval env a) || truthy (eval env b))
+  | _ -> (
+      let va = eval env a in
+      let vb = eval env b in
+      match (op, va, vb) with
+      | Csrc.Ast.Eq, Ptr x, Ptr y -> bool_v (x.oid = y.oid)
+      | Csrc.Ast.Ne, Ptr x, Ptr y -> bool_v (x.oid <> y.oid)
+      | Csrc.Ast.Eq, Str x, Str y -> bool_v (String.equal x y)
+      | Csrc.Ast.Ne, Str x, Str y -> bool_v (not (String.equal x y))
+      | Csrc.Ast.Eq, Ptr _, Int 0L | Csrc.Ast.Eq, Int 0L, Ptr _ -> bool_v false
+      | Csrc.Ast.Ne, Ptr _, Int 0L | Csrc.Ast.Ne, Int 0L, Ptr _ -> bool_v true
+      | _ -> (
+          let x = as_int va and y = as_int vb in
+          match op with
+          | Csrc.Ast.Add -> Int (Int64.add x y)
+          | Csrc.Ast.Sub -> Int (Int64.sub x y)
+          | Csrc.Ast.Mul -> Int (Int64.mul x y)
+          | Csrc.Ast.Div ->
+              if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error env.fn
+              else Int (Int64.div x y)
+          | Csrc.Ast.Mod ->
+              if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error env.fn
+              else Int (Int64.rem x y)
+          | Csrc.Ast.Shl -> Int (Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
+          | Csrc.Ast.Shr ->
+              Int (Int64.shift_right_logical x (Int64.to_int (Int64.logand y 63L)))
+          | Csrc.Ast.Band -> Int (Int64.logand x y)
+          | Csrc.Ast.Bor -> Int (Int64.logor x y)
+          | Csrc.Ast.Bxor -> Int (Int64.logxor x y)
+          | Csrc.Ast.Eq -> bool_v (Int64.equal x y)
+          | Csrc.Ast.Ne -> bool_v (not (Int64.equal x y))
+          | Csrc.Ast.Lt -> bool_v (Int64.compare x y < 0)
+          | Csrc.Ast.Le -> bool_v (Int64.compare x y <= 0)
+          | Csrc.Ast.Gt -> bool_v (Int64.compare x y > 0)
+          | Csrc.Ast.Ge -> bool_v (Int64.compare x y >= 0)
+          | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false))
+
+and eval_lval env (e : Csrc.Ast.expr) : lvalue =
+  match e with
+  | Csrc.Ast.Ident name ->
+      if Hashtbl.mem env.locals name then L_local name
+      else if get_global env.st name <> None then L_global name
+      else L_local name (* implicit declaration (for-loop desugaring) *)
+  | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
+      match eval env a with
+      | Ptr o ->
+          check_alive ~fn:env.fn o;
+          L_field (o, f)
+      | Int _ -> Crash.raise_crash Crash.Gpf env.fn
+      | _ -> raise (Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
+  | Csrc.Ast.Index (a, i) -> (
+      let idx = Int64.to_int (as_int (eval env i)) in
+      match eval env a with
+      | Ptr o -> (
+          check_alive ~fn:env.fn o;
+          match o.data with
+          | Cells cells ->
+              if idx < 0 || idx >= Array.length cells then
+                Crash.raise_crash Crash.Ubsan_oob env.fn
+              else L_cell (o, idx)
+          | Fields _ | Opaque -> L_field (o, Printf.sprintf "__idx%d" idx))
+      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+      | _ -> raise (Exec_error (env.fn ^ ": bad array lvalue")))
+  | Csrc.Ast.Deref a -> (
+      match eval env a with
+      | Ptr o ->
+          check_alive ~fn:env.fn o;
+          L_field (o, "__deref")
+      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+      | _ -> raise (Exec_error (env.fn ^ ": bad deref lvalue")))
+  | Csrc.Ast.Cast (_, a) -> eval_lval env a
+  | _ -> raise (Exec_error (env.fn ^ ": expression is not an lvalue"))
+
+and store env (lv : lvalue) (v : value) : unit =
+  match lv with
+  | L_local name -> Hashtbl.replace env.locals name v
+  | L_global name -> Hashtbl.replace env.st.globals name v
+  | L_field (o, f) -> set_field ~fn:env.fn o f v
+  | L_cell (o, idx) -> (
+      match o.data with
+      | Cells cells -> cells.(idx) <- v
+      | Fields _ | Opaque -> raise (Exec_error "cell store on non-array"))
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and eval_call env name (args : Csrc.Ast.expr list) : value =
+  match builtin env name args with
+  | Some v -> v
+  | None -> (
+      match Csrc.Index.find_function env.st.index name with
+      | Some fd when fd.fun_body <> [] ->
+          let argv = List.map (eval env) args in
+          call_function env.st name fd argv
+      | Some _ | None -> Int 0L)
+
+and expect_obj env what v =
+  match v with
+  | Ptr o -> o
+  | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+  | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" env.fn what))
+
+and builtin env name (args : Csrc.Ast.expr list) : value option =
+  let st = env.st in
+  let fn = env.fn in
+  let arg i =
+    match List.nth_opt args i with
+    | Some e -> e
+    | None -> Csrc.Ast.Const_int 0L
+  in
+  let v i =
+    (* user pointers to plain byte buffers behave like strings for the
+       string builtins *)
+    match eval env (arg i) with Uptr (U_str s) -> Str s | x -> x
+  in
+  let iv i = as_int (v i) in
+  let alloc_checked size ~vmalloc =
+    if vmalloc && Int64.equal size 0L then Crash.raise_crash Crash.Zero_size_vmalloc fn;
+    if Int64.compare size 0x7fffffffL > 0 then Crash.raise_crash Crash.Kmalloc_bug fn;
+    if Int64.compare size 0L <= 0 then Int 0L
+    else Ptr (new_obj st ~fn ~tracked:true Opaque)
+  in
+  let scalar_of_uval = function
+    | U_int x -> Int x
+    | U_str s -> Str s
+    | U_arr (U_int x :: _) -> Int x
+    | U_arr _ | U_struct _ | U_null -> Int 0L
+  in
+  (* [copy_from_user(&local, src, n)] on a scalar local cannot go through
+     value semantics; resolve the destination as an lvalue instead *)
+  let store_scalar_dst dst_expr (sv : value) : bool =
+    let rec strip = function
+      | Csrc.Ast.Cast (_, e) -> strip e
+      | Csrc.Ast.Addr_of e -> Some e
+      | _ -> None
+    in
+    match strip dst_expr with
+    | Some inner -> (
+        try
+          store env (eval_lval env inner) sv;
+          true
+        with Exec_error _ -> false)
+    | None -> false
+  in
+  match name with
+  | "copy_from_user" -> (
+      let src = v 1 in
+      let copy_user uv =
+        if uv = U_null then Int 1L
+        else
+          match eval env (arg 0) with
+          | Ptr o ->
+              check_alive ~fn o;
+              materialize_into st ~fn o uv;
+              Int 0L
+          | _ ->
+              if store_scalar_dst (arg 0) (scalar_of_uval uv) then Int 0L else Int 1L
+      in
+      match src with
+      | Uptr uv -> Some (copy_user uv)
+      | Str s -> Some (copy_user (U_str s))
+      | Ptr src_o -> (
+          check_alive ~fn src_o;
+          match eval env (arg 0) with
+          | Ptr dst_o ->
+              check_alive ~fn dst_o;
+              (match (dst_o.data, src_o.data) with
+              | Fields d, Fields s -> Hashtbl.iter (fun k v -> Hashtbl.replace d k v) s
+              | _ -> ());
+              Some (Int 0L)
+          | _ -> Some (Int 1L))
+      | Int _ | Unit | Fn _ -> Some (Int 1L))
+  | "copy_to_user" -> (
+      match v 0 with
+      | Uptr U_null | Int 0L -> Some (Int 1L)
+      | _ -> Some (Int 0L))
+  | "memdup_user" -> (
+      match v 0 with
+      | Uptr U_null | Int 0L -> Some (Int 0L)
+      | Uptr uv ->
+          let o = new_obj st ~fn ~tracked:true (Fields (Hashtbl.create 8)) in
+          materialize_into st ~fn o uv;
+          Some (Ptr o)
+      | Ptr o -> Some (Ptr o)
+      | _ -> Some (Int 0L))
+  | "strncpy_from_user" -> (
+      match (v 0, v 1) with
+      | _, (Uptr U_null | Int 0L) -> Some (Int (-14L))
+      | lv, Uptr (U_str s) ->
+          (match lv with
+          | Ptr o -> set_field ~fn o "__scalar" (Str s)
+          | _ -> ());
+          (try store env (eval_lval env (arg 0)) (Str s) with Exec_error _ -> ());
+          Some (Int (Int64.of_int (String.length s)))
+      | _, _ -> Some (Int 0L))
+  | "kmalloc" | "kzalloc" -> Some (alloc_checked (iv 0) ~vmalloc:false)
+  | "kvmalloc" -> Some (alloc_checked (iv 0) ~vmalloc:false)
+  | "kcalloc" -> Some (alloc_checked (Int64.mul (iv 0) (iv 1)) ~vmalloc:false)
+  | "vmalloc" | "vzalloc" -> Some (alloc_checked (iv 0) ~vmalloc:true)
+  | "kfree" | "vfree" | "kvfree" -> (
+      match v 0 with
+      | Int 0L | Unit -> Some (Int 0L)
+      | Ptr o ->
+          if o.freed then Crash.raise_crash Crash.Double_free fn;
+          o.freed <- true;
+          Some (Int 0L)
+      | _ -> Some (Int 0L))
+  | "mutex_init" | "spin_lock_init" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__locked" (Int 0L);
+      Some (Int 0L)
+  | "mutex_lock" | "spin_lock" ->
+      let o = expect_obj env name (v 0) in
+      if truthy (get_field ~fn o "__locked") then Crash.raise_crash Crash.Deadlock fn;
+      set_field ~fn o "__locked" (Int 1L);
+      Some (Int 0L)
+  | "mutex_unlock" | "spin_unlock" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__locked" (Int 0L);
+      Some (Int 0L)
+  | "list_add" | "list_add_tail" ->
+      let o = expect_obj env name (v 0) in
+      if truthy (get_field ~fn o "__on_list") then
+        Crash.raise_crash Crash.List_corruption fn;
+      set_field ~fn o "__on_list" (Int 1L);
+      Some (Int 0L)
+  | "list_del" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__on_list" (Int 0L);
+      Some (Int 0L)
+  | "INIT_LIST_HEAD" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__on_list" (Int 0L);
+      Some (Int 0L)
+  | "WARN_ON" | "WARN_ON_ONCE" ->
+      let c = v 0 in
+      if truthy c then Crash.raise_crash Crash.Warning fn;
+      Some c
+  | "BUG_ON" ->
+      if truthy (v 0) then Crash.raise_crash Crash.Kernel_bug fn;
+      Some (Int 0L)
+  | "init_completion" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__done" (Int 0L);
+      Some (Int 0L)
+  | "complete" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__done" (Int 1L);
+      Some (Int 0L)
+  | "wait_for_completion_killable" ->
+      let o = expect_obj env name (v 0) in
+      if not (truthy (get_field ~fn o "__done")) then
+        Crash.raise_crash Crash.Task_hung fn;
+      Some (Int 0L)
+  | "timer_setup" ->
+      let o = expect_obj env name (v 0) in
+      set_field ~fn o "__pending" (Int 0L);
+      Some (Int 0L)
+  | "mod_timer" ->
+      let o = expect_obj env name (v 0) in
+      if truthy (get_field ~fn o "__pending") then Crash.raise_crash Crash.Odebug fn;
+      set_field ~fn o "__pending" (Int 1L);
+      Some (Int 0L)
+  | "del_timer" | "del_timer_sync" -> (
+      match v 0 with
+      | Ptr o ->
+          set_field ~fn o "__pending" (Int 0L);
+          Some (Int 0L)
+      | _ -> Some (Int 0L))
+  | "schedule_timeout" | "msleep" -> Some (Int 0L)
+  | "capable" -> Some (Int 1L)
+  | "printk" | "pr_info" | "pr_err" | "pr_warn" -> Some (Int 0L)
+  | "memset" -> (
+      match v 0 with
+      | Ptr o ->
+          check_alive ~fn o;
+          (match o.data with
+          | Fields tbl -> Hashtbl.reset tbl
+          | Cells cells -> Array.fill cells 0 (Array.length cells) (Int (iv 1))
+          | Opaque -> ());
+          Some (v 0)
+      | _ -> Some (Int 0L))
+  | "memcpy" -> (
+      match (v 0, v 1) with
+      | Ptr d, Ptr s ->
+          check_alive ~fn d;
+          check_alive ~fn s;
+          (match (d.data, s.data) with
+          | Fields dt, Fields st' -> Hashtbl.iter (fun k v -> Hashtbl.replace dt k v) st'
+          | Cells dc, Cells sc ->
+              Array.blit sc 0 dc 0 (min (Array.length sc) (Array.length dc))
+          | _ -> ());
+          Some (v 0)
+      | _ -> Some (Int 0L))
+  | "memcmp" -> (
+      match (v 0, v 1) with
+      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
+      | Ptr a, Ptr b -> Some (bool_v (a.oid <> b.oid))
+      | _ -> Some (Int 1L))
+  | "strcmp" -> (
+      match (v 0, v 1) with
+      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
+      | _ -> Some (Int 1L))
+  | "strncmp" -> (
+      match (v 0, v 1) with
+      | Str a, Str b ->
+          let n = Int64.to_int (iv 2) in
+          let trunc s = if String.length s > n then String.sub s 0 n else s in
+          Some (Int (Int64.of_int (String.compare (trunc a) (trunc b))))
+      | _ -> Some (Int 1L))
+  | "strlen" -> (
+      match v 0 with
+      | Str s -> Some (Int (Int64.of_int (String.length s)))
+      | _ -> Some (Int 0L))
+  | "strncpy" | "strscpy" -> (
+      let src = match v 1 with Str s -> s | other -> Value.to_string other in
+      let n = Int64.to_int (iv 2) in
+      let src = if String.length src > n then String.sub src 0 n else src in
+      try
+        store env (eval_lval env (arg 0)) (Str src);
+        Some (Int (Int64.of_int (String.length src)))
+      with Exec_error _ -> Some (Int 0L))
+  | "snprintf" -> (
+      let text = match v 2 with Str s -> s | other -> Value.to_string other in
+      try
+        store env (eval_lval env (arg 0)) (Str text);
+        Some (Int (Int64.of_int (String.length text)))
+      with Exec_error _ -> Some (Int 0L))
+  | "min" | "min_t" -> (
+      match args with
+      | [ a; b ] -> Some (Int (min (as_int (eval env a)) (as_int (eval env b))))
+      | [ _ty; a; b ] -> Some (Int (min (as_int (eval env a)) (as_int (eval env b))))
+      | _ -> Some (Int 0L))
+  | "max" | "max_t" -> (
+      match args with
+      | [ a; b ] -> Some (Int (max (as_int (eval env a)) (as_int (eval env b))))
+      | [ _ty; a; b ] -> Some (Int (max (as_int (eval env a)) (as_int (eval env b))))
+      | _ -> Some (Int 0L))
+  | "array_index_nospec" ->
+      let i = iv 0 and n = iv 1 in
+      Some (Int (if Int64.compare i n < 0 && Int64.compare i 0L >= 0 then i else 0L))
+  | "noop_llseek" | "nonseekable_open" | "stream_open" -> Some (Int 0L)
+  | "_IOC_NR" -> Some (Int (Int64.logand (iv 0) 0xffL))
+  | "_IOC_TYPE" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 8) 0xffL))
+  | "_IOC_SIZE" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 16) 0x3fffL))
+  | "_IOC_DIR" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 30) 0x3L))
+  | "_IO" | "_IOR" | "_IOW" | "_IOWR" | "_IOC" -> (
+      (* constant contexts resolve through the index; runtime occurrences
+         use the same encoder *)
+      match Csrc.Index.eval_opt st.index (Csrc.Ast.Call (name, args)) with
+      | Some v -> Some (Int v)
+      | None -> Some (Int 0L))
+  | "anon_inode_getfd" -> (
+      (* anon_inode_getfd("name", &some_fops, priv, flags) returns a fresh
+         fd dispatching through the given operation handler *)
+      let fops_name =
+        let rec find = function
+          | Csrc.Ast.Addr_of (Csrc.Ast.Ident g) -> Some g
+          | Csrc.Ast.Cast (_, e) -> find e
+          | _ -> None
+        in
+        List.find_map find args
+      in
+      match (fops_name, st.spawn_fd) with
+      | Some g, Some spawn -> Some (Int (spawn g))
+      | _ -> Some (Int (-22L)))
+  | "misc_register" | "misc_deregister" | "register_chrdev" | "unregister_chrdev"
+  | "cdev_init" | "cdev_add" | "device_create" | "class_create" | "sock_register"
+  | "proto_register" ->
+      Some (Int 0L)
+  | "get_user" | "put_user" -> Some (Int 0L)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statements and functions                                            *)
+(* ------------------------------------------------------------------ *)
+
+and exec_stmt env (s : Csrc.Ast.stmt) : unit =
+  step env;
+  cover env s;
+  match s.Csrc.Ast.node with
+  | Csrc.Ast.Expr_stmt e -> ignore (eval env e)
+  | Csrc.Ast.Decl_stmt (ty, name, init) ->
+      let v =
+        match init with
+        | Some e -> eval env e
+        | None -> zero_value env.st ~fn:env.fn ty
+      in
+      Hashtbl.replace env.locals name v
+  | Csrc.Ast.If (c, t, f) ->
+      if truthy (eval env c) then exec_block env t
+      else ( match f with Some f -> exec_block env f | None -> ())
+  | Csrc.Ast.Switch (scrut, cases) -> exec_switch env scrut cases
+  | Csrc.Ast.While (c, body) ->
+      (try
+         while truthy (eval env c) do
+           step env;
+           try exec_block env body with Continue_exc -> ()
+         done
+       with Break_exc -> ())
+  | Csrc.Ast.Do_while (body, c) ->
+      (try
+         let continue_loop = ref true in
+         while !continue_loop do
+           step env;
+           (try exec_block env body with Continue_exc -> ());
+           continue_loop := truthy (eval env c)
+         done
+       with Break_exc -> ())
+  | Csrc.Ast.For (init, cond, upd, body) ->
+      (match init with Some e -> ignore (eval env e) | None -> ());
+      (try
+         let check () = match cond with Some c -> truthy (eval env c) | None -> true in
+         while check () do
+           step env;
+           (try exec_block env body with Continue_exc -> ());
+           match upd with Some u -> ignore (eval env u) | None -> ()
+         done
+       with Break_exc -> ())
+  | Csrc.Ast.Return e ->
+      let v = match e with Some e -> eval env e | None -> Unit in
+      raise (Return_exc v)
+  | Csrc.Ast.Break -> raise Break_exc
+  | Csrc.Ast.Continue -> raise Continue_exc
+  | Csrc.Ast.Goto l -> raise (Goto_exc l)
+  | Csrc.Ast.Label _ -> ()
+  | Csrc.Ast.Block b -> exec_block env b
+
+and exec_block env (b : Csrc.Ast.block) : unit = List.iter (exec_stmt env) b
+
+and exec_switch env scrut cases =
+  let key = as_int (eval env scrut) in
+  let matches case =
+    List.exists
+      (function
+        | Csrc.Ast.Case e -> Int64.equal (as_int (eval env e)) key
+        | Csrc.Ast.Default -> false)
+      case.Csrc.Ast.labels
+  in
+  let is_default case = List.mem Csrc.Ast.Default case.Csrc.Ast.labels in
+  let rec find_start i = function
+    | [] -> None
+    | c :: rest -> if matches c then Some i else find_start (i + 1) rest
+  in
+  let start =
+    match find_start 0 cases with
+    | Some i -> Some i
+    | None -> (
+        let rec find_default i = function
+          | [] -> None
+          | c :: rest -> if is_default c then Some i else find_default (i + 1) rest
+        in
+        find_default 0 cases)
+  in
+  match start with
+  | None -> ()
+  | Some i -> (
+      let rest = List.filteri (fun j _ -> j >= i) cases in
+      try List.iter (fun c -> exec_block env c.Csrc.Ast.case_body) rest
+      with Break_exc -> ())
+
+and call_function (st : state) (fname : string) (fd : Csrc.Ast.func_def) (argv : value list)
+    : value =
+  if st.depth > 64 then raise (Exec_error ("recursion too deep at " ^ fname));
+  st.depth <- st.depth + 1;
+  let locals = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, pname) ->
+      let v = match List.nth_opt argv i with Some v -> v | None -> Int 0L in
+      Hashtbl.replace locals pname v)
+    fd.fun_params;
+  let env = { st; locals; fn = fname } in
+  let find_label l =
+    let rec go = function
+      | [] -> None
+      | s :: rest -> (
+          match s.Csrc.Ast.node with
+          | Csrc.Ast.Label l' when String.equal l l' -> Some (s :: rest)
+          | _ -> go rest)
+    in
+    go fd.fun_body
+  in
+  let result =
+    let rec run stmts =
+      try
+        List.iter (exec_stmt env) stmts;
+        Unit
+      with
+      | Return_exc v -> v
+      | Goto_exc l -> (
+          match find_label l with
+          | Some rest -> run rest
+          | None -> raise (Exec_error (Printf.sprintf "%s: unknown label %s" fname l)))
+    in
+    run fd.fun_body
+  in
+  st.depth <- st.depth - 1;
+  result
+
+(** Entry point used by the syscall layer: call a named function with
+    already-evaluated arguments. *)
+let call st fname (argv : value list) : value =
+  match Csrc.Index.find_function st.index fname with
+  | Some fd when fd.fun_body <> [] -> call_function st fname fd argv
+  | Some _ | None -> raise (Exec_error ("no such function " ^ fname))
+
+(* ------------------------------------------------------------------ *)
+(* Leak detection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Objects allocated by the program, never freed, and unreachable from
+    the given roots — kmemleak's definition. Returns their allocation
+    sites. *)
+let leaked_objects (st : state) ~(roots : value list) : string list =
+  let reached = Hashtbl.create 64 in
+  let rec mark v =
+    match v with
+    | Ptr o ->
+        if not (Hashtbl.mem reached o.oid) then begin
+          Hashtbl.replace reached o.oid ();
+          match o.data with
+          | Fields tbl -> Hashtbl.iter (fun _ v -> mark v) tbl
+          | Cells cells -> Array.iter mark cells
+          | Opaque -> ()
+        end
+    | Int _ | Str _ | Fn _ | Uptr _ | Unit -> ()
+  in
+  List.iter mark roots;
+  Hashtbl.iter (fun _ v -> mark v) st.globals;
+  List.filter_map
+    (fun o ->
+      if (not o.freed) && not (Hashtbl.mem reached o.oid) then Some o.alloc_fn else None)
+    st.tracked_objs

@@ -1,0 +1,418 @@
+(** The virtual kernel machine: boots the corpus, exposes the syscall
+    interface, executes syscall programs, and reports coverage + crashes.
+
+    This is the stand-in for the QEMU/KCOV fuzzing target of the paper's
+    evaluation. Device paths and socket triples come from the registry's
+    ground truth (the moral equivalent of actually booting the modules);
+    everything else — handler dispatch, argument passing, crash
+    detection — is interpreted from the same mini-C sources that the
+    analyses under test read. *)
+
+type parg =
+  | P_int of int64
+  | P_str of string
+  | P_data of Value.uval  (** user pointer payload *)
+  | P_null
+  | P_result of int  (** file descriptor produced by call #i of the program *)
+
+type call = { c_name : string; c_args : parg list }
+
+type prog = call list
+
+type crash_report = { cr_title : string; cr_call : int (* index of the crashing call *) }
+
+type exec_result = {
+  retvals : int64 array;
+  crash : crash_report option;
+  coverage : int list;  (** statement ids executed *)
+}
+
+type device = { dev_module : string; dev_fops : string }
+
+type socket_reg = { sock_module : string; sock_ops : string }
+
+type t = {
+  index : Csrc.Index.t;
+  devices : (string * device) list;
+  sockets : ((int * int * int) * socket_reg) list;
+  sid_module : (int, string) Hashtbl.t;
+  modules : string list;
+}
+
+let module_file_name (e : Corpus.Types.entry) =
+  match e.kind with
+  | Corpus.Types.Driver -> Printf.sprintf "drivers/%s.c" e.name
+  | Corpus.Types.Socket -> Printf.sprintf "net/%s.c" e.name
+
+(** Boot the machine over the given corpus entries (normally the loaded
+    ones). Parses every module together with the shared header into a
+    single definition index with globally unique statement ids. *)
+let boot (entries : Corpus.Types.entry list) : t =
+  let sid = ref 0 in
+  let header =
+    Csrc.Parser.parse_file ~file:"include/kernel.h" ~sid Corpus.Headers.kernel_h
+  in
+  let sid_module = Hashtbl.create 4096 in
+  let files =
+    List.map
+      (fun (e : Corpus.Types.entry) ->
+        let before = !sid in
+        let f = Csrc.Parser.parse_file ~file:(module_file_name e) ~sid e.source in
+        for s = before to !sid - 1 do
+          Hashtbl.replace sid_module s e.name
+        done;
+        f)
+      entries
+  in
+  let index = Csrc.Index.of_files (header :: files) in
+  let devices =
+    List.concat_map
+      (fun (e : Corpus.Types.entry) ->
+        if e.kind = Corpus.Types.Driver then
+          List.map
+            (fun path -> (path, { dev_module = e.name; dev_fops = e.gt.gt_fops }))
+            e.gt.gt_paths
+        else [])
+      entries
+  in
+  let sockets =
+    List.filter_map
+      (fun (e : Corpus.Types.entry) ->
+        match e.gt.gt_socket with
+        | Some triple when e.kind = Corpus.Types.Socket ->
+            Some (triple, { sock_module = e.name; sock_ops = e.gt.gt_fops })
+        | _ -> None)
+      entries
+  in
+  {
+    index;
+    devices;
+    sockets;
+    sid_module;
+    modules = List.map (fun (e : Corpus.Types.entry) -> e.name) entries;
+  }
+
+let module_of_sid t sid = Hashtbl.find_opt t.sid_module sid
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type fd_entry = {
+  fd_file : Value.obj;  (** the [struct file] (or [struct socket]) object *)
+  fd_inode : Value.obj;
+  fd_ops : string;  (** name of the fops / proto_ops global *)
+  fd_is_socket : bool;
+}
+
+type run = {
+  machine : t;
+  st : Interp.state;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let errno v = Int64.neg (Int64.of_int v)
+
+let handler run ~(ops : string) (field : string) : string option =
+  match Interp.get_global run.st ops with
+  | Some (Value.Ptr o) -> (
+      match Interp.get_field ~fn:"__dispatch" o field with
+      | Value.Fn name -> Some name
+      | _ -> None)
+  | _ -> None
+
+let call_handler run ~ops field args ~(default : int64) : int64 =
+  match handler run ~ops field with
+  | None -> default
+  | Some fname -> Value.to_int (Interp.call run.st fname args)
+
+let resolve_fd run (retvals : int64 array) (a : parg) : fd_entry option * int64 =
+  match a with
+  | P_result i when i >= 0 && i < Array.length retvals ->
+      let v = retvals.(i) in
+      if Int64.compare v 0L >= 0 then (Hashtbl.find_opt run.fds (Int64.to_int v), v)
+      else (None, v)
+  | P_int v -> (Hashtbl.find_opt run.fds (Int64.to_int v), v)
+  | P_str _ | P_data _ | P_null | P_result _ -> (None, -1L)
+
+let arg_value (a : parg) (retvals : int64 array) : Value.value =
+  match a with
+  | P_int v -> Value.Int v
+  | P_str s -> Value.Str s
+  | P_data uv -> Value.Uptr uv
+  | P_null -> Value.Int 0L
+  | P_result i ->
+      if i >= 0 && i < Array.length retvals then Value.Int retvals.(i) else Value.Int (-1L)
+
+let nth_arg args i = match List.nth_opt args i with Some a -> a | None -> P_null
+
+let new_fd run entry =
+  let fd = run.next_fd in
+  run.next_fd <- fd + 1;
+  Hashtbl.replace run.fds fd entry;
+  Int64.of_int fd
+
+(** Execute one syscall. Returns the syscall return value; crashes
+    propagate as {!Crash.Crash}. *)
+let exec_call (run : run) (retvals : int64 array) (c : call) : int64 =
+  let st = run.st in
+  let fn = "__syscall" in
+  let args = c.c_args in
+  let get i = nth_arg args i in
+  let val_of i = arg_value (get i) retvals in
+  let int_of i = Value.to_int (val_of i) in
+  match c.c_name with
+  | "openat" | "open" -> (
+      let path = match get 1 with P_str s -> s | _ -> "" in
+      let path = if c.c_name = "open" then (match get 0 with P_str s -> s | _ -> path) else path in
+      match List.assoc_opt path run.machine.devices with
+      | None -> errno 2 (* ENOENT *)
+      | Some dev ->
+          let file = Interp.typed_obj st ~fn "file" in
+          let inode = Interp.typed_obj st ~fn "inode" in
+          let r =
+            call_handler run ~ops:dev.dev_fops "open"
+              [ Value.Ptr inode; Value.Ptr file ]
+              ~default:0L
+          in
+          if Int64.compare r 0L < 0 then r
+          else
+            new_fd run
+              { fd_file = file; fd_inode = inode; fd_ops = dev.dev_fops; fd_is_socket = false })
+  | "socket" -> (
+      let domain = Int64.to_int (int_of 0) in
+      let styp = Int64.to_int (int_of 1) in
+      let proto = Int64.to_int (int_of 2) in
+      let lookup k = List.assoc_opt k run.machine.sockets in
+      let by_pred pred =
+        List.find_map
+          (fun ((d, t, p), reg) -> if pred d t p then Some reg else None)
+          run.machine.sockets
+      in
+      (* families commonly accept several socket types; match the most
+         specific registration available *)
+      let resolved =
+        match lookup (domain, styp, proto) with
+        | Some s -> Some s
+        | None -> (
+            match lookup (domain, styp, 0) with
+            | Some s -> Some s
+            | None -> (
+                match
+                  if proto <> 0 then by_pred (fun d _ p -> d = domain && p = proto) else None
+                with
+                | Some s -> Some s
+                | None -> by_pred (fun d _ _ -> d = domain)))
+      in
+      match resolved with
+      | None -> errno 97 (* EAFNOSUPPORT *)
+      | Some reg ->
+          let sock = Interp.typed_obj st ~fn "socket" in
+          Interp.set_field ~fn sock "sk_type" (Value.Int (Int64.of_int styp));
+          let inode = Interp.typed_obj st ~fn "inode" in
+          new_fd run
+            { fd_file = sock; fd_inode = inode; fd_ops = reg.sock_ops; fd_is_socket = true })
+  | "close" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, fdnum ->
+          Hashtbl.remove run.fds (Int64.to_int fdnum);
+          let field = if e.fd_is_socket then "release" else "release" in
+          if e.fd_is_socket then
+            call_handler run ~ops:e.fd_ops field [ Value.Ptr e.fd_file ] ~default:0L
+          else
+            call_handler run ~ops:e.fd_ops field
+              [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
+              ~default:0L)
+  | "ioctl" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ ->
+          let cmd = int_of 1 in
+          let argv = val_of 2 in
+          let field = if e.fd_is_socket then "ioctl" else "unlocked_ioctl" in
+          call_handler run ~ops:e.fd_ops field
+            [ Value.Ptr e.fd_file; Value.Int cmd; argv ]
+            ~default:(errno 25 (* ENOTTY *)))
+  | "read" | "write" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ ->
+          call_handler run ~ops:e.fd_ops c.c_name
+            [ Value.Ptr e.fd_file; val_of 1; val_of 2; Value.Int 0L ]
+            ~default:(errno 22))
+  | "poll" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ ->
+          if e.fd_is_socket then
+            call_handler run ~ops:e.fd_ops "poll"
+              [ Value.Int 0L; Value.Ptr e.fd_file; Value.Int 0L ]
+              ~default:0L
+          else
+            call_handler run ~ops:e.fd_ops "poll"
+              [ Value.Ptr e.fd_file; Value.Int 0L ]
+              ~default:0L)
+  | "mmap" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ ->
+          call_handler run ~ops:e.fd_ops "mmap"
+            [ Value.Ptr e.fd_file; val_of 1 ]
+            ~default:(errno 19))
+  | "bind" | "listen" | "shutdown" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          (* the kernel copies the sockaddr before invoking the handler:
+             a NULL user pointer faults at the boundary *)
+          if c.c_name = "bind" && Value.is_zero (val_of 1) then errno 14
+          else
+            let rest =
+              match c.c_name with
+              | "bind" -> [ val_of 1; val_of 2 ]
+              | "listen" | "shutdown" -> [ val_of 1 ]
+              | _ -> []
+            in
+            call_handler run ~ops:e.fd_ops c.c_name
+              (Value.Ptr e.fd_file :: rest)
+              ~default:(errno 95)
+      | Some _, _ -> errno 88 (* ENOTSOCK *))
+  | "connect" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          if Value.is_zero (val_of 1) then errno 14
+          else
+            call_handler run ~ops:e.fd_ops "connect"
+              [ Value.Ptr e.fd_file; val_of 1; val_of 2; Value.Int 0L ]
+              ~default:(errno 95)
+      | Some _, _ -> errno 88)
+  | "accept" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          let newsock = Interp.typed_obj st ~fn "socket" in
+          let r =
+            call_handler run ~ops:e.fd_ops "accept"
+              [ Value.Ptr e.fd_file; Value.Ptr newsock; Value.Int 0L ]
+              ~default:(errno 95)
+          in
+          if Int64.compare r 0L < 0 then r
+          else
+            new_fd run
+              {
+                fd_file = newsock;
+                fd_inode = Interp.typed_obj st ~fn "inode";
+                fd_ops = e.fd_ops;
+                fd_is_socket = true;
+              }
+      | Some _, _ -> errno 88)
+  | "setsockopt" | "getsockopt" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          call_handler run ~ops:e.fd_ops c.c_name
+            [ Value.Ptr e.fd_file; val_of 1; val_of 2; val_of 3; val_of 4 ]
+            ~default:(errno 92 (* ENOPROTOOPT *))
+      | Some _, _ -> errno 88)
+  | "sendmsg" | "recvmsg" -> (
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          let msg = Interp.typed_obj st ~fn "msghdr" in
+          (match val_of 1 with
+          | Value.Uptr uv -> Interp.materialize_into st ~fn msg uv
+          | _ -> ());
+          let extra =
+            if c.c_name = "recvmsg" then [ int_of 2; Value.to_int (val_of 3) ]
+            else [ int_of 2 ]
+          in
+          call_handler run ~ops:e.fd_ops c.c_name
+            (Value.Ptr e.fd_file :: Value.Ptr msg
+            :: List.map (fun v -> Value.Int v) extra)
+            ~default:(errno 95)
+      | Some _, _ -> errno 88)
+  | "sendto" | "recvfrom" -> (
+      (* sendto(fd, buf, len, flags, addr, addrlen) is lowered onto the
+         module's sendmsg/recvmsg handler via a synthesized msghdr *)
+      match resolve_fd run retvals (get 0) with
+      | None, _ -> errno 9
+      | Some e, _ when e.fd_is_socket ->
+          let msg = Interp.typed_obj st ~fn "msghdr" in
+          Interp.set_field ~fn msg "msg_iov" (val_of 1);
+          Interp.set_field ~fn msg "msg_name" (val_of 4);
+          Interp.set_field ~fn msg "msg_namelen" (Value.Int (int_of 5));
+          let field = if c.c_name = "sendto" then "sendmsg" else "recvmsg" in
+          let extra = if field = "recvmsg" then [ int_of 2; int_of 3 ] else [ int_of 2 ] in
+          call_handler run ~ops:e.fd_ops field
+            (Value.Ptr e.fd_file :: Value.Ptr msg
+            :: List.map (fun v -> Value.Int v) extra)
+            ~default:(errno 95)
+      | Some _, _ -> errno 88)
+  | other ->
+      ignore other;
+      errno 38 (* ENOSYS *)
+
+(** Execute a whole program against a fresh kernel state. *)
+let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
+  let st = Interp.create ~index:t.index ~step_budget () in
+  let run = { machine = t; st; fds = Hashtbl.create 8; next_fd = 3 } in
+  st.Interp.spawn_fd <-
+    Some
+      (fun ops_global ->
+        let file = Interp.typed_obj st ~fn:"anon_inode" "file" in
+        let inode = Interp.typed_obj st ~fn:"anon_inode" "inode" in
+        new_fd run { fd_file = file; fd_inode = inode; fd_ops = ops_global; fd_is_socket = false });
+  let n = List.length prog in
+  let retvals = Array.make n (-1L) in
+  let crash = ref None in
+  let rec go i = function
+    | [] -> ()
+    | c :: rest -> (
+        match exec_call run retvals c with
+        | r ->
+            retvals.(i) <- r;
+            go (i + 1) rest
+        | exception Crash.Crash cr ->
+            crash := Some { cr_title = Crash.title cr; cr_call = i }
+        | exception Interp.Exec_timeout -> retvals.(i) <- errno 4 (* EINTR: stuck call *)
+        | exception Interp.Exec_error _ ->
+            retvals.(i) <- errno 22;
+            go (i + 1) rest)
+  in
+  go 0 prog;
+  (* process exit: close remaining fds (release handlers may crash too) *)
+  if !crash = None then begin
+    let open_fds = Hashtbl.fold (fun fd e acc -> (fd, e) :: acc) run.fds [] in
+    let open_fds = List.sort (fun (a, _) (b, _) -> compare a b) open_fds in
+    (try
+       List.iter
+         (fun (fd, e) ->
+           Hashtbl.remove run.fds fd;
+           if e.fd_is_socket then
+             ignore (call_handler run ~ops:e.fd_ops "release" [ Value.Ptr e.fd_file ] ~default:0L)
+           else
+             ignore
+               (call_handler run ~ops:e.fd_ops "release"
+                  [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
+                  ~default:0L))
+         open_fds
+     with
+    | Crash.Crash cr -> crash := Some { cr_title = Crash.title cr; cr_call = n - 1 }
+    | Interp.Exec_timeout | Interp.Exec_error _ -> ())
+  end;
+  (* kmemleak scan over what is still reachable *)
+  if !crash = None then begin
+    let roots =
+      Hashtbl.fold (fun _ e acc -> Value.Ptr e.fd_file :: Value.Ptr e.fd_inode :: acc) run.fds []
+    in
+    match Interp.leaked_objects st ~roots with
+    | [] -> ()
+    | site :: _ ->
+        crash :=
+          Some { cr_title = Crash.title { Crash.kind = Crash.Memory_leak; fn = site }; cr_call = n - 1 }
+  end;
+  let coverage = Hashtbl.fold (fun sid () acc -> sid :: acc) st.Interp.coverage [] in
+  { retvals; crash = !crash; coverage }

@@ -1,0 +1,52 @@
+(** The virtual kernel machine: boots corpus modules, dispatches
+    syscalls, executes whole programs and reports coverage and crashes.
+
+    This is the stand-in for the paper's QEMU/KCOV fuzzing target.
+    Device paths and socket triples come from the registry's ground
+    truth (the moral equivalent of booting the modules); everything else
+    is interpreted from the same mini-C sources the analyses read. *)
+
+(** One syscall argument as the fuzzer passes it. *)
+type parg =
+  | P_int of int64
+  | P_str of string
+  | P_data of Value.uval  (** a user pointer carrying generated data *)
+  | P_null
+  | P_result of int  (** the file descriptor returned by call #i *)
+
+type call = { c_name : string; c_args : parg list }
+
+type prog = call list
+
+type crash_report = { cr_title : string; cr_call : int }
+
+type exec_result = {
+  retvals : int64 array;
+  crash : crash_report option;
+  coverage : int list;  (** statement ids executed *)
+}
+
+type device = { dev_module : string; dev_fops : string }
+
+type socket_reg = { sock_module : string; sock_ops : string }
+
+type t = {
+  index : Csrc.Index.t;
+  devices : (string * device) list;
+  sockets : ((int * int * int) * socket_reg) list;
+  sid_module : (int, string) Hashtbl.t;
+  modules : string list;
+}
+
+(** Boot the machine over the given corpus entries: parse all module
+    sources with the shared header into one definition index with
+    globally unique statement ids, and register devices and sockets. *)
+val boot : Corpus.Types.entry list -> t
+
+(** Which module a covered statement belongs to. *)
+val module_of_sid : t -> int -> string option
+
+(** Execute a program against a fresh kernel state: run each call, close
+    remaining file descriptors at exit (release handlers may crash), and
+    run the kmemleak-style reachability scan. Deterministic. *)
+val exec_prog : ?step_budget:int -> t -> prog -> exec_result

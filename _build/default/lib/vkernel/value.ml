@@ -1,0 +1,79 @@
+(** Runtime values of the virtual kernel.
+
+    Two value worlds meet here:
+    - {!uval} is *userspace data*: the argument trees the fuzzer
+      generates from syzlang types and passes through the syscall
+      boundary (the equivalent of the bytes Syzkaller writes into the
+      target process' memory);
+    - {!value} is *kernel data*: what the interpreter computes with.
+
+    Kernel heap objects track allocation site and liveness so that
+    use-after-free, double-free and leak detection work like KASAN and
+    kmemleak do in the paper's fuzzing campaigns. *)
+
+(** Userspace argument data. Struct fields are keyed by the field names of
+    the syzlang type the fuzzer generated from; [copy_from_user]
+    materializes them into kernel objects by name. A spec with wrong or
+    meaningless field names (e.g. static-analysis output with [field_0]
+    style names) therefore produces kernel-side garbage — the simulator's
+    stand-in for a wrong byte layout. *)
+type uval =
+  | U_int of int64
+  | U_str of string
+  | U_arr of uval list
+  | U_struct of string * (string * uval) list
+  | U_null
+
+type obj = {
+  oid : int;
+  alloc_fn : string;  (** function that allocated the object *)
+  mutable freed : bool;
+  mutable data : slots;
+}
+
+and slots =
+  | Fields of (string, value) Hashtbl.t  (** struct-like object (lazy fields) *)
+  | Cells of value array  (** fixed-size array object *)
+  | Opaque  (** raw allocation never accessed structurally *)
+
+and value =
+  | Int of int64
+  | Str of string
+  | Ptr of obj
+  | Fn of string  (** function pointer *)
+  | Uptr of uval  (** userspace pointer carrying the user data *)
+  | Unit
+
+let is_zero = function
+  | Int 0L -> true
+  | Unit -> true
+  | Uptr U_null -> true (* a NULL user pointer is falsy, like in C *)
+  | Str "" -> false
+  | _ -> false
+
+let truthy v = not (is_zero v)
+
+let to_int = function
+  | Int v -> v
+  | Str _ | Ptr _ | Fn _ | Uptr _ -> 1L
+  | Unit -> 0L
+
+(** Render a value for traces and debugging. *)
+let rec to_string = function
+  | Int v -> Int64.to_string v
+  | Str s -> Printf.sprintf "%S" s
+  | Ptr o -> Printf.sprintf "<obj#%d%s>" o.oid (if o.freed then " freed" else "")
+  | Fn f -> Printf.sprintf "<fn %s>" f
+  | Uptr u -> Printf.sprintf "<user %s>" (uval_to_string u)
+  | Unit -> "()"
+
+and uval_to_string = function
+  | U_int v -> Int64.to_string v
+  | U_str s -> Printf.sprintf "%S" s
+  | U_arr xs ->
+      Printf.sprintf "[%s]" (String.concat "; " (List.map uval_to_string xs))
+  | U_struct (name, fields) ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat "; "
+           (List.map (fun (f, v) -> f ^ "=" ^ uval_to_string v) fields))
+  | U_null -> "NULL"

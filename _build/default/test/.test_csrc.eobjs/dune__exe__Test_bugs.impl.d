@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Corpus Csrc Machine Value Vkernel

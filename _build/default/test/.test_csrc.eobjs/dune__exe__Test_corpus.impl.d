@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Baseline Corpus Csrc Lazy List String Vkernel

@@ -1,0 +1,1 @@
+test/test_csrc.ml: Alcotest Array Csrc Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzzer.ml: Alcotest Corpus Fuzzer Hashtbl Int64 Kernelgpt Lazy List Option Oracle Profile QCheck QCheck_alcotest String Syzlang Vkernel

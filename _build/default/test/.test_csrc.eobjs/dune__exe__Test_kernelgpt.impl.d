@@ -1,0 +1,1 @@
+test/test_kernelgpt.ml: Alcotest Baseline Corpus Kernelgpt List Oracle Profile Syzlang Vkernel

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Corpus Csrc Int64 List Machine Printf Unix Value Vkernel

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Corpus Csrc Lazy List Oracle Printf Profile Prompt String Syzlang

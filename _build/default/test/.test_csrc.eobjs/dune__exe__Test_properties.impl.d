@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Baseline Corpus Csrc Fuzzer Hashtbl Int64 Kernelgpt List Oracle Printf Profile QCheck QCheck_alcotest Syzlang Vkernel

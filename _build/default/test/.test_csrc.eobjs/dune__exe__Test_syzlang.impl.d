@@ -1,0 +1,1 @@
+test/test_syzlang.ml: Alcotest Baseline Corpus Csrc Gen Int64 Lazy List Printf QCheck QCheck_alcotest Syzlang Vkernel

@@ -1,0 +1,1 @@
+test/test_vkernel.ml: Alcotest Array Corpus Csrc Int64 Lazy List Machine Printf Value Vkernel

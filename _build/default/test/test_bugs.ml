@@ -1,0 +1,360 @@
+(* Reachability of every Table 4 bug: a hand-written syscall program per
+   bug must trigger exactly the expected crash title. This pins down the
+   substrate the fuzzing experiments rely on. *)
+
+open Vkernel
+
+let exec name prog =
+  let entry = Corpus.Registry.find_exn name in
+  let machine = Machine.boot [ entry ] in
+  Machine.exec_prog machine prog
+
+let cmd name macro =
+  let entry = Corpus.Registry.find_exn name in
+  let machine = Machine.boot [ entry ] in
+  match Csrc.Index.eval_macro machine.Machine.index macro with
+  | Some v -> v
+  | None -> Alcotest.failf "macro %s not found in %s" macro name
+
+let check_crash title res =
+  match res.Machine.crash with
+  | Some c -> Alcotest.(check string) "crash title" title c.cr_title
+  | None -> Alcotest.failf "expected crash %S but none occurred" title
+
+let openat path = { Machine.c_name = "openat"; c_args = [ P_int (-100L); P_str path ] }
+
+let ioctl fd cmdv data = { Machine.c_name = "ioctl"; c_args = [ P_result fd; P_int cmdv; data ] }
+
+let close fd = { Machine.c_name = "close"; c_args = [ P_result fd ] }
+
+let u fields name = Value.U_struct (name, fields)
+
+(* -------------------- dm -------------------- *)
+
+let dm_arg ?(data_size = 400L) ?(name = "") ?(flags = 0L) ?(count = 0L) () =
+  u
+    [
+      ("version", Value.U_arr [ Value.U_int 4L ]);
+      ("data_size", Value.U_int data_size);
+      ("target_count", Value.U_int count);
+      ("flags", Value.U_int flags);
+      ("name", Value.U_str name);
+    ]
+    "dm_ioctl"
+
+let test_dm_kmalloc_ctl () =
+  let c = cmd "dm" "DM_LIST_DEVICES" in
+  exec "dm" [ openat "/dev/mapper/control"; ioctl 0 c (P_data (dm_arg ~data_size:0x9000_0000L ())) ]
+  |> check_crash "kmalloc bug in ctl_ioctl"
+
+let test_dm_kmalloc_table_create () =
+  let create = cmd "dm" "DM_DEV_CREATE" and load = cmd "dm" "DM_TABLE_LOAD" in
+  exec "dm"
+    [
+      openat "/dev/mapper/control";
+      ioctl 0 create (P_data (dm_arg ~name:"v" ()));
+      ioctl 0 load (P_data (dm_arg ~name:"v" ~count:0xffffffffL ()));
+    ]
+  |> check_crash "kmalloc bug in dm_table_create"
+
+let test_dm_cleanup_gpf () =
+  let create = cmd "dm" "DM_DEV_CREATE"
+  and susp = cmd "dm" "DM_DEV_SUSPEND"
+  and remove = cmd "dm" "DM_DEV_REMOVE" in
+  exec "dm"
+    [
+      openat "/dev/mapper/control";
+      ioctl 0 create (P_data (dm_arg ~name:"v" ()));
+      ioctl 0 susp (P_data (dm_arg ~name:"v" ~flags:2L ()));
+      ioctl 0 remove (P_data (dm_arg ~name:"v" ()));
+    ]
+  |> check_crash "general protection fault in cleanup_mapped_device"
+
+(* -------------------- cec -------------------- *)
+
+let cec_msg ?(len = 2L) ?(timeout = 0L) ?(flags = 0L) () =
+  u [ ("len", Value.U_int len); ("timeout", Value.U_int timeout); ("flags", Value.U_int flags) ] "cec_msg"
+
+let cec_log_addrs ?(num = 1L) () =
+  u [ ("num_log_addrs", Value.U_int num); ("log_addr_type", Value.U_str "\001") ] "cec_log_addrs"
+
+let cec_configure fd =
+  (* set a physical address, then claim logical addresses *)
+  [
+    ioctl fd (cmd "cec" "CEC_ADAP_S_PHYS_ADDR") (P_data (Value.U_int 0x1000L));
+    ioctl fd (cmd "cec" "CEC_ADAP_S_LOG_ADDRS") (P_data (cec_log_addrs ()));
+  ]
+
+let test_cec_task_hung () =
+  exec "cec"
+    [ openat "/dev/cec0"; ioctl 0 (cmd "cec" "CEC_ADAP_S_LOG_ADDRS") (P_data (cec_log_addrs ())) ]
+  |> check_crash "INFO: task hung in cec_claim_log_addrs"
+
+let test_cec_gpf_done_ts () =
+  exec "cec"
+    [ openat "/dev/cec0"; ioctl 0 (cmd "cec" "CEC_TRANSMIT") (P_data (cec_msg ~flags:2L ())) ]
+  |> check_crash "general protection fault in cec_transmit_done_ts"
+
+let test_cec_odebug () =
+  exec "cec"
+    (openat "/dev/cec0" :: cec_configure 0
+    @ [
+        ioctl 0 (cmd "cec" "CEC_TRANSMIT") (P_data (cec_msg ~timeout:0L ()));
+        ioctl 0 (cmd "cec" "CEC_TRANSMIT") (P_data (cec_msg ~timeout:0L ()));
+      ])
+  |> check_crash "ODEBUG bug in cec_transmit_msg_fh"
+
+let test_cec_data_cancel () =
+  exec "cec"
+    (openat "/dev/cec0" :: cec_configure 0
+    @ [
+        ioctl 0 (cmd "cec" "CEC_TRANSMIT") (P_data (cec_msg ~timeout:100L ~flags:1L ()));
+        close 0;
+      ])
+  |> check_crash "WARNING in cec_data_cancel"
+
+let test_cec_uaf () =
+  exec "cec"
+    ([ openat "/dev/cec0"; openat "/dev/cec0" ]
+    @ cec_configure 0
+    @ [
+        ioctl 1 (cmd "cec" "CEC_S_MODE") (P_data (Value.U_int 0xe0L));
+        close 1;
+        ioctl 0 (cmd "cec" "CEC_TRANSMIT") (P_data (cec_msg ~timeout:0L ()));
+      ])
+  |> check_crash "KASAN: slab-use-after-free Read in cec_queue_msg_fh"
+
+(* -------------------- btrfs -------------------- *)
+
+let vol_args ?(fd = 1L) ~name () =
+  u [ ("fd", Value.U_int fd); ("name", Value.U_str name) ] "btrfs_ioctl_vol_args"
+
+let test_btrfs_bug_on () =
+  exec "btrfs_control"
+    [
+      openat "/dev/btrfs-control";
+      ioctl 0 (cmd "btrfs_control" "BTRFS_IOC_SCAN_DEV") (P_data (vol_args ~name:"d" ()));
+      ioctl 0 (cmd "btrfs_control" "BTRFS_IOC_SNAP_CREATE") (P_data (vol_args ~fd:0L ~name:"d" ()));
+    ]
+  |> check_crash "kernel BUG in btrfs_get_root_ref"
+
+let test_btrfs_reloc_gpf () =
+  exec "btrfs_control"
+    [
+      openat "/dev/btrfs-control";
+      ioctl 0 (cmd "btrfs_control" "BTRFS_IOC_SCAN_DEV") (P_data (vol_args ~fd:(-1L) ~name:"d" ()));
+      ioctl 0 (cmd "btrfs_control" "BTRFS_IOC_DEVICES_READY") (P_data (vol_args ~name:"d" ()));
+    ]
+  |> check_crash "general protection fault in btrfs_update_reloc_root"
+
+(* -------------------- ubi -------------------- *)
+
+let ubi_req ?(mtd = 1L) ?(vid = 32L) ?(beb = 20L) () =
+  u
+    [ ("ubi_num", Value.U_int 0L); ("mtd_num", Value.U_int mtd);
+      ("vid_hdr_offset", Value.U_int vid); ("max_beb_per1024", Value.U_int beb) ]
+    "ubi_attach_req"
+
+let test_ubi_zero_vmalloc () =
+  exec "ubi"
+    [ openat "/dev/ubi_ctrl"; ioctl 0 (cmd "ubi" "UBI_IOCATT") (P_data (ubi_req ~vid:32L ())) ]
+  |> check_crash "zero-size vmalloc in ubi_read_volume_table"
+
+let test_ubi_leak () =
+  exec "ubi"
+    [
+      openat "/dev/ubi_ctrl";
+      ioctl 0 (cmd "ubi" "UBI_IOCATT") (P_data (ubi_req ~vid:4096L ()));
+      ioctl 0 (cmd "ubi" "UBI_IOCATT") (P_data (ubi_req ~vid:4096L ()));
+      close 0;
+    ]
+  |> check_crash "memory leak in ubi_attach"
+
+(* -------------------- posix clock -------------------- *)
+
+let test_posix_clock_leak () =
+  exec "posix_clock" [ openat "/dev/ptp0"; openat "/dev/ptp0"; close 0 ]
+  |> check_crash "memory leak in posix_clock_open"
+
+(* -------------------- dvb -------------------- *)
+
+let test_dvb_deadlock () =
+  let pes =
+    u [ ("pid", Value.U_int 16L); ("pes_type", Value.U_int 1L) ] "dmx_pes_filter_params"
+  in
+  exec "dvb_demux"
+    [
+      openat "/dev/dvb/adapter0/demux0";
+      ioctl 0 (cmd "dvb_demux" "DMX_SET_PES_FILTER") (P_data pes);
+      close 0;
+    ]
+  |> check_crash "possible deadlock in dvb_demux_release"
+
+let test_dvb_add_pid_leak () =
+  let pid = Machine.P_data (Value.U_int 16L) in
+  exec "dvb_demux"
+    [
+      openat "/dev/dvb/adapter0/demux0";
+      ioctl 0 (cmd "dvb_demux" "DMX_ADD_PID") pid;
+      ioctl 0 (cmd "dvb_demux" "DMX_ADD_PID") pid;
+      close 0;
+    ]
+  |> check_crash "memory leak in dvb_dmxdev_add_pid"
+
+let test_dvb_expbuf_gpf () =
+  let exp = u [ ("index", Value.U_int 0L) ] "dmx_exportbuffer" in
+  exec "dvb_demux"
+    [ openat "/dev/dvb/adapter0/demux0"; ioctl 0 (cmd "dvb_demux" "DMX_EXPBUF") (P_data exp) ]
+  |> check_crash "general protection fault in dvb_vb2_expbuf"
+
+let test_dvr_leak () =
+  let c = cmd "dvb_dvr" "DMX_SET_BUFFER_SIZE" in
+  exec "dvb_dvr"
+    [
+      openat "/dev/dvb/adapter0/dvr0";
+      ioctl 0 c (P_int 8192L);
+      ioctl 0 c (P_int 16384L);
+      close 0;
+    ]
+  |> check_crash "memory leak in dvb_dvr_do_ioctl"
+
+(* -------------------- vgadget -------------------- *)
+
+let test_usb_ep_queue_warn () =
+  let req = u [ ("ep_num", Value.U_int 0L); ("req_id", Value.U_int 0L) ] "vg_request" in
+  exec "vgadget"
+    [ openat "/dev/vgadget0"; ioctl 0 (cmd "vgadget" "GADGET_EP_QUEUE") (P_data req) ]
+  |> check_crash "WARNING in usb_ep_queue"
+
+let test_vep_queue_list () =
+  let ep = u [ ("ep_num", Value.U_int 0L); ("maxpacket", Value.U_int 64L) ] "vg_ep_desc" in
+  let req = u [ ("ep_num", Value.U_int 0L); ("req_id", Value.U_int 1L) ] "vg_request" in
+  exec "vgadget"
+    [
+      openat "/dev/vgadget0";
+      ioctl 0 (cmd "vgadget" "GADGET_EP_ENABLE") (P_data ep);
+      ioctl 0 (cmd "vgadget" "GADGET_EP_QUEUE") (P_data req);
+      ioctl 0 (cmd "vgadget" "GADGET_EP_QUEUE") (P_data req);
+    ]
+  |> check_crash "BUG: corrupted list in vep_queue"
+
+let test_uvc_divide () =
+  let bufs = u [ ("count", Value.U_int 4L) ] "uvc_requestbuffers" in
+  exec "vgadget"
+    [ openat "/dev/vgadget0"; ioctl 0 (cmd "vgadget" "UVC_REQBUFS") (P_data bufs) ]
+  |> check_crash "divide error in uvc_queue_setup"
+
+let test_vb2_reqbufs_warn () =
+  let fmt =
+    u
+      [ ("width", Value.U_int 64L); ("height", Value.U_int 64L);
+        ("bytesperline", Value.U_int 64L); ("sizeimage", Value.U_int 4096L) ]
+      "uvc_format"
+  in
+  let bufs = u [ ("count", Value.U_int 4L) ] "uvc_requestbuffers" in
+  exec "vgadget"
+    [
+      openat "/dev/vgadget0";
+      ioctl 0 (cmd "vgadget" "UVC_SET_FORMAT") (P_data fmt);
+      ioctl 0 (cmd "vgadget" "UVC_REQBUFS") (P_data bufs);
+      ioctl 0 (cmd "vgadget" "UVC_STREAMON") (P_int 0L);
+      ioctl 0 (cmd "vgadget" "UVC_REQBUFS") (P_data bufs);
+    ]
+  |> check_crash "WARNING in vb2_core_reqbufs"
+
+(* -------------------- nbd -------------------- *)
+
+let test_nbd_task_hung () =
+  exec "nbd"
+    [
+      openat "/dev/nbd0";
+      ioctl 0 (cmd "nbd" "NBD_SET_SOCK") (P_int 4L);
+      ioctl 0 (cmd "nbd" "NBD_DO_IT") (P_int 0L);
+    ]
+  |> check_crash "INFO: task hung in __rq_qos_throttle"
+
+(* -------------------- rds -------------------- *)
+
+let test_rds_oob () =
+  let addr =
+    u [ ("sin_family", Value.U_int 21L); ("sin_port", Value.U_int 5L); ("sin_addr", Value.U_int 1L) ]
+      "sockaddr_rds"
+  in
+  let trace =
+    u [ ("rx_traces", Value.U_int 2L); ("rx_trace_pos", Value.U_str "\200\200") ] "rds_rx_trace_so"
+  in
+  let msg =
+    u [ ("msg_name", addr); ("msg_control", trace); ("msg_controllen", Value.U_int 5L) ]
+      (* field names follow the generated msghdr type *) "rds_msghdr"
+  in
+  let res =
+    exec "rds"
+      [
+        { Machine.c_name = "socket"; c_args = [ P_int 21L; P_int 5L; P_int 0L ] };
+        { Machine.c_name = "bind"; c_args = [ P_result 0; P_data addr; P_int 16L ] };
+        { Machine.c_name = "sendmsg"; c_args = [ P_result 0; P_data msg; P_int 64L ] };
+      ]
+  in
+  check_crash "UBSAN: array-index-out-of-bounds in rds_cmsg_recv" res
+
+(* -------------------- l2tp_ip6 -------------------- *)
+
+let test_l2tp_leak () =
+  let addr =
+    u [ ("l2tp_family", Value.U_int 10L); ("l2tp_conn_id", Value.U_int 7L) ] "sockaddr_l2tpip6"
+  in
+  let res =
+    exec "l2tp_ip6"
+      [
+        { Machine.c_name = "socket"; c_args = [ P_int 10L; P_int 2L; P_int 115L ] };
+        { Machine.c_name = "bind"; c_args = [ P_result 0; P_data addr; P_int 36L ] };
+        {
+          Machine.c_name = "sendto";
+          c_args =
+            [ P_result 0; P_data (Value.U_str "xx"); P_int 100_000L; P_int 0L; P_data addr; P_int 36L ];
+        };
+        { Machine.c_name = "close"; c_args = [ P_result 0 ] };
+      ]
+  in
+  check_crash "memory leak in ip6_append_data" res
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "table4-bugs"
+    [
+      ( "dm",
+        [
+          t "kmalloc ctl_ioctl" test_dm_kmalloc_ctl;
+          t "kmalloc dm_table_create" test_dm_kmalloc_table_create;
+          t "gpf cleanup_mapped_device" test_dm_cleanup_gpf;
+        ] );
+      ( "cec",
+        [
+          t "task hung claim_log_addrs" test_cec_task_hung;
+          t "gpf transmit_done_ts" test_cec_gpf_done_ts;
+          t "odebug transmit_msg_fh" test_cec_odebug;
+          t "warning data_cancel" test_cec_data_cancel;
+          t "uaf queue_msg_fh" test_cec_uaf;
+        ] );
+      ( "btrfs",
+        [ t "bug_on get_root_ref" test_btrfs_bug_on; t "gpf update_reloc_root" test_btrfs_reloc_gpf ] );
+      ("ubi", [ t "zero vmalloc" test_ubi_zero_vmalloc; t "leak ubi_attach" test_ubi_leak ]);
+      ("posix-clock", [ t "leak open" test_posix_clock_leak ]);
+      ( "dvb",
+        [
+          t "deadlock release" test_dvb_deadlock;
+          t "leak add_pid" test_dvb_add_pid_leak;
+          t "gpf expbuf" test_dvb_expbuf_gpf;
+          t "leak dvr ioctl" test_dvr_leak;
+        ] );
+      ( "vgadget",
+        [
+          t "warn usb_ep_queue" test_usb_ep_queue_warn;
+          t "corrupted list vep_queue" test_vep_queue_list;
+          t "divide uvc_queue_setup" test_uvc_divide;
+          t "warn vb2_core_reqbufs" test_vb2_reqbufs_warn;
+        ] );
+      ("nbd", [ t "task hung rq_qos_throttle" test_nbd_task_hung ]);
+      ("rds", [ t "oob rds_cmsg_recv" test_rds_oob ]);
+      ("l2tp", [ t "leak ip6_append_data" test_l2tp_leak ]);
+    ]

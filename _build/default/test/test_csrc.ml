@@ -1,0 +1,346 @@
+(* Tests for the mini-C lexer, parser, pretty-printer and index. *)
+
+let dm_snippet =
+  {|
+#define DM_DIR "mapper"
+#define DM_CONTROL_NODE "control"
+#define DM_NAME "device-mapper"
+#define DM_IOCTL 0xfd
+#define DM_VERSION_CMD 0
+#define DM_LIST_DEVICES_CMD 2
+#define DM_VERSION _IOWR(DM_IOCTL, DM_VERSION_CMD, struct dm_ioctl)
+#define DM_LIST_DEVICES _IOWR(DM_IOCTL, DM_LIST_DEVICES_CMD, struct dm_ioctl)
+
+struct dm_ioctl {
+  u32 version[3];  /* protocol version */
+  u32 data_size;   /* total size of data passed in, including this struct */
+  u32 data_start;
+  char name[128];
+  u64 event_nr;
+};
+
+static int dm_open(struct file *filp)
+{
+  return 0;
+}
+
+static long ctl_ioctl(struct file *file, unsigned int command, struct dm_ioctl *u)
+{
+  unsigned int cmd;
+  cmd = _IOC_NR(command);
+  if (cmd == DM_VERSION_CMD)
+    return 0;
+  return lookup_ioctl(cmd, u);
+}
+
+static long dm_ctl_ioctl(struct file *file, unsigned int command, unsigned long u)
+{
+  return ctl_ioctl(file, command, (struct dm_ioctl *)u);
+}
+
+static const struct file_operations _ctl_fops = {
+  .open = dm_open,
+  .unlocked_ioctl = dm_ctl_ioctl,
+};
+
+static struct miscdevice _dm_misc = {
+  .minor = 12,
+  .name = DM_NAME,
+  .nodename = DM_DIR "/" DM_CONTROL_NODE,
+  .fops = &_ctl_fops,
+};
+|}
+
+let parse src =
+  let sid = ref 0 in
+  Csrc.Parser.parse_file ~file:"test.c" ~sid src
+
+let index_of src = Csrc.Index.of_files [ parse src ]
+
+let test_lex_basics () =
+  let r = Csrc.Lexer.lex "int x = 0x10; // hi\n" in
+  let kinds = Array.to_list r.tokens |> List.map (fun s -> s.Csrc.Token.tok) in
+  Alcotest.(check int) "token count" 6 (List.length kinds);
+  Alcotest.(check int) "comment count" 1 (List.length r.comments);
+  match kinds with
+  | [ Csrc.Token.Kw_int; Csrc.Token.Ident "x"; Csrc.Token.Assign; Csrc.Token.Int_lit 16L; Csrc.Token.Semi; Csrc.Token.Eof ] -> ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_char_and_string () =
+  let r = Csrc.Lexer.lex {|"a\nb" 'x' '\n'|} in
+  match Array.to_list r.tokens |> List.map (fun s -> s.Csrc.Token.tok) with
+  | [ Csrc.Token.Str_lit "a\nb"; Csrc.Token.Char_lit 'x'; Csrc.Token.Char_lit '\n'; Csrc.Token.Eof ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lex_suffixes () =
+  let r = Csrc.Lexer.lex "42UL 0xffULL 7L" in
+  match Array.to_list r.tokens |> List.map (fun s -> s.Csrc.Token.tok) with
+  | [ Csrc.Token.Int_lit 42L; Csrc.Token.Int_lit 255L; Csrc.Token.Int_lit 7L; Csrc.Token.Eof ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_parse_dm () =
+  let f = parse dm_snippet in
+  let names = List.map Csrc.Ast.decl_name f.decls in
+  Alcotest.(check bool) "has ctl_ioctl" true (List.mem "ctl_ioctl" names);
+  Alcotest.(check bool) "has dm_ioctl struct" true (List.mem "dm_ioctl" names);
+  Alcotest.(check bool) "has _dm_misc" true (List.mem "_dm_misc" names)
+
+let test_struct_fields_and_comments () =
+  let idx = index_of dm_snippet in
+  match Csrc.Index.find_composite idx "dm_ioctl" with
+  | None -> Alcotest.fail "dm_ioctl not indexed"
+  | Some cd ->
+      Alcotest.(check int) "field count" 5 (List.length cd.fields);
+      let f0 = List.nth cd.fields 0 in
+      Alcotest.(check (option string))
+        "version comment" (Some "protocol version") f0.field_comment;
+      let f3 = List.nth cd.fields 3 in
+      Alcotest.(check string) "name field" "name" f3.field_name;
+      (match f3.field_type with
+      | Csrc.Ast.Array (Csrc.Ast.Int { signed = true; width = 8 }, Some 128) -> ()
+      | _ -> Alcotest.fail "name should be char[128]")
+
+let test_macro_eval () =
+  let idx = index_of dm_snippet in
+  (match Csrc.Index.eval_macro idx "DM_IOCTL" with
+  | Some v -> Alcotest.(check int64) "DM_IOCTL" 0xfdL v
+  | None -> Alcotest.fail "DM_IOCTL not constant");
+  match Csrc.Index.eval_macro idx "DM_LIST_DEVICES" with
+  | Some v ->
+      (* _IOWR = dir 3 << 30 | size << 16 | 0xfd << 8 | 2 *)
+      let size = Int64.of_int (Csrc.Index.sizeof idx (Csrc.Ast.Struct_ref "dm_ioctl")) in
+      let expected =
+        Int64.logor
+          (Int64.shift_left 3L 30)
+          (Int64.logor (Int64.shift_left size 16) (Int64.logor (Int64.shift_left 0xfdL 8) 2L))
+      in
+      Alcotest.(check int64) "DM_LIST_DEVICES encoding" expected v
+  | None -> Alcotest.fail "DM_LIST_DEVICES not constant"
+
+let test_string_macro_concat () =
+  let idx = index_of dm_snippet in
+  match Csrc.Index.find_global idx "_dm_misc" with
+  | None -> Alcotest.fail "_dm_misc not found"
+  | Some g -> (
+      match g.global_init with
+      | Some (Csrc.Ast.Init_designated fields) -> (
+          let nodename = List.assoc "nodename" fields in
+          match nodename with
+          | Csrc.Ast.Init_expr e -> (
+              match Csrc.Index.eval_string idx e with
+              | Some s -> Alcotest.(check string) "nodename" "mapper/control" s
+              | None -> Alcotest.fail "nodename not a string")
+          | _ -> Alcotest.fail "nodename initializer shape")
+      | _ -> Alcotest.fail "_dm_misc initializer shape")
+
+let test_layout () =
+  let idx = index_of dm_snippet in
+  (* 3*4 (version) + 4 + 4 + 128 + pad(4) + 8 = 160 *)
+  Alcotest.(check int) "sizeof dm_ioctl" 160
+    (Csrc.Index.sizeof idx (Csrc.Ast.Struct_ref "dm_ioctl"));
+  let offsets = Csrc.Index.field_offsets idx
+      (Option.get (Csrc.Index.find_composite idx "dm_ioctl")) in
+  Alcotest.(check int) "offset of event_nr" 152 (List.assoc "event_nr" offsets)
+
+let test_ioc_nr () =
+  let idx = index_of dm_snippet in
+  let cmd = Option.get (Csrc.Index.eval_macro idx "DM_LIST_DEVICES") in
+  let nr =
+    Csrc.Index.eval idx (Csrc.Ast.Call ("_IOC_NR", [ Csrc.Ast.Const_int cmd ]))
+  in
+  Alcotest.(check int64) "_IOC_NR" 2L nr
+
+let test_pretty_roundtrip () =
+  let f = parse dm_snippet in
+  let printed = Csrc.Pretty.file_str f in
+  (* re-parsing the printed text must succeed and keep the same decls *)
+  let f2 = parse printed in
+  Alcotest.(check int) "same decl count" (List.length f.decls) (List.length f2.decls);
+  Alcotest.(check (list string))
+    "same decl names"
+    (List.map Csrc.Ast.decl_name f.decls)
+    (List.map Csrc.Ast.decl_name f2.decls)
+
+let test_switch_parse () =
+  let src =
+    {|
+static long vol_cdev_ioctl(struct file *file, unsigned int cmd, unsigned long arg)
+{
+  int err = 0;
+  switch (cmd) {
+  case 1:
+  case 2:
+    err = 1;
+    break;
+  default:
+    err = -25;
+    break;
+  }
+  return err;
+}
+|}
+  in
+  let f = parse src in
+  match f.decls with
+  | [ Csrc.Ast.D_func fd ] ->
+      let stmts = Csrc.Ast.stmts_of_body fd.fun_body in
+      let has_switch =
+        List.exists (fun s -> match s.Csrc.Ast.node with Csrc.Ast.Switch _ -> true | _ -> false) stmts
+      in
+      Alcotest.(check bool) "has switch" true has_switch;
+      let sw =
+        List.find_map
+          (fun s -> match s.Csrc.Ast.node with Csrc.Ast.Switch (_, cs) -> Some cs | _ -> None)
+          stmts
+        |> Option.get
+      in
+      Alcotest.(check int) "case groups" 2 (List.length sw);
+      Alcotest.(check int) "labels in first group" 2 (List.length (List.hd sw).labels)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_goto_and_labels () =
+  let src =
+    {|
+static int f(int x)
+{
+  if (x < 0)
+    goto out;
+  x = x + 1;
+out:
+  return x;
+}
+|}
+  in
+  let f = parse src in
+  match f.decls with
+  | [ Csrc.Ast.D_func fd ] ->
+      let stmts = Csrc.Ast.stmts_of_body fd.fun_body in
+      let kinds =
+        List.filter_map
+          (fun s ->
+            match s.Csrc.Ast.node with
+            | Csrc.Ast.Goto l -> Some ("goto:" ^ l)
+            | Csrc.Ast.Label l -> Some ("label:" ^ l)
+            | _ -> None)
+          stmts
+      in
+      Alcotest.(check (list string)) "goto/label" [ "goto:out"; "label:out" ] kinds
+  | _ -> Alcotest.fail "expected one function"
+
+let test_called_functions () =
+  let f = parse dm_snippet in
+  let ctl =
+    List.find_map
+      (function Csrc.Ast.D_func fd when fd.fun_name = "ctl_ioctl" -> Some fd | _ -> None)
+      f.decls
+    |> Option.get
+  in
+  let calls = Csrc.Ast.called_functions ctl.fun_body in
+  Alcotest.(check bool) "calls lookup_ioctl" true (List.mem "lookup_ioctl" calls);
+  Alcotest.(check bool) "calls _IOC_NR" true (List.mem "_IOC_NR" calls)
+
+let test_enum_values () =
+  let src = {|
+enum vdev_state {
+  VDEV_IDLE,
+  VDEV_RUNNING,
+  VDEV_ERROR = 10,
+  VDEV_DEAD,
+};
+|} in
+  let idx = index_of src in
+  let check name v =
+    match Csrc.Index.find_enum_item idx name with
+    | Some e -> Alcotest.(check int64) name v (Csrc.Index.eval idx e)
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  check "VDEV_IDLE" 0L;
+  check "VDEV_RUNNING" 1L;
+  check "VDEV_ERROR" 10L;
+  check "VDEV_DEAD" 11L
+
+let test_unions_and_nested () =
+  let src =
+    {|
+struct inner { u32 a; u32 b; };
+union payload {
+  struct inner in;
+  u64 raw;
+  char bytes[16];
+};
+|}
+  in
+  let idx = index_of src in
+  Alcotest.(check int) "sizeof union" 16
+    (Csrc.Index.sizeof idx (Csrc.Ast.Union_ref "payload"))
+
+let test_flexible_array () =
+  let src = {|
+struct vfio_irq_set {
+  u32 argsz;
+  u32 count;
+  u8 data[];
+};
+|} in
+  let idx = index_of src in
+  Alcotest.(check int) "sizeof with flexible member" 8
+    (Csrc.Index.sizeof idx (Csrc.Ast.Struct_ref "vfio_irq_set"))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_extract_source () =
+  let idx = index_of dm_snippet in
+  (match Csrc.Index.extract_source idx "ctl_ioctl" with
+  | Some src ->
+      Alcotest.(check bool) "contains _IOC_NR" true (contains src "_IOC_NR")
+  | None -> Alcotest.fail "ctl_ioctl source missing");
+  match Csrc.Index.extract_source idx "dm_ioctl" with
+  | Some src ->
+      Alcotest.(check bool) "struct source has data_size" true (contains src "data_size")
+  | None -> Alcotest.fail "dm_ioctl source missing"
+
+let qcheck_roundtrip_ints =
+  QCheck.Test.make ~name:"int literal lex roundtrip" ~count:200
+    QCheck.(int_bound 0xffffff)
+    (fun n ->
+      let src = Printf.sprintf "int x = %d;" n in
+      let r = Csrc.Lexer.lex src in
+      match Array.to_list r.tokens |> List.map (fun s -> s.Csrc.Token.tok) with
+      | [ Csrc.Token.Kw_int; Csrc.Token.Ident "x"; Csrc.Token.Assign; Csrc.Token.Int_lit v; Csrc.Token.Semi; Csrc.Token.Eof ] ->
+          Int64.to_int v = n
+      | _ -> false)
+
+let () =
+  Alcotest.run "csrc"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lex_basics;
+          Alcotest.test_case "char and string" `Quick test_lex_char_and_string;
+          Alcotest.test_case "suffixes" `Quick test_lex_suffixes;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip_ints;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "dm snippet" `Quick test_parse_dm;
+          Alcotest.test_case "fields and comments" `Quick test_struct_fields_and_comments;
+          Alcotest.test_case "switch" `Quick test_switch_parse;
+          Alcotest.test_case "goto and labels" `Quick test_goto_and_labels;
+          Alcotest.test_case "called functions" `Quick test_called_functions;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "macro eval" `Quick test_macro_eval;
+          Alcotest.test_case "string macro concat" `Quick test_string_macro_concat;
+          Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "ioc nr" `Quick test_ioc_nr;
+          Alcotest.test_case "enum values" `Quick test_enum_values;
+          Alcotest.test_case "unions" `Quick test_unions_and_nested;
+          Alcotest.test_case "flexible array" `Quick test_flexible_array;
+          Alcotest.test_case "extract source" `Quick test_extract_source;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the fuzzer: RNG determinism, program generation invariants,
+   mutation, and campaign behavior. *)
+
+let dm_ctx =
+  lazy
+    (let entry = Corpus.Registry.find_exn "dm" in
+     let machine = Vkernel.Machine.boot [ entry ] in
+     let kernel = machine.Vkernel.Machine.index in
+     let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+     let spec = Option.get (Kernelgpt.Pipeline.run ~oracle ~kernel entry).o_spec in
+     let spec = Syzlang.Validate.resolve_spec ~kernel spec in
+     (machine, spec))
+
+let test_rng_deterministic () =
+  let a = Fuzzer.Rng.make 42 and b = Fuzzer.Rng.make 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Fuzzer.Rng.next_int64 a) (Fuzzer.Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let r = Fuzzer.Rng.make 7 in
+  for _ = 1 to 1000 do
+    let v = Fuzzer.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_fuzz_int_width () =
+  let r = Fuzzer.Rng.make 9 in
+  for _ = 1 to 1000 do
+    let v = Fuzzer.Rng.fuzz_int r ~bits:8 in
+    Alcotest.(check bool) "fits width" true (Int64.compare v 0L >= 0 && Int64.compare v 255L <= 0)
+  done
+
+let test_generate_satisfies_resources () =
+  let _, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 3 in
+  for _ = 1 to 200 do
+    let prog = Fuzzer.Proggen.generate t r () in
+    (* every P_result index must point to an earlier call *)
+    List.iteri
+      (fun i (c : Vkernel.Machine.call) ->
+        List.iter
+          (function
+            | Vkernel.Machine.P_result j ->
+                Alcotest.(check bool) "result refers backwards" true (j < i)
+            | _ -> ())
+          c.c_args)
+      prog
+  done
+
+let test_generate_nonempty () =
+  let _, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 4 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "non-empty" true (Fuzzer.Proggen.generate t r () <> [])
+  done
+
+let test_len_fields_computed () =
+  let spec =
+    Syzlang.Parser.parse_spec ~name:"t"
+      {|resource fd_t[fd]
+t_struct {
+	count len[items, int32]
+	items array[int32, 4]
+}
+ioctl$X(fd fd_t, cmd const[1], arg ptr[in, t_struct])
+|}
+  in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 5 in
+  for _ = 1 to 50 do
+    match Fuzzer.Proggen.uval_of_typ t r ~depth:0 (Syzlang.Ast.Struct_ref "t_struct") with
+    | Vkernel.Value.U_struct (_, fields) -> (
+        match (List.assoc "count" fields, List.assoc "items" fields) with
+        | Vkernel.Value.U_int n, Vkernel.Value.U_arr xs ->
+            Alcotest.(check int64) "count matches items" (Int64.of_int (List.length xs)) n
+        | _ -> Alcotest.fail "unexpected field shapes")
+    | _ -> Alcotest.fail "expected a struct"
+  done
+
+let test_flags_use_set_values () =
+  let spec =
+    Syzlang.Parser.parse_spec ~name:"t"
+      {|resource fd_t[fd]
+vals = 224, 1
+ioctl$X(fd fd_t, cmd const[1], arg ptr[in, flags[vals, int32]])
+|}
+  in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 6 in
+  let hits = ref 0 in
+  for _ = 1 to 200 do
+    match Fuzzer.Proggen.uval_of_typ t r ~depth:0 (Syzlang.Ast.Flags ("vals", Syzlang.Ast.I32)) with
+    | Vkernel.Value.U_int v when v = 224L || v = 1L -> incr hits
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "mostly the valid values" true (!hits > 100)
+
+let test_mutation_preserves_wellformedness () =
+  let _, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 8 in
+  let prog = ref (Fuzzer.Proggen.generate t r ()) in
+  for _ = 1 to 300 do
+    prog := Fuzzer.Proggen.mutate t r !prog;
+    Alcotest.(check bool) "non-empty after mutation" true (!prog <> [])
+  done
+
+let test_campaign_deterministic () =
+  let machine, spec = Lazy.force dm_ctx in
+  let run () =
+    let res = Fuzzer.Campaign.run ~seed:5 ~budget:500 ~machine spec in
+    (Fuzzer.Campaign.total_coverage res, Fuzzer.Campaign.crash_titles res)
+  in
+  let c1, t1 = run () and c2, t2 = run () in
+  Alcotest.(check int) "coverage deterministic" c1 c2;
+  Alcotest.(check (list string)) "crashes deterministic" t1 t2
+
+let test_campaign_coverage_monotone_in_budget () =
+  let machine, spec = Lazy.force dm_ctx in
+  let cov b = Fuzzer.Campaign.total_coverage (Fuzzer.Campaign.run ~seed:5 ~budget:b ~machine spec) in
+  Alcotest.(check bool) "more budget, at least as much coverage" true (cov 2000 >= cov 100)
+
+let test_campaign_empty_spec () =
+  let machine, _ = Lazy.force dm_ctx in
+  let res = Fuzzer.Campaign.run ~seed:1 ~budget:100 ~machine (Syzlang.Ast.empty_spec "none") in
+  Alcotest.(check int) "no coverage from empty spec" 0 (Fuzzer.Campaign.total_coverage res)
+
+let test_module_coverage_subset () =
+  let machine, spec = Lazy.force dm_ctx in
+  let res = Fuzzer.Campaign.run ~seed:2 ~budget:1000 ~machine spec in
+  let m = Fuzzer.Campaign.module_coverage machine res "dm" in
+  Alcotest.(check bool) "module coverage <= total" true (m <= Fuzzer.Campaign.total_coverage res);
+  Alcotest.(check bool) "dm coverage positive" true (m > 0)
+
+let qcheck_uval_depth_bounded =
+  let _, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  QCheck.Test.make ~name:"generated user values have bounded depth" ~count:200
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let r = Fuzzer.Rng.make seed in
+      let rec depth = function
+        | Vkernel.Value.U_struct (_, fs) ->
+            1 + List.fold_left (fun a (_, v) -> max a (depth v)) 0 fs
+        | Vkernel.Value.U_arr xs -> 1 + List.fold_left (fun a v -> max a (depth v)) 0 xs
+        | _ -> 0
+      in
+      let uv = Fuzzer.Proggen.uval_of_typ t r ~depth:0 (Syzlang.Ast.Struct_ref "dm_ioctl") in
+      depth uv <= 10)
+
+let test_repro_minimize () =
+  let machine, spec = Lazy.force dm_ctx in
+  let res = Fuzzer.Campaign.run ~seed:1 ~budget:4000 ~machine spec in
+  match Fuzzer.Campaign.crash_titles res with
+  | [] -> Alcotest.fail "expected at least one crash at this budget"
+  | title :: _ ->
+      let prog = Hashtbl.find res.crashes title in
+      let small = Fuzzer.Repro.minimize ~machine ~title prog in
+      Alcotest.(check bool) "minimized is no longer" true
+        (List.length small <= List.length prog);
+      (match (Vkernel.Machine.exec_prog machine small).crash with
+      | Some c -> Alcotest.(check string) "still crashes the same way" title c.cr_title
+      | None -> Alcotest.fail "minimized program no longer crashes");
+      (* rendering produces one line per call *)
+      let text = Fuzzer.Repro.program_str small in
+      Alcotest.(check int) "one line per call" (List.length small)
+        (List.length (String.split_on_char '\n' (String.trim text)))
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "fuzzer"
+    [
+      ( "rng",
+        [
+          t "deterministic" test_rng_deterministic;
+          t "int bounds" test_rng_int_bounds;
+          t "fuzz_int width" test_fuzz_int_width;
+        ] );
+      ( "proggen",
+        [
+          t "resources satisfied" test_generate_satisfies_resources;
+          t "non-empty" test_generate_nonempty;
+          t "len computed" test_len_fields_computed;
+          t "flags from sets" test_flags_use_set_values;
+          t "mutation well-formed" test_mutation_preserves_wellformedness;
+          QCheck_alcotest.to_alcotest qcheck_uval_depth_bounded;
+        ] );
+      ( "campaign",
+        [
+          t "deterministic" test_campaign_deterministic;
+          t "monotone budget" test_campaign_coverage_monotone_in_budget;
+          t "empty spec" test_campaign_empty_spec;
+          t "module coverage" test_module_coverage_subset;
+          t "repro minimization" test_repro_minimize;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Focused interpreter tests over synthetic functions: control flow,
+   crash detectors, heap modeling. *)
+
+let state_of src =
+  let sid = ref 0 in
+  let idx = Csrc.Index.of_files (Corpus.Headers.parse_with_header ~sid ~file:"t.c" src) in
+  Vkernel.Interp.create ~index:idx ()
+
+let call ?(args = []) st fn = Vkernel.Interp.call st fn args
+
+let int_of v = Vkernel.Value.to_int v
+
+let test_switch_fallthrough () =
+  let st =
+    state_of
+      {|
+static int f(int x)
+{
+  int acc;
+  acc = 0;
+  switch (x) {
+  case 1:
+    acc = acc + 1;
+  case 2:
+    acc = acc + 10;
+    break;
+  case 3:
+    acc = acc + 100;
+    break;
+  default:
+    acc = acc + 1000;
+  }
+  return acc;
+}
+|}
+  in
+  let run x = int_of (call ~args:[ Vkernel.Value.Int x ] st "f") in
+  Alcotest.(check int64) "case 1 falls through" 11L (run 1L);
+  Alcotest.(check int64) "case 2" 10L (run 2L);
+  Alcotest.(check int64) "case 3" 100L (run 3L);
+  Alcotest.(check int64) "default" 1000L (run 9L)
+
+let test_goto_forward () =
+  let st =
+    state_of
+      {|
+static int f(int x)
+{
+  int r;
+  r = 1;
+  if (x < 0)
+    goto out;
+  r = 2;
+out:
+  return r;
+}
+|}
+  in
+  Alcotest.(check int64) "skips on goto" 1L
+    (int_of (call ~args:[ Vkernel.Value.Int (-1L) ] st "f"));
+  Alcotest.(check int64) "falls through" 2L
+    (int_of (call ~args:[ Vkernel.Value.Int 1L ] st "f"))
+
+let test_while_and_break () =
+  let st =
+    state_of
+      {|
+static int f(void)
+{
+  int i;
+  int sum;
+  i = 0;
+  sum = 0;
+  while (1) {
+    if (i >= 10)
+      break;
+    if (i == 3) {
+      i = i + 1;
+      continue;
+    }
+    sum = sum + i;
+    i = i + 1;
+  }
+  return sum;
+}
+|}
+  in
+  (* 0+1+2+4+5+6+7+8+9 = 42 *)
+  Alcotest.(check int64) "loop with break/continue" 42L (int_of (call st "f"))
+
+let test_do_while () =
+  let st =
+    state_of
+      {|
+static int f(void)
+{
+  int i;
+  i = 0;
+  do {
+    i = i + 1;
+  } while (i < 5);
+  return i;
+}
+|}
+  in
+  Alcotest.(check int64) "do-while" 5L (int_of (call st "f"))
+
+let test_recursion () =
+  let st =
+    state_of
+      {|
+static int fact(int n)
+{
+  if (n <= 1)
+    return 1;
+  return n * fact(n - 1);
+}
+|}
+  in
+  Alcotest.(check int64) "factorial" 120L (int_of (call ~args:[ Vkernel.Value.Int 5L ] st "fact"))
+
+let test_global_array_state () =
+  let st =
+    state_of
+      {|
+static int slots[4];
+
+static int put(int i, int v)
+{
+  if (i < 0 || i >= 4)
+    return -EINVAL;
+  slots[i] = v;
+  return 0;
+}
+
+static int get(int i)
+{
+  return slots[i];
+}
+|}
+  in
+  ignore (call ~args:[ Vkernel.Value.Int 2L; Vkernel.Value.Int 77L ] st "put");
+  Alcotest.(check int64) "array persists" 77L
+    (int_of (call ~args:[ Vkernel.Value.Int 2L ] st "get"));
+  Alcotest.(check int64) "bounds enforced by guard" (-22L)
+    (int_of (call ~args:[ Vkernel.Value.Int 9L; Vkernel.Value.Int 1L ] st "put"))
+
+let expect_crash title f =
+  match f () with
+  | _ -> Alcotest.failf "expected crash %s" title
+  | exception Vkernel.Crash.Crash c ->
+      Alcotest.(check string) "crash title" title (Vkernel.Crash.title c)
+
+let test_uaf_crash () =
+  let st =
+    state_of
+      {|
+struct box { int v; };
+static struct box *stash;
+
+static int make(void)
+{
+  stash = kmalloc(sizeof(struct box), GFP_KERNEL);
+  kfree(stash);
+  return 0;
+}
+
+static int use_after(void)
+{
+  return stash->v;
+}
+|}
+  in
+  ignore (call st "make");
+  expect_crash "KASAN: slab-use-after-free Read in use_after" (fun () -> call st "use_after")
+
+let test_double_free_crash () =
+  let st =
+    state_of
+      {|
+static int f(void)
+{
+  void *p;
+  p = kmalloc(16, GFP_KERNEL);
+  kfree(p);
+  kfree(p);
+  return 0;
+}
+|}
+  in
+  expect_crash "KASAN: double-free in f" (fun () -> call st "f")
+
+let test_null_deref_crash () =
+  let st =
+    state_of
+      {|
+struct box { int v; };
+static int f(void)
+{
+  struct box *p;
+  p = 0;
+  return p->v;
+}
+|}
+  in
+  expect_crash "general protection fault in f" (fun () -> call st "f")
+
+let test_array_oob_crash () =
+  let st =
+    state_of {|
+static int f(int i)
+{
+  int arr[4];
+  return arr[i];
+}
+|}
+  in
+  expect_crash "UBSAN: array-index-out-of-bounds in f" (fun () ->
+      call ~args:[ Vkernel.Value.Int 7L ] st "f")
+
+let test_divide_crash () =
+  let st = state_of {|
+static int f(int d)
+{
+  return 100 / d;
+}
+|} in
+  Alcotest.(check int64) "normal division" 25L
+    (int_of (call ~args:[ Vkernel.Value.Int 4L ] st "f"));
+  expect_crash "divide error in f" (fun () -> call ~args:[ Vkernel.Value.Int 0L ] st "f")
+
+let test_oversized_alloc_crash () =
+  let st =
+    state_of
+      {|
+static int f(unsigned long size)
+{
+  void *p;
+  p = kvmalloc(size, GFP_KERNEL);
+  if (!p)
+    return -ENOMEM;
+  kvfree(p);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check int64) "normal alloc" 0L
+    (int_of (call ~args:[ Vkernel.Value.Int 4096L ] st "f"));
+  expect_crash "kmalloc bug in f" (fun () -> call ~args:[ Vkernel.Value.Int 0x9000_0000L ] st "f")
+
+let test_deadlock_crash () =
+  let st =
+    state_of
+      {|
+struct mutex _m;
+static int f(void)
+{
+  mutex_init(&_m);
+  mutex_lock(&_m);
+  mutex_lock(&_m);
+  return 0;
+}
+|}
+  in
+  expect_crash "possible deadlock in f" (fun () -> call st "f")
+
+let test_step_budget_timeout () =
+  let st = state_of {|
+static int f(void)
+{
+  while (1) {
+  }
+  return 0;
+}
+|} in
+  match call st "f" with
+  | _ -> Alcotest.fail "expected a timeout"
+  | exception Vkernel.Interp.Exec_timeout -> ()
+
+let test_copy_from_user_type_confusion () =
+  (* a user struct with wrong field names yields kernel-side zeros *)
+  let st =
+    state_of
+      {|
+struct req { u32 mode; };
+static int f(unsigned long arg)
+{
+  struct req r;
+  if (copy_from_user(&r, (void *)arg, sizeof(struct req)))
+    return -EFAULT;
+  if (r.mode == 7)
+    return 1;
+  return 0;
+}
+|}
+  in
+  let good = Vkernel.Value.(Uptr (U_struct ("req", [ ("mode", U_int 7L) ]))) in
+  let confused = Vkernel.Value.(Uptr (U_struct ("other", [ ("field_0", U_int 7L) ]))) in
+  Alcotest.(check int64) "matching names reach the branch" 1L
+    (int_of (call ~args:[ good ] st "f"));
+  Alcotest.(check int64) "confused layout reads zero" 0L
+    (int_of (call ~args:[ confused ] st "f"))
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "interp"
+    [
+      ( "control-flow",
+        [
+          t "switch fallthrough" test_switch_fallthrough;
+          t "goto" test_goto_forward;
+          t "while/break/continue" test_while_and_break;
+          t "do-while" test_do_while;
+          t "recursion" test_recursion;
+          t "global arrays" test_global_array_state;
+        ] );
+      ( "detectors",
+        [
+          t "use-after-free" test_uaf_crash;
+          t "double free" test_double_free_crash;
+          t "null deref" test_null_deref_crash;
+          t "array oob" test_array_oob_crash;
+          t "divide error" test_divide_crash;
+          t "oversized alloc" test_oversized_alloc_crash;
+          t "deadlock" test_deadlock_crash;
+          t "step budget" test_step_budget_timeout;
+        ] );
+      ("boundary", [ t "type confusion" test_copy_from_user_type_confusion ]);
+    ]

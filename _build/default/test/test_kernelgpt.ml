@@ -1,0 +1,256 @@
+(* End-to-end tests of the KernelGPT pipeline and the SyzDescribe
+   baseline against hand-modeled corpus modules. *)
+
+let run ?(mode = Kernelgpt.Pipeline.Iterative) ?(profile = Profile.gpt4) name =
+  let entry = Corpus.Registry.find_exn name in
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile ~knowledge:kernel () in
+  (entry, Kernelgpt.Pipeline.run ~mode ~oracle ~kernel entry)
+
+let spec_of out =
+  match out.Kernelgpt.Pipeline.o_spec with
+  | Some s -> s
+  | None -> Alcotest.fail "pipeline produced no spec"
+
+let variants (spec : Syzlang.Ast.spec) =
+  List.filter_map (fun c -> c.Syzlang.Ast.variant) spec.syscalls
+
+let has_variant spec v = List.mem v (variants spec)
+
+(* ------------------------------------------------------------------ *)
+
+let test_dm_complete () =
+  let _, out = run "dm" in
+  let spec = spec_of out in
+  Alcotest.(check bool) "valid" true out.o_valid;
+  (* all 18 commands recovered with their encoded macros *)
+  List.iter
+    (fun cmd ->
+      Alcotest.(check bool) (cmd ^ " present") true (has_variant spec cmd))
+    Corpus.Drv_dm.all_commands;
+  (* device path from nodename *)
+  let openat = List.find (fun c -> c.Syzlang.Ast.call_name = "openat") spec.syscalls in
+  let path =
+    List.find_map
+      (fun (f : Syzlang.Ast.field) ->
+        match f.ftyp with Syzlang.Ast.Ptr (_, Syzlang.Ast.String (Some p)) -> Some p | _ -> None)
+      openat.args
+  in
+  Alcotest.(check (option string)) "nodename path" (Some "/dev/mapper/control") path
+
+let test_dm_version_const_field () =
+  let _, out = run "dm" in
+  let spec = spec_of out in
+  let dm = List.find (fun c -> c.Syzlang.Ast.comp_name = "dm_ioctl") spec.types in
+  let version = List.find (fun f -> f.Syzlang.Ast.fname = "version") dm.comp_fields in
+  match version.ftyp with
+  | Syzlang.Ast.Array (Syzlang.Ast.Const (c, _), _) ->
+      Alcotest.(check (option string)) "constrained to DM_VERSION_MAJOR"
+        (Some "DM_VERSION_MAJOR") c.const_name
+  | _ -> Alcotest.fail "version should be a const array (semantic constraint)"
+
+let test_dm_spec_order_is_source_order () =
+  let _, out = run "dm" in
+  let vs = variants (spec_of out) in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | v :: rest -> if v = x then i else go (i + 1) rest
+    in
+    go 0 vs
+  in
+  Alcotest.(check bool) "create precedes table load" true
+    (pos "DM_DEV_CREATE" < pos "DM_TABLE_LOAD")
+
+let test_kvm_dependencies () =
+  let _, out = run "kvm" in
+  let spec = spec_of out in
+  Alcotest.(check bool) "valid" true out.o_valid;
+  Alcotest.(check bool) "vm resource declared" true
+    (List.exists
+       (fun r -> r.Syzlang.Ast.res_name = "fd_kvm_kvm_vm_fops")
+       spec.resources);
+  Alcotest.(check bool) "vcpu commands present" true (has_variant spec "KVM_RUN");
+  (* KVM_CREATE_VM must return the vm resource *)
+  let create = List.find (fun c -> c.Syzlang.Ast.variant = Some "KVM_CREATE_VM") spec.syscalls in
+  Alcotest.(check (option string)) "create_vm returns vm fd" (Some "fd_kvm_kvm_vm_fops")
+    create.ret
+
+let test_vgadget_nr_rewrite () =
+  let _, out = run "vgadget" in
+  let spec = spec_of out in
+  Alcotest.(check bool) "full macro names recovered" true (has_variant spec "GADGET_EP_QUEUE");
+  Alcotest.(check bool) "nr aliases not used as commands" false
+    (has_variant spec "GADGET_EP_QUEUE_NR")
+
+let test_rds_sendmsg_control () =
+  let _, out = run "rds" in
+  let spec = spec_of out in
+  Alcotest.(check bool) "sendmsg generated" true
+    (List.exists (fun c -> c.Syzlang.Ast.call_name = "sendmsg") spec.syscalls);
+  Alcotest.(check bool) "sendto generated" true
+    (List.exists (fun c -> c.Syzlang.Ast.call_name = "sendto") spec.syscalls);
+  let msghdr = List.find (fun c -> c.Syzlang.Ast.comp_name = "rds_msghdr") spec.types in
+  let control = List.find (fun f -> f.Syzlang.Ast.fname = "msg_control") msghdr.comp_fields in
+  match control.ftyp with
+  | Syzlang.Ast.Ptr (_, Syzlang.Ast.Struct_ref "rds_rx_trace_so") -> ()
+  | _ -> Alcotest.fail "msg_control should carry the rx-trace struct"
+
+let test_sockaddr_family_const () =
+  let _, out = run "rds" in
+  let spec = spec_of out in
+  let sa = List.find (fun c -> c.Syzlang.Ast.comp_name = "sockaddr_rds") spec.types in
+  let fam = List.find (fun f -> f.Syzlang.Ast.fname = "sin_family") sa.comp_fields in
+  match fam.ftyp with
+  | Syzlang.Ast.Const (c, _) ->
+      Alcotest.(check (option string)) "family constrained" (Some "AF_RDS") c.const_name
+  | _ -> Alcotest.fail "sin_family should be const AF_RDS"
+
+let test_cec_flag_set_inference () =
+  let _, out = run "cec" in
+  let spec = spec_of out in
+  (* S_MODE's valid values include the monitor-all constant *)
+  let sets = spec.flag_sets in
+  Alcotest.(check bool) "some flag set inferred" true (sets <> []);
+  Alcotest.(check bool) "monitor-all value captured" true
+    (List.exists
+       (fun fs ->
+         List.exists
+           (fun c -> c.Syzlang.Ast.const_name = Some "CEC_MODE_MONITOR_ALL")
+           fs.Syzlang.Ast.set_values)
+       sets)
+
+let test_all_in_one_weaker_on_kvm () =
+  let _, iter = run "kvm" in
+  let _, aio = run ~mode:Kernelgpt.Pipeline.All_in_one "kvm" in
+  let count out =
+    match out.Kernelgpt.Pipeline.o_spec with
+    | Some s -> Syzlang.Ast.count_syscalls s
+    | None -> 0
+  in
+  Alcotest.(check bool) "iterative finds at least as many syscalls" true
+    (count iter >= count aio);
+  Alcotest.(check bool) "iterative strictly better on kvm" true (count iter > count aio)
+
+let test_gpt35_weaker_on_dm () =
+  let _, strong = run "dm" in
+  let _, weak = run ~profile:Profile.gpt35 "dm" in
+  let count out =
+    match out.Kernelgpt.Pipeline.o_spec with
+    | Some s -> Syzlang.Ast.count_syscalls s
+    | None -> 0
+  in
+  Alcotest.(check bool) "gpt-3.5 recovers fewer syscalls" true (count weak < count strong)
+
+let test_generated_driver_roundtrip () =
+  (* a generated long-tail driver must produce a valid spec whose ioctls
+     match its ground truth *)
+  let entry = Corpus.Registry.find_exn "gdrv003" in
+  let _, out = run "gdrv003" in
+  let spec = spec_of out in
+  Alcotest.(check bool) "valid" true out.o_valid;
+  let described = variants spec in
+  let gt = List.map (fun g -> g.Corpus.Types.gc_name) entry.gt.gt_ioctls in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) (g ^ " described") true (List.mem g described))
+    gt
+
+(* ------------------------------------------------------------------ *)
+(* SyzDescribe baseline behavior                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_syzdescribe_dm_wrong () =
+  let entry = Corpus.Registry.find_exn "dm" in
+  match (Baseline.Syzdescribe.run entry).sd_spec with
+  | None -> Alcotest.fail "SyzDescribe should produce a (wrong) dm spec"
+  | Some spec ->
+      let openat = List.find (fun c -> c.Syzlang.Ast.call_name = "openat") spec.syscalls in
+      let path =
+        List.find_map
+          (fun (f : Syzlang.Ast.field) ->
+            match f.ftyp with
+            | Syzlang.Ast.Ptr (_, Syzlang.Ast.String (Some p)) -> Some p
+            | _ -> None)
+          openat.args
+      in
+      (* Figure 2c: the .name rule gives the wrong path *)
+      Alcotest.(check (option string)) "wrong device path" (Some "/dev/device-mapper") path
+
+let test_syzdescribe_no_sockets () =
+  let entry = Corpus.Registry.find_exn "rds" in
+  Alcotest.(check bool) "sockets unsupported" true
+    ((Baseline.Syzdescribe.run entry).sd_spec = None)
+
+let test_syzdescribe_duplicates () =
+  let entry = Corpus.Registry.find_exn "btrfs_control" in
+  match (Baseline.Syzdescribe.run entry).sd_spec with
+  | None -> Alcotest.fail "btrfs-control should be supported"
+  | Some spec ->
+      (* in/out duplication inflates the count beyond the 5 commands *)
+      Alcotest.(check bool) "duplicated descriptions" true
+        (Syzlang.Ast.count_syscalls spec > 6)
+
+let test_syzdescribe_snd_format_err () =
+  let entry = Corpus.Registry.find_exn "snd_control" in
+  Alcotest.(check bool) "format-string registration unsupported" true
+    ((Baseline.Syzdescribe.run entry).sd_spec = None)
+
+(* ------------------------------------------------------------------ *)
+
+let test_extractor_finds_handlers () =
+  let idx = Kernelgpt.Extractor.module_index Corpus.Drv_virt.kvm_source in
+  let infos = Kernelgpt.Extractor.extract idx in
+  let names = List.map (fun hi -> hi.Kernelgpt.Extractor.hi_ops_global) infos in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " found") true (List.mem n names))
+    [ "kvm_chardev_ops"; "kvm_vm_fops"; "kvm_vcpu_fops" ];
+  match Kernelgpt.Extractor.main_handler infos with
+  | Some hi -> Alcotest.(check string) "main is the registered one" "kvm_chardev_ops" hi.hi_ops_global
+  | None -> Alcotest.fail "no main handler"
+
+let test_extractor_socket_kind () =
+  let idx = Kernelgpt.Extractor.module_index Corpus.Sock_rds.source in
+  let infos = Kernelgpt.Extractor.extract idx in
+  match infos with
+  | [ hi ] ->
+      Alcotest.(check bool) "socket kind" true hi.hi_is_socket;
+      Alcotest.(check bool) "sendmsg handler found" true
+        (List.mem_assoc "sendmsg" hi.hi_handlers)
+  | _ -> Alcotest.fail "expected exactly one handler"
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "kernelgpt"
+    [
+      ( "pipeline",
+        [
+          t "dm complete" test_dm_complete;
+          t "dm version const" test_dm_version_const_field;
+          t "dm source order" test_dm_spec_order_is_source_order;
+          t "kvm dependencies" test_kvm_dependencies;
+          t "vgadget nr rewrite" test_vgadget_nr_rewrite;
+          t "rds sendmsg control" test_rds_sendmsg_control;
+          t "sockaddr family const" test_sockaddr_family_const;
+          t "cec flag set" test_cec_flag_set_inference;
+          t "generated driver roundtrip" test_generated_driver_roundtrip;
+        ] );
+      ( "ablation-behavior",
+        [
+          t "all-in-one weaker on kvm" test_all_in_one_weaker_on_kvm;
+          t "gpt-3.5 weaker on dm" test_gpt35_weaker_on_dm;
+        ] );
+      ( "syzdescribe",
+        [
+          t "dm wrong path" test_syzdescribe_dm_wrong;
+          t "no sockets" test_syzdescribe_no_sockets;
+          t "duplicate variants" test_syzdescribe_duplicates;
+          t "snd format err" test_syzdescribe_snd_format_err;
+        ] );
+      ( "extractor",
+        [
+          t "kvm handlers" test_extractor_finds_handlers;
+          t "socket kind" test_extractor_socket_kind;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the analysis oracle: capability profiles, context windows,
+   the individual analyses, and error injection/repair. *)
+
+let kernel_of sources =
+  let sid = ref 0 in
+  let header = Csrc.Parser.parse_file ~file:"include/kernel.h" ~sid Corpus.Headers.kernel_h in
+  let files =
+    List.mapi (fun i src -> Csrc.Parser.parse_file ~file:(Printf.sprintf "m%d.c" i) ~sid src) sources
+  in
+  Csrc.Index.of_files (header :: files)
+
+let dm_kernel = lazy (kernel_of [ Corpus.Drv_dm.source ])
+
+let snippet idx name =
+  match Csrc.Index.extract_source idx name with
+  | Some text -> { Prompt.snip_name = name; snip_text = text }
+  | None -> Alcotest.failf "no source for %s" name
+
+let query ?(profile = Profile.gpt4) idx task snippets usage =
+  let o = Oracle.create ~profile ~knowledge:idx () in
+  (o, Oracle.query o { Prompt.task; snippets; usage })
+
+(* ------------------------------------------------------------------ *)
+
+let test_device_name_nodename () =
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query idx (Prompt.Device_name { reg_symbol = "_dm_misc" }) [ snippet idx "_dm_misc" ] []
+  in
+  Alcotest.(check (list string)) "nodename wins" [ "/dev/mapper/control" ] resp.r_device_paths
+
+let test_device_name_gpt35_uses_name () =
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query ~profile:Profile.gpt35 idx
+      (Prompt.Device_name { reg_symbol = "_dm_misc" })
+      [ snippet idx "_dm_misc" ] []
+  in
+  Alcotest.(check (list string)) "weak model uses .name" [ "/dev/device-mapper" ]
+    resp.r_device_paths
+
+let test_device_name_format_string () =
+  let idx = kernel_of [ Corpus.Drv_posix_clock.source ] in
+  let _, resp =
+    query idx (Prompt.Device_name { reg_symbol = "ptp_clock_register" })
+      [ snippet idx "ptp_clock_register" ] []
+  in
+  Alcotest.(check (list string)) "format expanded" [ "/dev/ptp0" ] resp.r_device_paths
+
+let test_identifier_delegation_unknown () =
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query idx
+      (Prompt.Identifier_deduction { handler_fn = "dm_ctl_ioctl" })
+      [ snippet idx "dm_ctl_ioctl" ] []
+  in
+  Alcotest.(check int) "no idents from the wrapper" 0 (List.length resp.r_idents);
+  Alcotest.(check bool) "ctl_ioctl marked unknown" true
+    (List.exists (fun u -> u.Prompt.u_name = "ctl_ioctl") resp.r_unknown)
+
+let test_identifier_nr_resolution () =
+  let idx = Lazy.force dm_kernel in
+  (* simulate step 2: ctl_ioctl with usage carried from step 1 *)
+  let _, r1 =
+    query idx
+      (Prompt.Identifier_deduction { handler_fn = "dm_ctl_ioctl" })
+      [ snippet idx "dm_ctl_ioctl" ] []
+  in
+  let usage = List.map (fun u -> u.Prompt.u_usage) r1.r_unknown in
+  let _, r2 =
+    query idx
+      (Prompt.Identifier_deduction { handler_fn = "ctl_ioctl" })
+      [ snippet idx "ctl_ioctl" ] usage
+  in
+  (* the eq-check on DM_VERSION_CMD must resolve to the encoded macro *)
+  Alcotest.(check bool) "DM_VERSION found" true
+    (List.exists (fun i -> i.Prompt.id_cmd = "DM_VERSION") r2.r_idents);
+  Alcotest.(check bool) "lookup_ioctl marked unknown" true
+    (List.exists (fun u -> u.Prompt.u_name = "lookup_ioctl") r2.r_unknown)
+
+let test_identifier_gpt35_no_delegation () =
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query ~profile:Profile.gpt35 idx
+      (Prompt.Identifier_deduction { handler_fn = "dm_ctl_ioctl" })
+      [ snippet idx "dm_ctl_ioctl" ] []
+  in
+  Alcotest.(check int) "weak model chases nothing" 0 (List.length resp.r_unknown)
+
+let test_type_recovery_len_and_string () =
+  let idx = kernel_of [ {|
+struct vfio_dep { u32 x; };
+struct vfio_info {
+  u32 count;  /* number of entries in devices */
+  struct vfio_dep devices[4];
+  char name[16];
+};
+|} ] in
+  let _, resp =
+    query idx (Prompt.Type_recovery { type_name = "vfio_info" }) [ snippet idx "vfio_info" ] []
+  in
+  match resp.r_types with
+  | [ cd ] ->
+      let f name = List.find (fun f -> f.Syzlang.Ast.fname = name) cd.comp_fields in
+      (match (f "count").ftyp with
+      | Syzlang.Ast.Len ("devices", _) -> ()
+      | _ -> Alcotest.fail "count should be len[devices]");
+      (match (f "name").ftyp with
+      | Syzlang.Ast.String None -> ()
+      | _ -> Alcotest.fail "name should be a string");
+      Alcotest.(check (list string)) "nested chased" [ "vfio_dep" ] resp.r_nested_types
+  | _ -> Alcotest.fail "expected one type"
+
+let test_type_recovery_no_len_when_array_before () =
+  (* dm_ioctl: version[] precedes target_count, so no len relation *)
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query idx (Prompt.Type_recovery { type_name = "dm_ioctl" }) [ snippet idx "dm_ioctl" ] []
+  in
+  match resp.r_types with
+  | [ cd ] ->
+      let f = List.find (fun f -> f.Syzlang.Ast.fname = "target_count") cd.comp_fields in
+      (match f.ftyp with
+      | Syzlang.Ast.Int _ -> ()
+      | _ -> Alcotest.fail "target_count must stay a plain integer")
+  | _ -> Alcotest.fail "expected one type"
+
+let test_type_recovery_gpt35_no_len () =
+  let idx = kernel_of [ {|
+struct info2 {
+  u32 count;  /* number of entries in items */
+  u32 items[4];
+};
+|} ] in
+  let _, resp =
+    query ~profile:Profile.gpt35 idx (Prompt.Type_recovery { type_name = "info2" })
+      [ snippet idx "info2" ] []
+  in
+  match resp.r_types with
+  | [ cd ] -> (
+      match (List.hd cd.comp_fields).ftyp with
+      | Syzlang.Ast.Int _ -> ()
+      | _ -> Alcotest.fail "weak model should not infer len")
+  | _ -> Alcotest.fail "expected one type"
+
+let test_dependency_analysis () =
+  let idx = kernel_of [ Corpus.Drv_virt.kvm_source ] in
+  let names = [ "kvm_dev_ioctl"; "kvm_dev_ioctl_create_vm" ] in
+  let snippets = List.map (snippet idx) names in
+  let _, resp = query idx (Prompt.Dependency_analysis { handler_fn = "kvm_dev_ioctl" }) snippets [] in
+  Alcotest.(check bool) "create_vm produces kvm_vm_fops fd" true
+    (List.exists
+       (fun d -> d.Prompt.dep_cmd = "KVM_CREATE_VM" && d.Prompt.dep_ops = "kvm_vm_fops")
+       resp.r_deps)
+
+let test_socket_triple () =
+  let idx = kernel_of [ Corpus.Sock_rds.source ] in
+  let macros =
+    { Prompt.snip_name = "macros"; snip_text = "#define AF_RDS 21\n" }
+  in
+  let _, resp =
+    query idx (Prompt.Socket_triple { ops_symbol = "rds_proto_ops" })
+      [ snippet idx "rds_proto_ops"; macros ] []
+  in
+  match resp.r_socket_triple with
+  | Some (21, _, _) -> ()
+  | Some (d, _, _) -> Alcotest.failf "wrong domain %d" d
+  | None -> Alcotest.fail "no triple inferred"
+
+let test_context_truncation () =
+  let idx = Lazy.force dm_kernel in
+  let tiny = { Profile.gpt4 with Profile.context_tokens = 40; name = "tiny" } in
+  let o = Oracle.create ~profile:tiny ~knowledge:idx () in
+  let resp =
+    Oracle.query o
+      {
+        Prompt.task = Prompt.Identifier_deduction { handler_fn = "lookup_ioctl" };
+        snippets = [ snippet idx "lookup_ioctl" ];
+        usage = [];
+      }
+  in
+  Alcotest.(check int) "truncated prompt sees nothing" 0 (List.length resp.r_idents);
+  Alcotest.(check bool) "truncation recorded" true (o.Oracle.truncations > 0)
+
+let test_repair_strips_suffix () =
+  let idx = Lazy.force dm_kernel in
+  let _, resp =
+    query idx
+      (Prompt.Repair
+         { item = "syscall ioctl$X"; description = ""; error = "unknown const DM_VERSION_V2" })
+      [] []
+  in
+  Alcotest.(check (option string)) "repaired" (Some "DM_VERSION") resp.r_repaired
+
+let test_error_injection_deterministic () =
+  (* same oracle profile + subject → same corruption decision *)
+  let idx = Lazy.force dm_kernel in
+  let run () =
+    let _, resp =
+      query idx
+        (Prompt.Identifier_deduction { handler_fn = "lookup_ioctl" })
+        [ snippet idx "lookup_ioctl" ]
+        [ "FUNC: lookup_ioctl; MODE: nr; MAGIC: 253; ARG: dm_ioctl" ]
+    in
+    List.map (fun i -> i.Prompt.id_cmd) resp.r_idents
+  in
+  Alcotest.(check (list string)) "deterministic output" (run ()) (run ())
+
+let test_cost_accounting () =
+  let idx = Lazy.force dm_kernel in
+  let o = Oracle.create ~profile:Profile.gpt4 ~knowledge:idx () in
+  let before = o.Oracle.prompt_tokens in
+  ignore
+    (Oracle.query o
+       {
+         Prompt.task = Prompt.Identifier_deduction { handler_fn = "ctl_ioctl" };
+         snippets = [ snippet idx "ctl_ioctl" ];
+         usage = [];
+       });
+  Alcotest.(check bool) "tokens accounted" true (o.Oracle.prompt_tokens > before);
+  Alcotest.(check int) "query counted" 1 o.Oracle.queries
+
+let test_prompt_render () =
+  let idx = Lazy.force dm_kernel in
+  let p =
+    {
+      Prompt.task = Prompt.Identifier_deduction { handler_fn = "ctl_ioctl" };
+      snippets = [ snippet idx "ctl_ioctl" ];
+      usage = [ "FUNC: ctl_ioctl; MODE: nr; MAGIC: -; ARG: -" ];
+    }
+  in
+  let text = Prompt.render p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "has instruction" true (contains text "Syzkaller specification");
+  Alcotest.(check bool) "has unknown section" true (contains text "## Unknown");
+  Alcotest.(check bool) "has source section" true (contains text "ctl_ioctl")
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "oracle"
+    [
+      ( "device-name",
+        [
+          t "nodename rule" test_device_name_nodename;
+          t "gpt-3.5 uses .name" test_device_name_gpt35_uses_name;
+          t "format string" test_device_name_format_string;
+        ] );
+      ( "identifier",
+        [
+          t "delegation unknown" test_identifier_delegation_unknown;
+          t "_IOC_NR resolution" test_identifier_nr_resolution;
+          t "gpt-3.5 no delegation" test_identifier_gpt35_no_delegation;
+        ] );
+      ( "types",
+        [
+          t "len and string inference" test_type_recovery_len_and_string;
+          t "no len when array precedes" test_type_recovery_no_len_when_array_before;
+          t "gpt-3.5 no len" test_type_recovery_gpt35_no_len;
+        ] );
+      ("deps", [ t "anon fd dependency" test_dependency_analysis ]);
+      ("socket", [ t "triple inference" test_socket_triple ]);
+      ( "limits",
+        [
+          t "context truncation" test_context_truncation;
+          t "repair" test_repair_strips_suffix;
+          t "deterministic errors" test_error_injection_deterministic;
+          t "cost accounting" test_cost_accounting;
+          t "prompt rendering" test_prompt_render;
+        ] );
+    ]

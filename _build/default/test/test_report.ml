@@ -1,0 +1,78 @@
+(* Smoke tests of the experiment layer: suite assembly and the
+   statistics tables (fuzzing-heavy experiments run at tiny budgets). *)
+
+let ctx = lazy (Report.Suites.build ())
+
+let test_suites_assemble () =
+  let ctx = Lazy.force ctx in
+  let syz = Report.Suites.syzkaller_suite ctx in
+  let sd = Report.Suites.syzdescribe_suite ctx in
+  let kg = Report.Suites.kernelgpt_suite ctx in
+  let n s = Syzlang.Ast.count_syscalls s in
+  Alcotest.(check bool) "syzkaller suite non-trivial" true (n syz > 500);
+  Alcotest.(check bool) "syzdescribe adds syscalls" true (n sd > n syz);
+  Alcotest.(check bool) "kernelgpt adds syscalls" true (n kg > n syz)
+
+let test_table1_shape () =
+  let t = Report.Exp_specs.table1 (Lazy.force ctx) in
+  Alcotest.(check int) "278 drivers" 278 t.drivers.t1_total;
+  Alcotest.(check int) "81 sockets" 81 t.sockets.t1_total;
+  (* the paper's shape: KernelGPT validates most incomplete handlers,
+     SyzDescribe far fewer, and never sockets *)
+  Alcotest.(check bool) "drivers incomplete subset" true
+    (t.drivers.t1_incomplete < t.drivers.t1_total);
+  Alcotest.(check bool) "kgpt >= 80% of incomplete drivers" true
+    (t.drivers.t1_kgpt_valid * 10 >= t.drivers.t1_incomplete * 8);
+  Alcotest.(check bool) "kgpt handles sockets" true (t.sockets.t1_kgpt_valid > 0);
+  Alcotest.(check (option int)) "sd sockets N/A" None t.sockets.t1_sd_valid;
+  (match t.drivers.t1_sd_valid with
+  | Some sd -> Alcotest.(check bool) "sd well below kgpt" true (sd < t.drivers.t1_kgpt_valid)
+  | None -> Alcotest.fail "sd driver count missing")
+
+let test_table2_shape () =
+  let t = Report.Exp_specs.table2 (Lazy.force ctx) in
+  Alcotest.(check bool) "kgpt generates driver syscalls" true (t.kg_driver.t2_syscalls > 100);
+  Alcotest.(check bool) "kgpt generates socket syscalls" true (t.kg_socket.t2_syscalls > 100);
+  Alcotest.(check bool) "kgpt more types than sd" true (t.kg_driver.t2_types > t.sd_driver.t2_types)
+
+let test_fig7_sums () =
+  let ctx = Lazy.force ctx in
+  let h = Report.Exp_specs.fig7 ctx Corpus.Types.Driver in
+  let bucketed = Array.fold_left ( + ) 0 h.buckets in
+  Alcotest.(check int) "histogram partitions loaded drivers" 278 (bucketed + h.none_missing)
+
+let test_table3_tiny () =
+  let t = Report.Exp_fuzz.table3 ~reps:1 ~budget:300 (Lazy.force ctx) in
+  Alcotest.(check int) "three suites" 3 (List.length t.rows);
+  List.iter
+    (fun (r : Report.Exp_fuzz.suite_result) ->
+      Alcotest.(check bool) (r.sr_name ^ " has coverage") true (r.sr_cov > 0.0))
+    t.rows
+
+let test_correctness_audit () =
+  let a = Report.Exp_correctness.audit (Lazy.force ctx) in
+  Alcotest.(check bool) "audits a few dozen drivers" true (a.a_drivers > 20);
+  (* §5.1.3 shape: the vast majority of commands are recovered *)
+  Alcotest.(check bool) "missing tail is small" true (a.a_missing_cmds * 5 < a.a_total_cmds)
+
+let test_module_suite_merges () =
+  let ctx = Lazy.force ctx in
+  let dm = Report.Suites.module_suite ctx "dm" in
+  Alcotest.(check bool) "dm module suite has the generated ioctls" true
+    (Syzlang.Ast.count_syscalls dm >= 18)
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "report"
+    [
+      ( "experiments",
+        [
+          t "suites assemble" test_suites_assemble;
+          t "table1 shape" test_table1_shape;
+          t "table2 shape" test_table2_shape;
+          t "fig7 partitions" test_fig7_sums;
+          t "table3 tiny run" test_table3_tiny;
+          t "correctness audit" test_correctness_audit;
+          t "module suite" test_module_suite_merges;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* End-to-end tests of the virtual kernel on the device-mapper driver. *)
+
+open Vkernel
+
+let machine = lazy (Machine.boot [ Corpus.Drv_dm.entry ])
+
+let dm_cmd name =
+  let m = Lazy.force machine in
+  match Csrc.Index.eval_macro m.Machine.index name with
+  | Some v -> v
+  | None -> Alcotest.failf "macro %s not found" name
+
+let dm_ioctl_data ?(version = 4L) ?(data_size = 312L) ?(name = "") ?(uuid = "")
+    ?(target_count = 0L) ?(flags = 0L) () =
+  Value.U_struct
+    ( "dm_ioctl",
+      [
+        ("version", Value.U_arr [ Value.U_int version; Value.U_int 0L; Value.U_int 0L ]);
+        ("data_size", Value.U_int data_size);
+        ("data_start", Value.U_int 0L);
+        ("target_count", Value.U_int target_count);
+        ("open_count", Value.U_int 0L);
+        ("flags", Value.U_int flags);
+        ("event_nr", Value.U_int 0L);
+        ("name", Value.U_str name);
+        ("uuid", Value.U_str uuid);
+      ] )
+
+let openat_dm = { Machine.c_name = "openat"; c_args = [ P_int (-100L); P_str "/dev/mapper/control" ] }
+
+let ioctl cmd data =
+  { Machine.c_name = "ioctl"; c_args = [ P_result 0; P_int (dm_cmd cmd); P_data data ] }
+
+let exec prog = Machine.exec_prog (Lazy.force machine) prog
+
+let test_open () =
+  let r = exec [ openat_dm ] in
+  Alcotest.(check bool) "open succeeds" true (Int64.compare r.retvals.(0) 0L >= 0);
+  Alcotest.(check bool) "no crash" true (r.crash = None)
+
+let test_open_wrong_path () =
+  let r = exec [ { Machine.c_name = "openat"; c_args = [ P_int (-100L); P_str "/dev/device-mapper" ] } ] in
+  Alcotest.(check int64) "ENOENT" (-2L) r.retvals.(0)
+
+let test_version_ioctl () =
+  let r = exec [ openat_dm; ioctl "DM_VERSION" (dm_ioctl_data ()) ] in
+  Alcotest.(check int64) "DM_VERSION returns 0" 0L r.retvals.(1);
+  Alcotest.(check bool) "no crash" true (r.crash = None)
+
+let test_bad_version_rejected () =
+  let r = exec [ openat_dm; ioctl "DM_LIST_DEVICES" (dm_ioctl_data ~version:3L ()) ] in
+  Alcotest.(check int64) "EINVAL" (-22L) r.retvals.(1)
+
+let test_dev_create_and_status () =
+  let r =
+    exec
+      [
+        openat_dm;
+        ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_DEV_STATUS" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_DEV_STATUS" (dm_ioctl_data ~name:"missing" ());
+      ]
+  in
+  Alcotest.(check int64) "create ok" 0L r.retvals.(1);
+  Alcotest.(check int64) "status ok" 0L r.retvals.(2);
+  Alcotest.(check int64) "status of missing is ENXIO" (-6L) r.retvals.(3);
+  Alcotest.(check bool) "no crash" true (r.crash = None)
+
+let test_kmalloc_bug_ctl_ioctl () =
+  (* CVE-2024-23851: data_size unchecked before kvmalloc *)
+  let r =
+    exec [ openat_dm; ioctl "DM_LIST_DEVICES" (dm_ioctl_data ~data_size:0x8000_0000L ()) ]
+  in
+  match r.crash with
+  | Some c -> Alcotest.(check string) "crash title" "kmalloc bug in ctl_ioctl" c.cr_title
+  | None -> Alcotest.fail "expected a crash"
+
+let test_kmalloc_bug_dm_table_create () =
+  (* CVE-2023-52429: target_count unchecked before kvmalloc in table load *)
+  let r =
+    exec
+      [
+        openat_dm;
+        ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_TABLE_LOAD" (dm_ioctl_data ~name:"vol0" ~target_count:0xffff_ffffL ());
+      ]
+  in
+  match r.crash with
+  | Some c ->
+      Alcotest.(check string) "crash title" "kmalloc bug in dm_table_create" c.cr_title
+  | None -> Alcotest.fail "expected a crash"
+
+let test_gpf_cleanup_mapped_device () =
+  (* CVE-2024-50277: remove a suspended device that never loaded a table *)
+  let r =
+    exec
+      [
+        openat_dm;
+        ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_DEV_SUSPEND" (dm_ioctl_data ~name:"vol0" ~flags:2L ());
+        ioctl "DM_DEV_REMOVE" (dm_ioctl_data ~name:"vol0" ());
+      ]
+  in
+  match r.crash with
+  | Some c ->
+      Alcotest.(check string)
+        "crash title" "general protection fault in cleanup_mapped_device" c.cr_title
+  | None -> Alcotest.fail "expected a crash"
+
+let test_no_crash_on_normal_lifecycle () =
+  let r =
+    exec
+      [
+        openat_dm;
+        ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_TABLE_LOAD" (dm_ioctl_data ~name:"vol0" ~target_count:2L ());
+        ioctl "DM_TABLE_STATUS" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_TABLE_CLEAR" (dm_ioctl_data ~name:"vol0" ());
+        ioctl "DM_DEV_REMOVE" (dm_ioctl_data ~name:"vol0" ());
+        { Machine.c_name = "close"; c_args = [ P_result 0 ] };
+      ]
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) (Printf.sprintf "call %d ok" i) true (Int64.compare v 0L >= 0))
+    r.retvals;
+  Alcotest.(check bool) "no crash" true (r.crash = None)
+
+let test_coverage_grows_with_depth () =
+  let shallow = exec [ openat_dm; ioctl "DM_VERSION" (dm_ioctl_data ()) ] in
+  let deep =
+    exec
+      [
+        openat_dm;
+        ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"a" ());
+        ioctl "DM_TABLE_LOAD" (dm_ioctl_data ~name:"a" ~target_count:1L ());
+        ioctl "DM_TABLE_STATUS" (dm_ioctl_data ~name:"a" ());
+      ]
+  in
+  Alcotest.(check bool) "deep program covers more" true
+    (List.length deep.coverage > List.length shallow.coverage)
+
+let test_wrong_cmd_value_shallow () =
+  (* using the raw nr (2) as the command — SyzDescribe's mistake from
+     Figure 2c — must bounce off the _IOC_TYPE check *)
+  let r =
+    exec
+      [
+        openat_dm;
+        { Machine.c_name = "ioctl"; c_args = [ P_result 0; P_int 2L; P_data (dm_ioctl_data ()) ] };
+      ]
+  in
+  Alcotest.(check int64) "ENOTTY" (-25L) r.retvals.(1)
+
+let test_bad_fd () =
+  let r = exec [ { Machine.c_name = "ioctl"; c_args = [ P_int 99L; P_int 0L; P_null ] } ] in
+  Alcotest.(check int64) "EBADF" (-9L) r.retvals.(0)
+
+let test_null_arg_efault () =
+  let r = exec [ openat_dm; { Machine.c_name = "ioctl"; c_args = [ P_result 0; P_int (dm_cmd "DM_LIST_DEVICES"); P_null ] } ] in
+  Alcotest.(check int64) "EFAULT" (-14L) r.retvals.(1)
+
+let test_state_isolated_between_programs () =
+  let p1 = exec [ openat_dm; ioctl "DM_DEV_CREATE" (dm_ioctl_data ~name:"vol0" ()) ] in
+  Alcotest.(check int64) "created in program 1" 0L p1.retvals.(1);
+  let p2 = exec [ openat_dm; ioctl "DM_DEV_STATUS" (dm_ioctl_data ~name:"vol0" ()) ] in
+  Alcotest.(check int64) "not visible in program 2" (-6L) p2.retvals.(1)
+
+let test_module_attribution () =
+  let m = Lazy.force machine in
+  let r = exec [ openat_dm; ioctl "DM_VERSION" (dm_ioctl_data ()) ] in
+  let modules =
+    List.filter_map (Machine.module_of_sid m) r.coverage |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "all covered statements belong to dm" [ "dm" ] modules
+
+let () =
+  Alcotest.run "vkernel"
+    [
+      ( "dm-basic",
+        [
+          Alcotest.test_case "open" `Quick test_open;
+          Alcotest.test_case "open wrong path" `Quick test_open_wrong_path;
+          Alcotest.test_case "version ioctl" `Quick test_version_ioctl;
+          Alcotest.test_case "bad version rejected" `Quick test_bad_version_rejected;
+          Alcotest.test_case "create + status" `Quick test_dev_create_and_status;
+          Alcotest.test_case "normal lifecycle" `Quick test_no_crash_on_normal_lifecycle;
+          Alcotest.test_case "bad fd" `Quick test_bad_fd;
+          Alcotest.test_case "null arg" `Quick test_null_arg_efault;
+          Alcotest.test_case "state isolation" `Quick test_state_isolated_between_programs;
+        ] );
+      ( "dm-bugs",
+        [
+          Alcotest.test_case "kmalloc bug in ctl_ioctl" `Quick test_kmalloc_bug_ctl_ioctl;
+          Alcotest.test_case "kmalloc bug in dm_table_create" `Quick test_kmalloc_bug_dm_table_create;
+          Alcotest.test_case "gpf in cleanup_mapped_device" `Quick test_gpf_cleanup_mapped_device;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "depth grows coverage" `Quick test_coverage_grows_with_depth;
+          Alcotest.test_case "wrong cmd is shallow" `Quick test_wrong_cmd_value_shallow;
+          Alcotest.test_case "module attribution" `Quick test_module_attribution;
+        ] );
+    ]
