@@ -5,8 +5,12 @@
       dune exec bench/main.exe                 # all tables+figures, quick scale
       dune exec bench/main.exe -- --exp table5 # one artifact
       dune exec bench/main.exe -- --scale full # EXPERIMENTS.md numbers
+      dune exec bench/main.exe -- --jobs 8     # shard campaigns over 8 domains
+      dune exec bench/main.exe -- --jobs 0     # one worker per core
       dune exec bench/main.exe -- --micro      # Bechamel component benches only
-*)
+
+    Tables on stdout are byte-identical for any --jobs value; the pool
+    speedup summary goes to stderr. *)
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -96,6 +100,17 @@ let () =
         | Some "full" -> Report.Runner.Full
         | _ -> Report.Runner.Quick)
   in
+  let jobs =
+    let raw =
+      match value_of "--jobs" with
+      | Some j -> int_of_string_opt j
+      | None -> Option.bind (Sys.getenv_opt "KGPT_JOBS") int_of_string_opt
+    in
+    match raw with
+    | Some j when j > 0 -> j
+    | Some _ -> Kernelgpt.Pool.cpu_count ()  (* --jobs 0: one worker per core *)
+    | None -> 1
+  in
   let which =
     match value_of "--exp" with
     | Some w -> (
@@ -111,6 +126,6 @@ let () =
   in
   if has "--micro" then micro_benchmarks ()
   else begin
-    Report.Runner.run ~scale ~which ();
+    Report.Runner.run ~scale ~which ~jobs ();
     if which = Report.Runner.All then micro_benchmarks ()
   end

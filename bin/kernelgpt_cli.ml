@@ -23,6 +23,16 @@ let model_arg =
 let module_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MODULE" ~doc:"Registry key, e.g. dm.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for independent campaigns/repetitions (0 = one per core). The \
+           default 1 runs sequentially; any value produces identical tables.")
+
+let resolve_jobs n = if n <= 0 then Kernelgpt.Pool.cpu_count () else n
+
 let find_entry name =
   match Corpus.Registry.find name with
   | Some e -> e
@@ -159,18 +169,21 @@ let fuzz_cmd =
     Term.(ret (const run $ module_arg $ suite $ budget $ seed $ model_arg $ repro))
 
 let bugs_cmd =
-  let run budget seeds =
-    Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d)...\n%!" budget seeds;
-    let ctx = Report.Suites.build () in
-    Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ctx);
+  let run budget seeds jobs =
+    let jobs = resolve_jobs jobs in
+    Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
+    let ctx = Report.Suites.build ~jobs () in
+    Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ~jobs ctx);
+    if jobs > 1 then Kernelgpt.Pool.report stderr;
     `Ok ()
   in
   let budget = Arg.(value & opt int 30_000 & info [ "budget" ] ~doc:"Executions per module.") in
   let seeds = Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Campaign seeds per module.") in
-  Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs") Term.(ret (const run $ budget $ seeds))
+  Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs")
+    Term.(ret (const run $ budget $ seeds $ jobs_arg))
 
 let report_cmd =
-  let run exp full =
+  let run exp full jobs =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -179,7 +192,7 @@ let report_cmd =
              ablation-iter, ablation-llm, correctness)" )
     | Some which ->
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
-        Report.Runner.run ~scale ~which ();
+        Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ();
         `Ok ()
   in
   let exp =
@@ -188,7 +201,7 @@ let report_cmd =
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full budgets (EXPERIMENTS.md scale).") in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ exp $ full))
+    Term.(ret (const run $ exp $ full $ jobs_arg))
 
 let () =
   let doc = "KernelGPT reproduction: LLM-guided syscall-specification synthesis for kernel fuzzing" in

@@ -79,8 +79,6 @@ let () =
       let fixed =
         List.fold_left
           (fun s (e : Syzlang.Validate.error) ->
-            let words = String.split_on_char ' ' e.Syzlang.Validate.err_msg in
-            let bad = List.nth words (List.length words - 1) in
             let resp =
               Oracle.query oracle
                 {
@@ -95,9 +93,9 @@ let () =
                   usage = [];
                 }
             in
-            match resp.Prompt.r_repaired with
-            | Some good -> Syzlang.Rewrite.substitute_name s ~bad ~good
-            | None -> s)
+            match (resp.Prompt.r_repaired, e.err_ident) with
+            | Some good, Some bad -> Syzlang.Rewrite.substitute_name s ~bad ~good
+            | _ -> s)
           broken errors
       in
       Printf.printf "\nAfter repair: %d validation errors remain.\n"

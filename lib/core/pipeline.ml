@@ -80,18 +80,18 @@ let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                 usage = [];
               }
           in
-          match resp.Prompt.r_repaired with
-          | Some good ->
-              (* the broken identifier is the last word of the message *)
-              let words = String.split_on_char ' ' e.err_msg in
-              let bad = List.nth words (List.length words - 1) in
+          match (resp.Prompt.r_repaired, e.err_ident) with
+          | Some good, Some bad ->
               let next = Syzlang.Rewrite.substitute_name !spec ~bad ~good in
               if next <> !spec then begin
                 spec := next;
                 progressed := true;
                 changed := true
               end
-          | None -> ())
+          | _ ->
+              (* no fix, or an error that names no identifier (empty
+                 struct, bad ioctl shape, ...): nothing to substitute *)
+              ())
         !errors;
       errors := Syzlang.Validate.validate ~kernel !spec;
       if not !progressed then round := max_repair_rounds

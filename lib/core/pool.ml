@@ -1,0 +1,141 @@
+(** Fixed-size work pool on OCaml 5 [Domain]s. See pool.mli.
+
+    Scheduling: workers pull the next task index from a shared atomic
+    counter, write the result into that task's slot, and log the task's
+    wall-clock through a mutex-protected channel. Slots are disjoint per
+    task and [Domain.join] orders every slot write before the caller
+    reads, so the merge is race-free and results always come back in
+    submission order regardless of completion order. *)
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+type timing = { tm_label : string; tm_worker : int; tm_seconds : float }
+
+type summary = {
+  s_tasks : int;
+  s_workers : int;
+  s_wall_seconds : float;
+  s_busy_seconds : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Global accounting (mutex-protected; workers log through it)         *)
+(* ------------------------------------------------------------------ *)
+
+let log_mutex = Mutex.create ()
+let logged : timing list ref = ref []
+let pool_runs : (int * int * float) list ref = ref []  (* tasks, workers, wall *)
+
+let with_log f =
+  Mutex.lock log_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock log_mutex) f
+
+let reset_stats () =
+  with_log (fun () ->
+      logged := [];
+      pool_runs := [])
+
+let stats () : summary =
+  with_log (fun () ->
+      let busy = List.fold_left (fun a t -> a +. t.tm_seconds) 0.0 !logged in
+      let tasks, workers, wall =
+        List.fold_left
+          (fun (t, w, s) (t', w', s') -> (t + t', max w w', s +. s'))
+          (0, 0, 0.0) !pool_runs
+      in
+      { s_tasks = tasks; s_workers = workers; s_wall_seconds = wall; s_busy_seconds = busy })
+
+let timings () : timing list =
+  with_log (fun () ->
+      List.sort (fun a b -> compare b.tm_seconds a.tm_seconds) !logged)
+
+let report ?(per_task = false) oc =
+  let s = stats () in
+  if s.s_tasks > 0 then begin
+    let speedup = if s.s_wall_seconds > 0.0 then s.s_busy_seconds /. s.s_wall_seconds else 1.0 in
+    Printf.fprintf oc
+      "[pool] %d tasks on up to %d workers: %.2fs task time in %.2fs wall (%.2fx speedup)\n"
+      s.s_tasks s.s_workers s.s_busy_seconds s.s_wall_seconds speedup;
+    if per_task then
+      List.iter
+        (fun t ->
+          Printf.fprintf oc "[pool]   %-48s worker %d %9.1f ms\n" t.tm_label t.tm_worker
+            (t.tm_seconds *. 1000.0))
+        (timings ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let finish_run ~t_start ~workers (timings : timing option array) =
+  let wall = Unix.gettimeofday () -. t_start in
+  with_log (fun () ->
+      pool_runs := (Array.length timings, workers, wall) :: !pool_runs;
+      Array.iter (function Some t -> logged := t :: !logged | None -> ()) timings)
+
+let map_init ?(jobs = 1) ?label ~(init : unit -> 'w) ~(f : 'w -> 'a -> 'b)
+    (items : 'a array) : 'b array =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let label =
+      match label with Some l -> l | None -> fun i _ -> "task-" ^ string_of_int i
+    in
+    let workers = max 1 (min jobs n) in
+    let t_start = Unix.gettimeofday () in
+    let results : 'b option array = Array.make n None in
+    let times : timing option array = Array.make n None in
+    let run_task ~worker st i =
+      let t0 = Unix.gettimeofday () in
+      let r = f st items.(i) in
+      times.(i) <-
+        Some
+          {
+            tm_label = label i items.(i);
+            tm_worker = worker;
+            tm_seconds = Unix.gettimeofday () -. t0;
+          };
+      results.(i) <- Some r
+    in
+    if workers = 1 then begin
+      (* sequential fast path: no domain, identical to the historical
+         per-item loops *)
+      let st = init () in
+      for i = 0 to n - 1 do
+        run_task ~worker:0 st i
+      done;
+      finish_run ~t_start ~workers times
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let fail e =
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      in
+      let worker w () =
+        match init () with
+        | exception e -> fail e
+        | st ->
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n && Atomic.get failure = None then begin
+                (try run_task ~worker:w st i with e -> fail e);
+                loop ()
+              end
+            in
+            loop ()
+      in
+      let domains = List.init workers (fun w -> Domain.spawn (worker w)) in
+      List.iter Domain.join domains;
+      finish_run ~t_start ~workers times;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map ?jobs ?label f items =
+  map_init ?jobs ?label ~init:(fun () -> ()) ~f:(fun () x -> f x) items

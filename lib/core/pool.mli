@@ -1,0 +1,66 @@
+(** Fixed-size work pool on OCaml 5 [Domain]s.
+
+    The report runner uses this to shard independent experiment tasks
+    (driver/socket campaigns, seed repetitions, ablation cells) across
+    cores. Results come back as an array in task-submission order, so
+    callers can merge them deterministically: a run with [jobs] > 1 must
+    produce byte-identical tables to the sequential run.
+
+    Workers share nothing: any mutable state a task needs (an
+    [Oracle.t], a [Vkernel.Machine.t]) must be built by the worker
+    itself via [init]. Per-task wall-clock timings are accumulated in a
+    global, mutex-protected log for the end-of-run speedup report. *)
+
+(** Number of cores the runtime recommends using ([--jobs 0] resolves to
+    this). *)
+val cpu_count : unit -> int
+
+type timing = {
+  tm_label : string;  (** task label, e.g. ["table5:dm:kgpt:rep2"] *)
+  tm_worker : int;  (** index of the worker domain that ran it *)
+  tm_seconds : float;  (** task wall-clock *)
+}
+
+type summary = {
+  s_tasks : int;  (** tasks executed since the last [reset_stats] *)
+  s_workers : int;  (** largest pool size used *)
+  s_wall_seconds : float;  (** wall-clock spent inside pool runs *)
+  s_busy_seconds : float;  (** sum of per-task wall-clocks *)
+}
+
+(** [map ~jobs f items] applies [f] to every element of [items] on a
+    pool of [min jobs (Array.length items)] worker domains and returns
+    the results in input order. [jobs <= 1] (the default) runs
+    sequentially in the calling domain — no domain is spawned, so
+    behavior is exactly that of [Array.map]. If any task raises, the
+    first exception is re-raised in the caller after the pool drains. *)
+val map :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_init ~jobs ~init ~f items] is [map], except each worker first
+    builds private state with [init] and every task it pulls receives
+    that state. Use this to give each worker its own machine/oracle.
+    With [jobs <= 1], [init] runs once in the calling domain. *)
+val map_init :
+  ?jobs:int ->
+  ?label:(int -> 'a -> string) ->
+  init:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  'a array ->
+  'b array
+
+(** Clear the global timing log. *)
+val reset_stats : unit -> unit
+
+(** Aggregate of every pool run since the last [reset_stats]. *)
+val stats : unit -> summary
+
+(** Per-task timings recorded since the last [reset_stats], slowest
+    first. *)
+val timings : unit -> timing list
+
+(** Print the run summary (tasks, workers, busy vs wall time, speedup)
+    and, with [per_task], every task's wall-clock. The runner sends this
+    to [stderr] so table output on [stdout] stays byte-identical to a
+    sequential run. *)
+val report : ?per_task:bool -> out_channel -> unit

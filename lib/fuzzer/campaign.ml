@@ -26,6 +26,8 @@ let module_coverage (machine : Vkernel.Machine.t) res (modname : string) : int =
 let crash_titles res =
   Hashtbl.fold (fun t _ acc -> t :: acc) res.crashes [] |> List.sort String.compare
 
+let max_corpus = 512
+
 (** Run a campaign of [budget] program executions. *)
 let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000)
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
@@ -34,27 +36,39 @@ let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000)
   let r = Rng.make seed in
   let coverage = Hashtbl.create 4096 in
   let crashes = Hashtbl.create 8 in
-  let corpus : Vkernel.Machine.prog array ref = ref [||] in
+  (* pre-sized ring: O(1) insertion instead of Array.append's O(n) copy
+     (quadratic over the campaign) *)
+  let corpus : Vkernel.Machine.prog array = Array.make max_corpus [] in
+  let corpus_n = ref 0 in
   let executions = ref 0 in
   if t.Proggen.consumers <> [] then
     for _ = 1 to budget do
       incr executions;
       let prog =
-        if Array.length !corpus > 0 && Rng.pct r 65 then
-          Proggen.mutate t r !corpus.(Rng.int r (Array.length !corpus))
+        if !corpus_n > 0 && Rng.pct r 65 then
+          Proggen.mutate t r corpus.(Rng.int r !corpus_n)
         else Proggen.generate t r ()
       in
       if prog <> [] then begin
         let res = Vkernel.Machine.exec_prog ~step_budget machine prog in
         (match res.crash with
-        | Some c ->
-            if not (Hashtbl.mem crashes c.cr_title) then Hashtbl.replace crashes c.cr_title prog
+        | Some c -> (
+            (* keep the shortest reproducer per title, so Repro starts
+               from the easiest program *)
+            match Hashtbl.find_opt crashes c.cr_title with
+            | None -> Hashtbl.replace crashes c.cr_title prog
+            | Some old when List.length prog < List.length old ->
+                Hashtbl.replace crashes c.cr_title prog
+            | Some _ -> ())
         | None -> ());
         let fresh =
           List.exists (fun sid -> not (Hashtbl.mem coverage sid)) res.coverage
         in
         List.iter (fun sid -> Hashtbl.replace coverage sid ()) res.coverage;
-        if fresh && Array.length !corpus < 512 then corpus := Array.append !corpus [| prog |]
+        if fresh && !corpus_n < max_corpus then begin
+          corpus.(!corpus_n) <- prog;
+          incr corpus_n
+        end
       end
     done;
-  { executions = !executions; coverage; crashes; corpus_size = Array.length !corpus }
+  { executions = !executions; coverage; crashes; corpus_size = !corpus_n }

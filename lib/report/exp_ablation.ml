@@ -11,37 +11,55 @@ type variant_result = {
   v_tokens : int;
 }
 
+(* Each driver is an independent pool task: the worker boots the
+   driver's machine, runs the pipeline, and fuzzes the resulting spec.
+   Per-driver partials fold in registry order, so the floating-point
+   coverage sum matches the sequential loop exactly. *)
 let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.mode)
-    ?(reps = 2) ?(budget = 3000) () : variant_result =
-  let drivers = Corpus.Registry.ablation_drivers () in
-  let totals = ref (0, 0) in
+    ?(reps = 2) ?(budget = 3000) ?(jobs = 1) () : variant_result =
+  let drivers = Array.of_list (Corpus.Registry.ablation_drivers ()) in
+  let partials =
+    Kernelgpt.Pool.map ~jobs
+      ~label:(fun _ (e : Corpus.Types.entry) -> Printf.sprintf "ablation:%s:%s" name e.name)
+      (fun (e : Corpus.Types.entry) ->
+        let machine = Vkernel.Machine.boot [ e ] in
+        let kernel = machine.Vkernel.Machine.index in
+        let oracle = Oracle.create ~profile ~knowledge:kernel () in
+        let out = Kernelgpt.Pipeline.run ~mode ~oracle ~kernel e in
+        match out.o_spec with
+        | Some spec when out.o_valid ->
+            let covs = ref 0.0 in
+            for rep = 1 to reps do
+              let res = Fuzzer.Campaign.run ~seed:(rep * 31337) ~budget ~machine spec in
+              covs := !covs +. float_of_int (Fuzzer.Campaign.module_coverage machine res e.name)
+            done;
+            ( out.o_queries,
+              out.o_tokens,
+              Some
+                ( Syzlang.Ast.count_syscalls spec,
+                  Syzlang.Ast.count_types spec,
+                  !covs /. float_of_int reps ) )
+        | _ -> (out.o_queries, out.o_tokens, None))
+      drivers
+  in
+  let syscalls = ref 0 and types = ref 0 in
   let cov = ref 0.0 in
   let queries = ref 0 and tokens = ref 0 in
-  List.iter
-    (fun (e : Corpus.Types.entry) ->
-      let machine = Vkernel.Machine.boot [ e ] in
-      let kernel = machine.Vkernel.Machine.index in
-      let oracle = Oracle.create ~profile ~knowledge:kernel () in
-      let out = Kernelgpt.Pipeline.run ~mode ~oracle ~kernel e in
-      queries := !queries + out.o_queries;
-      tokens := !tokens + out.o_tokens;
-      match out.o_spec with
-      | Some spec when out.o_valid ->
-          let s, t = !totals in
-          totals := (s + Syzlang.Ast.count_syscalls spec, t + Syzlang.Ast.count_types spec);
-          let covs = ref 0.0 in
-          for rep = 1 to reps do
-            let res = Fuzzer.Campaign.run ~seed:(rep * 31337) ~budget ~machine spec in
-            covs := !covs +. float_of_int (Fuzzer.Campaign.module_coverage machine res e.name)
-          done;
-          cov := !cov +. (!covs /. float_of_int reps)
-      | _ -> ())
-    drivers;
-  let s, t = !totals in
+  Array.iter
+    (fun (q, t, fuzzed) ->
+      queries := !queries + q;
+      tokens := !tokens + t;
+      match fuzzed with
+      | Some (s, ty, c) ->
+          syscalls := !syscalls + s;
+          types := !types + ty;
+          cov := !cov +. c
+      | None -> ())
+    partials;
   {
     v_name = name;
-    v_syscalls = s;
-    v_types = t;
+    v_syscalls = !syscalls;
+    v_types = !types;
     v_cov = !cov;
     v_queries = !queries;
     v_tokens = !tokens;
@@ -49,8 +67,8 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
 
 type ablation = { iter_rows : variant_result list; llm_rows : variant_result list }
 
-let run ?(reps = 2) ?(budget = 3000) () : ablation =
-  let m = measure ~reps ~budget in
+let run ?(reps = 2) ?(budget = 3000) ?(jobs = 1) () : ablation =
+  let m = measure ~reps ~budget ~jobs in
   {
     iter_rows =
       [

@@ -14,13 +14,12 @@ type bug_row = {
 
 type table4 = { bug_rows : bug_row list }
 
-let fuzz_module (ctx : Suites.ctx) ~(budget : int) ~(seeds : int) (name : string)
+let fuzz_module ~(budget : int) ~(seeds : int) (name : string)
     (spec : Syzlang.Ast.spec) : (string, unit) Hashtbl.t =
   let titles = Hashtbl.create 8 in
   match Corpus.Registry.find name with
   | None -> titles
   | Some entry ->
-      ignore ctx;
       let machine = Vkernel.Machine.boot [ entry ] in
       for s = 1 to seeds do
         let res = Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ~machine spec in
@@ -28,27 +27,45 @@ let fuzz_module (ctx : Suites.ctx) ~(budget : int) ~(seeds : int) (name : string
       done;
       titles
 
-let table4 ?(budget = 30_000) ?(seeds = 3) (ctx : Suites.ctx) : table4 =
+let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) (ctx : Suites.ctx) : table4 =
   let modules =
     List.sort_uniq compare (List.map (fun b -> b.Corpus.Types.bug_module) Corpus.Registry.bugs)
   in
-  let found_with suite_of =
+  (* one pool task per (suite family, module); the crash-title sets
+     merge by union, which is order-insensitive *)
+  let families =
+    [
+      ("kgpt", fun m -> Some (Suites.module_suite ctx m));
+      ( "syz",
+        fun m -> Option.bind (Corpus.Registry.find m) Baseline.Syzkaller_specs.spec_of_entry );
+      ("sd", fun m -> Suites.sd_spec ctx m);
+    ]
+  in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (tag, suite_of) ->
+           List.filter_map (fun m -> Option.map (fun s -> (tag, m, s)) (suite_of m)) modules)
+         families)
+  in
+  let results =
+    Kernelgpt.Pool.map ~jobs
+      ~label:(fun _ (tag, m, _) -> Printf.sprintf "table4:%s:%s" tag m)
+      (fun (_, m, spec) -> fuzz_module ~budget ~seeds m spec)
+      tasks
+  in
+  let found_with tag =
     let tbl = Hashtbl.create 32 in
-    List.iter
-      (fun m ->
-        match suite_of m with
-        | Some spec ->
-            Hashtbl.iter (fun t () -> Hashtbl.replace tbl t ()) (fuzz_module ctx ~budget ~seeds m spec)
-        | None -> ())
-      modules;
+    Array.iteri
+      (fun i titles ->
+        let tag', _, _ = tasks.(i) in
+        if tag' = tag then Hashtbl.iter (fun t () -> Hashtbl.replace tbl t ()) titles)
+      results;
     tbl
   in
-  let kgpt_found = found_with (fun m -> Some (Suites.module_suite ctx m)) in
-  let syz_found =
-    found_with (fun m ->
-        Option.bind (Corpus.Registry.find m) Baseline.Syzkaller_specs.spec_of_entry)
-  in
-  let sd_found = found_with (fun m -> Suites.sd_spec ctx m) in
+  let kgpt_found = found_with "kgpt" in
+  let syz_found = found_with "syz" in
+  let sd_found = found_with "sd" in
   {
     bug_rows =
       List.map

@@ -18,40 +18,106 @@ type table5 = { driver_rows : row list }
 
 let na = { c_sys = None; c_cov = None; c_crash = 0.0 }
 
-let fuzz_cell ~(entry : Corpus.Types.entry) ~(reps : int) ~(budget : int)
-    (spec : Syzlang.Ast.spec option) : cell =
-  match spec with
-  | None -> na
-  | Some spec ->
-      let machine = Vkernel.Machine.boot [ entry ] in
-      let covs = ref [] in
-      let crashes = ref [] in
-      for rep = 1 to reps do
-        let res = Fuzzer.Campaign.run ~seed:(rep * 104729) ~budget ~machine spec in
-        covs := float_of_int (Fuzzer.Campaign.module_coverage machine res entry.name) :: !covs;
-        crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes
-      done;
-      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
-      {
-        c_sys = Some (Syzlang.Ast.count_syscalls spec);
-        c_cov = Some (mean !covs);
-        c_crash = mean !crashes;
-      }
+(* One pool task per (driver, suite, repetition). Workers cache one
+   booted machine per driver — [Vkernel.Machine.boot [entry]] is
+   deterministic, so every worker's machine assigns the same statement
+   ids and cells merge exactly regardless of which worker ran them. *)
 
-let table5 ?(reps = 3) ?(budget = 4000) (ctx : Suites.ctx) : table5 =
+type task = {
+  tk_entry : Corpus.Types.entry;
+  tk_suite : string;
+  tk_spec : Syzlang.Ast.spec;
+  tk_rep : int;
+  tk_seed_base : int;
+  tk_budget : int;
+}
+
+let run_task (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) : float * float =
+  let machine =
+    match Hashtbl.find_opt cache tk.tk_entry.name with
+    | Some m -> m
+    | None ->
+        let m = Vkernel.Machine.boot [ tk.tk_entry ] in
+        Hashtbl.replace cache tk.tk_entry.name m;
+        m
+  in
+  let res =
+    Fuzzer.Campaign.run ~seed:(tk.tk_rep * tk.tk_seed_base) ~budget:tk.tk_budget ~machine
+      tk.tk_spec
+  in
+  ( float_of_int (Fuzzer.Campaign.module_coverage machine res tk.tk_entry.name),
+    float_of_int (Hashtbl.length res.crashes) )
+
+(** Fold [reps] per-repetition (coverage, crashes) results into a cell,
+    averaging in the same order the sequential loop did. *)
+let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float) list) : cell =
+  let covs = List.fold_left (fun acc (c, _) -> c :: acc) [] per_rep in
+  let crashes = List.fold_left (fun acc (_, x) -> x :: acc) [] per_rep in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+  {
+    c_sys = Some (Syzlang.Ast.count_syscalls spec);
+    c_cov = Some (mean covs);
+    c_crash = mean crashes;
+  }
+
+let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table5 =
+  let entries = Corpus.Registry.table5 () in
+  let specs_of (e : Corpus.Types.entry) =
+    [
+      ("syz", Baseline.Syzkaller_specs.spec_of_entry e);
+      ("sd", Suites.sd_spec ctx e.name);
+      ("kgpt", Suites.kgpt_spec ctx e.name);
+    ]
+  in
+  let tasks =
+    List.concat_map
+      (fun (e : Corpus.Types.entry) ->
+        List.concat_map
+          (fun (tag, spec) ->
+            match spec with
+            | None -> []
+            | Some spec ->
+                List.init reps (fun r ->
+                    {
+                      tk_entry = e;
+                      tk_suite = tag;
+                      tk_spec = spec;
+                      tk_rep = r + 1;
+                      tk_seed_base = 104729;
+                      tk_budget = budget;
+                    }))
+          (specs_of e))
+      entries
+  in
+  let results =
+    Kernelgpt.Pool.map_init ~jobs
+      ~label:(fun _ tk -> Printf.sprintf "table5:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
+      ~init:(fun () -> Hashtbl.create 8)
+      ~f:run_task (Array.of_list tasks)
+  in
+  (* walk cells in the same order the tasks were laid out *)
+  let cursor = ref 0 in
+  let take spec =
+    match spec with
+    | None -> na
+    | Some spec ->
+        let per_rep = List.init reps (fun i -> results.(!cursor + i)) in
+        cursor := !cursor + reps;
+        cell_of_reps spec per_rep
+  in
   let rows =
     List.map
       (fun (e : Corpus.Types.entry) ->
-        let manual = Baseline.Syzkaller_specs.spec_of_entry e in
-        let sd = Suites.sd_spec ctx e.name in
-        let kg = Suites.kgpt_spec ctx e.name in
-        {
-          r_name = e.display_name;
-          r_syzkaller = fuzz_cell ~entry:e ~reps ~budget manual;
-          r_syzdescribe = fuzz_cell ~entry:e ~reps ~budget sd;
-          r_kernelgpt = fuzz_cell ~entry:e ~reps ~budget kg;
-        })
-      (Corpus.Registry.table5 ())
+        match specs_of e with
+        | [ (_, manual); (_, sd); (_, kg) ] ->
+            {
+              r_name = e.display_name;
+              r_syzkaller = take manual;
+              r_syzdescribe = take sd;
+              r_kernelgpt = take kg;
+            }
+        | _ -> assert false)
+      entries
   in
   (* the two drivers dropped from Linux 6 stay as N/A rows *)
   let na_row name =

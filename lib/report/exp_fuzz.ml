@@ -13,17 +13,16 @@ type suite_result = {
   sr_union_cov : (int, unit) Hashtbl.t;
 }
 
-let run_suite ~(machine : Vkernel.Machine.t) ~(reps : int) ~(budget : int) ~name spec :
-    suite_result =
+let suite_of_reps ~name (reps : Fuzzer.Campaign.result list) : suite_result =
   let union = Hashtbl.create 4096 in
   let covs = ref [] in
   let crashes = ref [] in
-  for rep = 1 to reps do
-    let res = Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ~machine spec in
-    covs := float_of_int (Fuzzer.Campaign.total_coverage res) :: !covs;
-    crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes;
-    Hashtbl.iter (fun sid () -> Hashtbl.replace union sid ()) res.coverage
-  done;
+  List.iter
+    (fun (res : Fuzzer.Campaign.result) ->
+      covs := float_of_int (Fuzzer.Campaign.total_coverage res) :: !covs;
+      crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes;
+      Hashtbl.iter (fun sid () -> Hashtbl.replace union sid ()) res.coverage)
+    reps;
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
   {
     sr_name = name;
@@ -35,16 +34,37 @@ let run_suite ~(machine : Vkernel.Machine.t) ~(reps : int) ~(budget : int) ~name
 
 type table3 = { rows : suite_result list }
 
-let table3 ?(reps = 3) ?(budget = 6000) (ctx : Suites.ctx) : table3 =
-  let machine = ctx.machine in
-  let syz = run_suite ~machine ~reps ~budget ~name:"Syzkaller" (Suites.syzkaller_suite ctx) in
-  let sd =
-    run_suite ~machine ~reps ~budget ~name:"Syzkaller + SyzDescribe"
-      (Suites.syzdescribe_suite ctx)
+let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) (ctx : Suites.ctx) : table3 =
+  let suites =
+    [|
+      ("Syzkaller", Suites.syzkaller_suite ctx);
+      ("Syzkaller + SyzDescribe", Suites.syzdescribe_suite ctx);
+      ("Syzkaller + KernelGPT", Suites.kernelgpt_suite ctx);
+    |]
   in
-  let kg =
-    run_suite ~machine ~reps ~budget ~name:"Syzkaller + KernelGPT" (Suites.kernelgpt_suite ctx)
+  (* one task per (suite, repetition); each repetition is an independent
+     campaign, so the whole table shards across the pool. Workers boot a
+     private machine (the index memoizes during execution); coverage
+     statement ids are assigned by boot order over the same entry list,
+     so results merge exactly. *)
+  let tasks =
+    Array.init
+      (Array.length suites * reps)
+      (fun i -> (i / reps, (i mod reps) + 1))
   in
+  let results =
+    Kernelgpt.Pool.map_init ~jobs
+      ~label:(fun _ (si, rep) -> Printf.sprintf "table3:%s:rep%d" (fst suites.(si)) rep)
+      ~init:(fun () ->
+        if jobs <= 1 then ctx.Suites.machine else Vkernel.Machine.boot ctx.entries)
+      ~f:(fun machine (si, rep) ->
+        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ~machine (snd suites.(si)))
+      tasks
+  in
+  let reps_of si = Array.to_list (Array.sub results (si * reps) reps) in
+  let syz = suite_of_reps ~name:(fst suites.(0)) (reps_of 0) in
+  let sd = suite_of_reps ~name:(fst suites.(1)) (reps_of 1) in
+  let kg = suite_of_reps ~name:(fst suites.(2)) (reps_of 2) in
   let unique_vs_syz (r : suite_result) =
     Hashtbl.fold
       (fun sid () acc -> if Hashtbl.mem syz.sr_union_cov sid then acc else acc + 1)

@@ -7,33 +7,66 @@ type row = { r_name : string; r_syzkaller : cell option; r_kernelgpt : cell opti
 
 type table6 = { socket_rows : row list }
 
-let fuzz_cell ~(entry : Corpus.Types.entry) ~(reps : int) ~(budget : int)
-    (spec : Syzlang.Ast.spec option) : cell option =
-  match spec with
-  | None -> None
-  | Some spec ->
-      let machine = Vkernel.Machine.boot [ entry ] in
-      let covs = ref [] and crashes = ref [] in
-      for rep = 1 to reps do
-        let res = Fuzzer.Campaign.run ~seed:(rep * 7907) ~budget ~machine spec in
-        covs := float_of_int (Fuzzer.Campaign.module_coverage machine res entry.name) :: !covs;
-        crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes
-      done;
-      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
-      Some
-        { c_sys = Syzlang.Ast.count_syscalls spec; c_cov = mean !covs; c_crash = mean !crashes }
+(* Sharded exactly like Table 5: one pool task per
+   (socket, suite, repetition), machines cached per worker, cells merged
+   in task-layout order (see Exp_drivers). *)
 
-let table6 ?(reps = 3) ?(budget = 4000) (ctx : Suites.ctx) : table6 =
+let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 =
+  let entries = Corpus.Registry.table6 () in
+  let specs_of (e : Corpus.Types.entry) =
+    [
+      ("syz", Baseline.Syzkaller_specs.spec_of_entry e);
+      ("kgpt", Suites.kgpt_spec ctx e.name);
+    ]
+  in
+  let tasks =
+    List.concat_map
+      (fun (e : Corpus.Types.entry) ->
+        List.concat_map
+          (fun (tag, spec) ->
+            match spec with
+            | None -> []
+            | Some spec ->
+                List.init reps (fun r ->
+                    {
+                      Exp_drivers.tk_entry = e;
+                      tk_suite = tag;
+                      tk_spec = spec;
+                      tk_rep = r + 1;
+                      tk_seed_base = 7907;
+                      tk_budget = budget;
+                    }))
+          (specs_of e))
+      entries
+  in
+  let results =
+    Kernelgpt.Pool.map_init ~jobs
+      ~label:(fun _ (tk : Exp_drivers.task) ->
+        Printf.sprintf "table6:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
+      ~init:(fun () -> Hashtbl.create 8)
+      ~f:Exp_drivers.run_task (Array.of_list tasks)
+  in
+  let cursor = ref 0 in
+  let take spec =
+    match spec with
+    | None -> None
+    | Some spec ->
+        let per_rep = List.init reps (fun i -> results.(!cursor + i)) in
+        cursor := !cursor + reps;
+        let covs = List.fold_left (fun acc (c, _) -> c :: acc) [] per_rep in
+        let crashes = List.fold_left (fun acc (_, x) -> x :: acc) [] per_rep in
+        let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+        Some
+          { c_sys = Syzlang.Ast.count_syscalls spec; c_cov = mean covs; c_crash = mean crashes }
+  in
   let rows =
     List.map
       (fun (e : Corpus.Types.entry) ->
-        {
-          r_name = e.display_name;
-          r_syzkaller =
-            fuzz_cell ~entry:e ~reps ~budget (Baseline.Syzkaller_specs.spec_of_entry e);
-          r_kernelgpt = fuzz_cell ~entry:e ~reps ~budget (Suites.kgpt_spec ctx e.name);
-        })
-      (Corpus.Registry.table6 ())
+        match specs_of e with
+        | [ (_, manual); (_, kg) ] ->
+            { r_name = e.display_name; r_syzkaller = take manual; r_kernelgpt = take kg }
+        | _ -> assert false)
+      entries
   in
   { socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows }
 

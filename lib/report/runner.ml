@@ -61,11 +61,18 @@ let which_of_string = function
 let wants which target =
   which = All || which = target
 
-let run ?(scale = Quick) ?(which = All) () =
+(** Regenerate the paper's artifacts. [jobs > 1] shards independent
+    campaigns, repetitions, and pipeline runs over a pool of worker
+    domains ({!Kernelgpt.Pool}); results are merged in a fixed order, so
+    the tables printed on stdout are byte-identical to a sequential run.
+    The pool's timing report (and, with [KGPT_POOL_TRACE] set, per-task
+    wall-clocks) goes to stderr. *)
+let run ?(scale = Quick) ?(which = All) ?(jobs = 1) () =
   let b = budgets_of scale in
   let t0 = Unix.gettimeofday () in
+  Kernelgpt.Pool.reset_stats ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
-  let ctx = Suites.build () in
+  let ctx = Suites.build ~jobs () in
   Printf.printf "  (%d loaded handlers; %d oracle queries, %d prompt tokens so far; %.1fs)\n%!"
     (List.length ctx.entries) ctx.oracle.Oracle.queries ctx.oracle.Oracle.prompt_tokens
     (Unix.gettimeofday () -. t0);
@@ -73,20 +80,22 @@ let run ?(scale = Quick) ?(which = All) () =
   if wants which Fig7 then Exp_specs.print_fig7 ctx;
   if wants which Table2 then Exp_specs.print_table2 (Exp_specs.table2 ctx);
   if wants which Table3 then
-    Exp_fuzz.print_table3 (Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ctx);
+    Exp_fuzz.print_table3 (Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ~jobs ctx);
   if wants which Table4 then
-    Exp_bugs.print_table4 (Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ctx);
+    Exp_bugs.print_table4 (Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ~jobs ctx);
   if wants which Table5 then
-    Exp_drivers.print_table5 (Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ctx);
+    Exp_drivers.print_table5 (Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ctx);
   if wants which Table6 then
-    Exp_sockets.print_table6 (Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ctx);
+    Exp_sockets.print_table6 (Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ctx);
   (match which with
   | All ->
-      Exp_ablation.print (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ())
+      Exp_ablation.print (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ())
   | Ablation_iter | Ablation_llm ->
-      let a = Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget () in
+      let a = Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs () in
       if which = Ablation_iter then Exp_ablation.print_rows "Ablation 1" a.iter_rows
       else Exp_ablation.print_rows "Ablation 2" a.llm_rows
   | _ -> ());
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
-  Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if jobs > 1 then
+    Kernelgpt.Pool.report ~per_task:(Sys.getenv_opt "KGPT_POOL_TRACE" <> None) stderr

@@ -20,18 +20,47 @@ let generation_targets (entries : Corpus.Types.entry list) : Corpus.Types.entry 
       Baseline.Syzkaller_specs.is_incomplete e || e.in_table5 || e.in_table6)
     entries
 
-let build ?(profile = Profile.gpt4) () : ctx =
+(** Build the shared context. [jobs > 1] shards the per-entry pipeline
+    runs over a domain pool; every worker boots its own machine and
+    oracle (both carry mutable state — the definition index memoizes,
+    the oracle counts), and the outcomes are merged in entry order, so
+    the context is identical to a sequential build. *)
+let build ?(profile = Profile.gpt4) ?(jobs = 1) () : ctx =
   let entries = Corpus.Registry.loaded () in
   let machine = Vkernel.Machine.boot entries in
   let kernel = machine.Vkernel.Machine.index in
   let oracle = Oracle.create ~profile ~knowledge:kernel () in
   let kgpt = Hashtbl.create 256 in
   let sd = Hashtbl.create 256 in
-  List.iter
-    (fun (e : Corpus.Types.entry) ->
-      Hashtbl.replace kgpt e.name (Kernelgpt.Pipeline.run ~oracle ~kernel e);
-      Hashtbl.replace sd e.name (Baseline.Syzdescribe.run e))
-    (generation_targets entries);
+  let targets = Array.of_list (generation_targets entries) in
+  let outcomes =
+    Kernelgpt.Pool.map_init ~jobs
+      ~label:(fun _ (e : Corpus.Types.entry) -> "pipeline:" ^ e.name)
+      ~init:(fun () ->
+        if jobs <= 1 then (oracle, kernel)
+        else
+          let m = Vkernel.Machine.boot entries in
+          let k = m.Vkernel.Machine.index in
+          (Oracle.create ~profile ~knowledge:k (), k))
+      ~f:(fun (oracle, kernel) (e : Corpus.Types.entry) ->
+        (Kernelgpt.Pipeline.run ~oracle ~kernel e, Baseline.Syzdescribe.run e))
+      targets
+  in
+  Array.iteri
+    (fun i (kg_out, sd_out) ->
+      let e = targets.(i) in
+      Hashtbl.replace kgpt e.Corpus.Types.name kg_out;
+      Hashtbl.replace sd e.Corpus.Types.name sd_out)
+    outcomes;
+  if jobs > 1 then
+    (* fold the workers' oracle accounting into the shared oracle; each
+       outcome carries its own query/token deltas, so the totals equal
+       the sequential run's *)
+    Array.iter
+      (fun ((kg_out : Kernelgpt.Pipeline.outcome), _) ->
+        oracle.Oracle.queries <- oracle.Oracle.queries + kg_out.o_queries;
+        oracle.Oracle.prompt_tokens <- oracle.Oracle.prompt_tokens + kg_out.o_tokens)
+      outcomes;
   { machine; kernel; entries; oracle; kgpt; sd }
 
 let kgpt_outcome ctx name = Hashtbl.find_opt ctx.kgpt name

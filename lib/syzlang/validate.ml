@@ -20,7 +20,15 @@ let item_to_string = function
   | In_flag_set s -> "flags " ^ s
   | In_resource s -> "resource " ^ s
 
-type error = { err_spec : string; err_item : item; err_msg : string }
+type error = {
+  err_spec : string;
+  err_item : item;
+  err_msg : string;
+  err_ident : string option;
+      (** the offending identifier, when the error is about one — what
+          the repair loop substitutes. Carried structurally so repair
+          never has to re-parse it out of [err_msg]. *)
+}
 
 let error_to_string e =
   Printf.sprintf "%s: %s: %s" e.err_spec (item_to_string e.err_item) e.err_msg
@@ -82,7 +90,10 @@ let max_array_size = 1 lsl 20
     list means the specification passed validation. *)
 let validate ~(kernel : Csrc.Index.t) (spec : Ast.spec) : error list =
   let errors = ref [] in
-  let err item msg = errors := { err_spec = spec.spec_name; err_item = item; err_msg = msg } :: !errors in
+  let err ?ident item msg =
+    errors :=
+      { err_spec = spec.spec_name; err_item = item; err_msg = msg; err_ident = ident } :: !errors
+  in
   let type_names = List.map (fun c -> c.Ast.comp_name) spec.types in
   let resource_names = List.map (fun r -> r.Ast.res_name) spec.resources in
   let flag_set_names = List.map (fun f -> f.Ast.set_name) spec.flag_sets in
@@ -90,7 +101,7 @@ let validate ~(kernel : Csrc.Index.t) (spec : Ast.spec) : error list =
     match resolve_const kernel c with
     | Some _ -> ()
     | None ->
-        err item
+        err ?ident:c.const_name item
           (Printf.sprintf "unknown const %s" (Ast.const_ref_to_string c))
   in
   let rec check_typ item ?(siblings = []) (t : Ast.typ) =
@@ -98,16 +109,16 @@ let validate ~(kernel : Csrc.Index.t) (spec : Ast.spec) : error list =
     | Ast.Const (c, _) -> check_const item c
     | Ast.Flags (name, _) ->
         if not (List.mem name flag_set_names) then
-          err item (Printf.sprintf "undefined flags %s" name)
+          err ~ident:name item (Printf.sprintf "undefined flags %s" name)
     | Ast.Struct_ref name | Ast.Union_ref name ->
         if not (List.mem name type_names) then
-          err item (Printf.sprintf "undefined type %s" name)
+          err ~ident:name item (Printf.sprintf "undefined type %s" name)
     | Ast.Resource_ref name ->
         if not (List.mem name resource_names) then
-          err item (Printf.sprintf "undefined resource %s" name)
+          err ~ident:name item (Printf.sprintf "undefined resource %s" name)
     | Ast.Len (target, _) | Ast.Bytesize (target, _) ->
         if not (List.mem target siblings) then
-          err item (Printf.sprintf "len target %s is not a sibling field" target)
+          err ~ident:target item (Printf.sprintf "len target %s is not a sibling field" target)
     | Ast.Array (elem, size) ->
         (match size with
         | Some n when n < 0 || n > max_array_size ->
@@ -137,7 +148,7 @@ let validate ~(kernel : Csrc.Index.t) (spec : Ast.spec) : error list =
       List.iter (fun f -> check_typ item ~siblings f.Ast.ftyp) c.Ast.args;
       (match c.Ast.ret with
       | Some r when not (List.mem r resource_names) ->
-          err item (Printf.sprintf "return resource %s is not declared" r)
+          err ~ident:r item (Printf.sprintf "return resource %s is not declared" r)
       | _ -> ());
       (* an ioctl needs a constant (or flag-set) command argument *)
       if c.Ast.call_name = "ioctl" then
@@ -168,7 +179,7 @@ let validate ~(kernel : Csrc.Index.t) (spec : Ast.spec) : error list =
     (fun r ->
       if r.Ast.res_underlying <> "fd" && not (List.mem r.Ast.res_underlying resource_names)
       then
-        err (In_resource r.Ast.res_name)
+        err ~ident:r.Ast.res_underlying (In_resource r.Ast.res_name)
           (Printf.sprintf "unknown underlying resource %s" r.Ast.res_underlying))
     spec.resources;
   List.rev !errors

@@ -1,0 +1,38 @@
+#!/bin/sh
+# CI: build, run the full test suite, then check the --jobs determinism
+# contract — a parallel run of a quick experiment must print tables
+# byte-identical to the sequential run.
+#
+# Usage: scripts/ci.sh  (from the repository root)
+set -eu
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== parallel-vs-sequential equivalence (table3, quick) =="
+# Wall-clock lines ("Booting...", "(N loaded handlers; ...s)", "Total
+# experiment time") are not run-to-run deterministic; everything else —
+# every table row and summary number — must match exactly. The pool's
+# own report goes to stderr and never pollutes stdout.
+filter() {
+  grep -v -e '^Booting synthetic kernel' \
+          -e 'loaded handlers;' \
+          -e '^Total experiment time:'
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 1 2>/dev/null | filter > "$tmp/seq.out"
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 4 2>/dev/null | filter > "$tmp/par.out"
+
+if ! diff -u "$tmp/seq.out" "$tmp/par.out"; then
+  echo "FAIL: --jobs 4 output differs from sequential run" >&2
+  exit 1
+fi
+echo "OK: --jobs 4 table3 output is byte-identical to sequential"
+
+echo "== CI green =="

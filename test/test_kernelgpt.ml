@@ -198,6 +198,93 @@ let test_syzdescribe_snd_format_err () =
     ((Baseline.Syzdescribe.run entry).sd_spec = None)
 
 (* ------------------------------------------------------------------ *)
+(* Repair loop: adversarial validation errors. The loop must act only
+   on the structured [err_ident] field — never parse identifiers out of
+   message text — so errors whose messages are punctuation-heavy, carry
+   no identifier, or put the identifier mid-sentence must be handled
+   without raising and without bogus substitutions. *)
+
+let repair_kernel =
+  lazy
+    (let sid = ref 0 in
+     Csrc.Index.of_files
+       (Corpus.Headers.parse_with_header ~sid ~file:"dm.c" Corpus.Drv_dm.source))
+
+let repair spec =
+  let kernel = Lazy.force repair_kernel in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  Kernelgpt.Pipeline.validate_and_repair ~oracle ~kernel spec
+
+let parse = Syzlang.Parser.parse_spec ~name:"adv"
+
+let test_repair_hallucinated_const () =
+  (* the repairable case: a hallucination suffix on a real macro *)
+  let spec, valid, changed, errors =
+    repair
+      (parse
+         {|resource fd_t[fd]
+ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION_V2], arg intptr)
+|})
+  in
+  Alcotest.(check bool) "repair applied" true changed;
+  Alcotest.(check bool) "validates after repair" true valid;
+  Alcotest.(check int) "no residual errors" 0 (List.length errors);
+  let ioctl = List.nth spec.Syzlang.Ast.syscalls 0 in
+  Alcotest.(check (option string)) "variant renamed" (Some "DM_VERSION") ioctl.variant
+
+let test_repair_identifier_not_last () =
+  (* "len target nonexistent is not a sibling field": the identifier is
+     mid-message; the last word is "field". Must not raise and must not
+     substitute the trailing word. *)
+  let spec, valid, _, errors =
+    repair
+      (parse
+         {|resource fd_t[fd]
+bad_struct {
+	count len[nonexistent, int32]
+	data array[int8, 4]
+}
+|})
+  in
+  Alcotest.(check bool) "still invalid" false valid;
+  Alcotest.(check bool) "errors remain" true (errors <> []);
+  Alcotest.(check bool) "struct not mangled" true
+    (List.exists (fun c -> c.Syzlang.Ast.comp_name = "bad_struct") spec.types)
+
+let test_repair_errors_without_identifier () =
+  (* "empty struct/union", "empty flag set", "ioctl must take at least
+     (fd, cmd)": punctuation-heavy messages that name no identifier at
+     all (err_ident = None). The old code indexed the last word of the
+     message and raised on short messages; these must come back
+     untouched. *)
+  let spec =
+    {
+      Syzlang.Ast.spec_name = "adv";
+      resources = [ { Syzlang.Ast.res_name = "fd_t"; res_underlying = "fd" } ];
+      syscalls =
+        [
+          {
+            Syzlang.Ast.call_name = "ioctl";
+            variant = Some "SHAPE";
+            args = [ { Syzlang.Ast.fname = "fd"; ftyp = Syzlang.Ast.Resource_ref "fd_t" } ];
+            ret = None;
+          };
+        ];
+      types = [ { Syzlang.Ast.comp_name = "hollow"; comp_kind = Syzlang.Ast.Struct; comp_fields = [] } ];
+      flag_sets = [ { Syzlang.Ast.set_name = "no_values"; set_values = [] } ];
+    }
+  in
+  let spec', valid, changed, errors = repair spec in
+  Alcotest.(check bool) "still invalid" false valid;
+  Alcotest.(check bool) "no substitution invented" false changed;
+  Alcotest.(check int) "all three errors survive" 3 (List.length errors);
+  List.iter
+    (fun (e : Syzlang.Validate.error) ->
+      Alcotest.(check (option string)) (e.err_msg ^ " names no identifier") None e.err_ident)
+    errors;
+  Alcotest.(check bool) "spec untouched" true (spec' = spec)
+
+(* ------------------------------------------------------------------ *)
 
 let test_extractor_finds_handlers () =
   let idx = Kernelgpt.Extractor.module_index Corpus.Drv_virt.kvm_source in
@@ -240,6 +327,12 @@ let () =
         [
           t "all-in-one weaker on kvm" test_all_in_one_weaker_on_kvm;
           t "gpt-3.5 weaker on dm" test_gpt35_weaker_on_dm;
+        ] );
+      ( "repair",
+        [
+          t "hallucinated const repaired" test_repair_hallucinated_const;
+          t "identifier not last word" test_repair_identifier_not_last;
+          t "errors without identifier" test_repair_errors_without_identifier;
         ] );
       ( "syzdescribe",
         [

@@ -1,0 +1,108 @@
+(* Unit tests for the domain work pool: ordering, determinism vs the
+   sequential path, worker-local state, exception propagation, and the
+   timing accounting. *)
+
+let test_map_preserves_order () =
+  let items = Array.init 100 (fun i -> i) in
+  let f x = (x * 2) + 1 in
+  let seq = Kernelgpt.Pool.map ~jobs:1 f items in
+  let par = Kernelgpt.Pool.map ~jobs:4 f items in
+  Alcotest.(check (array int)) "parallel equals sequential" seq par;
+  Alcotest.(check int) "order preserved" 7 par.(3)
+
+let test_map_empty () =
+  Alcotest.(check int) "empty input" 0
+    (Array.length (Kernelgpt.Pool.map ~jobs:4 (fun x -> x) [||]))
+
+let test_map_more_jobs_than_tasks () =
+  let out = Kernelgpt.Pool.map ~jobs:16 (fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "pool shrinks to task count" [| 2; 3; 4 |] out
+
+let test_map_init_worker_state_private () =
+  (* each worker gets its own counter: grouped by worker, the returned
+     running counts must form a gapless 1..k stream, and the streams
+     must jointly cover all 64 tasks exactly once *)
+  let items = Array.init 64 (fun i -> i) in
+  let next_id = Atomic.make 0 in
+  let out =
+    Kernelgpt.Pool.map_init ~jobs:4
+      ~init:(fun () -> (Atomic.fetch_and_add next_id 1, ref 0))
+      ~f:(fun (id, counter) _ ->
+        incr counter;
+        (id, !counter))
+      items
+  in
+  Alcotest.(check int) "every task ran" 64 (Array.length out);
+  let per_worker = Hashtbl.create 8 in
+  Array.iter
+    (fun (id, c) ->
+      let prev = Option.value (Hashtbl.find_opt per_worker id) ~default:0 in
+      Hashtbl.replace per_worker id (max prev c))
+    out;
+  let covered = Hashtbl.fold (fun _ k acc -> acc + k) per_worker 0 in
+  Alcotest.(check int) "worker streams partition the tasks" 64 covered;
+  (* each worker's stream is gapless: count c appears exactly once per worker *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (id, c) ->
+      Alcotest.(check bool) "no duplicated count in a stream" false (Hashtbl.mem seen (id, c));
+      Hashtbl.replace seen (id, c) ())
+    out
+
+let test_exception_propagates () =
+  let boom () =
+    ignore
+      (Kernelgpt.Pool.map ~jobs:3
+         (fun x -> if x = 5 then failwith "task exploded" else x)
+         (Array.init 20 (fun i -> i)))
+  in
+  Alcotest.check_raises "worker exception reaches caller" (Failure "task exploded") boom
+
+let test_exception_in_init_propagates () =
+  let boom () =
+    ignore
+      (Kernelgpt.Pool.map_init ~jobs:2
+         ~init:(fun () -> failwith "init exploded")
+         ~f:(fun () x -> x)
+         [| 1; 2; 3 |])
+  in
+  Alcotest.check_raises "init exception reaches caller" (Failure "init exploded") boom
+
+let test_stats_accounting () =
+  Kernelgpt.Pool.reset_stats ();
+  ignore (Kernelgpt.Pool.map ~jobs:2 (fun x -> x) (Array.init 10 (fun i -> i)));
+  ignore (Kernelgpt.Pool.map ~jobs:1 (fun x -> x) (Array.init 5 (fun i -> i)));
+  let s = Kernelgpt.Pool.stats () in
+  Alcotest.(check int) "tasks counted across runs" 15 s.s_tasks;
+  Alcotest.(check int) "max pool size" 2 s.s_workers;
+  Alcotest.(check int) "one timing per task" 15 (List.length (Kernelgpt.Pool.timings ()));
+  Kernelgpt.Pool.reset_stats ();
+  Alcotest.(check int) "reset clears" 0 (Kernelgpt.Pool.stats ()).s_tasks
+
+let test_labels_logged () =
+  Kernelgpt.Pool.reset_stats ();
+  ignore
+    (Kernelgpt.Pool.map ~jobs:2
+       ~label:(fun _ x -> "job:" ^ string_of_int x)
+       (fun x -> x) [| 7; 8 |]);
+  let labels = List.map (fun t -> t.Kernelgpt.Pool.tm_label) (Kernelgpt.Pool.timings ()) in
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " recorded") true (List.mem l labels))
+    [ "job:7"; "job:8" ]
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          t "order preserved" test_map_preserves_order;
+          t "empty input" test_map_empty;
+          t "more jobs than tasks" test_map_more_jobs_than_tasks;
+          t "worker state private" test_map_init_worker_state_private;
+          t "task exception propagates" test_exception_propagates;
+          t "init exception propagates" test_exception_in_init_propagates;
+          t "stats accounting" test_stats_accounting;
+          t "labels logged" test_labels_logged;
+        ] );
+    ]

@@ -55,6 +55,47 @@ let test_correctness_audit () =
   (* §5.1.3 shape: the vast majority of commands are recovered *)
   Alcotest.(check bool) "missing tail is small" true (a.a_missing_cmds * 5 < a.a_total_cmds)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism: jobs=4 must reproduce the sequential results
+   exactly — same specs, coverage, crash counts, and oracle accounting *)
+
+let test_suites_build_parallel_deterministic () =
+  let seq = Lazy.force ctx in
+  let par = Report.Suites.build ~jobs:4 () in
+  Alcotest.(check bool) "table1 identical" true
+    (Report.Exp_specs.table1 seq = Report.Exp_specs.table1 par);
+  Alcotest.(check int) "oracle queries match" seq.oracle.Oracle.queries
+    par.oracle.Oracle.queries;
+  Alcotest.(check int) "oracle tokens match" seq.oracle.Oracle.prompt_tokens
+    par.oracle.Oracle.prompt_tokens;
+  Alcotest.(check int) "same kernelgpt suite"
+    (Syzlang.Ast.count_syscalls (Report.Suites.kernelgpt_suite seq))
+    (Syzlang.Ast.count_syscalls (Report.Suites.kernelgpt_suite par))
+
+let test_table3_parallel_deterministic () =
+  let ctx = Lazy.force ctx in
+  let seq = Report.Exp_fuzz.table3 ~reps:2 ~budget:200 ~jobs:1 ctx in
+  let par = Report.Exp_fuzz.table3 ~reps:2 ~budget:200 ~jobs:4 ctx in
+  List.iter2
+    (fun (a : Report.Exp_fuzz.suite_result) (b : Report.Exp_fuzz.suite_result) ->
+      Alcotest.(check string) "suite name" a.sr_name b.sr_name;
+      Alcotest.(check (float 0.0)) (a.sr_name ^ " coverage") a.sr_cov b.sr_cov;
+      Alcotest.(check int) (a.sr_name ^ " unique") a.sr_unique b.sr_unique;
+      Alcotest.(check (float 0.0)) (a.sr_name ^ " crashes") a.sr_crashes b.sr_crashes)
+    seq.rows par.rows
+
+let test_table5_parallel_deterministic () =
+  let ctx = Lazy.force ctx in
+  let seq = Report.Exp_drivers.table5 ~reps:2 ~budget:150 ~jobs:1 ctx in
+  let par = Report.Exp_drivers.table5 ~reps:2 ~budget:150 ~jobs:4 ctx in
+  Alcotest.(check int) "same row count"
+    (List.length seq.driver_rows) (List.length par.driver_rows);
+  List.iter2
+    (fun (a : Report.Exp_drivers.row) (b : Report.Exp_drivers.row) ->
+      Alcotest.(check string) "row name" a.r_name b.r_name;
+      Alcotest.(check bool) (a.r_name ^ " cells identical") true (a = b))
+    seq.driver_rows par.driver_rows
+
 let test_module_suite_merges () =
   let ctx = Lazy.force ctx in
   let dm = Report.Suites.module_suite ctx "dm" in
@@ -74,5 +115,11 @@ let () =
           t "table3 tiny run" test_table3_tiny;
           t "correctness audit" test_correctness_audit;
           t "module suite" test_module_suite_merges;
+        ] );
+      ( "parallel-determinism",
+        [
+          t "suites build jobs=4" test_suites_build_parallel_deterministic;
+          t "table3 jobs=4" test_table3_parallel_deterministic;
+          t "table5 jobs=4" test_table5_parallel_deterministic;
         ] );
     ]

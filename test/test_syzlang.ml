@@ -114,6 +114,58 @@ let test_validate_undeclared_resource () =
   (* fd_ghost parses as a struct ref since no resource declares it *)
   Alcotest.(check bool) "reports something undefined" true (errors <> [])
 
+let test_validate_err_ident_structured () =
+  (* identifier errors carry the offending name as a structured field,
+     so consumers (the repair loop) never parse it out of message text *)
+  let spec =
+    parse (simple_spec ^ "ioctl$BAD(fd fd_t, cmd const[NO_SUCH_MACRO], arg ptr[in, ghost_t])\n")
+  in
+  let errors = Syzlang.Validate.validate ~kernel:(Lazy.force kernel) spec in
+  let ident_of msg =
+    List.find_map
+      (fun (e : Syzlang.Validate.error) -> if e.err_msg = msg then Some e.err_ident else None)
+      errors
+  in
+  Alcotest.(check (option (option string))) "unknown const carries its name"
+    (Some (Some "NO_SUCH_MACRO")) (ident_of "unknown const NO_SUCH_MACRO");
+  Alcotest.(check (option (option string))) "undefined type carries its name"
+    (Some (Some "ghost_t")) (ident_of "undefined type ghost_t")
+
+let test_validate_err_ident_absent_for_structural () =
+  (* structural errors name no identifier; err_ident must be None even
+     when the message happens to end in an identifier-looking word *)
+  let dup = simple_spec ^ "ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION], arg intptr)\n" in
+  let errors = Syzlang.Validate.validate ~kernel:(Lazy.force kernel) (parse dup) in
+  List.iter
+    (fun (e : Syzlang.Validate.error) ->
+      if e.err_msg = "duplicate syscall name" then
+        Alcotest.(check (option string)) "duplicate has no ident" None e.err_ident)
+    errors;
+  let shape = {|resource fd_t[fd]
+ioctl$X(fd fd_t, cmd intptr, arg intptr)
+|} in
+  let errors = Syzlang.Validate.validate ~kernel:(Lazy.force kernel) (parse shape) in
+  List.iter
+    (fun (e : Syzlang.Validate.error) ->
+      if e.err_msg = "ioctl command argument must be a const or flags" then
+        Alcotest.(check (option string)) "ioctl shape has no ident" None e.err_ident)
+    errors
+
+let test_validate_len_target_ident () =
+  let text =
+    {|resource fd_t[fd]
+bad_struct {
+	count len[nonexistent, int32]
+	data array[int8, 4]
+}
+|}
+  in
+  let errors = Syzlang.Validate.validate ~kernel:(Lazy.force kernel) (parse text) in
+  Alcotest.(check bool) "len error carries mid-message ident" true
+    (List.exists
+       (fun (e : Syzlang.Validate.error) -> e.err_ident = Some "nonexistent")
+       errors)
+
 let test_resolve_spec_fills_values () =
   let spec = parse simple_spec in
   let resolved = Syzlang.Validate.resolve_spec ~kernel:(Lazy.force kernel) spec in
@@ -243,6 +295,9 @@ let () =
           t "len target" test_validate_len_target;
           t "ioctl cmd const" test_validate_ioctl_needs_const_cmd;
           t "undeclared resource" test_validate_undeclared_resource;
+          t "err_ident structured" test_validate_err_ident_structured;
+          t "err_ident absent for structural" test_validate_err_ident_absent_for_structural;
+          t "err_ident mid-message" test_validate_len_target_ident;
           t "resolve fills values" test_resolve_spec_fills_values;
         ] );
       ( "merge-and-rewrite",
