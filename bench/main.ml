@@ -8,9 +8,11 @@
       dune exec bench/main.exe -- --jobs 8     # shard campaigns over 8 domains
       dune exec bench/main.exe -- --jobs 0     # one worker per core
       dune exec bench/main.exe -- --micro      # Bechamel component benches only
+      dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
 
     Tables on stdout are byte-identical for any --jobs value; the pool
-    speedup summary goes to stderr. *)
+    speedup summary, the --metrics registry, and --trace spans go to
+    stderr or the trace file, never stdout. *)
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -111,6 +113,10 @@ let () =
     | Some _ -> Kernelgpt.Pool.cpu_count ()  (* --jobs 0: one worker per core *)
     | None -> 1
   in
+  (match value_of "--trace" with
+  | Some file -> Obs.enable_trace_file file
+  | None -> ());
+  if has "--metrics" then Obs.enable_metrics ();
   let which =
     match value_of "--exp" with
     | Some w -> (

@@ -33,6 +33,32 @@ let jobs_arg =
 
 let resolve_jobs n = if n <= 0 then Kernelgpt.Pool.cpu_count () else n
 
+(* Observability flags, shared by every command that runs the pipeline.
+   Traces go to a file and metrics to stderr, so stdout stays
+   byte-identical for any --jobs value. *)
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write one JSONL span record per pipeline stage, oracle query, pool task, \
+                and fuzzing campaign to $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect counters/histograms (oracle cost, repair outcomes, campaign and \
+                pool statistics) and render them on stderr at exit. Replaces the removed \
+                KGPT_POOL_TRACE environment variable.")
+  in
+  let setup trace metrics =
+    (match trace with Some file -> Obs.enable_trace_file file | None -> ());
+    if metrics then Obs.enable_metrics ()
+  in
+  Term.(const setup $ trace $ metrics)
+
 let find_entry name =
   match Corpus.Registry.find name with
   | Some e -> e
@@ -74,7 +100,7 @@ let list_cmd =
     Term.(ret (const run $ verbose))
 
 let generate_cmd =
-  let run name profile all_in_one show_prompting =
+  let run () name profile all_in_one show_prompting =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
@@ -101,7 +127,7 @@ let generate_cmd =
   let show = Arg.(value & flag & info [ "stats" ] ~doc:"Print oracle cost accounting.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a syzlang specification with KernelGPT")
-    Term.(ret (const run $ module_arg $ model_arg $ all_in_one $ show))
+    Term.(ret (const run $ obs_term $ module_arg $ model_arg $ all_in_one $ show))
 
 let baseline_cmd =
   let run name =
@@ -116,7 +142,7 @@ let baseline_cmd =
     Term.(ret (const run $ module_arg))
 
 let fuzz_cmd =
-  let run name suite budget seed profile repro =
+  let run () name suite budget seed profile repro =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
@@ -166,24 +192,24 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a module with a specification suite")
-    Term.(ret (const run $ module_arg $ suite $ budget $ seed $ model_arg $ repro))
+    Term.(ret (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro))
 
 let bugs_cmd =
-  let run budget seeds jobs =
+  let run () budget seeds jobs =
     let jobs = resolve_jobs jobs in
     Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
     let ctx = Report.Suites.build ~jobs () in
     Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ~jobs ctx);
-    if jobs > 1 then Kernelgpt.Pool.report stderr;
+    if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr;
     `Ok ()
   in
   let budget = Arg.(value & opt int 30_000 & info [ "budget" ] ~doc:"Executions per module.") in
   let seeds = Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Campaign seeds per module.") in
   Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs")
-    Term.(ret (const run $ budget $ seeds $ jobs_arg))
+    Term.(ret (const run $ obs_term $ budget $ seeds $ jobs_arg))
 
 let report_cmd =
-  let run exp full jobs =
+  let run () exp full jobs =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -201,9 +227,42 @@ let report_cmd =
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full budgets (EXPERIMENTS.md scale).") in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ exp $ full $ jobs_arg))
+    Term.(ret (const run $ obs_term $ exp $ full $ jobs_arg))
+
+let trace_cmd =
+  let run file expected =
+    match Obs.validate_trace_file file with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok stats ->
+        Printf.printf "%s: %d records\n" file stats.Obs.ts_records;
+        List.iter (fun (k, n) -> Printf.printf "  %-18s %d\n" k n) stats.ts_kinds;
+        let missing =
+          List.filter (fun k -> not (List.mem_assoc k stats.ts_kinds)) expected
+        in
+        if missing = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "missing expected span kind(s): %s"
+                (String.concat ", " missing) )
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace JSONL file.")
+  in
+  let expected =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect" ] ~docv:"KIND"
+          ~doc:"Fail unless a span of $(docv) is present (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Validate a --trace JSONL file and summarize its span kinds")
+    Term.(ret (const run $ file $ expected))
 
 let () =
   let doc = "KernelGPT reproduction: LLM-guided syscall-specification synthesis for kernel fuzzing" in
   let info = Cmd.info "kernelgpt_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; generate_cmd; baseline_cmd; fuzz_cmd; bugs_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; generate_cmd; baseline_cmd; fuzz_cmd; bugs_cmd; report_cmd; trace_cmd ]))

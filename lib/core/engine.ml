@@ -15,6 +15,10 @@ let new_stats () = { iterations = 0; analyzed = 0 }
     command values and argument types are known. *)
 let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     ~(handler_fn : string) ~(stats : stage_stats) : Prompt.ident list =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
+    ~kind:"pipeline.stage" "identifier"
+  @@ fun () ->
   let idents = ref [] in
   let visited = Hashtbl.create 8 in
   let rec go step targets =
@@ -67,6 +71,10 @@ let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     types marked unknown. *)
 let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     ~(type_names : string list) ~(stats : stage_stats) : Syzlang.Ast.comp_def list =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("targets", Obs.Json.Int (List.length type_names)) ])
+    ~kind:"pipeline.stage" "type"
+  @@ fun () ->
   let types = ref [] in
   let visited = Hashtbl.create 8 in
   let rec go step targets =
@@ -114,6 +122,10 @@ let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     it reaches, and let the oracle spot resource-producing commands. *)
 let dependency_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     ~(handler_fn : string) ~(stats : stage_stats) : Prompt.dep list =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
+    ~kind:"pipeline.stage" "dependency"
+  @@ fun () ->
   stats.iterations <- stats.iterations + 1;
   let fns = Extractor.call_closure module_index handler_fn ~depth:3 in
   let snippets = List.filter_map (Extractor.snippet module_index) fns in
@@ -127,6 +139,10 @@ let dependency_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
 (** Device-name inference for the registration symbol. *)
 let device_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     ~(reg_symbol : string) : string option =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("symbol", Obs.Json.Str reg_symbol) ])
+    ~kind:"pipeline.stage" "device"
+  @@ fun () ->
   let snippets = List.filter_map (Extractor.snippet module_index) [ reg_symbol ] in
   let resp =
     Oracle.query oracle
@@ -137,6 +153,10 @@ let device_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
 (** Socket-triple inference for a proto_ops symbol. *)
 let socket_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     ~(ops_symbol : string) : (int * int * int) option =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("symbol", Obs.Json.Str ops_symbol) ])
+    ~kind:"pipeline.stage" "socket"
+  @@ fun () ->
   let snippets =
     List.filter_map (Extractor.snippet module_index) [ ops_symbol ]
     @ [ Extractor.module_macros_snippet module_index ]
@@ -150,6 +170,10 @@ let socket_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
 (** §5.2.3 ablation: all related code in one prompt, one query. *)
 let all_in_one ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t) ~(handler_fn : string) :
     Prompt.ident list * Syzlang.Ast.comp_def list * Prompt.dep list =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
+    ~kind:"pipeline.stage" "all-in-one"
+  @@ fun () ->
   let fns = Extractor.call_closure module_index handler_fn ~depth:4 in
   (* include every struct any of those functions reference, plus their
      nested structs — everything, as the ablation prescribes *)

@@ -41,14 +41,37 @@ let max_repair_rounds = 3
 let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (spec : Syzlang.Ast.spec) : Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list =
   let errors0 = Syzlang.Validate.validate ~kernel spec in
-  if errors0 = [] then (spec, true, false, [])
+  if errors0 = [] then begin
+    Obs.Metrics.incr "repair.outcome.direct";
+    (spec, true, false, [])
+  end
   else begin
     let spec = ref spec in
     let errors = ref errors0 in
     let round = ref 0 in
     let changed = ref false in
+    Obs.with_span
+      ~attrs:(fun () ->
+        [
+          ("errors_initial", Obs.Json.Int (List.length errors0));
+          ("errors_final", Obs.Json.Int (List.length !errors));
+          ("rounds", Obs.Json.Int !round);
+        ])
+      ~kind:"pipeline.stage" "validate"
+    @@ fun () ->
     while !errors <> [] && !round < max_repair_rounds do
       incr round;
+      Obs.Metrics.incr "repair.rounds";
+      let errors_before = List.length !errors in
+      Obs.with_span
+        ~attrs:(fun () ->
+          [
+            ("errors_before", Obs.Json.Int errors_before);
+            ("errors_after", Obs.Json.Int (List.length !errors));
+          ])
+        ~kind:"repair.round"
+        ("round-" ^ string_of_int !round)
+      @@ fun () ->
       let progressed = ref false in
       List.iter
         (fun (e : Syzlang.Validate.error) ->
@@ -96,6 +119,8 @@ let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
       errors := Syzlang.Validate.validate ~kernel !spec;
       if not !progressed then round := max_repair_rounds
     done;
+    Obs.Metrics.incr
+      (if !errors = [] then "repair.outcome.fixed" else "repair.outcome.failed");
     (!spec, !errors = [], !changed, !errors)
   end
 
@@ -156,8 +181,14 @@ let ioctl_fn_of (hi : Extractor.handler_info) : string option =
 let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
   let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
-  let midx = Extractor.module_index entry.source in
-  let infos = Extractor.extract midx in
+  let midx, infos =
+    Obs.with_span
+      ~attrs:(fun () -> [ ("entry", Obs.Json.Str entry.name) ])
+      ~kind:"pipeline.stage" "extraction"
+    @@ fun () ->
+    let midx = Extractor.module_index entry.source in
+    (midx, Extractor.extract midx)
+  in
   match Extractor.main_handler infos with
   | None -> failed_outcome entry.name
   | Some hi -> (
@@ -310,7 +341,13 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
               ~deps:dep_blocks ~plain
           in
           let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
-          let spec, errors = if valid then (spec, errors) else prune ~kernel spec in
+          let spec, errors =
+            if valid then (spec, errors)
+            else begin
+              Obs.Metrics.incr "repair.pruned_specs";
+              prune ~kernel spec
+            end
+          in
           {
             o_entry = entry.name;
             o_spec = Some spec;
@@ -331,8 +368,14 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
 let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
   let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
-  let midx = Extractor.module_index entry.source in
-  let infos = Extractor.extract midx in
+  let midx, infos =
+    Obs.with_span
+      ~attrs:(fun () -> [ ("entry", Obs.Json.Str entry.name) ])
+      ~kind:"pipeline.stage" "extraction"
+    @@ fun () ->
+    let midx = Extractor.module_index entry.source in
+    (midx, Extractor.extract midx)
+  in
   match List.find_opt (fun hi -> hi.Extractor.hi_is_socket) infos with
   | None -> failed_outcome entry.name
   | Some hi -> (
@@ -434,7 +477,13 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
           in
           let spec = Specgen.socket_spec ~name:entry.name ~shape ~types in
           let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
-          let spec, errors = if valid then (spec, errors) else prune ~kernel spec in
+          let spec, errors =
+            if valid then (spec, errors)
+            else begin
+              Obs.Metrics.incr "repair.pruned_specs";
+              prune ~kernel spec
+            end
+          in
           {
             o_entry = entry.name;
             o_spec = Some spec;
@@ -451,6 +500,35 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
 (** Generate a specification for one corpus module. *)
 let run ?(mode = Iterative) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
-  match entry.kind with
-  | Corpus.Types.Driver -> run_driver ~mode ~oracle ~kernel entry
-  | Corpus.Types.Socket -> run_socket ~mode ~oracle ~kernel entry
+  let o = ref None in
+  Obs.with_span
+    ~attrs:(fun () ->
+      let kind =
+        match entry.kind with
+        | Corpus.Types.Driver -> "driver"
+        | Corpus.Types.Socket -> "socket"
+      in
+      let valid, usable, queries =
+        match !o with
+        | Some o -> (o.o_valid, o.o_usable, o.o_queries)
+        | None -> (false, false, 0)
+      in
+      [
+        ("module_kind", Obs.Json.Str kind);
+        ("valid", Obs.Json.Bool valid);
+        ("usable", Obs.Json.Bool usable);
+        ("queries", Obs.Json.Int queries);
+      ])
+    ~kind:"pipeline" entry.name
+  @@ fun () ->
+  Obs.Metrics.incr "pipeline.runs";
+  let outcome =
+    match entry.kind with
+    | Corpus.Types.Driver -> run_driver ~mode ~oracle ~kernel entry
+    | Corpus.Types.Socket -> run_socket ~mode ~oracle ~kernel entry
+  in
+  if outcome.o_valid then Obs.Metrics.incr "pipeline.valid";
+  if outcome.o_usable then Obs.Metrics.incr "pipeline.usable";
+  if outcome.o_repaired then Obs.Metrics.incr "pipeline.repaired";
+  o := Some outcome;
+  outcome

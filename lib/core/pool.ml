@@ -72,13 +72,34 @@ let finish_run ~t_start ~workers (timings : timing option array) =
   let wall = Unix.gettimeofday () -. t_start in
   with_log (fun () ->
       pool_runs := (Array.length timings, workers, wall) :: !pool_runs;
-      Array.iter (function Some t -> logged := t :: !logged | None -> ()) timings)
+      Array.iter (function Some t -> logged := t :: !logged | None -> ()) timings);
+  if Obs.metrics_on () then begin
+    Obs.Metrics.incr "pool.runs";
+    Obs.Metrics.incr ~by:(Array.length timings) "pool.tasks";
+    Obs.Metrics.observe "pool.run_wall_s" wall;
+    Array.iter
+      (function
+        | Some t ->
+            Obs.Metrics.observe "pool.task_s" t.tm_seconds;
+            Obs.Metrics.observe (Printf.sprintf "pool.worker%d.task_s" t.tm_worker)
+              t.tm_seconds
+        | None -> ())
+      timings
+  end
 
 let map_init ?(jobs = 1) ?label ~(init : unit -> 'w) ~(f : 'w -> 'a -> 'b)
     (items : 'a array) : 'b array =
   let n = Array.length items in
   if n = 0 then [||]
-  else begin
+  else
+    (* the pool-run span opens on the calling domain, so its id is
+       deterministic; every task span is rooted at <run-id>.<task-index>
+       below, independent of worker scheduling *)
+    Obs.with_span
+      ~attrs:(fun () -> [ ("tasks", Obs.Json.Int n) ])
+      ~kind:"pool.run" "pool"
+    @@ fun () ->
+    let ctx = Obs.current_ctx () in
     let label =
       match label with Some l -> l | None -> fun i _ -> "task-" ^ string_of_int i
     in
@@ -87,16 +108,19 @@ let map_init ?(jobs = 1) ?label ~(init : unit -> 'w) ~(f : 'w -> 'a -> 'b)
     let results : 'b option array = Array.make n None in
     let times : timing option array = Array.make n None in
     let run_task ~worker st i =
-      let t0 = Unix.gettimeofday () in
-      let r = f st items.(i) in
-      times.(i) <-
-        Some
-          {
-            tm_label = label i items.(i);
-            tm_worker = worker;
-            tm_seconds = Unix.gettimeofday () -. t0;
-          };
-      results.(i) <- Some r
+      Obs.with_task_span ~worker ~ctx ~index:i ~kind:"pool.task"
+        (fun () -> label i items.(i))
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r = f st items.(i) in
+          times.(i) <-
+            Some
+              {
+                tm_label = label i items.(i);
+                tm_worker = worker;
+                tm_seconds = Unix.gettimeofday () -. t0;
+              };
+          results.(i) <- Some r)
     in
     if workers = 1 then begin
       (* sequential fast path: no domain, identical to the historical
@@ -134,8 +158,16 @@ let map_init ?(jobs = 1) ?label ~(init : unit -> 'w) ~(f : 'w -> 'a -> 'b)
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
     end;
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None ->
+            (* a slot can only stay empty if a worker died before
+               reaching it; name the task so the failure is actionable *)
+            failwith
+              (Printf.sprintf "Pool.map_init: task %d (%s) produced no result" i
+                 (label i items.(i))))
+      results
 
 let map ?jobs ?label f items =
   map_init ?jobs ?label ~init:(fun () -> ()) ~f:(fun () x -> f x) items

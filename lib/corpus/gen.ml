@@ -32,7 +32,9 @@ let rand_int r n =
 
 let rand_bool r pct = rand_int r 100 < pct
 
-let pick r xs = List.nth xs (rand_int r (List.length xs))
+let pick r xs =
+  if xs = [] then invalid_arg "Gen.pick: empty list"
+  else List.nth xs (rand_int r (List.length xs))
 
 (* ------------------------------------------------------------------ *)
 (* Shapes                                                              *)
@@ -72,7 +74,7 @@ let gen_fields r prefix : field_shape list =
   let n = 2 + rand_int r 5 in
   let fields = ref [] in
   for i = 0 to n - 1 do
-    let base = List.nth field_names (rand_int r (List.length field_names)) in
+    let base = pick r field_names in
     let fname = Printf.sprintf "%s_%s%d" prefix base i in
     let shape =
       match rand_int r 10 with

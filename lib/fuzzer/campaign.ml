@@ -10,6 +10,7 @@ type result = {
   coverage : (int, unit) Hashtbl.t;  (** all statements reached *)
   crashes : (string, Vkernel.Machine.prog) Hashtbl.t;  (** title -> reproducer *)
   corpus_size : int;
+  corpus_evictions : int;  (** fresh programs that displaced a ring entry *)
 }
 
 let total_coverage res = Hashtbl.length res.coverage
@@ -29,18 +30,34 @@ let crash_titles res =
 let max_corpus = 512
 
 (** Run a campaign of [budget] program executions. *)
-let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000)
+let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
+  let coverage = Hashtbl.create 4096 in
+  let crashes = Hashtbl.create 8 in
+  let executions = ref 0 in
+  let corpus_n = ref 0 in
+  let evictions = ref 0 in
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("executions", Obs.Json.Int !executions);
+        ("coverage", Obs.Json.Int (Hashtbl.length coverage));
+        ("crashes", Obs.Json.Int (Hashtbl.length crashes));
+        ("corpus", Obs.Json.Int !corpus_n);
+        ("evictions", Obs.Json.Int !evictions);
+      ])
+    ~kind:"fuzz.campaign" spec.Syzlang.Ast.spec_name
+  @@ fun () ->
+  Obs.Metrics.incr "fuzz.campaigns";
   let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
   let t = Proggen.prepare spec in
   let r = Rng.make seed in
-  let coverage = Hashtbl.create 4096 in
-  let crashes = Hashtbl.create 8 in
   (* pre-sized ring: O(1) insertion instead of Array.append's O(n) copy
      (quadratic over the campaign) *)
   let corpus : Vkernel.Machine.prog array = Array.make max_corpus [] in
-  let corpus_n = ref 0 in
-  let executions = ref 0 in
+  (* coverage-growth checkpoints: eight per campaign, keyed to the
+     deterministic execution counter *)
+  let checkpoint_every = max 1 (budget / 8) in
   if t.Proggen.consumers <> [] then
     for _ = 1 to budget do
       incr executions;
@@ -65,10 +82,46 @@ let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000)
           List.exists (fun sid -> not (Hashtbl.mem coverage sid)) res.coverage
         in
         List.iter (fun sid -> Hashtbl.replace coverage sid ()) res.coverage;
-        if fresh && !corpus_n < max_corpus then begin
-          corpus.(!corpus_n) <- prog;
-          incr corpus_n
-        end
-      end
+        if fresh then
+          if !corpus_n < max_corpus then begin
+            corpus.(!corpus_n) <- prog;
+            incr corpus_n;
+            Obs.Metrics.incr "fuzz.corpus_inserts"
+          end
+          else begin
+            (* ring full: evict a random entry instead of silently
+               dropping the fresh program. The extra draw happens only
+               on this saturated path, so the RNG sequence — and every
+               Quick-scale table — is unchanged for runs that never
+               fill the ring. *)
+            let victim = Rng.int r max_corpus in
+            corpus.(victim) <- prog;
+            incr evictions;
+            Obs.Metrics.incr "fuzz.corpus_evictions"
+          end
+      end;
+      if !executions mod checkpoint_every = 0 && Obs.tracing () then
+        Obs.event
+          ~attrs:(fun () ->
+            [
+              ("executions", Obs.Json.Int !executions);
+              ("coverage", Obs.Json.Int (Hashtbl.length coverage));
+            ])
+          ~kind:"fuzz.checkpoint"
+          ("exec-" ^ string_of_int !executions)
     done;
-  { executions = !executions; coverage; crashes; corpus_size = !corpus_n }
+  if Obs.metrics_on () then begin
+    Obs.Metrics.incr ~by:!executions "fuzz.executions";
+    Obs.Metrics.observe "fuzz.coverage" (float_of_int (Hashtbl.length coverage));
+    Obs.Metrics.observe "fuzz.corpus_hit_rate"
+      (if !executions = 0 then 0.0
+       else float_of_int (!corpus_n + !evictions) /. float_of_int !executions);
+    if !corpus_n >= max_corpus then Obs.Metrics.incr "fuzz.corpus_saturated"
+  end;
+  {
+    executions = !executions;
+    coverage;
+    crashes;
+    corpus_size = !corpus_n;
+    corpus_evictions = !evictions;
+  }

@@ -9,6 +9,7 @@ type result = {
   coverage : (int, unit) Hashtbl.t;  (** statements reached, by id *)
   crashes : (string, Vkernel.Machine.prog) Hashtbl.t;  (** title → reproducer *)
   corpus_size : int;
+  corpus_evictions : int;  (** fresh programs that displaced a ring entry *)
 }
 
 val total_coverage : result -> int
@@ -19,11 +20,16 @@ val module_coverage : Vkernel.Machine.t -> result -> string -> int
 val crash_titles : result -> string list
 
 (** Run a campaign of [budget] program executions with the given
-    specification suite. Deterministic in [seed]. *)
+    specification suite. Deterministic in [seed]. Once the corpus ring
+    (size [max_corpus], default 512) fills, fresh-coverage programs evict
+    a seeded-random entry instead of being dropped; the eviction draw
+    only happens on the saturated path, so unsaturated runs keep the
+    historical RNG sequence. *)
 val run :
   ?seed:int ->
   ?budget:int ->
   ?step_budget:int ->
+  ?max_corpus:int ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   result

@@ -26,6 +26,7 @@ let fit_context (o : t) (p : Prompt.t) : Prompt.t =
         let cost = Prompt.snippet_tokens s in
         if used + cost > budget then begin
           o.truncations <- o.truncations + 1;
+          Obs.Metrics.incr "oracle.truncations";
           List.rev acc
         end
         else keep (s :: acc) (used + cost) rest
@@ -43,18 +44,21 @@ let maybe_corrupt_idents (o : t) ~(subject : string) (idents : Prompt.ident list
   if idents = [] then idents
   else if not (Profile.coin o.profile ~subject ~salt:"ident-err" ~pct:o.profile.error_rate_pct)
   then idents
-  else
+  else begin
+    Obs.Metrics.incr "oracle.injected_errors";
     let victim = Hashtbl.hash (o.profile.name, subject, "victim") mod List.length idents in
     List.mapi
       (fun i (id : Prompt.ident) ->
         if i = victim then { id with id_cmd = id.id_cmd ^ "_V2" } else id)
       idents
+  end
 
 let maybe_corrupt_type (o : t) ~(subject : string) (cd : Syzlang.Ast.comp_def) :
     Syzlang.Ast.comp_def =
   if not (Profile.coin o.profile ~subject ~salt:"type-err" ~pct:(o.profile.error_rate_pct / 2))
   then cd
-  else
+  else begin
+    Obs.Metrics.incr "oracle.injected_errors";
     (* reference a stale nested type name *)
     let fields =
       List.map
@@ -67,6 +71,7 @@ let maybe_corrupt_type (o : t) ~(subject : string) (cd : Syzlang.Ast.comp_def) :
         cd.comp_fields
     in
     { cd with comp_fields = fields }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Task implementations                                                *)
@@ -472,10 +477,41 @@ let run_repair (o : t) ~(item : string) ~(error : string) : Prompt.response =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let task_name = function
+  | Prompt.Identifier_deduction _ -> "identifier"
+  | Prompt.Type_recovery _ -> "type"
+  | Prompt.Dependency_analysis _ -> "dependency"
+  | Prompt.Device_name _ -> "device"
+  | Prompt.Socket_triple _ -> "socket"
+  | Prompt.Repair _ -> "repair"
+  | Prompt.All_in_one _ -> "all-in-one"
+
+let task_subject = function
+  | Prompt.Identifier_deduction { handler_fn }
+  | Prompt.Dependency_analysis { handler_fn }
+  | Prompt.All_in_one { handler_fn } ->
+      handler_fn
+  | Prompt.Type_recovery { type_name } -> type_name
+  | Prompt.Device_name { reg_symbol } -> reg_symbol
+  | Prompt.Socket_triple { ops_symbol } -> ops_symbol
+  | Prompt.Repair { item; _ } -> item
+
 let query (o : t) (p : Prompt.t) : Prompt.response =
+  let tokens = ref 0 in
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("subject", Obs.Json.Str (task_subject p.task));
+        ("prompt_tokens", Obs.Json.Int !tokens);
+      ])
+    ~kind:"oracle.query" (task_name p.task)
+  @@ fun () ->
   o.queries <- o.queries + 1;
+  Obs.Metrics.incr "oracle.queries";
   let p = fit_context o p in
-  o.prompt_tokens <- o.prompt_tokens + Prompt.tokens p;
+  tokens := Prompt.tokens p;
+  o.prompt_tokens <- o.prompt_tokens + !tokens;
+  Obs.Metrics.incr ~by:!tokens "oracle.prompt_tokens";
   let local = Analysis.parse_snippets ~knowledge:o.knowledge p.snippets in
   match p.task with
   | Prompt.Identifier_deduction { handler_fn } ->

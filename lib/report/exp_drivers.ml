@@ -110,13 +110,20 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table5 
       (fun (e : Corpus.Types.entry) ->
         match specs_of e with
         | [ (_, manual); (_, sd); (_, kg) ] ->
-            {
-              r_name = e.display_name;
-              r_syzkaller = take manual;
-              r_syzdescribe = take sd;
-              r_kernelgpt = take kg;
-            }
-        | _ -> assert false)
+            (* the cursor walks the task layout, so the takes must run
+               left-to-right — record fields evaluate in unspecified
+               (right-to-left in practice) order, which crossed the
+               syzkaller/kernelgpt columns *)
+            let r_syzkaller = take manual in
+            let r_syzdescribe = take sd in
+            let r_kernelgpt = take kg in
+            { r_name = e.display_name; r_syzkaller; r_syzdescribe; r_kernelgpt }
+        | suites ->
+            failwith
+              (Printf.sprintf
+                 "Exp_drivers.table5: entry %s produced %d suites, expected 3 \
+                  (syzkaller, syzdescribe, kernelgpt)"
+                 e.name (List.length suites)))
       entries
   in
   (* the two drivers dropped from Linux 6 stay as N/A rows *)

@@ -64,8 +64,18 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 
       (fun (e : Corpus.Types.entry) ->
         match specs_of e with
         | [ (_, manual); (_, kg) ] ->
-            { r_name = e.display_name; r_syzkaller = take manual; r_kernelgpt = take kg }
-        | _ -> assert false)
+            (* sequence the takes: the shared cursor makes evaluation
+               order significant, and record fields evaluate in
+               unspecified order *)
+            let r_syzkaller = take manual in
+            let r_kernelgpt = take kg in
+            { r_name = e.display_name; r_syzkaller; r_kernelgpt }
+        | suites ->
+            failwith
+              (Printf.sprintf
+                 "Exp_sockets.table6: entry %s produced %d suites, expected 2 \
+                  (syzkaller, kernelgpt)"
+                 e.name (List.length suites)))
       entries
   in
   { socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows }

@@ -61,14 +61,36 @@ let which_of_string = function
 let wants which target =
   which = All || which = target
 
+let string_of_which = function
+  | All -> "all"
+  | Table1 -> "table1"
+  | Fig7 -> "fig7"
+  | Table2 -> "table2"
+  | Table3 -> "table3"
+  | Table4 -> "table4"
+  | Table5 -> "table5"
+  | Table6 -> "table6"
+  | Ablation_iter -> "ablation-iter"
+  | Ablation_llm -> "ablation-llm"
+  | Correctness -> "correctness"
+
 (** Regenerate the paper's artifacts. [jobs > 1] shards independent
     campaigns, repetitions, and pipeline runs over a pool of worker
     domains ({!Kernelgpt.Pool}); results are merged in a fixed order, so
     the tables printed on stdout are byte-identical to a sequential run.
-    The pool's timing report (and, with [KGPT_POOL_TRACE] set, per-task
-    wall-clocks) goes to stderr. *)
+    The pool's timing report (with per-task wall-clocks when [--metrics]
+    is on) goes to stderr; [--trace] additionally records every stage,
+    query, task, and campaign as a span. *)
 let run ?(scale = Quick) ?(which = All) ?(jobs = 1) () =
   let b = budgets_of scale in
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("scale", Obs.Json.Str (match scale with Quick -> "quick" | Full -> "full"));
+        ("which", Obs.Json.Str (string_of_which which));
+      ])
+    ~kind:"report" "experiments"
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   Kernelgpt.Pool.reset_stats ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
@@ -97,5 +119,4 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) () =
   | _ -> ());
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
   Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  if jobs > 1 then
-    Kernelgpt.Pool.report ~per_task:(Sys.getenv_opt "KGPT_POOL_TRACE" <> None) stderr
+  if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr

@@ -35,4 +35,26 @@ if ! diff -u "$tmp/seq.out" "$tmp/par.out"; then
 fi
 echo "OK: --jobs 4 table3 output is byte-identical to sequential"
 
+echo "== traced run: stdout unchanged, JSONL valid =="
+# Tracing and metrics must not leak into stdout, and the emitted trace
+# must parse and cover every major span kind.
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 4 \
+  --trace "$tmp/trace.jsonl" --metrics 2>"$tmp/traced.err" | filter > "$tmp/traced.out"
+
+if ! diff -u "$tmp/seq.out" "$tmp/traced.out"; then
+  echo "FAIL: --trace/--metrics changed stdout" >&2
+  exit 1
+fi
+echo "OK: traced --jobs 4 stdout is byte-identical to sequential untraced"
+
+if ! grep -q '^\[metrics\] oracle\.queries' "$tmp/traced.err"; then
+  echo "FAIL: no metrics summary on stderr" >&2
+  exit 1
+fi
+
+dune exec --no-build bin/kernelgpt_cli.exe -- trace "$tmp/trace.jsonl" \
+  --expect pipeline --expect pipeline.stage --expect oracle.query \
+  --expect pool.run --expect pool.task --expect fuzz.campaign
+echo "OK: trace JSONL parses and contains the expected span kinds"
+
 echo "== CI green =="

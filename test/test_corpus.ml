@@ -140,6 +140,25 @@ let test_generated_spec_fraction_consistency () =
       Alcotest.(check bool) (e.name ^ " has a spec") true (e.existing_spec <> None))
     complete
 
+let test_pick_empty_raises () =
+  (* regression: pick on an empty list used to die inside List.nth with
+     an unhelpful Failure; it must name the culprit instead *)
+  let r = Corpus.Gen.rng_make 1 in
+  Alcotest.check_raises "empty pick is a descriptive invalid_arg"
+    (Invalid_argument "Gen.pick: empty list") (fun () ->
+      ignore (Corpus.Gen.pick r ([] : int list)));
+  Alcotest.check_raises "rng pick matches"
+    (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Fuzzer.Rng.pick (Fuzzer.Rng.make 1) ([] : int list)))
+
+let test_pick_in_range () =
+  let r = Corpus.Gen.rng_make 42 in
+  for _ = 1 to 200 do
+    let x = Corpus.Gen.pick r [ 1; 2; 3 ] in
+    Alcotest.(check bool) "picked a member" true (List.mem x [ 1; 2; 3 ])
+  done;
+  Alcotest.(check int) "singleton pick" 9 (Corpus.Gen.pick r [ 9 ])
+
 let test_whole_kernel_boot () =
   let m = Vkernel.Machine.boot (Corpus.Registry.loaded ()) in
   Alcotest.(check int) "278 devices" 278 (List.length m.Vkernel.Machine.devices);
@@ -155,6 +174,8 @@ let () =
           t "unique names" test_unique_names;
           t "deterministic generation" test_generation_deterministic;
           t "spec-fraction consistency" test_generated_spec_fraction_consistency;
+          t "pick empty raises" test_pick_empty_raises;
+          t "pick in range" test_pick_in_range;
         ] );
       ( "ground-truth",
         [

@@ -135,6 +135,37 @@ let test_module_coverage_subset () =
   Alcotest.(check bool) "module coverage <= total" true (m <= Fuzzer.Campaign.total_coverage res);
   Alcotest.(check bool) "dm coverage positive" true (m > 0)
 
+let test_campaign_eviction_on_saturation () =
+  (* a tiny ring saturates quickly; fresh-coverage programs must then
+     evict instead of being silently dropped *)
+  let machine, spec = Lazy.force dm_ctx in
+  let res = Fuzzer.Campaign.run ~seed:5 ~budget:2000 ~max_corpus:4 ~machine spec in
+  Alcotest.(check int) "ring capped" 4 res.Fuzzer.Campaign.corpus_size;
+  Alcotest.(check bool) "saturated ring evicts" true (res.corpus_evictions > 0)
+
+let test_campaign_no_eviction_unsaturated () =
+  (* the default 512-slot ring never fills at this budget, so the
+     eviction path (and its extra RNG draw) must stay untouched and the
+     results must match a run with an even larger ring *)
+  let machine, spec = Lazy.force dm_ctx in
+  let a = Fuzzer.Campaign.run ~seed:5 ~budget:500 ~machine spec in
+  let b = Fuzzer.Campaign.run ~seed:5 ~budget:500 ~max_corpus:100_000 ~machine spec in
+  Alcotest.(check int) "no evictions below capacity" 0 a.Fuzzer.Campaign.corpus_evictions;
+  Alcotest.(check int) "coverage unchanged by ring size"
+    (Fuzzer.Campaign.total_coverage a) (Fuzzer.Campaign.total_coverage b);
+  Alcotest.(check (list string)) "crashes unchanged by ring size"
+    (Fuzzer.Campaign.crash_titles a) (Fuzzer.Campaign.crash_titles b)
+
+let test_campaign_eviction_deterministic () =
+  let machine, spec = Lazy.force dm_ctx in
+  let run () =
+    let res = Fuzzer.Campaign.run ~seed:9 ~budget:1500 ~max_corpus:4 ~machine spec in
+    (Fuzzer.Campaign.total_coverage res, res.Fuzzer.Campaign.corpus_evictions)
+  in
+  let c1, e1 = run () and c2, e2 = run () in
+  Alcotest.(check int) "coverage deterministic under eviction" c1 c2;
+  Alcotest.(check int) "eviction count deterministic" e1 e2
+
 let qcheck_uval_depth_bounded =
   let _, spec = Lazy.force dm_ctx in
   let t = Fuzzer.Proggen.prepare spec in
@@ -194,6 +225,9 @@ let () =
           t "monotone budget" test_campaign_coverage_monotone_in_budget;
           t "empty spec" test_campaign_empty_spec;
           t "module coverage" test_module_coverage_subset;
+          t "eviction on saturation" test_campaign_eviction_on_saturation;
+          t "no eviction unsaturated" test_campaign_no_eviction_unsaturated;
+          t "eviction deterministic" test_campaign_eviction_deterministic;
           t "repro minimization" test_repro_minimize;
         ] );
     ]

@@ -96,6 +96,32 @@ let test_table5_parallel_deterministic () =
       Alcotest.(check bool) (a.r_name ^ " cells identical") true (a = b))
     seq.driver_rows par.driver_rows
 
+let test_table5_cells_pair_with_suites () =
+  (* regression: the results cursor must be consumed left-to-right.
+     Record-field evaluation order (right-to-left in practice) once
+     crossed the Syzkaller and KernelGPT coverage columns. *)
+  let ctx = Lazy.force ctx in
+  let t = Report.Exp_drivers.table5 ~reps:1 ~budget:150 ~jobs:1 ctx in
+  let entry = Corpus.Registry.find_exn "kvm" in
+  let expect = function
+    | None -> Alcotest.fail "kvm suite spec missing"
+    | Some spec ->
+        let machine = Vkernel.Machine.boot [ entry ] in
+        let res = Fuzzer.Campaign.run ~seed:104729 ~budget:150 ~machine spec in
+        float_of_int (Fuzzer.Campaign.module_coverage machine res entry.name)
+  in
+  let row =
+    List.find
+      (fun (r : Report.Exp_drivers.row) -> r.r_name = entry.display_name)
+      t.driver_rows
+  in
+  Alcotest.(check (option (float 0.0))) "syzkaller cell is the syzkaller campaign"
+    (Some (expect (Baseline.Syzkaller_specs.spec_of_entry entry)))
+    row.r_syzkaller.c_cov;
+  Alcotest.(check (option (float 0.0))) "kernelgpt cell is the kernelgpt campaign"
+    (Some (expect (Report.Suites.kgpt_spec ctx entry.name)))
+    row.r_kernelgpt.c_cov
+
 let test_module_suite_merges () =
   let ctx = Lazy.force ctx in
   let dm = Report.Suites.module_suite ctx "dm" in
@@ -121,5 +147,6 @@ let () =
           t "suites build jobs=4" test_suites_build_parallel_deterministic;
           t "table3 jobs=4" test_table3_parallel_deterministic;
           t "table5 jobs=4" test_table5_parallel_deterministic;
+          t "table5 cell pairing" test_table5_cells_pair_with_suites;
         ] );
     ]
