@@ -9,6 +9,7 @@
       dune exec bench/main.exe -- --jobs 0     # one worker per core
       dune exec bench/main.exe -- --micro      # Bechamel component benches only
       dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
+      dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
 
     Tables on stdout are byte-identical for any --jobs value; the pool
     speedup summary, the --metrics registry, and --trace spans go to
@@ -117,6 +118,26 @@ let () =
   | Some file -> Obs.enable_trace_file file
   | None -> ());
   if has "--metrics" then Obs.enable_metrics ();
+  let faults =
+    match value_of "--faults" with
+    | None -> None
+    | Some spec -> (
+        match Faults.parse_spec spec with
+        | Ok plan -> Some plan
+        | Error msg ->
+            Printf.eprintf "--faults %s: %s\n" spec msg;
+            exit 2)
+  in
+  let query_budget =
+    match value_of "--query-budget" with
+    | None -> None
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Some n
+        | _ ->
+            Printf.eprintf "--query-budget %s: expected a positive integer\n" n;
+            exit 2)
+  in
   let which =
     match value_of "--exp" with
     | Some w -> (
@@ -132,6 +153,6 @@ let () =
   in
   if has "--micro" then micro_benchmarks ()
   else begin
-    Report.Runner.run ~scale ~which ~jobs ();
+    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ();
     if which = Report.Runner.All then micro_benchmarks ()
   end

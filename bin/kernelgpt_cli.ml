@@ -33,6 +33,38 @@ let jobs_arg =
 
 let resolve_jobs n = if n <= 0 then Kernelgpt.Pool.cpu_count () else n
 
+(* Fault-injection flags, shared by every command that queries the
+   oracle. Without them the client layer is a strict pass-through and
+   output stays byte-identical. *)
+let faults_conv =
+  Arg.conv
+    ( (fun s ->
+        match Faults.parse_spec s with Ok p -> Ok p | Error msg -> Error (`Msg msg)),
+      fun fmt p -> Format.pp_print_string fmt (Faults.spec_to_string p) )
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"RATE[:SEED]"
+        ~doc:
+          "Inject deterministic oracle-transport faults (timeouts, rate limits, server \
+           errors, malformed and truncated responses) into $(docv) percent of query \
+           attempts. The same RATE:SEED reproduces the same faults, retries, and output \
+           exactly.")
+
+let query_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "query-budget" ] ~docv:"N"
+        ~doc:
+          "Cap the run at $(docv) oracle query attempts (shared across all workers). \
+           Once spent, queries fail fast and the pipeline degrades to partial results.")
+
+let client_of ?faults ?query_budget oracle =
+  Client.create ?plan:faults ?query_budget:(Option.map Client.budget query_budget) oracle
+
 (* Observability flags, shared by every command that runs the pipeline.
    Traces go to a file and metrics to stderr, so stdout stays
    byte-identical for any --jobs value. *)
@@ -100,13 +132,14 @@ let list_cmd =
     Term.(ret (const run $ verbose))
 
 let generate_cmd =
-  let run () name profile all_in_one show_prompting =
+  let run () name profile all_in_one show_prompting faults query_budget =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
     let oracle = Oracle.create ~profile ~knowledge:kernel () in
+    let client = client_of ?faults ?query_budget oracle in
     let mode = if all_in_one then Kernelgpt.Pipeline.All_in_one else Kernelgpt.Pipeline.Iterative in
-    let out = Kernelgpt.Pipeline.run ~mode ~oracle ~kernel entry in
+    let out = Kernelgpt.Pipeline.run ~mode ~client ~oracle ~kernel entry in
     (match out.o_spec with
     | Some spec -> print_string (Syzlang.Printer.spec_str spec)
     | None -> print_endline "(no specification generated)");
@@ -116,6 +149,9 @@ let generate_cmd =
     List.iter
       (fun e -> Printf.printf "# unresolved: %s\n" (Syzlang.Validate.error_to_string e))
       out.o_errors;
+    if Client.fault_tolerant client then
+      Printf.printf "# resilience: faults=%d retries=%d recovered=%d degraded=%d\n"
+        out.o_faults out.o_retries out.o_recovered out.o_degraded;
     if show_prompting then
       Printf.printf "# oracle: %d queries, %d prompt tokens, %d truncations\n"
         oracle.Oracle.queries oracle.Oracle.prompt_tokens oracle.Oracle.truncations;
@@ -127,7 +163,10 @@ let generate_cmd =
   let show = Arg.(value & flag & info [ "stats" ] ~doc:"Print oracle cost accounting.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a syzlang specification with KernelGPT")
-    Term.(ret (const run $ obs_term $ module_arg $ model_arg $ all_in_one $ show))
+    Term.(
+      ret
+        (const run $ obs_term $ module_arg $ model_arg $ all_in_one $ show $ faults_arg
+       $ query_budget_arg))
 
 let baseline_cmd =
   let run name =
@@ -142,7 +181,7 @@ let baseline_cmd =
     Term.(ret (const run $ module_arg))
 
 let fuzz_cmd =
-  let run () name suite budget seed profile repro =
+  let run () name suite budget seed profile repro faults query_budget =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
@@ -152,7 +191,8 @@ let fuzz_cmd =
       | "syzdescribe" -> (Baseline.Syzdescribe.run entry).sd_spec
       | _ ->
           let oracle = Oracle.create ~profile ~knowledge:kernel () in
-          (Kernelgpt.Pipeline.run ~oracle ~kernel entry).o_spec
+          let client = client_of ?faults ?query_budget oracle in
+          (Kernelgpt.Pipeline.run ~client ~oracle ~kernel entry).o_spec
     in
     match spec with
     | None ->
@@ -192,13 +232,18 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a module with a specification suite")
-    Term.(ret (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro))
+    Term.(
+      ret
+        (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro
+       $ faults_arg $ query_budget_arg))
 
 let bugs_cmd =
-  let run () budget seeds jobs =
+  let run () budget seeds jobs faults query_budget =
     let jobs = resolve_jobs jobs in
     Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
-    let ctx = Report.Suites.build ~jobs () in
+    let ctx = Report.Suites.build ~jobs ?faults ?query_budget () in
+    if faults <> None || query_budget <> None then
+      Report.Exp_resilience.print (Report.Exp_resilience.collect ctx);
     Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ~jobs ctx);
     if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr;
     `Ok ()
@@ -206,10 +251,10 @@ let bugs_cmd =
   let budget = Arg.(value & opt int 30_000 & info [ "budget" ] ~doc:"Executions per module.") in
   let seeds = Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Campaign seeds per module.") in
   Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs")
-    Term.(ret (const run $ obs_term $ budget $ seeds $ jobs_arg))
+    Term.(ret (const run $ obs_term $ budget $ seeds $ jobs_arg $ faults_arg $ query_budget_arg))
 
 let report_cmd =
-  let run () exp full jobs =
+  let run () exp full jobs faults query_budget =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -218,7 +263,7 @@ let report_cmd =
              ablation-iter, ablation-llm, correctness)" )
     | Some which ->
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
-        Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ();
+        Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget ();
         `Ok ()
   in
   let exp =
@@ -227,7 +272,7 @@ let report_cmd =
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full budgets (EXPERIMENTS.md scale).") in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ obs_term $ exp $ full $ jobs_arg))
+    Term.(ret (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg))
 
 let trace_cmd =
   let run file expected =

@@ -12,8 +12,10 @@ type stage_stats = { mutable iterations : int; mutable analyzed : int }
 let new_stats () = { iterations = 0; analyzed = 0 }
 
 (** Identifier deduction (§3.1.1): follow dispatched functions until the
-    command values and argument types are known. *)
-let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+    command values and argument types are known. A degraded query (the
+    fault-tolerant client gave up) skips that target: the stage keeps
+    every identifier it already has. *)
+let identifier_stage ~(client : Client.t) ~(module_index : Csrc.Index.t)
     ~(handler_fn : string) ~(stats : stage_stats) : Prompt.ident list =
   Obs.with_span
     ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
@@ -35,8 +37,8 @@ let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
               | None -> []
               | Some snip ->
                   stats.analyzed <- stats.analyzed + 1;
-                  let resp =
-                    Oracle.query oracle
+                  match
+                    Client.query client
                       {
                         Prompt.task = Prompt.Identifier_deduction { handler_fn = fn };
                         (* the module's own #defines ride along so command
@@ -44,9 +46,13 @@ let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
                         snippets = [ snip; Extractor.module_macros_snippet module_index ];
                         usage;
                       }
-                  in
-                  idents := !idents @ resp.Prompt.r_idents;
-                  List.map (fun (u : Prompt.unknown) -> (u.u_name, [ u.u_usage ])) resp.r_unknown
+                  with
+                  | None -> []
+                  | Some resp ->
+                      idents := List.rev_append resp.Prompt.r_idents !idents;
+                      List.map
+                        (fun (u : Prompt.unknown) -> (u.u_name, [ u.u_usage ]))
+                        resp.r_unknown
             end)
           targets
       in
@@ -65,11 +71,11 @@ let identifier_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
         Hashtbl.replace seen i.id_cmd ();
         true
       end)
-    !idents
+    (List.rev !idents)
 
 (** Type recovery (§3.1.2): translate argument structs, chasing nested
     types marked unknown. *)
-let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+let type_stage ~(client : Client.t) ~(module_index : Csrc.Index.t)
     ~(type_names : string list) ~(stats : stage_stats) : Syzlang.Ast.comp_def list =
   Obs.with_span
     ~attrs:(fun () -> [ ("targets", Obs.Json.Int (List.length type_names)) ])
@@ -91,16 +97,18 @@ let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
               | None -> []
               | Some snip ->
                   stats.analyzed <- stats.analyzed + 1;
-                  let resp =
-                    Oracle.query oracle
+                  match
+                    Client.query client
                       {
                         Prompt.task = Prompt.Type_recovery { type_name = tn };
                         snippets = [ snip ];
                         usage = [];
                       }
-                  in
-                  types := resp.Prompt.r_types @ !types;
-                  resp.Prompt.r_nested_types
+                  with
+                  | None -> []
+                  | Some resp ->
+                      types := resp.Prompt.r_types @ !types;
+                      resp.Prompt.r_nested_types
             end)
           targets
       in
@@ -120,7 +128,7 @@ let type_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
 
 (** Dependency analysis (§3.1.3): present the handler and the functions
     it reaches, and let the oracle spot resource-producing commands. *)
-let dependency_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+let dependency_stage ~(client : Client.t) ~(module_index : Csrc.Index.t)
     ~(handler_fn : string) ~(stats : stage_stats) : Prompt.dep list =
   Obs.with_span
     ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
@@ -130,28 +138,31 @@ let dependency_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
   let fns = Extractor.call_closure module_index handler_fn ~depth:3 in
   let snippets = List.filter_map (Extractor.snippet module_index) fns in
   stats.analyzed <- stats.analyzed + List.length snippets;
-  let resp =
-    Oracle.query oracle
+  match
+    Client.query client
       { Prompt.task = Prompt.Dependency_analysis { handler_fn }; snippets; usage = [] }
-  in
-  resp.Prompt.r_deps
+  with
+  | None -> []
+  | Some resp -> resp.Prompt.r_deps
 
 (** Device-name inference for the registration symbol. *)
-let device_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+let device_stage ~(client : Client.t) ~(module_index : Csrc.Index.t)
     ~(reg_symbol : string) : string option =
   Obs.with_span
     ~attrs:(fun () -> [ ("symbol", Obs.Json.Str reg_symbol) ])
     ~kind:"pipeline.stage" "device"
   @@ fun () ->
   let snippets = List.filter_map (Extractor.snippet module_index) [ reg_symbol ] in
-  let resp =
-    Oracle.query oracle
+  match
+    Client.query client
       { Prompt.task = Prompt.Device_name { reg_symbol }; snippets; usage = [] }
-  in
-  match resp.Prompt.r_device_paths with p :: _ -> Some p | [] -> None
+  with
+  | None -> None
+  | Some resp -> (
+      match resp.Prompt.r_device_paths with p :: _ -> Some p | [] -> None)
 
 (** Socket-triple inference for a proto_ops symbol. *)
-let socket_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
+let socket_stage ~(client : Client.t) ~(module_index : Csrc.Index.t)
     ~(ops_symbol : string) : (int * int * int) option =
   Obs.with_span
     ~attrs:(fun () -> [ ("symbol", Obs.Json.Str ops_symbol) ])
@@ -161,14 +172,15 @@ let socket_stage ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t)
     List.filter_map (Extractor.snippet module_index) [ ops_symbol ]
     @ [ Extractor.module_macros_snippet module_index ]
   in
-  let resp =
-    Oracle.query oracle
+  match
+    Client.query client
       { Prompt.task = Prompt.Socket_triple { ops_symbol }; snippets; usage = [] }
-  in
-  resp.Prompt.r_socket_triple
+  with
+  | None -> None
+  | Some resp -> resp.Prompt.r_socket_triple
 
 (** §5.2.3 ablation: all related code in one prompt, one query. *)
-let all_in_one ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t) ~(handler_fn : string) :
+let all_in_one ~(client : Client.t) ~(module_index : Csrc.Index.t) ~(handler_fn : string) :
     Prompt.ident list * Syzlang.Ast.comp_def list * Prompt.dep list =
   Obs.with_span
     ~attrs:(fun () -> [ ("fn", Obs.Json.Str handler_fn) ])
@@ -210,8 +222,9 @@ let all_in_one ~(oracle : Oracle.t) ~(module_index : Csrc.Index.t) ~(handler_fn 
   in
   let names = fns @ structs @ nested |> List.sort_uniq String.compare in
   let snippets = List.filter_map (Extractor.snippet module_index) names in
-  let resp =
-    Oracle.query oracle
+  match
+    Client.query client
       { Prompt.task = Prompt.All_in_one { handler_fn }; snippets; usage = [] }
-  in
-  (resp.Prompt.r_idents, resp.Prompt.r_types, resp.Prompt.r_deps)
+  with
+  | None -> ([], [], [])
+  | Some resp -> (resp.Prompt.r_idents, resp.Prompt.r_types, resp.Prompt.r_deps)

@@ -18,6 +18,10 @@ type outcome = {
   o_queries : int;
   o_tokens : int;
   o_iterations : int;
+  o_faults : int;  (** transport faults injected into this module's queries *)
+  o_retries : int;  (** attempts retried after a fault *)
+  o_recovered : int;  (** queries that succeeded after ≥ 1 fault *)
+  o_degraded : int;  (** queries that never succeeded (partial results) *)
 }
 
 let failed_outcome name =
@@ -32,14 +36,21 @@ let failed_outcome name =
     o_queries = 0;
     o_tokens = 0;
     o_iterations = 0;
+    o_faults = 0;
+    o_retries = 0;
+    o_recovered = 0;
+    o_degraded = 0;
   }
 
 let max_repair_rounds = 3
 
 (** Validate and, if needed, repair a spec by consulting the oracle with
-    the error messages (§3.2). *)
-let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+    the error messages (§3.2). A round whose repair queries all degraded
+    (the fault-tolerant client gave up) is skipped, not counted as a
+    failure: the next round retries the surviving errors. *)
+let validate_and_repair ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (spec : Syzlang.Ast.spec) : Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list =
+  let client = match client with Some c -> c | None -> Client.pass_through oracle in
   let errors0 = Syzlang.Validate.validate ~kernel spec in
   if errors0 = [] then begin
     Obs.Metrics.incr "repair.outcome.direct";
@@ -73,6 +84,7 @@ let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
         ("round-" ^ string_of_int !round)
       @@ fun () ->
       let progressed = ref false in
+      let degraded = ref 0 in
       List.iter
         (fun (e : Syzlang.Validate.error) ->
           let item = Syzlang.Validate.item_to_string e.err_item in
@@ -95,29 +107,36 @@ let validate_and_repair ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                 | None -> tn)
             | Syzlang.Validate.In_flag_set n | Syzlang.Validate.In_resource n -> n
           in
-          let resp =
-            Oracle.query oracle
+          match
+            Client.query client
               {
                 Prompt.task = Prompt.Repair { item; description; error = e.err_msg };
                 snippets = [];
                 usage = [];
               }
-          in
-          match (resp.Prompt.r_repaired, e.err_ident) with
-          | Some good, Some bad ->
-              let next = Syzlang.Rewrite.substitute_name !spec ~bad ~good in
-              if next <> !spec then begin
-                spec := next;
-                progressed := true;
-                changed := true
-              end
-          | _ ->
-              (* no fix, or an error that names no identifier (empty
-                 struct, bad ioctl shape, ...): nothing to substitute *)
-              ())
+          with
+          | None -> incr degraded
+          | Some resp -> (
+              match (resp.Prompt.r_repaired, e.err_ident) with
+              | Some good, Some bad ->
+                  let next = Syzlang.Rewrite.substitute_name !spec ~bad ~good in
+                  if next <> !spec then begin
+                    spec := next;
+                    progressed := true;
+                    changed := true
+                  end
+              | _ ->
+                  (* no fix, or an error that names no identifier (empty
+                     struct, bad ioctl shape, ...): nothing to substitute *)
+                  ()))
         !errors;
       errors := Syzlang.Validate.validate ~kernel !spec;
-      if not !progressed then round := max_repair_rounds
+      if not !progressed then
+        if !degraded > 0 then
+          (* the oracle was down, not out of answers: skip the round and
+             let the remaining ones retry the surviving errors *)
+          Obs.Metrics.incr "repair.skipped_rounds"
+        else round := max_repair_rounds
     done;
     Obs.Metrics.incr
       (if !errors = [] then "repair.outcome.fixed" else "repair.outcome.failed");
@@ -139,6 +158,12 @@ let prune ~(kernel : Csrc.Index.t) (spec : Syzlang.Ast.spec) :
             match e.err_item with Syzlang.Validate.In_syscall s -> Some s | _ -> None)
           errors
       in
+      let bad_resources =
+        List.filter_map
+          (fun (e : Syzlang.Validate.error) ->
+            match e.err_item with Syzlang.Validate.In_resource r -> Some r | _ -> None)
+          errors
+      in
       let bad_types =
         List.filter_map
           (fun (e : Syzlang.Validate.error) ->
@@ -156,8 +181,19 @@ let prune ~(kernel : Csrc.Index.t) (spec : Syzlang.Ast.spec) :
           spec with
           Syzlang.Ast.syscalls =
             List.filter
-              (fun c -> not (List.mem (Syzlang.Ast.syscall_full_name c) bad_calls))
+              (fun (c : Syzlang.Ast.syscall) ->
+                (not (List.mem (Syzlang.Ast.syscall_full_name c) bad_calls))
+                (* a syscall returning a pruned resource is orphaned too *)
+                && not
+                     (match c.Syzlang.Ast.ret with
+                     | Some r -> List.mem r bad_resources
+                     | None -> false))
               spec.Syzlang.Ast.syscalls;
+          resources =
+            List.filter
+              (fun (r : Syzlang.Ast.resource_def) ->
+                not (List.mem r.Syzlang.Ast.res_name bad_resources))
+              spec.Syzlang.Ast.resources;
           types =
             List.filter (fun c -> not (List.mem c.Syzlang.Ast.comp_name bad_types)) spec.types;
           flag_sets =
@@ -178,9 +214,25 @@ let ioctl_fn_of (hi : Extractor.handler_info) : string option =
   | Some fn -> Some fn
   | None -> List.assoc_opt "ioctl" hi.hi_handlers
 
-let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+(** Stamp an outcome with the client's resilience deltas since [s0] —
+    applied to every exit of a module run, failed ones included, so the
+    report's fault accounting misses nothing. *)
+let resilient ~(client : Client.t) ~(s0 : Client.stats) (o : outcome) : outcome =
+  let d = Client.diff (Client.snapshot client) s0 in
+  {
+    o with
+    o_faults = d.Client.s_faults;
+    o_retries = d.Client.s_retries;
+    o_recovered = d.Client.s_recovered;
+    o_degraded = d.Client.s_degraded;
+  }
+
+let run_driver ~(mode : mode) ~(client : Client.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
+  let oracle = Client.oracle client in
   let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
+  let s0 = Client.snapshot client in
+  let resilient = resilient ~client ~s0 in
   let midx, infos =
     Obs.with_span
       ~attrs:(fun () -> [ ("entry", Obs.Json.Str entry.name) ])
@@ -190,35 +242,35 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (midx, Extractor.extract midx)
   in
   match Extractor.main_handler infos with
-  | None -> failed_outcome entry.name
+  | None -> resilient (failed_outcome entry.name)
   | Some hi -> (
       let stats = Engine.new_stats () in
       let device_path =
         match hi.hi_reg_symbol with
-        | Some reg -> Engine.device_stage ~oracle ~module_index:midx ~reg_symbol:reg
+        | Some reg -> Engine.device_stage ~client ~module_index:midx ~reg_symbol:reg
         | None -> None
       in
       match device_path with
-      | None -> failed_outcome entry.name
+      | None -> resilient (failed_outcome entry.name)
       | Some path ->
           let idents, types, deps =
             match (mode, ioctl_fn_of hi) with
             | _, None -> ([], [], [])
             | Iterative, Some ioctl_fn ->
                 let idents =
-                  Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:ioctl_fn ~stats
+                  Engine.identifier_stage ~client ~module_index:midx ~handler_fn:ioctl_fn ~stats
                 in
                 let deps =
-                  Engine.dependency_stage ~oracle ~module_index:midx ~handler_fn:ioctl_fn ~stats
+                  Engine.dependency_stage ~client ~module_index:midx ~handler_fn:ioctl_fn ~stats
                 in
                 let type_names =
                   List.filter_map (fun (i : Prompt.ident) -> i.id_arg_type) idents
                   |> List.sort_uniq String.compare
                 in
-                (idents, Engine.type_stage ~oracle ~module_index:midx ~type_names ~stats, deps)
+                (idents, Engine.type_stage ~client ~module_index:midx ~type_names ~stats, deps)
             | All_in_one, Some ioctl_fn ->
                 let idents, types, deps =
-                  Engine.all_in_one ~oracle ~module_index:midx ~handler_fn:ioctl_fn
+                  Engine.all_in_one ~client ~module_index:midx ~handler_fn:ioctl_fn
                 in
                 stats.Engine.iterations <- 1;
                 (idents, types, deps)
@@ -234,11 +286,11 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                     | None -> (blocks, extra_types)
                     | Some dep_fn when mode = Iterative ->
                         let dep_idents =
-                          Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:dep_fn
+                          Engine.identifier_stage ~client ~module_index:midx ~handler_fn:dep_fn
                             ~stats
                         in
                         let dep_deps =
-                          Engine.dependency_stage ~oracle ~module_index:midx ~handler_fn:dep_fn
+                          Engine.dependency_stage ~client ~module_index:midx ~handler_fn:dep_fn
                             ~stats
                         in
                         let tn =
@@ -246,7 +298,7 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                           |> List.sort_uniq String.compare
                         in
                         let tys =
-                          Engine.type_stage ~oracle ~module_index:midx ~type_names:tn ~stats
+                          Engine.type_stage ~client ~module_index:midx ~type_names:tn ~stats
                         in
                         let block =
                           {
@@ -265,7 +317,7 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                                   match ioctl_fn_of hi2 with
                                   | Some fn2 ->
                                       let ids2 =
-                                        Engine.identifier_stage ~oracle ~module_index:midx
+                                        Engine.identifier_stage ~client ~module_index:midx
                                           ~handler_fn:fn2 ~stats
                                       in
                                       Some
@@ -288,7 +340,7 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
                                   b.Specgen.db_idents
                                 |> List.sort_uniq String.compare
                               in
-                              Engine.type_stage ~oracle ~module_index:midx ~type_names:tn ~stats)
+                              Engine.type_stage ~client ~module_index:midx ~type_names:tn ~stats)
                             blocks2
                         in
                         ((block :: blocks2) @ blocks, tys @ types2 @ extra_types)
@@ -340,7 +392,9 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
             Specgen.driver_spec ~name:entry.name ~path ~idents ~types:all_types
               ~deps:dep_blocks ~plain
           in
-          let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
+          let spec, valid, repaired, errors =
+            validate_and_repair ~client ~oracle ~kernel spec
+          in
           let spec, errors =
             if valid then (spec, errors)
             else begin
@@ -348,26 +402,34 @@ let run_driver ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
               prune ~kernel spec
             end
           in
-          {
-            o_entry = entry.name;
-            o_spec = Some spec;
-            o_valid = valid;
-            o_usable = errors = [];
-            o_direct_valid = (valid && not repaired);
-            o_repaired = repaired;
-            o_errors = errors;
-            o_queries = oracle.Oracle.queries - q0;
-            o_tokens = oracle.Oracle.prompt_tokens - t0;
-            o_iterations = stats.Engine.iterations;
-          })
+          resilient
+            {
+              o_entry = entry.name;
+              o_spec = Some spec;
+              o_valid = valid;
+              o_usable = errors = [];
+              o_direct_valid = (valid && not repaired);
+              o_repaired = repaired;
+              o_errors = errors;
+              o_queries = oracle.Oracle.queries - q0;
+              o_tokens = oracle.Oracle.prompt_tokens - t0;
+              o_iterations = stats.Engine.iterations;
+              o_faults = 0;
+              o_retries = 0;
+              o_recovered = 0;
+              o_degraded = 0;
+            })
 
 (* ------------------------------------------------------------------ *)
 (* Sockets                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+let run_socket ~(mode : mode) ~(client : Client.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
+  let oracle = Client.oracle client in
   let q0 = oracle.Oracle.queries and t0 = oracle.Oracle.prompt_tokens in
+  let s0 = Client.snapshot client in
+  let resilient = resilient ~client ~s0 in
   let midx, infos =
     Obs.with_span
       ~attrs:(fun () -> [ ("entry", Obs.Json.Str entry.name) ])
@@ -377,20 +439,20 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (midx, Extractor.extract midx)
   in
   match List.find_opt (fun hi -> hi.Extractor.hi_is_socket) infos with
-  | None -> failed_outcome entry.name
+  | None -> resilient (failed_outcome entry.name)
   | Some hi -> (
       let stats = Engine.new_stats () in
-      match Engine.socket_stage ~oracle ~module_index:midx ~ops_symbol:hi.hi_ops_global with
-      | None -> failed_outcome entry.name
+      match Engine.socket_stage ~client ~module_index:midx ~ops_symbol:hi.hi_ops_global with
+      | None -> resilient (failed_outcome entry.name)
       | Some triple ->
           let handler name = List.assoc_opt name hi.hi_handlers in
           let run_opts fn_opt =
             match (fn_opt, mode) with
             | None, _ -> []
             | Some fn, Iterative ->
-                Engine.identifier_stage ~oracle ~module_index:midx ~handler_fn:fn ~stats
+                Engine.identifier_stage ~client ~module_index:midx ~handler_fn:fn ~stats
             | Some fn, All_in_one ->
-                let ids, _, _ = Engine.all_in_one ~oracle ~module_index:midx ~handler_fn:fn in
+                let ids, _, _ = Engine.all_in_one ~client ~module_index:midx ~handler_fn:fn in
                 ids
           in
           let setsockopts = run_opts (handler "setsockopt") in
@@ -431,7 +493,7 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
             )
             |> List.sort_uniq String.compare
           in
-          let types = Engine.type_stage ~oracle ~module_index:midx ~type_names ~stats in
+          let types = Engine.type_stage ~client ~module_index:midx ~type_names ~stats in
           (* constrain sockaddr fields the handlers require to be exact
              (family checks): semantically valid values, per §2.1 *)
           let types =
@@ -476,7 +538,9 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
             }
           in
           let spec = Specgen.socket_spec ~name:entry.name ~shape ~types in
-          let spec, valid, repaired, errors = validate_and_repair ~oracle ~kernel spec in
+          let spec, valid, repaired, errors =
+            validate_and_repair ~client ~oracle ~kernel spec
+          in
           let spec, errors =
             if valid then (spec, errors)
             else begin
@@ -484,22 +548,28 @@ let run_socket ~(mode : mode) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
               prune ~kernel spec
             end
           in
-          {
-            o_entry = entry.name;
-            o_spec = Some spec;
-            o_valid = valid;
-            o_usable = errors = [];
-            o_direct_valid = (valid && not repaired);
-            o_repaired = repaired;
-            o_errors = errors;
-            o_queries = oracle.Oracle.queries - q0;
-            o_tokens = oracle.Oracle.prompt_tokens - t0;
-            o_iterations = stats.Engine.iterations;
-          })
+          resilient
+            {
+              o_entry = entry.name;
+              o_spec = Some spec;
+              o_valid = valid;
+              o_usable = errors = [];
+              o_direct_valid = (valid && not repaired);
+              o_repaired = repaired;
+              o_errors = errors;
+              o_queries = oracle.Oracle.queries - q0;
+              o_tokens = oracle.Oracle.prompt_tokens - t0;
+              o_iterations = stats.Engine.iterations;
+              o_faults = 0;
+              o_retries = 0;
+              o_recovered = 0;
+              o_degraded = 0;
+            })
 
 (** Generate a specification for one corpus module. *)
-let run ?(mode = Iterative) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
+let run ?(mode = Iterative) ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
+  let client = match client with Some c -> c | None -> Client.pass_through oracle in
   let o = ref None in
   Obs.with_span
     ~attrs:(fun () ->
@@ -524,8 +594,8 @@ let run ?(mode = Iterative) ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
   Obs.Metrics.incr "pipeline.runs";
   let outcome =
     match entry.kind with
-    | Corpus.Types.Driver -> run_driver ~mode ~oracle ~kernel entry
-    | Corpus.Types.Socket -> run_socket ~mode ~oracle ~kernel entry
+    | Corpus.Types.Driver -> run_driver ~mode ~client ~kernel entry
+    | Corpus.Types.Socket -> run_socket ~mode ~client ~kernel entry
   in
   if outcome.o_valid then Obs.Metrics.incr "pipeline.valid";
   if outcome.o_usable then Obs.Metrics.incr "pipeline.usable";

@@ -18,6 +18,12 @@ type outcome = {
   o_queries : int;  (** oracle queries spent on this module *)
   o_tokens : int;  (** prompt tokens spent on this module *)
   o_iterations : int;  (** Algorithm 1 rounds across all stages *)
+  o_faults : int;  (** transport faults injected into this module's queries *)
+  o_retries : int;  (** attempts retried after a fault *)
+  o_recovered : int;  (** queries that succeeded after ≥ 1 fault *)
+  o_degraded : int;
+      (** queries that never succeeded — the module was built from
+          partial results (zero whenever fault injection is off) *)
 }
 
 val failed_outcome : string -> outcome
@@ -25,13 +31,33 @@ val failed_outcome : string -> outcome
 (** Validate a spec against the kernel index and repair it by consulting
     the oracle with the error messages, up to three rounds. Returns the
     (possibly fixed) spec, whether it now validates, whether any repair
-    was applied, and the remaining errors. *)
+    was applied, and the remaining errors. Repair queries go through
+    [client] when given (defaults to a pass-through around [oracle]); a
+    round whose queries all degraded is skipped rather than counted as a
+    failed round. *)
 val validate_and_repair :
+  ?client:Client.t ->
   oracle:Oracle.t ->
   kernel:Csrc.Index.t ->
   Syzlang.Ast.spec ->
   Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list
 
-(** Generate a specification for one corpus module (driver or socket). *)
+(** Drop the descriptions validation still rejects, iterating to a
+    fixpoint: an unrepairable resource takes the syscalls returning it
+    with it, and a dropped type orphans its users in later rounds. *)
+val prune :
+  kernel:Csrc.Index.t ->
+  Syzlang.Ast.spec ->
+  Syzlang.Ast.spec * Syzlang.Validate.error list
+
+(** Generate a specification for one corpus module (driver or socket).
+    All oracle traffic goes through [client] when given — fault
+    injection, retries, budgets (defaults to a pass-through around
+    [oracle], which leaves behavior and output bit-for-bit unchanged). *)
 val run :
-  ?mode:mode -> oracle:Oracle.t -> kernel:Csrc.Index.t -> Corpus.Types.entry -> outcome
+  ?mode:mode ->
+  ?client:Client.t ->
+  oracle:Oracle.t ->
+  kernel:Csrc.Index.t ->
+  Corpus.Types.entry ->
+  outcome

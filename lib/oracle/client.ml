@@ -1,0 +1,237 @@
+(** Fault-tolerant oracle client (see client.mli). *)
+
+type policy = {
+  max_attempts : int;
+  repair_max_attempts : int;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  attempt_latency_ms : int;
+  attempt_timeout_ms : int;
+  retry_after_ms : int;
+  query_deadline_ms : int;
+  breaker_threshold : int;
+  breaker_cooldown_ms : int;
+}
+
+let default_policy =
+  {
+    max_attempts = 8;
+    repair_max_attempts = 4;
+    base_backoff_ms = 100;
+    max_backoff_ms = 5_000;
+    attempt_latency_ms = 20;
+    attempt_timeout_ms = 1_000;
+    retry_after_ms = 2_000;
+    query_deadline_ms = 120_000;
+    breaker_threshold = 8;
+    breaker_cooldown_ms = 30_000;
+  }
+
+type budget = { b_total : int; b_used : int Atomic.t }
+
+let budget n = { b_total = n; b_used = Atomic.make 0 }
+let budget_total b = b.b_total
+let budget_used b = Atomic.get b.b_used
+
+(** Take one unit, exactly (CAS loop — the pool's workers share one
+    budget across domains). [false] when the budget is spent. *)
+let budget_take (b : budget) : bool =
+  let rec go () =
+    let u = Atomic.get b.b_used in
+    if u >= b.b_total then false
+    else if Atomic.compare_and_set b.b_used u (u + 1) then true
+    else go ()
+  in
+  go ()
+
+type stats = {
+  mutable s_queries : int;
+  mutable s_attempts : int;
+  mutable s_faults : int;
+  mutable s_retries : int;
+  mutable s_recovered : int;
+  mutable s_degraded : int;
+  mutable s_rejected : int;
+  mutable s_breaker_trips : int;
+}
+
+let zero_stats () =
+  {
+    s_queries = 0;
+    s_attempts = 0;
+    s_faults = 0;
+    s_retries = 0;
+    s_recovered = 0;
+    s_degraded = 0;
+    s_rejected = 0;
+    s_breaker_trips = 0;
+  }
+
+type t = {
+  oracle : Oracle.t;
+  plan : Faults.plan option;
+  policy : policy;
+  query_budget : budget option;
+  mutable clock : int;  (** virtual milliseconds since creation *)
+  mutable consecutive_failures : int;
+  mutable breaker_open_until : int;  (** -1 = closed *)
+  stats : stats;
+}
+
+let create ?plan ?(policy = default_policy) ?query_budget oracle =
+  {
+    oracle;
+    plan;
+    policy;
+    query_budget;
+    clock = 0;
+    consecutive_failures = 0;
+    breaker_open_until = -1;
+    stats = zero_stats ();
+  }
+
+let pass_through oracle = create oracle
+
+let oracle t = t.oracle
+
+let fault_tolerant t = t.plan <> None || t.query_budget <> None
+
+let snapshot t = { t.stats with s_queries = t.stats.s_queries }
+
+let diff (later : stats) (earlier : stats) : stats =
+  {
+    s_queries = later.s_queries - earlier.s_queries;
+    s_attempts = later.s_attempts - earlier.s_attempts;
+    s_faults = later.s_faults - earlier.s_faults;
+    s_retries = later.s_retries - earlier.s_retries;
+    s_recovered = later.s_recovered - earlier.s_recovered;
+    s_degraded = later.s_degraded - earlier.s_degraded;
+    s_rejected = later.s_rejected - earlier.s_rejected;
+    s_breaker_trips = later.s_breaker_trips - earlier.s_breaker_trips;
+  }
+
+let clock_ms t = t.clock
+
+(* ------------------------------------------------------------------ *)
+
+let trip_breaker (t : t) =
+  t.breaker_open_until <- t.clock + t.policy.breaker_cooldown_ms;
+  t.consecutive_failures <- 0;
+  t.stats.s_breaker_trips <- t.stats.s_breaker_trips + 1;
+  Obs.Metrics.incr "oracle.breaker_trips";
+  Obs.event ~kind:"oracle.breaker"
+    ~attrs:(fun () -> [ ("clock_ms", Obs.Json.Int t.clock) ])
+    "trip"
+
+let give_up (t : t) ~(subject : string) ~(reason : string) : 'a option =
+  t.stats.s_degraded <- t.stats.s_degraded + 1;
+  Obs.Metrics.incr "oracle.degraded";
+  Obs.event ~kind:"oracle.degraded"
+    ~attrs:(fun () ->
+      [ ("reason", Obs.Json.Str reason); ("clock_ms", Obs.Json.Int t.clock) ])
+    subject;
+  None
+
+(** Fail fast without touching the backend (open breaker, spent
+    budget). *)
+let reject (t : t) ~subject ~reason =
+  t.stats.s_rejected <- t.stats.s_rejected + 1;
+  Obs.Metrics.incr ("oracle." ^ reason);
+  give_up t ~subject ~reason
+
+let backoff_ms (t : t) ~(subject : string) ~(attempt : int) (kind : Faults.kind) : int =
+  let exp_ms =
+    min t.policy.max_backoff_ms (t.policy.base_backoff_ms * (1 lsl min 16 (attempt - 1)))
+  in
+  let jit =
+    match t.plan with
+    | Some plan -> Faults.jitter plan ~subject ~attempt ~range_ms:t.policy.base_backoff_ms
+    | None -> 0
+  in
+  let retry_after = match kind with Faults.Rate_limit -> t.policy.retry_after_ms | _ -> 0 in
+  exp_ms + jit + retry_after
+
+let query (t : t) (p : Prompt.t) : Prompt.response option =
+  if not (fault_tolerant t) then Some (Oracle.query t.oracle p)
+  else begin
+    t.stats.s_queries <- t.stats.s_queries + 1;
+    let subject = Oracle.task_name p.task ^ ":" ^ Oracle.task_subject p.task in
+    let max_attempts =
+      match p.task with
+      | Prompt.Repair _ -> t.policy.repair_max_attempts
+      | _ -> t.policy.max_attempts
+    in
+    if t.breaker_open_until >= 0 && t.clock < t.breaker_open_until then
+      (* open circuit: fail fast until the cooldown elapses, then let the
+         next query through as the half-open probe *)
+      reject t ~subject ~reason:"breaker_rejected"
+    else begin
+      let probing = t.breaker_open_until >= 0 in
+      let started = t.clock in
+      let profile = t.oracle.Oracle.profile.Profile.name in
+      let rec attempt n =
+        if n > max_attempts then give_up t ~subject ~reason:"attempts_exhausted"
+        else if
+          match t.query_budget with Some b -> not (budget_take b) | None -> false
+        then reject t ~subject ~reason:"budget_exhausted"
+        else begin
+          t.stats.s_attempts <- t.stats.s_attempts + 1;
+          match
+            match t.plan with
+            | None -> None
+            | Some plan -> Faults.decide plan ~profile ~subject ~attempt:n
+          with
+          | None ->
+              let resp = Oracle.query t.oracle p in
+              t.clock <- t.clock + t.policy.attempt_latency_ms;
+              t.consecutive_failures <- 0;
+              if probing || t.breaker_open_until >= 0 then t.breaker_open_until <- -1;
+              if n > 1 then begin
+                t.stats.s_recovered <- t.stats.s_recovered + 1;
+                Obs.Metrics.incr "oracle.recovered"
+              end;
+              Some resp
+          | Some kind ->
+              t.stats.s_faults <- t.stats.s_faults + 1;
+              Obs.Metrics.incr ("oracle.faults." ^ Faults.kind_to_string kind);
+              Obs.event ~kind:"oracle.fault"
+                ~attrs:(fun () ->
+                  [
+                    ("subject", Obs.Json.Str subject);
+                    ("attempt", Obs.Json.Int n);
+                    ("clock_ms", Obs.Json.Int t.clock);
+                  ])
+                (Faults.kind_to_string kind);
+              (* a malformed/truncated payload means the backend served
+                 the request — the tokens are spent, the answer useless *)
+              (match kind with
+              | Faults.Malformed | Faults.Truncated -> ignore (Oracle.query t.oracle p)
+              | Faults.Timeout | Faults.Rate_limit | Faults.Server_error -> ());
+              t.clock <-
+                t.clock
+                +
+                (match kind with
+                | Faults.Timeout -> t.policy.attempt_timeout_ms
+                | _ -> t.policy.attempt_latency_ms);
+              t.consecutive_failures <- t.consecutive_failures + 1;
+              if t.consecutive_failures >= t.policy.breaker_threshold then begin
+                trip_breaker t;
+                give_up t ~subject ~reason:"breaker_open"
+              end
+              else if n = max_attempts then give_up t ~subject ~reason:"attempts_exhausted"
+              else begin
+                let wait = backoff_ms t ~subject ~attempt:n kind in
+                if t.clock + wait - started > t.policy.query_deadline_ms then
+                  give_up t ~subject ~reason:"deadline_exceeded"
+                else begin
+                  t.clock <- t.clock + wait;
+                  t.stats.s_retries <- t.stats.s_retries + 1;
+                  Obs.Metrics.incr "oracle.retries";
+                  attempt (n + 1)
+                end
+              end
+        end
+      in
+      attempt 1
+    end
+  end

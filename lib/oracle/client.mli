@@ -1,0 +1,92 @@
+(** Fault-tolerant oracle client.
+
+    Sits between the pipeline and {!Oracle}: injects the faults of an
+    optional {!Faults.plan}, retries with exponential backoff and
+    deterministic jitter, enforces per-stage attempt/deadline policies
+    and a global query budget, and trips a circuit breaker after a run
+    of consecutive failures. All waiting happens on a per-client
+    {e virtual clock} — the client never reads wall time — so a faulted
+    run is exactly reproducible and costs no real sleep.
+
+    With no fault plan and no budget the client is a strict
+    pass-through: {!query} is [Some (Oracle.query ...)], no extra
+    metrics, spans, or state, so un-faulted runs are byte-identical to
+    calling the oracle directly.
+
+    On exhaustion (attempts, deadline, budget, or an open breaker)
+    {!query} returns [None] and the caller degrades gracefully — stages
+    keep whatever partial results they already have instead of aborting
+    the module. *)
+
+(** Retry/backoff/deadline/breaker policy. All durations are virtual
+    milliseconds. *)
+type policy = {
+  max_attempts : int;  (** attempts per query (analysis stages) *)
+  repair_max_attempts : int;  (** attempts per repair query (a skipped
+                                  repair round is cheap; give up sooner) *)
+  base_backoff_ms : int;  (** first retry delay; doubles per attempt *)
+  max_backoff_ms : int;  (** exponential backoff cap *)
+  attempt_latency_ms : int;  (** virtual cost of a served attempt *)
+  attempt_timeout_ms : int;  (** virtual cost of a timed-out attempt *)
+  retry_after_ms : int;  (** extra wait after a rate-limit fault *)
+  query_deadline_ms : int;  (** per-query budget across all its attempts *)
+  breaker_threshold : int;  (** consecutive attempt failures that trip *)
+  breaker_cooldown_ms : int;  (** open time before a half-open probe *)
+}
+
+val default_policy : policy
+
+(** A query budget shared by every client of a run (the pool's workers
+    share one through an atomic counter): each attempt — a real API call
+    in production — consumes one unit; once spent, queries fail fast. *)
+type budget
+
+val budget : int -> budget
+val budget_total : budget -> int
+val budget_used : budget -> int
+
+(** Cumulative client statistics. A query is [recovered] if it succeeded
+    after at least one faulted attempt, [degraded] if it never succeeded
+    (exhaustion, deadline, open breaker, or spent budget). [rejected]
+    counts the degraded queries that failed fast without reaching the
+    backend. *)
+type stats = {
+  mutable s_queries : int;
+  mutable s_attempts : int;
+  mutable s_faults : int;
+  mutable s_retries : int;
+  mutable s_recovered : int;
+  mutable s_degraded : int;
+  mutable s_rejected : int;
+  mutable s_breaker_trips : int;
+}
+
+type t
+
+val create : ?plan:Faults.plan -> ?policy:policy -> ?query_budget:budget -> Oracle.t -> t
+
+(** A client with no fault plan and no budget: [query] is exactly
+    [Oracle.query]. *)
+val pass_through : Oracle.t -> t
+
+val oracle : t -> Oracle.t
+
+(** [true] when the client can inject faults or refuse queries (a plan
+    or a budget is set). *)
+val fault_tolerant : t -> bool
+
+(** An immutable copy of the client's statistics. *)
+val snapshot : t -> stats
+
+(** [diff later earlier] — per-field subtraction, for per-module
+    accounting. *)
+val diff : stats -> stats -> stats
+
+(** Current reading of the virtual clock (ms since client creation). *)
+val clock_ms : t -> int
+
+(** Answer one prompt, retrying injected faults per the policy. [None]
+    means the query degraded; the oracle was already consulted (and its
+    cost accounted) only for attempts whose fault leaves a response on
+    the wire (malformed/truncated payloads). *)
+val query : t -> Prompt.t -> Prompt.response option

@@ -1,0 +1,51 @@
+(** Deterministic, seeded transport-fault injection (see faults.mli). *)
+
+type kind = Timeout | Rate_limit | Server_error | Malformed | Truncated
+
+let kind_to_string = function
+  | Timeout -> "timeout"
+  | Rate_limit -> "rate_limit"
+  | Server_error -> "server_error"
+  | Malformed -> "malformed"
+  | Truncated -> "truncated"
+
+type plan = { rate_pct : int; seed : int }
+
+let default_seed = 1
+
+let make ?(seed = default_seed) ~rate_pct () = { rate_pct; seed }
+
+let parse_spec (s : string) : (plan, string) result =
+  let rate_of r =
+    match int_of_string_opt r with
+    | Some pct when pct >= 0 && pct <= 100 -> Ok pct
+    | Some _ -> Error (Printf.sprintf "fault rate %s out of range (0-100)" r)
+    | None -> Error (Printf.sprintf "bad fault rate %S (expected RATE or RATE:SEED)" r)
+  in
+  match String.split_on_char ':' s with
+  | [ rate ] -> Result.map (fun pct -> make ~rate_pct:pct ()) (rate_of rate)
+  | [ rate; seed ] -> (
+      match (rate_of rate, int_of_string_opt seed) with
+      | Ok pct, Some seed -> Ok (make ~seed ~rate_pct:pct ())
+      | (Error _ as e), _ -> e
+      | _, None -> Error (Printf.sprintf "bad fault seed %S" seed))
+  | _ -> Error (Printf.sprintf "bad fault spec %S (expected RATE or RATE:SEED)" s)
+
+let spec_to_string p = Printf.sprintf "%d:%d" p.rate_pct p.seed
+
+(* The same deterministic-hash idiom as {!Profile.coin}: stable across
+   runs and processes, uncorrelated across subjects/attempts/salts. *)
+let roll (p : plan) ~(salt : string) ~(profile : string) ~(subject : string)
+    ~(attempt : int) ~(modulus : int) : int =
+  Hashtbl.hash (p.seed, salt, profile, subject, attempt) mod modulus
+
+let kinds = [| Timeout; Rate_limit; Server_error; Malformed; Truncated |]
+
+let decide (p : plan) ~profile ~subject ~attempt : kind option =
+  if p.rate_pct <= 0 then None
+  else if roll p ~salt:"fire" ~profile ~subject ~attempt ~modulus:100 >= p.rate_pct then None
+  else Some kinds.(roll p ~salt:"kind" ~profile ~subject ~attempt ~modulus:(Array.length kinds))
+
+let jitter (p : plan) ~subject ~attempt ~range_ms : int =
+  if range_ms <= 0 then 0
+  else roll p ~salt:"jitter" ~profile:"" ~subject ~attempt ~modulus:range_ms

@@ -1,0 +1,40 @@
+(** Deterministic, seeded transport-fault injection for the oracle.
+
+    A real LLM backend times out, rate-limits, throws transient server
+    errors, and occasionally returns malformed or truncated payloads.
+    This module decides — purely, from a seeded hash of
+    [(profile, subject, attempt)] — whether a given query attempt is hit
+    by such a fault and which kind. Because the decision never consults
+    wall clock, scheduling, or mutable state, a fault plan replays
+    identically across runs and for any [--jobs] value, which is what
+    makes retry/recovery behavior testable. *)
+
+type kind =
+  | Timeout  (** the request never comes back *)
+  | Rate_limit  (** HTTP 429: back off longer before retrying *)
+  | Server_error  (** transient 5xx *)
+  | Malformed  (** a response arrives but cannot be parsed (or is empty) *)
+  | Truncated  (** the response stream is cut off mid-payload *)
+
+val kind_to_string : kind -> string
+
+(** A fault plan: the per-attempt fault probability (percent) and the
+    seed that decorrelates plans from each other. *)
+type plan = { rate_pct : int; seed : int }
+
+val make : ?seed:int -> rate_pct:int -> unit -> plan
+
+(** Parse a [--faults] specification: ["RATE"] or ["RATE:SEED"], with
+    RATE in percent (0–100). *)
+val parse_spec : string -> (plan, string) result
+
+val spec_to_string : plan -> string
+
+(** Decide the fate of one query attempt. [attempt] is 1-based, so a
+    retry of a faulted attempt gets a fresh, independent decision. *)
+val decide : plan -> profile:string -> subject:string -> attempt:int -> kind option
+
+(** Deterministic backoff jitter in [0, range_ms), keyed like {!decide}
+    so two runs of the same plan wait exactly as long (on the client's
+    virtual clock). *)
+val jitter : plan -> subject:string -> attempt:int -> range_ms:int -> int

@@ -25,8 +25,12 @@ let fit_context (o : t) (p : Prompt.t) : Prompt.t =
     | s :: rest ->
         let cost = Prompt.snippet_tokens s in
         if used + cost > budget then begin
-          o.truncations <- o.truncations + 1;
-          Obs.Metrics.incr "oracle.truncations";
+          (* the overflowing snippet and everything after it are dropped;
+             count every one, so the metric reports snippets lost, not
+             prompts touched *)
+          let dropped = 1 + List.length rest in
+          o.truncations <- o.truncations + dropped;
+          Obs.Metrics.incr ~by:dropped "oracle.truncations";
           List.rev acc
         end
         else keep (s :: acc) (used + cost) rest

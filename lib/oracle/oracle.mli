@@ -13,10 +13,20 @@ type t = {
   knowledge : Csrc.Index.t;
   mutable queries : int;  (** total queries served *)
   mutable prompt_tokens : int;  (** total prompt tokens consumed *)
-  mutable truncations : int;  (** prompts that overflowed the window *)
+  mutable truncations : int;
+      (** snippets dropped because their prompt overflowed the window
+          (each dropped snippet counts once) *)
 }
 
 val create : ?profile:Profile.t -> knowledge:Csrc.Index.t -> unit -> t
+
+(** Short task label of a prompt ("identifier", "type", "repair", ...) —
+    the span name of the query, also used by {!Client} to key fault
+    decisions. *)
+val task_name : Prompt.task -> string
+
+(** The subject (handler/type/symbol/item) a prompt is about. *)
+val task_subject : Prompt.task -> string
 
 (** Answer one prompt. Applies the context window (whole trailing
     snippets are dropped), runs the analysis for the prompt's task, and

@@ -1,0 +1,85 @@
+(** Resilience table (fault-injection runs): how much of the injected
+    oracle-transport trouble the fault-tolerant client absorbed, per
+    module and in total. Only printed when a fault plan or a query
+    budget is active — un-faulted reports are byte-identical to runs
+    that predate fault injection. *)
+
+type row = {
+  r_entry : string;
+  r_faults : int;
+  r_retries : int;
+  r_recovered : int;
+  r_degraded : int;
+}
+
+type t = {
+  rows : row list;  (** fault-touched modules, in entry order *)
+  modules : int;  (** modules generated (fault-touched or not) *)
+  total_faults : int;
+  total_retries : int;
+  total_recovered : int;
+  total_degraded : int;  (** degraded queries across the run *)
+  degraded_modules : int;  (** modules with at least one degraded query *)
+}
+
+let collect (ctx : Suites.ctx) : t =
+  let rows =
+    List.filter_map
+      (fun (e : Corpus.Types.entry) ->
+        match Suites.kgpt_outcome ctx e.name with
+        | Some (o : Kernelgpt.Pipeline.outcome)
+          when o.o_faults > 0 || o.o_degraded > 0 ->
+            Some
+              {
+                r_entry = e.name;
+                r_faults = o.o_faults;
+                r_retries = o.o_retries;
+                r_recovered = o.o_recovered;
+                r_degraded = o.o_degraded;
+              }
+        | _ -> None)
+      (Suites.generation_targets ctx.entries)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    rows;
+    modules = Hashtbl.length ctx.kgpt;
+    total_faults = sum (fun r -> r.r_faults);
+    total_retries = sum (fun r -> r.r_retries);
+    total_recovered = sum (fun r -> r.r_recovered);
+    total_degraded = sum (fun r -> r.r_degraded);
+    degraded_modules = List.length (List.filter (fun r -> r.r_degraded > 0) rows);
+  }
+
+let print (t : t) =
+  Table.section "Resilience (oracle fault injection)";
+  let row r =
+    [
+      r.r_entry;
+      Table.fmt_int r.r_faults;
+      Table.fmt_int r.r_retries;
+      Table.fmt_int r.r_recovered;
+      Table.fmt_int r.r_degraded;
+    ]
+  in
+  let total =
+    [
+      "TOTAL";
+      Table.fmt_int t.total_faults;
+      Table.fmt_int t.total_retries;
+      Table.fmt_int t.total_recovered;
+      Table.fmt_int t.total_degraded;
+    ]
+  in
+  Table.print
+    ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R ]
+    ~header:[ "module"; "faults"; "retries"; "recovered"; "degraded" ]
+    (List.map row t.rows @ [ total ]);
+  if t.total_degraded = 0 then
+    Printf.printf
+      "All injected transient faults recovered (0 degraded modules out of %d).\n"
+      t.modules
+  else
+    Printf.printf
+      "%d degraded queries left %d of %d modules on partial results.\n"
+      t.total_degraded t.degraded_modules t.modules

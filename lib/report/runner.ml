@@ -80,8 +80,13 @@ let string_of_which = function
     the tables printed on stdout are byte-identical to a sequential run.
     The pool's timing report (with per-task wall-clocks when [--metrics]
     is on) goes to stderr; [--trace] additionally records every stage,
-    query, task, and campaign as a span. *)
-let run ?(scale = Quick) ?(which = All) ?(jobs = 1) () =
+    query, task, and campaign as a span.
+
+    [faults] injects deterministic oracle-transport faults into the
+    generation phase and [query_budget] caps its total query attempts;
+    either adds a resilience table right after generation. With neither,
+    output is byte-identical to a run without the fault layer. *)
+let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget () =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -94,10 +99,18 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) () =
   let t0 = Unix.gettimeofday () in
   Kernelgpt.Pool.reset_stats ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
-  let ctx = Suites.build ~jobs () in
+  let ctx = Suites.build ~jobs ?faults ?query_budget () in
   Printf.printf "  (%d loaded handlers; %d oracle queries, %d prompt tokens so far; %.1fs)\n%!"
     (List.length ctx.entries) ctx.oracle.Oracle.queries ctx.oracle.Oracle.prompt_tokens
     (Unix.gettimeofday () -. t0);
+  if faults <> None || query_budget <> None then begin
+    Exp_resilience.print (Exp_resilience.collect ctx);
+    match ctx.Suites.query_budget with
+    | Some b ->
+        Printf.printf "Query budget: %d of %d attempts used.\n" (Client.budget_used b)
+          (Client.budget_total b)
+    | None -> ()
+  end;
   if wants which Table1 then Exp_specs.print_table1 (Exp_specs.table1 ctx);
   if wants which Fig7 then Exp_specs.print_fig7 ctx;
   if wants which Table2 then Exp_specs.print_table2 (Exp_specs.table2 ctx);

@@ -7,6 +7,8 @@ type ctx = {
   kernel : Csrc.Index.t;
   entries : Corpus.Types.entry list;  (** loaded modules *)
   oracle : Oracle.t;
+  query_budget : Client.budget option;
+      (** the run's shared query budget, when one was set *)
   kgpt : (string, Kernelgpt.Pipeline.outcome) Hashtbl.t;
   sd : (string, Baseline.Syzdescribe.outcome) Hashtbl.t;
 }
@@ -24,12 +26,19 @@ let generation_targets (entries : Corpus.Types.entry list) : Corpus.Types.entry 
     runs over a domain pool; every worker boots its own machine and
     oracle (both carry mutable state — the definition index memoizes,
     the oracle counts), and the outcomes are merged in entry order, so
-    the context is identical to a sequential build. *)
-let build ?(profile = Profile.gpt4) ?(jobs = 1) () : ctx =
+    the context is identical to a sequential build. A [faults] plan
+    and/or a [query_budget] route every pipeline query through a
+    fault-tolerant {!Client} (the budget is one atomic counter shared by
+    all workers); with neither set the client is a pass-through and the
+    build is bit-for-bit what it always was. *)
+let build ?(profile = Profile.gpt4) ?(jobs = 1) ?faults ?query_budget () : ctx =
   let entries = Corpus.Registry.loaded () in
   let machine = Vkernel.Machine.boot entries in
   let kernel = machine.Vkernel.Machine.index in
+  let budget = Option.map Client.budget query_budget in
+  let client_of oracle = Client.create ?plan:faults ?query_budget:budget oracle in
   let oracle = Oracle.create ~profile ~knowledge:kernel () in
+  let client = client_of oracle in
   let kgpt = Hashtbl.create 256 in
   let sd = Hashtbl.create 256 in
   let targets = Array.of_list (generation_targets entries) in
@@ -37,13 +46,14 @@ let build ?(profile = Profile.gpt4) ?(jobs = 1) () : ctx =
     Kernelgpt.Pool.map_init ~jobs
       ~label:(fun _ (e : Corpus.Types.entry) -> "pipeline:" ^ e.name)
       ~init:(fun () ->
-        if jobs <= 1 then (oracle, kernel)
+        if jobs <= 1 then (client, kernel)
         else
           let m = Vkernel.Machine.boot entries in
           let k = m.Vkernel.Machine.index in
-          (Oracle.create ~profile ~knowledge:k (), k))
-      ~f:(fun (oracle, kernel) (e : Corpus.Types.entry) ->
-        (Kernelgpt.Pipeline.run ~oracle ~kernel e, Baseline.Syzdescribe.run e))
+          (client_of (Oracle.create ~profile ~knowledge:k ()), k))
+      ~f:(fun (client, kernel) (e : Corpus.Types.entry) ->
+        let oracle = Client.oracle client in
+        (Kernelgpt.Pipeline.run ~client ~oracle ~kernel e, Baseline.Syzdescribe.run e))
       targets
   in
   Array.iteri
@@ -61,7 +71,7 @@ let build ?(profile = Profile.gpt4) ?(jobs = 1) () : ctx =
         oracle.Oracle.queries <- oracle.Oracle.queries + kg_out.o_queries;
         oracle.Oracle.prompt_tokens <- oracle.Oracle.prompt_tokens + kg_out.o_tokens)
       outcomes;
-  { machine; kernel; entries; oracle; kgpt; sd }
+  { machine; kernel; entries; oracle; query_budget = budget; kgpt; sd }
 
 let kgpt_outcome ctx name = Hashtbl.find_opt ctx.kgpt name
 

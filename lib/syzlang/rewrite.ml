@@ -2,7 +2,8 @@
 
     When the repair model answers "the identifier should be X, not Y",
     the fix is a rename across the whole spec: constant references, type
-    references, type definitions, and syscall variants that embed the
+    references, type definitions, resource declarations and references,
+    syscall return resources, and syscall variants that embed the
     name. *)
 
 let substitute_const (bad : string) (good : string) (c : Ast.const_ref) : Ast.const_ref =
@@ -15,6 +16,7 @@ let rec substitute_typ (bad : string) (good : string) (t : Ast.typ) : Ast.typ =
   | Ast.Const (c, w) -> Ast.Const (substitute_const bad good c, w)
   | Ast.Struct_ref n when n = bad -> Ast.Struct_ref good
   | Ast.Union_ref n when n = bad -> Ast.Union_ref good
+  | Ast.Resource_ref n when n = bad -> Ast.Resource_ref good
   | Ast.Ptr (d, t) -> Ast.Ptr (d, substitute_typ bad good t)
   | Ast.Array (t, n) -> Ast.Array (substitute_typ bad good t, n)
   | Ast.Len (target, w) when target = bad -> Ast.Len (good, w)
@@ -28,7 +30,14 @@ let substitute_field bad good (f : Ast.field) : Ast.field =
 let substitute_name (spec : Ast.spec) ~(bad : string) ~(good : string) : Ast.spec =
   let fix_call (c : Ast.syscall) =
     let variant = match c.Ast.variant with Some v when v = bad -> Some good | v -> v in
-    { c with Ast.variant; args = List.map (substitute_field bad good) c.Ast.args }
+    let ret = match c.Ast.ret with Some r when r = bad -> Some good | r -> r in
+    { c with Ast.variant; ret; args = List.map (substitute_field bad good) c.Ast.args }
+  in
+  let fix_resource (r : Ast.resource_def) =
+    {
+      Ast.res_name = (if r.Ast.res_name = bad then good else r.Ast.res_name);
+      res_underlying = (if r.Ast.res_underlying = bad then good else r.Ast.res_underlying);
+    }
   in
   let fix_comp (cd : Ast.comp_def) =
     {
@@ -42,7 +51,8 @@ let substitute_name (spec : Ast.spec) ~(bad : string) ~(good : string) : Ast.spe
   in
   {
     spec with
-    Ast.syscalls = List.map fix_call spec.Ast.syscalls;
+    Ast.resources = List.map fix_resource spec.Ast.resources;
+    syscalls = List.map fix_call spec.Ast.syscalls;
     types = List.map fix_comp spec.Ast.types;
     flag_sets = List.map fix_flag_set spec.Ast.flag_sets;
   }

@@ -57,4 +57,62 @@ dune exec --no-build bin/kernelgpt_cli.exe -- trace "$tmp/trace.jsonl" \
   --expect pool.run --expect pool.task --expect fuzz.campaign
 echo "OK: trace JSONL parses and contains the expected span kinds"
 
+echo "== fault injection: recovery at a moderate rate =="
+# A 15% fault plan must be fully absorbed by the retry layer: every
+# injected fault recovered, zero degraded modules, and the experiment
+# tables identical to the un-faulted run (the oracle is deterministic,
+# so a recovered query returns exactly what an unfaulted one would).
+dune exec --no-build bench/main.exe -- --exp table3 --faults 15 2>/dev/null \
+  | filter > "$tmp/f15.out"
+
+if ! grep -q '^All injected transient faults recovered (0 degraded modules' "$tmp/f15.out"; then
+  echo "FAIL: --faults 15 did not fully recover" >&2
+  grep -A2 '^| TOTAL' "$tmp/f15.out" >&2 || true
+  exit 1
+fi
+if ! grep -Eq '^\| TOTAL +\| +[1-9][0-9]* \|' "$tmp/f15.out"; then
+  echo "FAIL: --faults 15 injected no faults at all" >&2
+  exit 1
+fi
+sed -n '/^Table 3/,$p' "$tmp/f15.out" > "$tmp/f15.tables"
+sed -n '/^Table 3/,$p' "$tmp/seq.out" > "$tmp/seq.tables"
+if ! diff -u "$tmp/seq.tables" "$tmp/f15.tables"; then
+  echo "FAIL: recovered --faults 15 tables differ from the un-faulted run" >&2
+  exit 1
+fi
+echo "OK: --faults 15 recovered every fault; tables identical to un-faulted run"
+
+echo "== fault injection: same seed, same run =="
+dune exec --no-build bench/main.exe -- --exp table3 --faults 15:7 2>/dev/null | filter > "$tmp/s7a.out"
+dune exec --no-build bench/main.exe -- --exp table3 --faults 15:7 2>/dev/null | filter > "$tmp/s7b.out"
+if ! diff -u "$tmp/s7a.out" "$tmp/s7b.out"; then
+  echo "FAIL: --faults 15:7 is not reproducible" >&2
+  exit 1
+fi
+echo "OK: --faults 15:7 twice produces byte-identical output"
+
+echo "== fault injection off: client is a pass-through =="
+# --faults 0 still routes every query through the fault-tolerant client
+# (plan set, rate zero), so this catches any accounting or ordering the
+# client layer might leak into the pipeline.
+# Strip the resilience section (its leading blank line included); the
+# rest must match the no-client run exactly.
+strip_resilience() {
+  awk '
+    skip == 1 { if ($0 ~ /^All injected|degraded queries left/) skip = 0; next }
+    $0 == "Resilience (oracle fault injection)" { blank = 0; skip = 1; next }
+    blank == 1 { print ""; blank = 0 }
+    $0 == "" { blank = 1; next }
+    { print }
+    END { if (blank) print "" }
+  '
+}
+dune exec --no-build bench/main.exe -- --exp table3 --faults 0 2>/dev/null \
+  | filter | strip_resilience > "$tmp/f0.out"
+if ! diff -u "$tmp/seq.out" "$tmp/f0.out"; then
+  echo "FAIL: --faults 0 output differs from a run without the client layer" >&2
+  exit 1
+fi
+echo "OK: --faults 0 output is byte-identical to a run without fault injection"
+
 echo "== CI green =="

@@ -1,0 +1,188 @@
+(* Fault-tolerant oracle client: pass-through identity, deterministic
+   fault plans, recovery, budgets, and the circuit breaker. *)
+
+let entry = Corpus.Registry.find_exn "dm"
+
+(** Run the dm pipeline on a fresh machine/oracle, optionally through a
+    fault-injecting client. Returns the client, its oracle, and the
+    outcome. *)
+let run_dm ?plan ?policy ?query_budget () =
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let client = Client.create ?plan ?policy ?query_budget oracle in
+  let out = Kernelgpt.Pipeline.run ~client ~oracle ~kernel entry in
+  (client, oracle, out)
+
+let spec_str (out : Kernelgpt.Pipeline.outcome) =
+  match out.o_spec with Some s -> Syzlang.Printer.spec_str s | None -> "(none)"
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_spec () =
+  (match Faults.parse_spec "15" with
+  | Ok p ->
+      Alcotest.(check int) "rate" 15 p.Faults.rate_pct;
+      Alcotest.(check string) "round trip" "15:1" (Faults.spec_to_string p)
+  | Error e -> Alcotest.fail e);
+  (match Faults.parse_spec "30:42" with
+  | Ok p ->
+      Alcotest.(check int) "rate" 30 p.Faults.rate_pct;
+      Alcotest.(check int) "seed" 42 p.Faults.seed
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Faults.parse_spec bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error _ -> ())
+    [ "101"; "-1"; "abc"; "15:"; "15:x"; "" ]
+
+let test_decide_deterministic () =
+  let plan = Faults.make ~seed:7 ~rate_pct:50 () in
+  for attempt = 1 to 10 do
+    let d () = Faults.decide plan ~profile:"gpt-4" ~subject:"identifier:f" ~attempt in
+    Alcotest.(check bool) "same decision" true (d () = d ())
+  done;
+  (* a 0% plan never fires, a 100% plan always does *)
+  let never = Faults.make ~rate_pct:0 () and always = Faults.make ~rate_pct:100 () in
+  for attempt = 1 to 10 do
+    Alcotest.(check bool) "0% silent" true
+      (Faults.decide never ~profile:"gpt-4" ~subject:"s" ~attempt = None);
+    Alcotest.(check bool) "100% fires" true
+      (Faults.decide always ~profile:"gpt-4" ~subject:"s" ~attempt <> None)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass-through and recovery                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pass_through_identity () =
+  (* a client without plan or budget must not change anything: same
+     spec, same oracle accounting, no client state touched *)
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let plain = Kernelgpt.Pipeline.run ~oracle ~kernel entry in
+  let client, oracle', through = run_dm () in
+  Alcotest.(check bool) "not fault-tolerant" false (Client.fault_tolerant client);
+  Alcotest.(check string) "same spec" (spec_str plain) (spec_str through);
+  Alcotest.(check int) "same queries" plain.o_queries through.o_queries;
+  Alcotest.(check int) "same tokens" plain.o_tokens through.o_tokens;
+  Alcotest.(check int) "oracle counted" oracle.Oracle.queries oracle'.Oracle.queries;
+  let s = Client.snapshot client in
+  Alcotest.(check int) "no client queries" 0 s.Client.s_queries;
+  Alcotest.(check int) "no attempts" 0 s.Client.s_attempts;
+  Alcotest.(check int) "no faults" 0 through.o_faults;
+  Alcotest.(check int) "no retries" 0 through.o_retries;
+  Alcotest.(check int) "nothing degraded" 0 through.o_degraded;
+  Alcotest.(check int) "clock untouched" 0 (Client.clock_ms client)
+
+let test_same_seed_same_trace () =
+  let plan = Faults.make ~seed:3 ~rate_pct:40 () in
+  let c1, _, o1 = run_dm ~plan () in
+  let c2, _, o2 = run_dm ~plan () in
+  Alcotest.(check string) "same spec" (spec_str o1) (spec_str o2);
+  Alcotest.(check bool) "same stats" true (Client.snapshot c1 = Client.snapshot c2);
+  Alcotest.(check int) "same clock" (Client.clock_ms c1) (Client.clock_ms c2);
+  Alcotest.(check int) "same faults" o1.o_faults o2.o_faults;
+  Alcotest.(check int) "same retries" o1.o_retries o2.o_retries;
+  (* a different seed reshuffles which attempts fault *)
+  let c3, _, _ = run_dm ~plan:(Faults.make ~seed:99 ~rate_pct:40 ()) () in
+  Alcotest.(check bool) "different seed differs" true
+    (Client.snapshot c3 <> Client.snapshot c1
+    || Client.clock_ms c3 <> Client.clock_ms c1)
+
+let test_recovers_to_identical_spec () =
+  (* the oracle is deterministic and retries re-send the same prompt, so
+     a fully recovered faulted run yields the exact faults-off spec *)
+  let _, _, base = run_dm () in
+  let plan = Faults.make ~seed:3 ~rate_pct:40 () in
+  let client, _, out = run_dm ~plan () in
+  let s = Client.snapshot client in
+  Alcotest.(check bool) "faults were injected" true (s.Client.s_faults > 0);
+  Alcotest.(check int) "all recovered" 0 out.o_degraded;
+  Alcotest.(check bool) "retried" true (out.o_retries > 0);
+  Alcotest.(check string) "identical spec" (spec_str base) (spec_str out);
+  Alcotest.(check bool) "virtual time passed" true (Client.clock_ms client > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and the circuit breaker                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_exhaustion_degrades () =
+  let budget = Client.budget 3 in
+  let client, _, out = run_dm ~query_budget:budget () in
+  Alcotest.(check int) "budget spent exactly" 3 (Client.budget_used budget);
+  Alcotest.(check bool) "queries degraded" true (out.o_degraded > 0);
+  let s = Client.snapshot client in
+  Alcotest.(check bool) "refusals fail fast" true (s.Client.s_rejected > 0);
+  Alcotest.(check int) "attempts equal budget" 3 s.Client.s_attempts
+
+let repair_prompt =
+  {
+    Prompt.task =
+      Prompt.Repair { item = "syscall x"; description = ""; error = "unknown const Y_V2" };
+    snippets = [];
+    usage = [];
+  }
+
+let test_breaker_trips_and_rejects () =
+  let kernel = (Vkernel.Machine.boot [ entry ]).Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let plan = Faults.make ~rate_pct:100 () in
+  let client = Client.create ~plan oracle in
+  (* repair queries get 4 attempts; the second exhausted query reaches
+     the breaker threshold of 8 consecutive failures and trips it *)
+  Alcotest.(check bool) "query 1 degrades" true (Client.query client repair_prompt = None);
+  Alcotest.(check bool) "query 2 degrades" true (Client.query client repair_prompt = None);
+  let s = Client.snapshot client in
+  Alcotest.(check int) "breaker tripped once" 1 s.Client.s_breaker_trips;
+  Alcotest.(check bool) "query 3 rejected" true (Client.query client repair_prompt = None);
+  let s' = Client.snapshot client in
+  Alcotest.(check int) "failed fast" 1 s'.Client.s_rejected;
+  Alcotest.(check int) "no new attempts" s.Client.s_attempts s'.Client.s_attempts;
+  Alcotest.(check int) "backend never consulted" 0 oracle.Oracle.queries
+
+let test_repair_skips_degraded_rounds () =
+  (* with the oracle fully down, validate_and_repair must terminate,
+     leave the spec alone, and report it invalid — not spin or raise *)
+  let kernel = (Vkernel.Machine.boot [ entry ]).Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let client = Client.create ~plan:(Faults.make ~rate_pct:100 ()) oracle in
+  let spec =
+    Syzlang.Parser.parse_spec ~name:"adv"
+      {|resource fd_t[fd]
+ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION_V2], arg intptr)
+|}
+  in
+  let spec', valid, changed, errors =
+    Kernelgpt.Pipeline.validate_and_repair ~client ~oracle ~kernel spec
+  in
+  Alcotest.(check bool) "still invalid" false valid;
+  Alcotest.(check bool) "unchanged" false changed;
+  Alcotest.(check bool) "errors kept" true (errors <> []);
+  Alcotest.(check bool) "spec untouched" true (spec' = spec);
+  Alcotest.(check bool) "rounds degraded" true
+    ((Client.snapshot client).Client.s_degraded > 0)
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "client"
+    [
+      ( "faults",
+        [
+          t "parse spec" test_parse_spec;
+          t "decide deterministic" test_decide_deterministic;
+        ] );
+      ( "client",
+        [
+          t "pass-through identity" test_pass_through_identity;
+          t "same seed same trace" test_same_seed_same_trace;
+          t "recovers to identical spec" test_recovers_to_identical_spec;
+          t "budget exhaustion" test_budget_exhaustion_degrades;
+          t "breaker trips and rejects" test_breaker_trips_and_rejects;
+          t "repair skips degraded rounds" test_repair_skips_degraded_rounds;
+        ] );
+    ]

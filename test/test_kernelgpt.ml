@@ -251,6 +251,71 @@ bad_struct {
   Alcotest.(check bool) "struct not mangled" true
     (List.exists (fun c -> c.Syzlang.Ast.comp_name = "bad_struct") spec.types)
 
+let test_repair_resource_underlying () =
+  (* a hallucination suffix on the underlying resource of a declaration:
+     the rename must reach res_underlying, not just references *)
+  let spec, valid, changed, errors =
+    repair
+      (parse
+         {|resource fd_t[fd_V2]
+ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION], arg intptr)
+|})
+  in
+  Alcotest.(check bool) "repair applied" true changed;
+  Alcotest.(check bool) "validates after repair" true valid;
+  Alcotest.(check int) "no residual errors" 0 (List.length errors);
+  let r = List.nth spec.Syzlang.Ast.resources 0 in
+  Alcotest.(check string) "underlying renamed" "fd" r.Syzlang.Ast.res_underlying
+
+let test_repair_return_resource () =
+  (* the syscall's ret resource carries the suffix: the error names the
+     undeclared return resource and the rename must reach [ret] *)
+  let spec, valid, changed, errors =
+    repair
+      (parse
+         {|resource fd_t[fd]
+openat$dm(fd const[-100], file ptr[in, string["/dev/x"]], flags const[2], mode const[0]) fd_t_V2
+ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION], arg intptr)
+|})
+  in
+  Alcotest.(check bool) "repair applied" true changed;
+  Alcotest.(check bool) "validates after repair" true valid;
+  Alcotest.(check int) "no residual errors" 0 (List.length errors);
+  let openat = List.find (fun c -> c.Syzlang.Ast.call_name = "openat") spec.syscalls in
+  Alcotest.(check (option string)) "ret renamed" (Some "fd_t") openat.Syzlang.Ast.ret
+
+let test_prune_resource_fixpoint () =
+  (* an unrepairable resource (no recoverable suffix) must be pruned
+     together with the syscalls returning or consuming it, leaving the
+     rest of the spec usable *)
+  let kernel = Lazy.force repair_kernel in
+  let spec =
+    parse
+      {|resource fd_t[fd]
+resource bogus_t[no_such_resource]
+openat$bogus(fd const[-100], file ptr[in, string["/dev/x"]], flags const[2], mode const[0]) bogus_t
+ioctl$BOGUS(fd bogus_t, cmd const[DM_VERSION], arg intptr)
+ioctl$DM_VERSION(fd fd_t, cmd const[DM_VERSION], arg intptr)
+|}
+  in
+  Alcotest.(check bool) "spec starts invalid" true
+    (Syzlang.Validate.validate ~kernel spec <> []);
+  let pruned, errors = Kernelgpt.Pipeline.prune ~kernel spec in
+  Alcotest.(check int) "prunes to usable" 0 (List.length errors);
+  Alcotest.(check bool) "bad resource dropped" true
+    (not
+       (List.exists
+          (fun r -> r.Syzlang.Ast.res_name = "bogus_t")
+          pruned.Syzlang.Ast.resources));
+  Alcotest.(check bool) "producer dropped" true
+    (not (List.exists (fun c -> c.Syzlang.Ast.variant = Some "bogus") pruned.syscalls));
+  Alcotest.(check bool) "consumer dropped" true
+    (not (List.exists (fun c -> c.Syzlang.Ast.variant = Some "BOGUS") pruned.syscalls));
+  Alcotest.(check bool) "good ioctl survives" true
+    (List.exists (fun c -> c.Syzlang.Ast.variant = Some "DM_VERSION") pruned.syscalls);
+  Alcotest.(check bool) "good resource survives" true
+    (List.exists (fun r -> r.Syzlang.Ast.res_name = "fd_t") pruned.resources)
+
 let test_repair_errors_without_identifier () =
   (* "empty struct/union", "empty flag set", "ioctl must take at least
      (fd, cmd)": punctuation-heavy messages that name no identifier at
@@ -332,6 +397,9 @@ let () =
         [
           t "hallucinated const repaired" test_repair_hallucinated_const;
           t "identifier not last word" test_repair_identifier_not_last;
+          t "resource underlying repaired" test_repair_resource_underlying;
+          t "return resource repaired" test_repair_return_resource;
+          t "prune resource fixpoint" test_prune_resource_fixpoint;
           t "errors without identifier" test_repair_errors_without_identifier;
         ] );
       ( "syzdescribe",

@@ -182,6 +182,22 @@ let test_context_truncation () =
   Alcotest.(check int) "truncated prompt sees nothing" 0 (List.length resp.r_idents);
   Alcotest.(check bool) "truncation recorded" true (o.Oracle.truncations > 0)
 
+let test_truncation_counts_each_snippet () =
+  (* the counter is per dropped snippet, not per truncated prompt: a
+     window too small for anything drops all three snippets *)
+  let idx = Lazy.force dm_kernel in
+  let tiny = { Profile.gpt4 with Profile.context_tokens = 40; name = "tiny" } in
+  let o = Oracle.create ~profile:tiny ~knowledge:idx () in
+  let s = snippet idx "lookup_ioctl" in
+  ignore
+    (Oracle.query o
+       {
+         Prompt.task = Prompt.Identifier_deduction { handler_fn = "lookup_ioctl" };
+         snippets = [ s; s; s ];
+         usage = [];
+       });
+  Alcotest.(check int) "three snippets dropped" 3 o.Oracle.truncations
+
 let test_repair_strips_suffix () =
   let idx = Lazy.force dm_kernel in
   let _, resp =
@@ -266,6 +282,7 @@ let () =
       ( "limits",
         [
           t "context truncation" test_context_truncation;
+          t "truncation per snippet" test_truncation_counts_each_snippet;
           t "repair" test_repair_strips_suffix;
           t "deterministic errors" test_error_injection_deterministic;
           t "cost accounting" test_cost_accounting;
