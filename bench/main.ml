@@ -11,9 +11,13 @@
       dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
       dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
 
-    Tables on stdout are byte-identical for any --jobs value; the pool
-    speedup summary, the --metrics registry, and --trace spans go to
-    stderr or the trace file, never stdout. *)
+    Tables on stdout are byte-identical for any --jobs value, with or
+    without --faults (fault handling is scoped per module). The one
+    exception is --query-budget with --jobs > 1: the shared budget is
+    consumed in scheduler order, so which queries it refuses varies run
+    to run — budget-bound runs reproduce exactly only at --jobs 1. The
+    pool speedup summary, the --metrics registry, and --trace spans go
+    to stderr or the trace file, never stdout. *)
 
 let micro_benchmarks () =
   let open Bechamel in

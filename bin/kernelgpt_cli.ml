@@ -53,14 +53,25 @@ let faults_arg =
            attempts. The same RATE:SEED reproduces the same faults, retries, and output \
            exactly.")
 
+let positive_int_conv =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok n
+        | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))),
+      Format.pp_print_int )
+
 let query_budget_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_int_conv) None
     & info [ "query-budget" ] ~docv:"N"
         ~doc:
           "Cap the run at $(docv) oracle query attempts (shared across all workers). \
-           Once spent, queries fail fast and the pipeline degrades to partial results.")
+           Once spent, queries fail fast and the pipeline degrades to partial results. \
+           With $(b,--jobs) > 1 the shared budget is consumed in scheduler order, so \
+           which queries it refuses varies run to run; budget-bound runs reproduce \
+           exactly only at $(b,--jobs) 1.")
 
 let client_of ?faults ?query_budget oracle =
   Client.create ?plan:faults ?query_budget:(Option.map Client.budget query_budget) oracle

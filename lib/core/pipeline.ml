@@ -44,10 +44,19 @@ let failed_outcome name =
 
 let max_repair_rounds = 3
 
+(** Rounds the repair loop may skip — refund rather than spend — when
+    every query in the round degraded; bounds the loop when the oracle
+    never comes back. *)
+let max_skipped_rounds = 3
+
 (** Validate and, if needed, repair a spec by consulting the oracle with
-    the error messages (§3.2). A round whose repair queries all degraded
-    (the fault-tolerant client gave up) is skipped, not counted as a
-    failure: the next round retries the surviving errors. *)
+    the error messages (§3.2). A round in which {e every} repair query
+    degraded (the fault-tolerant client gave up on all of them) is
+    skipped, not spent: it does not count against [max_repair_rounds],
+    and up to [max_skipped_rounds] such rounds are refunded before the
+    loop gives up. A round where the oracle did answer but nothing
+    improved ends the loop early — it is out of ideas, not out of
+    luck. *)
 let validate_and_repair ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (spec : Syzlang.Ast.spec) : Syzlang.Ast.spec * bool * bool * Syzlang.Validate.error list =
   let client = match client with Some c -> c | None -> Client.pass_through oracle in
@@ -60,6 +69,7 @@ let validate_and_repair ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     let spec = ref spec in
     let errors = ref errors0 in
     let round = ref 0 in
+    let skipped = ref 0 in
     let changed = ref false in
     Obs.with_span
       ~attrs:(fun () ->
@@ -132,11 +142,19 @@ let validate_and_repair ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
         !errors;
       errors := Syzlang.Validate.validate ~kernel !spec;
       if not !progressed then
-        if !degraded > 0 then
-          (* the oracle was down, not out of answers: skip the round and
-             let the remaining ones retry the surviving errors *)
+        if !degraded = errors_before && !skipped < max_skipped_rounds then begin
+          (* every query this round degraded: the oracle was down, not
+             out of answers.  Refund the round so the full repair budget
+             retries once the client recovers; [max_skipped_rounds]
+             keeps the loop finite when it never does *)
+          incr skipped;
+          decr round;
           Obs.Metrics.incr "repair.skipped_rounds"
-        else round := max_repair_rounds
+        end
+        else
+          (* at least one query got a real answer and nothing improved
+             (or the skip budget is spent): stop retrying *)
+          round := max_repair_rounds
     done;
     Obs.Metrics.incr
       (if !errors = [] then "repair.outcome.fixed" else "repair.outcome.failed");
@@ -570,6 +588,12 @@ let run_socket ~(mode : mode) ~(client : Client.t) ~(kernel : Csrc.Index.t)
 let run ?(mode = Iterative) ?client ~(oracle : Oracle.t) ~(kernel : Csrc.Index.t)
     (entry : Corpus.Types.entry) : outcome =
   let client = match client with Some c -> c | None -> Client.pass_through oracle in
+  (* module boundary: drop the client's transient state (virtual clock,
+     breaker, consecutive failures) so fault handling depends only on
+     this module's own queries — never on which modules this worker
+     happened to serve before — keeping sharded fault-injected runs
+     byte-identical for any --jobs value *)
+  if Client.fault_tolerant client then Client.reset_transients client;
   let o = ref None in
   Obs.with_span
     ~attrs:(fun () ->

@@ -32,9 +32,12 @@ val failed_outcome : string -> outcome
     the oracle with the error messages, up to three rounds. Returns the
     (possibly fixed) spec, whether it now validates, whether any repair
     was applied, and the remaining errors. Repair queries go through
-    [client] when given (defaults to a pass-through around [oracle]); a
-    round whose queries all degraded is skipped rather than counted as a
-    failed round. *)
+    [client] when given (defaults to a pass-through around [oracle]). A
+    round in which every query degraded (the fault-tolerant client gave
+    up) is refunded rather than spent — it does not count against the
+    three rounds, and up to three such skips are tolerated before the
+    loop gives up; a round the oracle answered without improving
+    anything ends the loop early. *)
 val validate_and_repair :
   ?client:Client.t ->
   oracle:Oracle.t ->

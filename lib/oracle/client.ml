@@ -7,6 +7,7 @@ type policy = {
   max_backoff_ms : int;
   attempt_latency_ms : int;
   attempt_timeout_ms : int;
+  reject_latency_ms : int;
   retry_after_ms : int;
   query_deadline_ms : int;
   breaker_threshold : int;
@@ -21,6 +22,7 @@ let default_policy =
     max_backoff_ms = 5_000;
     attempt_latency_ms = 20;
     attempt_timeout_ms = 1_000;
+    reject_latency_ms = 1_000;
     retry_after_ms = 2_000;
     query_deadline_ms = 120_000;
     breaker_threshold = 8;
@@ -112,6 +114,11 @@ let diff (later : stats) (earlier : stats) : stats =
 
 let clock_ms t = t.clock
 
+let reset_transients t =
+  t.clock <- 0;
+  t.consecutive_failures <- 0;
+  t.breaker_open_until <- -1
+
 (* ------------------------------------------------------------------ *)
 
 let trip_breaker (t : t) =
@@ -133,8 +140,12 @@ let give_up (t : t) ~(subject : string) ~(reason : string) : 'a option =
   None
 
 (** Fail fast without touching the backend (open breaker, spent
-    budget). *)
+    budget). The pipeline keeps doing real work between queries, so even
+    a rejection advances the virtual clock — otherwise an open breaker
+    would never reach its cooldown and the half-open probe could never
+    fire. *)
 let reject (t : t) ~subject ~reason =
+  t.clock <- t.clock + t.policy.reject_latency_ms;
   t.stats.s_rejected <- t.stats.s_rejected + 1;
   Obs.Metrics.incr ("oracle." ^ reason);
   give_up t ~subject ~reason

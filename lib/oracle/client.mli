@@ -28,6 +28,10 @@ type policy = {
   max_backoff_ms : int;  (** exponential backoff cap *)
   attempt_latency_ms : int;  (** virtual cost of a served attempt *)
   attempt_timeout_ms : int;  (** virtual cost of a timed-out attempt *)
+  reject_latency_ms : int;
+      (** virtual time that passes across a fail-fast rejection (the
+          pipeline works on between queries), so an open breaker's
+          cooldown elapses and its half-open probe eventually fires *)
   retry_after_ms : int;  (** extra wait after a rate-limit fault *)
   query_deadline_ms : int;  (** per-query budget across all its attempts *)
   breaker_threshold : int;  (** consecutive attempt failures that trip *)
@@ -82,8 +86,18 @@ val snapshot : t -> stats
     accounting. *)
 val diff : stats -> stats -> stats
 
-(** Current reading of the virtual clock (ms since client creation). *)
+(** Current reading of the virtual clock (ms since client creation or
+    the last {!reset_transients}). *)
 val clock_ms : t -> int
+
+(** Reset the transient state — virtual clock, circuit breaker, and the
+    consecutive-failure count — without touching cumulative statistics
+    or the shared query budget. The pipeline calls this at every module
+    boundary so fault handling (and the [clock_ms] values
+    in trace events) depends only on the module's own queries, never on
+    which modules the same client served before: sharded fault-injected
+    runs produce the same output for any [--jobs] value. *)
+val reset_transients : t -> unit
 
 (** Answer one prompt, retrying injected faults per the policy. [None]
     means the query degraded; the oracle was already consulted (and its

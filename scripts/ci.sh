@@ -82,6 +82,19 @@ if ! diff -u "$tmp/seq.tables" "$tmp/f15.tables"; then
 fi
 echo "OK: --faults 15 recovered every fault; tables identical to un-faulted run"
 
+echo "== fault injection: sharding does not change faulted output =="
+# Clock/breaker state resets at every module boundary, so even a fault
+# rate high enough to trip circuit breakers must print the same tables
+# no matter how modules are sharded over workers. (--query-budget is
+# the documented exception and is deliberately absent here.)
+dune exec --no-build bench/main.exe -- --exp table3 --faults 60:5 --jobs 1 2>/dev/null | filter > "$tmp/f60seq.out"
+dune exec --no-build bench/main.exe -- --exp table3 --faults 60:5 --jobs 4 2>/dev/null | filter > "$tmp/f60par.out"
+if ! diff -u "$tmp/f60seq.out" "$tmp/f60par.out"; then
+  echo "FAIL: --faults 60:5 output depends on --jobs" >&2
+  exit 1
+fi
+echo "OK: --faults 60:5 --jobs 4 output is byte-identical to --jobs 1"
+
 echo "== fault injection: same seed, same run =="
 dune exec --no-build bench/main.exe -- --exp table3 --faults 15:7 2>/dev/null | filter > "$tmp/s7a.out"
 dune exec --no-build bench/main.exe -- --exp table3 --faults 15:7 2>/dev/null | filter > "$tmp/s7b.out"

@@ -145,6 +145,87 @@ let test_breaker_trips_and_rejects () =
   Alcotest.(check int) "no new attempts" s.Client.s_attempts s'.Client.s_attempts;
   Alcotest.(check int) "backend never consulted" 0 oracle.Oracle.queries
 
+(** A repair prompt whose fate under [plan] on its first attempt is
+    known: [faulted:true] finds one the plan always hits, [faulted:false]
+    one it leaves alone ({!Faults.decide} is pure, so we can just ask). *)
+let find_repair_prompt plan ~profile ~faulted =
+  let rec go i =
+    if i > 10_000 then Alcotest.fail "no suitable repair subject found"
+    else begin
+      let item = Printf.sprintf "syscall probe_%d" i in
+      let p =
+        {
+          Prompt.task = Prompt.Repair { item; description = ""; error = "unknown const X" };
+          snippets = [];
+          usage = [];
+        }
+      in
+      let subject = Oracle.task_name p.Prompt.task ^ ":" ^ Oracle.task_subject p.Prompt.task in
+      if (Faults.decide plan ~profile ~subject ~attempt:1 <> None) = faulted then p
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let test_breaker_recovers () =
+  (* a tripped breaker must not stay open forever: rejections advance
+     the virtual clock, the cooldown elapses, and a half-open probe
+     reaches the backend again *)
+  let kernel = (Vkernel.Machine.boot [ entry ]).Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let plan = Faults.make ~seed:11 ~rate_pct:50 () in
+  let policy =
+    {
+      Client.default_policy with
+      breaker_threshold = 2;
+      repair_max_attempts = 1;
+      breaker_cooldown_ms = 2_500;
+    }
+  in
+  let client = Client.create ~plan ~policy oracle in
+  let profile = Profile.gpt4.Profile.name in
+  let bad = find_repair_prompt plan ~profile ~faulted:true in
+  let good = find_repair_prompt plan ~profile ~faulted:false in
+  (* two single-attempt faulted queries reach the threshold and trip *)
+  Alcotest.(check bool) "bad query 1 degrades" true (Client.query client bad = None);
+  Alcotest.(check bool) "bad query 2 degrades" true (Client.query client bad = None);
+  Alcotest.(check int) "breaker tripped" 1 (Client.snapshot client).Client.s_breaker_trips;
+  let q0 = oracle.Oracle.queries and clock0 = Client.clock_ms client in
+  Alcotest.(check bool) "rejected while open" true (Client.query client good = None);
+  Alcotest.(check int) "backend not consulted" q0 oracle.Oracle.queries;
+  Alcotest.(check bool) "rejection advanced the clock" true (Client.clock_ms client > clock0);
+  (* keep querying: each rejection burns reject_latency_ms of cooldown,
+     so well before 10 queries the probe fires and gets served *)
+  let served = ref 0 in
+  for _ = 1 to 10 do
+    if Client.query client good <> None then incr served
+  done;
+  Alcotest.(check bool) "probe fired and recovered" true (!served > 0);
+  Alcotest.(check bool) "backend consulted again" true (oracle.Oracle.queries > q0);
+  (* once closed, the breaker stays closed for healthy queries *)
+  let r0 = (Client.snapshot client).Client.s_rejected in
+  Alcotest.(check bool) "served after recovery" true (Client.query client good <> None);
+  Alcotest.(check int) "no further rejections" r0 (Client.snapshot client).Client.s_rejected
+
+let test_module_state_isolated () =
+  (* Pipeline.run resets the client's transient state (clock, breaker,
+     consecutive failures) at the module boundary, so the same module
+     behaves identically no matter what the client served before — the
+     property that keeps sharded fault-injected runs deterministic *)
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  let plan = Faults.make ~seed:5 ~rate_pct:60 () in
+  let client = Client.create ~plan oracle in
+  let o1 = Kernelgpt.Pipeline.run ~client ~oracle ~kernel entry in
+  let o2 = Kernelgpt.Pipeline.run ~client ~oracle ~kernel entry in
+  Alcotest.(check string) "same spec" (spec_str o1) (spec_str o2);
+  Alcotest.(check int) "same faults" o1.o_faults o2.o_faults;
+  Alcotest.(check int) "same retries" o1.o_retries o2.o_retries;
+  Alcotest.(check int) "same recovered" o1.o_recovered o2.o_recovered;
+  Alcotest.(check int) "same degraded" o1.o_degraded o2.o_degraded;
+  Alcotest.(check int) "same queries" o1.o_queries o2.o_queries
+
 let test_repair_skips_degraded_rounds () =
   (* with the oracle fully down, validate_and_repair must terminate,
      leave the spec alone, and report it invalid — not spin or raise *)
@@ -183,6 +264,8 @@ let () =
           t "recovers to identical spec" test_recovers_to_identical_spec;
           t "budget exhaustion" test_budget_exhaustion_degrades;
           t "breaker trips and rejects" test_breaker_trips_and_rejects;
+          t "breaker recovers after cooldown" test_breaker_recovers;
+          t "module state isolated" test_module_state_isolated;
           t "repair skips degraded rounds" test_repair_skips_degraded_rounds;
         ] );
     ]
