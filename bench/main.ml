@@ -10,6 +10,7 @@
       dune exec bench/main.exe -- --micro      # Bechamel component benches only
       dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
       dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
+      dune exec bench/main.exe -- --exp table3 --exec-faults 10:3     # executor wedges
 
     Tables on stdout are byte-identical for any --jobs value, with or
     without --faults (fault handling is scoped per module). The one
@@ -142,6 +143,16 @@ let () =
             Printf.eprintf "--query-budget %s: expected a positive integer\n" n;
             exit 2)
   in
+  let exec_faults =
+    match value_of "--exec-faults" with
+    | None -> None
+    | Some spec -> (
+        match Fuzzer.Supervisor.parse_spec spec with
+        | Ok cfg -> Some cfg
+        | Error msg ->
+            Printf.eprintf "--exec-faults %s: %s\n" spec msg;
+            exit 2)
+  in
   let which =
     match value_of "--exp" with
     | Some w -> (
@@ -157,6 +168,6 @@ let () =
   in
   if has "--micro" then micro_benchmarks ()
   else begin
-    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ();
+    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ();
     if which = Report.Runner.All then micro_benchmarks ()
   end

@@ -76,6 +76,28 @@ let query_budget_arg =
 let client_of ?faults ?query_budget oracle =
   Client.create ?plan:faults ?query_budget:(Option.map Client.budget query_budget) oracle
 
+(* Executor-side fault injection (--exec-faults), the fuzzing twin of
+   --faults: drives the supervisor's wedge/reboot machinery in tests and
+   CI. Without it campaigns behave exactly as they always have. *)
+let exec_faults_conv =
+  Arg.conv
+    ( (fun s ->
+        match Fuzzer.Supervisor.parse_spec s with
+        | Ok c -> Ok c
+        | Error msg -> Error (`Msg msg)),
+      fun fmt c -> Format.pp_print_string fmt (Fuzzer.Supervisor.spec_to_string c) )
+
+let exec_faults_arg =
+  Arg.(
+    value
+    & opt (some exec_faults_conv) None
+    & info [ "exec-faults" ] ~docv:"RATE[:SEED]"
+        ~doc:
+          "Deterministically lose $(docv) percent of campaign executions to a wedged \
+           executor instance: the program is generated but its results are discarded, and \
+           the supervisor reboots instances that trip the wedge threshold. The same \
+           RATE:SEED reproduces the same faults, reboots, and output exactly.")
+
 (* Observability flags, shared by every command that runs the pipeline.
    Traces go to a file and metrics to stderr, so stdout stays
    byte-identical for any --jobs value. *)
@@ -192,7 +214,8 @@ let baseline_cmd =
     Term.(ret (const run $ module_arg))
 
 let fuzz_cmd =
-  let run () name suite budget seed profile repro faults query_budget =
+  let run () name suite budget seed profile repro faults query_budget exec_faults
+      checkpoint checkpoint_every resume resume_or_fresh stop_after =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
@@ -209,26 +232,107 @@ let fuzz_cmd =
     | None ->
         Printf.eprintf "no %s specification available for %s\n" suite name;
         `Ok ()
-    | Some spec ->
-        let t0 = Unix.gettimeofday () in
-        let res = Fuzzer.Campaign.run ~seed ~budget ~machine spec in
-        Printf.printf "%d executions in %.2fs; coverage %d (%d in %s); corpus %d\n"
-          res.executions
-          (Unix.gettimeofday () -. t0)
-          (Fuzzer.Campaign.total_coverage res)
-          (Fuzzer.Campaign.module_coverage machine res entry.name)
-          entry.name res.corpus_size;
-        List.iter
-          (fun title ->
-            Printf.printf "CRASH: %s\n" title;
-            if repro then begin
-              let prog = Hashtbl.find res.crashes title in
-              let small = Fuzzer.Repro.minimize ~machine ~title prog in
-              print_string (Fuzzer.Repro.program_str small);
-              print_newline ()
-            end)
-          (Fuzzer.Campaign.crash_titles res);
-        `Ok ()
+    | Some spec -> (
+        let supervisor = Option.value exec_faults ~default:Fuzzer.Supervisor.default in
+        if (resume || resume_or_fresh) && checkpoint = None then
+          `Error (false, "--resume/--resume-or-fresh need --checkpoint FILE")
+        else if resume && resume_or_fresh then
+          `Error (false, "--resume and --resume-or-fresh are mutually exclusive")
+        else
+          (* Validate that a loaded checkpoint belongs to *this* run:
+             same spec, seed, budgets, and fault plan. A resumed run is
+             only byte-identical to an uninterrupted one when every
+             input matches. *)
+          let validate (s : Fuzzer.Checkpoint.snapshot) : (unit, string) result =
+            let want label a b =
+              if a = b then Ok ()
+              else Error (Printf.sprintf "checkpoint was taken with %s %d, this run uses %d" label a b)
+            in
+            let ( let* ) = Result.bind in
+            let* () = want "seed" s.seed seed in
+            let* () = want "budget" s.budget budget in
+            if s.supervisor <> supervisor then
+              Error "checkpoint was taken with a different --exec-faults/supervisor configuration"
+            else Ok ()
+          in
+          let fresh () = Fuzzer.Campaign.init ~seed ~budget ~supervisor ~machine spec in
+          let campaign =
+            if not (resume || resume_or_fresh) then Ok (fresh ())
+            else
+              let file = Option.get checkpoint in
+              let loaded =
+                match Fuzzer.Checkpoint.load file with
+                | Error e -> Error e
+                | Ok snap -> (
+                    match validate snap with
+                    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+                    | Ok () -> Fuzzer.Campaign.of_snapshot ~machine spec snap)
+              in
+              match loaded with
+              | Ok t ->
+                  Printf.eprintf "resumed from %s at %d/%d executions\n%!" file
+                    (Fuzzer.Campaign.executions t) budget;
+                  Ok t
+              | Error e when resume_or_fresh ->
+                  Printf.eprintf "cannot resume (%s); starting fresh\n%!" e;
+                  Obs.Metrics.incr "fuzz.checkpoint_load_errors";
+                  Ok (fresh ())
+              | Error e -> Error e
+          in
+          match campaign with
+          | Error e -> `Error (false, e)
+          | Ok t -> (
+              let t0 = Unix.gettimeofday () in
+              let write_checkpoint c =
+                match checkpoint with
+                | Some file -> Fuzzer.Checkpoint.save file (Fuzzer.Campaign.snapshot c)
+                | None -> ()
+              in
+              let checkpoint_every =
+                match checkpoint_every with
+                | Some n -> n
+                | None -> if checkpoint = None then 0 else max 1 (budget / 8)
+              in
+              match
+                Fuzzer.Campaign.drive ~checkpoint_every ~on_checkpoint:write_checkpoint
+                  ?stop_after t
+              with
+              | `Stopped ->
+                  (* graceful kill: state is on disk, nothing on stdout —
+                     the resumed run owns the report *)
+                  Printf.eprintf "stopped at %d/%d executions; checkpoint written to %s\n"
+                    (Fuzzer.Campaign.executions t) budget
+                    (Option.value checkpoint ~default:"(nowhere: no --checkpoint)");
+                  `Ok ()
+              | `Completed ->
+                  write_checkpoint t;
+                  let res = Fuzzer.Campaign.result t in
+                  Printf.printf "%d executions in %.2fs; coverage %d (%d in %s); corpus %d\n"
+                    res.executions
+                    (Unix.gettimeofday () -. t0)
+                    (Fuzzer.Campaign.total_coverage res)
+                    (Fuzzer.Campaign.module_coverage machine res entry.name)
+                    entry.name res.corpus_size;
+                  if exec_faults <> None then begin
+                    let s = Fuzzer.Campaign.supervisor_stats t in
+                    Printf.printf
+                      "supervisor: %d instances, %d reboots, %d lost executions (%d timeouts)\n"
+                      s.Fuzzer.Supervisor.s_instances s.s_reboots s.s_lost s.s_timeouts
+                  end;
+                  List.iter
+                    (fun title ->
+                      Printf.printf "CRASH: %s\n" title;
+                      if repro then begin
+                        let prog = Hashtbl.find res.crashes title in
+                        let small =
+                          Fuzzer.Repro.minimize ~step_budget:res.step_budget ~machine ~title
+                            prog
+                        in
+                        print_string (Fuzzer.Repro.program_str small);
+                        print_newline ()
+                      end)
+                    (Fuzzer.Campaign.crash_titles res);
+                  `Ok ()))
   in
   let suite =
     Arg.(
@@ -241,31 +345,81 @@ let fuzz_cmd =
   let repro =
     Arg.(value & flag & info [ "repro" ] ~doc:"Print a minimized reproducer per crash.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write the complete campaign state (RNG, counters, coverage, corpus, crash \
+             table, supervisor health) to $(docv) every $(b,--checkpoint-every) \
+             executions, atomically, with a checksum. A killed run resumed with \
+             $(b,--resume) finishes byte-identical to an uninterrupted one.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some positive_int_conv) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) executions (default: budget/8).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue the campaign recorded in $(b,--checkpoint) FILE; fails with a \
+             descriptive error when the file is missing, truncated, corrupted, from \
+             another checkpoint version, or from a run with different parameters.")
+  in
+  let resume_or_fresh =
+    Arg.(
+      value & flag
+      & info [ "resume-or-fresh" ]
+          ~doc:"Like $(b,--resume), but fall back to a fresh campaign (with a warning on \
+                stderr) when the checkpoint cannot be loaded.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some positive_int_conv) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Gracefully stop after $(docv) total executions, writing a final checkpoint — \
+             the deterministic stand-in for killing the process at a checkpoint boundary.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a module with a specification suite")
     Term.(
       ret
         (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro
-       $ faults_arg $ query_budget_arg))
+       $ faults_arg $ query_budget_arg $ exec_faults_arg $ checkpoint $ checkpoint_every
+       $ resume $ resume_or_fresh $ stop_after))
 
 let bugs_cmd =
-  let run () budget seeds jobs faults query_budget =
+  let run () budget seeds jobs faults query_budget exec_faults =
     let jobs = resolve_jobs jobs in
     Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
     let ctx = Report.Suites.build ~jobs ?faults ?query_budget () in
     if faults <> None || query_budget <> None then
       Report.Exp_resilience.print (Report.Exp_resilience.collect ctx);
-    Report.Exp_bugs.print_table4 (Report.Exp_bugs.table4 ~budget ~seeds ~jobs ctx);
+    let t4 = Report.Exp_bugs.table4 ~budget ~seeds ~jobs ?supervisor:exec_faults ctx in
+    Report.Exp_bugs.print_table4 t4;
+    if exec_faults <> None then
+      Report.Exp_resilience.print_exec t4.Report.Exp_bugs.t4_exec;
     if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr;
     `Ok ()
   in
   let budget = Arg.(value & opt int 30_000 & info [ "budget" ] ~doc:"Executions per module.") in
   let seeds = Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Campaign seeds per module.") in
   Cmd.v (Cmd.info "bugs" ~doc:"Hunt the Table 4 bugs")
-    Term.(ret (const run $ obs_term $ budget $ seeds $ jobs_arg $ faults_arg $ query_budget_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ budget $ seeds $ jobs_arg $ faults_arg $ query_budget_arg
+       $ exec_faults_arg))
 
 let report_cmd =
-  let run () exp full jobs faults query_budget =
+  let run () exp full jobs faults query_budget exec_faults =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -274,7 +428,8 @@ let report_cmd =
              ablation-iter, ablation-llm, correctness)" )
     | Some which ->
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
-        Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget ();
+        Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget
+          ?exec_faults ();
         `Ok ()
   in
   let exp =
@@ -283,7 +438,10 @@ let report_cmd =
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full budgets (EXPERIMENTS.md scale).") in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg
+       $ exec_faults_arg))
 
 let trace_cmd =
   let run file expected =

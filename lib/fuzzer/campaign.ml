@@ -3,7 +3,16 @@
     A fixed execution budget stands in for the paper's wall-clock
     sessions (24h × 8 cores in Table 3, 6h in Tables 5/6). Programs that
     reach new statements join the corpus and get mutated; crashes are
-    deduplicated by title, the paper's "unique crashes" metric. *)
+    deduplicated by title, the paper's "unique crashes" metric.
+
+    The loop is an explicit state machine ({!init} / {!step} /
+    {!snapshot} / {!of_snapshot}) so a long campaign can be frozen to a
+    {!Checkpoint} file and resumed after a kill: everything the loop
+    reads — RNG word, execution counter, coverage set, corpus ring,
+    crash table, eviction count, supervisor health — lives in {!t} and
+    round-trips through the snapshot, which is what makes a resumed run
+    byte-identical to an uninterrupted one. {!run} drives the machine to
+    completion and is byte-for-byte the historical campaign. *)
 
 type result = {
   executions : int;
@@ -11,6 +20,9 @@ type result = {
   crashes : (string, Vkernel.Machine.prog) Hashtbl.t;  (** title -> reproducer *)
   corpus_size : int;
   corpus_evictions : int;  (** fresh programs that displaced a ring entry *)
+  exec_restarts : int;  (** executor instances rebooted by the supervisor *)
+  exec_lost : int;  (** executions lost to injected executor wedges *)
+  step_budget : int;  (** per-program budget, threaded to repro minimization *)
 }
 
 let total_coverage res = Hashtbl.length res.coverage
@@ -29,63 +41,96 @@ let crash_titles res =
 
 let max_corpus = 512
 
-(** Run a campaign of [budget] program executions. *)
-let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
-    ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
-  let coverage = Hashtbl.create 4096 in
-  let crashes = Hashtbl.create 8 in
-  let executions = ref 0 in
-  let corpus_n = ref 0 in
-  let evictions = ref 0 in
-  Obs.with_span
-    ~attrs:(fun () ->
-      [
-        ("executions", Obs.Json.Int !executions);
-        ("coverage", Obs.Json.Int (Hashtbl.length coverage));
-        ("crashes", Obs.Json.Int (Hashtbl.length crashes));
-        ("corpus", Obs.Json.Int !corpus_n);
-        ("evictions", Obs.Json.Int !evictions);
-      ])
-    ~kind:"fuzz.campaign" spec.Syzlang.Ast.spec_name
-  @@ fun () ->
-  Obs.Metrics.incr "fuzz.campaigns";
-  let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
-  let t = Proggen.prepare spec in
-  let r = Rng.make seed in
+type t = {
+  machine : Vkernel.Machine.t;
+  gen : Proggen.t;
+  rng : Rng.t;
+  sup : Supervisor.t;
+  spec_name : string;
+  seed : int;
+  budget : int;
+  t_step_budget : int;
+  t_max_corpus : int;
+  coverage : (int, unit) Hashtbl.t;
+  crashes : (string, Vkernel.Machine.prog) Hashtbl.t;
   (* pre-sized ring: O(1) insertion instead of Array.append's O(n) copy
      (quadratic over the campaign) *)
-  let corpus : Vkernel.Machine.prog array = Array.make max_corpus [] in
-  (* coverage-growth checkpoints: eight per campaign, keyed to the
+  corpus : Vkernel.Machine.prog array;
+  mutable executions : int;
+  mutable corpus_n : int;
+  mutable evictions : int;
+  (* coverage-growth trace events: eight per campaign, keyed to the
      deterministic execution counter *)
-  let checkpoint_every = max 1 (budget / 8) in
-  if t.Proggen.consumers <> [] then
-    for _ = 1 to budget do
-      incr executions;
-      let prog =
-        if !corpus_n > 0 && Rng.pct r 65 then
-          Proggen.mutate t r corpus.(Rng.int r !corpus_n)
-        else Proggen.generate t r ()
-      in
-      if prog <> [] then begin
-        let res = Vkernel.Machine.exec_prog ~step_budget machine prog in
+  trace_every : int;
+}
+
+let executions t = t.executions
+
+let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
+    ?(supervisor = Supervisor.default) ~(machine : Vkernel.Machine.t)
+    (spec : Syzlang.Ast.spec) : t =
+  let spec_name = spec.Syzlang.Ast.spec_name in
+  let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
+  {
+    machine;
+    gen = Proggen.prepare spec;
+    rng = Rng.make seed;
+    sup = Supervisor.create supervisor;
+    spec_name;
+    seed;
+    budget;
+    t_step_budget = step_budget;
+    t_max_corpus = max_corpus;
+    coverage = Hashtbl.create 4096;
+    crashes = Hashtbl.create 8;
+    corpus = Array.make max_corpus [];
+    executions = 0;
+    corpus_n = 0;
+    evictions = 0;
+    trace_every = max 1 (budget / 8);
+  }
+
+(** Execute one program. False once the budget is spent (or the spec has
+    no reachable syscalls): the campaign is complete. *)
+let step (t : t) : bool =
+  if t.gen.Proggen.consumers = [] || t.executions >= t.budget then false
+  else begin
+    t.executions <- t.executions + 1;
+    let prog =
+      if t.corpus_n > 0 && Rng.pct t.rng 65 then
+        Proggen.mutate t.gen t.rng t.corpus.(Rng.int t.rng t.corpus_n)
+      else Proggen.generate t.gen t.rng ()
+    in
+    if prog <> [] then begin
+      let instance = Supervisor.instance_for t.sup ~exec:t.executions in
+      if Supervisor.inject t.sup ~exec:t.executions then
+        (* the executor instance wedged mid-run: the program was
+           generated (the RNG advanced exactly as usual) but its results
+           are lost, and the supervisor sees one more timeout *)
+        ignore (Supervisor.record t.sup ~instance ~timed_out:true ~lost:true)
+      else begin
+        let res = Vkernel.Machine.exec_prog ~step_budget:t.t_step_budget t.machine prog in
+        ignore
+          (Supervisor.record t.sup ~instance ~timed_out:res.Vkernel.Machine.timed_out
+             ~lost:false);
         (match res.crash with
         | Some c -> (
             (* keep the shortest reproducer per title, so Repro starts
                from the easiest program *)
-            match Hashtbl.find_opt crashes c.cr_title with
-            | None -> Hashtbl.replace crashes c.cr_title prog
+            match Hashtbl.find_opt t.crashes c.cr_title with
+            | None -> Hashtbl.replace t.crashes c.cr_title prog
             | Some old when List.length prog < List.length old ->
-                Hashtbl.replace crashes c.cr_title prog
+                Hashtbl.replace t.crashes c.cr_title prog
             | Some _ -> ())
         | None -> ());
         let fresh =
-          List.exists (fun sid -> not (Hashtbl.mem coverage sid)) res.coverage
+          List.exists (fun sid -> not (Hashtbl.mem t.coverage sid)) res.coverage
         in
-        List.iter (fun sid -> Hashtbl.replace coverage sid ()) res.coverage;
+        List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) res.coverage;
         if fresh then
-          if !corpus_n < max_corpus then begin
-            corpus.(!corpus_n) <- prog;
-            incr corpus_n;
+          if t.corpus_n < t.t_max_corpus then begin
+            t.corpus.(t.corpus_n) <- prog;
+            t.corpus_n <- t.corpus_n + 1;
             Obs.Metrics.incr "fuzz.corpus_inserts"
           end
           else begin
@@ -94,34 +139,167 @@ let run ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_
                on this saturated path, so the RNG sequence — and every
                Quick-scale table — is unchanged for runs that never
                fill the ring. *)
-            let victim = Rng.int r max_corpus in
-            corpus.(victim) <- prog;
-            incr evictions;
+            let victim = Rng.int t.rng t.t_max_corpus in
+            t.corpus.(victim) <- prog;
+            t.evictions <- t.evictions + 1;
             Obs.Metrics.incr "fuzz.corpus_evictions"
           end
-      end;
-      if !executions mod checkpoint_every = 0 && Obs.tracing () then
-        Obs.event
-          ~attrs:(fun () ->
-            [
-              ("executions", Obs.Json.Int !executions);
-              ("coverage", Obs.Json.Int (Hashtbl.length coverage));
-            ])
-          ~kind:"fuzz.checkpoint"
-          ("exec-" ^ string_of_int !executions)
-    done;
-  if Obs.metrics_on () then begin
-    Obs.Metrics.incr ~by:!executions "fuzz.executions";
-    Obs.Metrics.observe "fuzz.coverage" (float_of_int (Hashtbl.length coverage));
-    Obs.Metrics.observe "fuzz.corpus_hit_rate"
-      (if !executions = 0 then 0.0
-       else float_of_int (!corpus_n + !evictions) /. float_of_int !executions);
-    if !corpus_n >= max_corpus then Obs.Metrics.incr "fuzz.corpus_saturated"
-  end;
+      end
+    end;
+    if t.executions mod t.trace_every = 0 && Obs.tracing () then
+      Obs.event
+        ~attrs:(fun () ->
+          [
+            ("executions", Obs.Json.Int t.executions);
+            ("coverage", Obs.Json.Int (Hashtbl.length t.coverage));
+          ])
+        ~kind:"fuzz.checkpoint"
+        ("exec-" ^ string_of_int t.executions);
+    true
+  end
+
+let result (t : t) : result =
+  let sup = Supervisor.stats t.sup in
   {
-    executions = !executions;
-    coverage;
-    crashes;
-    corpus_size = !corpus_n;
-    corpus_evictions = !evictions;
+    executions = t.executions;
+    coverage = t.coverage;
+    crashes = t.crashes;
+    corpus_size = t.corpus_n;
+    corpus_evictions = t.evictions;
+    exec_restarts = sup.Supervisor.s_reboots;
+    exec_lost = sup.Supervisor.s_lost;
+    step_budget = t.t_step_budget;
   }
+
+let supervisor_stats (t : t) = Supervisor.stats t.sup
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot (t : t) : Checkpoint.snapshot =
+  let health, counters = Supervisor.dump t.sup in
+  {
+    Checkpoint.spec_name = t.spec_name;
+    seed = t.seed;
+    budget = t.budget;
+    step_budget = t.t_step_budget;
+    max_corpus = t.t_max_corpus;
+    supervisor = Supervisor.config t.sup;
+    rng_state = Rng.state t.rng;
+    executions = t.executions;
+    evictions = t.evictions;
+    (* mutate reads the working string the previous program left behind,
+       so it is campaign state even though generate resets it *)
+    working_str = t.gen.Proggen.cur_str;
+    coverage =
+      List.sort compare (Hashtbl.fold (fun sid () acc -> sid :: acc) t.coverage []);
+    corpus = Array.to_list (Array.sub t.corpus 0 t.corpus_n);
+    crashes =
+      Hashtbl.fold (fun title p acc -> (title, p) :: acc) t.crashes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    sup_health = health;
+    sup_counters = counters;
+  }
+
+let of_snapshot ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
+    (s : Checkpoint.snapshot) : (t, string) Stdlib.result =
+  if s.Checkpoint.spec_name <> spec.Syzlang.Ast.spec_name then
+    Error
+      (Printf.sprintf "checkpoint was taken with spec %S, this run uses %S"
+         s.Checkpoint.spec_name spec.Syzlang.Ast.spec_name)
+  else if s.executions > s.budget then
+    Error
+      (Printf.sprintf "checkpoint has %d executions but a budget of only %d" s.executions
+         s.budget)
+  else if List.length s.corpus > s.max_corpus then
+    Error
+      (Printf.sprintf "checkpoint corpus has %d entries but max_corpus is %d"
+         (List.length s.corpus) s.max_corpus)
+  else
+    match
+      Supervisor.restore s.supervisor ~health:s.sup_health ~counters:s.sup_counters
+    with
+    | Error e -> Error e
+    | Ok sup ->
+        let t =
+          init ~seed:s.seed ~budget:s.budget ~step_budget:s.step_budget
+            ~max_corpus:s.max_corpus ~supervisor:s.supervisor ~machine spec
+        in
+        let t = { t with sup } in
+        Rng.set_state t.rng s.rng_state;
+        t.gen.Proggen.cur_str <- s.working_str;
+        t.executions <- s.executions;
+        t.evictions <- s.evictions;
+        List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) s.coverage;
+        List.iter (fun (title, p) -> Hashtbl.replace t.crashes title p) s.crashes;
+        List.iteri (fun i p -> t.corpus.(i) <- p) s.corpus;
+        t.corpus_n <- List.length s.corpus;
+        Obs.Metrics.incr "fuzz.checkpoint_resumes";
+        if Obs.tracing () then
+          Obs.event
+            ~attrs:(fun () ->
+              [
+                ("executions", Obs.Json.Int t.executions);
+                ("coverage", Obs.Json.Int (Hashtbl.length t.coverage));
+              ])
+            ~kind:"fuzz.resume"
+            ("exec-" ^ string_of_int t.executions);
+        Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let final_metrics (t : t) =
+  if Obs.metrics_on () then begin
+    Obs.Metrics.incr ~by:t.executions "fuzz.executions";
+    Obs.Metrics.observe "fuzz.coverage" (float_of_int (Hashtbl.length t.coverage));
+    Obs.Metrics.observe "fuzz.corpus_hit_rate"
+      (if t.executions = 0 then 0.0
+       else float_of_int (t.corpus_n + t.evictions) /. float_of_int t.executions);
+    if t.corpus_n >= t.t_max_corpus then Obs.Metrics.incr "fuzz.corpus_saturated"
+  end
+
+let drive ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?stop_after (t : t) :
+    [ `Completed | `Stopped ] =
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("executions", Obs.Json.Int t.executions);
+        ("coverage", Obs.Json.Int (Hashtbl.length t.coverage));
+        ("crashes", Obs.Json.Int (Hashtbl.length t.crashes));
+        ("corpus", Obs.Json.Int t.corpus_n);
+        ("evictions", Obs.Json.Int t.evictions);
+      ])
+    ~kind:"fuzz.campaign" t.spec_name
+  @@ fun () ->
+  Obs.Metrics.incr "fuzz.campaigns";
+  let stop_hit () =
+    (* stopping exactly at the budget is just completion *)
+    match stop_after with
+    | Some n -> t.executions >= n && t.executions < t.budget
+    | None -> false
+  in
+  let rec loop () =
+    if stop_hit () then begin
+      on_checkpoint t;
+      `Stopped
+    end
+    else if step t then begin
+      if checkpoint_every > 0 && t.executions mod checkpoint_every = 0 then on_checkpoint t;
+      loop ()
+    end
+    else begin
+      final_metrics t;
+      `Completed
+    end
+  in
+  loop ()
+
+(** Run a campaign of [budget] program executions. *)
+let run ?seed ?budget ?step_budget ?max_corpus ?supervisor
+    ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
+  let t = init ?seed ?budget ?step_budget ?max_corpus ?supervisor ~machine spec in
+  ignore (drive t);
+  result t

@@ -1,0 +1,63 @@
+(** Durable campaign checkpoints: the syz-manager corpus database.
+
+    A checkpoint freezes the {e complete} campaign state — splitmix64
+    RNG word, execution counter, coverage set, corpus ring, crash table
+    (shortest reproducer per title), eviction count, and supervisor
+    health/accounting — so a killed run resumed from its last checkpoint
+    produces byte-identical final output to a run that was never
+    interrupted.
+
+    {b File format} (version {!version}): JSONL via the [Obs.Json]
+    emitter, one record per line —
+    {v
+    {"format":"kernelgpt-checkpoint","version":1}
+    {"spec":"dm","seed":3,"budget":3000,"step_budget":50000,"max_corpus":512,
+     "instances":4,"wedge_threshold":3,"exec_fault_rate":0,"exec_fault_seed":0}
+    {"rng":"-123...","executions":1500,"evictions":0,"working_str":"vol0",
+     "reboots":0,"lost":0,"injected":0,"timeouts":0,"health":[0,0,0,0]}
+    {"coverage":[3,17,...]}            // sorted statement ids
+    {"corpus":[{"name":"ioctl","args":[...]},...]}   // one line per ring slot
+    {"crash":"kmalloc bug in ctl_ioctl","prog":[...]} // one line per title
+    {"checksum":"fnv1a64:0123456789abcdef"}
+    v}
+    Int64 payloads (RNG word, syscall arguments) are decimal strings, so
+    no value is squeezed through a 63-bit OCaml [int]. The final line is
+    an FNV-1a 64 checksum of every preceding byte; {!save} writes to
+    [FILE.tmp] and renames, so a crash mid-write never corrupts an
+    existing checkpoint. {!load} rejects truncation, corruption, and
+    version skew with a descriptive error. *)
+
+val version : int
+
+(** Complete campaign state as plain data. *)
+type snapshot = {
+  spec_name : string;
+  seed : int;
+  budget : int;
+  step_budget : int;
+  max_corpus : int;
+  supervisor : Supervisor.config;
+  rng_state : int64;
+  executions : int;
+  evictions : int;
+  working_str : string option;
+      (** the generator's cross-program working string ([Proggen.cur_str]):
+          [generate] resets it but [mutate] reads what the previous
+          program left, and its presence steers an RNG draw — resume
+          diverges without it *)
+  coverage : int list;  (** sorted statement ids *)
+  corpus : Vkernel.Machine.prog list;  (** ring slots 0..n-1, in order *)
+  crashes : (string * Vkernel.Machine.prog) list;  (** sorted by title *)
+  sup_health : int list;
+  sup_counters : int * int * int * int;  (** reboots, lost, injected, timeouts *)
+}
+
+(** Serialize atomically (write [file ^ ".tmp"], rename). Raises
+    [Sys_error] on I/O failure. *)
+val save : string -> snapshot -> unit
+
+(** Parse and verify a checkpoint. Errors are descriptive: a missing or
+    mismatched checksum line (truncation/corruption), an unsupported
+    version, a malformed record — each names the file and, where
+    meaningful, the line. *)
+val load : string -> (snapshot, string) result

@@ -33,13 +33,18 @@ let program_str (prog : Vkernel.Machine.prog) : string =
   Buffer.contents buf
 
 (** Minimize a crashing program: greedily drop calls while the same crash
-    title still reproduces (syz-repro's call minimization). *)
-let minimize ~(machine : Vkernel.Machine.t) ~(title : string) (prog : Vkernel.Machine.prog)
-    : Vkernel.Machine.prog =
+    title still reproduces (syz-repro's call minimization).
+
+    [step_budget] must be the budget the crash was found under (campaigns
+    run at 50k, not the executor default 200k): re-executing with a
+    larger budget can keep calls that only "reproduce" because they get
+    4× more steps than the original crash ever had. *)
+let minimize ?step_budget ~(machine : Vkernel.Machine.t) ~(title : string)
+    (prog : Vkernel.Machine.prog) : Vkernel.Machine.prog =
   let still_crashes p =
     p <> []
     &&
-    match (Vkernel.Machine.exec_prog machine p).crash with
+    match (Vkernel.Machine.exec_prog ?step_budget machine p).crash with
     | Some c -> c.cr_title = title
     | None -> false
   in

@@ -4,6 +4,12 @@ type t = { mutable state : int64 }
 
 let make seed = { state = Int64.of_int ((seed * 2654435761) + 12345) }
 
+(* the whole generator is one int64, so checkpoints can freeze and
+   resume the exact stream *)
+let state r = r.state
+
+let set_state r s = r.state <- s
+
 let next_int64 r =
   let z = Int64.add r.state 0x9E3779B97F4A7C15L in
   r.state <- z;

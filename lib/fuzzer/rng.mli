@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 PRNG so campaigns are reproducible.
+
+    The whole generator state is one [int64], which is what makes
+    campaigns checkpointable: {!state} captures it, {!set_state}
+    restores it, and the continuation of a restored stream is
+    indistinguishable from the uninterrupted one. *)
+
+type t
+
+val make : int -> t
+
+(** The current splitmix64 state word. Together with {!set_state} this
+    lets a checkpoint freeze and resume the exact RNG stream. *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit
+
+val next_int64 : t -> int64
+
+(** Uniform int in [0, n) (0 when [n <= 0]). *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** True with probability [p]%. *)
+val pct : t -> int -> bool
+
+(** Uniform pick; raises [Invalid_argument] on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** A fuzzing-friendly integer for the given bit width: mostly boundary
+    and small values, sometimes fully random. *)
+val fuzz_int : t -> bits:int -> int64
+
+(** Short strings drawn from a small pool so that name-keyed kernel
+    state (device tables, pid lists) sees collisions across calls. *)
+val fuzz_string : t -> max_len:int -> string

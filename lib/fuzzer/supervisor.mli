@@ -1,0 +1,79 @@
+(** Executor supervisor: syz-manager's VM lifecycle for campaigns.
+
+    syz-manager keeps a long fuzzing session alive by watching each VM,
+    declaring one wedged after repeated unresponsiveness, and rebooting
+    it while the corpus survives on the manager side. This module plays
+    that role for the virtual executor: campaign executions are spread
+    round-robin over [instances] virtual executor instances, each
+    instance's health is the count of {e consecutive} timed-out
+    executions, and an instance that trips the [wedge_threshold] is
+    "rebooted" — its health resets, the reboot is counted and traced,
+    and the work it swallowed is accounted as lost.
+
+    Supervision never touches the RNG and, without injected faults,
+    never alters what the campaign records, so supervised un-faulted
+    runs are byte-identical to historical ones.
+
+    {b Fault injection} ([--exec-faults RATE[:SEED]], mirroring the
+    oracle's [--faults]) deterministically marks RATE percent of
+    executions as swallowed by a wedged executor: the program is
+    generated (the RNG advances exactly as usual) but its results are
+    discarded — lost work, exactly what a VM crash costs syz-manager.
+    The decision is a pure hash of [(seed, execution index)], so a plan
+    replays identically across runs, shards, and checkpoint/resume. *)
+
+type config = {
+  instances : int;  (** virtual executor instances (default 4) *)
+  wedge_threshold : int;
+      (** consecutive timed-out executions before an instance is
+          declared wedged and rebooted (default 3) *)
+  fault_rate : int;  (** percent of executions lost to injected wedges *)
+  fault_seed : int;
+}
+
+val default : config
+
+(** Parse an [--exec-faults] specification: ["RATE"] or ["RATE:SEED"],
+    RATE in percent (0–100), applied over {!default}. *)
+val parse_spec : string -> (config, string) result
+
+val spec_to_string : config -> string
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+(** Which instance executes the [exec]-th program (1-based execution
+    counter); round-robin, so it is derivable from the counter alone. *)
+val instance_for : t -> exec:int -> int
+
+(** Does the injected-fault plan swallow the [exec]-th execution? Pure
+    in [(fault_seed, exec)]; always false at rate 0. *)
+val inject : t -> exec:int -> bool
+
+(** Record the outcome of one execution on [instance]. [lost] means the
+    execution was swallowed by an injected wedge (its results were
+    discarded); [timed_out] covers both real step-budget trips and
+    injected ones. Updates health, and reboots the instance (returning
+    [true]) when it trips the wedge threshold. *)
+val record : t -> instance:int -> timed_out:bool -> lost:bool -> bool
+
+type stats = {
+  s_instances : int;
+  s_reboots : int;  (** instances declared wedged and rebooted *)
+  s_lost : int;  (** executions whose results were lost *)
+  s_injected : int;  (** injected executor faults *)
+  s_timeouts : int;  (** timed-out executions, real and injected *)
+}
+
+val stats : t -> stats
+
+(** Checkpoint support: the mutable supervisor state as plain data
+    (per-instance health, reboots, lost, injected, timeouts). *)
+val dump : t -> int list * (int * int * int * int)
+
+(** Rebuild a supervisor from {!dump} output; [Error] when the health
+    list length does not match [config.instances]. *)
+val restore : config -> health:int list -> counters:int * int * int * int -> (t, string) result

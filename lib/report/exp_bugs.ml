@@ -12,22 +12,28 @@ type bug_row = {
   br_found_syzdescribe : bool;
 }
 
-type table4 = { bug_rows : bug_row list }
+type table4 = {
+  bug_rows : bug_row list;
+  t4_exec : Exp_resilience.exec_totals;  (** executor-supervisor totals *)
+}
 
-let fuzz_module ~(budget : int) ~(seeds : int) (name : string)
-    (spec : Syzlang.Ast.spec) : (string, unit) Hashtbl.t =
+let fuzz_module ~(budget : int) ~(seeds : int) ?supervisor (name : string)
+    (spec : Syzlang.Ast.spec) : (string, unit) Hashtbl.t * Exp_resilience.exec_totals =
   let titles = Hashtbl.create 8 in
-  match Corpus.Registry.find name with
-  | None -> titles
+  let exec = ref Exp_resilience.exec_empty in
+  (match Corpus.Registry.find name with
+  | None -> ()
   | Some entry ->
       let machine = Vkernel.Machine.boot [ entry ] in
       for s = 1 to seeds do
-        let res = Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ~machine spec in
+        let res = Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ?supervisor ~machine spec in
+        exec := Exp_resilience.exec_add !exec res;
         Hashtbl.iter (fun t _ -> Hashtbl.replace titles t ()) res.crashes
-      done;
-      titles
+      done);
+  (titles, !exec)
 
-let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) (ctx : Suites.ctx) : table4 =
+let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor (ctx : Suites.ctx) :
+    table4 =
   let modules =
     List.sort_uniq compare (List.map (fun b -> b.Corpus.Types.bug_module) Corpus.Registry.bugs)
   in
@@ -51,13 +57,13 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) (ctx : Suites.ctx) : tabl
   let results =
     Kernelgpt.Pool.map ~jobs
       ~label:(fun _ (tag, m, _) -> Printf.sprintf "table4:%s:%s" tag m)
-      (fun (_, m, spec) -> fuzz_module ~budget ~seeds m spec)
+      (fun (_, m, spec) -> fuzz_module ~budget ~seeds ?supervisor m spec)
       tasks
   in
   let found_with tag =
     let tbl = Hashtbl.create 32 in
     Array.iteri
-      (fun i titles ->
+      (fun i (titles, _) ->
         let tag', _, _ = tasks.(i) in
         if tag' = tag then Hashtbl.iter (fun t () -> Hashtbl.replace tbl t ()) titles)
       results;
@@ -67,6 +73,10 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) (ctx : Suites.ctx) : tabl
   let syz_found = found_with "syz" in
   let sd_found = found_with "sd" in
   {
+    t4_exec =
+      Array.fold_left
+        (fun acc (_, e) -> Exp_resilience.exec_sum acc e)
+        Exp_resilience.exec_empty results;
     bug_rows =
       List.map
         (fun (b : Corpus.Types.bug) ->

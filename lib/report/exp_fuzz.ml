@@ -32,9 +32,13 @@ let suite_of_reps ~name (reps : Fuzzer.Campaign.result list) : suite_result =
     sr_union_cov = union;
   }
 
-type table3 = { rows : suite_result list }
+type table3 = {
+  rows : suite_result list;
+  t3_exec : Exp_resilience.exec_totals;  (** executor-supervisor totals *)
+}
 
-let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) (ctx : Suites.ctx) : table3 =
+let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor (ctx : Suites.ctx) :
+    table3 =
   let suites =
     [|
       ("Syzkaller", Suites.syzkaller_suite ctx);
@@ -58,7 +62,8 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) (ctx : Suites.ctx) : table3 
       ~init:(fun () ->
         if jobs <= 1 then ctx.Suites.machine else Vkernel.Machine.boot ctx.entries)
       ~f:(fun machine (si, rep) ->
-        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ~machine (snd suites.(si)))
+        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ?supervisor ~machine
+          (snd suites.(si)))
       tasks
   in
   let reps_of si = Array.to_list (Array.sub results (si * reps) reps) in
@@ -77,6 +82,10 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) (ctx : Suites.ctx) : table3 
         { sd with sr_unique = unique_vs_syz sd };
         { kg with sr_unique = unique_vs_syz kg };
       ];
+    t3_exec =
+      Array.fold_left
+        (fun acc r -> Exp_resilience.exec_add acc r)
+        Exp_resilience.exec_empty results;
   }
 
 let print_table3 (t : table3) =

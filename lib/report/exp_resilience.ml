@@ -51,6 +51,38 @@ let collect (ctx : Suites.ctx) : t =
     degraded_modules = List.length (List.filter (fun r -> r.r_degraded > 0) rows);
   }
 
+(** Executor-side resilience (fuzzing under [--exec-faults]): what the
+    {!Fuzzer.Supervisor} absorbed across every campaign of a report run.
+    Campaigns shard over the pool in a fixed order, so the sums are
+    deterministic across [--jobs] values. *)
+type exec_totals = {
+  e_campaigns : int;
+  e_restarts : int;  (** executor instances rebooted after wedging *)
+  e_lost : int;  (** executions lost to injected wedges *)
+}
+
+let exec_empty = { e_campaigns = 0; e_restarts = 0; e_lost = 0 }
+
+let exec_add (t : exec_totals) (r : Fuzzer.Campaign.result) : exec_totals =
+  {
+    e_campaigns = t.e_campaigns + 1;
+    e_restarts = t.e_restarts + r.Fuzzer.Campaign.exec_restarts;
+    e_lost = t.e_lost + r.Fuzzer.Campaign.exec_lost;
+  }
+
+let exec_sum (a : exec_totals) (b : exec_totals) : exec_totals =
+  {
+    e_campaigns = a.e_campaigns + b.e_campaigns;
+    e_restarts = a.e_restarts + b.e_restarts;
+    e_lost = a.e_lost + b.e_lost;
+  }
+
+let print_exec (t : exec_totals) =
+  Table.section "Resilience (executor fault injection)";
+  Printf.printf
+    "%d campaigns: %d executor reboots, %d executions lost to injected wedges.\n"
+    t.e_campaigns t.e_restarts t.e_lost
+
 let print (t : t) =
   Table.section "Resilience (oracle fault injection)";
   let row r =

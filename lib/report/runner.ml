@@ -84,9 +84,13 @@ let string_of_which = function
 
     [faults] injects deterministic oracle-transport faults into the
     generation phase and [query_budget] caps its total query attempts;
-    either adds a resilience table right after generation. With neither,
-    output is byte-identical to a run without the fault layer. *)
-let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget () =
+    either adds a resilience table right after generation.
+    [exec_faults] injects deterministic executor wedges into the Table
+    3/4 campaigns (the {!Fuzzer.Supervisor}) and adds an executor
+    resilience section after the tables. With none of the three, output
+    is byte-identical to a run without the fault layers. *)
+let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults ()
+    =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -114,10 +118,23 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget () =
   if wants which Table1 then Exp_specs.print_table1 (Exp_specs.table1 ctx);
   if wants which Fig7 then Exp_specs.print_fig7 ctx;
   if wants which Table2 then Exp_specs.print_table2 (Exp_specs.table2 ctx);
-  if wants which Table3 then
-    Exp_fuzz.print_table3 (Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ~jobs ctx);
-  if wants which Table4 then
-    Exp_bugs.print_table4 (Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ~jobs ctx);
+  let exec_totals = ref Exp_resilience.exec_empty in
+  if wants which Table3 then begin
+    let t3 =
+      Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ~jobs ?supervisor:exec_faults
+        ctx
+    in
+    exec_totals := Exp_resilience.exec_sum !exec_totals t3.Exp_fuzz.t3_exec;
+    Exp_fuzz.print_table3 t3
+  end;
+  if wants which Table4 then begin
+    let t4 =
+      Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ~jobs ?supervisor:exec_faults
+        ctx
+    in
+    exec_totals := Exp_resilience.exec_sum !exec_totals t4.Exp_bugs.t4_exec;
+    Exp_bugs.print_table4 t4
+  end;
   if wants which Table5 then
     Exp_drivers.print_table5 (Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ctx);
   if wants which Table6 then
@@ -131,5 +148,6 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget () =
       else Exp_ablation.print_rows "Ablation 2" a.llm_rows
   | _ -> ());
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
+  if exec_faults <> None then Exp_resilience.print_exec !exec_totals;
   Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr

@@ -25,6 +25,7 @@ type exec_result = {
   retvals : int64 array;
   crash : crash_report option;
   coverage : int list;  (** statement ids executed *)
+  timed_out : bool;  (** a call (or exit-path release) exhausted the step budget *)
 }
 
 type device = { dev_module : string; dev_fops : string }
@@ -368,6 +369,7 @@ let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
   let n = List.length prog in
   let retvals = Array.make n (-1L) in
   let crash = ref None in
+  let timed_out = ref false in
   let rec go i = function
     | [] -> ()
     | c :: rest -> (
@@ -377,13 +379,22 @@ let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
             go (i + 1) rest
         | exception Crash.Crash cr ->
             crash := Some { cr_title = Crash.title cr; cr_call = i }
-        | exception Interp.Exec_timeout -> retvals.(i) <- errno 4 (* EINTR: stuck call *)
+        | exception Interp.Exec_timeout ->
+            retvals.(i) <- errno 4 (* EINTR: stuck call *);
+            timed_out := true
         | exception Interp.Exec_error _ ->
             retvals.(i) <- errno 22;
             go (i + 1) rest)
   in
   go 0 prog;
-  (* process exit: close remaining fds (release handlers may crash too) *)
+  (* process exit: close remaining fds (release handlers may crash too).
+     A timed-out program left st.steps at the budget, so every release
+     would re-raise Exec_timeout on its first step and get swallowed —
+     grant the exit path a small fresh budget so releases actually run
+     (the kernel's exit path is not subject to the caller's quantum). *)
+  let release_headroom = 10_000 in
+  if st.Interp.steps > st.Interp.step_budget - release_headroom then
+    st.Interp.steps <- max 0 (st.Interp.step_budget - release_headroom);
   if !crash = None then begin
     let open_fds = Hashtbl.fold (fun fd e acc -> (fd, e) :: acc) run.fds [] in
     let open_fds = List.sort (fun (a, _) (b, _) -> compare a b) open_fds in
@@ -401,10 +412,15 @@ let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
          open_fds
      with
     | Crash.Crash cr -> crash := Some { cr_title = Crash.title cr; cr_call = n - 1 }
-    | Interp.Exec_timeout | Interp.Exec_error _ -> ())
+    | Interp.Exec_timeout ->
+        timed_out := true
+    | Interp.Exec_error _ -> ())
   end;
-  (* kmemleak scan over what is still reachable *)
-  if !crash = None then begin
+  (* kmemleak scan over what is still reachable. Skipped when the
+     program (or its exit path) timed out: an interrupted program never
+     got to run its release handlers to completion, so "leaks" found
+     here are an artifact of the exhausted budget, not bugs. *)
+  if !crash = None && not !timed_out then begin
     let roots =
       Hashtbl.fold (fun _ e acc -> Value.Ptr e.fd_file :: Value.Ptr e.fd_inode :: acc) run.fds []
     in
@@ -415,4 +431,4 @@ let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
           Some { cr_title = Crash.title { Crash.kind = Crash.Memory_leak; fn = site }; cr_call = n - 1 }
   end;
   let coverage = Hashtbl.fold (fun sid () acc -> sid :: acc) st.Interp.coverage [] in
-  { retvals; crash = !crash; coverage }
+  { retvals; crash = !crash; coverage; timed_out = !timed_out }

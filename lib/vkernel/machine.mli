@@ -24,6 +24,10 @@ type exec_result = {
   retvals : int64 array;
   crash : crash_report option;
   coverage : int list;  (** statement ids executed *)
+  timed_out : bool;
+      (** a call (or exit-path release) exhausted the step budget; the
+          kmemleak scan is skipped for such runs, since "leaks" of an
+          interrupted program are an artifact of the budget *)
 }
 
 type device = { dev_module : string; dev_fops : string }

@@ -128,4 +128,70 @@ if ! diff -u "$tmp/seq.out" "$tmp/f0.out"; then
 fi
 echo "OK: --faults 0 output is byte-identical to a run without fault injection"
 
+echo "== checkpoint/resume: interrupted run finishes byte-identical =="
+# Run a campaign to completion; run the same campaign stopping at a
+# mid-point checkpoint (stdout must stay empty — the resumed run owns
+# the report); resume it. The resumed stdout must equal the
+# uninterrupted one except for wall-clock timings.
+normalize_time() { sed 's/in [0-9.]*s/in Xs/'; }
+
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  2>/dev/null | normalize_time > "$tmp/fuzz_full.out"
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --checkpoint "$tmp/ck.jsonl" --stop-after 1400 2>/dev/null > "$tmp/fuzz_stop.out"
+if [ -s "$tmp/fuzz_stop.out" ]; then
+  echo "FAIL: a stopped campaign wrote to stdout" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --checkpoint "$tmp/ck.jsonl" --resume 2>/dev/null | normalize_time > "$tmp/fuzz_resumed.out"
+if ! diff -u "$tmp/fuzz_full.out" "$tmp/fuzz_resumed.out"; then
+  echo "FAIL: resumed campaign output differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "OK: stop at 1400/3000 + --resume matches the uninterrupted run"
+
+echo "== checkpoint corruption: descriptive failure =="
+# A truncated checkpoint must fail --resume with a descriptive error
+# (and a nonzero exit), and --resume-or-fresh must fall back with a
+# warning instead.
+head -c 200 "$tmp/ck.jsonl" > "$tmp/ck_trunc.jsonl"
+if dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 \
+     --checkpoint "$tmp/ck_trunc.jsonl" --resume >/dev/null 2>"$tmp/trunc.err"; then
+  echo "FAIL: --resume accepted a truncated checkpoint" >&2
+  exit 1
+fi
+if ! grep -q 'truncated checkpoint' "$tmp/trunc.err"; then
+  echo "FAIL: truncated-checkpoint error is not descriptive:" >&2
+  cat "$tmp/trunc.err" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 300 --seed 3 \
+  --checkpoint "$tmp/ck_trunc.jsonl" --resume-or-fresh >/dev/null 2>"$tmp/fresh.err"
+if ! grep -q 'starting fresh' "$tmp/fresh.err"; then
+  echo "FAIL: --resume-or-fresh did not fall back to a fresh campaign" >&2
+  exit 1
+fi
+echo "OK: truncation fails --resume descriptively; --resume-or-fresh falls back"
+
+echo "== executor fault injection: deterministic and shard-independent =="
+# An --exec-faults plan is a pure hash of the execution index, so the
+# supervised tables and resilience summary must be byte-identical
+# across --jobs values and across repeated runs.
+dune exec --no-build bench/main.exe -- --exp table3 --exec-faults 10:3 --jobs 1 2>/dev/null | filter > "$tmp/ef_seq.out"
+dune exec --no-build bench/main.exe -- --exp table3 --exec-faults 10:3 --jobs 4 2>/dev/null | filter > "$tmp/ef_par.out"
+if ! diff -u "$tmp/ef_seq.out" "$tmp/ef_par.out"; then
+  echo "FAIL: --exec-faults 10:3 output depends on --jobs" >&2
+  exit 1
+fi
+if ! grep -q 'executor reboots' "$tmp/ef_seq.out"; then
+  echo "FAIL: --exec-faults 10:3 printed no executor resilience summary" >&2
+  exit 1
+fi
+if ! grep -Eq '[1-9][0-9]* executions lost' "$tmp/ef_seq.out"; then
+  echo "FAIL: --exec-faults 10:3 lost no work at all" >&2
+  exit 1
+fi
+echo "OK: --exec-faults 10:3 --jobs 4 output is byte-identical to --jobs 1"
+
 echo "== CI green =="

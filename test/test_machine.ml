@@ -156,6 +156,50 @@ let test_step_budget_no_hang () =
   in
   Alcotest.(check bool) "fast" true (Unix.gettimeofday () -. t0 < 1.0)
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let test_timeout_not_reported_as_leak () =
+  (* open an fd, then time out inside the ioctl: the exit path must
+     still release the fd on its own small budget, and the kmemleak scan
+     must be skipped — a timed-out program never ran its releases to
+     completion, so scanning would misreport live state as leaked *)
+  let m = boot [ "dm" ] in
+  let create = cmd m "DM_DEV_CREATE" in
+  let prog =
+    [
+      { Machine.c_name = "openat"; c_args = [ P_int (-100L); P_str "/dev/mapper/control" ] };
+      {
+        Machine.c_name = "ioctl";
+        c_args =
+          [
+            P_result 0;
+            P_int create;
+            P_data
+              (Value.U_struct
+                 ( "dm_ioctl",
+                   [
+                     ("version", Value.U_arr [ Value.U_int 4L ]);
+                     ("data_size", Value.U_int 400L);
+                     ("name", Value.U_str "v0");
+                   ] ));
+          ];
+      };
+    ]
+  in
+  let r = Machine.exec_prog ~step_budget:20 m prog in
+  Alcotest.(check bool) "fd was opened" true (Int64.compare r.Machine.retvals.(0) 0L >= 0);
+  Alcotest.(check int64) "ioctl interrupted" (-4L) r.retvals.(1);
+  Alcotest.(check bool) "flagged as timed out" true r.timed_out;
+  (match r.crash with
+  | Some c when starts_with ~prefix:"memory leak" c.cr_title ->
+      Alcotest.fail ("timed-out program misreported as " ^ c.cr_title)
+  | _ -> ());
+  (* the same program with budget to spare is neither flagged nor leaky *)
+  let ok = Machine.exec_prog m prog in
+  Alcotest.(check bool) "untimed run not flagged" false ok.Machine.timed_out;
+  Alcotest.(check bool) "untimed run has no crash" true (ok.crash = None)
+
 let test_unknown_syscall_enosys () =
   let m = boot [ "dm" ] in
   let r = Machine.exec_prog m [ { Machine.c_name = "reboot"; c_args = [] } ] in
@@ -257,6 +301,7 @@ let () =
         [
           t "read/write dispatch" test_read_write_dispatch;
           t "step budget" test_step_budget_no_hang;
+          t "timeout is not a leak" test_timeout_not_reported_as_leak;
           t "unknown syscall" test_unknown_syscall_enosys;
           t "module attribution" test_coverage_nonoverlapping_modules;
           t "no spurious double-free" test_double_free_detected;
