@@ -11,6 +11,7 @@
       dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
       dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
       dune exec bench/main.exe -- --exp table3 --exec-faults 10:3     # executor wedges
+      dune exec bench/main.exe -- --oracle-cache warm.jsonl           # answer cache
 
     Tables on stdout are byte-identical for any --jobs value, with or
     without --faults (fault handling is scoped per module). The one
@@ -166,8 +167,31 @@ let () =
             exit 2)
     | None -> Report.Runner.All
   in
+  let oracle_cache =
+    match value_of "--oracle-cache" with
+    | None ->
+        if has "--oracle-cache-readonly" then begin
+          Printf.eprintf "--oracle-cache-readonly needs --oracle-cache FILE\n";
+          exit 2
+        end
+        else None
+    | Some file -> (
+        match Cache.open_file ~readonly:(has "--oracle-cache-readonly") file with
+        | Ok cache -> Some cache
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
+  in
   if has "--micro" then micro_benchmarks ()
   else begin
-    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ();
+    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?oracle_cache ();
     if which = Report.Runner.All then micro_benchmarks ()
-  end
+  end;
+  match oracle_cache with
+  | None -> ()
+  | Some cache -> (
+      match Cache.flush cache with
+      | Ok () -> Printf.eprintf "Oracle cache: %s\n%!" (Cache.summary cache)
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)

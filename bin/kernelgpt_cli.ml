@@ -73,8 +73,52 @@ let query_budget_arg =
            which queries it refuses varies run to run; budget-bound runs reproduce \
            exactly only at $(b,--jobs) 1.")
 
-let client_of ?faults ?query_budget oracle =
-  Client.create ?plan:faults ?query_budget:(Option.map Client.budget query_budget) oracle
+let client_of ?faults ?query_budget ?cache oracle =
+  Client.create ?plan:faults
+    ?query_budget:(Option.map Client.budget query_budget)
+    ?cache oracle
+
+(* Oracle answer cache (--oracle-cache), shared by every command that
+   queries the oracle. Warm entries replay the cold run's responses and
+   accounting, so stdout is byte-identical while the oracle is never
+   consulted; without the flag nothing changes. *)
+let oracle_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "oracle-cache" ] ~docv:"FILE"
+        ~doc:
+          "Persist oracle answers to $(docv) (content-addressed, versioned JSONL) and \
+           replay them on later runs: a warm run performs zero oracle queries yet prints \
+           byte-identical output, because each hit replays the cold run's accounting. \
+           Hits bypass $(b,--faults) and consume no $(b,--query-budget). A missing file \
+           starts cold; a corrupted or version-skewed one fails with a descriptive error.")
+
+let oracle_cache_readonly_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle-cache-readonly" ]
+        ~doc:
+          "Serve $(b,--oracle-cache) without ever writing it back — for caches shared \
+           between concurrent runs or checked into CI fixtures.")
+
+(** Open the cache (when requested), run the command with it, then flush
+    and summarize on stderr — stdout stays byte-identical cold vs warm. *)
+let with_oracle_cache ~readonly file f =
+  match file with
+  | None ->
+      if readonly then `Error (false, "--oracle-cache-readonly needs --oracle-cache FILE")
+      else f None
+  | Some file -> (
+      match Cache.open_file ~readonly file with
+      | Error e -> `Error (false, e)
+      | Ok cache -> (
+          let r = f (Some cache) in
+          match Cache.flush cache with
+          | Ok () ->
+              Printf.eprintf "Oracle cache: %s\n%!" (Cache.summary cache);
+              r
+          | Error e -> `Error (false, e)))
 
 (* Executor-side fault injection (--exec-faults), the fuzzing twin of
    --faults: drives the supervisor's wedge/reboot machinery in tests and
@@ -165,12 +209,14 @@ let list_cmd =
     Term.(ret (const run $ verbose))
 
 let generate_cmd =
-  let run () name profile all_in_one show_prompting faults query_budget =
+  let run () name profile all_in_one show_prompting faults query_budget cache_file
+      cache_readonly =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
     let oracle = Oracle.create ~profile ~knowledge:kernel () in
-    let client = client_of ?faults ?query_budget oracle in
+    with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
+    let client = client_of ?faults ?query_budget ?cache oracle in
     let mode = if all_in_one then Kernelgpt.Pipeline.All_in_one else Kernelgpt.Pipeline.Iterative in
     let out = Kernelgpt.Pipeline.run ~mode ~client ~oracle ~kernel entry in
     (match out.o_spec with
@@ -199,7 +245,7 @@ let generate_cmd =
     Term.(
       ret
         (const run $ obs_term $ module_arg $ model_arg $ all_in_one $ show $ faults_arg
-       $ query_budget_arg))
+       $ query_budget_arg $ oracle_cache_arg $ oracle_cache_readonly_arg))
 
 let baseline_cmd =
   let run name =
@@ -214,18 +260,20 @@ let baseline_cmd =
     Term.(ret (const run $ module_arg))
 
 let fuzz_cmd =
-  let run () name suite budget seed profile repro faults query_budget exec_faults
-      checkpoint checkpoint_every resume resume_or_fresh stop_after =
+  let run () name suite budget seed profile repro faults query_budget cache_file
+      cache_readonly exec_faults checkpoint checkpoint_every resume resume_or_fresh
+      stop_after =
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
+    with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
     let spec =
       match suite with
       | "manual" -> Baseline.Syzkaller_specs.spec_of_entry entry
       | "syzdescribe" -> (Baseline.Syzdescribe.run entry).sd_spec
       | _ ->
           let oracle = Oracle.create ~profile ~knowledge:kernel () in
-          let client = client_of ?faults ?query_budget oracle in
+          let client = client_of ?faults ?query_budget ?cache oracle in
           (Kernelgpt.Pipeline.run ~client ~oracle ~kernel entry).o_spec
     in
     match spec with
@@ -393,14 +441,16 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro
-       $ faults_arg $ query_budget_arg $ exec_faults_arg $ checkpoint $ checkpoint_every
-       $ resume $ resume_or_fresh $ stop_after))
+       $ faults_arg $ query_budget_arg $ oracle_cache_arg $ oracle_cache_readonly_arg
+       $ exec_faults_arg $ checkpoint $ checkpoint_every $ resume $ resume_or_fresh
+       $ stop_after))
 
 let bugs_cmd =
-  let run () budget seeds jobs faults query_budget exec_faults =
+  let run () budget seeds jobs faults query_budget cache_file cache_readonly exec_faults =
     let jobs = resolve_jobs jobs in
     Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
-    let ctx = Report.Suites.build ~jobs ?faults ?query_budget () in
+    with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
+    let ctx = Report.Suites.build ~jobs ?faults ?query_budget ?cache () in
     if faults <> None || query_budget <> None then
       Report.Exp_resilience.print (Report.Exp_resilience.collect ctx);
     let t4 = Report.Exp_bugs.table4 ~budget ~seeds ~jobs ?supervisor:exec_faults ctx in
@@ -416,10 +466,10 @@ let bugs_cmd =
     Term.(
       ret
         (const run $ obs_term $ budget $ seeds $ jobs_arg $ faults_arg $ query_budget_arg
-       $ exec_faults_arg))
+       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg))
 
 let report_cmd =
-  let run () exp full jobs faults query_budget exec_faults =
+  let run () exp full jobs faults query_budget cache_file cache_readonly exec_faults =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -428,8 +478,9 @@ let report_cmd =
              ablation-iter, ablation-llm, correctness)" )
     | Some which ->
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
+        with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
         Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget
-          ?exec_faults ();
+          ?exec_faults ?oracle_cache:cache ();
         `Ok ()
   in
   let exp =
@@ -441,7 +492,7 @@ let report_cmd =
     Term.(
       ret
         (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg
-       $ exec_faults_arg))
+       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg))
 
 let trace_cmd =
   let run file expected =

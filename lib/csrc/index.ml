@@ -24,6 +24,10 @@ type t = {
           macros on every switch execution otherwise *)
   ident_cache : (string, ident_const) Hashtbl.t;
       (** memoized identifier-constant lookups (enums, macros, strings) *)
+  all_macro_values_cache : (string * int64) list option ref;
+      (** memoized {!all_macro_values} result — per index, so worker
+          domains (each with its own index) never share the slot and two
+          alternating indexes never evict each other *)
 }
 
 let empty () =
@@ -38,6 +42,7 @@ let empty () =
     globals = Hashtbl.create 128;
     macro_value_cache = Hashtbl.create 1024;
     ident_cache = Hashtbl.create 1024;
+    all_macro_values_cache = ref None;
   }
 
 let add_file t (f : Ast.file) : t =
@@ -77,6 +82,7 @@ let add_file t (f : Ast.file) : t =
       | Ast.D_typedef td -> Hashtbl.replace t.typedefs td.td_name td.td_type
       | Ast.D_global gd -> Hashtbl.replace t.globals gd.global_name gd)
     f.decls;
+  t.all_macro_values_cache := None;
   { t with files = t.files @ [ f ] }
 
 let of_files files = List.fold_left add_file (empty ()) files
@@ -306,6 +312,24 @@ let eval_macro t name =
       in
       Hashtbl.replace t.macro_value_cache name v;
       v
+
+(** All macros of this index that evaluate to an integer constant.
+    Memoized per index (definitions never change after indexing), so
+    worker domains — each owning its own index — never contend on a
+    shared slot, and two indexes used alternately keep their own
+    results. *)
+let all_macro_values t : (string * int64) list =
+  match !(t.all_macro_values_cache) with
+  | Some vs -> vs
+  | None ->
+      let vs =
+        Hashtbl.fold
+          (fun name _ acc ->
+            match eval_macro t name with Some v -> (name, v) :: acc | None -> acc)
+          t.macros []
+      in
+      t.all_macro_values_cache := Some vs;
+      vs
 
 (** A macro that expands to a string constant (device names, paths). *)
 let rec string_macro t name : string option =

@@ -238,24 +238,13 @@ let walk_handler (local : local) (fd : Csrc.Ast.func_def) : body_facts =
 (* Command-value resolution                                            *)
 (* ------------------------------------------------------------------ *)
 
-(** All kernel macros that evaluate to an integer constant, cached per
-    knowledge index (physical identity — indexes are built once). *)
-let macro_values_cache : (Csrc.Index.t * (string * int64) list) option ref = ref None
-
+(** All kernel macros that evaluate to an integer constant. The memo
+    lives {e inside} the index ({!Csrc.Index.all_macro_values}), one per
+    index: the previous global single-slot cache was mutated by pool
+    worker domains concurrently (a data race under [--jobs] > 1) and
+    thrashed when two knowledge indexes alternated. *)
 let all_macro_values (knowledge : Csrc.Index.t) : (string * int64) list =
-  match !macro_values_cache with
-  | Some (k, vs) when k == knowledge -> vs
-  | _ ->
-      let vs =
-        Hashtbl.fold
-          (fun name _ acc ->
-            match Csrc.Index.eval_macro knowledge name with
-            | Some v -> (name, v) :: acc
-            | None -> acc)
-          knowledge.Csrc.Index.macros []
-      in
-      macro_values_cache := Some (knowledge, vs);
-      vs
+  Csrc.Index.all_macro_values knowledge
 
 let ioc_nr v = Int64.logand v 0xffL
 let ioc_type v = Int64.logand (Int64.shift_right_logical v 8) 0xffL

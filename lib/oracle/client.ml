@@ -74,18 +74,20 @@ type t = {
   plan : Faults.plan option;
   policy : policy;
   query_budget : budget option;
+  cache : Cache.t option;
   mutable clock : int;  (** virtual milliseconds since creation *)
   mutable consecutive_failures : int;
   mutable breaker_open_until : int;  (** -1 = closed *)
   stats : stats;
 }
 
-let create ?plan ?(policy = default_policy) ?query_budget oracle =
+let create ?plan ?(policy = default_policy) ?query_budget ?cache oracle =
   {
     oracle;
     plan;
     policy;
     query_budget;
+    cache;
     clock = 0;
     consecutive_failures = 0;
     breaker_open_until = -1;
@@ -162,7 +164,7 @@ let backoff_ms (t : t) ~(subject : string) ~(attempt : int) (kind : Faults.kind)
   let retry_after = match kind with Faults.Rate_limit -> t.policy.retry_after_ms | _ -> 0 in
   exp_ms + jit + retry_after
 
-let query (t : t) (p : Prompt.t) : Prompt.response option =
+let query_backend (t : t) (p : Prompt.t) : Prompt.response option =
   if not (fault_tolerant t) then Some (Oracle.query t.oracle p)
   else begin
     t.stats.s_queries <- t.stats.s_queries + 1;
@@ -246,3 +248,34 @@ let query (t : t) (p : Prompt.t) : Prompt.response option =
       attempt 1
     end
   end
+
+let query (t : t) (p : Prompt.t) : Prompt.response option =
+  match t.cache with
+  | None -> query_backend t p
+  | Some cache -> (
+      let key = Cache.key ~profile:t.oracle.Oracle.profile p in
+      let subject = Oracle.task_name p.task ^ ":" ^ Oracle.task_subject p.task in
+      match Cache.find cache ~subject key with
+      | Some e ->
+          (* replay the recorded accounting so cost tables match a cold
+             run; no backend call, no fault decision, no budget unit *)
+          Some (Cache.replay t.oracle e)
+      | None ->
+          let o = t.oracle in
+          let q0 = o.Oracle.queries
+          and tk0 = o.Oracle.prompt_tokens
+          and tr0 = o.Oracle.truncations
+          and er0 = o.Oracle.injected_errors in
+          let resp = query_backend t p in
+          (match resp with
+          | Some r ->
+              Cache.store cache ~key ~subject
+                {
+                  Cache.e_response = r;
+                  e_queries = o.Oracle.queries - q0;
+                  e_tokens = o.Oracle.prompt_tokens - tk0;
+                  e_truncations = o.Oracle.truncations - tr0;
+                  e_errors = o.Oracle.injected_errors - er0;
+                }
+          | None -> () (* degraded answers are retried cold next run *));
+          resp)

@@ -67,7 +67,13 @@ type stats = {
 
 type t
 
-val create : ?plan:Faults.plan -> ?policy:policy -> ?query_budget:budget -> Oracle.t -> t
+(** [cache], when given, short-circuits {!query}: a content-address hit
+    replays the recorded response and accounting ({!Cache.replay})
+    without consulting the oracle, deciding faults, or spending budget;
+    a miss runs normally and stores the answer with its accounting
+    deltas. One {!Cache.t} is safely shared by every worker's client. *)
+val create :
+  ?plan:Faults.plan -> ?policy:policy -> ?query_budget:budget -> ?cache:Cache.t -> Oracle.t -> t
 
 (** A client with no fault plan and no budget: [query] is exactly
     [Oracle.query]. *)

@@ -12,30 +12,47 @@ type t = {
   mutable queries : int;
   mutable prompt_tokens : int;
   mutable truncations : int;
+  mutable injected_errors : int;
 }
 
 let create ?(profile = Profile.gpt4) ~(knowledge : Csrc.Index.t) () =
-  { profile; knowledge; queries = 0; prompt_tokens = 0; truncations = 0 }
+  { profile; knowledge; queries = 0; prompt_tokens = 0; truncations = 0; injected_errors = 0 }
+
+(** Pure truncation: the snippets of [p] that fit [profile]'s context
+    window, plus the number of trailing snippets dropped. The window is
+    charged for everything {!Prompt.tokens} counts — the instruction
+    template ({!Prompt.header_tokens}) and the carried-over usage lines,
+    not just the snippets — so a long usage list from prior iterations
+    forces snippet truncation instead of silently escaping the budget.
+    Pure so the answer cache can derive the post-truncation prompt for
+    its key without touching any accounting. *)
+let truncate (profile : Profile.t) (p : Prompt.t) : Prompt.t * int =
+  let budget = profile.Profile.context_tokens in
+  let fixed =
+    Prompt.header_tokens
+    + List.fold_left (fun acc u -> acc + Prompt.usage_tokens u) 0 p.usage
+  in
+  let rec keep acc used = function
+    | [] -> (List.rev acc, 0)
+    | s :: rest ->
+        let cost = Prompt.snippet_tokens s in
+        (* the overflowing snippet and everything after it are dropped;
+           count every one, so the metric reports snippets lost, not
+           prompts touched *)
+        if used + cost > budget then (List.rev acc, 1 + List.length rest)
+        else keep (s :: acc) (used + cost) rest
+  in
+  let snippets, dropped = keep [] fixed p.snippets in
+  ({ p with snippets }, dropped)
 
 (** Drop trailing snippets until the prompt fits the context window. *)
 let fit_context (o : t) (p : Prompt.t) : Prompt.t =
-  let budget = o.profile.context_tokens in
-  let rec keep acc used = function
-    | [] -> List.rev acc
-    | s :: rest ->
-        let cost = Prompt.snippet_tokens s in
-        if used + cost > budget then begin
-          (* the overflowing snippet and everything after it are dropped;
-             count every one, so the metric reports snippets lost, not
-             prompts touched *)
-          let dropped = 1 + List.length rest in
-          o.truncations <- o.truncations + dropped;
-          Obs.Metrics.incr ~by:dropped "oracle.truncations";
-          List.rev acc
-        end
-        else keep (s :: acc) (used + cost) rest
-  in
-  { p with snippets = keep [] 64 p.snippets }
+  let p, dropped = truncate o.profile p in
+  if dropped > 0 then begin
+    o.truncations <- o.truncations + dropped;
+    Obs.Metrics.incr ~by:dropped "oracle.truncations"
+  end;
+  p
 
 (* ------------------------------------------------------------------ *)
 (* Error injection                                                     *)
@@ -49,6 +66,7 @@ let maybe_corrupt_idents (o : t) ~(subject : string) (idents : Prompt.ident list
   else if not (Profile.coin o.profile ~subject ~salt:"ident-err" ~pct:o.profile.error_rate_pct)
   then idents
   else begin
+    o.injected_errors <- o.injected_errors + 1;
     Obs.Metrics.incr "oracle.injected_errors";
     let victim = Hashtbl.hash (o.profile.name, subject, "victim") mod List.length idents in
     List.mapi
@@ -62,6 +80,7 @@ let maybe_corrupt_type (o : t) ~(subject : string) (cd : Syzlang.Ast.comp_def) :
   if not (Profile.coin o.profile ~subject ~salt:"type-err" ~pct:(o.profile.error_rate_pct / 2))
   then cd
   else begin
+    o.injected_errors <- o.injected_errors + 1;
     Obs.Metrics.incr "oracle.injected_errors";
     (* reference a stale nested type name *)
     let fields =

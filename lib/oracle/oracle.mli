@@ -16,9 +16,20 @@ type t = {
   mutable truncations : int;
       (** snippets dropped because their prompt overflowed the window
           (each dropped snippet counts once) *)
+  mutable injected_errors : int;
+      (** hallucinations injected into responses — part of the
+          accounting the answer cache replays on a hit *)
 }
 
 val create : ?profile:Profile.t -> knowledge:Csrc.Index.t -> unit -> t
+
+(** Pure context-window truncation: the prompt [profile] would actually
+    see — trailing snippets dropped until the template header
+    ({!Prompt.header_tokens}), the carried-over usage lines, {e and} the
+    kept snippets fit [profile]'s window — plus the number of snippets
+    dropped. No accounting is touched; {!query} uses this internally and
+    {!Cache} uses it to derive the post-truncation prompt its keys hash. *)
+val truncate : Profile.t -> Prompt.t -> Prompt.t * int
 
 (** Short task label of a prompt ("identifier", "type", "repair", ...) —
     the span name of the query, also used by {!Client} to key fault

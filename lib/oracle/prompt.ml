@@ -29,9 +29,17 @@ type t = {
 (** Approximate tokenization: the usual ~4 characters per token. *)
 let snippet_tokens s = (String.length s.snip_text / 4) + (String.length s.snip_name / 4) + 8
 
+(** Tokens of the fixed instruction template — named once, here, so the
+    context-window budgeting in {!Oracle.fit_context} and the totals
+    below can never disagree again. *)
+let header_tokens = 64
+
+(** Tokens of one carried-over usage line. *)
+let usage_tokens u = String.length u / 4
+
 let tokens (p : t) : int =
-  List.fold_left (fun acc s -> acc + snippet_tokens s) 64 p.snippets
-  + List.fold_left (fun acc u -> acc + (String.length u / 4)) 0 p.usage
+  List.fold_left (fun acc s -> acc + snippet_tokens s) header_tokens p.snippets
+  + List.fold_left (fun acc u -> acc + usage_tokens u) 0 p.usage
 
 (** Render the prompt as the text actually "sent" — used by the examples
     and by token accounting; the analysis itself consumes the same

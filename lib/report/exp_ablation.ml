@@ -16,7 +16,7 @@ type variant_result = {
    Per-driver partials fold in registry order, so the floating-point
    coverage sum matches the sequential loop exactly. *)
 let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.mode)
-    ?(reps = 2) ?(budget = 3000) ?(jobs = 1) () : variant_result =
+    ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache () : variant_result =
   let drivers = Array.of_list (Corpus.Registry.ablation_drivers ()) in
   let partials =
     Kernelgpt.Pool.map ~jobs
@@ -25,7 +25,9 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
         let machine = Vkernel.Machine.boot [ e ] in
         let kernel = machine.Vkernel.Machine.index in
         let oracle = Oracle.create ~profile ~knowledge:kernel () in
-        let out = Kernelgpt.Pipeline.run ~mode ~oracle ~kernel e in
+        (* without a cache this client is a plain pass-through *)
+        let client = Client.create ?cache oracle in
+        let out = Kernelgpt.Pipeline.run ~mode ~client ~oracle ~kernel e in
         match out.o_spec with
         | Some spec when out.o_valid ->
             let covs = ref 0.0 in
@@ -67,8 +69,8 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
 
 type ablation = { iter_rows : variant_result list; llm_rows : variant_result list }
 
-let run ?(reps = 2) ?(budget = 3000) ?(jobs = 1) () : ablation =
-  let m = measure ~reps ~budget ~jobs in
+let run ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache () : ablation =
+  let m = measure ~reps ~budget ~jobs ?cache in
   {
     iter_rows =
       [

@@ -88,9 +88,16 @@ let string_of_which = function
     [exec_faults] injects deterministic executor wedges into the Table
     3/4 campaigns (the {!Fuzzer.Supervisor}) and adds an executor
     resilience section after the tables. With none of the three, output
-    is byte-identical to a run without the fault layers. *)
-let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults ()
-    =
+    is byte-identical to a run without the fault layers.
+
+    [oracle_cache] routes every generation and ablation query through a
+    shared {!Cache}: on a warm cache the whole report performs zero
+    oracle queries yet prints byte-identical tables (accounting replay).
+    Flushing the cache and summarizing its hit rate (on stderr, so
+    stdout stays byte-identical between cold and warm runs) is the
+    caller's job. *)
+let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults
+    ?oracle_cache () =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -103,7 +110,7 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
   let t0 = Unix.gettimeofday () in
   Kernelgpt.Pool.reset_stats ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
-  let ctx = Suites.build ~jobs ?faults ?query_budget () in
+  let ctx = Suites.build ~jobs ?faults ?query_budget ?cache:oracle_cache () in
   Printf.printf "  (%d loaded handlers; %d oracle queries, %d prompt tokens so far; %.1fs)\n%!"
     (List.length ctx.entries) ctx.oracle.Oracle.queries ctx.oracle.Oracle.prompt_tokens
     (Unix.gettimeofday () -. t0);
@@ -141,9 +148,12 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
     Exp_sockets.print_table6 (Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ctx);
   (match which with
   | All ->
-      Exp_ablation.print (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ())
+      Exp_ablation.print
+        (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache ())
   | Ablation_iter | Ablation_llm ->
-      let a = Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs () in
+      let a =
+        Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache ()
+      in
       if which = Ablation_iter then Exp_ablation.print_rows "Ablation 1" a.iter_rows
       else Exp_ablation.print_rows "Ablation 2" a.llm_rows
   | _ -> ());

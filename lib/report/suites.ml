@@ -30,13 +30,16 @@ let generation_targets (entries : Corpus.Types.entry list) : Corpus.Types.entry 
     and/or a [query_budget] route every pipeline query through a
     fault-tolerant {!Client} (the budget is one atomic counter shared by
     all workers); with neither set the client is a pass-through and the
-    build is bit-for-bit what it always was. *)
-let build ?(profile = Profile.gpt4) ?(jobs = 1) ?faults ?query_budget () : ctx =
+    build is bit-for-bit what it always was. A [cache] is shared by
+    every worker's client: any worker's oracle answer serves them all,
+    and on a warm cache the build performs no oracle queries at all
+    while reporting the cold run's costs ({!Cache.replay}). *)
+let build ?(profile = Profile.gpt4) ?(jobs = 1) ?faults ?query_budget ?cache () : ctx =
   let entries = Corpus.Registry.loaded () in
   let machine = Vkernel.Machine.boot entries in
   let kernel = machine.Vkernel.Machine.index in
   let budget = Option.map Client.budget query_budget in
-  let client_of oracle = Client.create ?plan:faults ?query_budget:budget oracle in
+  let client_of oracle = Client.create ?plan:faults ?query_budget:budget ?cache oracle in
   let oracle = Oracle.create ~profile ~knowledge:kernel () in
   let client = client_of oracle in
   let kgpt = Hashtbl.create 256 in

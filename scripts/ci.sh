@@ -194,4 +194,57 @@ if ! grep -Eq '[1-9][0-9]* executions lost' "$tmp/ef_seq.out"; then
 fi
 echo "OK: --exec-faults 10:3 --jobs 4 output is byte-identical to --jobs 1"
 
+echo "== oracle cache: warm runs are byte-identical and query-free =="
+# A cold run populates the cache; warm runs (sequential and sharded)
+# must print byte-identical tables while performing ZERO oracle queries
+# — every answer replays from the cache, so the warm --metrics registry
+# has no oracle.queries counter at all, only cache hits.
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 1 \
+  --oracle-cache "$tmp/oracle_cache.jsonl" 2>/dev/null | filter > "$tmp/cache_cold.out"
+if ! diff -u "$tmp/seq.out" "$tmp/cache_cold.out"; then
+  echo "FAIL: --oracle-cache changed the cold run's stdout" >&2
+  exit 1
+fi
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 1 --metrics \
+  --oracle-cache "$tmp/oracle_cache.jsonl" 2>"$tmp/cache_warm.err" | filter > "$tmp/cache_warm1.out"
+dune exec --no-build bench/main.exe -- --exp table3 --jobs 4 \
+  --oracle-cache "$tmp/oracle_cache.jsonl" 2>/dev/null | filter > "$tmp/cache_warm4.out"
+if ! diff -u "$tmp/cache_cold.out" "$tmp/cache_warm1.out"; then
+  echo "FAIL: warm --jobs 1 run differs from the cold run" >&2
+  exit 1
+fi
+if ! diff -u "$tmp/cache_cold.out" "$tmp/cache_warm4.out"; then
+  echo "FAIL: warm --jobs 4 run differs from the cold run" >&2
+  exit 1
+fi
+if grep -q '^\[metrics\] oracle\.queries' "$tmp/cache_warm.err"; then
+  echo "FAIL: warm run still performed oracle queries:" >&2
+  grep '^\[metrics\] oracle\.' "$tmp/cache_warm.err" >&2
+  exit 1
+fi
+if ! grep -q '^\[metrics\] oracle\.cache\.hits' "$tmp/cache_warm.err"; then
+  echo "FAIL: warm run recorded no cache hits" >&2
+  exit 1
+fi
+if ! grep -q '^Oracle cache: .*100\.0% hit rate' "$tmp/cache_warm.err"; then
+  echo "FAIL: warm run's stderr summary is not a 100% hit rate:" >&2
+  grep '^Oracle cache:' "$tmp/cache_warm.err" >&2 || true
+  exit 1
+fi
+echo "OK: warm cache runs (--jobs 1 and 4) are byte-identical and query-free"
+
+echo "== oracle cache corruption: descriptive failure =="
+head -c 120 "$tmp/oracle_cache.jsonl" > "$tmp/oracle_cache_bad.jsonl"
+if dune exec --no-build bin/kernelgpt_cli.exe -- generate dm \
+     --oracle-cache "$tmp/oracle_cache_bad.jsonl" >/dev/null 2>"$tmp/cache_bad.err"; then
+  echo "FAIL: generate accepted a truncated oracle cache" >&2
+  exit 1
+fi
+if ! grep -q 'truncated oracle cache' "$tmp/cache_bad.err"; then
+  echo "FAIL: truncated-cache error is not descriptive:" >&2
+  cat "$tmp/cache_bad.err" >&2
+  exit 1
+fi
+echo "OK: a truncated oracle cache fails descriptively"
+
 echo "== CI green =="

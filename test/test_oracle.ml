@@ -198,6 +198,53 @@ let test_truncation_counts_each_snippet () =
        });
   Alcotest.(check int) "three snippets dropped" 3 o.Oracle.truncations
 
+let test_truncation_charges_usage () =
+  (* regression: fit_context used to budget snippets against the fixed
+     64-token header only, while Prompt.tokens also counted the usage
+     lines — a long usage list pushed the real prompt far past the
+     context window without dropping anything *)
+  let profile = { Profile.gpt4 with Profile.context_tokens = 200; name = "tiny200" } in
+  let s = { Prompt.snip_name = "s"; snip_text = String.make 400 'x' } in
+  let base =
+    {
+      Prompt.task = Prompt.Identifier_deduction { handler_fn = "s" };
+      snippets = [ s ];
+      usage = [];
+    }
+  in
+  (* the old code charged only the header, so this snippet always fit *)
+  Alcotest.(check bool) "old budget would keep the snippet" true
+    (Prompt.header_tokens + Prompt.snippet_tokens s <= profile.Profile.context_tokens);
+  let _, dropped = Oracle.truncate profile base in
+  Alcotest.(check int) "fits with no usage" 0 dropped;
+  let oversized = List.init 8 (fun _ -> String.make 80 'u') in
+  let kept, dropped = Oracle.truncate profile { base with usage = oversized } in
+  Alcotest.(check int) "oversized usage evicts the snippet" 1 dropped;
+  Alcotest.(check int) "nothing kept" 0 (List.length kept.Prompt.snippets)
+
+let test_macro_memo_per_index () =
+  (* regression: all_macro_values memoized through one global ref — a
+     data race under --jobs and, with two indexes alternating, each
+     lookup served the other index's macros. The memo now lives in the
+     index, so concurrent domains on different indexes never interfere. *)
+  let idx1 = kernel_of [ "#define SHARED_MAGIC 111\n" ] in
+  let idx2 = kernel_of [ "#define SHARED_MAGIC 222\n" ] in
+  let run idx = Array.init 64 (fun _ -> Analysis.all_macro_values idx) in
+  let d1 = Domain.spawn (fun () -> run idx1) in
+  let d2 = Domain.spawn (fun () -> run idx2) in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  let check label want results =
+    Array.iter
+      (fun vs -> Alcotest.(check int64) label want (List.assoc "SHARED_MAGIC" vs))
+      results
+  in
+  check "idx1 sees its own value" 111L r1;
+  check "idx2 sees its own value" 222L r2;
+  (* interleaved single-domain lookups must not thrash either *)
+  Alcotest.(check int64) "idx1 again" 111L (List.assoc "SHARED_MAGIC" (Analysis.all_macro_values idx1));
+  Alcotest.(check int64) "idx2 again" 222L (List.assoc "SHARED_MAGIC" (Analysis.all_macro_values idx2));
+  Alcotest.(check int64) "idx1 after idx2" 111L (List.assoc "SHARED_MAGIC" (Analysis.all_macro_values idx1))
+
 let test_repair_strips_suffix () =
   let idx = Lazy.force dm_kernel in
   let _, resp =
@@ -283,6 +330,8 @@ let () =
         [
           t "context truncation" test_context_truncation;
           t "truncation per snippet" test_truncation_counts_each_snippet;
+          t "usage charged against the window" test_truncation_charges_usage;
+          t "macro memo is per index" test_macro_memo_per_index;
           t "repair" test_repair_strips_suffix;
           t "deterministic errors" test_error_injection_deterministic;
           t "cost accounting" test_cost_accounting;
