@@ -12,14 +12,22 @@
       dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
       dune exec bench/main.exe -- --exp table3 --exec-faults 10:3     # executor wedges
       dune exec bench/main.exe -- --oracle-cache warm.jsonl           # answer cache
+      dune exec bench/main.exe -- --interpreted    # legacy AST-walking engine
+      dune exec bench/main.exe -- --bench-out b.json  # BENCH artifact path
 
     Tables on stdout are byte-identical for any --jobs value, with or
-    without --faults (fault handling is scoped per module). The one
-    exception is --query-budget with --jobs > 1: the shared budget is
-    consumed in scheduler order, so which queries it refuses varies run
-    to run — budget-bound runs reproduce exactly only at --jobs 1. The
-    pool speedup summary, the --metrics registry, and --trace spans go
-    to stderr or the trace file, never stdout. *)
+    without --faults (fault handling is scoped per module), and for
+    either campaign engine (--interpreted vs the default compiled one).
+    The one exception is --query-budget with --jobs > 1: the shared
+    budget is consumed in scheduler order, so which queries it refuses
+    varies run to run — budget-bound runs reproduce exactly only at
+    --jobs 1. The pool speedup summary, the --metrics registry, and
+    --trace spans go to stderr or the trace file, never stdout.
+
+    Every report run also writes a machine-readable throughput artifact
+    ({!Report.Bench_json}) to BENCH_<which>_<scale>.json (or
+    --bench-out PATH); the write is atomic and self-checked, and a
+    one-line summary goes to stderr. *)
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -182,9 +190,29 @@ let () =
             Printf.eprintf "%s\n" msg;
             exit 2)
   in
+  let engine =
+    if has "--interpreted" then Fuzzer.Campaign.Interpreted else Fuzzer.Campaign.Compiled
+  in
   if has "--micro" then micro_benchmarks ()
   else begin
-    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?oracle_cache ();
+    let scale_str = match scale with Report.Runner.Full -> "full" | Quick -> "quick" in
+    let bench =
+      Report.Bench_json.create
+        ~engine:(match engine with Fuzzer.Campaign.Compiled -> "compiled" | Interpreted -> "interpreted")
+        ~scale:scale_str
+        ~which:(Report.Runner.string_of_which which)
+        ~jobs
+    in
+    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?oracle_cache
+      ~engine ~bench ();
+    let bench_file =
+      match value_of "--bench-out" with
+      | Some f -> f
+      | None ->
+          Printf.sprintf "BENCH_%s_%s.json" (Report.Runner.string_of_which which) scale_str
+    in
+    Report.Bench_json.write bench ~file:bench_file;
+    Printf.eprintf "Bench artifact: %s\n%!" bench_file;
     if which = Report.Runner.All then micro_benchmarks ()
   end;
   match oracle_cache with

@@ -41,9 +41,20 @@ let crash_titles res =
 
 let max_corpus = 512
 
+(** Which generation/execution pipeline the campaign uses. [Compiled]
+    (the default) walks {!Compiled} plans and executes through the
+    {!Vkernel.Jit} with a reusable coverage sink; [Interpreted] re-walks
+    the syzlang types and the mini-C AST per program. Both consume the
+    RNG identically and produce identical results — the engine is a
+    throughput choice, not campaign state, which is why it is not part
+    of the checkpoint. *)
+type engine = Compiled | Interpreted
+
 type t = {
   machine : Vkernel.Machine.t;
   gen : Proggen.t;
+  engine : engine;
+  sink : Vkernel.Machine.cov_sink;
   rng : Rng.t;
   sup : Supervisor.t;
   spec_name : string;
@@ -67,13 +78,15 @@ type t = {
 let executions t = t.executions
 
 let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
-    ?(supervisor = Supervisor.default) ~(machine : Vkernel.Machine.t)
-    (spec : Syzlang.Ast.spec) : t =
+    ?(supervisor = Supervisor.default) ?(engine = Compiled)
+    ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : t =
   let spec_name = spec.Syzlang.Ast.spec_name in
   let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
   {
     machine;
-    gen = Proggen.prepare spec;
+    gen = Proggen.prepare ~compiled:(engine = Compiled) spec;
+    engine;
+    sink = Vkernel.Machine.new_sink machine;
     rng = Rng.make seed;
     sup = Supervisor.create supervisor;
     spec_name;
@@ -109,7 +122,15 @@ let step (t : t) : bool =
            are lost, and the supervisor sees one more timeout *)
         ignore (Supervisor.record t.sup ~instance ~timed_out:true ~lost:true)
       else begin
-        let res = Vkernel.Machine.exec_prog ~step_budget:t.t_step_budget t.machine prog in
+        let res =
+          match t.engine with
+          | Compiled ->
+              Vkernel.Machine.exec_prog_sink ~step_budget:t.t_step_budget ~sink:t.sink
+                t.machine prog
+          | Interpreted ->
+              Vkernel.Machine.exec_prog ~step_budget:t.t_step_budget ~engine:`Interp
+                t.machine prog
+        in
         ignore
           (Supervisor.record t.sup ~instance ~timed_out:res.Vkernel.Machine.timed_out
              ~lost:false);
@@ -124,9 +145,29 @@ let step (t : t) : bool =
             | Some _ -> ())
         | None -> ());
         let fresh =
-          List.exists (fun sid -> not (Hashtbl.mem t.coverage sid)) res.coverage
+          match t.engine with
+          | Compiled ->
+              (* the sink's touched list replaces the per-exec coverage
+                 list: one pass marks fresh sids and updates the set with
+                 no intermediate allocation *)
+              let sk = t.sink in
+              let fresh = ref false in
+              for i = 0 to sk.Vkernel.Machine.cs_n - 1 do
+                let sid = sk.Vkernel.Machine.cs_buf.(i) in
+                if not (Hashtbl.mem t.coverage sid) then begin
+                  fresh := true;
+                  Hashtbl.replace t.coverage sid ()
+                end
+              done;
+              Vkernel.Machine.sink_reset sk;
+              !fresh
+          | Interpreted ->
+              let fresh =
+                List.exists (fun sid -> not (Hashtbl.mem t.coverage sid)) res.coverage
+              in
+              List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) res.coverage;
+              fresh
         in
-        List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) res.coverage;
         if fresh then
           if t.corpus_n < t.t_max_corpus then begin
             t.corpus.(t.corpus_n) <- prog;
@@ -202,7 +243,7 @@ let snapshot (t : t) : Checkpoint.snapshot =
     sup_counters = counters;
   }
 
-let of_snapshot ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
+let of_snapshot ?engine ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
     (s : Checkpoint.snapshot) : (t, string) Stdlib.result =
   if s.Checkpoint.spec_name <> spec.Syzlang.Ast.spec_name then
     Error
@@ -223,7 +264,7 @@ let of_snapshot ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
     | Error e -> Error e
     | Ok sup ->
         let t =
-          init ~seed:s.seed ~budget:s.budget ~step_budget:s.step_budget
+          init ?engine ~seed:s.seed ~budget:s.budget ~step_budget:s.step_budget
             ~max_corpus:s.max_corpus ~supervisor:s.supervisor ~machine spec
         in
         let t = { t with sup } in
@@ -298,8 +339,10 @@ let drive ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?stop_after (t 
   loop ()
 
 (** Run a campaign of [budget] program executions. *)
-let run ?seed ?budget ?step_budget ?max_corpus ?supervisor
+let run ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
-  let t = init ?seed ?budget ?step_budget ?max_corpus ?supervisor ~machine spec in
+  let t =
+    init ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine ~machine spec
+  in
   ignore (drive t);
   result t

@@ -38,6 +38,15 @@ val crash_titles : result -> string list
 (** Live campaign state. *)
 type t
 
+(** Which generation/execution pipeline the campaign uses. [Compiled]
+    (the default) walks pre-lowered {!Compiled} plans, runs handler
+    bodies through the {!Vkernel.Jit} closures and collects coverage in
+    a reusable bitmap sink; [Interpreted] is the historical per-call
+    AST walk. The two are differentially identical — same programs,
+    coverage sets, and crash tables for any seed — so the engine is a
+    performance choice, not campaign state, and is never checkpointed. *)
+type engine = Compiled | Interpreted
+
 (** Build the campaign state: resolve the spec, seed the RNG, size the
     corpus ring (default 512), create the {!Supervisor} (default: 4
     instances, wedge threshold 3, no injected faults). *)
@@ -47,6 +56,7 @@ val init :
   ?step_budget:int ->
   ?max_corpus:int ->
   ?supervisor:Supervisor.config ->
+  ?engine:engine ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   t
@@ -72,6 +82,7 @@ val snapshot : t -> Checkpoint.snapshot
     Fails descriptively when the snapshot belongs to a different spec,
     exceeds its own budget, or carries inconsistent supervisor state. *)
 val of_snapshot :
+  ?engine:engine ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   Checkpoint.snapshot ->
@@ -105,6 +116,7 @@ val run :
   ?step_budget:int ->
   ?max_corpus:int ->
   ?supervisor:Supervisor.config ->
+  ?engine:engine ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   result

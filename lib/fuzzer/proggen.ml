@@ -6,7 +6,14 @@
     inter-syscall dependencies expressed in the spec shape every
     program. Argument payloads are generated from the syzlang types:
     [len] fields are computed from their targets, [const] fields carry
-    the resolved kernel constants, strings come from a small pool. *)
+    the resolved kernel constants, strings come from a small pool.
+
+    Two argument engines share one program-construction core: the
+    default walks {!Compiled} plans (spec lowered once into flat
+    arrays), the fallback re-walks the syzlang types per call. Both
+    consume the RNG identically, so a campaign is byte-identical under
+    either engine — the compiled one just stops paying for list
+    searches in the hot loop. *)
 
 open Syzlang.Ast
 
@@ -14,19 +21,49 @@ type t = {
   spec : spec;  (** resolved: const values filled in *)
   producers : (string * syscall) list;  (** resource -> producing syscall *)
   consumers : syscall list;  (** all syscalls *)
+  syscalls : syscall array;  (** [consumers] as a dense array *)
+  required : string list array;
+      (** per-syscall resource requirements, precomputed *)
+  producer_idx : (string * int) list;  (** resource -> producing syscall index *)
+  plan : Compiled.t option;  (** compiled plans; [None] = interpreted engine *)
   mutable cur_str : string option;
       (** the program's working string: reused across calls so that
           name-keyed kernel state (device tables) sees the same key, the
           way Syzkaller reuses buffers *)
 }
 
-let prepare (spec : spec) : t =
+let prepare ?(compiled = true) (spec : spec) : t =
   let producers =
     List.filter_map
       (fun c -> match c.ret with Some r -> Some (r, c) | None -> None)
       spec.syscalls
   in
-  { spec; producers; consumers = spec.syscalls; cur_str = None }
+  let syscalls = Array.of_list spec.syscalls in
+  let required =
+    Array.map
+      (fun (c : syscall) -> List.concat_map (fun f -> referenced_resources f.ftyp) c.args)
+      syscalls
+  in
+  let producer_idx =
+    let rec go i = function
+      | [] -> []
+      | c :: rest -> (
+          match c.ret with
+          | Some r -> (r, i) :: go (i + 1) rest
+          | None -> go (i + 1) rest)
+    in
+    go 0 spec.syscalls
+  in
+  {
+    spec;
+    producers;
+    consumers = spec.syscalls;
+    syscalls;
+    required;
+    producer_idx;
+    plan = (if compiled then Some (Compiled.compile spec) else None);
+    cur_str = None;
+  }
 
 let program_string (t : t) (r : Rng.t) ~(max_len : int) : string =
   match t.cur_str with
@@ -38,7 +75,11 @@ let program_string (t : t) (r : Rng.t) ~(max_len : int) : string =
 
 let find_type (t : t) name = List.find_opt (fun c -> c.comp_name = name) t.spec.types
 
-let const_value (c : const_ref) : int64 = Option.value c.const_value ~default:0L
+let const_value = Compiled.const_value
+
+(* ------------------------------------------------------------------ *)
+(* Interpreted engine: walk the syzlang types per draw                  *)
+(* ------------------------------------------------------------------ *)
 
 let rec uval_of_typ (t : t) (r : Rng.t) ~(depth : int) (ty : typ) : Vkernel.Value.uval =
   let open Vkernel.Value in
@@ -46,9 +87,7 @@ let rec uval_of_typ (t : t) (r : Rng.t) ~(depth : int) (ty : typ) : Vkernel.Valu
   else
     match ty with
     | Int (w, None) -> U_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
-    | Int (_, Some { lo; hi }) ->
-        let span = Int64.to_int (Int64.sub hi lo) + 1 in
-        U_int (Int64.add lo (Int64.of_int (Rng.int r (max 1 span))))
+    | Int (_, Some { lo; hi }) -> U_int (Rng.int64_in_range r ~lo ~hi)
     | Const (c, _) -> U_int (const_value c)
     | Flags (set, w) -> (
         (* mostly the spec's valid values, occasionally noise *)
@@ -87,25 +126,99 @@ and uval_of_comp (t : t) (r : Rng.t) ~(depth : int) (cd : comp_def) : Vkernel.Va
   let fields =
     List.map (fun f -> (f.fname, uval_of_typ t r ~depth:(depth + 1) f.ftyp)) cd.comp_fields
   in
-  (* second pass: compute len fields from their targets *)
+  (* second pass: compute len/bytesize fields from their targets *)
   let elem_count = function
     | U_str s -> Int64.of_int (String.length s)
     | U_arr xs -> Int64.of_int (List.length xs)
     | U_struct _ -> 1L
     | U_int _ | U_null -> 1L
   in
+  let target_scale target ~bytes =
+    if not bytes then 1L
+    else
+      (* bytesize counts bytes, not elements: scale the count by the
+         target's element width *)
+      match List.find_opt (fun f -> f.fname = target) cd.comp_fields with
+      | Some f -> Int64.of_int (Compiled.bytesize_scale ~types:t.spec.types f.ftyp)
+      | None -> 1L
+  in
   let fields =
     List.map
       (fun (fname, v) ->
+        let fixed target ~bytes =
+          match List.assoc_opt target fields with
+          | Some tv -> (fname, U_int (Int64.mul (elem_count tv) (target_scale target ~bytes)))
+          | None -> (fname, v)
+        in
         match List.find_opt (fun f -> f.fname = fname) cd.comp_fields with
-        | Some { ftyp = Len (target, _); _ } | Some { ftyp = Bytesize (target, _); _ } -> (
-            match List.assoc_opt target fields with
-            | Some tv -> (fname, U_int (elem_count tv))
-            | None -> (fname, v))
+        | Some { ftyp = Len (target, _); _ } -> fixed target ~bytes:false
+        | Some { ftyp = Bytesize (target, _); _ } -> fixed target ~bytes:true
         | _ -> (fname, v))
       fields
   in
   U_struct (cd.comp_name, fields)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled engine: walk the lowered plans                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same draw sequence as [uval_of_typ]/[uval_of_comp], but every list
+   search already happened in [Compiled.compile]. *)
+let rec uval_of_gen (t : t) (plan : Compiled.t) (r : Rng.t) ~(depth : int)
+    (g : Compiled.gen) : Vkernel.Value.uval =
+  let open Vkernel.Value in
+  if depth > 6 then U_int 0L
+  else
+    match g with
+    | Compiled.G_fuzz bits -> U_int (Rng.fuzz_int r ~bits)
+    | Compiled.G_range (lo, hi) -> U_int (Rng.int64_in_range r ~lo ~hi)
+    | Compiled.G_const v -> U_int v
+    | Compiled.G_flags (values, bits) ->
+        if Rng.pct r 25 then U_int (Rng.fuzz_int r ~bits)
+        else U_int values.(Rng.int r (Array.length values))
+    | Compiled.G_str s -> U_str s
+    | Compiled.G_prog_str -> U_str (program_string t r ~max_len:32)
+    | Compiled.G_buffer -> U_str (Rng.fuzz_string r ~max_len:32)
+    | Compiled.G_bytes len ->
+        let n = match len with Some n -> n | None -> Rng.int r 32 in
+        if Rng.pct r 40 then U_str (program_string t r ~max_len:(max 1 n))
+        else U_str (Rng.fuzz_string r ~max_len:(max 1 n))
+    | Compiled.G_arr (elem, len) ->
+        let n = match len with Some n -> n | None -> 1 + Rng.int r 4 in
+        U_arr (List.init n (fun _ -> uval_of_gen t plan r ~depth:(depth + 1) elem))
+    | Compiled.G_ptr inner -> uval_of_gen t plan r ~depth:(depth + 1) inner
+    | Compiled.G_res -> U_int (Int64.of_int (Rng.int r 8))
+    | Compiled.G_comp i -> uval_of_cplan t plan r ~depth plan.Compiled.comps.(i)
+    | Compiled.G_union i ->
+        let cp = plan.Compiled.comps.(i) in
+        let j = Rng.int r (Array.length cp.Compiled.cp_fields) in
+        let fname, fg = cp.Compiled.cp_fields.(j) in
+        U_struct (cp.Compiled.cp_name, [ (fname, uval_of_gen t plan r ~depth:(depth + 1) fg) ])
+    | Compiled.G_zero -> U_int 0L
+
+and uval_of_cplan (t : t) (plan : Compiled.t) (r : Rng.t) ~(depth : int)
+    (cp : Compiled.comp_plan) : Vkernel.Value.uval =
+  let open Vkernel.Value in
+  let n = Array.length cp.Compiled.cp_fields in
+  let vals = Array.make (max 1 n) U_null in
+  for i = 0 to n - 1 do
+    let _, g = cp.Compiled.cp_fields.(i) in
+    vals.(i) <- uval_of_gen t plan r ~depth:(depth + 1) g
+  done;
+  let elem_count = function
+    | U_str s -> Int64.of_int (String.length s)
+    | U_arr xs -> Int64.of_int (List.length xs)
+    | U_struct _ -> 1L
+    | U_int _ | U_null -> 1L
+  in
+  (* fixups read first-pass values only, so order between them is moot *)
+  let out = Array.sub vals 0 (max 1 n) in
+  Array.iter
+    (fun { Compiled.fx_field; fx_target; fx_scale } ->
+      out.(fx_field) <- U_int (Int64.mul (elem_count vals.(fx_target)) fx_scale))
+    cp.Compiled.cp_fixups;
+  U_struct
+    (cp.Compiled.cp_name, List.init n (fun i -> (fst cp.Compiled.cp_fields.(i), out.(i))))
 
 (* ------------------------------------------------------------------ *)
 (* Call and program construction                                       *)
@@ -125,9 +238,7 @@ let args_of_call (t : t) (r : Rng.t) ~(resource_at : (string * int) list) (c : s
       | Fd -> Vkernel.Machine.P_int (Int64.of_int (Rng.int r 8))
       | Const (cr, _) -> Vkernel.Machine.P_int (const_value cr)
       | Int (w, None) -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
-      | Int (_, Some { lo; hi }) ->
-          let span = Int64.to_int (Int64.sub hi lo) + 1 in
-          Vkernel.Machine.P_int (Int64.add lo (Int64.of_int (Rng.int r (max 1 span))))
+      | Int (_, Some { lo; hi }) -> Vkernel.Machine.P_int (Rng.int64_in_range r ~lo ~hi)
       | Flags (_, w) -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:(8 * width_bytes w))
       | Ptr (_, String (Some s)) -> Vkernel.Machine.P_str s
       | String (Some s) -> Vkernel.Machine.P_str s
@@ -142,26 +253,64 @@ let args_of_call (t : t) (r : Rng.t) ~(resource_at : (string * int) list) (c : s
       | Void -> Vkernel.Machine.P_int 0L)
     (c : syscall).args
 
+let args_of_plan (t : t) (plan : Compiled.t) (r : Rng.t)
+    ~(resource_at : (string * int) list) (sp : Compiled.syscall_plan) :
+    Vkernel.Machine.parg list =
+  List.map
+    (fun (a : Compiled.arg) ->
+      match a with
+      | Compiled.A_res res -> (
+          match List.assoc_opt res resource_at with
+          | Some i -> Vkernel.Machine.P_result i
+          | None -> Vkernel.Machine.P_int (-1L))
+      | Compiled.A_fd -> Vkernel.Machine.P_int (Int64.of_int (Rng.int r 8))
+      | Compiled.A_const v -> Vkernel.Machine.P_int v
+      | Compiled.A_fuzz bits -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits)
+      | Compiled.A_range (lo, hi) -> Vkernel.Machine.P_int (Rng.int64_in_range r ~lo ~hi)
+      | Compiled.A_str s -> Vkernel.Machine.P_str s
+      | Compiled.A_rand_str -> Vkernel.Machine.P_str (Rng.fuzz_string r ~max_len:32)
+      | Compiled.A_ptr g ->
+          if Rng.pct r 4 then Vkernel.Machine.P_null
+          else Vkernel.Machine.P_data (uval_of_gen t plan r ~depth:0 g)
+      | Compiled.A_buffer ->
+          Vkernel.Machine.P_data (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:32))
+      | Compiled.A_data g -> Vkernel.Machine.P_data (uval_of_gen t plan r ~depth:0 g)
+      | Compiled.A_len -> Vkernel.Machine.P_int (Rng.fuzz_int r ~bits:32)
+      | Compiled.A_zero -> Vkernel.Machine.P_int 0L)
+    (Array.to_list sp.Compiled.sp_args)
+
+let args_of_index (t : t) (r : Rng.t) ~(resource_at : (string * int) list) (idx : int) :
+    Vkernel.Machine.parg list =
+  match t.plan with
+  | Some plan -> args_of_plan t plan r ~resource_at plan.Compiled.plans.(idx)
+  | None -> args_of_call t r ~resource_at t.syscalls.(idx)
+
 (** Resources a syscall needs. *)
 let required_resources (c : syscall) : string list =
   List.concat_map (fun f -> referenced_resources f.ftyp) c.args
 
-(** Append [c] to the program under construction, inserting producer
-    calls for missing resources first. *)
-let rec push_call (t : t) (r : Rng.t) ~(prog : (string * Vkernel.Machine.call) list ref)
-    ~(resource_at : (string * int) list ref) ~(depth : int) (c : syscall) : unit =
+(** Append syscall [idx] to the program under construction, inserting
+    producer calls for missing resources first. The program accumulates
+    reversed with an explicit length so pushing is O(1) per call. *)
+let rec push_call (t : t) (r : Rng.t)
+    ~(rev_prog : (string * Vkernel.Machine.call) list ref) ~(count : int ref)
+    ~(resource_at : (string * int) list ref) ~(depth : int) (idx : int) : unit =
   if depth > 4 then ()
   else begin
+    let c = t.syscalls.(idx) in
     List.iter
       (fun res ->
         if not (List.mem_assoc res !resource_at) then
-          match List.assoc_opt res t.producers with
-          | Some producer -> push_call t r ~prog ~resource_at ~depth:(depth + 1) producer
+          match List.assoc_opt res t.producer_idx with
+          | Some pidx -> push_call t r ~rev_prog ~count ~resource_at ~depth:(depth + 1) pidx
           | None -> ())
-      (required_resources c);
-    let args = args_of_call t r ~resource_at:!resource_at c in
-    let index = List.length !prog in
-    prog := !prog @ [ (syscall_full_name c, { Vkernel.Machine.c_name = c.call_name; c_args = args }) ];
+      t.required.(idx);
+    let args = args_of_index t r ~resource_at:!resource_at idx in
+    let index = !count in
+    rev_prog :=
+      (syscall_full_name c, { Vkernel.Machine.c_name = c.call_name; c_args = args })
+      :: !rev_prog;
+    incr count;
     match c.ret with
     | Some res -> resource_at := (res, index) :: !resource_at
     | None -> ()
@@ -174,36 +323,56 @@ let rec push_call (t : t) (r : Rng.t) ~(prog : (string * Vkernel.Machine.call) l
     deep multi-call states the way Syzkaller's call-relation bias does. *)
 let generate (t : t) (r : Rng.t) ?(max_len = 5) () : Vkernel.Machine.prog =
   t.cur_str <- None;
-  if t.consumers = [] then []
+  let n = Array.length t.syscalls in
+  if n = 0 then []
   else begin
-    let prog = ref [] in
+    let rev_prog = ref [] in
+    let count = ref 0 in
     let resource_at = ref [] in
     if Rng.pct r 15 then begin
       (* walk a contiguous window of the spec in order; merged suites
          keep each module's syscalls adjacent, so a window stays inside
          one module's setup sequence *)
-      let n = List.length t.consumers in
       let window = 25 in
       let start = if n <= window then 0 else Rng.int r (n - window + 1) in
-      List.iteri
-        (fun i c ->
-          if i >= start && i < start + window then
-            push_call t r ~prog ~resource_at ~depth:0 c)
-        t.consumers;
+      for i = start to min (n - 1) (start + window - 1) do
+        push_call t r ~rev_prog ~count ~resource_at ~depth:0 i
+      done;
       (* a short random tail re-exercises state left by the walk *)
       for _ = 1 to 1 + Rng.int r 3 do
-        push_call t r ~prog ~resource_at ~depth:0 (Rng.pick r t.consumers)
+        push_call t r ~rev_prog ~count ~resource_at ~depth:0 (Rng.int r n)
       done
     end
     else begin
-      let n = 1 + Rng.int r max_len in
-      for _ = 1 to n do
-        let c = Rng.pick r t.consumers in
-        push_call t r ~prog ~resource_at ~depth:0 c
+      let len = 1 + Rng.int r max_len in
+      for _ = 1 to len do
+        push_call t r ~rev_prog ~count ~resource_at ~depth:0 (Rng.int r n)
       done
     end;
-    List.map snd !prog
+    List.rev_map snd !rev_prog
   end
+
+(* mutation retyping: the payload plan for a call name's first pointer
+   argument, resolved through the plan table or the spec list *)
+let retype_payload (t : t) (r : Rng.t) (c_name : string) : Vkernel.Value.uval =
+  match t.plan with
+  | Some plan -> (
+      match Hashtbl.find_opt plan.Compiled.retypes c_name with
+      | Some g -> uval_of_gen t plan r ~depth:0 g
+      | None -> Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16))
+  | None -> (
+      let retyped = List.find_opt (fun sc -> sc.call_name = c_name) t.consumers in
+      match retyped with
+      | Some sc -> (
+          let ptr_arg =
+            List.find_opt
+              (fun f -> match f.ftyp with Ptr (_, _) -> true | _ -> false)
+              sc.args
+          in
+          match ptr_arg with
+          | Some { ftyp = Ptr (_, inner); _ } -> uval_of_typ t r ~depth:0 inner
+          | _ -> Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16))
+      | None -> Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16))
 
 (** Mutate a program: regenerate one call's arguments, append a call, or
     drop a tail call. The call-name list is kept consistent by simply
@@ -267,30 +436,8 @@ let mutate (t : t) (r : Rng.t) (prog : Vkernel.Machine.prog) : Vkernel.Machine.p
                     List.map
                       (function
                         | Vkernel.Machine.P_data _ ->
-                            (* find a syscall with this name to retype; fall
-                               back to random bytes *)
-                            let retyped =
-                              List.find_opt
-                                (fun sc -> sc.call_name = c.Vkernel.Machine.c_name)
-                                t.consumers
-                            in
-                            (match retyped with
-                            | Some sc -> (
-                                let ptr_arg =
-                                  List.find_opt
-                                    (fun f ->
-                                      match f.ftyp with Ptr (_, _) -> true | _ -> false)
-                                    sc.args
-                                in
-                                match ptr_arg with
-                                | Some { ftyp = Ptr (_, inner); _ } ->
-                                    Vkernel.Machine.P_data (uval_of_typ t r ~depth:0 inner)
-                                | _ ->
-                                    Vkernel.Machine.P_data
-                                      (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16)))
-                            | None ->
-                                Vkernel.Machine.P_data
-                                  (Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16)))
+                            Vkernel.Machine.P_data
+                              (retype_payload t r c.Vkernel.Machine.c_name)
                         (* P_int args are consts/lengths from the spec:
                            Syzkaller never mutates those *)
                         | a -> a)

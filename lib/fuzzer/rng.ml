@@ -22,6 +22,29 @@ let int r n =
   if n <= 0 then 0
   else Int64.to_int (Int64.rem (Int64.logand (next_int64 r) 0x7fffffffffffffL) (Int64.of_int n))
 
+(** Uniform int64 in [lo, hi], inclusive, without overflow on wide
+    ranges. Always consumes exactly one stream word, like {!int} on a
+    positive bound, so generators built on either draw identically.
+
+    For narrow ranges (span representable as a positive [int]) this
+    reproduces {!int}'s historical values bit-for-bit; wide ranges used
+    to wrap negative in [Int64.to_int (hi - lo) + 1] and collapse every
+    draw to [lo]. *)
+let int64_in_range r ~lo ~hi =
+  if Int64.compare hi lo < 0 then begin
+    (* degenerate spec range: keep the draw so streams stay aligned *)
+    ignore (next_int64 r);
+    lo
+  end
+  else
+    let span = Int64.sub hi lo in
+    if Int64.compare span 0L >= 0 && Int64.compare span (Int64.of_int max_int) < 0 then
+      Int64.add lo (Int64.of_int (int r (Int64.to_int span + 1)))
+    else
+      let n = Int64.add span 1L in
+      if Int64.equal n 0L then next_int64 r (* full 64-bit range *)
+      else Int64.add lo (Int64.unsigned_rem (next_int64 r) n)
+
 let bool r = int r 2 = 0
 
 let pct r p = int r 100 < p

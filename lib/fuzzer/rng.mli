@@ -20,6 +20,12 @@ val next_int64 : t -> int64
 (** Uniform int in [0, n) (0 when [n <= 0]). *)
 val int : t -> int -> int
 
+(** Uniform int64 in [lo, hi] inclusive, safe for ranges whose span
+    overflows [int] (e.g. [0, Int64.max_int]). Always consumes exactly
+    one stream word; for narrow ranges the values match the historical
+    [int]-based formula bit-for-bit. [hi < lo] yields [lo]. *)
+val int64_in_range : t -> lo:int64 -> hi:int64 -> int64
+
 val bool : t -> bool
 
 (** True with probability [p]%. *)

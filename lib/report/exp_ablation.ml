@@ -9,6 +9,7 @@ type variant_result = {
   v_cov : float;
   v_queries : int;
   v_tokens : int;
+  v_execs : int;  (** total program executions (feeds BENCH_*.json) *)
 }
 
 (* Each driver is an independent pool task: the worker boots the
@@ -16,7 +17,7 @@ type variant_result = {
    Per-driver partials fold in registry order, so the floating-point
    coverage sum matches the sequential loop exactly. *)
 let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.mode)
-    ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache () : variant_result =
+    ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache ?engine () : variant_result =
   let drivers = Array.of_list (Corpus.Registry.ablation_drivers ()) in
   let partials =
     Kernelgpt.Pool.map ~jobs
@@ -31,26 +32,31 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
         match out.o_spec with
         | Some spec when out.o_valid ->
             let covs = ref 0.0 in
+            let execs = ref 0 in
             for rep = 1 to reps do
-              let res = Fuzzer.Campaign.run ~seed:(rep * 31337) ~budget ~machine spec in
+              let res = Fuzzer.Campaign.run ~seed:(rep * 31337) ~budget ?engine ~machine spec in
+              execs := !execs + res.executions;
               covs := !covs +. float_of_int (Fuzzer.Campaign.module_coverage machine res e.name)
             done;
             ( out.o_queries,
               out.o_tokens,
+              !execs,
               Some
                 ( Syzlang.Ast.count_syscalls spec,
                   Syzlang.Ast.count_types spec,
                   !covs /. float_of_int reps ) )
-        | _ -> (out.o_queries, out.o_tokens, None))
+        | _ -> (out.o_queries, out.o_tokens, 0, None))
       drivers
   in
   let syscalls = ref 0 and types = ref 0 in
   let cov = ref 0.0 in
   let queries = ref 0 and tokens = ref 0 in
+  let execs = ref 0 in
   Array.iter
-    (fun (q, t, fuzzed) ->
+    (fun (q, t, e, fuzzed) ->
       queries := !queries + q;
       tokens := !tokens + t;
+      execs := !execs + e;
       match fuzzed with
       | Some (s, ty, c) ->
           syscalls := !syscalls + s;
@@ -65,12 +71,13 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
     v_cov = !cov;
     v_queries = !queries;
     v_tokens = !tokens;
+    v_execs = !execs;
   }
 
 type ablation = { iter_rows : variant_result list; llm_rows : variant_result list }
 
-let run ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache () : ablation =
-  let m = measure ~reps ~budget ~jobs ?cache in
+let run ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache ?engine () : ablation =
+  let m = measure ~reps ~budget ~jobs ?cache ?engine in
   {
     iter_rows =
       [

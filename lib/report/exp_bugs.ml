@@ -17,23 +17,39 @@ type table4 = {
   t4_exec : Exp_resilience.exec_totals;  (** executor-supervisor totals *)
 }
 
-let fuzz_module ~(budget : int) ~(seeds : int) ?supervisor (name : string)
-    (spec : Syzlang.Ast.spec) : (string, unit) Hashtbl.t * Exp_resilience.exec_totals =
+let fuzz_module ?(cache : (string, Vkernel.Machine.t) Hashtbl.t option) ~(budget : int)
+    ~(seeds : int) ?supervisor ?engine (name : string) (spec : Syzlang.Ast.spec) :
+    (string, unit) Hashtbl.t * Exp_resilience.exec_totals =
   let titles = Hashtbl.create 8 in
   let exec = ref Exp_resilience.exec_empty in
   (match Corpus.Registry.find name with
   | None -> ()
   | Some entry ->
-      let machine = Vkernel.Machine.boot [ entry ] in
+      (* boot is deterministic and the machine is read-only after it, so
+         a worker reuses one machine per module across the three suite
+         families instead of re-booting (and re-JITting) each time *)
+      let machine =
+        match cache with
+        | None -> Vkernel.Machine.boot [ entry ]
+        | Some cache -> (
+            match Hashtbl.find_opt cache name with
+            | Some m -> m
+            | None ->
+                let m = Vkernel.Machine.boot [ entry ] in
+                Hashtbl.replace cache name m;
+                m)
+      in
       for s = 1 to seeds do
-        let res = Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ?supervisor ~machine spec in
+        let res =
+          Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ?supervisor ?engine ~machine spec
+        in
         exec := Exp_resilience.exec_add !exec res;
         Hashtbl.iter (fun t _ -> Hashtbl.replace titles t ()) res.crashes
       done);
   (titles, !exec)
 
-let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor (ctx : Suites.ctx) :
-    table4 =
+let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine
+    (ctx : Suites.ctx) : table4 =
   let modules =
     List.sort_uniq compare (List.map (fun b -> b.Corpus.Types.bug_module) Corpus.Registry.bugs)
   in
@@ -55,9 +71,10 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor (ctx : Suites
          families)
   in
   let results =
-    Kernelgpt.Pool.map ~jobs
+    Kernelgpt.Pool.map_init ~jobs
       ~label:(fun _ (tag, m, _) -> Printf.sprintf "table4:%s:%s" tag m)
-      (fun (_, m, spec) -> fuzz_module ~budget ~seeds ?supervisor m spec)
+      ~init:(fun () -> Hashtbl.create 8)
+      ~f:(fun cache (_, m, spec) -> fuzz_module ~cache ~budget ~seeds ?supervisor ?engine m spec)
       tasks
   in
   let found_with tag =

@@ -14,7 +14,10 @@ type row = {
   r_kernelgpt : cell;
 }
 
-type table5 = { driver_rows : row list }
+type table5 = {
+  driver_rows : row list;
+  t5_execs : int;  (** total program executions (feeds BENCH_*.json) *)
+}
 
 let na = { c_sys = None; c_cov = None; c_crash = 0.0 }
 
@@ -32,7 +35,8 @@ type task = {
   tk_budget : int;
 }
 
-let run_task (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) : float * float =
+let run_task ?engine (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) :
+    float * float * int =
   let machine =
     match Hashtbl.find_opt cache tk.tk_entry.name with
     | Some m -> m
@@ -42,17 +46,18 @@ let run_task (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) : float
         m
   in
   let res =
-    Fuzzer.Campaign.run ~seed:(tk.tk_rep * tk.tk_seed_base) ~budget:tk.tk_budget ~machine
-      tk.tk_spec
+    Fuzzer.Campaign.run ~seed:(tk.tk_rep * tk.tk_seed_base) ~budget:tk.tk_budget ?engine
+      ~machine tk.tk_spec
   in
   ( float_of_int (Fuzzer.Campaign.module_coverage machine res tk.tk_entry.name),
-    float_of_int (Hashtbl.length res.crashes) )
+    float_of_int (Hashtbl.length res.crashes),
+    res.executions )
 
 (** Fold [reps] per-repetition (coverage, crashes) results into a cell,
     averaging in the same order the sequential loop did. *)
-let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float) list) : cell =
-  let covs = List.fold_left (fun acc (c, _) -> c :: acc) [] per_rep in
-  let crashes = List.fold_left (fun acc (_, x) -> x :: acc) [] per_rep in
+let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float * int) list) : cell =
+  let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] per_rep in
+  let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] per_rep in
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
   {
     c_sys = Some (Syzlang.Ast.count_syscalls spec);
@@ -60,7 +65,7 @@ let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float) list) : ce
     c_crash = mean crashes;
   }
 
-let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table5 =
+let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine (ctx : Suites.ctx) : table5 =
   let entries = Corpus.Registry.table5 () in
   let specs_of (e : Corpus.Types.entry) =
     [
@@ -93,7 +98,7 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table5 
     Kernelgpt.Pool.map_init ~jobs
       ~label:(fun _ tk -> Printf.sprintf "table5:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
       ~init:(fun () -> Hashtbl.create 8)
-      ~f:run_task (Array.of_list tasks)
+      ~f:(run_task ?engine) (Array.of_list tasks)
   in
   (* walk cells in the same order the tasks were laid out *)
   let cursor = ref 0 in
@@ -131,7 +136,10 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table5 
     { r_name = name; r_syzkaller = na; r_syzdescribe = na; r_kernelgpt = na }
   in
   let rows = na_row "ashmem" :: na_row "fd#" :: rows in
-  { driver_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows }
+  {
+    driver_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows;
+    t5_execs = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results;
+  }
 
 let cell_strings (c : cell) =
   [

@@ -37,8 +37,8 @@ type table3 = {
   t3_exec : Exp_resilience.exec_totals;  (** executor-supervisor totals *)
 }
 
-let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor (ctx : Suites.ctx) :
-    table3 =
+let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine
+    (ctx : Suites.ctx) : table3 =
   let suites =
     [|
       ("Syzkaller", Suites.syzkaller_suite ctx);
@@ -62,7 +62,7 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor (ctx : Suites.ct
       ~init:(fun () ->
         if jobs <= 1 then ctx.Suites.machine else Vkernel.Machine.boot ctx.entries)
       ~f:(fun machine (si, rep) ->
-        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ?supervisor ~machine
+        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ?supervisor ?engine ~machine
           (snd suites.(si)))
       tasks
   in

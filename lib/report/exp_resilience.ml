@@ -57,15 +57,17 @@ let collect (ctx : Suites.ctx) : t =
     deterministic across [--jobs] values. *)
 type exec_totals = {
   e_campaigns : int;
+  e_execs : int;  (** program executions performed (feeds BENCH_*.json) *)
   e_restarts : int;  (** executor instances rebooted after wedging *)
   e_lost : int;  (** executions lost to injected wedges *)
 }
 
-let exec_empty = { e_campaigns = 0; e_restarts = 0; e_lost = 0 }
+let exec_empty = { e_campaigns = 0; e_execs = 0; e_restarts = 0; e_lost = 0 }
 
 let exec_add (t : exec_totals) (r : Fuzzer.Campaign.result) : exec_totals =
   {
     e_campaigns = t.e_campaigns + 1;
+    e_execs = t.e_execs + r.Fuzzer.Campaign.executions;
     e_restarts = t.e_restarts + r.Fuzzer.Campaign.exec_restarts;
     e_lost = t.e_lost + r.Fuzzer.Campaign.exec_lost;
   }
@@ -73,6 +75,7 @@ let exec_add (t : exec_totals) (r : Fuzzer.Campaign.result) : exec_totals =
 let exec_sum (a : exec_totals) (b : exec_totals) : exec_totals =
   {
     e_campaigns = a.e_campaigns + b.e_campaigns;
+    e_execs = a.e_execs + b.e_execs;
     e_restarts = a.e_restarts + b.e_restarts;
     e_lost = a.e_lost + b.e_lost;
   }

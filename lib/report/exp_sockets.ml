@@ -5,13 +5,16 @@ type cell = { c_sys : int; c_cov : float; c_crash : float }
 
 type row = { r_name : string; r_syzkaller : cell option; r_kernelgpt : cell option }
 
-type table6 = { socket_rows : row list }
+type table6 = {
+  socket_rows : row list;
+  t6_execs : int;  (** total program executions (feeds BENCH_*.json) *)
+}
 
 (* Sharded exactly like Table 5: one pool task per
    (socket, suite, repetition), machines cached per worker, cells merged
    in task-layout order (see Exp_drivers). *)
 
-let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 =
+let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine (ctx : Suites.ctx) : table6 =
   let entries = Corpus.Registry.table6 () in
   let specs_of (e : Corpus.Types.entry) =
     [
@@ -44,7 +47,7 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 
       ~label:(fun _ (tk : Exp_drivers.task) ->
         Printf.sprintf "table6:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
       ~init:(fun () -> Hashtbl.create 8)
-      ~f:Exp_drivers.run_task (Array.of_list tasks)
+      ~f:(Exp_drivers.run_task ?engine) (Array.of_list tasks)
   in
   let cursor = ref 0 in
   let take spec =
@@ -53,8 +56,8 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 
     | Some spec ->
         let per_rep = List.init reps (fun i -> results.(!cursor + i)) in
         cursor := !cursor + reps;
-        let covs = List.fold_left (fun acc (c, _) -> c :: acc) [] per_rep in
-        let crashes = List.fold_left (fun acc (_, x) -> x :: acc) [] per_rep in
+        let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] per_rep in
+        let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] per_rep in
         let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
         Some
           { c_sys = Syzlang.Ast.count_syscalls spec; c_cov = mean covs; c_crash = mean crashes }
@@ -78,7 +81,10 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) (ctx : Suites.ctx) : table6 
                  e.name (List.length suites)))
       entries
   in
-  { socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows }
+  {
+    socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows;
+    t6_execs = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results;
+  }
 
 let cell_strings = function
   | Some c -> [ string_of_int c.c_sys; Printf.sprintf "%.0f" c.c_cov; Table.fmt_float c.c_crash ]

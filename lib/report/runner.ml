@@ -95,9 +95,19 @@ let string_of_which = function
     oracle queries yet prints byte-identical tables (accounting replay).
     Flushing the cache and summarizing its hit rate (on stderr, so
     stdout stays byte-identical between cold and warm runs) is the
-    caller's job. *)
+    caller's job.
+
+    [engine] picks the campaign execution engine for every fuzzing
+    table ({!Fuzzer.Campaign.engine}; default [Compiled]). The two
+    engines print byte-identical tables — the knob exists so CI can
+    diff them and BENCH artifacts can compare their throughput.
+
+    [bench] collects per-phase wall clocks and execution counts into a
+    {!Bench_json} artifact. Collection never touches stdout, so runs
+    with and without a collector print identical tables; writing the
+    file is the caller's job. *)
 let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults
-    ?oracle_cache () =
+    ?oracle_cache ?engine ?bench () =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -111,6 +121,29 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
   Kernelgpt.Pool.reset_stats ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
   let ctx = Suites.build ~jobs ?faults ?query_budget ?cache:oracle_cache () in
+  (match bench with
+  | Some b ->
+      let specs =
+        Hashtbl.fold
+          (fun _ (o : Kernelgpt.Pipeline.outcome) n -> if o.o_valid then n + 1 else n)
+          ctx.Suites.kgpt 0
+      in
+      Bench_json.set_generation b
+        ~wall_s:(Unix.gettimeofday () -. t0)
+        ~specs ~queries:ctx.oracle.Oracle.queries
+  | None -> ());
+  (* time one table and feed its wall clock + execution count to the
+     collector; stdout is untouched either way *)
+  let timed name execs_of f =
+    let w0 = Unix.gettimeofday () in
+    let r = f () in
+    (match bench with
+    | Some b ->
+        Bench_json.add_table b ~name ~wall_s:(Unix.gettimeofday () -. w0)
+          ~executions:(execs_of r)
+    | None -> ());
+    r
+  in
   Printf.printf "  (%d loaded handlers; %d oracle queries, %d prompt tokens so far; %.1fs)\n%!"
     (List.length ctx.entries) ctx.oracle.Oracle.queries ctx.oracle.Oracle.prompt_tokens
     (Unix.gettimeofday () -. t0);
@@ -128,36 +161,54 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
   let exec_totals = ref Exp_resilience.exec_empty in
   if wants which Table3 then begin
     let t3 =
+      timed "table3" (fun t -> t.Exp_fuzz.t3_exec.Exp_resilience.e_execs) @@ fun () ->
       Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ~jobs ?supervisor:exec_faults
-        ctx
+        ?engine ctx
     in
     exec_totals := Exp_resilience.exec_sum !exec_totals t3.Exp_fuzz.t3_exec;
     Exp_fuzz.print_table3 t3
   end;
   if wants which Table4 then begin
     let t4 =
+      timed "table4" (fun t -> t.Exp_bugs.t4_exec.Exp_resilience.e_execs) @@ fun () ->
       Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ~jobs ?supervisor:exec_faults
-        ctx
+        ?engine ctx
     in
     exec_totals := Exp_resilience.exec_sum !exec_totals t4.Exp_bugs.t4_exec;
     Exp_bugs.print_table4 t4
   end;
   if wants which Table5 then
-    Exp_drivers.print_table5 (Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ctx);
+    Exp_drivers.print_table5
+      (timed "table5" (fun t -> t.Exp_drivers.t5_execs) @@ fun () ->
+       Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ?engine ctx);
   if wants which Table6 then
-    Exp_sockets.print_table6 (Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ctx);
+    Exp_sockets.print_table6
+      (timed "table6" (fun t -> t.Exp_sockets.t6_execs) @@ fun () ->
+       Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ?engine ctx);
+  let abl_execs (a : Exp_ablation.ablation) =
+    List.fold_left
+      (fun acc (v : Exp_ablation.variant_result) -> acc + v.v_execs)
+      0 (a.iter_rows @ a.llm_rows)
+  in
   (match which with
   | All ->
       Exp_ablation.print
-        (Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache ())
+        (timed "ablation" abl_execs @@ fun () ->
+         Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache
+           ?engine ())
   | Ablation_iter | Ablation_llm ->
       let a =
-        Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache ()
+        timed "ablation" abl_execs @@ fun () ->
+        Exp_ablation.run ~reps:b.abl_reps ~budget:b.abl_budget ~jobs ?cache:oracle_cache
+          ?engine ()
       in
       if which = Ablation_iter then Exp_ablation.print_rows "Ablation 1" a.iter_rows
       else Exp_ablation.print_rows "Ablation 2" a.llm_rows
   | _ -> ());
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
   if exec_faults <> None then Exp_resilience.print_exec !exec_totals;
+  (match bench with
+  | Some bch -> Bench_json.set_total bch (Unix.gettimeofday () -. t0)
+  | None -> ());
   Printf.printf "\nTotal experiment time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr

@@ -34,20 +34,38 @@ type state = {
       (** installed by the syscall layer: allocate a new file descriptor
           backed by the named operation-handler global
           ([anon_inode_getfd], used by kvm-style drivers) *)
+  mutable on_cover : int -> unit;
+      (** coverage hook: defaults to recording into {!coverage}; the
+          batch executor redirects it into a reusable per-campaign sink
+          so hot loops allocate nothing per statement *)
 }
 
-let create ~(index : Csrc.Index.t) ?(step_budget = 200_000) () =
-  {
-    index;
-    globals = Hashtbl.create 64;
-    coverage = Hashtbl.create 1024;
-    tracked_objs = [];
-    next_oid = 1;
-    steps = 0;
-    step_budget;
-    depth = 0;
-    spawn_fd = None;
-  }
+let create ~(index : Csrc.Index.t) ?(step_budget = 200_000) ?on_cover () =
+  (* When the caller supplies its own coverage hook the per-state table
+     is never consulted, so it stays tiny: sizing it for a full run
+     would charge every sink-driven execution ~1k words for nothing. *)
+  let coverage =
+    Hashtbl.create (match on_cover with Some _ -> 16 | None -> 1024)
+  in
+  let st =
+    {
+      index;
+      globals = Hashtbl.create 64;
+      coverage;
+      tracked_objs = [];
+      next_oid = 1;
+      steps = 0;
+      step_budget;
+      depth = 0;
+      spawn_fd = None;
+      on_cover = ignore;
+    }
+  in
+  (st.on_cover <-
+     match on_cover with
+     | Some f -> f
+     | None -> fun sid -> Hashtbl.replace st.coverage sid ());
+  st
 
 let new_obj st ~fn ~tracked slots =
   let o = { oid = st.next_oid; alloc_fn = fn; freed = false; data = slots } in
@@ -163,7 +181,7 @@ let step env =
   env.st.steps <- env.st.steps + 1;
   if env.st.steps > env.st.step_budget then raise Exec_timeout
 
-let cover env (s : Csrc.Ast.stmt) = Hashtbl.replace env.st.coverage s.Csrc.Ast.sid ()
+let cover env (s : Csrc.Ast.stmt) = env.st.on_cover s.Csrc.Ast.sid
 
 (* Globals initialize lazily on first touch: a whole-kernel boot carries
    a thousand module globals, of which any one program touches a handful. *)
@@ -247,6 +265,42 @@ let as_int v = Value.to_int v
 
 let bool_v b = Int (if b then 1L else 0L)
 
+(** Strict (non-short-circuit) binary operators over already-evaluated
+    values: shared by the tree-walking evaluator and the closure
+    compiler ({!Jit}), so both produce identical results and crashes. *)
+let binop_values ~fn (op : Csrc.Ast.binop) (va : value) (vb : value) : value =
+  match (op, va, vb) with
+  | Csrc.Ast.Eq, Ptr x, Ptr y -> bool_v (x.oid = y.oid)
+  | Csrc.Ast.Ne, Ptr x, Ptr y -> bool_v (x.oid <> y.oid)
+  | Csrc.Ast.Eq, Str x, Str y -> bool_v (String.equal x y)
+  | Csrc.Ast.Ne, Str x, Str y -> bool_v (not (String.equal x y))
+  | Csrc.Ast.Eq, Ptr _, Int 0L | Csrc.Ast.Eq, Int 0L, Ptr _ -> bool_v false
+  | Csrc.Ast.Ne, Ptr _, Int 0L | Csrc.Ast.Ne, Int 0L, Ptr _ -> bool_v true
+  | _ -> (
+      let x = as_int va and y = as_int vb in
+      match op with
+      | Csrc.Ast.Add -> Int (Int64.add x y)
+      | Csrc.Ast.Sub -> Int (Int64.sub x y)
+      | Csrc.Ast.Mul -> Int (Int64.mul x y)
+      | Csrc.Ast.Div ->
+          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
+          else Int (Int64.div x y)
+      | Csrc.Ast.Mod ->
+          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
+          else Int (Int64.rem x y)
+      | Csrc.Ast.Shl -> Int (Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
+      | Csrc.Ast.Shr -> Int (Int64.shift_right_logical x (Int64.to_int (Int64.logand y 63L)))
+      | Csrc.Ast.Band -> Int (Int64.logand x y)
+      | Csrc.Ast.Bor -> Int (Int64.logor x y)
+      | Csrc.Ast.Bxor -> Int (Int64.logxor x y)
+      | Csrc.Ast.Eq -> bool_v (Int64.equal x y)
+      | Csrc.Ast.Ne -> bool_v (not (Int64.equal x y))
+      | Csrc.Ast.Lt -> bool_v (Int64.compare x y < 0)
+      | Csrc.Ast.Le -> bool_v (Int64.compare x y <= 0)
+      | Csrc.Ast.Gt -> bool_v (Int64.compare x y > 0)
+      | Csrc.Ast.Ge -> bool_v (Int64.compare x y >= 0)
+      | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false)
+
 let rec eval env (e : Csrc.Ast.expr) : value =
   match e with
   | Csrc.Ast.Const_int v -> Int v
@@ -328,41 +382,10 @@ and eval_binop env op a b =
   match op with
   | Csrc.Ast.Land -> bool_v (truthy (eval env a) && truthy (eval env b))
   | Csrc.Ast.Lor -> bool_v (truthy (eval env a) || truthy (eval env b))
-  | _ -> (
+  | _ ->
       let va = eval env a in
       let vb = eval env b in
-      match (op, va, vb) with
-      | Csrc.Ast.Eq, Ptr x, Ptr y -> bool_v (x.oid = y.oid)
-      | Csrc.Ast.Ne, Ptr x, Ptr y -> bool_v (x.oid <> y.oid)
-      | Csrc.Ast.Eq, Str x, Str y -> bool_v (String.equal x y)
-      | Csrc.Ast.Ne, Str x, Str y -> bool_v (not (String.equal x y))
-      | Csrc.Ast.Eq, Ptr _, Int 0L | Csrc.Ast.Eq, Int 0L, Ptr _ -> bool_v false
-      | Csrc.Ast.Ne, Ptr _, Int 0L | Csrc.Ast.Ne, Int 0L, Ptr _ -> bool_v true
-      | _ -> (
-          let x = as_int va and y = as_int vb in
-          match op with
-          | Csrc.Ast.Add -> Int (Int64.add x y)
-          | Csrc.Ast.Sub -> Int (Int64.sub x y)
-          | Csrc.Ast.Mul -> Int (Int64.mul x y)
-          | Csrc.Ast.Div ->
-              if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error env.fn
-              else Int (Int64.div x y)
-          | Csrc.Ast.Mod ->
-              if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error env.fn
-              else Int (Int64.rem x y)
-          | Csrc.Ast.Shl -> Int (Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
-          | Csrc.Ast.Shr ->
-              Int (Int64.shift_right_logical x (Int64.to_int (Int64.logand y 63L)))
-          | Csrc.Ast.Band -> Int (Int64.logand x y)
-          | Csrc.Ast.Bor -> Int (Int64.logor x y)
-          | Csrc.Ast.Bxor -> Int (Int64.logxor x y)
-          | Csrc.Ast.Eq -> bool_v (Int64.equal x y)
-          | Csrc.Ast.Ne -> bool_v (not (Int64.equal x y))
-          | Csrc.Ast.Lt -> bool_v (Int64.compare x y < 0)
-          | Csrc.Ast.Le -> bool_v (Int64.compare x y <= 0)
-          | Csrc.Ast.Gt -> bool_v (Int64.compare x y > 0)
-          | Csrc.Ast.Ge -> bool_v (Int64.compare x y >= 0)
-          | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false))
+      binop_values ~fn:env.fn op va vb
 
 and eval_lval env (e : Csrc.Ast.expr) : lvalue =
   match e with
@@ -429,6 +452,29 @@ and expect_obj env what v =
   | Ptr o -> o
   | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
   | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" env.fn what))
+
+(* Every name the [builtin] match below handles. The closure compiler
+   ({!Jit}) consults this at compile time to decide builtin-vs-user
+   dispatch once per call site instead of once per execution — keep it in
+   lockstep with the match arms. Builtins shadow user functions of the
+   same name, exactly as [eval_call] tries [builtin] first. *)
+and builtin_names =
+  [
+    "copy_from_user"; "copy_to_user"; "memdup_user"; "strncpy_from_user"; "kmalloc";
+    "kzalloc"; "kvmalloc"; "kcalloc"; "vmalloc"; "vzalloc"; "kfree"; "vfree"; "kvfree";
+    "mutex_init"; "spin_lock_init"; "mutex_lock"; "spin_lock"; "mutex_unlock";
+    "spin_unlock"; "list_add"; "list_add_tail"; "list_del"; "INIT_LIST_HEAD"; "WARN_ON";
+    "WARN_ON_ONCE"; "BUG_ON"; "init_completion"; "complete";
+    "wait_for_completion_killable"; "timer_setup"; "mod_timer"; "del_timer";
+    "del_timer_sync"; "schedule_timeout"; "msleep"; "capable"; "printk"; "pr_info";
+    "pr_err"; "pr_warn"; "memset"; "memcpy"; "memcmp"; "strcmp"; "strncmp"; "strlen";
+    "strncpy"; "strscpy"; "snprintf"; "min"; "min_t"; "max"; "max_t";
+    "array_index_nospec"; "noop_llseek"; "nonseekable_open"; "stream_open"; "_IOC_NR";
+    "_IOC_TYPE"; "_IOC_SIZE"; "_IOC_DIR"; "_IO"; "_IOR"; "_IOW"; "_IOWR"; "_IOC";
+    "anon_inode_getfd"; "misc_register"; "misc_deregister"; "register_chrdev";
+    "unregister_chrdev"; "cdev_init"; "cdev_add"; "device_create"; "class_create";
+    "sock_register"; "proto_register"; "get_user"; "put_user";
+  ]
 
 and builtin env name (args : Csrc.Ast.expr list) : value option =
   let st = env.st in

@@ -1,0 +1,457 @@
+(** Closure compiler for the mini-C dialect (the "jump-table executor").
+
+    {!Interp} re-walks the AST on every execution: each statement match,
+    identifier classification, builtin-vs-user decision and label search
+    happens again for every program a campaign runs. This module lowers
+    each function body once into a flat array of closures — statements
+    become [env -> unit], expressions [env -> value], gotos jump through
+    a precomputed label table, and call sites decide builtin vs user
+    dispatch at compile time.
+
+    The compiled code is an exact semantic mirror of {!Interp}: it
+    shares the interpreter's state, environment, builtins, crash and
+    timeout machinery, and performs the same side effects in the same
+    order, so coverage sets, crash titles and return values are
+    identical executor-for-executor. Only the dispatch cost differs.
+    [scripts/ci.sh] and the QCheck differential suite hold the two
+    executors to byte-identical behaviour. *)
+
+open Value
+
+type fun_code = {
+  fc_name : string;
+  fc_params : string list;
+  fc_body : (Interp.env -> unit) array;
+  fc_labels : (string * int) list;
+      (** top-level label -> statement index; first occurrence wins,
+          like the interpreter's label search *)
+}
+
+type t = { index : Csrc.Index.t; funs : (string, fun_code) Hashtbl.t }
+
+let builtin_set : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 128 in
+  List.iter (fun n -> Hashtbl.replace tbl n ()) Interp.builtin_names;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Function invocation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of [Interp.call_function], including its depth accounting (no
+   unwind-protect: an escaping exception leaves the depth bumped there
+   too, and the two executors must drift identically). *)
+let exec_fun (st : Interp.state) (fc : fun_code) (argv : value list) : value =
+  if st.Interp.depth > 64 then
+    raise (Interp.Exec_error ("recursion too deep at " ^ fc.fc_name));
+  st.Interp.depth <- st.Interp.depth + 1;
+  let locals = Hashtbl.create 16 in
+  List.iteri
+    (fun i pname ->
+      let v = match List.nth_opt argv i with Some v -> v | None -> Int 0L in
+      Hashtbl.replace locals pname v)
+    fc.fc_params;
+  let env = { Interp.st; locals; fn = fc.fc_name } in
+  let n = Array.length fc.fc_body in
+  let rec run i =
+    try
+      for j = i to n - 1 do
+        fc.fc_body.(j) env
+      done;
+      Unit
+    with
+    | Interp.Return_exc v -> v
+    | Interp.Goto_exc l -> (
+        match List.assoc_opt l fc.fc_labels with
+        | Some j -> run j
+        | None ->
+            raise (Interp.Exec_error (Printf.sprintf "%s: unknown label %s" fc.fc_name l)))
+  in
+  let result = run 0 in
+  st.Interp.depth <- st.Interp.depth - 1;
+  result
+
+(** Call a compiled function by name: the {!Interp.call} of this
+    executor, with the same error on missing/bodyless functions. *)
+let call (eng : t) (st : Interp.state) (fname : string) (argv : value list) : value =
+  match Hashtbl.find_opt eng.funs fname with
+  | Some fc -> exec_fun st fc argv
+  | None -> raise (Interp.Exec_error ("no such function " ^ fname))
+
+(* in-program call expression: unknown or bodyless callees yield 0
+   without evaluating arguments, exactly like [Interp.eval_call] *)
+let invoke (eng : t) (st : Interp.state) (fname : string) (argv : value list) : value =
+  match Hashtbl.find_opt eng.funs fname with
+  | Some fc -> exec_fun st fc argv
+  | None -> Int 0L
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_expr (eng : t) (e : Csrc.Ast.expr) : Interp.env -> value =
+  match e with
+  | Csrc.Ast.Const_int v ->
+      let c = Int v in
+      fun _ -> c
+  | Csrc.Ast.Const_char ch ->
+      let c = Int (Int64.of_int (Char.code ch)) in
+      fun _ -> c
+  | Csrc.Ast.Const_str s ->
+      let c = Str s in
+      fun _ -> c
+  | Csrc.Ast.Ident name ->
+      (* locals and globals resolve at runtime (implicit declarations,
+         lazy global init); the constant fallback chain is pure on the
+         index, so resolve it once here *)
+      let fallback =
+        match Csrc.Index.ident_const eng.index name with
+        | Csrc.Index.C_int v -> Int v
+        | Csrc.Index.C_str s -> Str s
+        | Csrc.Index.C_none -> (
+            match Csrc.Index.find_function eng.index name with
+            | Some _ -> Fn name
+            | None -> Int 0L)
+      in
+      fun env -> (
+        match Hashtbl.find_opt env.Interp.locals name with
+        | Some v -> v
+        | None -> (
+            match Interp.get_global env.Interp.st name with
+            | Some v -> v
+            | None -> fallback))
+  | Csrc.Ast.Unop (op, a) -> (
+      let ca = compile_expr eng a in
+      match op with
+      | Csrc.Ast.Neg -> fun env -> Int (Int64.neg (Interp.as_int (ca env)))
+      | Csrc.Ast.Not -> fun env -> Interp.bool_v (not (truthy (ca env)))
+      | Csrc.Ast.Bit_not -> fun env -> Int (Int64.lognot (Interp.as_int (ca env))))
+  | Csrc.Ast.Binop (op, a, b) -> (
+      match op with
+      | Csrc.Ast.Land ->
+          let ca = compile_expr eng a and cb = compile_expr eng b in
+          fun env -> Interp.bool_v (truthy (ca env) && truthy (cb env))
+      | Csrc.Ast.Lor ->
+          let ca = compile_expr eng a and cb = compile_expr eng b in
+          fun env -> Interp.bool_v (truthy (ca env) || truthy (cb env))
+      | _ ->
+          let ca = compile_expr eng a and cb = compile_expr eng b in
+          fun env ->
+            let va = ca env in
+            let vb = cb env in
+            Interp.binop_values ~fn:env.Interp.fn op va vb)
+  | Csrc.Ast.Assign (lhs, rhs) ->
+      let cr = compile_expr eng rhs in
+      let cl = compile_lval eng lhs in
+      fun env ->
+        let v = cr env in
+        Interp.store env (cl env) v;
+        v
+  | Csrc.Ast.Call (name, args) -> compile_call eng name args
+  | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
+      let ca = compile_expr eng a in
+      fun env ->
+        match ca env with
+        | Ptr o -> Interp.get_field ~fn:env.Interp.fn o f
+        | Uptr (U_struct (_, fields)) -> (
+            match List.assoc_opt f fields with
+            | Some uv -> Interp.value_of_uval env.Interp.st ~fn:env.Interp.fn uv
+            | None -> Int 0L)
+        | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | Int _ -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | _ ->
+            raise
+              (Interp.Exec_error
+                 (Printf.sprintf "%s: bad field base for .%s" env.Interp.fn f)))
+  | Csrc.Ast.Index (a, i) -> (
+      let ci = compile_expr eng i in
+      let ca = compile_expr eng a in
+      fun env ->
+        let idx = Int64.to_int (Interp.as_int (ci env)) in
+        match ca env with
+        | Ptr o -> (
+            Interp.check_alive ~fn:env.Interp.fn o;
+            match o.data with
+            | Cells cells ->
+                if idx < 0 || idx >= Array.length cells then
+                  Crash.raise_crash Crash.Ubsan_oob env.Interp.fn
+                else cells.(idx)
+            | Fields _ | Opaque -> Int 0L)
+        | Str s ->
+            if idx >= 0 && idx < String.length s then Int (Int64.of_int (Char.code s.[idx]))
+            else Int 0L
+        | Uptr (U_arr xs) -> (
+            match List.nth_opt xs idx with
+            | Some uv -> Interp.value_of_uval env.Interp.st ~fn:env.Interp.fn uv
+            | None -> Int 0L)
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | _ -> Int 0L)
+  | Csrc.Ast.Cast (_, a) -> compile_expr eng a
+  | Csrc.Ast.Sizeof_type ty ->
+      let c = Int (Int64.of_int (Csrc.Index.sizeof eng.index ty)) in
+      fun _ -> c
+  | Csrc.Ast.Sizeof_expr _ -> fun _ -> Int 8L
+  | Csrc.Ast.Ternary (c, t, f) ->
+      let cc = compile_expr eng c and ct = compile_expr eng t and cf = compile_expr eng f in
+      fun env -> if truthy (cc env) then ct env else cf env
+  | Csrc.Ast.Addr_of a ->
+      (* &x evaluates x itself for every lvalue shape, like the
+         interpreter *)
+      compile_expr eng a
+  | Csrc.Ast.Deref a -> (
+      let ca = compile_expr eng a in
+      fun env ->
+        match ca env with
+        | Ptr o ->
+            Interp.check_alive ~fn:env.Interp.fn o;
+            Ptr o
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | v -> v)
+  | Csrc.Ast.Type_arg ty ->
+      let c = Int (Int64.of_int (Csrc.Index.sizeof eng.index ty)) in
+      fun _ -> c
+
+and compile_lval (eng : t) (e : Csrc.Ast.expr) : Interp.env -> Interp.lvalue =
+  match e with
+  | Csrc.Ast.Ident name ->
+      fun env ->
+        if Hashtbl.mem env.Interp.locals name then Interp.L_local name
+        else if Interp.get_global env.Interp.st name <> None then Interp.L_global name
+        else Interp.L_local name
+  | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
+      let ca = compile_expr eng a in
+      fun env ->
+        match ca env with
+        | Ptr o ->
+            Interp.check_alive ~fn:env.Interp.fn o;
+            Interp.L_field (o, f)
+        | Int _ -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | _ ->
+            raise
+              (Interp.Exec_error
+                 (Printf.sprintf "%s: bad lvalue base for .%s" env.Interp.fn f)))
+  | Csrc.Ast.Index (a, i) -> (
+      let ci = compile_expr eng i in
+      let ca = compile_expr eng a in
+      fun env ->
+        let idx = Int64.to_int (Interp.as_int (ci env)) in
+        match ca env with
+        | Ptr o -> (
+            Interp.check_alive ~fn:env.Interp.fn o;
+            match o.data with
+            | Cells cells ->
+                if idx < 0 || idx >= Array.length cells then
+                  Crash.raise_crash Crash.Ubsan_oob env.Interp.fn
+                else Interp.L_cell (o, idx)
+            | Fields _ | Opaque -> Interp.L_field (o, Printf.sprintf "__idx%d" idx))
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | _ -> raise (Interp.Exec_error (env.Interp.fn ^ ": bad array lvalue")))
+  | Csrc.Ast.Deref a -> (
+      let ca = compile_expr eng a in
+      fun env ->
+        match ca env with
+        | Ptr o ->
+            Interp.check_alive ~fn:env.Interp.fn o;
+            Interp.L_field (o, "__deref")
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | _ -> raise (Interp.Exec_error (env.Interp.fn ^ ": bad deref lvalue")))
+  | Csrc.Ast.Cast (_, a) -> compile_lval eng a
+  | _ -> fun env -> raise (Interp.Exec_error (env.Interp.fn ^ ": expression is not an lvalue"))
+
+and compile_call (eng : t) (name : string) (args : Csrc.Ast.expr list) : Interp.env -> value
+    =
+  (* the user-function decision is stable: the index is frozen after
+     boot, so resolve it once per call site *)
+  let user_path : (Interp.env -> value) option =
+    match Csrc.Index.find_function eng.index name with
+    | Some fd when fd.Csrc.Ast.fun_body <> [] ->
+        let cargs = List.map (compile_expr eng) args in
+        Some
+          (fun env ->
+            let argv = List.map (fun c -> c env) cargs in
+            invoke eng env.Interp.st name argv)
+    | Some _ | None -> None
+  in
+  if Hashtbl.mem builtin_set name then
+    (* builtins evaluate their argument expressions themselves — some
+       lazily, some as lvalues — so hand them the AST unchanged *)
+    match user_path with
+    | Some up ->
+        fun env -> (
+          match Interp.builtin env name args with Some v -> v | None -> up env)
+    | None ->
+        fun env -> (
+          match Interp.builtin env name args with Some v -> v | None -> Int 0L)
+  else match user_path with Some up -> up | None -> fun _ -> Int 0L
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+and compile_stmt (eng : t) (s : Csrc.Ast.stmt) : Interp.env -> unit =
+  let sid = s.Csrc.Ast.sid in
+  let node = compile_node eng s.Csrc.Ast.node in
+  fun env ->
+    Interp.step env;
+    env.Interp.st.Interp.on_cover sid;
+    node env
+
+and compile_node (eng : t) (node : Csrc.Ast.stmt_node) : Interp.env -> unit =
+  match node with
+  | Csrc.Ast.Expr_stmt e ->
+      let ce = compile_expr eng e in
+      fun env -> ignore (ce env)
+  | Csrc.Ast.Decl_stmt (ty, name, init) -> (
+      match init with
+      | Some e ->
+          let ce = compile_expr eng e in
+          fun env -> Hashtbl.replace env.Interp.locals name (ce env)
+      | None ->
+          fun env ->
+            Hashtbl.replace env.Interp.locals name
+              (Interp.zero_value env.Interp.st ~fn:env.Interp.fn ty))
+  | Csrc.Ast.If (c, t, f) -> (
+      let cc = compile_expr eng c in
+      let ct = compile_block eng t in
+      match f with
+      | Some f ->
+          let cf = compile_block eng f in
+          fun env -> if truthy (cc env) then ct env else cf env
+      | None -> fun env -> if truthy (cc env) then ct env)
+  | Csrc.Ast.Switch (scrut, cases) ->
+      let cscrut = compile_expr eng scrut in
+      let clabels =
+        Array.of_list
+          (List.map
+             (fun c ->
+               List.filter_map
+                 (function
+                   | Csrc.Ast.Case e -> Some (compile_expr eng e)
+                   | Csrc.Ast.Default -> None)
+                 c.Csrc.Ast.labels)
+             cases)
+      in
+      let cbodies =
+        Array.of_list (List.map (fun c -> compile_block eng c.Csrc.Ast.case_body) cases)
+      in
+      let default_idx =
+        let rec find i = function
+          | [] -> None
+          | c :: rest ->
+              if List.mem Csrc.Ast.Default c.Csrc.Ast.labels then Some i
+              else find (i + 1) rest
+        in
+        find 0 cases
+      in
+      let ncases = Array.length cbodies in
+      fun env ->
+        let key = Interp.as_int (cscrut env) in
+        let start =
+          let rec find i =
+            if i >= ncases then default_idx
+            else if
+              List.exists (fun ce -> Int64.equal (Interp.as_int (ce env)) key) clabels.(i)
+            then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        (match start with
+        | None -> ()
+        | Some i -> (
+            try
+              for j = i to ncases - 1 do
+                cbodies.(j) env
+              done
+            with Interp.Break_exc -> ()))
+  | Csrc.Ast.While (c, body) ->
+      let cc = compile_expr eng c in
+      let cb = compile_block eng body in
+      fun env -> (
+        try
+          while truthy (cc env) do
+            Interp.step env;
+            try cb env with Interp.Continue_exc -> ()
+          done
+        with Interp.Break_exc -> ())
+  | Csrc.Ast.Do_while (body, c) ->
+      let cb = compile_block eng body in
+      let cc = compile_expr eng c in
+      fun env -> (
+        try
+          let continue_loop = ref true in
+          while !continue_loop do
+            Interp.step env;
+            (try cb env with Interp.Continue_exc -> ());
+            continue_loop := truthy (cc env)
+          done
+        with Interp.Break_exc -> ())
+  | Csrc.Ast.For (init, cond, upd, body) ->
+      let cinit = Option.map (compile_expr eng) init in
+      let ccond = Option.map (compile_expr eng) cond in
+      let cupd = Option.map (compile_expr eng) upd in
+      let cb = compile_block eng body in
+      fun env ->
+        (match cinit with Some c -> ignore (c env) | None -> ());
+        (try
+           let check () = match ccond with Some c -> truthy (c env) | None -> true in
+           while check () do
+             Interp.step env;
+             (try cb env with Interp.Continue_exc -> ());
+             match cupd with Some u -> ignore (u env) | None -> ()
+           done
+         with Interp.Break_exc -> ())
+  | Csrc.Ast.Return e -> (
+      match e with
+      | Some e ->
+          let ce = compile_expr eng e in
+          fun env -> raise (Interp.Return_exc (ce env))
+      | None -> fun _ -> raise (Interp.Return_exc Unit))
+  | Csrc.Ast.Break -> fun _ -> raise Interp.Break_exc
+  | Csrc.Ast.Continue -> fun _ -> raise Interp.Continue_exc
+  | Csrc.Ast.Goto l ->
+      let exn = Interp.Goto_exc l in
+      fun _ -> raise exn
+  | Csrc.Ast.Label _ -> fun _ -> ()
+  | Csrc.Ast.Block b -> compile_block eng b
+
+and compile_block (eng : t) (b : Csrc.Ast.block) : Interp.env -> unit =
+  match b with
+  | [] -> fun _ -> ()
+  | [ s ] -> compile_stmt eng s
+  | _ ->
+      let arr = Array.of_list (List.map (compile_stmt eng) b) in
+      fun env -> Array.iter (fun f -> f env) arr
+
+(* ------------------------------------------------------------------ *)
+(* Whole-index compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_fun (eng : t) (name : string) (fd : Csrc.Ast.func_def) : fun_code =
+  let body = Array.of_list (List.map (compile_stmt eng) fd.Csrc.Ast.fun_body) in
+  let labels =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (i, acc) (s : Csrc.Ast.stmt) ->
+              match s.Csrc.Ast.node with
+              | Csrc.Ast.Label l when not (List.mem_assoc l acc) -> (i + 1, (l, i) :: acc)
+              | _ -> (i + 1, acc))
+            (0, []) fd.Csrc.Ast.fun_body))
+  in
+  {
+    fc_name = name;
+    fc_params = List.map snd fd.Csrc.Ast.fun_params;
+    fc_body = body;
+    fc_labels = labels;
+  }
+
+(** Compile every function with a body, once. The index is frozen after
+    {!Machine.boot}, so the table is read-only afterwards. *)
+let of_index (index : Csrc.Index.t) : t =
+  let eng = { index; funs = Hashtbl.create 256 } in
+  Hashtbl.iter
+    (fun name (fd : Csrc.Ast.func_def) ->
+      if fd.Csrc.Ast.fun_body <> [] then Hashtbl.replace eng.funs name (compile_fun eng name fd))
+    index.Csrc.Index.functions;
+  eng

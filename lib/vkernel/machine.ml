@@ -5,8 +5,13 @@
     evaluation. Device paths and socket triples come from the registry's
     ground truth (the moral equivalent of actually booting the modules);
     everything else — handler dispatch, argument passing, crash
-    detection — is interpreted from the same mini-C sources that the
-    analyses under test read. *)
+    detection — runs from the same mini-C sources that the analyses
+    under test read, either through the tree-walking {!Interp} or the
+    closure-compiled {!Jit} (the default; both are exact mirrors).
+
+    Syscalls dispatch through a jump table (name resolved to an opcode
+    once, handlers in a dense array), the UNIX trap-vector idiom, rather
+    than re-matching the name string per call. *)
 
 type parg =
   | P_int of int64
@@ -38,6 +43,10 @@ type t = {
   sockets : ((int * int * int) * socket_reg) list;
   sid_module : (int, string) Hashtbl.t;
   modules : string list;
+  jit : Jit.t Lazy.t;
+      (** closure-compiled function bodies; forced on first execution so
+          boots that never execute programs pay nothing *)
+  n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 
 let module_file_name (e : Corpus.Types.entry) =
@@ -91,13 +100,69 @@ let boot (entries : Corpus.Types.entry list) : t =
     sockets;
     sid_module;
     modules = List.map (fun (e : Corpus.Types.entry) -> e.name) entries;
+    jit = lazy (Jit.of_index index);
+    n_sids = !sid;
   }
 
 let module_of_sid t sid = Hashtbl.find_opt t.sid_module sid
 
 (* ------------------------------------------------------------------ *)
+(* Coverage sink                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Reusable per-campaign coverage collector: a bitmap over statement
+    ids plus the list of ids touched this execution. Recording and
+    resetting allocate nothing once the buffers are warm, so the hot
+    loop's coverage bookkeeping is O(touched), not O(programs ×
+    hashtable). *)
+type cov_sink = {
+  mutable cs_bits : Bytes.t;  (** bit per sid, set while touched this run *)
+  mutable cs_buf : int array;  (** sids touched this run, first [cs_n] *)
+  mutable cs_n : int;
+}
+
+let new_sink (t : t) : cov_sink =
+  { cs_bits = Bytes.make ((t.n_sids / 8) + 1) '\000'; cs_buf = Array.make 1024 0; cs_n = 0 }
+
+let sink_record (sk : cov_sink) (sid : int) : unit =
+  let byte = sid lsr 3 in
+  if byte >= Bytes.length sk.cs_bits then begin
+    (* sids past boot's count (defensive; spawned code can't add any) *)
+    let nb = Bytes.make (byte + 64) '\000' in
+    Bytes.blit sk.cs_bits 0 nb 0 (Bytes.length sk.cs_bits);
+    sk.cs_bits <- nb
+  end;
+  let b = Char.code (Bytes.unsafe_get sk.cs_bits byte) in
+  let bit = 1 lsl (sid land 7) in
+  if b land bit = 0 then begin
+    Bytes.unsafe_set sk.cs_bits byte (Char.unsafe_chr (b lor bit));
+    if sk.cs_n >= Array.length sk.cs_buf then begin
+      let nbuf = Array.make (2 * Array.length sk.cs_buf) 0 in
+      Array.blit sk.cs_buf 0 nbuf 0 sk.cs_n;
+      sk.cs_buf <- nbuf
+    end;
+    sk.cs_buf.(sk.cs_n) <- sid;
+    sk.cs_n <- sk.cs_n + 1
+  end
+
+(** Clear only the touched bits (not the whole bitmap) and rewind the
+    buffer, readying the sink for the next execution. *)
+let sink_reset (sk : cov_sink) : unit =
+  for i = 0 to sk.cs_n - 1 do
+    let sid = sk.cs_buf.(i) in
+    let byte = sid lsr 3 in
+    let b = Char.code (Bytes.unsafe_get sk.cs_bits byte) in
+    Bytes.unsafe_set sk.cs_bits byte (Char.unsafe_chr (b land lnot (1 lsl (sid land 7))))
+  done;
+  sk.cs_n <- 0
+
+(* ------------------------------------------------------------------ *)
 (* Program execution                                                   *)
 (* ------------------------------------------------------------------ *)
+
+(** Which executor runs handler bodies. Both are exact mirrors; [`Jit]
+    (the default) compiles each function to closures once per machine. *)
+type engine = [ `Jit | `Interp ]
 
 type fd_entry = {
   fd_file : Value.obj;  (** the [struct file] (or [struct socket]) object *)
@@ -111,6 +176,7 @@ type run = {
   st : Interp.state;
   fds : (int, fd_entry) Hashtbl.t;
   mutable next_fd : int;
+  use_jit : bool;
 }
 
 let errno v = Int64.neg (Int64.of_int v)
@@ -126,7 +192,10 @@ let handler run ~(ops : string) (field : string) : string option =
 let call_handler run ~ops field args ~(default : int64) : int64 =
   match handler run ~ops field with
   | None -> default
-  | Some fname -> Value.to_int (Interp.call run.st fname args)
+  | Some fname ->
+      Value.to_int
+        (if run.use_jit then Jit.call (Lazy.force run.machine.jit) run.st fname args
+         else Interp.call run.st fname args)
 
 let resolve_fd run (retvals : int64 array) (a : parg) : fd_entry option * int64 =
   match a with
@@ -154,212 +223,295 @@ let new_fd run entry =
   Hashtbl.replace run.fds fd entry;
   Int64.of_int fd
 
-(** Execute one syscall. Returns the syscall return value; crashes
-    propagate as {!Crash.Crash}. *)
-let exec_call (run : run) (retvals : int64 array) (c : call) : int64 =
+(* Per-syscall handlers for the dispatch table. Each takes the raw call
+   so shared handlers (openat/open, read/write, ...) can branch on the
+   name where the old match arms did. *)
+
+let get args i = nth_arg args i
+
+let val_of args retvals i = arg_value (nth_arg args i) retvals
+
+let int_of args retvals i = Value.to_int (val_of args retvals i)
+
+let op_open (run : run) (retvals : int64 array) (c : call) : int64 =
   let st = run.st in
   let fn = "__syscall" in
   let args = c.c_args in
-  let get i = nth_arg args i in
-  let val_of i = arg_value (get i) retvals in
-  let int_of i = Value.to_int (val_of i) in
-  match c.c_name with
-  | "openat" | "open" -> (
-      let path = match get 1 with P_str s -> s | _ -> "" in
-      let path = if c.c_name = "open" then (match get 0 with P_str s -> s | _ -> path) else path in
-      match List.assoc_opt path run.machine.devices with
-      | None -> errno 2 (* ENOENT *)
-      | Some dev ->
-          let file = Interp.typed_obj st ~fn "file" in
-          let inode = Interp.typed_obj st ~fn "inode" in
-          let r =
-            call_handler run ~ops:dev.dev_fops "open"
-              [ Value.Ptr inode; Value.Ptr file ]
-              ~default:0L
-          in
-          if Int64.compare r 0L < 0 then r
-          else
-            new_fd run
-              { fd_file = file; fd_inode = inode; fd_ops = dev.dev_fops; fd_is_socket = false })
-  | "socket" -> (
-      let domain = Int64.to_int (int_of 0) in
-      let styp = Int64.to_int (int_of 1) in
-      let proto = Int64.to_int (int_of 2) in
-      let lookup k = List.assoc_opt k run.machine.sockets in
-      let by_pred pred =
-        List.find_map
-          (fun ((d, t, p), reg) -> if pred d t p then Some reg else None)
-          run.machine.sockets
+  let path = match get args 1 with P_str s -> s | _ -> "" in
+  let path =
+    if c.c_name = "open" then (match get args 0 with P_str s -> s | _ -> path) else path
+  in
+  ignore retvals;
+  match List.assoc_opt path run.machine.devices with
+  | None -> errno 2 (* ENOENT *)
+  | Some dev ->
+      let file = Interp.typed_obj st ~fn "file" in
+      let inode = Interp.typed_obj st ~fn "inode" in
+      let r =
+        call_handler run ~ops:dev.dev_fops "open"
+          [ Value.Ptr inode; Value.Ptr file ]
+          ~default:0L
       in
-      (* families commonly accept several socket types; match the most
-         specific registration available *)
-      let resolved =
-        match lookup (domain, styp, proto) with
+      if Int64.compare r 0L < 0 then r
+      else
+        new_fd run
+          { fd_file = file; fd_inode = inode; fd_ops = dev.dev_fops; fd_is_socket = false }
+
+let op_socket (run : run) (retvals : int64 array) (c : call) : int64 =
+  let st = run.st in
+  let fn = "__syscall" in
+  let args = c.c_args in
+  let domain = Int64.to_int (int_of args retvals 0) in
+  let styp = Int64.to_int (int_of args retvals 1) in
+  let proto = Int64.to_int (int_of args retvals 2) in
+  let lookup k = List.assoc_opt k run.machine.sockets in
+  let by_pred pred =
+    List.find_map
+      (fun ((d, t, p), reg) -> if pred d t p then Some reg else None)
+      run.machine.sockets
+  in
+  (* families commonly accept several socket types; match the most
+     specific registration available *)
+  let resolved =
+    match lookup (domain, styp, proto) with
+    | Some s -> Some s
+    | None -> (
+        match lookup (domain, styp, 0) with
         | Some s -> Some s
         | None -> (
-            match lookup (domain, styp, 0) with
+            match
+              if proto <> 0 then by_pred (fun d _ p -> d = domain && p = proto) else None
+            with
             | Some s -> Some s
-            | None -> (
-                match
-                  if proto <> 0 then by_pred (fun d _ p -> d = domain && p = proto) else None
-                with
-                | Some s -> Some s
-                | None -> by_pred (fun d _ _ -> d = domain)))
+            | None -> by_pred (fun d _ _ -> d = domain)))
+  in
+  match resolved with
+  | None -> errno 97 (* EAFNOSUPPORT *)
+  | Some reg ->
+      let sock = Interp.typed_obj st ~fn "socket" in
+      Interp.set_field ~fn sock "sk_type" (Value.Int (Int64.of_int styp));
+      let inode = Interp.typed_obj st ~fn "inode" in
+      new_fd run
+        { fd_file = sock; fd_inode = inode; fd_ops = reg.sock_ops; fd_is_socket = true }
+
+let op_close (run : run) (retvals : int64 array) (c : call) : int64 =
+  match resolve_fd run retvals (get c.c_args 0) with
+  | None, _ -> errno 9
+  | Some e, fdnum ->
+      Hashtbl.remove run.fds (Int64.to_int fdnum);
+      if e.fd_is_socket then
+        call_handler run ~ops:e.fd_ops "release" [ Value.Ptr e.fd_file ] ~default:0L
+      else
+        call_handler run ~ops:e.fd_ops "release"
+          [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
+          ~default:0L
+
+let op_ioctl (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ ->
+      let cmd = int_of args retvals 1 in
+      let argv = val_of args retvals 2 in
+      let field = if e.fd_is_socket then "ioctl" else "unlocked_ioctl" in
+      call_handler run ~ops:e.fd_ops field
+        [ Value.Ptr e.fd_file; Value.Int cmd; argv ]
+        ~default:(errno 25 (* ENOTTY *))
+
+let op_rw (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ ->
+      call_handler run ~ops:e.fd_ops c.c_name
+        [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
+        ~default:(errno 22)
+
+let op_poll (run : run) (retvals : int64 array) (c : call) : int64 =
+  match resolve_fd run retvals (get c.c_args 0) with
+  | None, _ -> errno 9
+  | Some e, _ ->
+      if e.fd_is_socket then
+        call_handler run ~ops:e.fd_ops "poll"
+          [ Value.Int 0L; Value.Ptr e.fd_file; Value.Int 0L ]
+          ~default:0L
+      else
+        call_handler run ~ops:e.fd_ops "poll" [ Value.Ptr e.fd_file; Value.Int 0L ] ~default:0L
+
+let op_mmap (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ ->
+      call_handler run ~ops:e.fd_ops "mmap"
+        [ Value.Ptr e.fd_file; val_of args retvals 1 ]
+        ~default:(errno 19)
+
+let op_sock_generic (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      (* the kernel copies the sockaddr before invoking the handler:
+         a NULL user pointer faults at the boundary *)
+      if c.c_name = "bind" && Value.is_zero (val_of args retvals 1) then errno 14
+      else
+        let rest =
+          match c.c_name with
+          | "bind" -> [ val_of args retvals 1; val_of args retvals 2 ]
+          | "listen" | "shutdown" -> [ val_of args retvals 1 ]
+          | _ -> []
+        in
+        call_handler run ~ops:e.fd_ops c.c_name
+          (Value.Ptr e.fd_file :: rest)
+          ~default:(errno 95)
+  | Some _, _ -> errno 88 (* ENOTSOCK *)
+
+let op_connect (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      if Value.is_zero (val_of args retvals 1) then errno 14
+      else
+        call_handler run ~ops:e.fd_ops "connect"
+          [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
+          ~default:(errno 95)
+  | Some _, _ -> errno 88
+
+let op_accept (run : run) (retvals : int64 array) (c : call) : int64 =
+  let st = run.st in
+  let fn = "__syscall" in
+  match resolve_fd run retvals (get c.c_args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      let newsock = Interp.typed_obj st ~fn "socket" in
+      let r =
+        call_handler run ~ops:e.fd_ops "accept"
+          [ Value.Ptr e.fd_file; Value.Ptr newsock; Value.Int 0L ]
+          ~default:(errno 95)
       in
-      match resolved with
-      | None -> errno 97 (* EAFNOSUPPORT *)
-      | Some reg ->
-          let sock = Interp.typed_obj st ~fn "socket" in
-          Interp.set_field ~fn sock "sk_type" (Value.Int (Int64.of_int styp));
-          let inode = Interp.typed_obj st ~fn "inode" in
-          new_fd run
-            { fd_file = sock; fd_inode = inode; fd_ops = reg.sock_ops; fd_is_socket = true })
-  | "close" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, fdnum ->
-          Hashtbl.remove run.fds (Int64.to_int fdnum);
-          let field = if e.fd_is_socket then "release" else "release" in
-          if e.fd_is_socket then
-            call_handler run ~ops:e.fd_ops field [ Value.Ptr e.fd_file ] ~default:0L
-          else
-            call_handler run ~ops:e.fd_ops field
-              [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
-              ~default:0L)
-  | "ioctl" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ ->
-          let cmd = int_of 1 in
-          let argv = val_of 2 in
-          let field = if e.fd_is_socket then "ioctl" else "unlocked_ioctl" in
-          call_handler run ~ops:e.fd_ops field
-            [ Value.Ptr e.fd_file; Value.Int cmd; argv ]
-            ~default:(errno 25 (* ENOTTY *)))
-  | "read" | "write" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ ->
-          call_handler run ~ops:e.fd_ops c.c_name
-            [ Value.Ptr e.fd_file; val_of 1; val_of 2; Value.Int 0L ]
-            ~default:(errno 22))
-  | "poll" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ ->
-          if e.fd_is_socket then
-            call_handler run ~ops:e.fd_ops "poll"
-              [ Value.Int 0L; Value.Ptr e.fd_file; Value.Int 0L ]
-              ~default:0L
-          else
-            call_handler run ~ops:e.fd_ops "poll"
-              [ Value.Ptr e.fd_file; Value.Int 0L ]
-              ~default:0L)
-  | "mmap" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ ->
-          call_handler run ~ops:e.fd_ops "mmap"
-            [ Value.Ptr e.fd_file; val_of 1 ]
-            ~default:(errno 19))
-  | "bind" | "listen" | "shutdown" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          (* the kernel copies the sockaddr before invoking the handler:
-             a NULL user pointer faults at the boundary *)
-          if c.c_name = "bind" && Value.is_zero (val_of 1) then errno 14
-          else
-            let rest =
-              match c.c_name with
-              | "bind" -> [ val_of 1; val_of 2 ]
-              | "listen" | "shutdown" -> [ val_of 1 ]
-              | _ -> []
-            in
-            call_handler run ~ops:e.fd_ops c.c_name
-              (Value.Ptr e.fd_file :: rest)
-              ~default:(errno 95)
-      | Some _, _ -> errno 88 (* ENOTSOCK *))
-  | "connect" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          if Value.is_zero (val_of 1) then errno 14
-          else
-            call_handler run ~ops:e.fd_ops "connect"
-              [ Value.Ptr e.fd_file; val_of 1; val_of 2; Value.Int 0L ]
-              ~default:(errno 95)
-      | Some _, _ -> errno 88)
-  | "accept" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          let newsock = Interp.typed_obj st ~fn "socket" in
-          let r =
-            call_handler run ~ops:e.fd_ops "accept"
-              [ Value.Ptr e.fd_file; Value.Ptr newsock; Value.Int 0L ]
-              ~default:(errno 95)
-          in
-          if Int64.compare r 0L < 0 then r
-          else
-            new_fd run
-              {
-                fd_file = newsock;
-                fd_inode = Interp.typed_obj st ~fn "inode";
-                fd_ops = e.fd_ops;
-                fd_is_socket = true;
-              }
-      | Some _, _ -> errno 88)
-  | "setsockopt" | "getsockopt" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          call_handler run ~ops:e.fd_ops c.c_name
-            [ Value.Ptr e.fd_file; val_of 1; val_of 2; val_of 3; val_of 4 ]
-            ~default:(errno 92 (* ENOPROTOOPT *))
-      | Some _, _ -> errno 88)
-  | "sendmsg" | "recvmsg" -> (
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          let msg = Interp.typed_obj st ~fn "msghdr" in
-          (match val_of 1 with
-          | Value.Uptr uv -> Interp.materialize_into st ~fn msg uv
-          | _ -> ());
-          let extra =
-            if c.c_name = "recvmsg" then [ int_of 2; Value.to_int (val_of 3) ]
-            else [ int_of 2 ]
-          in
-          call_handler run ~ops:e.fd_ops c.c_name
-            (Value.Ptr e.fd_file :: Value.Ptr msg
-            :: List.map (fun v -> Value.Int v) extra)
-            ~default:(errno 95)
-      | Some _, _ -> errno 88)
-  | "sendto" | "recvfrom" -> (
-      (* sendto(fd, buf, len, flags, addr, addrlen) is lowered onto the
-         module's sendmsg/recvmsg handler via a synthesized msghdr *)
-      match resolve_fd run retvals (get 0) with
-      | None, _ -> errno 9
-      | Some e, _ when e.fd_is_socket ->
-          let msg = Interp.typed_obj st ~fn "msghdr" in
-          Interp.set_field ~fn msg "msg_iov" (val_of 1);
-          Interp.set_field ~fn msg "msg_name" (val_of 4);
-          Interp.set_field ~fn msg "msg_namelen" (Value.Int (int_of 5));
-          let field = if c.c_name = "sendto" then "sendmsg" else "recvmsg" in
-          let extra = if field = "recvmsg" then [ int_of 2; int_of 3 ] else [ int_of 2 ] in
-          call_handler run ~ops:e.fd_ops field
-            (Value.Ptr e.fd_file :: Value.Ptr msg
-            :: List.map (fun v -> Value.Int v) extra)
-            ~default:(errno 95)
-      | Some _, _ -> errno 88)
-  | other ->
-      ignore other;
-      errno 38 (* ENOSYS *)
+      if Int64.compare r 0L < 0 then r
+      else
+        new_fd run
+          {
+            fd_file = newsock;
+            fd_inode = Interp.typed_obj st ~fn "inode";
+            fd_ops = e.fd_ops;
+            fd_is_socket = true;
+          }
+  | Some _, _ -> errno 88
+
+let op_sockopt (run : run) (retvals : int64 array) (c : call) : int64 =
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      call_handler run ~ops:e.fd_ops c.c_name
+        [
+          Value.Ptr e.fd_file;
+          val_of args retvals 1;
+          val_of args retvals 2;
+          val_of args retvals 3;
+          val_of args retvals 4;
+        ]
+        ~default:(errno 92 (* ENOPROTOOPT *))
+  | Some _, _ -> errno 88
+
+let op_sendrecvmsg (run : run) (retvals : int64 array) (c : call) : int64 =
+  let st = run.st in
+  let fn = "__syscall" in
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      let msg = Interp.typed_obj st ~fn "msghdr" in
+      (match val_of args retvals 1 with
+      | Value.Uptr uv -> Interp.materialize_into st ~fn msg uv
+      | _ -> ());
+      let extra =
+        if c.c_name = "recvmsg" then
+          [ int_of args retvals 2; Value.to_int (val_of args retvals 3) ]
+        else [ int_of args retvals 2 ]
+      in
+      call_handler run ~ops:e.fd_ops c.c_name
+        (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
+        ~default:(errno 95)
+  | Some _, _ -> errno 88
+
+let op_sendto (run : run) (retvals : int64 array) (c : call) : int64 =
+  (* sendto(fd, buf, len, flags, addr, addrlen) is lowered onto the
+     module's sendmsg/recvmsg handler via a synthesized msghdr *)
+  let st = run.st in
+  let fn = "__syscall" in
+  let args = c.c_args in
+  match resolve_fd run retvals (get args 0) with
+  | None, _ -> errno 9
+  | Some e, _ when e.fd_is_socket ->
+      let msg = Interp.typed_obj st ~fn "msghdr" in
+      Interp.set_field ~fn msg "msg_iov" (val_of args retvals 1);
+      Interp.set_field ~fn msg "msg_name" (val_of args retvals 4);
+      Interp.set_field ~fn msg "msg_namelen" (Value.Int (int_of args retvals 5));
+      let field = if c.c_name = "sendto" then "sendmsg" else "recvmsg" in
+      let extra =
+        if field = "recvmsg" then [ int_of args retvals 2; int_of args retvals 3 ]
+        else [ int_of args retvals 2 ]
+      in
+      call_handler run ~ops:e.fd_ops field
+        (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
+        ~default:(errno 95)
+  | Some _, _ -> errno 88
+
+(* The jump table: syscall names resolve to an opcode once (hash lookup)
+   and dispatch indexes a dense handler array. *)
+let syscall_table : (string * (run -> int64 array -> call -> int64)) array =
+  [|
+    ("openat", op_open);
+    ("open", op_open);
+    ("socket", op_socket);
+    ("close", op_close);
+    ("ioctl", op_ioctl);
+    ("read", op_rw);
+    ("write", op_rw);
+    ("poll", op_poll);
+    ("mmap", op_mmap);
+    ("bind", op_sock_generic);
+    ("listen", op_sock_generic);
+    ("shutdown", op_sock_generic);
+    ("connect", op_connect);
+    ("accept", op_accept);
+    ("setsockopt", op_sockopt);
+    ("getsockopt", op_sockopt);
+    ("sendmsg", op_sendrecvmsg);
+    ("recvmsg", op_sendrecvmsg);
+    ("sendto", op_sendto);
+    ("recvfrom", op_sendto);
+  |]
+
+let opcode : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri (fun i (name, _) -> Hashtbl.replace tbl name i) syscall_table;
+  tbl
+
+let dispatch : (run -> int64 array -> call -> int64) array = Array.map snd syscall_table
+
+(** Execute one syscall. Returns the syscall return value; crashes
+    propagate as {!Crash.Crash}. *)
+let exec_call (run : run) (retvals : int64 array) (c : call) : int64 =
+  match Hashtbl.find_opt opcode c.c_name with
+  | Some op -> dispatch.(op) run retvals c
+  | None -> errno 38 (* ENOSYS *)
 
 (** Execute a whole program against a fresh kernel state. *)
-let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
-  let st = Interp.create ~index:t.index ~step_budget () in
-  let run = { machine = t; st; fds = Hashtbl.create 8; next_fd = 3 } in
+let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink option)
+    (t : t) (prog : prog) : exec_result =
+  let on_cover =
+    match sink with Some sk -> Some (fun sid -> sink_record sk sid) | None -> None
+  in
+  let st = Interp.create ~index:t.index ~step_budget ?on_cover () in
+  let run =
+    { machine = t; st; fds = Hashtbl.create 8; next_fd = 3; use_jit = engine = `Jit }
+  in
   st.Interp.spawn_fd <-
     Some
       (fun ops_global ->
@@ -430,5 +582,21 @@ let exec_prog ?(step_budget = 200_000) (t : t) (prog : prog) : exec_result =
         crash :=
           Some { cr_title = Crash.title { Crash.kind = Crash.Memory_leak; fn = site }; cr_call = n - 1 }
   end;
-  let coverage = Hashtbl.fold (fun sid () acc -> sid :: acc) st.Interp.coverage [] in
+  let coverage =
+    match sink with
+    | Some _ -> [] (* the sink holds it; don't rebuild a list per exec *)
+    | None -> Hashtbl.fold (fun sid () acc -> sid :: acc) st.Interp.coverage []
+  in
   { retvals; crash = !crash; coverage; timed_out = !timed_out }
+
+let exec_prog ?(step_budget = 200_000) ?(engine : engine = `Jit) (t : t) (prog : prog) :
+    exec_result =
+  exec_prog_core ~step_budget ~engine ~sink:None t prog
+
+(** Like {!exec_prog}, but coverage lands in [sink] (bitmap + touched
+    list) instead of the result's [coverage] list, which comes back
+    empty. The caller reads the sink and {!sink_reset}s it before the
+    next execution. *)
+let exec_prog_sink ?(step_budget = 200_000) ?(engine : engine = `Jit) ~(sink : cov_sink)
+    (t : t) (prog : prog) : exec_result =
+  exec_prog_core ~step_budget ~engine ~sink:(Some sink) t prog

@@ -4,7 +4,10 @@
     This is the stand-in for the paper's QEMU/KCOV fuzzing target.
     Device paths and socket triples come from the registry's ground
     truth (the moral equivalent of booting the modules); everything else
-    is interpreted from the same mini-C sources the analyses read. *)
+    runs from the same mini-C sources the analyses read, through either
+    the tree-walking {!Interp} or the closure-compiled {!Jit} executor
+    (the default — both are exact mirrors). Syscall names resolve
+    through a jump table rather than a per-call string match. *)
 
 (** One syscall argument as the fuzzer passes it. *)
 type parg =
@@ -40,6 +43,10 @@ type t = {
   sockets : ((int * int * int) * socket_reg) list;
   sid_module : (int, string) Hashtbl.t;
   modules : string list;
+  jit : Jit.t Lazy.t;
+      (** closure-compiled function bodies; forced on first execution so
+          boots that never execute programs pay nothing *)
+  n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 
 (** Boot the machine over the given corpus entries: parse all module
@@ -50,7 +57,34 @@ val boot : Corpus.Types.entry list -> t
 (** Which module a covered statement belongs to. *)
 val module_of_sid : t -> int -> string option
 
+(** Which executor runs handler bodies. Both are exact semantic mirrors
+    — identical coverage, crashes, and return values; [`Jit] (the
+    default) compiles each function body to closures once per machine
+    instead of re-walking the AST per execution. *)
+type engine = [ `Jit | `Interp ]
+
+(** Reusable per-campaign coverage collector: a bitmap over statement
+    ids plus the list of sids touched by the current execution
+    ([cs_buf.(0 .. cs_n-1)]). Recording allocates nothing once warm. *)
+type cov_sink = {
+  mutable cs_bits : Bytes.t;
+  mutable cs_buf : int array;
+  mutable cs_n : int;
+}
+
+val new_sink : t -> cov_sink
+
+(** Clear the touched bits and rewind the buffer for the next run. *)
+val sink_reset : cov_sink -> unit
+
 (** Execute a program against a fresh kernel state: run each call, close
     remaining file descriptors at exit (release handlers may crash), and
     run the kmemleak-style reachability scan. Deterministic. *)
-val exec_prog : ?step_budget:int -> t -> prog -> exec_result
+val exec_prog : ?step_budget:int -> ?engine:engine -> t -> prog -> exec_result
+
+(** Like {!exec_prog}, but statement coverage lands in [sink] instead of
+    the result's [coverage] list (which comes back empty): the campaign
+    hot loop reads [sink.cs_buf] and {!sink_reset}s it, touching no
+    per-execution allocations. *)
+val exec_prog_sink :
+  ?step_budget:int -> ?engine:engine -> sink:cov_sink -> t -> prog -> exec_result

@@ -247,4 +247,76 @@ if ! grep -q 'truncated oracle cache' "$tmp/cache_bad.err"; then
 fi
 echo "OK: a truncated oracle cache fails descriptively"
 
+echo "== engine differential: compiled and interpreted are byte-identical =="
+# The compiled (jump-table) engine is a pure performance layer: for any
+# seed it must generate the same programs, observe the same coverage
+# and crashes, and print the same report as the legacy AST-walking
+# engine — plain, under executor fault injection, and across a
+# checkpoint written by one engine and resumed by the other (the
+# engine is a run-time choice, never part of the checkpoint).
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --interpreted 2>/dev/null | normalize_time > "$tmp/fuzz_interp.out"
+if ! diff -u "$tmp/fuzz_full.out" "$tmp/fuzz_interp.out"; then
+  echo "FAIL: --interpreted fuzz output differs from the compiled engine" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --exec-faults 10:3 2>/dev/null | normalize_time > "$tmp/fuzz_ef_c.out"
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --exec-faults 10:3 --interpreted 2>/dev/null | normalize_time > "$tmp/fuzz_ef_i.out"
+if ! diff -u "$tmp/fuzz_ef_c.out" "$tmp/fuzz_ef_i.out"; then
+  echo "FAIL: engines diverge under --exec-faults 10:3" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --interpreted --checkpoint "$tmp/ck_engine.jsonl" --stop-after 1400 2>/dev/null >/dev/null
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --checkpoint "$tmp/ck_engine.jsonl" --resume 2>/dev/null | normalize_time > "$tmp/fuzz_xres.out"
+if ! diff -u "$tmp/fuzz_full.out" "$tmp/fuzz_xres.out"; then
+  echo "FAIL: compiled resume of an interpreted checkpoint diverges" >&2
+  exit 1
+fi
+dune exec --no-build bench/main.exe -- --exp table4 --jobs 1 \
+  --bench-out "$tmp/bench_c1.json" 2>/dev/null | filter > "$tmp/t4_c1.out"
+dune exec --no-build bench/main.exe -- --exp table4 --jobs 4 \
+  --bench-out "$tmp/bench_c4.json" 2>/dev/null | filter > "$tmp/t4_c4.out"
+dune exec --no-build bench/main.exe -- --exp table4 --jobs 1 --interpreted \
+  --bench-out "$tmp/bench_i1.json" 2>/dev/null | filter > "$tmp/t4_i1.out"
+dune exec --no-build bench/main.exe -- --exp table4 --jobs 4 --interpreted \
+  --bench-out "$tmp/bench_i4.json" 2>/dev/null | filter > "$tmp/t4_i4.out"
+for v in c4 i1 i4; do
+  if ! diff -u "$tmp/t4_c1.out" "$tmp/t4_$v.out"; then
+    echo "FAIL: table4 stdout ($v) differs across engine/jobs" >&2
+    exit 1
+  fi
+done
+echo "OK: both engines are byte-identical (plain, --exec-faults, cross-engine resume, table4 jobs 1/4)"
+
+echo "== BENCH artifact: well-formed JSON with non-zero throughput =="
+# Every report run writes a BENCH_*.json throughput artifact. It must
+# parse as JSON, carry the engine that produced it, and report a
+# strictly positive execution count and execs/sec for the table it ran.
+check_bench() {
+  file=$1; want_engine=$2
+  python3 - "$file" "$want_engine" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["format"] == "kernelgpt-bench" and d["schema"] == 1, "bad format/schema"
+assert d["engine"] == sys.argv[2], "engine %r != %r" % (d["engine"], sys.argv[2])
+tables = {t["name"]: t for t in d["tables"]}
+t4 = tables["table4"]
+assert t4["executions"] > 0, "zero executions"
+assert t4["execs_per_s"] > 0, "zero execs/sec"
+assert d["total_wall_s"] > 0, "zero total wall clock"
+EOF
+}
+for spec in "bench_c1 compiled" "bench_c4 compiled" "bench_i1 interpreted" "bench_i4 interpreted"; do
+  set -- $spec
+  if ! check_bench "$tmp/$1.json" "$2"; then
+    echo "FAIL: BENCH artifact $1.json is malformed" >&2
+    exit 1
+  fi
+done
+echo "OK: all four table4 BENCH artifacts are well-formed with non-zero execs/sec"
+
 echo "== CI green =="

@@ -1,0 +1,302 @@
+(* Differential tests for the compiled spec/execution pipeline: the
+   compiled engine (lowered generation plans + JIT-closured handler
+   bodies + bitmap coverage sink) must be byte-identical to the
+   interpreted baseline — same programs, same RNG stream, same coverage
+   sets, same crash tables — plus regressions for the generator range,
+   bytesize, and push-order bugfixes that shipped with it. *)
+
+let dm_ctx =
+  lazy
+    (let entry = Corpus.Registry.find_exn "dm" in
+     let machine = Vkernel.Machine.boot [ entry ] in
+     let kernel = machine.Vkernel.Machine.index in
+     let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+     let spec = Option.get (Kernelgpt.Pipeline.run ~oracle ~kernel entry).o_spec in
+     let spec = Syzlang.Validate.resolve_spec ~kernel spec in
+     (machine, spec))
+
+(* a random generated driver with a validating KernelGPT spec, or None
+   when the pipeline declines this seed *)
+let ctx_of_seed seed =
+  let entry =
+    List.hd
+      (Corpus.Gen.population ~seed ~n_drivers:1 ~loaded_drivers:1 ~n_sockets:0
+         ~loaded_sockets:0 ())
+  in
+  let machine = Vkernel.Machine.boot [ entry ] in
+  let kernel = machine.Vkernel.Machine.index in
+  let oracle = Oracle.create ~profile:Profile.gpt4 ~knowledge:kernel () in
+  match Kernelgpt.Pipeline.run ~oracle ~kernel entry with
+  | { o_valid = true; o_spec = Some spec; _ } ->
+      Some (machine, Syzlang.Validate.resolve_spec ~kernel spec)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Generation: compiled plans vs per-call type walks                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_generate_differential =
+  let _, spec = Lazy.force dm_ctx in
+  let tc = Fuzzer.Proggen.prepare ~compiled:true spec in
+  let ti = Fuzzer.Proggen.prepare ~compiled:false spec in
+  QCheck.Test.make ~name:"compiled and interpreted generation are identical" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rc = Fuzzer.Rng.make seed and ri = Fuzzer.Rng.make seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let pc = Fuzzer.Proggen.generate tc rc () in
+        let pi = Fuzzer.Proggen.generate ti ri () in
+        if pc <> pi then ok := false
+      done;
+      (* the RNG streams must stay in lockstep, not just the outputs *)
+      !ok && Fuzzer.Rng.next_int64 rc = Fuzzer.Rng.next_int64 ri)
+
+let qcheck_mutate_differential =
+  let _, spec = Lazy.force dm_ctx in
+  let tc = Fuzzer.Proggen.prepare ~compiled:true spec in
+  let ti = Fuzzer.Proggen.prepare ~compiled:false spec in
+  QCheck.Test.make ~name:"compiled and interpreted mutation are identical" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rc = Fuzzer.Rng.make seed and ri = Fuzzer.Rng.make seed in
+      let pc = ref (Fuzzer.Proggen.generate tc rc ()) in
+      let pi = ref (Fuzzer.Proggen.generate ti ri ()) in
+      let ok = ref (!pc = !pi) in
+      for _ = 1 to 30 do
+        pc := Fuzzer.Proggen.mutate tc rc !pc;
+        pi := Fuzzer.Proggen.mutate ti ri !pi;
+        if !pc <> !pi then ok := false
+      done;
+      !ok && Fuzzer.Rng.next_int64 rc = Fuzzer.Rng.next_int64 ri)
+
+(* ------------------------------------------------------------------ *)
+(* Execution: JIT closures vs AST interpreter, sink vs hashtable       *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_result (r : Vkernel.Machine.exec_result) =
+  (r.retvals, r.crash, List.sort compare r.coverage, r.timed_out)
+
+let qcheck_exec_differential =
+  let machine, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  QCheck.Test.make ~name:"JIT and interpreter execute programs identically" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Fuzzer.Rng.make seed in
+      let prog = Fuzzer.Proggen.generate t r () in
+      let a = Vkernel.Machine.exec_prog ~engine:`Jit machine prog in
+      let b = Vkernel.Machine.exec_prog ~engine:`Interp machine prog in
+      sorted_result a = sorted_result b)
+
+let test_sink_matches_coverage () =
+  let machine, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 17 in
+  let sink = Vkernel.Machine.new_sink machine in
+  for _ = 1 to 50 do
+    let prog = Fuzzer.Proggen.generate t r () in
+    let plain = Vkernel.Machine.exec_prog machine prog in
+    let sunk = Vkernel.Machine.exec_prog_sink ~sink machine prog in
+    let buf =
+      List.sort compare
+        (List.init sink.Vkernel.Machine.cs_n (fun i -> sink.Vkernel.Machine.cs_buf.(i)))
+    in
+    Vkernel.Machine.sink_reset sink;
+    Alcotest.(check (list int)) "sink sids = coverage sids"
+      (List.sort_uniq compare plain.coverage)
+      buf;
+    Alcotest.(check (list int)) "sink result carries no coverage list" [] sunk.coverage;
+    Alcotest.(check bool) "rest of the result agrees" true
+      ( sunk.retvals = plain.retvals && sunk.crash = plain.crash
+      && sunk.timed_out = plain.timed_out )
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Whole campaigns                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_fingerprint (res : Fuzzer.Campaign.result) =
+  let cov = Hashtbl.fold (fun sid () acc -> sid :: acc) res.coverage [] in
+  let crashes =
+    Hashtbl.fold (fun title prog acc -> (title, prog) :: acc) res.crashes []
+  in
+  ( res.executions,
+    List.sort compare cov,
+    List.sort compare crashes,
+    res.corpus_size,
+    res.corpus_evictions )
+
+let test_campaign_differential () =
+  let machine, spec = Lazy.force dm_ctx in
+  let run engine = Fuzzer.Campaign.run ~seed:5 ~budget:2000 ~engine ~machine spec in
+  Alcotest.(check bool) "compiled campaign = interpreted campaign" true
+    (campaign_fingerprint (run Fuzzer.Campaign.Compiled)
+    = campaign_fingerprint (run Fuzzer.Campaign.Interpreted))
+
+let test_campaign_differential_under_eviction () =
+  let machine, spec = Lazy.force dm_ctx in
+  let run engine =
+    Fuzzer.Campaign.run ~seed:9 ~budget:1500 ~max_corpus:4 ~engine ~machine spec
+  in
+  Alcotest.(check bool) "identical with a saturated corpus ring" true
+    (campaign_fingerprint (run Fuzzer.Campaign.Compiled)
+    = campaign_fingerprint (run Fuzzer.Campaign.Interpreted))
+
+let qcheck_campaign_differential_random_specs =
+  QCheck.Test.make ~name:"campaigns agree on random pipeline specs" ~count:8
+    QCheck.(int_bound 5000)
+    (fun seed ->
+      match ctx_of_seed seed with
+      | None -> true
+      | Some (machine, spec) ->
+          let run engine =
+            Fuzzer.Campaign.run ~seed ~budget:400 ~engine ~machine spec
+          in
+          campaign_fingerprint (run Fuzzer.Campaign.Compiled)
+          = campaign_fingerprint (run Fuzzer.Campaign.Interpreted))
+
+(* ------------------------------------------------------------------ *)
+(* Bugfix regressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_range_wide_no_collapse () =
+  (* the old draw computed [Int64.to_int (hi - lo) + 1], which wraps
+     negative for wide ranges; [Rng.int n] with n <= 0 returns 0, so
+     every draw collapsed to [lo] *)
+  let r = Fuzzer.Rng.make 2 in
+  let distinct lo hi =
+    let seen = Hashtbl.create 16 in
+    for _ = 1 to 64 do
+      let v = Fuzzer.Rng.int64_in_range r ~lo ~hi in
+      Alcotest.(check bool) "within range" true
+        (Int64.compare v lo >= 0 && Int64.compare v hi <= 0);
+      Hashtbl.replace seen v ()
+    done;
+    Hashtbl.length seen
+  in
+  Alcotest.(check bool) "full 64-bit range varies" true
+    (distinct Int64.min_int Int64.max_int > 1);
+  Alcotest.(check bool) "positive wide range varies" true (distinct 0L Int64.max_int > 1);
+  Alcotest.(check bool) "signed wide range varies" true
+    (distinct (-4611686018427387904L) 4611686018427387904L > 1)
+
+let test_range_narrow_parity () =
+  (* narrow ranges must keep the historical bit-for-bit draw so campaign
+     stdout is unchanged where the old code was correct *)
+  let a = Fuzzer.Rng.make 3 and b = Fuzzer.Rng.make 3 in
+  for _ = 1 to 500 do
+    let lo = -37L and hi = 4096L in
+    let v = Fuzzer.Rng.int64_in_range a ~lo ~hi in
+    let old = Int64.add lo (Int64.of_int (Fuzzer.Rng.int b (Int64.to_int (Int64.sub hi lo) + 1))) in
+    Alcotest.(check int64) "matches the historical formula" old v
+  done;
+  Alcotest.(check int64) "streams in lockstep" (Fuzzer.Rng.next_int64 a)
+    (Fuzzer.Rng.next_int64 b)
+
+let test_range_one_draw_always () =
+  (* every range shape consumes exactly one word, including hi < lo *)
+  let draws lo hi =
+    let a = Fuzzer.Rng.make 7 and b = Fuzzer.Rng.make 7 in
+    ignore (Fuzzer.Rng.int64_in_range a ~lo ~hi);
+    ignore (Fuzzer.Rng.next_int64 b);
+    Fuzzer.Rng.next_int64 a = Fuzzer.Rng.next_int64 b
+  in
+  Alcotest.(check bool) "narrow" true (draws 0L 10L);
+  Alcotest.(check bool) "wide" true (draws Int64.min_int Int64.max_int);
+  Alcotest.(check bool) "empty (hi < lo)" true (draws 10L 0L)
+
+let test_bytesize_counts_bytes () =
+  (* bytesize fields were computed as element counts; a 4-element int32
+     array is 16 bytes, not 4 *)
+  let spec =
+    Syzlang.Parser.parse_spec ~name:"t"
+      {|resource fd_t[fd]
+t_struct {
+	nbytes bytesize[items, int32]
+	nelems len[items, int32]
+	items array[int32, 4]
+}
+ioctl$X(fd fd_t, cmd const[1], arg ptr[in, t_struct])
+|}
+  in
+  List.iter
+    (fun compiled ->
+      let t = Fuzzer.Proggen.prepare ~compiled spec in
+      let r = Fuzzer.Rng.make 5 in
+      for _ = 1 to 50 do
+        match Fuzzer.Proggen.uval_of_typ t r ~depth:0 (Syzlang.Ast.Struct_ref "t_struct") with
+        | Vkernel.Value.U_struct (_, fields) ->
+            Alcotest.(check bool) "bytesize = 4 * len" true
+              (List.assoc "nbytes" fields = Vkernel.Value.U_int 16L
+              && List.assoc "nelems" fields = Vkernel.Value.U_int 4L)
+        | _ -> Alcotest.fail "expected a struct"
+      done)
+    [ true; false ]
+
+let test_push_call_linear_order () =
+  (* push_call accumulates reversed with an explicit count; pushing the
+     whole spec must keep spec order (with producers inserted before
+     their consumers) and the count in step with the program length *)
+  let _, spec = Lazy.force dm_ctx in
+  let t = Fuzzer.Proggen.prepare spec in
+  let r = Fuzzer.Rng.make 11 in
+  let rev_prog = ref [] and count = ref 0 and resource_at = ref [] in
+  let n = Array.length t.Fuzzer.Proggen.syscalls in
+  Alcotest.(check bool) "dm spec is non-trivial" true (n > 1);
+  for i = 0 to n - 1 do
+    Fuzzer.Proggen.push_call t r ~rev_prog ~count ~resource_at ~depth:0 i
+  done;
+  let names = List.rev_map fst !rev_prog in
+  Alcotest.(check int) "count tracks program length" (List.length names) !count;
+  (* the directly-pushed sequence is a subsequence of the emitted one *)
+  let pushed =
+    Array.to_list (Array.map Syzlang.Ast.syscall_full_name t.Fuzzer.Proggen.syscalls)
+  in
+  let rec subseq want have =
+    match (want, have) with
+    | [], _ -> true
+    | _, [] -> false
+    | w :: ws, h :: hs -> if w = h then subseq ws hs else subseq want hs
+  in
+  Alcotest.(check bool) "spec order preserved" true (subseq pushed names);
+  (* and every result reference points backwards *)
+  List.iteri
+    (fun i (c : Vkernel.Machine.call) ->
+      List.iter
+        (function
+          | Vkernel.Machine.P_result j ->
+              Alcotest.(check bool) "P_result refers backwards" true (j < i)
+          | _ -> ())
+        c.c_args)
+    (List.rev_map snd !rev_prog)
+
+let () =
+  let t n f = Alcotest.test_case n `Quick f in
+  Alcotest.run "compiled"
+    [
+      ( "generation",
+        [
+          QCheck_alcotest.to_alcotest qcheck_generate_differential;
+          QCheck_alcotest.to_alcotest qcheck_mutate_differential;
+        ] );
+      ( "execution",
+        [
+          QCheck_alcotest.to_alcotest qcheck_exec_differential;
+          t "sink matches coverage" test_sink_matches_coverage;
+        ] );
+      ( "campaign",
+        [
+          t "differential" test_campaign_differential;
+          t "differential under eviction" test_campaign_differential_under_eviction;
+          QCheck_alcotest.to_alcotest qcheck_campaign_differential_random_specs;
+        ] );
+      ( "bugfixes",
+        [
+          t "wide ranges vary" test_range_wide_no_collapse;
+          t "narrow ranges bit-identical" test_range_narrow_parity;
+          t "ranges draw once" test_range_one_draw_always;
+          t "bytesize counts bytes" test_bytesize_counts_bytes;
+          t "push_call linear and ordered" test_push_call_linear_order;
+        ] );
+    ]
