@@ -13,6 +13,7 @@
       dune exec bench/main.exe -- --exp table3 --exec-faults 10:3     # executor wedges
       dune exec bench/main.exe -- --oracle-cache warm.jsonl           # answer cache
       dune exec bench/main.exe -- --interpreted    # legacy AST-walking engine
+      dune exec bench/main.exe -- --sched ucb      # UCB seed/operator scheduling
       dune exec bench/main.exe -- --bench-out b.json  # BENCH artifact path
 
     Tables on stdout are byte-identical for any --jobs value, with or
@@ -170,7 +171,7 @@ let () =
         | None ->
             Printf.eprintf
               "unknown experiment %S (expected: all, table1, fig7, table2, table3, table4, \
-               table5, table6, ablation-iter, ablation-llm, correctness)\n"
+               table5, table6, ablation-iter, ablation-llm, ablation-sched, correctness)\n"
               w;
             exit 2)
     | None -> Report.Runner.All
@@ -193,18 +194,29 @@ let () =
   let engine =
     if has "--interpreted" then Fuzzer.Campaign.Interpreted else Fuzzer.Campaign.Compiled
   in
+  let sched =
+    match value_of "--sched" with
+    | None -> Fuzzer.Schedule.Uniform
+    | Some s -> (
+        match Fuzzer.Schedule.mode_of_string s with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "--sched %s: expected uniform or ucb\n" s;
+            exit 2)
+  in
   if has "--micro" then micro_benchmarks ()
   else begin
     let scale_str = match scale with Report.Runner.Full -> "full" | Quick -> "quick" in
     let bench =
       Report.Bench_json.create
         ~engine:(match engine with Fuzzer.Campaign.Compiled -> "compiled" | Interpreted -> "interpreted")
+        ~sched:(Fuzzer.Schedule.mode_to_string sched)
         ~scale:scale_str
         ~which:(Report.Runner.string_of_which which)
         ~jobs
     in
     Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?oracle_cache
-      ~engine ~bench ();
+      ~engine ~sched ~bench ();
     let bench_file =
       match value_of "--bench-out" with
       | Some f -> f

@@ -142,6 +142,22 @@ let exec_faults_arg =
            the supervisor reboots instances that trip the wedge threshold. The same \
            RATE:SEED reproduces the same faults, reboots, and output exactly.")
 
+(* Corpus/operator scheduling mode (--sched), shared by fuzz and report:
+   uniform is the historical draw-per-pick behavior, ucb schedules seeds
+   and mutation operators by UCB1 over their recorded novelty rewards. *)
+let sched_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("uniform", Fuzzer.Schedule.Uniform); ("ucb", Fuzzer.Schedule.Ucb) ])
+        Fuzzer.Schedule.Uniform
+    & info [ "sched" ] ~docv:"MODE"
+        ~doc:
+          "Corpus and mutation-operator scheduling: $(b,uniform) (the historical \
+           random pick) or $(b,ucb) (UCB1 bandit over coverage-novelty rewards, \
+           deterministic and checkpoint-exact). Scheduler statistics are campaign \
+           state: they ride in checkpoints and resume exactly.")
+
 (* Observability flags, shared by every command that runs the pipeline.
    Traces go to a file and metrics to stderr, so stdout stays
    byte-identical for any --jobs value. *)
@@ -262,7 +278,7 @@ let baseline_cmd =
 let fuzz_cmd =
   let run () name suite budget seed profile repro faults query_budget cache_file
       cache_readonly exec_faults checkpoint checkpoint_every resume resume_or_fresh
-      stop_after interpreted =
+      stop_after interpreted sched =
     let engine =
       if interpreted then Fuzzer.Campaign.Interpreted else Fuzzer.Campaign.Compiled
     in
@@ -304,10 +320,15 @@ let fuzz_cmd =
             let* () = want "budget" s.budget budget in
             if s.supervisor <> supervisor then
               Error "checkpoint was taken with a different --exec-faults/supervisor configuration"
+            else if s.sched <> sched then
+              Error
+                (Printf.sprintf "checkpoint was taken with --sched %s, this run uses --sched %s"
+                   (Fuzzer.Schedule.mode_to_string s.sched)
+                   (Fuzzer.Schedule.mode_to_string sched))
             else Ok ()
           in
           let fresh () =
-            Fuzzer.Campaign.init ~seed ~budget ~supervisor ~engine ~machine spec
+            Fuzzer.Campaign.init ~seed ~budget ~supervisor ~engine ~sched ~machine spec
           in
           let campaign =
             if not (resume || resume_or_fresh) then Ok (fresh ())
@@ -457,7 +478,7 @@ let fuzz_cmd =
         (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro
        $ faults_arg $ query_budget_arg $ oracle_cache_arg $ oracle_cache_readonly_arg
        $ exec_faults_arg $ checkpoint $ checkpoint_every $ resume $ resume_or_fresh
-       $ stop_after $ interpreted))
+       $ stop_after $ interpreted $ sched_arg))
 
 let bugs_cmd =
   let run () budget seeds jobs faults query_budget cache_file cache_readonly exec_faults =
@@ -483,18 +504,18 @@ let bugs_cmd =
        $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg))
 
 let report_cmd =
-  let run () exp full jobs faults query_budget cache_file cache_readonly exec_faults =
+  let run () exp full jobs faults query_budget cache_file cache_readonly exec_faults sched =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
           ( false,
             "unknown experiment (all, table1, fig7, table2, table3, table4, table5, table6, \
-             ablation-iter, ablation-llm, correctness)" )
+             ablation-iter, ablation-llm, ablation-sched, correctness)" )
     | Some which ->
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
         with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
         Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget
-          ?exec_faults ?oracle_cache:cache ();
+          ?exec_faults ?oracle_cache:cache ~sched ();
         `Ok ()
   in
   let exp =
@@ -506,7 +527,7 @@ let report_cmd =
     Term.(
       ret
         (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg
-       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg))
+       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg $ sched_arg))
 
 let trace_cmd =
   let run file expected =

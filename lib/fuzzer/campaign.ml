@@ -23,6 +23,12 @@ type result = {
   exec_restarts : int;  (** executor instances rebooted by the supervisor *)
   exec_lost : int;  (** executions lost to injected executor wedges *)
   step_budget : int;  (** per-program budget, threaded to repro minimization *)
+  first_crash_exec : int option;
+      (** execution counter at the first crash (any title) *)
+  first_crash_execs : (string * int) list;
+      (** title -> execution counter at that title's first sighting,
+          sorted by title — the per-injected-bug time-to-first-crash
+          metric of the scheduling ablation *)
 }
 
 let total_coverage res = Hashtbl.length res.coverage
@@ -57,6 +63,7 @@ type t = {
   sink : Vkernel.Machine.cov_sink;
   rng : Rng.t;
   sup : Supervisor.t;
+  sched : Schedule.t;
   spec_name : string;
   seed : int;
   budget : int;
@@ -67,6 +74,9 @@ type t = {
   (* pre-sized ring: O(1) insertion instead of Array.append's O(n) copy
      (quadratic over the campaign) *)
   corpus : Vkernel.Machine.prog array;
+  (* title -> execution counter at first sighting; the any-crash
+     first_crash_exec of the result derives as the minimum *)
+  crash_seen : (string, int) Hashtbl.t;
   mutable executions : int;
   mutable corpus_n : int;
   mutable evictions : int;
@@ -78,7 +88,7 @@ type t = {
 let executions t = t.executions
 
 let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
-    ?(supervisor = Supervisor.default) ?(engine = Compiled)
+    ?(supervisor = Supervisor.default) ?(engine = Compiled) ?(sched = Schedule.Uniform)
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : t =
   let spec_name = spec.Syzlang.Ast.spec_name in
   let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
@@ -89,6 +99,7 @@ let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max
     sink = Vkernel.Machine.new_sink machine;
     rng = Rng.make seed;
     sup = Supervisor.create supervisor;
+    sched = Schedule.create ~mode:sched ~max_corpus ~n_ops:(Array.length Mutator.all);
     spec_name;
     seed;
     budget;
@@ -96,6 +107,7 @@ let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max
     t_max_corpus = max_corpus;
     coverage = Hashtbl.create 4096;
     crashes = Hashtbl.create 8;
+    crash_seen = Hashtbl.create 8;
     corpus = Array.make max_corpus [];
     executions = 0;
     corpus_n = 0;
@@ -109,18 +121,40 @@ let step (t : t) : bool =
   if t.gen.Proggen.consumers = [] || t.executions >= t.budget then false
   else begin
     t.executions <- t.executions + 1;
+    (* (slot, op) of a scheduled mutation, for crediting its reward *)
+    let credit = ref None in
     let prog =
-      if t.corpus_n > 0 && Rng.pct t.rng 65 then
-        Proggen.mutate t.gen t.rng t.corpus.(Rng.int t.rng t.corpus_n)
+      if t.corpus_n > 0 && Rng.pct t.rng 65 then begin
+        let slot = Schedule.pick_seed t.sched t.rng ~n:t.corpus_n in
+        let op = Schedule.pick_op t.sched t.rng in
+        credit := Some (slot, op);
+        if Obs.metrics_on () then
+          Obs.Metrics.incr ("fuzz.op." ^ Mutator.name Mutator.all.(op));
+        Mutator.apply t.gen t.rng Mutator.all.(op)
+          ~partner:(fun () -> t.corpus.(Rng.int t.rng t.corpus_n))
+          t.corpus.(slot)
+      end
       else Proggen.generate t.gen t.rng ()
+    in
+    let reward ~fresh =
+      match !credit with
+      | None -> ()
+      | Some (slot, op) ->
+          Schedule.record t.sched ~slot ~op ~reward:(if fresh then 1 else 0);
+          if fresh && Obs.metrics_on () then
+            Obs.Metrics.incr ("fuzz.op." ^ Mutator.name Mutator.all.(op) ^ ".wins")
     in
     if prog <> [] then begin
       let instance = Supervisor.instance_for t.sup ~exec:t.executions in
-      if Supervisor.inject t.sup ~exec:t.executions then
+      if Supervisor.inject t.sup ~exec:t.executions then begin
         (* the executor instance wedged mid-run: the program was
            generated (the RNG advanced exactly as usual) but its results
            are lost, and the supervisor sees one more timeout *)
-        ignore (Supervisor.record t.sup ~instance ~timed_out:true ~lost:true)
+        ignore (Supervisor.record t.sup ~instance ~timed_out:true ~lost:true);
+        (* lost results reach no new coverage: the scheduler learns that
+           the pick earned nothing, exactly as on a stale execution *)
+        reward ~fresh:false
+      end
       else begin
         let res =
           match t.engine with
@@ -136,6 +170,8 @@ let step (t : t) : bool =
              ~lost:false);
         (match res.crash with
         | Some c -> (
+            if not (Hashtbl.mem t.crash_seen c.cr_title) then
+              Hashtbl.replace t.crash_seen c.cr_title t.executions;
             (* keep the shortest reproducer per title, so Repro starts
                from the easiest program *)
             match Hashtbl.find_opt t.crashes c.cr_title with
@@ -168,6 +204,7 @@ let step (t : t) : bool =
               List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) res.coverage;
               fresh
         in
+        reward ~fresh;
         if fresh then
           if t.corpus_n < t.t_max_corpus then begin
             t.corpus.(t.corpus_n) <- prog;
@@ -182,11 +219,14 @@ let step (t : t) : bool =
                fill the ring. *)
             let victim = Rng.int t.rng t.t_max_corpus in
             t.corpus.(victim) <- prog;
+            (* the slot's statistics described the displaced program *)
+            Schedule.reset_seed t.sched victim;
             t.evictions <- t.evictions + 1;
             Obs.Metrics.incr "fuzz.corpus_evictions"
           end
       end
-    end;
+    end
+    else reward ~fresh:false;
     if t.executions mod t.trace_every = 0 && Obs.tracing () then
       Obs.event
         ~attrs:(fun () ->
@@ -201,6 +241,10 @@ let step (t : t) : bool =
 
 let result (t : t) : result =
   let sup = Supervisor.stats t.sup in
+  let first_crash_execs =
+    Hashtbl.fold (fun title e acc -> (title, e) :: acc) t.crash_seen []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     executions = t.executions;
     coverage = t.coverage;
@@ -210,6 +254,12 @@ let result (t : t) : result =
     exec_restarts = sup.Supervisor.s_reboots;
     exec_lost = sup.Supervisor.s_lost;
     step_budget = t.t_step_budget;
+    first_crash_exec =
+      List.fold_left
+        (fun acc (_, e) ->
+          match acc with Some m when m <= e -> acc | _ -> Some e)
+        None first_crash_execs;
+    first_crash_execs;
   }
 
 let supervisor_stats (t : t) = Supervisor.stats t.sup
@@ -227,6 +277,7 @@ let snapshot (t : t) : Checkpoint.snapshot =
     step_budget = t.t_step_budget;
     max_corpus = t.t_max_corpus;
     supervisor = Supervisor.config t.sup;
+    sched = t.sched.Schedule.mode;
     rng_state = Rng.state t.rng;
     executions = t.executions;
     evictions = t.evictions;
@@ -235,10 +286,20 @@ let snapshot (t : t) : Checkpoint.snapshot =
     working_str = t.gen.Proggen.cur_str;
     coverage =
       List.sort compare (Hashtbl.fold (fun sid () acc -> sid :: acc) t.coverage []);
-    corpus = Array.to_list (Array.sub t.corpus 0 t.corpus_n);
+    (* per-slot scheduler statistics travel with their slot, so the
+       restored UCB scores are exactly the frozen ones *)
+    corpus =
+      List.init t.corpus_n (fun i ->
+          (t.corpus.(i), t.sched.Schedule.seed_visits.(i), t.sched.Schedule.seed_reward.(i)));
     crashes =
-      Hashtbl.fold (fun title p acc -> (title, p) :: acc) t.crashes []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+      Hashtbl.fold
+        (fun title p acc -> (title, p, Hashtbl.find t.crash_seen title) :: acc)
+        t.crashes []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
+    op_stats =
+      List.init (Array.length t.sched.Schedule.op_uses) (fun i ->
+          (t.sched.Schedule.op_uses.(i), t.sched.Schedule.op_reward.(i)));
+    sched_totals = (t.sched.Schedule.seed_total, t.sched.Schedule.op_total);
     sup_health = health;
     sup_counters = counters;
   }
@@ -257,6 +318,11 @@ let of_snapshot ?engine ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
     Error
       (Printf.sprintf "checkpoint corpus has %d entries but max_corpus is %d"
          (List.length s.corpus) s.max_corpus)
+  else if List.length s.op_stats <> Array.length Mutator.all then
+    Error
+      (Printf.sprintf
+         "checkpoint records %d mutation operators but this build has %d"
+         (List.length s.op_stats) (Array.length Mutator.all))
   else
     match
       Supervisor.restore s.supervisor ~health:s.sup_health ~counters:s.sup_counters
@@ -265,7 +331,7 @@ let of_snapshot ?engine ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
     | Ok sup ->
         let t =
           init ?engine ~seed:s.seed ~budget:s.budget ~step_budget:s.step_budget
-            ~max_corpus:s.max_corpus ~supervisor:s.supervisor ~machine spec
+            ~max_corpus:s.max_corpus ~supervisor:s.supervisor ~sched:s.sched ~machine spec
         in
         let t = { t with sup } in
         Rng.set_state t.rng s.rng_state;
@@ -273,9 +339,26 @@ let of_snapshot ?engine ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
         t.executions <- s.executions;
         t.evictions <- s.evictions;
         List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) s.coverage;
-        List.iter (fun (title, p) -> Hashtbl.replace t.crashes title p) s.crashes;
-        List.iteri (fun i p -> t.corpus.(i) <- p) s.corpus;
+        List.iter
+          (fun (title, p, seen) ->
+            Hashtbl.replace t.crashes title p;
+            Hashtbl.replace t.crash_seen title seen)
+          s.crashes;
+        List.iteri
+          (fun i (p, visits, rwd) ->
+            t.corpus.(i) <- p;
+            t.sched.Schedule.seed_visits.(i) <- visits;
+            t.sched.Schedule.seed_reward.(i) <- rwd)
+          s.corpus;
         t.corpus_n <- List.length s.corpus;
+        List.iteri
+          (fun i (uses, rwd) ->
+            t.sched.Schedule.op_uses.(i) <- uses;
+            t.sched.Schedule.op_reward.(i) <- rwd)
+          s.op_stats;
+        (let seed_total, op_total = s.sched_totals in
+         t.sched.Schedule.seed_total <- seed_total;
+         t.sched.Schedule.op_total <- op_total);
         Obs.Metrics.incr "fuzz.checkpoint_resumes";
         if Obs.tracing () then
           Obs.event
@@ -299,7 +382,14 @@ let final_metrics (t : t) =
     Obs.Metrics.observe "fuzz.corpus_hit_rate"
       (if t.executions = 0 then 0.0
        else float_of_int (t.corpus_n + t.evictions) /. float_of_int t.executions);
-    if t.corpus_n >= t.t_max_corpus then Obs.Metrics.incr "fuzz.corpus_saturated"
+    if t.corpus_n >= t.t_max_corpus then Obs.Metrics.incr "fuzz.corpus_saturated";
+    Obs.Metrics.incr ("fuzz.sched." ^ Schedule.mode_to_string t.sched.Schedule.mode);
+    Obs.Metrics.incr ~by:t.sched.Schedule.op_total "fuzz.sched.mutations";
+    (* op rewards never reset (unlike per-slot rewards, which die with
+       their evicted program), so their sum is the true novelty total *)
+    Obs.Metrics.incr
+      ~by:(Array.fold_left ( + ) 0 t.sched.Schedule.op_reward)
+      "fuzz.sched.novel_mutations"
   end
 
 let drive ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?stop_after (t : t) :
@@ -339,10 +429,10 @@ let drive ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?stop_after (t 
   loop ()
 
 (** Run a campaign of [budget] program executions. *)
-let run ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine
+let run ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine ?sched
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : result =
   let t =
-    init ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine ~machine spec
+    init ?seed ?budget ?step_budget ?max_corpus ?supervisor ?engine ?sched ~machine spec
   in
   ignore (drive t);
   result t

@@ -26,6 +26,12 @@ type result = {
       (** the per-program step budget the campaign ran with — thread it
           to {!Repro.minimize} so minimization reproduces under the same
           budget the crash was found with *)
+  first_crash_exec : int option;
+      (** execution counter at the first crash (any title) *)
+  first_crash_execs : (string * int) list;
+      (** execution counter at each title's first sighting, sorted by
+          title — the per-injected-bug time-to-first-crash metric of
+          the scheduling ablation *)
 }
 
 val total_coverage : result -> int
@@ -49,7 +55,11 @@ type engine = Compiled | Interpreted
 
 (** Build the campaign state: resolve the spec, seed the RNG, size the
     corpus ring (default 512), create the {!Supervisor} (default: 4
-    instances, wedge threshold 3, no injected faults). *)
+    instances, wedge threshold 3, no injected faults). [sched] selects
+    corpus/operator scheduling (default {!Schedule.Uniform}, the
+    historical draw-per-pick behavior; {!Schedule.Ucb} schedules by
+    UCB1 over checkpointed statistics and consumes no RNG words on
+    picks). *)
 val init :
   ?seed:int ->
   ?budget:int ->
@@ -57,6 +67,7 @@ val init :
   ?max_corpus:int ->
   ?supervisor:Supervisor.config ->
   ?engine:engine ->
+  ?sched:Schedule.mode ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   t
@@ -78,9 +89,11 @@ val supervisor_stats : t -> Supervisor.stats
     equally. *)
 val snapshot : t -> Checkpoint.snapshot
 
-(** Rebuild a campaign from a snapshot over the given machine and spec.
+(** Rebuild a campaign from a snapshot over the given machine and spec
+    (the scheduling mode is campaign state and comes from the snapshot).
     Fails descriptively when the snapshot belongs to a different spec,
-    exceeds its own budget, or carries inconsistent supervisor state. *)
+    exceeds its own budget, carries inconsistent supervisor state, or
+    records a different operator-ensemble size than this build. *)
 val of_snapshot :
   ?engine:engine ->
   machine:Vkernel.Machine.t ->
@@ -117,6 +130,7 @@ val run :
   ?max_corpus:int ->
   ?supervisor:Supervisor.config ->
   ?engine:engine ->
+  ?sched:Schedule.mode ->
   machine:Vkernel.Machine.t ->
   Syzlang.Ast.spec ->
   result

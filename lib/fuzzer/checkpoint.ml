@@ -2,7 +2,9 @@
 
 module J = Obs.Json
 
-let version = 1
+(* version 2: adaptive-scheduling state — the sched mode, per-operator
+   credit, per-slot seed statistics, totals, and the first-crash mark *)
+let version = 2
 
 let format_tag = "kernelgpt-checkpoint"
 
@@ -13,13 +15,16 @@ type snapshot = {
   step_budget : int;
   max_corpus : int;
   supervisor : Supervisor.config;
+  sched : Schedule.mode;
   rng_state : int64;
   executions : int;
   evictions : int;
   working_str : string option;
   coverage : int list;
-  corpus : Vkernel.Machine.prog list;
-  crashes : (string * Vkernel.Machine.prog) list;
+  corpus : (Vkernel.Machine.prog * int * int) list;
+  crashes : (string * Vkernel.Machine.prog * int) list;
+  op_stats : (int * int) list;
+  sched_totals : int * int;
   sup_health : int list;
   sup_counters : int * int * int * int;
 }
@@ -135,8 +140,10 @@ let save file (s : snapshot) =
          ("wedge_threshold", J.Int s.supervisor.Supervisor.wedge_threshold);
          ("exec_fault_rate", J.Int s.supervisor.Supervisor.fault_rate);
          ("exec_fault_seed", J.Int s.supervisor.Supervisor.fault_seed);
+         ("sched", J.Str (Schedule.mode_to_string s.sched));
        ]);
   let reboots, lost, injected, timeouts = s.sup_counters in
+  let seed_total, op_total = s.sched_totals in
   line
     (J.Obj
        [
@@ -150,11 +157,21 @@ let save file (s : snapshot) =
          ("injected", J.Int injected);
          ("timeouts", J.Int timeouts);
          ("health", J.List (List.map (fun h -> J.Int h) s.sup_health));
+         ("op_uses", J.List (List.map (fun (u, _) -> J.Int u) s.op_stats));
+         ("op_reward", J.List (List.map (fun (_, w) -> J.Int w) s.op_stats));
+         ("seed_total", J.Int seed_total);
+         ("op_total", J.Int op_total);
        ]);
   line (J.Obj [ ("coverage", J.List (List.map (fun sid -> J.Int sid) s.coverage)) ]);
-  List.iter (fun p -> line (J.Obj [ ("corpus", j_of_prog p) ])) s.corpus;
   List.iter
-    (fun (title, p) -> line (J.Obj [ ("crash", J.Str title); ("prog", j_of_prog p) ]))
+    (fun (p, visits, reward) ->
+      line
+        (J.Obj
+           [ ("corpus", j_of_prog p); ("visits", J.Int visits); ("reward", J.Int reward) ]))
+    s.corpus;
+  List.iter
+    (fun (title, p, seen) ->
+      line (J.Obj [ ("crash", J.Str title); ("prog", j_of_prog p); ("seen", J.Int seen) ]))
     s.crashes;
   let body = Buffer.contents buf in
   let tmp = file ^ ".tmp" in
@@ -264,11 +281,29 @@ let load file : (snapshot, string) result =
                     (fun i line ->
                       let j = parse_line (i + 5) line in
                       match (J.member "corpus" j, J.member "crash" j) with
-                      | Some p, None -> corpus := prog_of p :: !corpus
+                      | Some p, None ->
+                          corpus :=
+                            (prog_of p, int_field "visits" j, int_field "reward" j)
+                            :: !corpus
                       | None, Some (J.Str title) ->
-                          crashes := (title, prog_of (field "prog" j)) :: !crashes
+                          crashes :=
+                            (title, prog_of (field "prog" j), int_field "seen" j)
+                            :: !crashes
                       | _ -> bad "line %d: neither a corpus nor a crash record" (i + 5))
                     rest;
+                  let int_list name j =
+                    match field name j with
+                    | J.List xs ->
+                        List.map
+                          (function J.Int x -> x | _ -> bad "bad %S entry" name)
+                          xs
+                    | _ -> bad "field %S is not a list" name
+                  in
+                  let op_uses = int_list "op_uses" state
+                  and op_reward = int_list "op_reward" state in
+                  if List.length op_uses <> List.length op_reward then
+                    bad "operator statistics disagree (%d uses vs %d rewards)"
+                      (List.length op_uses) (List.length op_reward);
                   Ok
                     {
                       spec_name = str_field "spec" meta;
@@ -277,6 +312,11 @@ let load file : (snapshot, string) result =
                       step_budget = int_field "step_budget" meta;
                       max_corpus = int_field "max_corpus" meta;
                       supervisor;
+                      sched =
+                        (let s = str_field "sched" meta in
+                         match Schedule.mode_of_string s with
+                         | Some m -> m
+                         | None -> bad "unknown scheduling mode %S" s);
                       rng_state = int64_of (field "rng" state);
                       executions = int_field "executions" state;
                       evictions = int_field "evictions" state;
@@ -288,6 +328,9 @@ let load file : (snapshot, string) result =
                       coverage;
                       corpus = List.rev !corpus;
                       crashes = List.rev !crashes;
+                      op_stats = List.combine op_uses op_reward;
+                      sched_totals =
+                        (int_field "seed_total" state, int_field "op_total" state);
                       sup_health =
                         (match field "health" state with
                         | J.List hs ->

@@ -2,22 +2,29 @@
 
     A checkpoint freezes the {e complete} campaign state — splitmix64
     RNG word, execution counter, coverage set, corpus ring, crash table
-    (shortest reproducer per title), eviction count, and supervisor
-    health/accounting — so a killed run resumed from its last checkpoint
-    produces byte-identical final output to a run that was never
-    interrupted.
+    (shortest reproducer per title, with each title's first-sighting
+    execution counter), eviction count, scheduler statistics (per-slot
+    visit/reward, per-operator credit, totals, mode), and supervisor
+    health/accounting — so a
+    killed run resumed from its last checkpoint produces byte-identical
+    final output to a run that was never interrupted.
 
     {b File format} (version {!version}): JSONL via the [Obs.Json]
     emitter, one record per line —
     {v
-    {"format":"kernelgpt-checkpoint","version":1}
+    {"format":"kernelgpt-checkpoint","version":2}
     {"spec":"dm","seed":3,"budget":3000,"step_budget":50000,"max_corpus":512,
-     "instances":4,"wedge_threshold":3,"exec_fault_rate":0,"exec_fault_seed":0}
-    {"rng":"-123...","executions":1500,"evictions":0,"working_str":"vol0",
-     "reboots":0,"lost":0,"injected":0,"timeouts":0,"health":[0,0,0,0]}
+     "instances":4,"wedge_threshold":3,"exec_fault_rate":0,"exec_fault_seed":0,
+     "sched":"ucb"}
+    {"rng":"-123...","executions":1500,"evictions":0,
+     "working_str":"vol0","reboots":0,"lost":0,"injected":0,"timeouts":0,
+     "health":[0,0,0,0],"op_uses":[12,3,...],"op_reward":[2,0,...],
+     "seed_total":40,"op_total":40}
     {"coverage":[3,17,...]}            // sorted statement ids
-    {"corpus":[{"name":"ioctl","args":[...]},...]}   // one line per ring slot
-    {"crash":"kmalloc bug in ctl_ioctl","prog":[...]} // one line per title
+    {"corpus":[{"name":"ioctl","args":[...]},...],
+     "visits":4,"reward":1}            // one line per ring slot
+    {"crash":"kmalloc bug in ctl_ioctl","prog":[...],
+     "seen":812}                       // one line per title
     {"checksum":"fnv1a64:0123456789abcdef"}
     v}
     Int64 payloads (RNG word, syscall arguments) are decimal strings, so
@@ -37,6 +44,7 @@ type snapshot = {
   step_budget : int;
   max_corpus : int;
   supervisor : Supervisor.config;
+  sched : Schedule.mode;
   rng_state : int64;
   executions : int;
   evictions : int;
@@ -46,8 +54,16 @@ type snapshot = {
           program left, and its presence steers an RNG draw — resume
           diverges without it *)
   coverage : int list;  (** sorted statement ids *)
-  corpus : Vkernel.Machine.prog list;  (** ring slots 0..n-1, in order *)
-  crashes : (string * Vkernel.Machine.prog) list;  (** sorted by title *)
+  corpus : (Vkernel.Machine.prog * int * int) list;
+      (** ring slots 0..n-1 in order, each with its scheduler
+          (visits, reward) statistics *)
+  crashes : (string * Vkernel.Machine.prog * int) list;
+      (** sorted by title; the [int] is the execution counter at the
+          title's first sighting *)
+  op_stats : (int * int) list;
+      (** per mutation operator, in {!Mutator.all} index order:
+          (uses, reward) *)
+  sched_totals : int * int;  (** seed_total, op_total — monotone *)
   sup_health : int list;
   sup_counters : int * int * int * int;  (** reboots, lost, injected, timeouts *)
 }

@@ -191,9 +191,16 @@ let rec uval_of_gen (t : t) (plan : Compiled.t) (r : Rng.t) ~(depth : int)
     | Compiled.G_comp i -> uval_of_cplan t plan r ~depth plan.Compiled.comps.(i)
     | Compiled.G_union i ->
         let cp = plan.Compiled.comps.(i) in
-        let j = Rng.int r (Array.length cp.Compiled.cp_fields) in
-        let fname, fg = cp.Compiled.cp_fields.(j) in
-        U_struct (cp.Compiled.cp_name, [ (fname, uval_of_gen t plan r ~depth:(depth + 1) fg) ])
+        let n = Array.length cp.Compiled.cp_fields in
+        (* [Compiled.compile] only emits G_union for non-empty unions,
+           but a degenerate spec must degrade like the interpreted walk
+           (U_int 0, no draw) rather than raise out of the default
+           engine only *)
+        if n = 0 then U_int 0L
+        else
+          let j = Rng.int r n in
+          let fname, fg = cp.Compiled.cp_fields.(j) in
+          U_struct (cp.Compiled.cp_name, [ (fname, uval_of_gen t plan r ~depth:(depth + 1) fg) ])
     | Compiled.G_zero -> U_int 0L
 
 and uval_of_cplan (t : t) (plan : Compiled.t) (r : Rng.t) ~(depth : int)
@@ -374,73 +381,6 @@ let retype_payload (t : t) (r : Rng.t) (c_name : string) : Vkernel.Value.uval =
           | _ -> Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16))
       | None -> Vkernel.Value.U_str (Rng.fuzz_string r ~max_len:16))
 
-(** Mutate a program: regenerate one call's arguments, append a call, or
-    drop a tail call. The call-name list is kept consistent by simply
-    regenerating from the same spec when structure changes. *)
-let mutate (t : t) (r : Rng.t) (prog : Vkernel.Machine.prog) : Vkernel.Machine.prog =
-  match prog with
-  | [] -> generate t r ()
-  | _ when List.length prog > 40 ->
-      (* programs must not grow without bound: trim back to a window *)
-      List.filteri (fun i _ -> i < 30) prog
-  | _ -> (
-      match Rng.int r 5 with
-      | 4 when List.length prog > 2 ->
-          (* swap two adjacent calls: ordering bugs (suspend-then-remove) *)
-          let i = 1 + Rng.int r (List.length prog - 1) in
-          let arr = Array.of_list prog in
-          let tmp = arr.(i) in
-          arr.(i) <- arr.(i - 1);
-          arr.(i - 1) <- tmp;
-          Array.to_list arr
-      | 0 ->
-          (* append more calls *)
-          let extra = generate t r ~max_len:2 () in
-          (* re-target appended resource uses onto existing results where
-             possible: cheap heuristic — leave absolute indices, they
-             refer within the appended block after shifting *)
-          let shift = List.length prog in
-          let shifted =
-            List.map
-              (fun (c : Vkernel.Machine.call) ->
-                {
-                  c with
-                  Vkernel.Machine.c_args =
-                    List.map
-                      (function
-                        | Vkernel.Machine.P_result i -> Vkernel.Machine.P_result (i + shift)
-                        | a -> a)
-                      c.c_args;
-                })
-              extra
-          in
-          prog @ shifted
-      | 1 when List.length prog > 1 ->
-          (* drop the last call *)
-          List.filteri (fun i _ -> i < List.length prog - 1) prog
-      | 3 ->
-          (* duplicate one call in place (double-ioctl bugs) *)
-          let victim = Rng.int r (List.length prog) in
-          List.concat
-            (List.mapi (fun i c -> if i = victim then [ c; c ] else [ c ]) prog)
-      | _ ->
-          (* regenerate the payload of one call *)
-          let victim = Rng.int r (List.length prog) in
-          List.mapi
-            (fun i (c : Vkernel.Machine.call) ->
-              if i <> victim then c
-              else
-                {
-                  c with
-                  Vkernel.Machine.c_args =
-                    List.map
-                      (function
-                        | Vkernel.Machine.P_data _ ->
-                            Vkernel.Machine.P_data
-                              (retype_payload t r c.Vkernel.Machine.c_name)
-                        (* P_int args are consts/lengths from the spec:
-                           Syzkaller never mutates those *)
-                        | a -> a)
-                      c.c_args;
-                })
-            prog)
+(* Mutation itself lives in {!Mutator}: an ensemble of named operators
+   over the programs this module generates, each preserving the
+   P_result-points-backward-at-a-producer invariant. *)

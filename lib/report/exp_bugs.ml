@@ -18,7 +18,7 @@ type table4 = {
 }
 
 let fuzz_module ?(cache : (string, Vkernel.Machine.t) Hashtbl.t option) ~(budget : int)
-    ~(seeds : int) ?supervisor ?engine (name : string) (spec : Syzlang.Ast.spec) :
+    ~(seeds : int) ?supervisor ?engine ?sched (name : string) (spec : Syzlang.Ast.spec) :
     (string, unit) Hashtbl.t * Exp_resilience.exec_totals =
   let titles = Hashtbl.create 8 in
   let exec = ref Exp_resilience.exec_empty in
@@ -41,14 +41,15 @@ let fuzz_module ?(cache : (string, Vkernel.Machine.t) Hashtbl.t option) ~(budget
       in
       for s = 1 to seeds do
         let res =
-          Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ?supervisor ?engine ~machine spec
+          Fuzzer.Campaign.run ~seed:(s * 1299721) ~budget ?supervisor ?engine ?sched ~machine
+            spec
         in
         exec := Exp_resilience.exec_add !exec res;
         Hashtbl.iter (fun t _ -> Hashtbl.replace titles t ()) res.crashes
       done);
   (titles, !exec)
 
-let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine
+let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine ?sched
     (ctx : Suites.ctx) : table4 =
   let modules =
     List.sort_uniq compare (List.map (fun b -> b.Corpus.Types.bug_module) Corpus.Registry.bugs)
@@ -74,7 +75,8 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine
     Kernelgpt.Pool.map_init ~jobs
       ~label:(fun _ (tag, m, _) -> Printf.sprintf "table4:%s:%s" tag m)
       ~init:(fun () -> Hashtbl.create 8)
-      ~f:(fun cache (_, m, spec) -> fuzz_module ~cache ~budget ~seeds ?supervisor ?engine m spec)
+      ~f:(fun cache (_, m, spec) ->
+        fuzz_module ~cache ~budget ~seeds ?supervisor ?engine ?sched m spec)
       tasks
   in
   let found_with tag =

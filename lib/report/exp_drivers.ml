@@ -35,7 +35,7 @@ type task = {
   tk_budget : int;
 }
 
-let run_task ?engine (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) :
+let run_task ?engine ?sched (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task) :
     float * float * int =
   let machine =
     match Hashtbl.find_opt cache tk.tk_entry.name with
@@ -47,7 +47,7 @@ let run_task ?engine (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk : task)
   in
   let res =
     Fuzzer.Campaign.run ~seed:(tk.tk_rep * tk.tk_seed_base) ~budget:tk.tk_budget ?engine
-      ~machine tk.tk_spec
+      ?sched ~machine tk.tk_spec
   in
   ( float_of_int (Fuzzer.Campaign.module_coverage machine res tk.tk_entry.name),
     float_of_int (Hashtbl.length res.crashes),
@@ -65,7 +65,8 @@ let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float * int) list
     c_crash = mean crashes;
   }
 
-let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine (ctx : Suites.ctx) : table5 =
+let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites.ctx) :
+    table5 =
   let entries = Corpus.Registry.table5 () in
   let specs_of (e : Corpus.Types.entry) =
     [
@@ -98,7 +99,7 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine (ctx : Suites.ctx) :
     Kernelgpt.Pool.map_init ~jobs
       ~label:(fun _ tk -> Printf.sprintf "table5:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
       ~init:(fun () -> Hashtbl.create 8)
-      ~f:(run_task ?engine) (Array.of_list tasks)
+      ~f:(run_task ?engine ?sched) (Array.of_list tasks)
   in
   (* walk cells in the same order the tasks were laid out *)
   let cursor = ref 0 in

@@ -37,7 +37,7 @@ type table3 = {
   t3_exec : Exp_resilience.exec_totals;  (** executor-supervisor totals *)
 }
 
-let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine
+let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine ?sched
     (ctx : Suites.ctx) : table3 =
   let suites =
     [|
@@ -62,7 +62,7 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine
       ~init:(fun () ->
         if jobs <= 1 then ctx.Suites.machine else Vkernel.Machine.boot ctx.entries)
       ~f:(fun machine (si, rep) ->
-        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ?supervisor ?engine ~machine
+        Fuzzer.Campaign.run ~seed:(rep * 7919) ~budget ?supervisor ?engine ?sched ~machine
           (snd suites.(si)))
       tasks
   in

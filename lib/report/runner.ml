@@ -15,6 +15,8 @@ type budgets = {
   t6_budget : int;
   abl_reps : int;
   abl_budget : int;
+  absched_budget : int;
+  absched_seeds : int;
 }
 
 let budgets_of = function
@@ -23,12 +25,14 @@ let budgets_of = function
         t3_reps = 1; t3_budget = 1500; t4_budget = 6000; t4_seeds = 1;
         t5_reps = 1; t5_budget = 1200; t6_reps = 1; t6_budget = 1200;
         abl_reps = 1; abl_budget = 1200;
+        absched_budget = 4000; absched_seeds = 1;
       }
   | Full ->
       {
         t3_reps = 3; t3_budget = 12_000; t4_budget = 60_000; t4_seeds = 3;
         t5_reps = 3; t5_budget = 6000; t6_reps = 3; t6_budget = 6000;
         abl_reps = 3; abl_budget = 4000;
+        absched_budget = 20_000; absched_seeds = 3;
       }
 
 type which =
@@ -42,6 +46,7 @@ type which =
   | Table6
   | Ablation_iter
   | Ablation_llm
+  | Ablation_sched
   | Correctness
 
 let which_of_string = function
@@ -55,6 +60,7 @@ let which_of_string = function
   | "table6" -> Some Table6
   | "ablation-iter" -> Some Ablation_iter
   | "ablation-llm" -> Some Ablation_llm
+  | "ablation-sched" -> Some Ablation_sched
   | "correctness" -> Some Correctness
   | _ -> None
 
@@ -72,6 +78,7 @@ let string_of_which = function
   | Table6 -> "table6"
   | Ablation_iter -> "ablation-iter"
   | Ablation_llm -> "ablation-llm"
+  | Ablation_sched -> "ablation-sched"
   | Correctness -> "correctness"
 
 (** Regenerate the paper's artifacts. [jobs > 1] shards independent
@@ -102,12 +109,17 @@ let string_of_which = function
     engines print byte-identical tables — the knob exists so CI can
     diff them and BENCH artifacts can compare their throughput.
 
+    [sched] picks the corpus/operator scheduling mode for every fuzzing
+    table ({!Fuzzer.Schedule.mode}; default [Uniform]). The scheduling
+    ablation ([Ablation_sched]) always runs both modes side by side,
+    regardless of this knob.
+
     [bench] collects per-phase wall clocks and execution counts into a
     {!Bench_json} artifact. Collection never touches stdout, so runs
     with and without a collector print identical tables; writing the
     file is the caller's job. *)
 let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults
-    ?oracle_cache ?engine ?bench () =
+    ?oracle_cache ?engine ?sched ?bench () =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -163,7 +175,7 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
     let t3 =
       timed "table3" (fun t -> t.Exp_fuzz.t3_exec.Exp_resilience.e_execs) @@ fun () ->
       Exp_fuzz.table3 ~reps:b.t3_reps ~budget:b.t3_budget ~jobs ?supervisor:exec_faults
-        ?engine ctx
+        ?engine ?sched ctx
     in
     exec_totals := Exp_resilience.exec_sum !exec_totals t3.Exp_fuzz.t3_exec;
     Exp_fuzz.print_table3 t3
@@ -172,7 +184,7 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
     let t4 =
       timed "table4" (fun t -> t.Exp_bugs.t4_exec.Exp_resilience.e_execs) @@ fun () ->
       Exp_bugs.table4 ~budget:b.t4_budget ~seeds:b.t4_seeds ~jobs ?supervisor:exec_faults
-        ?engine ctx
+        ?engine ?sched ctx
     in
     exec_totals := Exp_resilience.exec_sum !exec_totals t4.Exp_bugs.t4_exec;
     Exp_bugs.print_table4 t4
@@ -180,11 +192,11 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
   if wants which Table5 then
     Exp_drivers.print_table5
       (timed "table5" (fun t -> t.Exp_drivers.t5_execs) @@ fun () ->
-       Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ?engine ctx);
+       Exp_drivers.table5 ~reps:b.t5_reps ~budget:b.t5_budget ~jobs ?engine ?sched ctx);
   if wants which Table6 then
     Exp_sockets.print_table6
       (timed "table6" (fun t -> t.Exp_sockets.t6_execs) @@ fun () ->
-       Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ?engine ctx);
+       Exp_sockets.table6 ~reps:b.t6_reps ~budget:b.t6_budget ~jobs ?engine ?sched ctx);
   let abl_execs (a : Exp_ablation.ablation) =
     List.fold_left
       (fun acc (v : Exp_ablation.variant_result) -> acc + v.v_execs)
@@ -205,6 +217,11 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
       if which = Ablation_iter then Exp_ablation.print_rows "Ablation 1" a.iter_rows
       else Exp_ablation.print_rows "Ablation 2" a.llm_rows
   | _ -> ());
+  if wants which Ablation_sched then
+    Exp_ablation.print_sched
+      (timed "ablation-sched" (fun a -> a.Exp_ablation.sa_execs) @@ fun () ->
+       Exp_ablation.run_sched ~budget:b.absched_budget ~seeds:b.absched_seeds ~jobs ?engine
+         ctx);
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
   if exec_faults <> None then Exp_resilience.print_exec !exec_totals;
   (match bench with

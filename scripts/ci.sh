@@ -319,4 +319,74 @@ for spec in "bench_c1 compiled" "bench_c4 compiled" "bench_i1 interpreted" "benc
 done
 echo "OK: all four table4 BENCH artifacts are well-formed with non-zero execs/sec"
 
+echo "== UCB scheduling: stop/resume, shard independence, sched pinning =="
+# The UCB scheduler's state (per-slot visit/reward counters, operator
+# credit) lives in the checkpoint, so a stopped --sched ucb campaign
+# must resume byte-identical to an uninterrupted one; and because picks
+# are a pure function of the checkpointed counters (zero RNG draws),
+# the report must not depend on --jobs either.
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --sched ucb 2>/dev/null | normalize_time > "$tmp/fuzz_ucb_full.out"
+if diff -q "$tmp/fuzz_full.out" "$tmp/fuzz_ucb_full.out" >/dev/null; then
+  echo "FAIL: --sched ucb output is identical to uniform (scheduler not wired in?)" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --sched ucb --checkpoint "$tmp/ck_ucb.jsonl" --stop-after 1400 2>/dev/null >/dev/null
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+  --sched ucb --checkpoint "$tmp/ck_ucb.jsonl" --resume 2>/dev/null \
+  | normalize_time > "$tmp/fuzz_ucb_res.out"
+if ! diff -u "$tmp/fuzz_ucb_full.out" "$tmp/fuzz_ucb_res.out"; then
+  echo "FAIL: resumed --sched ucb campaign differs from the uninterrupted run" >&2
+  exit 1
+fi
+if dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 --repro \
+     --checkpoint "$tmp/ck_ucb.jsonl" --resume >/dev/null 2>"$tmp/sched_mismatch.err"; then
+  echo "FAIL: a uniform resume accepted a --sched ucb checkpoint" >&2
+  exit 1
+fi
+if ! grep -q 'checkpoint was taken with --sched ucb' "$tmp/sched_mismatch.err"; then
+  echo "FAIL: sched-mismatch error is not descriptive:" >&2
+  cat "$tmp/sched_mismatch.err" >&2
+  exit 1
+fi
+dune exec --no-build bench/main.exe -- --exp table4 --sched ucb --jobs 1 \
+  --bench-out "$tmp/bench_u1.json" 2>/dev/null | filter > "$tmp/t4_u1.out"
+dune exec --no-build bench/main.exe -- --exp table4 --sched ucb --jobs 4 \
+  --bench-out "$tmp/bench_u4.json" 2>/dev/null | filter > "$tmp/t4_u4.out"
+if ! diff -u "$tmp/t4_u1.out" "$tmp/t4_u4.out"; then
+  echo "FAIL: table4 --sched ucb stdout depends on --jobs" >&2
+  exit 1
+fi
+echo "OK: --sched ucb stop/resume matches, rejects uniform resume, jobs 1/4 identical"
+
+echo "== checkpoint version skew: descriptive rejection =="
+# A checkpoint from an older format (version 1: no scheduler state)
+# must be refused with an error that names both versions — never
+# misread as corruption or silently half-loaded.
+python3 - "$tmp/ck_ucb.jsonl" "$tmp/ck_v1.jsonl" <<'EOF'
+import sys
+# program payloads can hold raw non-UTF-8 bytes, so stay binary throughout
+lines = [l for l in open(sys.argv[1], "rb").read().split(b"\n") if l]
+body_lines = lines[:-1]  # drop the checksum record
+assert b'"version":2' in body_lines[0], b"unexpected header: " + body_lines[0]
+body_lines[0] = body_lines[0].replace(b'"version":2', b'"version":1')
+body = b"\n".join(body_lines) + b"\n"
+h = 0xcbf29ce484222325
+for c in body:
+    h = ((h ^ c) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+open(sys.argv[2], "wb").write(body + b'{"checksum":"fnv1a64:%016x"}\n' % h)
+EOF
+if dune exec --no-build bin/kernelgpt_cli.exe -- fuzz dm --budget 3000 --seed 3 \
+     --checkpoint "$tmp/ck_v1.jsonl" --resume >/dev/null 2>"$tmp/skew.err"; then
+  echo "FAIL: --resume accepted a version-1 checkpoint" >&2
+  exit 1
+fi
+if ! grep -q 'unsupported checkpoint version 1 (this build reads version 2)' "$tmp/skew.err"; then
+  echo "FAIL: version-skew error is not descriptive:" >&2
+  cat "$tmp/skew.err" >&2
+  exit 1
+fi
+echo "OK: a version-1 checkpoint is rejected naming both versions"
+
 echo "== CI green =="

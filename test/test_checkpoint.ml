@@ -172,8 +172,8 @@ let test_wrong_version_rejected () =
       let body_lines = List.filteri (fun i _ -> i < List.length lines - 2) lines in
       let header = List.hd body_lines in
       let header' =
-        (* textual "version":1 → "version":99 in the header line *)
-        let needle = "\"version\":1" in
+        (* textual "version":2 → "version":99 in the header line *)
+        let needle = "\"version\":2" in
         let i =
           let rec find i =
             if String.sub header i (String.length needle) = needle then i else find (i + 1)

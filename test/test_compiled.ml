@@ -64,8 +64,8 @@ let qcheck_mutate_differential =
       let pi = ref (Fuzzer.Proggen.generate ti ri ()) in
       let ok = ref (!pc = !pi) in
       for _ = 1 to 30 do
-        pc := Fuzzer.Proggen.mutate tc rc !pc;
-        pi := Fuzzer.Proggen.mutate ti ri !pi;
+        pc := Fuzzer.Mutator.mutate tc rc !pc;
+        pi := Fuzzer.Mutator.mutate ti ri !pi;
         if !pc <> !pi then ok := false
       done;
       !ok && Fuzzer.Rng.next_int64 rc = Fuzzer.Rng.next_int64 ri)

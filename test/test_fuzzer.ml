@@ -104,9 +104,249 @@ let test_mutation_preserves_wellformedness () =
   let r = Fuzzer.Rng.make 8 in
   let prog = ref (Fuzzer.Proggen.generate t r ()) in
   for _ = 1 to 300 do
-    prog := Fuzzer.Proggen.mutate t r !prog;
+    prog := Fuzzer.Mutator.mutate t r !prog;
     Alcotest.(check bool) "non-empty after mutation" true (!prog <> [])
   done
+
+(* ------------------------------------------------------------------ *)
+(* Mutation-operator ensemble                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* the ensemble's contract: every [P_result] points strictly backward at
+   a call that can produce a resource (its spec entry carries
+   [ret = Some _]) *)
+let dependency_invariant ~producer_names (prog : Vkernel.Machine.prog) : bool =
+  let arr = Array.of_list prog in
+  let ok = ref true in
+  Array.iteri
+    (fun i (c : Vkernel.Machine.call) ->
+      List.iter
+        (function
+          | Vkernel.Machine.P_result j ->
+              if
+                not
+                  (j >= 0 && j < i
+                  && List.mem arr.(j).Vkernel.Machine.c_name producer_names)
+              then ok := false
+          | _ -> ())
+        c.Vkernel.Machine.c_args)
+    arr;
+  !ok
+
+let qcheck_mutation_dependency_invariant =
+  let _, spec = Lazy.force dm_ctx in
+  let producer_names =
+    List.filter_map
+      (fun (c : Syzlang.Ast.syscall) ->
+        match c.Syzlang.Ast.ret with Some _ -> Some c.Syzlang.Ast.call_name | None -> None)
+      spec.Syzlang.Ast.syscalls
+  in
+  QCheck.Test.make
+    ~name:"mutation chains keep P_result at a backward producer (both engines)" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun compiled ->
+          let t = Fuzzer.Proggen.prepare ~compiled spec in
+          let r = Fuzzer.Rng.make seed in
+          let partner = Fuzzer.Proggen.generate t r () in
+          let prog = ref (Fuzzer.Proggen.generate t r ()) in
+          let ok =
+            ref
+              (dependency_invariant ~producer_names partner
+              && dependency_invariant ~producer_names !prog)
+          in
+          let n_ops = Array.length Fuzzer.Mutator.all in
+          (* round-robin over the ensemble so every operator — splice and
+             insert-dependent included — is exercised on every run *)
+          for i = 0 to (4 * n_ops) - 1 do
+            let op = Fuzzer.Mutator.all.(i mod n_ops) in
+            prog := Fuzzer.Mutator.apply t r op ~partner:(fun () -> partner) !prog;
+            if not (dependency_invariant ~producer_names !prog) then ok := false
+          done;
+          !ok)
+        [ true; false ])
+
+let mk name args = { Vkernel.Machine.c_name = name; c_args = args }
+
+(* (consumer name, referent name) for every P_result in the program;
+   dangling references surface as "!dangling" *)
+let referent_names (prog : Vkernel.Machine.prog) : (string * string) list =
+  let arr = Array.of_list prog in
+  List.concat
+    (List.mapi
+       (fun i (c : Vkernel.Machine.call) ->
+         List.filter_map
+           (function
+             | Vkernel.Machine.P_result j ->
+                 Some
+                   ( c.Vkernel.Machine.c_name,
+                     if j >= 0 && j < i then arr.(j).Vkernel.Machine.c_name
+                     else "!dangling" )
+             | _ -> None)
+           c.Vkernel.Machine.c_args)
+       prog)
+
+let test_duplicate_shifts_refs () =
+  (* duplicating the first call inserts at index 1, so the refs in the
+     calls after it must shift by one; the historical operator left them
+     pointing one call too early (n2's ref would land on n0) *)
+  let prog =
+    [
+      mk "n0" [];
+      mk "n1" [ Vkernel.Machine.P_result 0 ];
+      mk "n2" [ Vkernel.Machine.P_result 1 ];
+    ]
+  in
+  for seed = 0 to 49 do
+    let out = Fuzzer.Mutator.duplicate_call (Fuzzer.Rng.make seed) prog in
+    Alcotest.(check int) "one call longer" 4 (List.length out);
+    List.iter
+      (fun (consumer, referent) ->
+        let expected =
+          match consumer with
+          | "n1" -> "n0"
+          | "n2" -> "n1"
+          | c -> Alcotest.fail ("unexpected consumer " ^ c)
+        in
+        Alcotest.(check string) (consumer ^ " still points at its producer") expected referent)
+      (referent_names out)
+  done
+
+let test_swap_refuses_dependent () =
+  (* swapping would move the producer after its consumer: the operator
+     must refuse, and the refusal must consume exactly the index draw so
+     the RNG stream is identical whether or not the swap lands *)
+  let prog = [ mk "p" []; mk "c" [ Vkernel.Machine.P_result 0 ] ] in
+  for seed = 0 to 19 do
+    let r = Fuzzer.Rng.make seed in
+    let out = Fuzzer.Mutator.swap_adjacent r prog in
+    Alcotest.(check bool) "refused: program unchanged" true (out = prog);
+    let ctrl = Fuzzer.Rng.make seed in
+    ignore (Fuzzer.Rng.int ctrl 1);
+    Alcotest.(check int64) "exactly one draw consumed" (Fuzzer.Rng.next_int64 ctrl)
+      (Fuzzer.Rng.next_int64 r)
+  done
+
+let test_swap_remaps_later_refs () =
+  (* an accepted swap of calls 0/1 must remap later references so they
+     follow the call that moved; the other candidate (swapping 1/2) is
+     refused because c consumes b's result *)
+  let prog = [ mk "a" []; mk "b" []; mk "c" [ Vkernel.Machine.P_result 1 ] ] in
+  for seed = 0 to 49 do
+    let out = Fuzzer.Mutator.swap_adjacent (Fuzzer.Rng.make seed) prog in
+    Alcotest.(check int) "length preserved" 3 (List.length out);
+    List.iter
+      (fun (_, referent) -> Alcotest.(check string) "c still points at b" "b" referent)
+      (referent_names out)
+  done
+
+let test_empty_union_degrades () =
+  (* a degenerate spec with a fieldless union must degrade to a zero
+     value — identically, and without a draw — on both engines, instead
+     of raising out of the compiled path only *)
+  let open Syzlang.Ast in
+  let spec =
+    {
+      (empty_spec "t") with
+      types = [ { comp_name = "u"; comp_kind = Union; comp_fields = [] } ];
+      syscalls =
+        [
+          {
+            call_name = "ioctl";
+            variant = Some "X";
+            args =
+              [
+                { fname = "cmd"; ftyp = Const (const_of_value 1L, I32) };
+                { fname = "arg"; ftyp = Ptr (In, Union_ref "u") };
+              ];
+            ret = None;
+          };
+        ];
+    }
+  in
+  let ti = Fuzzer.Proggen.prepare ~compiled:false spec in
+  let r = Fuzzer.Rng.make 7 in
+  Alcotest.(check bool) "degrades to zero" true
+    (Fuzzer.Proggen.uval_of_typ ti r ~depth:0 (Union_ref "u") = Vkernel.Value.U_int 0L);
+  Alcotest.(check int64) "no draw consumed"
+    (Fuzzer.Rng.next_int64 (Fuzzer.Rng.make 7))
+    (Fuzzer.Rng.next_int64 r);
+  let runs =
+    List.map
+      (fun compiled ->
+        let t = Fuzzer.Proggen.prepare ~compiled spec in
+        let r = Fuzzer.Rng.make 3 in
+        let ps = List.init 20 (fun _ -> Fuzzer.Proggen.generate t r ()) in
+        (ps, Fuzzer.Rng.next_int64 r))
+      [ true; false ]
+  in
+  match runs with
+  | [ (pc, wc); (pi, wi) ] ->
+      Alcotest.(check bool) "engines generate identically" true (pc = pi);
+      Alcotest.(check int64) "RNG streams in lockstep" wc wi
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ucb_unvisited_first_then_argmax () =
+  let s = Fuzzer.Schedule.create ~mode:Fuzzer.Schedule.Ucb ~max_corpus:4 ~n_ops:3 in
+  let r = Fuzzer.Rng.make 1 in
+  (* unvisited slots are scheduled first, in index order, without
+     touching the RNG *)
+  for expect = 0 to 3 do
+    let slot = Fuzzer.Schedule.pick_seed s r ~n:4 in
+    Alcotest.(check int) "unvisited in index order" expect slot;
+    Fuzzer.Schedule.record s ~slot ~op:0 ~reward:0
+  done;
+  (* equalize the visit counts so the exploration bonus cancels, then
+     reward one slot: the argmax must move there *)
+  for _ = 1 to 9 do
+    for slot = 0 to 3 do
+      Fuzzer.Schedule.record s ~slot ~op:0 ~reward:0
+    done
+  done;
+  Fuzzer.Schedule.record s ~slot:2 ~op:1 ~reward:1;
+  Alcotest.(check int) "argmax follows reward" 2 (Fuzzer.Schedule.pick_seed s r ~n:4);
+  Alcotest.(check int64) "ucb picks consume no RNG words"
+    (Fuzzer.Rng.next_int64 (Fuzzer.Rng.make 1))
+    (Fuzzer.Rng.next_int64 r)
+
+let test_campaign_ucb_deterministic () =
+  let machine, spec = Lazy.force dm_ctx in
+  let run () =
+    let res =
+      Fuzzer.Campaign.run ~seed:5 ~budget:800 ~sched:Fuzzer.Schedule.Ucb ~machine spec
+    in
+    (Fuzzer.Campaign.total_coverage res, Fuzzer.Campaign.crash_titles res)
+  in
+  let c1, t1 = run () and c2, t2 = run () in
+  Alcotest.(check int) "ucb coverage deterministic" c1 c2;
+  Alcotest.(check (list string)) "ucb crashes deterministic" t1 t2
+
+let test_first_crash_exec_recorded () =
+  let machine, spec = Lazy.force dm_ctx in
+  let res = Fuzzer.Campaign.run ~seed:1 ~budget:4000 ~machine spec in
+  (* one first-sighting mark per crash title, all within budget, and
+     the any-crash mark is their minimum *)
+  Alcotest.(check (list string))
+    "one mark per title"
+    (Fuzzer.Campaign.crash_titles res)
+    (List.map fst res.Fuzzer.Campaign.first_crash_execs);
+  List.iter
+    (fun (_, e) ->
+      Alcotest.(check bool) "within budget" true (e >= 1 && e <= res.executions))
+    res.Fuzzer.Campaign.first_crash_execs;
+  match (res.Fuzzer.Campaign.first_crash_execs, res.Fuzzer.Campaign.first_crash_exec) with
+  | [], None -> ()
+  | [], Some _ -> Alcotest.fail "first_crash_exec set without a crash"
+  | marks, Some e ->
+      Alcotest.(check int) "any-crash mark is the minimum"
+        (List.fold_left (fun acc (_, x) -> min acc x) max_int marks)
+        e
+  | _ :: _, None -> Alcotest.fail "crash found but first_crash_exec unset"
 
 let test_campaign_deterministic () =
   let machine, spec = Lazy.force dm_ctx in
@@ -218,6 +458,20 @@ let () =
           t "flags from sets" test_flags_use_set_values;
           t "mutation well-formed" test_mutation_preserves_wellformedness;
           QCheck_alcotest.to_alcotest qcheck_uval_depth_bounded;
+        ] );
+      ( "mutator",
+        [
+          t "duplicate shifts refs" test_duplicate_shifts_refs;
+          t "swap refuses dependent" test_swap_refuses_dependent;
+          t "swap remaps later refs" test_swap_remaps_later_refs;
+          t "empty union degrades" test_empty_union_degrades;
+          QCheck_alcotest.to_alcotest qcheck_mutation_dependency_invariant;
+        ] );
+      ( "schedule",
+        [
+          t "ucb unvisited then argmax" test_ucb_unvisited_first_then_argmax;
+          t "ucb campaign deterministic" test_campaign_ucb_deterministic;
+          t "first crash exec recorded" test_first_crash_exec_recorded;
         ] );
       ( "campaign",
         [
