@@ -49,7 +49,17 @@ let drivers () = List.filter (fun (e : Types.entry) -> e.kind = Types.Driver) (L
 
 let sockets () = List.filter (fun (e : Types.entry) -> e.kind = Types.Socket) (Lazy.force all)
 
-let find name = List.find_opt (fun (e : Types.entry) -> e.name = name) (Lazy.force all)
+(** Off-population extras: modules that exist for the executor's
+    engine-differential stress tests. Deliberately NOT part of {!all}
+    (or any population/table selector): the §5.1 population counts and
+    every seeded campaign schedule stay byte-identical to a tree
+    without them. Reachable only by name through {!find}. *)
+let extras : Types.entry list = [ Drv_stress.entry ]
+
+let find name =
+  match List.find_opt (fun (e : Types.entry) -> e.name = name) (Lazy.force all) with
+  | Some e -> Some e
+  | None -> List.find_opt (fun (e : Types.entry) -> e.name = name) extras
 
 let find_exn name =
   match find name with

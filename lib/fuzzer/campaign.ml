@@ -70,6 +70,11 @@ type t = {
   t_step_budget : int;
   t_max_corpus : int;
   coverage : (int, unit) Hashtbl.t;
+  (* bitmap over statement ids mirroring [coverage]: the per-execution
+     fresh-sid check is a bit test instead of a hashtable probe (the
+     merge loop runs per covered statement per execution, and almost
+     every sid is already seen once coverage plateaus) *)
+  cov_bits : Bytes.t;
   crashes : (string, Vkernel.Machine.prog) Hashtbl.t;
   (* pre-sized ring: O(1) insertion instead of Array.append's O(n) copy
      (quadratic over the campaign) *)
@@ -87,11 +92,28 @@ type t = {
 
 let executions t = t.executions
 
+(** Record one covered sid; true when it is new to the campaign. The
+    bitmap answers the (overwhelmingly common) already-seen case without
+    touching the hashtable, which only grows on first sightings. *)
+let cover_sid (t : t) (sid : int) : bool =
+  let byte = sid lsr 3 and bit = 1 lsl (sid land 7) in
+  let b = Char.code (Bytes.unsafe_get t.cov_bits byte) in
+  if b land bit <> 0 then false
+  else begin
+    Bytes.unsafe_set t.cov_bits byte (Char.unsafe_chr (b lor bit));
+    Hashtbl.replace t.coverage sid ();
+    true
+  end
+
 let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max_corpus)
     ?(supervisor = Supervisor.default) ?(engine = Compiled) ?(sched = Schedule.Uniform)
     ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec) : t =
   let spec_name = spec.Syzlang.Ast.spec_name in
   let spec = Syzlang.Validate.resolve_spec ~kernel:machine.Vkernel.Machine.index spec in
+  (* pay the whole-index compilation before the first execution, not
+     inside it: keeps the first measured exec honest and the lazy cell
+     out of the hot path's first touch *)
+  if engine = Compiled then ignore (Lazy.force machine.Vkernel.Machine.jit);
   {
     machine;
     gen = Proggen.prepare ~compiled:(engine = Compiled) spec;
@@ -106,6 +128,7 @@ let init ?(seed = 1) ?(budget = 2000) ?(step_budget = 50_000) ?(max_corpus = max
     t_step_budget = step_budget;
     t_max_corpus = max_corpus;
     coverage = Hashtbl.create 4096;
+    cov_bits = Bytes.make ((machine.Vkernel.Machine.n_sids lsr 3) + 1) '\000';
     crashes = Hashtbl.create 8;
     crash_seen = Hashtbl.create 8;
     corpus = Array.make max_corpus [];
@@ -189,20 +212,14 @@ let step (t : t) : bool =
               let sk = t.sink in
               let fresh = ref false in
               for i = 0 to sk.Vkernel.Machine.cs_n - 1 do
-                let sid = sk.Vkernel.Machine.cs_buf.(i) in
-                if not (Hashtbl.mem t.coverage sid) then begin
-                  fresh := true;
-                  Hashtbl.replace t.coverage sid ()
-                end
+                if cover_sid t sk.Vkernel.Machine.cs_buf.(i) then fresh := true
               done;
               Vkernel.Machine.sink_reset sk;
               !fresh
           | Interpreted ->
-              let fresh =
-                List.exists (fun sid -> not (Hashtbl.mem t.coverage sid)) res.coverage
-              in
-              List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) res.coverage;
-              fresh
+              List.fold_left
+                (fun fresh sid -> cover_sid t sid || fresh)
+                false res.coverage
         in
         reward ~fresh;
         if fresh then
@@ -338,7 +355,7 @@ let of_snapshot ?engine ~(machine : Vkernel.Machine.t) (spec : Syzlang.Ast.spec)
         t.gen.Proggen.cur_str <- s.working_str;
         t.executions <- s.executions;
         t.evictions <- s.evictions;
-        List.iter (fun sid -> Hashtbl.replace t.coverage sid ()) s.coverage;
+        List.iter (fun sid -> ignore (cover_sid t sid)) s.coverage;
         List.iter
           (fun (title, p, seen) ->
             Hashtbl.replace t.crashes title p;

@@ -17,7 +17,15 @@ let next_int64 r =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform int in [0, n). *)
+(** Uniform int in [0, n).
+
+    The [0x7fffffffffffffL] mask (2^55 - 1) is load-bearing: it keeps
+    the dividend non-negative (so [Int64.rem] returns a value in
+    [0, n)) while staying well inside OCaml's 63-bit native [int], and
+    every seeded campaign stream — checkpoints, golden outputs, the
+    engine-differential suite — is derived from draws reduced through
+    it. Changing the mask width silently reseeds the whole corpus;
+    see the golden-value tests in [test/test_fuzzer.ml]. *)
 let int r n =
   if n <= 0 then 0
   else Int64.to_int (Int64.rem (Int64.logand (next_int64 r) 0x7fffffffffffffL) (Int64.of_int n))

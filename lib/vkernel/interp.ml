@@ -23,8 +23,13 @@ exception Exec_timeout
 
 type state = {
   index : Csrc.Index.t;
-  globals : (string, value) Hashtbl.t;
+  globals : value Stbl.t;
   coverage : (int, unit) Hashtbl.t;
+  layouts : layout Stbl.t;
+      (** memoized composite layout plans for {!typed_obj}: the field
+          walk, type classification and composite lookup happen once per
+          struct name, not once per instantiation. Owned by the machine
+          and shared across the per-execution states it creates. *)
   mutable tracked_objs : obj list;  (** explicit allocations, for leak scan *)
   mutable next_oid : int;
   mutable steps : int;
@@ -40,7 +45,16 @@ type state = {
           so hot loops allocate nothing per statement *)
 }
 
-let create ~(index : Csrc.Index.t) ?(step_budget = 200_000) ?on_cover () =
+(** One composite field in a layout plan: either a shared immutable zero
+    (scalars, char arrays — values are never mutated in place, so one
+    static value serves every instantiation) or a filler that must
+    allocate fresh objects (nested composites, non-char arrays). *)
+and filler = F_const of value | F_fill of (state -> string -> value)
+
+and layout = (string * int * filler) array
+(** field name, its precomputed {!Value.Stbl.hash}, and how to fill it *)
+
+let create ~(index : Csrc.Index.t) ?layouts ?(step_budget = 200_000) ?on_cover () =
   (* When the caller supplies its own coverage hook the per-state table
      is never consulted, so it stays tiny: sizing it for a full run
      would charge every sink-driven execution ~1k words for nothing. *)
@@ -50,8 +64,9 @@ let create ~(index : Csrc.Index.t) ?(step_budget = 200_000) ?on_cover () =
   let st =
     {
       index;
-      globals = Hashtbl.create 64;
+      globals = Stbl.create 64;
       coverage;
+      layouts = (match layouts with Some l -> l | None -> Stbl.create 16);
       tracked_objs = [];
       next_oid = 1;
       steps = 0;
@@ -74,18 +89,18 @@ let new_obj st ~fn ~tracked slots =
   o
 
 let fields_obj st ~fn ?(tracked = false) () =
-  new_obj st ~fn ~tracked (Fields (Hashtbl.create 8))
+  new_obj st ~fn ~tracked (Fields (Stbl.create 8))
 
 (* ------------------------------------------------------------------ *)
 (* Typed object construction                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rec is_char_type (st : state) (ty : Csrc.Ast.ctype) =
+let rec is_char_type (index : Csrc.Index.t) (ty : Csrc.Ast.ctype) =
   match ty with
   | Csrc.Ast.Int { width = 8; _ } -> true
   | Csrc.Ast.Named n -> (
-      match Csrc.Index.find_typedef st.index n with
-      | Some t -> is_char_type st t
+      match Csrc.Index.find_typedef index n with
+      | Some t -> is_char_type index t
       | None -> n = "u8" || n = "__u8" || n = "s8" || n = "__s8")
   | _ -> false
 
@@ -95,22 +110,65 @@ let rec zero_value st ~fn (ty : Csrc.Ast.ctype) : value =
   | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
   | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
       Int 0L
-  | Csrc.Ast.Array (elem, _) when is_char_type st elem -> Str ""
+  | Csrc.Ast.Array (elem, _) when is_char_type st.index elem -> Str ""
   | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 ->
       let cells = Array.init n (fun _ -> zero_value st ~fn elem) in
       Ptr (new_obj st ~fn ~tracked:false (Cells cells))
   | Csrc.Ast.Array (_, _) -> Ptr (new_obj st ~fn ~tracked:false (Cells [||]))
   | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name -> Ptr (typed_obj st ~fn name)
 
-(** Object for a struct/union type, fields initialized per the layout. *)
+(** Classify a field type once: fields whose zero is an immutable
+    scalar share one static value across every instantiation; the rest
+    compile to a filler that allocates per instantiation in the same
+    order {!zero_value} would. *)
+and filler_of (index : Csrc.Index.t) (ty : Csrc.Ast.ctype) : filler =
+  match ty with
+  | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
+  | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
+      F_const (Int 0L)
+  | Csrc.Ast.Array (elem, _) when is_char_type index elem -> F_const (Str "")
+  | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 -> (
+      match filler_of index elem with
+      | F_const z ->
+          (* immutable zeros: one shared element value, no per-element
+             closure calls (memset, not a field-by-field walk) *)
+          F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells (Array.make n z))))
+      | F_fill f -> F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> f st fn))))))
+  | Csrc.Ast.Array (_, _) ->
+      F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells [||])))
+  | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name ->
+      F_fill (fun st fn -> Ptr (typed_obj st ~fn name))
+
+(** Object for a struct/union type, fields initialized per the layout.
+    The layout plan (field list, type classification, composite lookup)
+    is computed once per struct name and memoized in [st.layouts]. *)
 and typed_obj st ~fn (comp_name : string) : obj =
-  let tbl = Hashtbl.create 8 in
-  (match Csrc.Index.find_composite st.index comp_name with
-  | Some cd ->
-      List.iter
-        (fun f -> Hashtbl.replace tbl f.Csrc.Ast.field_name (zero_value st ~fn f.Csrc.Ast.field_type))
-        cd.fields
-  | None -> ());
+  let layout =
+    match Stbl.find_opt st.layouts comp_name with
+    | Some l -> l
+    | None ->
+        let l =
+          match Csrc.Index.find_composite st.index comp_name with
+          | Some cd ->
+              Array.of_list
+                (List.map
+                   (fun f ->
+                     let fname = f.Csrc.Ast.field_name in
+                     (fname, Stbl.hash fname, filler_of st.index f.Csrc.Ast.field_type))
+                   cd.fields)
+          | None -> [||]
+        in
+        Stbl.replace st.layouts comp_name l;
+        l
+  in
+  (* sized to the layout: most corpus structs have a handful of fields,
+     so the bucket array stays at the 4-bucket floor instead of 8 *)
+  let tbl = Stbl.create (Array.length layout) in
+  Array.iter
+    (fun (fname, fh, filler) ->
+      Stbl.replace_h tbl fh fname
+        (match filler with F_const v -> v | F_fill f -> f st fn))
+    layout;
   new_obj st ~fn ~tracked:false (Fields tbl)
 
 (* ------------------------------------------------------------------ *)
@@ -125,18 +183,28 @@ let obj_fields ~fn o =
   | Fields tbl -> tbl
   | Opaque ->
       (* promote a raw allocation on first structured access *)
-      let tbl = Hashtbl.create 8 in
+      let tbl = Stbl.create 8 in
       o.data <- Fields tbl;
       tbl
   | Cells _ -> raise (Exec_error "field access on array object")
 
 let get_field ~fn o name =
   let tbl = obj_fields ~fn o in
-  match Hashtbl.find_opt tbl name with Some v -> v | None -> Int 0L
+  match Stbl.find_opt tbl name with Some v -> v | None -> Int 0L
 
 let set_field ~fn o name v =
   let tbl = obj_fields ~fn o in
-  Hashtbl.replace tbl name v
+  Stbl.replace tbl name v
+
+(* Precomputed-hash mirrors for the jit, which knows every field name
+   at compile time. [h] must be [Stbl.hash name]. *)
+let get_field_h ~fn o h name =
+  let tbl = obj_fields ~fn o in
+  match Stbl.find_opt_h tbl h name with Some v -> v | None -> Int 0L
+
+let set_field_h ~fn o h name v =
+  let tbl = obj_fields ~fn o in
+  Stbl.replace_h tbl h name v
 
 (* ------------------------------------------------------------------ *)
 (* Userspace data materialization                                      *)
@@ -169,7 +237,7 @@ let materialize_into st ~fn (dst : obj) (uv : uval) : unit =
 (* Environment                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type env = { st : state; locals : (string, value) Hashtbl.t; fn : string }
+type env = { st : state; locals : value Stbl.t; fn : string }
 
 type lvalue =
   | L_local of string
@@ -177,23 +245,25 @@ type lvalue =
   | L_field of obj * string
   | L_cell of obj * int
 
-let step env =
-  env.st.steps <- env.st.steps + 1;
-  if env.st.steps > env.st.step_budget then raise Exec_timeout
+let step_state (st : state) =
+  st.steps <- st.steps + 1;
+  if st.steps > st.step_budget then raise Exec_timeout
+
+let step env = step_state env.st
 
 let cover env (s : Csrc.Ast.stmt) = env.st.on_cover s.Csrc.Ast.sid
 
 (* Globals initialize lazily on first touch: a whole-kernel boot carries
    a thousand module globals, of which any one program touches a handful. *)
 let rec get_global (st : state) (name : string) : value option =
-  match Hashtbl.find_opt st.globals name with
+  match Stbl.find_opt st.globals name with
   | Some v -> Some v
   | None -> (
       match Csrc.Index.find_global st.index name with
       | None -> None
       | Some g ->
           let v = init_global st g in
-          Hashtbl.replace st.globals name v;
+          Stbl.replace st.globals name v;
           Some v)
 
 and init_global (st : state) (g : Csrc.Ast.global_def) : value =
@@ -207,15 +277,28 @@ and init_global (st : state) (g : Csrc.Ast.global_def) : value =
     | ty -> zero_value st ~fn ty
   in
   (* publish before applying the initializer so cross-references resolve *)
-  Hashtbl.replace st.globals g.global_name base;
+  Stbl.replace st.globals g.global_name base;
   (match g.global_init with
   | None -> ()
   | Some gi -> (
       match (base, gi) with
       | Ptr o, Csrc.Ast.Init_designated fields ->
           List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields
-      | _ -> Hashtbl.replace st.globals g.global_name (init_value st gi)));
-  match Hashtbl.find_opt st.globals g.global_name with Some v -> v | None -> base
+      | _ -> Stbl.replace st.globals g.global_name (init_value st gi)));
+  match Stbl.find_opt st.globals g.global_name with Some v -> v | None -> base
+
+and get_global_h (st : state) (h : int) (name : string) : value option =
+  (* precomputed-hash twin of {!get_global} for callers that resolve
+     the same name repeatedly (the machine's handler dispatch) *)
+  match Stbl.find_opt_h st.globals h name with
+  | Some v -> Some v
+  | None -> (
+      match Csrc.Index.find_global st.index name with
+      | None -> None
+      | Some g ->
+          let v = init_global st g in
+          Stbl.replace_h st.globals h name v;
+          Some v)
 
 and init_value (st : state) (gi : Csrc.Ast.ginit) : value =
   let fn = "__init" in
@@ -253,7 +336,7 @@ and init_value (st : state) (gi : Csrc.Ast.ginit) : value =
       Ptr (new_obj st ~fn ~tracked:false (Cells cells))
 
 let lookup_var env name : value option =
-  match Hashtbl.find_opt env.locals name with
+  match Stbl.find_opt env.locals name with
   | Some v -> Some v
   | None -> get_global env.st name
 
@@ -300,6 +383,314 @@ let binop_values ~fn (op : Csrc.Ast.binop) (va : value) (vb : value) : value =
       | Csrc.Ast.Gt -> bool_v (Int64.compare x y > 0)
       | Csrc.Ast.Ge -> bool_v (Int64.compare x y >= 0)
       | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins (value level)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expect_obj ~fn what v =
+  match v with
+  | Ptr o -> o
+  | Int 0L -> Crash.raise_crash Crash.Gpf fn
+  | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" fn what))
+
+(* Every name the [builtin_values] match below handles. The closure
+   compiler ({!Jit}) consults this at compile time to decide
+   builtin-vs-user dispatch once per call site instead of once per
+   execution — keep it in lockstep with the match arms. Builtins shadow
+   user functions of the same name, exactly as [eval_call] tries
+   [builtin] first. *)
+let builtin_names =
+  [
+    "copy_from_user"; "copy_to_user"; "memdup_user"; "strncpy_from_user"; "kmalloc";
+    "kzalloc"; "kvmalloc"; "kcalloc"; "vmalloc"; "vzalloc"; "kfree"; "vfree"; "kvfree";
+    "mutex_init"; "spin_lock_init"; "mutex_lock"; "spin_lock"; "mutex_unlock";
+    "spin_unlock"; "list_add"; "list_add_tail"; "list_del"; "INIT_LIST_HEAD"; "WARN_ON";
+    "WARN_ON_ONCE"; "BUG_ON"; "init_completion"; "complete";
+    "wait_for_completion_killable"; "timer_setup"; "mod_timer"; "del_timer";
+    "del_timer_sync"; "schedule_timeout"; "msleep"; "capable"; "printk"; "pr_info";
+    "pr_err"; "pr_warn"; "memset"; "memcpy"; "memcmp"; "strcmp"; "strncmp"; "strlen";
+    "strncpy"; "strscpy"; "snprintf"; "min"; "min_t"; "max"; "max_t";
+    "array_index_nospec"; "noop_llseek"; "nonseekable_open"; "stream_open"; "_IOC_NR";
+    "_IOC_TYPE"; "_IOC_SIZE"; "_IOC_DIR"; "_IO"; "_IOR"; "_IOW"; "_IOWR"; "_IOC";
+    "anon_inode_getfd"; "misc_register"; "misc_deregister"; "register_chrdev";
+    "unregister_chrdev"; "cdev_init"; "cdev_add"; "device_create"; "class_create";
+    "sock_register"; "proto_register"; "get_user"; "put_user";
+  ]
+
+let builtin_tbl : unit Stbl.t =
+  let tbl = Stbl.create 128 in
+  List.iter (fun n -> Stbl.replace tbl n ()) builtin_names;
+  tbl
+
+(** The same set as a name -> dense id map: the dispatch match in
+    {!builtin_values_id} is an integer jump table, and the jit resolves
+    a call site's id once at compile time instead of re-matching the
+    name per execution. *)
+let builtin_ids : int Stbl.t =
+  let tbl = Stbl.create 128 in
+  List.iteri (fun i n -> Stbl.replace tbl n i) builtin_names;
+  tbl
+
+(** How a builtin call site reaches its arguments, abstracted over the
+    engine: the tree-walking wrapper evaluates argument ASTs on demand,
+    the closure compiler ({!Jit}) invokes pre-compiled per-argument
+    closures. Arguments stay lazy — several builtins evaluate only some
+    of their arguments, or none, or one of them twice, and that order is
+    part of the dual-engine identity contract. *)
+type builtin_ctx = {
+  bn : int;  (** argument count at the call site *)
+  bv : int -> value;
+      (** evaluate argument [i]; user pointers to plain byte buffers
+          read as [Str] (string-builtin view); out of range is 0 *)
+  braw : int -> value;  (** evaluate argument [i] without the string view *)
+  bstore : int -> value -> bool;
+      (** store through argument [i] as an lvalue; false if it is not one *)
+  bsstore : int -> value -> bool;
+      (** store through an [&x]-shaped argument [i] ([copy_from_user] on
+          a scalar local); false if the shape does not match *)
+  bfops : unit -> string option;
+      (** first [&ident] argument naming an operation-handler global *)
+  bio : unit -> value;  (** the [_IO*] encoder applied to the original call *)
+}
+
+let builtin_values_id (st : state) ~fn (id : int) (name : string) (b : builtin_ctx) :
+    value option =
+  let v = b.bv in
+  let iv i = as_int (v i) in
+  let alloc_checked size ~vmalloc =
+    if vmalloc && Int64.equal size 0L then Crash.raise_crash Crash.Zero_size_vmalloc fn;
+    if Int64.compare size 0x7fffffffL > 0 then Crash.raise_crash Crash.Kmalloc_bug fn;
+    if Int64.compare size 0L <= 0 then Int 0L
+    else Ptr (new_obj st ~fn ~tracked:true Opaque)
+  in
+  let scalar_of_uval = function
+    | U_int x -> Int x
+    | U_str s -> Str s
+    | U_arr (U_int x :: _) -> Int x
+    | U_arr _ | U_struct _ | U_null -> Int 0L
+  in
+  match id with
+  | 0 -> (
+      let src = v 1 in
+      let copy_user uv =
+        if uv = U_null then Int 1L
+        else
+          match b.braw 0 with
+          | Ptr o ->
+              check_alive ~fn o;
+              materialize_into st ~fn o uv;
+              Int 0L
+          | _ -> if b.bsstore 0 (scalar_of_uval uv) then Int 0L else Int 1L
+      in
+      match src with
+      | Uptr uv -> Some (copy_user uv)
+      | Str s -> Some (copy_user (U_str s))
+      | Ptr src_o -> (
+          check_alive ~fn src_o;
+          match b.braw 0 with
+          | Ptr dst_o ->
+              check_alive ~fn dst_o;
+              (match (dst_o.data, src_o.data) with
+              | Fields d, Fields s -> Stbl.iter (fun k v -> Stbl.replace d k v) s
+              | _ -> ());
+              Some (Int 0L)
+          | _ -> Some (Int 1L))
+      | Int _ | Unit | Fn _ -> Some (Int 1L))
+  | 1 -> (
+      match v 0 with
+      | Uptr U_null | Int 0L -> Some (Int 1L)
+      | _ -> Some (Int 0L))
+  | 2 -> (
+      match v 0 with
+      | Uptr U_null | Int 0L -> Some (Int 0L)
+      | Uptr uv ->
+          let o = new_obj st ~fn ~tracked:true (Fields (Stbl.create 8)) in
+          materialize_into st ~fn o uv;
+          Some (Ptr o)
+      | Ptr o -> Some (Ptr o)
+      | _ -> Some (Int 0L))
+  | 3 -> (
+      match (v 0, v 1) with
+      | _, (Uptr U_null | Int 0L) -> Some (Int (-14L))
+      | lv, Uptr (U_str s) ->
+          (match lv with
+          | Ptr o -> set_field ~fn o "__scalar" (Str s)
+          | _ -> ());
+          ignore (b.bstore 0 (Str s));
+          Some (Int (Int64.of_int (String.length s)))
+      | _, _ -> Some (Int 0L))
+  | 4 | 5 -> Some (alloc_checked (iv 0) ~vmalloc:false)
+  | 6 -> Some (alloc_checked (iv 0) ~vmalloc:false)
+  | 7 -> Some (alloc_checked (Int64.mul (iv 0) (iv 1)) ~vmalloc:false)
+  | 8 | 9 -> Some (alloc_checked (iv 0) ~vmalloc:true)
+  | 10 | 11 | 12 -> (
+      match v 0 with
+      | Int 0L | Unit -> Some (Int 0L)
+      | Ptr o ->
+          if o.freed then Crash.raise_crash Crash.Double_free fn;
+          o.freed <- true;
+          Some (Int 0L)
+      | _ -> Some (Int 0L))
+  | 13 | 14 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__locked" (Int 0L);
+      Some (Int 0L)
+  | 15 | 16 ->
+      let o = expect_obj ~fn name (v 0) in
+      if truthy (get_field ~fn o "__locked") then Crash.raise_crash Crash.Deadlock fn;
+      set_field ~fn o "__locked" (Int 1L);
+      Some (Int 0L)
+  | 17 | 18 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__locked" (Int 0L);
+      Some (Int 0L)
+  | 19 | 20 ->
+      let o = expect_obj ~fn name (v 0) in
+      if truthy (get_field ~fn o "__on_list") then
+        Crash.raise_crash Crash.List_corruption fn;
+      set_field ~fn o "__on_list" (Int 1L);
+      Some (Int 0L)
+  | 21 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__on_list" (Int 0L);
+      Some (Int 0L)
+  | 22 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__on_list" (Int 0L);
+      Some (Int 0L)
+  | 23 | 24 ->
+      let c = v 0 in
+      if truthy c then Crash.raise_crash Crash.Warning fn;
+      Some c
+  | 25 ->
+      if truthy (v 0) then Crash.raise_crash Crash.Kernel_bug fn;
+      Some (Int 0L)
+  | 26 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__done" (Int 0L);
+      Some (Int 0L)
+  | 27 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__done" (Int 1L);
+      Some (Int 0L)
+  | 28 ->
+      let o = expect_obj ~fn name (v 0) in
+      if not (truthy (get_field ~fn o "__done")) then
+        Crash.raise_crash Crash.Task_hung fn;
+      Some (Int 0L)
+  | 29 ->
+      let o = expect_obj ~fn name (v 0) in
+      set_field ~fn o "__pending" (Int 0L);
+      Some (Int 0L)
+  | 30 ->
+      let o = expect_obj ~fn name (v 0) in
+      if truthy (get_field ~fn o "__pending") then Crash.raise_crash Crash.Odebug fn;
+      set_field ~fn o "__pending" (Int 1L);
+      Some (Int 0L)
+  | 31 | 32 -> (
+      match v 0 with
+      | Ptr o ->
+          set_field ~fn o "__pending" (Int 0L);
+          Some (Int 0L)
+      | _ -> Some (Int 0L))
+  | 33 | 34 -> Some (Int 0L)
+  | 35 -> Some (Int 1L)
+  | 36 | 37 | 38 | 39 -> Some (Int 0L)
+  | 40 -> (
+      match v 0 with
+      | Ptr o ->
+          check_alive ~fn o;
+          (match o.data with
+          | Fields tbl -> Stbl.reset tbl
+          | Cells cells -> Array.fill cells 0 (Array.length cells) (Int (iv 1))
+          | Opaque -> ());
+          Some (v 0)
+      | _ -> Some (Int 0L))
+  | 41 -> (
+      match (v 0, v 1) with
+      | Ptr d, Ptr s ->
+          check_alive ~fn d;
+          check_alive ~fn s;
+          (match (d.data, s.data) with
+          | Fields dt, Fields st' -> Stbl.iter (fun k v -> Stbl.replace dt k v) st'
+          | Cells dc, Cells sc ->
+              Array.blit sc 0 dc 0 (min (Array.length sc) (Array.length dc))
+          | _ -> ());
+          Some (v 0)
+      | _ -> Some (Int 0L))
+  | 42 -> (
+      match (v 0, v 1) with
+      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
+      | Ptr a, Ptr b -> Some (bool_v (a.oid <> b.oid))
+      | _ -> Some (Int 1L))
+  | 43 -> (
+      match (v 0, v 1) with
+      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
+      | _ -> Some (Int 1L))
+  | 44 -> (
+      match (v 0, v 1) with
+      | Str a, Str b ->
+          let n = Int64.to_int (iv 2) in
+          let trunc s = if String.length s > n then String.sub s 0 n else s in
+          Some (Int (Int64.of_int (String.compare (trunc a) (trunc b))))
+      | _ -> Some (Int 1L))
+  | 45 -> (
+      match v 0 with
+      | Str s -> Some (Int (Int64.of_int (String.length s)))
+      | _ -> Some (Int 0L))
+  | 46 | 47 ->
+      let src = match v 1 with Str s -> s | other -> Value.to_string other in
+      let n = Int64.to_int (iv 2) in
+      let src = if String.length src > n then String.sub src 0 n else src in
+      if b.bstore 0 (Str src) then Some (Int (Int64.of_int (String.length src)))
+      else Some (Int 0L)
+  | 48 ->
+      let text = match v 2 with Str s -> s | other -> Value.to_string other in
+      if b.bstore 0 (Str text) then Some (Int (Int64.of_int (String.length text)))
+      else Some (Int 0L)
+  | 49 | 50 -> (
+      match b.bn with
+      | 2 -> Some (Int (min (as_int (b.braw 0)) (as_int (b.braw 1))))
+      | 3 -> Some (Int (min (as_int (b.braw 1)) (as_int (b.braw 2))))
+      | _ -> Some (Int 0L))
+  | 51 | 52 -> (
+      match b.bn with
+      | 2 -> Some (Int (max (as_int (b.braw 0)) (as_int (b.braw 1))))
+      | 3 -> Some (Int (max (as_int (b.braw 1)) (as_int (b.braw 2))))
+      | _ -> Some (Int 0L))
+  | 53 ->
+      let i = iv 0 and n = iv 1 in
+      Some (Int (if Int64.compare i n < 0 && Int64.compare i 0L >= 0 then i else 0L))
+  | 54 | 55 | 56 -> Some (Int 0L)
+  | 57 -> Some (Int (Int64.logand (iv 0) 0xffL))
+  | 58 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 8) 0xffL))
+  | 59 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 16) 0x3fffL))
+  | 60 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 30) 0x3L))
+  | 61 | 62 | 63 | 64 | 65 ->
+      (* constant contexts resolve through the index; runtime occurrences
+         use the same encoder *)
+      Some (b.bio ())
+  | 66 -> (
+      (* anon_inode_getfd("name", &some_fops, priv, flags) returns a fresh
+         fd dispatching through the given operation handler *)
+      match (b.bfops (), st.spawn_fd) with
+      | Some g, Some spawn -> Some (Int (spawn g))
+      | _ -> Some (Int (-22L)))
+  | 67 | 68 | 69 | 70
+  | 71 | 72 | 73 | 74 | 75
+  | 76 ->
+      Some (Int 0L)
+  | 77 | 78 -> Some (Int 0L)
+  | _ -> None
+
+
+(** The name-keyed face of {!builtin_values_id}: the value-level
+    builtin core shared by both engines. *)
+let builtin_values (st : state) ~fn (name : string) (b : builtin_ctx) : value option =
+  match Stbl.find_opt builtin_ids name with
+  | Some id -> builtin_values_id st ~fn id name b
+  | None -> None
 
 let rec eval env (e : Csrc.Ast.expr) : value =
   match e with
@@ -390,7 +781,7 @@ and eval_binop env op a b =
 and eval_lval env (e : Csrc.Ast.expr) : lvalue =
   match e with
   | Csrc.Ast.Ident name ->
-      if Hashtbl.mem env.locals name then L_local name
+      if Stbl.mem env.locals name then L_local name
       else if get_global env.st name <> None then L_global name
       else L_local name (* implicit declaration (for-loop desugaring) *)
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
@@ -425,8 +816,8 @@ and eval_lval env (e : Csrc.Ast.expr) : lvalue =
 
 and store env (lv : lvalue) (v : value) : unit =
   match lv with
-  | L_local name -> Hashtbl.replace env.locals name v
-  | L_global name -> Hashtbl.replace env.st.globals name v
+  | L_local name -> Stbl.replace env.locals name v
+  | L_global name -> Stbl.replace env.st.globals name v
   | L_field (o, f) -> set_field ~fn:env.fn o f v
   | L_cell (o, idx) -> (
       match o.data with
@@ -447,305 +838,69 @@ and eval_call env name (args : Csrc.Ast.expr list) : value =
           call_function env.st name fd argv
       | Some _ | None -> Int 0L)
 
-and expect_obj env what v =
-  match v with
-  | Ptr o -> o
-  | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-  | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" env.fn what))
-
-(* Every name the [builtin] match below handles. The closure compiler
-   ({!Jit}) consults this at compile time to decide builtin-vs-user
-   dispatch once per call site instead of once per execution — keep it in
-   lockstep with the match arms. Builtins shadow user functions of the
-   same name, exactly as [eval_call] tries [builtin] first. *)
-and builtin_names =
-  [
-    "copy_from_user"; "copy_to_user"; "memdup_user"; "strncpy_from_user"; "kmalloc";
-    "kzalloc"; "kvmalloc"; "kcalloc"; "vmalloc"; "vzalloc"; "kfree"; "vfree"; "kvfree";
-    "mutex_init"; "spin_lock_init"; "mutex_lock"; "spin_lock"; "mutex_unlock";
-    "spin_unlock"; "list_add"; "list_add_tail"; "list_del"; "INIT_LIST_HEAD"; "WARN_ON";
-    "WARN_ON_ONCE"; "BUG_ON"; "init_completion"; "complete";
-    "wait_for_completion_killable"; "timer_setup"; "mod_timer"; "del_timer";
-    "del_timer_sync"; "schedule_timeout"; "msleep"; "capable"; "printk"; "pr_info";
-    "pr_err"; "pr_warn"; "memset"; "memcpy"; "memcmp"; "strcmp"; "strncmp"; "strlen";
-    "strncpy"; "strscpy"; "snprintf"; "min"; "min_t"; "max"; "max_t";
-    "array_index_nospec"; "noop_llseek"; "nonseekable_open"; "stream_open"; "_IOC_NR";
-    "_IOC_TYPE"; "_IOC_SIZE"; "_IOC_DIR"; "_IO"; "_IOR"; "_IOW"; "_IOWR"; "_IOC";
-    "anon_inode_getfd"; "misc_register"; "misc_deregister"; "register_chrdev";
-    "unregister_chrdev"; "cdev_init"; "cdev_add"; "device_create"; "class_create";
-    "sock_register"; "proto_register"; "get_user"; "put_user";
-  ]
-
+(* The expr-level face of {!builtin_values}: evaluates arguments on
+   demand through the tree walker. The name check up front keeps the
+   (cheap) context record off the user-function call path entirely. *)
 and builtin env name (args : Csrc.Ast.expr list) : value option =
-  let st = env.st in
-  let fn = env.fn in
-  let arg i =
-    match List.nth_opt args i with
-    | Some e -> e
-    | None -> Csrc.Ast.Const_int 0L
-  in
-  let v i =
-    (* user pointers to plain byte buffers behave like strings for the
-       string builtins *)
-    match eval env (arg i) with Uptr (U_str s) -> Str s | x -> x
-  in
-  let iv i = as_int (v i) in
-  let alloc_checked size ~vmalloc =
-    if vmalloc && Int64.equal size 0L then Crash.raise_crash Crash.Zero_size_vmalloc fn;
-    if Int64.compare size 0x7fffffffL > 0 then Crash.raise_crash Crash.Kmalloc_bug fn;
-    if Int64.compare size 0L <= 0 then Int 0L
-    else Ptr (new_obj st ~fn ~tracked:true Opaque)
-  in
-  let scalar_of_uval = function
-    | U_int x -> Int x
-    | U_str s -> Str s
-    | U_arr (U_int x :: _) -> Int x
-    | U_arr _ | U_struct _ | U_null -> Int 0L
-  in
-  (* [copy_from_user(&local, src, n)] on a scalar local cannot go through
-     value semantics; resolve the destination as an lvalue instead *)
-  let store_scalar_dst dst_expr (sv : value) : bool =
-    let rec strip = function
-      | Csrc.Ast.Cast (_, e) -> strip e
-      | Csrc.Ast.Addr_of e -> Some e
-      | _ -> None
+  match Stbl.find_opt builtin_ids name with
+  | None -> None
+  | Some id -> begin
+    let arg i =
+      match List.nth_opt args i with
+      | Some e -> e
+      | None -> Csrc.Ast.Const_int 0L
     in
-    match strip dst_expr with
-    | Some inner -> (
-        try
-          store env (eval_lval env inner) sv;
-          true
-        with Exec_error _ -> false)
-    | None -> false
-  in
-  match name with
-  | "copy_from_user" -> (
-      let src = v 1 in
-      let copy_user uv =
-        if uv = U_null then Int 1L
-        else
-          match eval env (arg 0) with
-          | Ptr o ->
-              check_alive ~fn o;
-              materialize_into st ~fn o uv;
-              Int 0L
-          | _ ->
-              if store_scalar_dst (arg 0) (scalar_of_uval uv) then Int 0L else Int 1L
+    (* [copy_from_user(&local, src, n)] on a scalar local cannot go
+       through value semantics; resolve the destination as an lvalue *)
+    let strip_addr e =
+      let rec strip = function
+        | Csrc.Ast.Cast (_, e) -> strip e
+        | Csrc.Ast.Addr_of e -> Some e
+        | _ -> None
       in
-      match src with
-      | Uptr uv -> Some (copy_user uv)
-      | Str s -> Some (copy_user (U_str s))
-      | Ptr src_o -> (
-          check_alive ~fn src_o;
-          match eval env (arg 0) with
-          | Ptr dst_o ->
-              check_alive ~fn dst_o;
-              (match (dst_o.data, src_o.data) with
-              | Fields d, Fields s -> Hashtbl.iter (fun k v -> Hashtbl.replace d k v) s
-              | _ -> ());
-              Some (Int 0L)
-          | _ -> Some (Int 1L))
-      | Int _ | Unit | Fn _ -> Some (Int 1L))
-  | "copy_to_user" -> (
-      match v 0 with
-      | Uptr U_null | Int 0L -> Some (Int 1L)
-      | _ -> Some (Int 0L))
-  | "memdup_user" -> (
-      match v 0 with
-      | Uptr U_null | Int 0L -> Some (Int 0L)
-      | Uptr uv ->
-          let o = new_obj st ~fn ~tracked:true (Fields (Hashtbl.create 8)) in
-          materialize_into st ~fn o uv;
-          Some (Ptr o)
-      | Ptr o -> Some (Ptr o)
-      | _ -> Some (Int 0L))
-  | "strncpy_from_user" -> (
-      match (v 0, v 1) with
-      | _, (Uptr U_null | Int 0L) -> Some (Int (-14L))
-      | lv, Uptr (U_str s) ->
-          (match lv with
-          | Ptr o -> set_field ~fn o "__scalar" (Str s)
-          | _ -> ());
-          (try store env (eval_lval env (arg 0)) (Str s) with Exec_error _ -> ());
-          Some (Int (Int64.of_int (String.length s)))
-      | _, _ -> Some (Int 0L))
-  | "kmalloc" | "kzalloc" -> Some (alloc_checked (iv 0) ~vmalloc:false)
-  | "kvmalloc" -> Some (alloc_checked (iv 0) ~vmalloc:false)
-  | "kcalloc" -> Some (alloc_checked (Int64.mul (iv 0) (iv 1)) ~vmalloc:false)
-  | "vmalloc" | "vzalloc" -> Some (alloc_checked (iv 0) ~vmalloc:true)
-  | "kfree" | "vfree" | "kvfree" -> (
-      match v 0 with
-      | Int 0L | Unit -> Some (Int 0L)
-      | Ptr o ->
-          if o.freed then Crash.raise_crash Crash.Double_free fn;
-          o.freed <- true;
-          Some (Int 0L)
-      | _ -> Some (Int 0L))
-  | "mutex_init" | "spin_lock_init" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__locked" (Int 0L);
-      Some (Int 0L)
-  | "mutex_lock" | "spin_lock" ->
-      let o = expect_obj env name (v 0) in
-      if truthy (get_field ~fn o "__locked") then Crash.raise_crash Crash.Deadlock fn;
-      set_field ~fn o "__locked" (Int 1L);
-      Some (Int 0L)
-  | "mutex_unlock" | "spin_unlock" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__locked" (Int 0L);
-      Some (Int 0L)
-  | "list_add" | "list_add_tail" ->
-      let o = expect_obj env name (v 0) in
-      if truthy (get_field ~fn o "__on_list") then
-        Crash.raise_crash Crash.List_corruption fn;
-      set_field ~fn o "__on_list" (Int 1L);
-      Some (Int 0L)
-  | "list_del" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__on_list" (Int 0L);
-      Some (Int 0L)
-  | "INIT_LIST_HEAD" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__on_list" (Int 0L);
-      Some (Int 0L)
-  | "WARN_ON" | "WARN_ON_ONCE" ->
-      let c = v 0 in
-      if truthy c then Crash.raise_crash Crash.Warning fn;
-      Some c
-  | "BUG_ON" ->
-      if truthy (v 0) then Crash.raise_crash Crash.Kernel_bug fn;
-      Some (Int 0L)
-  | "init_completion" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__done" (Int 0L);
-      Some (Int 0L)
-  | "complete" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__done" (Int 1L);
-      Some (Int 0L)
-  | "wait_for_completion_killable" ->
-      let o = expect_obj env name (v 0) in
-      if not (truthy (get_field ~fn o "__done")) then
-        Crash.raise_crash Crash.Task_hung fn;
-      Some (Int 0L)
-  | "timer_setup" ->
-      let o = expect_obj env name (v 0) in
-      set_field ~fn o "__pending" (Int 0L);
-      Some (Int 0L)
-  | "mod_timer" ->
-      let o = expect_obj env name (v 0) in
-      if truthy (get_field ~fn o "__pending") then Crash.raise_crash Crash.Odebug fn;
-      set_field ~fn o "__pending" (Int 1L);
-      Some (Int 0L)
-  | "del_timer" | "del_timer_sync" -> (
-      match v 0 with
-      | Ptr o ->
-          set_field ~fn o "__pending" (Int 0L);
-          Some (Int 0L)
-      | _ -> Some (Int 0L))
-  | "schedule_timeout" | "msleep" -> Some (Int 0L)
-  | "capable" -> Some (Int 1L)
-  | "printk" | "pr_info" | "pr_err" | "pr_warn" -> Some (Int 0L)
-  | "memset" -> (
-      match v 0 with
-      | Ptr o ->
-          check_alive ~fn o;
-          (match o.data with
-          | Fields tbl -> Hashtbl.reset tbl
-          | Cells cells -> Array.fill cells 0 (Array.length cells) (Int (iv 1))
-          | Opaque -> ());
-          Some (v 0)
-      | _ -> Some (Int 0L))
-  | "memcpy" -> (
-      match (v 0, v 1) with
-      | Ptr d, Ptr s ->
-          check_alive ~fn d;
-          check_alive ~fn s;
-          (match (d.data, s.data) with
-          | Fields dt, Fields st' -> Hashtbl.iter (fun k v -> Hashtbl.replace dt k v) st'
-          | Cells dc, Cells sc ->
-              Array.blit sc 0 dc 0 (min (Array.length sc) (Array.length dc))
-          | _ -> ());
-          Some (v 0)
-      | _ -> Some (Int 0L))
-  | "memcmp" -> (
-      match (v 0, v 1) with
-      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
-      | Ptr a, Ptr b -> Some (bool_v (a.oid <> b.oid))
-      | _ -> Some (Int 1L))
-  | "strcmp" -> (
-      match (v 0, v 1) with
-      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
-      | _ -> Some (Int 1L))
-  | "strncmp" -> (
-      match (v 0, v 1) with
-      | Str a, Str b ->
-          let n = Int64.to_int (iv 2) in
-          let trunc s = if String.length s > n then String.sub s 0 n else s in
-          Some (Int (Int64.of_int (String.compare (trunc a) (trunc b))))
-      | _ -> Some (Int 1L))
-  | "strlen" -> (
-      match v 0 with
-      | Str s -> Some (Int (Int64.of_int (String.length s)))
-      | _ -> Some (Int 0L))
-  | "strncpy" | "strscpy" -> (
-      let src = match v 1 with Str s -> s | other -> Value.to_string other in
-      let n = Int64.to_int (iv 2) in
-      let src = if String.length src > n then String.sub src 0 n else src in
-      try
-        store env (eval_lval env (arg 0)) (Str src);
-        Some (Int (Int64.of_int (String.length src)))
-      with Exec_error _ -> Some (Int 0L))
-  | "snprintf" -> (
-      let text = match v 2 with Str s -> s | other -> Value.to_string other in
-      try
-        store env (eval_lval env (arg 0)) (Str text);
-        Some (Int (Int64.of_int (String.length text)))
-      with Exec_error _ -> Some (Int 0L))
-  | "min" | "min_t" -> (
-      match args with
-      | [ a; b ] -> Some (Int (min (as_int (eval env a)) (as_int (eval env b))))
-      | [ _ty; a; b ] -> Some (Int (min (as_int (eval env a)) (as_int (eval env b))))
-      | _ -> Some (Int 0L))
-  | "max" | "max_t" -> (
-      match args with
-      | [ a; b ] -> Some (Int (max (as_int (eval env a)) (as_int (eval env b))))
-      | [ _ty; a; b ] -> Some (Int (max (as_int (eval env a)) (as_int (eval env b))))
-      | _ -> Some (Int 0L))
-  | "array_index_nospec" ->
-      let i = iv 0 and n = iv 1 in
-      Some (Int (if Int64.compare i n < 0 && Int64.compare i 0L >= 0 then i else 0L))
-  | "noop_llseek" | "nonseekable_open" | "stream_open" -> Some (Int 0L)
-  | "_IOC_NR" -> Some (Int (Int64.logand (iv 0) 0xffL))
-  | "_IOC_TYPE" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 8) 0xffL))
-  | "_IOC_SIZE" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 16) 0x3fffL))
-  | "_IOC_DIR" -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 30) 0x3L))
-  | "_IO" | "_IOR" | "_IOW" | "_IOWR" | "_IOC" -> (
-      (* constant contexts resolve through the index; runtime occurrences
-         use the same encoder *)
-      match Csrc.Index.eval_opt st.index (Csrc.Ast.Call (name, args)) with
-      | Some v -> Some (Int v)
-      | None -> Some (Int 0L))
-  | "anon_inode_getfd" -> (
-      (* anon_inode_getfd("name", &some_fops, priv, flags) returns a fresh
-         fd dispatching through the given operation handler *)
-      let fops_name =
-        let rec find = function
-          | Csrc.Ast.Addr_of (Csrc.Ast.Ident g) -> Some g
-          | Csrc.Ast.Cast (_, e) -> find e
-          | _ -> None
-        in
-        List.find_map find args
-      in
-      match (fops_name, st.spawn_fd) with
-      | Some g, Some spawn -> Some (Int (spawn g))
-      | _ -> Some (Int (-22L)))
-  | "misc_register" | "misc_deregister" | "register_chrdev" | "unregister_chrdev"
-  | "cdev_init" | "cdev_add" | "device_create" | "class_create" | "sock_register"
-  | "proto_register" ->
-      Some (Int 0L)
-  | "get_user" | "put_user" -> Some (Int 0L)
-  | _ -> None
+      strip e
+    in
+    let b =
+      {
+        bn = List.length args;
+        bv =
+          (fun i ->
+            (* user pointers to plain byte buffers behave like strings
+               for the string builtins *)
+            match eval env (arg i) with Uptr (U_str s) -> Str s | x -> x);
+        braw = (fun i -> eval env (arg i));
+        bstore =
+          (fun i sv ->
+            try
+              store env (eval_lval env (arg i)) sv;
+              true
+            with Exec_error _ -> false);
+        bsstore =
+          (fun i sv ->
+            match strip_addr (arg i) with
+            | Some inner -> (
+                try
+                  store env (eval_lval env inner) sv;
+                  true
+                with Exec_error _ -> false)
+            | None -> false);
+        bfops =
+          (fun () ->
+            let rec find = function
+              | Csrc.Ast.Addr_of (Csrc.Ast.Ident g) -> Some g
+              | Csrc.Ast.Cast (_, e) -> find e
+              | _ -> None
+            in
+            List.find_map find args);
+        bio =
+          (fun () ->
+            match Csrc.Index.eval_opt env.st.index (Csrc.Ast.Call (name, args)) with
+            | Some x -> Int x
+            | None -> Int 0L);
+      }
+    in
+    builtin_values_id env.st ~fn:env.fn id name b
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Statements and functions                                            *)
@@ -762,7 +917,7 @@ and exec_stmt env (s : Csrc.Ast.stmt) : unit =
         | Some e -> eval env e
         | None -> zero_value env.st ~fn:env.fn ty
       in
-      Hashtbl.replace env.locals name v
+      Stbl.replace env.locals name v
   | Csrc.Ast.If (c, t, f) ->
       if truthy (eval env c) then exec_block env t
       else ( match f with Some f -> exec_block env f | None -> ())
@@ -839,22 +994,35 @@ and call_function (st : state) (fname : string) (fd : Csrc.Ast.func_def) (argv :
     : value =
   if st.depth > 64 then raise (Exec_error ("recursion too deep at " ^ fname));
   st.depth <- st.depth + 1;
-  let locals = Hashtbl.create 16 in
-  List.iteri
-    (fun i (_, pname) ->
-      let v = match List.nth_opt argv i with Some v -> v | None -> Int 0L in
-      Hashtbl.replace locals pname v)
-    fd.fun_params;
+  let locals = Stbl.create 16 in
+  (* one simultaneous walk over params/argv: extra arguments are
+     dropped, missing parameters read as zero *)
+  let rec bind params argv =
+    match (params, argv) with
+    | [], _ -> ()
+    | (_, pname) :: ps, [] ->
+        Stbl.replace locals pname (Int 0L);
+        bind ps []
+    | (_, pname) :: ps, a :: rest ->
+        Stbl.replace locals pname a;
+        bind ps rest
+  in
+  bind fd.fun_params argv;
   let env = { st; locals; fn = fname } in
-  let find_label l =
-    let rec go = function
-      | [] -> None
-      | s :: rest -> (
-          match s.Csrc.Ast.node with
-          | Csrc.Ast.Label l' when String.equal l l' -> Some (s :: rest)
-          | _ -> go rest)
-    in
-    go fd.fun_body
+  (* label -> tail of the body, built at most once per call; the first
+     occurrence of a duplicated label wins, matching the Jit's
+     compile-time label table *)
+  let label_map =
+    lazy
+      (let rec go acc = function
+         | [] -> List.rev acc
+         | s :: rest -> (
+             match s.Csrc.Ast.node with
+             | Csrc.Ast.Label l when not (List.mem_assoc l acc) ->
+                 go ((l, s :: rest) :: acc) rest
+             | _ -> go acc rest)
+       in
+       go [] fd.fun_body)
   in
   let result =
     let rec run stmts =
@@ -864,7 +1032,7 @@ and call_function (st : state) (fname : string) (fd : Csrc.Ast.func_def) (argv :
       with
       | Return_exc v -> v
       | Goto_exc l -> (
-          match find_label l with
+          match List.assoc_opt l (Lazy.force label_map) with
           | Some rest -> run rest
           | None -> raise (Exec_error (Printf.sprintf "%s: unknown label %s" fname l)))
     in
@@ -888,6 +1056,10 @@ let call st fname (argv : value list) : value =
     the given roots — kmemleak's definition. Returns their allocation
     sites. *)
 let leaked_objects (st : state) ~(roots : value list) : string list =
+  (* nothing tracked means nothing can leak: skip the mark phase, which
+     otherwise walks every touched global's object graph per execution *)
+  if st.tracked_objs = [] then []
+  else begin
   let reached = Hashtbl.create 64 in
   let rec mark v =
     match v with
@@ -895,15 +1067,16 @@ let leaked_objects (st : state) ~(roots : value list) : string list =
         if not (Hashtbl.mem reached o.oid) then begin
           Hashtbl.replace reached o.oid ();
           match o.data with
-          | Fields tbl -> Hashtbl.iter (fun _ v -> mark v) tbl
+          | Fields tbl -> Stbl.iter (fun _ v -> mark v) tbl
           | Cells cells -> Array.iter mark cells
           | Opaque -> ()
         end
     | Int _ | Str _ | Fn _ | Uptr _ | Unit -> ()
   in
   List.iter mark roots;
-  Hashtbl.iter (fun _ v -> mark v) st.globals;
+  Stbl.iter (fun _ v -> mark v) st.globals;
   List.filter_map
     (fun o ->
       if (not o.freed) && not (Hashtbl.mem reached o.oid) then Some o.alloc_fn else None)
     st.tracked_objs
+  end

@@ -4,35 +4,239 @@
     identifier classification, builtin-vs-user decision and label search
     happens again for every program a campaign runs. This module lowers
     each function body once into a flat array of closures — statements
-    become [env -> unit], expressions [env -> value], gotos jump through
-    a precomputed label table, and call sites decide builtin vs user
-    dispatch at compile time.
+    become [jenv -> unit], expressions [jenv -> value] — and resolves
+    everything a frozen index can resolve at compile time:
+
+    - every local and parameter name becomes an integer slot into a
+      preallocated [value array] (no per-call hashtable, no string
+      hashing on the hot path);
+    - builtin call sites pre-compile one closure per argument and per
+      lvalue argument, then feed the value-level core
+      {!Interp.builtin_values} (the AST is never re-walked);
+    - user call sites resolve their callee's compiled code once;
+    - [goto] raises a pre-resolved statement index instead of searching
+      a label list;
+    - each global's initializer is lowered once ({!get_global} runs the
+      compiled plan on first touch instead of re-walking the AST per
+      fresh state).
 
     The compiled code is an exact semantic mirror of {!Interp}: it
-    shares the interpreter's state, environment, builtins, crash and
-    timeout machinery, and performs the same side effects in the same
-    order, so coverage sets, crash titles and return values are
-    identical executor-for-executor. Only the dispatch cost differs.
-    [scripts/ci.sh] and the QCheck differential suite hold the two
-    executors to byte-identical behaviour. *)
+    shares the interpreter's state, builtins, crash and timeout
+    machinery, and performs the same side effects (including object
+    allocation order) in the same order, so coverage sets, crash titles
+    and return values are identical executor-for-executor. Only the
+    dispatch cost differs. [scripts/ci.sh] and the QCheck differential
+    suite hold the two executors to byte-identical behaviour. *)
 
 open Value
 
+(** Pre-resolved [goto]: the payload is the target statement index in
+    the current function's body array. *)
+exception Goto_idx of int
+
+(* A value no program can construct (every [Str] the executor makes
+   comes from parsing or concatenation, never this literal cell):
+   compared physically, it marks a slot whose declaration has not
+   executed yet, so name resolution falls back to globals/constants
+   exactly where the interpreter's hashtable probe would miss. *)
+let unbound : value = Str "__slot_unbound"
+
+(** Per-call frame of a compiled function. *)
+type jenv = { st : Interp.state; slots : value array; fn : string }
+
 type fun_code = {
   fc_name : string;
-  fc_params : string list;
-  fc_body : (Interp.env -> unit) array;
-  fc_labels : (string * int) list;
-      (** top-level label -> statement index; first occurrence wins,
-          like the interpreter's label search *)
+  fc_nslots : int;
+  fc_params : int array;  (** slot of each parameter, in order *)
+  fc_body : (jenv -> unit) array;
 }
 
-type t = { index : Csrc.Index.t; funs : (string, fun_code) Hashtbl.t }
+type t = {
+  index : Csrc.Index.t;
+  funs : fun_code Stbl.t;
+  ginits : (Interp.state -> value) Stbl.t;
+      (** compiled global initializers, one plan per global *)
+}
 
-let builtin_set : (string, unit) Hashtbl.t =
-  let tbl = Hashtbl.create 128 in
-  List.iter (fun n -> Hashtbl.replace tbl n ()) Interp.builtin_names;
-  tbl
+(* Per-function compile context: name -> slot is decided here, on
+   demand, so every mention of a name in one function shares a slot. *)
+type ctx = {
+  eng : t;
+  cfn : string;
+  clabels : (string * int) list;
+      (** top-level label -> statement index; first occurrence wins,
+          like the interpreter's label search *)
+  cslots : int Stbl.t;
+  mutable cnslots : int;
+}
+
+let slot_of (ctx : ctx) (name : string) : int =
+  match Stbl.find_opt ctx.cslots name with
+  | Some i -> i
+  | None ->
+      let i = ctx.cnslots in
+      ctx.cnslots <- i + 1;
+      Stbl.replace ctx.cslots name i;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Mirror of {!Interp.get_global}: same lazy-on-first-touch contract
+    and the same object allocation order, but running the compiled
+    initializer plan instead of re-walking the AST. *)
+let get_global_h (eng : t) (st : Interp.state) (h : int) (name : string) : value option =
+  match Stbl.find_opt_h st.Interp.globals h name with
+  | Some v -> Some v
+  | None -> (
+      match Stbl.find_opt eng.ginits name with
+      | None -> None
+      | Some init ->
+          let v = init st in
+          Stbl.replace_h st.Interp.globals h name v;
+          Some v)
+
+let get_global (eng : t) (st : Interp.state) (name : string) : value option =
+  get_global_h eng st (Stbl.hash name) name
+
+(* Mirror of [Interp.zero_value], with every type decision taken at
+   compile time. Composite zeroing delegates to [Interp.typed_obj] at
+   runtime: it is already a single pass over the frozen layout, and
+   sharing it guarantees identical field defaults and oid order. *)
+let rec compile_zero (eng : t) ~(fn : string) (ty : Csrc.Ast.ctype) :
+    Interp.state -> value =
+  match ty with
+  | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
+  | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
+      fun _ -> Int 0L
+  | Csrc.Ast.Array (elem, _) when Interp.is_char_type eng.index elem -> fun _ -> Str ""
+  | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 ->
+      let cz = compile_zero eng ~fn elem in
+      fun st -> Ptr (Interp.new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> cz st))))
+  | Csrc.Ast.Array (_, _) ->
+      fun st -> Ptr (Interp.new_obj st ~fn ~tracked:false (Cells [||]))
+  | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name ->
+      fun st -> Ptr (Interp.typed_obj st ~fn name)
+
+(* Mirror of [Interp.init_value]: all index lookups (function names,
+   macros, enum items, string macros, constant folding) happen here,
+   once; only references to other globals stay runtime thunks, because
+   they must observe — and trigger — lazy initialization in state
+   order. *)
+let rec compile_init (eng : t) (gi : Csrc.Ast.ginit) : Interp.state -> value =
+  let fn = "__init" in
+  match gi with
+  | Csrc.Ast.Init_expr (Csrc.Ast.Ident name) -> (
+      match Csrc.Index.find_function eng.index name with
+      | Some _ ->
+          let c = Fn name in
+          fun _ -> c
+      | None -> (
+          match Csrc.Index.find_global eng.index name with
+          | Some _ ->
+              let gh = Stbl.hash name in
+              fun st -> (
+                match get_global_h eng st gh name with Some v -> v | None -> Int 0L)
+          | None -> (
+              let c =
+                match Csrc.Index.eval_macro eng.index name with
+                | Some v -> Int v
+                | None -> (
+                    match Csrc.Index.find_enum_item eng.index name with
+                    | Some e -> (
+                        match Csrc.Index.eval_opt eng.index e with
+                        | Some v -> Int v
+                        | None -> Int 0L)
+                    | None -> (
+                        match Csrc.Index.string_macro eng.index name with
+                        | Some s -> Str s
+                        | None -> Int 0L))
+              in
+              fun _ -> c)))
+  | Csrc.Ast.Init_expr (Csrc.Ast.Addr_of (Csrc.Ast.Ident name)) -> (
+      match Csrc.Index.find_global eng.index name with
+      | Some _ ->
+          let gh = Stbl.hash name in
+          fun st -> (match get_global_h eng st gh name with Some v -> v | None -> Int 0L)
+      | None -> fun _ -> Int 0L)
+  | Csrc.Ast.Init_expr e ->
+      let c =
+        match Csrc.Index.eval_opt eng.index e with
+        | Some v -> Int v
+        | None -> (
+            match Csrc.Index.eval_string eng.index e with
+            | Some s -> Str s
+            | None -> Int 0L)
+      in
+      fun _ -> c
+  | Csrc.Ast.Init_designated fields ->
+      let cfields = List.map (fun (f, gi) -> (f, Stbl.hash f, compile_init eng gi)) fields in
+      fun st ->
+        let o = Interp.fields_obj st ~fn () in
+        List.iter (fun (f, fh, ci) -> Interp.set_field_h ~fn o fh f (ci st)) cfields;
+        Ptr o
+  | Csrc.Ast.Init_list items ->
+      let citems = List.map (compile_init eng) items in
+      fun st ->
+        Ptr
+          (Interp.new_obj st ~fn ~tracked:false
+             (Cells (Array.of_list (List.map (fun ci -> ci st) citems))))
+
+(* Mirror of [Interp.init_global]. The base shape is static, so the
+   designated-initializer-in-place vs replace-the-binding decision is
+   taken at compile time. *)
+let compile_ginit (eng : t) (g : Csrc.Ast.global_def) : Interp.state -> value =
+  let fn = "__init" in
+  let name = g.Csrc.Ast.global_name in
+  let base : Interp.state -> value =
+    match g.Csrc.Ast.global_type with
+    | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n ->
+        fun st -> Ptr (Interp.typed_obj st ~fn n)
+    | Csrc.Ast.Array (elem, Some count) when count > 0 && count <= 4096 ->
+        let cz = compile_zero eng ~fn elem in
+        fun st ->
+          Ptr
+            (Interp.new_obj st ~fn ~tracked:false
+               (Cells (Array.init count (fun _ -> cz st))))
+    | ty -> compile_zero eng ~fn ty
+  in
+  let finish st base_v =
+    match Stbl.find_opt st.Interp.globals name with Some v -> v | None -> base_v
+  in
+  match g.Csrc.Ast.global_init with
+  | None ->
+      fun st ->
+        let bv = base st in
+        Stbl.replace st.Interp.globals name bv;
+        finish st bv
+  | Some gi ->
+      let ptr_base =
+        match g.Csrc.Ast.global_type with
+        | Csrc.Ast.Struct_ref _ | Csrc.Ast.Union_ref _ -> true
+        | Csrc.Ast.Array (_, Some c) when c > 0 && c <= 4096 -> true
+        | Csrc.Ast.Array (elem, _) -> not (Interp.is_char_type eng.index elem)
+        | _ -> false
+      in
+      (match (ptr_base, gi) with
+      | true, Csrc.Ast.Init_designated fields ->
+          let cfields = List.map (fun (f, gi) -> (f, Stbl.hash f, compile_init eng gi)) fields in
+          fun st ->
+            let bv = base st in
+            (* publish before applying the initializer so
+               cross-references resolve *)
+            Stbl.replace st.Interp.globals name bv;
+            (match bv with
+            | Ptr o -> List.iter (fun (f, fh, ci) -> Interp.set_field_h ~fn o fh f (ci st)) cfields
+            | _ -> ());
+            finish st bv
+      | _ ->
+          let cinit = compile_init eng gi in
+          fun st ->
+            let bv = base st in
+            Stbl.replace st.Interp.globals name bv;
+            Stbl.replace st.Interp.globals name (cinit st);
+            finish st bv)
 
 (* ------------------------------------------------------------------ *)
 (* Function invocation                                                 *)
@@ -40,18 +244,31 @@ let builtin_set : (string, unit) Hashtbl.t =
 
 (* Mirror of [Interp.call_function], including its depth accounting (no
    unwind-protect: an escaping exception leaves the depth bumped there
-   too, and the two executors must drift identically). *)
-let exec_fun (st : Interp.state) (fc : fun_code) (argv : value list) : value =
+   too, and the two executors must drift identically). Parameter
+   binding is one simultaneous walk: extra arguments are dropped,
+   missing parameters read as zero. *)
+let rec exec_fun (st : Interp.state) (fc : fun_code) (argv : value list) : value =
   if st.Interp.depth > 64 then
     raise (Interp.Exec_error ("recursion too deep at " ^ fc.fc_name));
   st.Interp.depth <- st.Interp.depth + 1;
-  let locals = Hashtbl.create 16 in
-  List.iteri
-    (fun i pname ->
-      let v = match List.nth_opt argv i with Some v -> v | None -> Int 0L in
-      Hashtbl.replace locals pname v)
-    fc.fc_params;
-  let env = { Interp.st; locals; fn = fc.fc_name } in
+  let slots = Array.make fc.fc_nslots unbound in
+  let params = fc.fc_params in
+  let nparams = Array.length params in
+  let rec bind i argv =
+    if i < nparams then
+      match argv with
+      | [] ->
+          slots.(params.(i)) <- Int 0L;
+          bind (i + 1) []
+      | a :: rest ->
+          slots.(params.(i)) <- a;
+          bind (i + 1) rest
+  in
+  bind 0 argv;
+  exec_body st fc slots
+
+and exec_body (st : Interp.state) (fc : fun_code) (slots : value array) : value =
+  let env = { st; slots; fn = fc.fc_name } in
   let n = Array.length fc.fc_body in
   let rec run i =
     try
@@ -61,35 +278,45 @@ let exec_fun (st : Interp.state) (fc : fun_code) (argv : value list) : value =
       Unit
     with
     | Interp.Return_exc v -> v
-    | Interp.Goto_exc l -> (
-        match List.assoc_opt l fc.fc_labels with
-        | Some j -> run j
-        | None ->
-            raise (Interp.Exec_error (Printf.sprintf "%s: unknown label %s" fc.fc_name l)))
+    | Goto_idx j -> run j
   in
   let result = run 0 in
   st.Interp.depth <- st.Interp.depth - 1;
   result
 
+(** Entry for compiled call sites: arguments evaluate (all of them,
+    left to right, exactly as the list walk did) straight into the
+    callee's slot array — no intermediate argument list. *)
+and exec_fun_args (st : Interp.state) (fc : fun_code) (cargs : (jenv -> value) array)
+    (caller : jenv) : value =
+  let slots = Array.make fc.fc_nslots unbound in
+  let params = fc.fc_params in
+  let nparams = Array.length params in
+  let ncargs = Array.length cargs in
+  for k = 0 to ncargs - 1 do
+    let v = cargs.(k) caller in
+    if k < nparams then slots.(params.(k)) <- v
+  done;
+  for k = ncargs to nparams - 1 do
+    slots.(params.(k)) <- Int 0L
+  done;
+  if st.Interp.depth > 64 then
+    raise (Interp.Exec_error ("recursion too deep at " ^ fc.fc_name));
+  st.Interp.depth <- st.Interp.depth + 1;
+  exec_body st fc slots
+
 (** Call a compiled function by name: the {!Interp.call} of this
     executor, with the same error on missing/bodyless functions. *)
 let call (eng : t) (st : Interp.state) (fname : string) (argv : value list) : value =
-  match Hashtbl.find_opt eng.funs fname with
+  match Stbl.find_opt eng.funs fname with
   | Some fc -> exec_fun st fc argv
   | None -> raise (Interp.Exec_error ("no such function " ^ fname))
-
-(* in-program call expression: unknown or bodyless callees yield 0
-   without evaluating arguments, exactly like [Interp.eval_call] *)
-let invoke (eng : t) (st : Interp.state) (fname : string) (argv : value list) : value =
-  match Hashtbl.find_opt eng.funs fname with
-  | Some fc -> exec_fun st fc argv
-  | None -> Int 0L
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec compile_expr (eng : t) (e : Csrc.Ast.expr) : Interp.env -> value =
+let rec compile_expr (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value =
   match e with
   | Csrc.Ast.Const_int v ->
       let c = Int v in
@@ -101,27 +328,31 @@ let rec compile_expr (eng : t) (e : Csrc.Ast.expr) : Interp.env -> value =
       let c = Str s in
       fun _ -> c
   | Csrc.Ast.Ident name ->
-      (* locals and globals resolve at runtime (implicit declarations,
-         lazy global init); the constant fallback chain is pure on the
-         index, so resolve it once here *)
-      let fallback =
-        match Csrc.Index.ident_const eng.index name with
-        | Csrc.Index.C_int v -> Int v
-        | Csrc.Index.C_str s -> Str s
-        | Csrc.Index.C_none -> (
-            match Csrc.Index.find_function eng.index name with
-            | Some _ -> Fn name
-            | None -> Int 0L)
-      in
-      fun env -> (
-        match Hashtbl.find_opt env.Interp.locals name with
-        | Some v -> v
-        | None -> (
-            match Interp.get_global env.Interp.st name with
-            | Some v -> v
-            | None -> fallback))
+      (* local vs global vs constant is decided here; only "has the
+         declaration run yet" (and lazy global init) stays runtime *)
+      let i = slot_of ctx name in
+      let eng = ctx.eng in
+      if Csrc.Index.find_global eng.index name <> None then
+        let gh = Stbl.hash name in
+        fun env ->
+          let s = env.slots.(i) in
+          if s != unbound then s
+          else (match get_global_h eng env.st gh name with Some v -> v | None -> Int 0L)
+      else
+        let fallback =
+          match Csrc.Index.ident_const eng.index name with
+          | Csrc.Index.C_int v -> Int v
+          | Csrc.Index.C_str s -> Str s
+          | Csrc.Index.C_none -> (
+              match Csrc.Index.find_function eng.index name with
+              | Some _ -> Fn name
+              | None -> Int 0L)
+        in
+        fun env ->
+          let s = env.slots.(i) in
+          if s != unbound then s else fallback
   | Csrc.Ast.Unop (op, a) -> (
-      let ca = compile_expr eng a in
+      let ca = compile_expr ctx a in
       match op with
       | Csrc.Ast.Neg -> fun env -> Int (Int64.neg (Interp.as_int (ca env)))
       | Csrc.Ast.Not -> fun env -> Interp.bool_v (not (truthy (ca env)))
@@ -129,52 +360,50 @@ let rec compile_expr (eng : t) (e : Csrc.Ast.expr) : Interp.env -> value =
   | Csrc.Ast.Binop (op, a, b) -> (
       match op with
       | Csrc.Ast.Land ->
-          let ca = compile_expr eng a and cb = compile_expr eng b in
+          let ca = compile_expr ctx a and cb = compile_expr ctx b in
           fun env -> Interp.bool_v (truthy (ca env) && truthy (cb env))
       | Csrc.Ast.Lor ->
-          let ca = compile_expr eng a and cb = compile_expr eng b in
+          let ca = compile_expr ctx a and cb = compile_expr ctx b in
           fun env -> Interp.bool_v (truthy (ca env) || truthy (cb env))
       | _ ->
-          let ca = compile_expr eng a and cb = compile_expr eng b in
+          let ca = compile_expr ctx a and cb = compile_expr ctx b in
           fun env ->
             let va = ca env in
             let vb = cb env in
-            Interp.binop_values ~fn:env.Interp.fn op va vb)
+            Interp.binop_values ~fn:env.fn op va vb)
   | Csrc.Ast.Assign (lhs, rhs) ->
-      let cr = compile_expr eng rhs in
-      let cl = compile_lval eng lhs in
+      let cr = compile_expr ctx rhs in
+      let cs = compile_store ctx lhs in
       fun env ->
         let v = cr env in
-        Interp.store env (cl env) v;
+        cs env v;
         v
-  | Csrc.Ast.Call (name, args) -> compile_call eng name args
+  | Csrc.Ast.Call (name, args) -> compile_call ctx name args
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
-      let ca = compile_expr eng a in
+      let ca = compile_expr ctx a in
+      let fh = Stbl.hash f in
       fun env ->
         match ca env with
-        | Ptr o -> Interp.get_field ~fn:env.Interp.fn o f
+        | Ptr o -> Interp.get_field_h ~fn:env.fn o fh f
         | Uptr (U_struct (_, fields)) -> (
             match List.assoc_opt f fields with
-            | Some uv -> Interp.value_of_uval env.Interp.st ~fn:env.Interp.fn uv
+            | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
             | None -> Int 0L)
-        | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.Interp.fn
-        | Int _ -> Crash.raise_crash Crash.Gpf env.Interp.fn
-        | _ ->
-            raise
-              (Interp.Exec_error
-                 (Printf.sprintf "%s: bad field base for .%s" env.Interp.fn f)))
+        | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.fn
+        | Int _ -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
-      let ci = compile_expr eng i in
-      let ca = compile_expr eng a in
+      let ci = compile_expr ctx i in
+      let ca = compile_expr ctx a in
       fun env ->
         let idx = Int64.to_int (Interp.as_int (ci env)) in
         match ca env with
         | Ptr o -> (
-            Interp.check_alive ~fn:env.Interp.fn o;
+            Interp.check_alive ~fn:env.fn o;
             match o.data with
             | Cells cells ->
                 if idx < 0 || idx >= Array.length cells then
-                  Crash.raise_crash Crash.Ubsan_oob env.Interp.fn
+                  Crash.raise_crash Crash.Ubsan_oob env.fn
                 else cells.(idx)
             | Fields _ | Opaque -> Int 0L)
         | Str s ->
@@ -182,157 +411,265 @@ let rec compile_expr (eng : t) (e : Csrc.Ast.expr) : Interp.env -> value =
             else Int 0L
         | Uptr (U_arr xs) -> (
             match List.nth_opt xs idx with
-            | Some uv -> Interp.value_of_uval env.Interp.st ~fn:env.Interp.fn uv
+            | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
             | None -> Int 0L)
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
         | _ -> Int 0L)
-  | Csrc.Ast.Cast (_, a) -> compile_expr eng a
+  | Csrc.Ast.Cast (_, a) -> compile_expr ctx a
   | Csrc.Ast.Sizeof_type ty ->
-      let c = Int (Int64.of_int (Csrc.Index.sizeof eng.index ty)) in
+      let c = Int (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
       fun _ -> c
   | Csrc.Ast.Sizeof_expr _ -> fun _ -> Int 8L
   | Csrc.Ast.Ternary (c, t, f) ->
-      let cc = compile_expr eng c and ct = compile_expr eng t and cf = compile_expr eng f in
+      let cc = compile_expr ctx c and ct = compile_expr ctx t and cf = compile_expr ctx f in
       fun env -> if truthy (cc env) then ct env else cf env
   | Csrc.Ast.Addr_of a ->
       (* &x evaluates x itself for every lvalue shape, like the
          interpreter *)
-      compile_expr eng a
+      compile_expr ctx a
   | Csrc.Ast.Deref a -> (
-      let ca = compile_expr eng a in
+      let ca = compile_expr ctx a in
       fun env ->
         match ca env with
         | Ptr o ->
-            Interp.check_alive ~fn:env.Interp.fn o;
+            Interp.check_alive ~fn:env.fn o;
             Ptr o
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
         | v -> v)
   | Csrc.Ast.Type_arg ty ->
-      let c = Int (Int64.of_int (Csrc.Index.sizeof eng.index ty)) in
+      let c = Int (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
       fun _ -> c
 
-and compile_lval (eng : t) (e : Csrc.Ast.expr) : Interp.env -> Interp.lvalue =
+(* Mirror of [Interp.eval_lval] + [Interp.store], fused: the lvalue
+   shape is static, so no intermediate [lvalue] value is built. The
+   returned closure evaluates exactly what [eval_lval] would (index
+   before base, same crashes), then performs the store. *)
+and compile_store (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value -> unit =
   match e with
   | Csrc.Ast.Ident name ->
-      fun env ->
-        if Hashtbl.mem env.Interp.locals name then Interp.L_local name
-        else if Interp.get_global env.Interp.st name <> None then Interp.L_global name
-        else Interp.L_local name
+      let i = slot_of ctx name in
+      if Csrc.Index.find_global ctx.eng.index name <> None then
+        let eng = ctx.eng in
+        let gh = Stbl.hash name in
+        fun env v ->
+          if env.slots.(i) != unbound then env.slots.(i) <- v
+          else begin
+            (* the interpreter's lvalue probe forces the global's lazy
+               initialization (and its object allocations) before the
+               store overwrites the binding — keep that order *)
+            ignore (get_global_h eng env.st gh name);
+            Stbl.replace_h env.st.Interp.globals gh name v
+          end
+      else fun env v -> env.slots.(i) <- v
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
-      let ca = compile_expr eng a in
-      fun env ->
+      let ca = compile_expr ctx a in
+      let fh = Stbl.hash f in
+      fun env v ->
         match ca env with
         | Ptr o ->
-            Interp.check_alive ~fn:env.Interp.fn o;
-            Interp.L_field (o, f)
-        | Int _ -> Crash.raise_crash Crash.Gpf env.Interp.fn
-        | _ ->
-            raise
-              (Interp.Exec_error
-                 (Printf.sprintf "%s: bad lvalue base for .%s" env.Interp.fn f)))
+            Interp.check_alive ~fn:env.fn o;
+            Interp.set_field_h ~fn:env.fn o fh f v
+        | Int _ -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
-      let ci = compile_expr eng i in
-      let ca = compile_expr eng a in
-      fun env ->
+      let ci = compile_expr ctx i in
+      let ca = compile_expr ctx a in
+      fun env v ->
         let idx = Int64.to_int (Interp.as_int (ci env)) in
         match ca env with
         | Ptr o -> (
-            Interp.check_alive ~fn:env.Interp.fn o;
+            Interp.check_alive ~fn:env.fn o;
             match o.data with
             | Cells cells ->
                 if idx < 0 || idx >= Array.length cells then
-                  Crash.raise_crash Crash.Ubsan_oob env.Interp.fn
-                else Interp.L_cell (o, idx)
-            | Fields _ | Opaque -> Interp.L_field (o, Printf.sprintf "__idx%d" idx))
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
-        | _ -> raise (Interp.Exec_error (env.Interp.fn ^ ": bad array lvalue")))
+                  Crash.raise_crash Crash.Ubsan_oob env.fn
+                else cells.(idx) <- v
+            | Fields _ | Opaque -> Interp.set_field ~fn:env.fn o (Printf.sprintf "__idx%d" idx) v)
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Interp.Exec_error (env.fn ^ ": bad array lvalue")))
   | Csrc.Ast.Deref a -> (
-      let ca = compile_expr eng a in
-      fun env ->
+      let ca = compile_expr ctx a in
+      fun env v ->
         match ca env with
         | Ptr o ->
-            Interp.check_alive ~fn:env.Interp.fn o;
-            Interp.L_field (o, "__deref")
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.Interp.fn
-        | _ -> raise (Interp.Exec_error (env.Interp.fn ^ ": bad deref lvalue")))
-  | Csrc.Ast.Cast (_, a) -> compile_lval eng a
-  | _ -> fun env -> raise (Interp.Exec_error (env.Interp.fn ^ ": expression is not an lvalue"))
+            Interp.check_alive ~fn:env.fn o;
+            Interp.set_field ~fn:env.fn o "__deref" v
+        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Interp.Exec_error (env.fn ^ ": bad deref lvalue")))
+  | Csrc.Ast.Cast (_, a) -> compile_store ctx a
+  | _ -> fun env _ -> raise (Interp.Exec_error (env.fn ^ ": expression is not an lvalue"))
 
-and compile_call (eng : t) (name : string) (args : Csrc.Ast.expr list) : Interp.env -> value
-    =
+and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv -> value =
+  let eng = ctx.eng in
   (* the user-function decision is stable: the index is frozen after
-     boot, so resolve it once per call site *)
-  let user_path : (Interp.env -> value) option =
+     boot, so resolve it once per call site (the compiled code is
+     fetched lazily because the callee may not be compiled yet) *)
+  let user_path : (jenv -> value) option =
     match Csrc.Index.find_function eng.index name with
     | Some fd when fd.Csrc.Ast.fun_body <> [] ->
-        let cargs = List.map (compile_expr eng) args in
+        let cargs = Array.of_list (List.map (compile_expr ctx) args) in
+        let fc_cell = ref None in
         Some
           (fun env ->
-            let argv = List.map (fun c -> c env) cargs in
-            invoke eng env.Interp.st name argv)
+            let fc =
+              match !fc_cell with
+              | Some fc -> fc
+              | None ->
+                  let fc = Stbl.find eng.funs name in
+                  fc_cell := Some fc;
+                  fc
+            in
+            exec_fun_args env.st fc cargs env)
     | Some _ | None -> None
   in
-  if Hashtbl.mem builtin_set name then
-    (* builtins evaluate their argument expressions themselves — some
-       lazily, some as lvalues — so hand them the AST unchanged *)
-    match user_path with
-    | Some up ->
-        fun env -> (
-          match Interp.builtin env name args with Some v -> v | None -> up env)
-    | None ->
-        fun env -> (
-          match Interp.builtin env name args with Some v -> v | None -> Int 0L)
-  else match user_path with Some up -> up | None -> fun _ -> Int 0L
+  match Stbl.find_opt Interp.builtin_ids name with
+  | Some bid -> begin
+    (* builtins see their arguments through {!Interp.builtin_ctx}: one
+       pre-compiled closure per argument / lvalue argument, evaluated
+       only when the builtin asks, in the same order as the tree
+       walker *)
+    let n = List.length args in
+    let cargs = Array.of_list (List.map (compile_expr ctx) args) in
+    let cstores = Array.of_list (List.map (compile_store ctx) args) in
+    let csstores =
+      Array.of_list
+        (List.map
+           (fun a ->
+             let rec strip = function
+               | Csrc.Ast.Cast (_, e) -> strip e
+               | Csrc.Ast.Addr_of e -> Some e
+               | _ -> None
+             in
+             match strip a with
+             | Some inner -> Some (compile_store ctx inner)
+             | None -> None)
+           args)
+    in
+    let fops =
+      let rec find = function
+        | Csrc.Ast.Addr_of (Csrc.Ast.Ident g) -> Some g
+        | Csrc.Ast.Cast (_, e) -> find e
+        | _ -> None
+      in
+      List.find_map find args
+    in
+    let io_const =
+      match Csrc.Index.eval_opt eng.index (Csrc.Ast.Call (name, args)) with
+      | Some v -> Int v
+      | None -> Int 0L
+    in
+    (* constant-returning builtins never consult their context (the
+       tree walker's lazy callbacks mean it never evaluates their
+       arguments either), so the whole call compiles to its constant *)
+    match name with
+    | "schedule_timeout" | "msleep" | "printk" | "pr_info" | "pr_err" | "pr_warn"
+    | "noop_llseek" | "nonseekable_open" | "stream_open" | "get_user" | "put_user"
+    | "misc_register" | "misc_deregister" | "register_chrdev" | "unregister_chrdev"
+    | "cdev_init" | "cdev_add" | "device_create" | "class_create" | "sock_register"
+    | "proto_register" ->
+        let c = Int 0L in
+        fun _ -> c
+    | "capable" ->
+        let c = Int 1L in
+        fun _ -> c
+    | "_IO" | "_IOR" | "_IOW" | "_IOWR" | "_IOC" -> fun _ -> io_const
+    | _ ->
+        let mk env : Interp.builtin_ctx =
+          {
+            Interp.bn = n;
+            bv =
+              (fun i ->
+                if i < n then
+                  match cargs.(i) env with Uptr (U_str s) -> Str s | x -> x
+                else Int 0L);
+            braw = (fun i -> if i < n then cargs.(i) env else Int 0L);
+            bstore =
+              (fun i sv ->
+                i < n
+                &&
+                try
+                  cstores.(i) env sv;
+                  true
+                with Interp.Exec_error _ -> false);
+            bsstore =
+              (fun i sv ->
+                i < n
+                &&
+                match csstores.(i) with
+                | Some cs -> (
+                    try
+                      cs env sv;
+                      true
+                    with Interp.Exec_error _ -> false)
+                | None -> false);
+            bfops = (fun () -> fops);
+            bio = (fun () -> io_const);
+          }
+        in
+        (match user_path with
+        | Some up ->
+            fun env -> (
+              match Interp.builtin_values_id env.st ~fn:env.fn bid name (mk env) with
+              | Some v -> v
+              | None -> up env)
+        | None ->
+            let zero = Int 0L in
+            fun env -> (
+              match Interp.builtin_values_id env.st ~fn:env.fn bid name (mk env) with
+              | Some v -> v
+              | None -> zero))
+    end
+  | None -> ( match user_path with Some up -> up | None -> fun _ -> Int 0L)
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
-and compile_stmt (eng : t) (s : Csrc.Ast.stmt) : Interp.env -> unit =
+and compile_stmt (ctx : ctx) (s : Csrc.Ast.stmt) : jenv -> unit =
   let sid = s.Csrc.Ast.sid in
-  let node = compile_node eng s.Csrc.Ast.node in
+  let node = compile_node ctx s.Csrc.Ast.node in
   fun env ->
-    Interp.step env;
-    env.Interp.st.Interp.on_cover sid;
+    Interp.step_state env.st;
+    env.st.Interp.on_cover sid;
     node env
 
-and compile_node (eng : t) (node : Csrc.Ast.stmt_node) : Interp.env -> unit =
+and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
   match node with
   | Csrc.Ast.Expr_stmt e ->
-      let ce = compile_expr eng e in
+      let ce = compile_expr ctx e in
       fun env -> ignore (ce env)
   | Csrc.Ast.Decl_stmt (ty, name, init) -> (
+      let i = slot_of ctx name in
       match init with
       | Some e ->
-          let ce = compile_expr eng e in
-          fun env -> Hashtbl.replace env.Interp.locals name (ce env)
+          let ce = compile_expr ctx e in
+          fun env -> env.slots.(i) <- ce env
       | None ->
-          fun env ->
-            Hashtbl.replace env.Interp.locals name
-              (Interp.zero_value env.Interp.st ~fn:env.Interp.fn ty))
+          let cz = compile_zero ctx.eng ~fn:ctx.cfn ty in
+          fun env -> env.slots.(i) <- cz env.st)
   | Csrc.Ast.If (c, t, f) -> (
-      let cc = compile_expr eng c in
-      let ct = compile_block eng t in
+      let cc = compile_expr ctx c in
+      let ct = compile_block ctx t in
       match f with
       | Some f ->
-          let cf = compile_block eng f in
+          let cf = compile_block ctx f in
           fun env -> if truthy (cc env) then ct env else cf env
       | None -> fun env -> if truthy (cc env) then ct env)
   | Csrc.Ast.Switch (scrut, cases) ->
-      let cscrut = compile_expr eng scrut in
+      let cscrut = compile_expr ctx scrut in
       let clabels =
         Array.of_list
           (List.map
              (fun c ->
                List.filter_map
                  (function
-                   | Csrc.Ast.Case e -> Some (compile_expr eng e)
+                   | Csrc.Ast.Case e -> Some (compile_expr ctx e)
                    | Csrc.Ast.Default -> None)
                  c.Csrc.Ast.labels)
              cases)
       in
       let cbodies =
-        Array.of_list (List.map (fun c -> compile_block eng c.Csrc.Ast.case_body) cases)
+        Array.of_list (List.map (fun c -> compile_block ctx c.Csrc.Ast.case_body) cases)
       in
       let default_idx =
         let rec find i = function
@@ -365,38 +702,38 @@ and compile_node (eng : t) (node : Csrc.Ast.stmt_node) : Interp.env -> unit =
               done
             with Interp.Break_exc -> ()))
   | Csrc.Ast.While (c, body) ->
-      let cc = compile_expr eng c in
-      let cb = compile_block eng body in
+      let cc = compile_expr ctx c in
+      let cb = compile_block ctx body in
       fun env -> (
         try
           while truthy (cc env) do
-            Interp.step env;
+            Interp.step_state env.st;
             try cb env with Interp.Continue_exc -> ()
           done
         with Interp.Break_exc -> ())
   | Csrc.Ast.Do_while (body, c) ->
-      let cb = compile_block eng body in
-      let cc = compile_expr eng c in
+      let cb = compile_block ctx body in
+      let cc = compile_expr ctx c in
       fun env -> (
         try
           let continue_loop = ref true in
           while !continue_loop do
-            Interp.step env;
+            Interp.step_state env.st;
             (try cb env with Interp.Continue_exc -> ());
             continue_loop := truthy (cc env)
           done
         with Interp.Break_exc -> ())
   | Csrc.Ast.For (init, cond, upd, body) ->
-      let cinit = Option.map (compile_expr eng) init in
-      let ccond = Option.map (compile_expr eng) cond in
-      let cupd = Option.map (compile_expr eng) upd in
-      let cb = compile_block eng body in
+      let cinit = Option.map (compile_expr ctx) init in
+      let ccond = Option.map (compile_expr ctx) cond in
+      let cupd = Option.map (compile_expr ctx) upd in
+      let cb = compile_block ctx body in
       fun env ->
         (match cinit with Some c -> ignore (c env) | None -> ());
         (try
            let check () = match ccond with Some c -> truthy (c env) | None -> true in
            while check () do
-             Interp.step env;
+             Interp.step_state env.st;
              (try cb env with Interp.Continue_exc -> ());
              match cupd with Some u -> ignore (u env) | None -> ()
            done
@@ -404,23 +741,32 @@ and compile_node (eng : t) (node : Csrc.Ast.stmt_node) : Interp.env -> unit =
   | Csrc.Ast.Return e -> (
       match e with
       | Some e ->
-          let ce = compile_expr eng e in
+          let ce = compile_expr ctx e in
           fun env -> raise (Interp.Return_exc (ce env))
       | None -> fun _ -> raise (Interp.Return_exc Unit))
   | Csrc.Ast.Break -> fun _ -> raise Interp.Break_exc
   | Csrc.Ast.Continue -> fun _ -> raise Interp.Continue_exc
-  | Csrc.Ast.Goto l ->
-      let exn = Interp.Goto_exc l in
-      fun _ -> raise exn
+  | Csrc.Ast.Goto l -> (
+      (* resolved against the top-level label table at compile time;
+         unknown labels keep the interpreter's exact error *)
+      match List.assoc_opt l ctx.clabels with
+      | Some j ->
+          let exn = Goto_idx j in
+          fun _ -> raise exn
+      | None ->
+          let exn =
+            Interp.Exec_error (Printf.sprintf "%s: unknown label %s" ctx.cfn l)
+          in
+          fun _ -> raise exn)
   | Csrc.Ast.Label _ -> fun _ -> ()
-  | Csrc.Ast.Block b -> compile_block eng b
+  | Csrc.Ast.Block b -> compile_block ctx b
 
-and compile_block (eng : t) (b : Csrc.Ast.block) : Interp.env -> unit =
+and compile_block (ctx : ctx) (b : Csrc.Ast.block) : jenv -> unit =
   match b with
   | [] -> fun _ -> ()
-  | [ s ] -> compile_stmt eng s
+  | [ s ] -> compile_stmt ctx s
   | _ ->
-      let arr = Array.of_list (List.map (compile_stmt eng) b) in
+      let arr = Array.of_list (List.map (compile_stmt ctx) b) in
       fun env -> Array.iter (fun f -> f env) arr
 
 (* ------------------------------------------------------------------ *)
@@ -428,7 +774,6 @@ and compile_block (eng : t) (b : Csrc.Ast.block) : Interp.env -> unit =
 (* ------------------------------------------------------------------ *)
 
 let compile_fun (eng : t) (name : string) (fd : Csrc.Ast.func_def) : fun_code =
-  let body = Array.of_list (List.map (compile_stmt eng) fd.Csrc.Ast.fun_body) in
   let labels =
     List.rev
       (snd
@@ -439,19 +784,21 @@ let compile_fun (eng : t) (name : string) (fd : Csrc.Ast.func_def) : fun_code =
               | _ -> (i + 1, acc))
             (0, []) fd.Csrc.Ast.fun_body))
   in
-  {
-    fc_name = name;
-    fc_params = List.map snd fd.Csrc.Ast.fun_params;
-    fc_body = body;
-    fc_labels = labels;
-  }
+  let ctx = { eng; cfn = name; clabels = labels; cslots = Stbl.create 16; cnslots = 0 } in
+  let params = Array.of_list (List.map (fun (_, p) -> slot_of ctx p) fd.Csrc.Ast.fun_params) in
+  let body = Array.of_list (List.map (compile_stmt ctx) fd.Csrc.Ast.fun_body) in
+  { fc_name = name; fc_nslots = ctx.cnslots; fc_params = params; fc_body = body }
 
-(** Compile every function with a body, once. The index is frozen after
-    {!Machine.boot}, so the table is read-only afterwards. *)
+(** Compile every global initializer and every function with a body,
+    once. The index is frozen after {!Machine.boot}, so both tables are
+    read-only afterwards. *)
 let of_index (index : Csrc.Index.t) : t =
-  let eng = { index; funs = Hashtbl.create 256 } in
+  let eng = { index; funs = Stbl.create 256; ginits = Stbl.create 256 } in
+  Hashtbl.iter
+    (fun name g -> Stbl.replace eng.ginits name (compile_ginit eng g))
+    index.Csrc.Index.globals;
   Hashtbl.iter
     (fun name (fd : Csrc.Ast.func_def) ->
-      if fd.Csrc.Ast.fun_body <> [] then Hashtbl.replace eng.funs name (compile_fun eng name fd))
+      if fd.Csrc.Ast.fun_body <> [] then Stbl.replace eng.funs name (compile_fun eng name fd))
     index.Csrc.Index.functions;
   eng

@@ -46,6 +46,10 @@ type t = {
   jit : Jit.t Lazy.t;
       (** closure-compiled function bodies; forced on first execution so
           boots that never execute programs pay nothing *)
+  layouts : Interp.layout Value.Stbl.t;
+      (** composite layout plans shared by every per-execution state:
+          the index is frozen after boot, so a struct's field walk is
+          computed once per machine, not once per instantiation *)
   n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 
@@ -101,6 +105,7 @@ let boot (entries : Corpus.Types.entry list) : t =
     sid_module;
     modules = List.map (fun (e : Corpus.Types.entry) -> e.name) entries;
     jit = lazy (Jit.of_index index);
+    layouts = Value.Stbl.create 64;
     n_sids = !sid;
   }
 
@@ -168,6 +173,7 @@ type fd_entry = {
   fd_file : Value.obj;  (** the [struct file] (or [struct socket]) object *)
   fd_inode : Value.obj;
   fd_ops : string;  (** name of the fops / proto_ops global *)
+  fd_ops_h : int;  (** [Value.Stbl.hash fd_ops], computed once at fd creation *)
   fd_is_socket : bool;
 }
 
@@ -181,16 +187,37 @@ type run = {
 
 let errno v = Int64.neg (Int64.of_int v)
 
-let handler run ~(ops : string) (field : string) : string option =
-  match Interp.get_global run.st ops with
+(* Handler field names hashed once: dispatch resolves fops globals and
+   their function-pointer fields on every syscall, so the string hashes
+   are hoisted out of the hot path (for both engines). *)
+let h_open = Value.Stbl.hash "open"
+let h_release = Value.Stbl.hash "release"
+let h_poll = Value.Stbl.hash "poll"
+let h_mmap = Value.Stbl.hash "mmap"
+let h_connect = Value.Stbl.hash "connect"
+let h_accept = Value.Stbl.hash "accept"
+let h_ioctl = Value.Stbl.hash "ioctl"
+let h_unlocked_ioctl = Value.Stbl.hash "unlocked_ioctl"
+let h_sendmsg = Value.Stbl.hash "sendmsg"
+let h_recvmsg = Value.Stbl.hash "recvmsg"
+
+let handler run ~(ops : string) ~(oh : int) (field : string) (fh : int) : string option =
+  (* the fops global initializes lazily on first touch; each engine
+     runs its own initializer form (compiled plan vs AST walk), which
+     produce identical objects in identical order *)
+  let fops =
+    if run.use_jit then Jit.get_global_h (Lazy.force run.machine.jit) run.st oh ops
+    else Interp.get_global_h run.st oh ops
+  in
+  match fops with
   | Some (Value.Ptr o) -> (
-      match Interp.get_field ~fn:"__dispatch" o field with
+      match Interp.get_field_h ~fn:"__dispatch" o fh field with
       | Value.Fn name -> Some name
       | _ -> None)
   | _ -> None
 
-let call_handler run ~ops field args ~(default : int64) : int64 =
-  match handler run ~ops field with
+let call_handler run ~ops ~oh field fh args ~(default : int64) : int64 =
+  match handler run ~ops ~oh field fh with
   | None -> default
   | Some fname ->
       Value.to_int
@@ -248,14 +275,20 @@ let op_open (run : run) (retvals : int64 array) (c : call) : int64 =
       let file = Interp.typed_obj st ~fn "file" in
       let inode = Interp.typed_obj st ~fn "inode" in
       let r =
-        call_handler run ~ops:dev.dev_fops "open"
+        call_handler run ~ops:dev.dev_fops ~oh:(Value.Stbl.hash dev.dev_fops) "open" h_open
           [ Value.Ptr inode; Value.Ptr file ]
           ~default:0L
       in
       if Int64.compare r 0L < 0 then r
       else
         new_fd run
-          { fd_file = file; fd_inode = inode; fd_ops = dev.dev_fops; fd_is_socket = false }
+          {
+            fd_file = file;
+            fd_inode = inode;
+            fd_ops = dev.dev_fops;
+            fd_ops_h = Value.Stbl.hash dev.dev_fops;
+            fd_is_socket = false;
+          }
 
 let op_socket (run : run) (retvals : int64 array) (c : call) : int64 =
   let st = run.st in
@@ -292,7 +325,13 @@ let op_socket (run : run) (retvals : int64 array) (c : call) : int64 =
       Interp.set_field ~fn sock "sk_type" (Value.Int (Int64.of_int styp));
       let inode = Interp.typed_obj st ~fn "inode" in
       new_fd run
-        { fd_file = sock; fd_inode = inode; fd_ops = reg.sock_ops; fd_is_socket = true }
+        {
+          fd_file = sock;
+          fd_inode = inode;
+          fd_ops = reg.sock_ops;
+          fd_ops_h = Value.Stbl.hash reg.sock_ops;
+          fd_is_socket = true;
+        }
 
 let op_close (run : run) (retvals : int64 array) (c : call) : int64 =
   match resolve_fd run retvals (get c.c_args 0) with
@@ -300,9 +339,9 @@ let op_close (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, fdnum ->
       Hashtbl.remove run.fds (Int64.to_int fdnum);
       if e.fd_is_socket then
-        call_handler run ~ops:e.fd_ops "release" [ Value.Ptr e.fd_file ] ~default:0L
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release [ Value.Ptr e.fd_file ] ~default:0L
       else
-        call_handler run ~ops:e.fd_ops "release"
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release
           [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
           ~default:0L
 
@@ -313,8 +352,10 @@ let op_ioctl (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ ->
       let cmd = int_of args retvals 1 in
       let argv = val_of args retvals 2 in
-      let field = if e.fd_is_socket then "ioctl" else "unlocked_ioctl" in
-      call_handler run ~ops:e.fd_ops field
+      let field, fh =
+        if e.fd_is_socket then ("ioctl", h_ioctl) else ("unlocked_ioctl", h_unlocked_ioctl)
+      in
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h field fh
         [ Value.Ptr e.fd_file; Value.Int cmd; argv ]
         ~default:(errno 25 (* ENOTTY *))
 
@@ -323,7 +364,7 @@ let op_rw (run : run) (retvals : int64 array) (c : call) : int64 =
   match resolve_fd run retvals (get args 0) with
   | None, _ -> errno 9
   | Some e, _ ->
-      call_handler run ~ops:e.fd_ops c.c_name
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
         [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
         ~default:(errno 22)
 
@@ -332,18 +373,18 @@ let op_poll (run : run) (retvals : int64 array) (c : call) : int64 =
   | None, _ -> errno 9
   | Some e, _ ->
       if e.fd_is_socket then
-        call_handler run ~ops:e.fd_ops "poll"
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "poll" h_poll
           [ Value.Int 0L; Value.Ptr e.fd_file; Value.Int 0L ]
           ~default:0L
       else
-        call_handler run ~ops:e.fd_ops "poll" [ Value.Ptr e.fd_file; Value.Int 0L ] ~default:0L
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "poll" h_poll [ Value.Ptr e.fd_file; Value.Int 0L ] ~default:0L
 
 let op_mmap (run : run) (retvals : int64 array) (c : call) : int64 =
   let args = c.c_args in
   match resolve_fd run retvals (get args 0) with
   | None, _ -> errno 9
   | Some e, _ ->
-      call_handler run ~ops:e.fd_ops "mmap"
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "mmap" h_mmap
         [ Value.Ptr e.fd_file; val_of args retvals 1 ]
         ~default:(errno 19)
 
@@ -362,7 +403,7 @@ let op_sock_generic (run : run) (retvals : int64 array) (c : call) : int64 =
           | "listen" | "shutdown" -> [ val_of args retvals 1 ]
           | _ -> []
         in
-        call_handler run ~ops:e.fd_ops c.c_name
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
           (Value.Ptr e.fd_file :: rest)
           ~default:(errno 95)
   | Some _, _ -> errno 88 (* ENOTSOCK *)
@@ -374,7 +415,7 @@ let op_connect (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ when e.fd_is_socket ->
       if Value.is_zero (val_of args retvals 1) then errno 14
       else
-        call_handler run ~ops:e.fd_ops "connect"
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "connect" h_connect
           [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
           ~default:(errno 95)
   | Some _, _ -> errno 88
@@ -387,7 +428,7 @@ let op_accept (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ when e.fd_is_socket ->
       let newsock = Interp.typed_obj st ~fn "socket" in
       let r =
-        call_handler run ~ops:e.fd_ops "accept"
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "accept" h_accept
           [ Value.Ptr e.fd_file; Value.Ptr newsock; Value.Int 0L ]
           ~default:(errno 95)
       in
@@ -398,6 +439,7 @@ let op_accept (run : run) (retvals : int64 array) (c : call) : int64 =
             fd_file = newsock;
             fd_inode = Interp.typed_obj st ~fn "inode";
             fd_ops = e.fd_ops;
+            fd_ops_h = e.fd_ops_h;
             fd_is_socket = true;
           }
   | Some _, _ -> errno 88
@@ -407,7 +449,7 @@ let op_sockopt (run : run) (retvals : int64 array) (c : call) : int64 =
   match resolve_fd run retvals (get args 0) with
   | None, _ -> errno 9
   | Some e, _ when e.fd_is_socket ->
-      call_handler run ~ops:e.fd_ops c.c_name
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
         [
           Value.Ptr e.fd_file;
           val_of args retvals 1;
@@ -434,7 +476,7 @@ let op_sendrecvmsg (run : run) (retvals : int64 array) (c : call) : int64 =
           [ int_of args retvals 2; Value.to_int (val_of args retvals 3) ]
         else [ int_of args retvals 2 ]
       in
-      call_handler run ~ops:e.fd_ops c.c_name
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
         (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
         ~default:(errno 95)
   | Some _, _ -> errno 88
@@ -452,12 +494,14 @@ let op_sendto (run : run) (retvals : int64 array) (c : call) : int64 =
       Interp.set_field ~fn msg "msg_iov" (val_of args retvals 1);
       Interp.set_field ~fn msg "msg_name" (val_of args retvals 4);
       Interp.set_field ~fn msg "msg_namelen" (Value.Int (int_of args retvals 5));
-      let field = if c.c_name = "sendto" then "sendmsg" else "recvmsg" in
+      let field, fh =
+        if c.c_name = "sendto" then ("sendmsg", h_sendmsg) else ("recvmsg", h_recvmsg)
+      in
       let extra =
         if field = "recvmsg" then [ int_of args retvals 2; int_of args retvals 3 ]
         else [ int_of args retvals 2 ]
       in
-      call_handler run ~ops:e.fd_ops field
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h field fh
         (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
         ~default:(errno 95)
   | Some _, _ -> errno 88
@@ -508,7 +552,7 @@ let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink opt
   let on_cover =
     match sink with Some sk -> Some (fun sid -> sink_record sk sid) | None -> None
   in
-  let st = Interp.create ~index:t.index ~step_budget ?on_cover () in
+  let st = Interp.create ~index:t.index ~layouts:t.layouts ~step_budget ?on_cover () in
   let run =
     { machine = t; st; fds = Hashtbl.create 8; next_fd = 3; use_jit = engine = `Jit }
   in
@@ -517,7 +561,14 @@ let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink opt
       (fun ops_global ->
         let file = Interp.typed_obj st ~fn:"anon_inode" "file" in
         let inode = Interp.typed_obj st ~fn:"anon_inode" "inode" in
-        new_fd run { fd_file = file; fd_inode = inode; fd_ops = ops_global; fd_is_socket = false });
+        new_fd run
+          {
+            fd_file = file;
+            fd_inode = inode;
+            fd_ops = ops_global;
+            fd_ops_h = Value.Stbl.hash ops_global;
+            fd_is_socket = false;
+          });
   let n = List.length prog in
   let retvals = Array.make n (-1L) in
   let crash = ref None in
@@ -555,10 +606,10 @@ let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink opt
          (fun (fd, e) ->
            Hashtbl.remove run.fds fd;
            if e.fd_is_socket then
-             ignore (call_handler run ~ops:e.fd_ops "release" [ Value.Ptr e.fd_file ] ~default:0L)
+             ignore (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release [ Value.Ptr e.fd_file ] ~default:0L)
            else
              ignore
-               (call_handler run ~ops:e.fd_ops "release"
+               (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release
                   [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
                   ~default:0L))
          open_fds

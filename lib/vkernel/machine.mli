@@ -44,8 +44,11 @@ type t = {
   sid_module : (int, string) Hashtbl.t;
   modules : string list;
   jit : Jit.t Lazy.t;
-      (** closure-compiled function bodies; forced on first execution so
-          boots that never execute programs pay nothing *)
+      (** closure-compiled function bodies and global-initializer plans;
+          forced by campaign init (or on first execution) so boots that
+          never execute programs pay nothing *)
+  layouts : Interp.layout Value.Stbl.t;
+      (** composite layout plans shared by every per-execution state *)
   n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 

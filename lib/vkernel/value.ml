@@ -24,6 +24,125 @@ type uval =
   | U_struct of string * (string * uval) list
   | U_null
 
+(** String-keyed hashtable for object fields, globals and locals — the
+    executor's hottest data structure. A bespoke monomorphic table
+    rather than [Hashtbl]: without flambda, both the generic [Hashtbl]
+    (polymorphic compare on every probe) and a [Hashtbl.Make] instance
+    (indirect calls through the functor record per operation) leave
+    measurable dispatch cost in the hot loops. Chained buckets with
+    mutable cells, direct [String.equal] probes and an inline FNV-1a
+    hash keep every call monomorphic and direct. *)
+module Stbl = struct
+  type 'a cell = Nil | Cell of { ckey : string; mutable cval : 'a; mutable cnext : 'a cell }
+
+  type 'a t = { mutable buckets : 'a cell array; mutable size : int }
+
+  (* FNV-1a over the first 16 bytes, seeded with the length: keys are
+     identifiers, so a bounded pure-OCaml loop beats a hashing C call;
+     longer keys sharing prefix and length just share a bucket. *)
+  let hash (s : string) =
+    let n = String.length s in
+    let m = if n > 16 then 16 else n in
+    let h = ref (0x811c9dc5 lxor n) in
+    for i = 0 to m - 1 do
+      h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193
+    done;
+    !h
+
+  let rec pow2 c n = if c >= n then c else pow2 (c * 2) n
+
+  let create n : 'a t = { buckets = Array.make (pow2 4 (min n 65536)) Nil; size = 0 }
+
+  let resize (t : 'a t) =
+    let old = t.buckets in
+    let nmask = (2 * Array.length old) - 1 in
+    let nb = Array.make (nmask + 1) Nil in
+    Array.iter
+      (fun c ->
+        let rec go = function
+          | Nil -> ()
+          | Cell ({ ckey; cnext; _ } as c) ->
+              let i = hash ckey land nmask in
+              c.cnext <- nb.(i);
+              nb.(i) <- Cell c;
+              go cnext
+        in
+        go c)
+      old;
+    t.buckets <- nb
+
+  let find_opt (t : 'a t) (key : string) : 'a option =
+    let rec go = function
+      | Nil -> None
+      | Cell { ckey; cval; cnext } -> if String.equal ckey key then Some cval else go cnext
+    in
+    go t.buckets.(hash key land (Array.length t.buckets - 1))
+
+  (* [_h] variants take the hash precomputed: the jit hashes each
+     static key once at compile time instead of once per executed
+     access. [h] must be [hash key]. *)
+  let find_opt_h (t : 'a t) (h : int) (key : string) : 'a option =
+    let rec go = function
+      | Nil -> None
+      | Cell { ckey; cval; cnext } -> if String.equal ckey key then Some cval else go cnext
+    in
+    go t.buckets.(h land (Array.length t.buckets - 1))
+
+  let find (t : 'a t) (key : string) : 'a =
+    let rec go = function
+      | Nil -> raise Not_found
+      | Cell { ckey; cval; cnext } -> if String.equal ckey key then cval else go cnext
+    in
+    go t.buckets.(hash key land (Array.length t.buckets - 1))
+
+  let mem (t : 'a t) (key : string) : bool =
+    let rec go = function
+      | Nil -> false
+      | Cell { ckey; cnext; _ } -> String.equal ckey key || go cnext
+    in
+    go t.buckets.(hash key land (Array.length t.buckets - 1))
+
+  let replace (t : 'a t) (key : string) (v : 'a) : unit =
+    let i = hash key land (Array.length t.buckets - 1) in
+    let rec go = function
+      | Nil ->
+          t.buckets.(i) <- Cell { ckey = key; cval = v; cnext = t.buckets.(i) };
+          t.size <- t.size + 1;
+          if t.size > 2 * Array.length t.buckets then resize t
+      | Cell ({ ckey; _ } as c) -> if String.equal ckey key then c.cval <- v else go c.cnext
+    in
+    go t.buckets.(i)
+
+  let replace_h (t : 'a t) (h : int) (key : string) (v : 'a) : unit =
+    let i = h land (Array.length t.buckets - 1) in
+    let rec go = function
+      | Nil ->
+          t.buckets.(i) <- Cell { ckey = key; cval = v; cnext = t.buckets.(i) };
+          t.size <- t.size + 1;
+          if t.size > 2 * Array.length t.buckets then resize t
+      | Cell ({ ckey; _ } as c) -> if String.equal ckey key then c.cval <- v else go c.cnext
+    in
+    go t.buckets.(i)
+
+  let iter (f : string -> 'a -> unit) (t : 'a t) : unit =
+    Array.iter
+      (fun c ->
+        let rec go = function
+          | Nil -> ()
+          | Cell { ckey; cval; cnext } ->
+              f ckey cval;
+              go cnext
+        in
+        go c)
+      t.buckets
+
+  let reset (t : 'a t) : unit =
+    Array.fill t.buckets 0 (Array.length t.buckets) Nil;
+    t.size <- 0
+
+  let length (t : 'a t) = t.size
+end
+
 type obj = {
   oid : int;
   alloc_fn : string;  (** function that allocated the object *)
@@ -32,7 +151,7 @@ type obj = {
 }
 
 and slots =
-  | Fields of (string, value) Hashtbl.t  (** struct-like object (lazy fields) *)
+  | Fields of value Stbl.t  (** struct-like object (lazy fields) *)
   | Cells of value array  (** fixed-size array object *)
   | Opaque  (** raw allocation never accessed structurally *)
 

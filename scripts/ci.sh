@@ -292,6 +292,38 @@ for v in c4 i1 i4; do
 done
 echo "OK: both engines are byte-identical (plain, --exec-faults, cross-engine resume, table4 jobs 1/4)"
 
+echo "== stress module: engine differential on the executor stress driver =="
+# The stress corpus module (goto loops over top-level labels, a
+# six-parameter helper called with 2 and 9 arguments, a parameter
+# shadowing a global, implicit locals, high-arity builtins) lives
+# outside the population (Registry.extras) and is reachable only by
+# name, so running it here cannot perturb any other seeded output.
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  2>/dev/null | normalize_time > "$tmp/stress_c.out"
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  --interpreted 2>/dev/null | normalize_time > "$tmp/stress_i.out"
+if ! diff -u "$tmp/stress_c.out" "$tmp/stress_i.out"; then
+  echo "FAIL: engines diverge on the stress module" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  --exec-faults 10:3 2>/dev/null | normalize_time > "$tmp/stress_ef_c.out"
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  --exec-faults 10:3 --interpreted 2>/dev/null | normalize_time > "$tmp/stress_ef_i.out"
+if ! diff -u "$tmp/stress_ef_c.out" "$tmp/stress_ef_i.out"; then
+  echo "FAIL: engines diverge on the stress module under --exec-faults 10:3" >&2
+  exit 1
+fi
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  --interpreted --checkpoint "$tmp/ck_stress.jsonl" --stop-after 1400 2>/dev/null >/dev/null
+dune exec --no-build bin/kernelgpt_cli.exe -- fuzz stress --budget 3000 --seed 5 --repro \
+  --checkpoint "$tmp/ck_stress.jsonl" --resume 2>/dev/null | normalize_time > "$tmp/stress_xres.out"
+if ! diff -u "$tmp/stress_c.out" "$tmp/stress_xres.out"; then
+  echo "FAIL: compiled resume of an interpreted stress checkpoint diverges" >&2
+  exit 1
+fi
+echo "OK: stress-module differentials (plain, --exec-faults 10:3, cross-engine resume)"
+
 echo "== BENCH artifact: well-formed JSON with non-zero throughput =="
 # Every report run writes a BENCH_*.json throughput artifact. It must
 # parse as JSON, carry the engine that produced it, and report a
@@ -318,6 +350,22 @@ for spec in "bench_c1 compiled" "bench_c4 compiled" "bench_i1 interpreted" "benc
   fi
 done
 echo "OK: all four table4 BENCH artifacts are well-formed with non-zero execs/sec"
+
+echo "== BENCH sanity: compiled engine beats interpreted =="
+# The compiled engine exists to be faster; a ratio at or below 1.0
+# means a regression snuck past the micro-benchmarks.
+if ! python3 - "$tmp/bench_c1.json" "$tmp/bench_i1.json" <<'EOF'
+import json, sys
+c = {t["name"]: t for t in json.load(open(sys.argv[1]))["tables"]}["table4"]["execs_per_s"]
+i = {t["name"]: t for t in json.load(open(sys.argv[2]))["tables"]}["table4"]["execs_per_s"]
+assert c > i, "compiled %.0f execs/s <= interpreted %.0f execs/s" % (c, i)
+print("compiled %.0f execs/s vs interpreted %.0f execs/s (%.2fx)" % (c, i, c / i))
+EOF
+then
+  echo "FAIL: compiled engine is not faster than the interpreted engine" >&2
+  exit 1
+fi
+echo "OK: compiled throughput exceeds interpreted on table4"
 
 echo "== UCB scheduling: stop/resume, shard independence, sched pinning =="
 # The UCB scheduler's state (per-slot visit/reward counters, operator

@@ -271,6 +271,225 @@ let test_push_call_linear_order () =
         c.c_args)
     (List.rev_map snd !rev_prog)
 
+(* ------------------------------------------------------------------ *)
+(* Fast paths: slot-allocated locals, value-level builtins, compiled   *)
+(* global init — dual-engine parity at the function-call level         *)
+(* ------------------------------------------------------------------ *)
+
+(* one index, one state per engine: the tree walker and the closure
+   compiler each lower the same source independently *)
+let dual_of src =
+  let sid = ref 0 in
+  let idx = Csrc.Index.of_files (Corpus.Headers.parse_with_header ~sid ~file:"t.c" src) in
+  let sti = Vkernel.Interp.create ~index:idx () in
+  let stj = Vkernel.Interp.create ~index:idx () in
+  let eng = Vkernel.Jit.of_index idx in
+  let interp ?(args = []) fn = Vkernel.Interp.call sti fn args in
+  let jit ?(args = []) fn = Vkernel.Jit.call eng stj fn args in
+  (interp, jit)
+
+type runner = ?args:Vkernel.Value.value list -> string -> Vkernel.Value.value
+
+let check_both name expect (interp : runner) (jit : runner) fn args =
+  let args = List.map (fun v -> Vkernel.Value.Int v) args in
+  Alcotest.(check int64) (name ^ " (interp)") expect
+    (Vkernel.Value.to_int (interp ~args fn));
+  Alcotest.(check int64) (name ^ " (jit)") expect
+    (Vkernel.Value.to_int (jit ~args fn))
+
+let test_arity_mismatch () =
+  (* regression for the O(arity^2) nth-based binding: a six-parameter
+     function called with 2 and 9 arguments. Missing parameters read as
+     zero; extra arguments still evaluate left-to-right for their side
+     effects and are dropped. *)
+  let interp, jit =
+    dual_of
+      {|
+static long _log;
+
+static long mix6(long a, long b, long c, long d, long e, long f)
+{
+  return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+
+static long bump(long v)
+{
+  _log = _log * 10 + v;
+  return v;
+}
+
+static long call2(void)
+{
+  return mix6(7, 9);
+}
+
+static long call9(void)
+{
+  _log = 0;
+  return mix6(1, 2, 3, 4, 5, 6, bump(7), bump(8), bump(9));
+}
+
+static long get_log(void)
+{
+  return _log;
+}
+|}
+  in
+  check_both "2 args: c..f read as zero" 25L interp jit "call2" [];
+  check_both "9 args: 1+4+9+16+25+36" 91L interp jit "call9" [];
+  (* 7, 8, 9 evaluated in order even though dropped *)
+  check_both "extras evaluated left to right" 789L interp jit "get_log" []
+
+let test_unknown_label_error_parity () =
+  (* the jit resolves gotos at compile time but must defer the unknown-
+     label failure to execution, with the interpreter's exact message *)
+  let interp, jit =
+    dual_of
+      {|
+static long f(long x)
+{
+  if (x)
+    goto missing;
+  return 1;
+}
+|}
+  in
+  let msg (run : runner) =
+    match run ~args:[ Vkernel.Value.Int 1L ] "f" with
+    | _ -> Alcotest.fail "expected Exec_error"
+    | exception Vkernel.Interp.Exec_error m -> m
+  in
+  let mi = msg interp and mj = msg jit in
+  Alcotest.(check string) "same error text" mi mj;
+  Alcotest.(check string) "expected message" "f: unknown label missing" mi;
+  (* the goto is dead when x = 0: neither engine fails early *)
+  check_both "unreached goto is not an error" 1L interp jit "f" [ 0L ]
+
+let test_slot_edge_cases () =
+  let interp, jit =
+    dual_of
+      {|
+static long _g = 5;
+
+static long shadow(long _g)
+{
+  _g = _g + 100;
+  return _g;
+}
+
+static long get_g(void)
+{
+  return _g;
+}
+
+static long skip(long flag)
+{
+  long tmp;
+  if (flag)
+    goto after;
+  tmp = 40;
+after:
+  return tmp + 2;
+}
+
+static long implicit(long x)
+{
+  counter = x * 2;
+  counter = counter + shadow(counter);
+  return counter;
+}
+|}
+  in
+  (* a parameter shadows the global for the whole body *)
+  check_both "shadowing parameter" 101L interp jit "shadow" [ 1L ];
+  check_both "global untouched by shadow" 5L interp jit "get_g" [];
+  (* goto jumps over tmp's first write: the declared zero survives *)
+  check_both "goto over first write" 2L interp jit "skip" [ 1L ];
+  check_both "fallthrough writes tmp" 42L interp jit "skip" [ 0L ];
+  (* implicit declaration: counter = 12, then + shadow(12) = 112 -> 124 *)
+  check_both "implicit local" 124L interp jit "implicit" [ 6L ]
+
+let test_global_init_parity () =
+  (* compiled global initializers: scalars, partial array init,
+     designated struct init with a nested array, and an address-of
+     chain. Oids must come out identical because both engines must
+     allocate the same objects in the same order. *)
+  let src =
+    {|
+struct cfg { int mode; int depth; int tab[3]; };
+
+static int g_scalar = 42;
+static int g_arr[4] = {1, 2, 3};
+static struct cfg g_cfg = { .depth = 9, .tab = {7, 8}, .mode = 3 };
+static int *g_ptr = &g_scalar;
+
+static long probe(void)
+{
+  return g_cfg.mode + g_cfg.depth * 10 + g_cfg.tab[1] * 100 + g_arr[0] * 1000
+         + g_arr[2] * 10000 + g_scalar;
+}
+|}
+  in
+  let interp, jit = dual_of src in
+  (* 3 + 9*10 + 8*100 + 1*1000 + 3*10000 + 42 *)
+  check_both "initialized state agrees" 31935L interp jit "probe" [];
+  (* and the raw global views line up, including object identity *)
+  let sid = ref 0 in
+  let idx = Csrc.Index.of_files (Corpus.Headers.parse_with_header ~sid ~file:"t.c" src) in
+  let sti = Vkernel.Interp.create ~index:idx () in
+  let stj = Vkernel.Interp.create ~index:idx () in
+  let eng = Vkernel.Jit.of_index idx in
+  List.iter
+    (fun g ->
+      let vi = Option.get (Vkernel.Interp.get_global sti g) in
+      let vj = Option.get (Vkernel.Jit.get_global eng stj g) in
+      Alcotest.(check string)
+        (g ^ " prints identically (oids included)")
+        (Vkernel.Value.to_string vi) (Vkernel.Value.to_string vj))
+    [ "g_scalar"; "g_arr"; "g_cfg"; "g_ptr" ]
+
+let qcheck_builtin_value_core_parity =
+  (* the interpreter reaches builtins through the expression-level
+     wrapper, the jit through per-callsite argument closures over the
+     value-level core: both must see the same argument views, stores
+     and results *)
+  let interp, jit =
+    dual_of
+      {|
+static long f(long a, long b)
+{
+  char buf[32];
+  long lo;
+  long hi;
+  lo = min_t(long, a, b);
+  hi = max_t(long, a, b);
+  memset(buf, 0, 32);
+  snprintf(buf, 32, "v-%d", lo);
+  if (strncmp(buf, "v-0", 3) == 0)
+    return hi - lo;
+  return hi * 2 + strlen(buf);
+}
+|}
+  in
+  QCheck.Test.make ~name:"builtin core and wrapper agree" ~count:200
+    QCheck.(pair (int_bound 2000) (int_bound 2000))
+    (fun (a, b) ->
+      let args = [ Vkernel.Value.Int (Int64.of_int (a - 1000)); Vkernel.Value.Int (Int64.of_int b) ] in
+      interp ~args "f" = jit ~args "f")
+
+let test_builtin_names_cover_ids () =
+  (* every published builtin name resolves through the id table to the
+     value-level core; unknown names fall through to None in both the
+     name-keyed face and the expression wrapper *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " has a dense id") true
+        (Vkernel.Value.Stbl.find_opt Vkernel.Interp.builtin_ids name <> None))
+    Vkernel.Interp.builtin_names;
+  Alcotest.(check bool) "unknown name has no id" true
+    (Vkernel.Value.Stbl.find_opt Vkernel.Interp.builtin_ids "not_a_builtin" = None)
+
 let () =
   let t n f = Alcotest.test_case n `Quick f in
   Alcotest.run "compiled"
@@ -290,6 +509,15 @@ let () =
           t "differential" test_campaign_differential;
           t "differential under eviction" test_campaign_differential_under_eviction;
           QCheck_alcotest.to_alcotest qcheck_campaign_differential_random_specs;
+        ] );
+      ( "fast-paths",
+        [
+          t "arity mismatch binds once" test_arity_mismatch;
+          t "unknown label error parity" test_unknown_label_error_parity;
+          t "slot edge cases" test_slot_edge_cases;
+          t "global init parity" test_global_init_parity;
+          QCheck_alcotest.to_alcotest qcheck_builtin_value_core_parity;
+          t "builtin ids dense" test_builtin_names_cover_ids;
         ] );
       ( "bugfixes",
         [

@@ -440,6 +440,46 @@ let test_repro_minimize () =
       Alcotest.(check int) "one line per call" (List.length small)
         (List.length (String.split_on_char '\n' (String.trim text)))
 
+(* Golden values from seed 42. These pin the exact stream: splitmix64
+   constants, the 55-bit mask in [Rng.int] (see its doc comment), the
+   one-word draw discipline of [int64_in_range], and the shape of
+   [fuzz_int]'s interesting/small/raw split. Any intentional change to
+   the generator must update these AND accept that every recorded
+   campaign output, checkpoint and BENCH artifact is invalidated. *)
+let test_rng_golden_int () =
+  let r = Fuzzer.Rng.make 42 in
+  Alcotest.(check (list int)) "int 100 stream"
+    [ 8; 52; 50; 30; 52; 17; 3; 47 ]
+    (List.init 8 (fun _ -> Fuzzer.Rng.int r 100))
+
+let test_rng_golden_raw () =
+  let r = Fuzzer.Rng.make 42 in
+  Alcotest.(check (list int64)) "raw splitmix64 words"
+    [ 0xf07105aaf9661724L; 0x363163b11f809144L; 0x964aa6581ccda2f2L; 0x347c37c01852ebb2L ]
+    (List.init 4 (fun _ -> Fuzzer.Rng.next_int64 r))
+
+let test_rng_golden_range () =
+  let r = Fuzzer.Rng.make 42 in
+  Alcotest.(check (list int64)) "narrow range [-1000, 1000]"
+    [ -404L; 696L; -311L; 85L; -181L; 615L ]
+    (List.init 6 (fun _ -> Fuzzer.Rng.int64_in_range r ~lo:(-1000L) ~hi:1000L));
+  (* the full 64-bit range is the raw stream itself *)
+  let a = Fuzzer.Rng.make 42 and b = Fuzzer.Rng.make 42 in
+  for _ = 1 to 8 do
+    Alcotest.(check int64) "full range = raw word" (Fuzzer.Rng.next_int64 b)
+      (Fuzzer.Rng.int64_in_range a ~lo:Int64.min_int ~hi:Int64.max_int)
+  done
+
+let test_rng_golden_fuzz_int () =
+  let r = Fuzzer.Rng.make 42 in
+  Alcotest.(check (list int64)) "fuzz_int 32-bit stream"
+    [ 0x1f809144L; 0x4L; 0x100L; 0x1L; 0xabdaa345L; 0x10L; 0x8L; 0xfL ]
+    (List.init 8 (fun _ -> Fuzzer.Rng.fuzz_int r ~bits:32));
+  let r = Fuzzer.Rng.make 42 in
+  Alcotest.(check (list int64)) "fuzz_int 8-bit stream masks, same draws"
+    [ 0x44L; 0x4L; 0x0L; 0x1L; 0x45L; 0x10L; 0x8L; 0xfL ]
+    (List.init 8 (fun _ -> Fuzzer.Rng.fuzz_int r ~bits:8))
+
 let () =
   let t n f = Alcotest.test_case n `Quick f in
   Alcotest.run "fuzzer"
@@ -449,6 +489,10 @@ let () =
           t "deterministic" test_rng_deterministic;
           t "int bounds" test_rng_int_bounds;
           t "fuzz_int width" test_fuzz_int_width;
+          t "golden int stream" test_rng_golden_int;
+          t "golden raw words" test_rng_golden_raw;
+          t "golden ranged draws" test_rng_golden_range;
+          t "golden fuzz_int" test_rng_golden_fuzz_int;
         ] );
       ( "proggen",
         [
