@@ -11,6 +11,7 @@
       dune exec bench/main.exe -- --trace t.jsonl --metrics  # observability
       dune exec bench/main.exe -- --faults 15:1 --query-budget 50000  # resilience
       dune exec bench/main.exe -- --exp table3 --exec-faults 10:3     # executor wedges
+      dune exec bench/main.exe -- --exp table3 --pool-faults 15:7     # worker faults
       dune exec bench/main.exe -- --oracle-cache warm.jsonl           # answer cache
       dune exec bench/main.exe -- --interpreted    # legacy AST-walking engine
       dune exec bench/main.exe -- --sched ucb      # UCB seed/operator scheduling
@@ -163,6 +164,16 @@ let () =
             Printf.eprintf "--exec-faults %s: %s\n" spec msg;
             exit 2)
   in
+  let pool_faults =
+    match value_of "--pool-faults" with
+    | None -> None
+    | Some spec -> (
+        match Kernelgpt.Pool.Faults.parse_spec spec with
+        | Ok plan -> Some plan
+        | Error msg ->
+            Printf.eprintf "--pool-faults %s: %s\n" spec msg;
+            exit 2)
+  in
   let which =
     match value_of "--exp" with
     | Some w -> (
@@ -215,8 +226,8 @@ let () =
         ~which:(Report.Runner.string_of_which which)
         ~jobs
     in
-    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?oracle_cache
-      ~engine ~sched ~bench ();
+    Report.Runner.run ~scale ~which ~jobs ?faults ?query_budget ?exec_faults ?pool_faults
+      ?oracle_cache ~engine ~sched ~bench ();
     let bench_file =
       match value_of "--bench-out" with
       | Some f -> f

@@ -142,6 +142,29 @@ let exec_faults_arg =
            the supervisor reboots instances that trip the wedge threshold. The same \
            RATE:SEED reproduces the same faults, reboots, and output exactly.")
 
+(* Worker-pool fault injection (--pool-faults): the pool twin of
+   --faults/--exec-faults. The plan is installed process-wide
+   (Pool.set_faults), so every pool run of the command sees it. *)
+let pool_faults_conv =
+  Arg.conv
+    ( (fun s ->
+        match Kernelgpt.Pool.Faults.parse_spec s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)),
+      fun fmt p -> Format.pp_print_string fmt (Kernelgpt.Pool.Faults.spec_to_string p) )
+
+let pool_faults_arg =
+  Arg.(
+    value
+    & opt (some pool_faults_conv) None
+    & info [ "pool-faults" ] ~docv:"RATE[:SEED]"
+        ~doc:
+          "Deterministically crash or stall $(docv) percent of worker-pool task \
+           attempts. Crashed attempts are retried on another worker; tasks that exhaust \
+           the retry budget are quarantined and render as degraded table rows instead of \
+           aborting the run. Decisions hash only the task label and attempt number, so \
+           the same RATE:SEED reproduces the same faults and output for any $(b,--jobs).")
+
 (* Corpus/operator scheduling mode (--sched), shared by fuzz and report:
    uniform is the historical draw-per-pick behavior, ucb schedules seeds
    and mutation operators by UCB1 over their recorded novelty rewards. *)
@@ -277,11 +300,15 @@ let baseline_cmd =
 
 let fuzz_cmd =
   let run () name suite budget seed profile repro faults query_budget cache_file
-      cache_readonly exec_faults checkpoint checkpoint_every resume resume_or_fresh
-      stop_after interpreted sched =
+      cache_readonly exec_faults pool_faults checkpoint checkpoint_every resume
+      resume_or_fresh stop_after interpreted sched =
     let engine =
       if interpreted then Fuzzer.Campaign.Interpreted else Fuzzer.Campaign.Compiled
     in
+    (* fuzz drives one campaign on the calling domain today; installing
+       the plan anyway keeps the flag honest for any pool-sharded work
+       the command grows *)
+    Kernelgpt.Pool.set_faults pool_faults;
     let entry = find_entry name in
     let machine = Vkernel.Machine.boot [ entry ] in
     let kernel = machine.Vkernel.Machine.index in
@@ -477,12 +504,16 @@ let fuzz_cmd =
       ret
         (const run $ obs_term $ module_arg $ suite $ budget $ seed $ model_arg $ repro
        $ faults_arg $ query_budget_arg $ oracle_cache_arg $ oracle_cache_readonly_arg
-       $ exec_faults_arg $ checkpoint $ checkpoint_every $ resume $ resume_or_fresh
-       $ stop_after $ interpreted $ sched_arg))
+       $ exec_faults_arg $ pool_faults_arg $ checkpoint $ checkpoint_every $ resume
+       $ resume_or_fresh $ stop_after $ interpreted $ sched_arg))
 
 let bugs_cmd =
-  let run () budget seeds jobs faults query_budget cache_file cache_readonly exec_faults =
+  let run () budget seeds jobs faults query_budget cache_file cache_readonly exec_faults
+      pool_faults =
     let jobs = resolve_jobs jobs in
+    Kernelgpt.Pool.reset_stats ();
+    Kernelgpt.Pool.set_faults pool_faults;
+    Report.Exp_resilience.reset_pool_notes ();
     Printf.printf "Hunting Table 4 bugs (budget=%d, seeds=%d, jobs=%d)...\n%!" budget seeds jobs;
     with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
     let ctx = Report.Suites.build ~jobs ?faults ?query_budget ?cache () in
@@ -492,6 +523,9 @@ let bugs_cmd =
     Report.Exp_bugs.print_table4 t4;
     if exec_faults <> None then
       Report.Exp_resilience.print_exec t4.Report.Exp_bugs.t4_exec;
+    let pt = Report.Exp_resilience.pool_totals () in
+    if pool_faults <> None || pt.Report.Exp_resilience.p_quarantined > 0 then
+      Report.Exp_resilience.print_pool ~degraded_modules:ctx.Report.Suites.degraded pt;
     if jobs > 1 then Kernelgpt.Pool.report ~per_task:(Obs.metrics_on ()) stderr;
     `Ok ()
   in
@@ -501,10 +535,11 @@ let bugs_cmd =
     Term.(
       ret
         (const run $ obs_term $ budget $ seeds $ jobs_arg $ faults_arg $ query_budget_arg
-       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg))
+       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg $ pool_faults_arg))
 
 let report_cmd =
-  let run () exp full jobs faults query_budget cache_file cache_readonly exec_faults sched =
+  let run () exp full jobs faults query_budget cache_file cache_readonly exec_faults
+      pool_faults sched =
     match Report.Runner.which_of_string exp with
     | None ->
         `Error
@@ -515,7 +550,7 @@ let report_cmd =
         let scale = if full then Report.Runner.Full else Report.Runner.Quick in
         with_oracle_cache ~readonly:cache_readonly cache_file @@ fun cache ->
         Report.Runner.run ~scale ~which ~jobs:(resolve_jobs jobs) ?faults ?query_budget
-          ?exec_faults ?oracle_cache:cache ~sched ();
+          ?exec_faults ?pool_faults ?oracle_cache:cache ~sched ();
         `Ok ()
   in
   let exp =
@@ -527,7 +562,8 @@ let report_cmd =
     Term.(
       ret
         (const run $ obs_term $ exp $ full $ jobs_arg $ faults_arg $ query_budget_arg
-       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg $ sched_arg))
+       $ oracle_cache_arg $ oracle_cache_readonly_arg $ exec_faults_arg $ pool_faults_arg
+       $ sched_arg))
 
 let trace_cmd =
   let run file expected =

@@ -10,6 +10,8 @@ type variant_result = {
   v_queries : int;
   v_tokens : int;
   v_execs : int;  (** total program executions (feeds BENCH_*.json) *)
+  v_drivers : int;  (** drivers scheduled for this variant *)
+  v_dropped : int;  (** drivers quarantined by the pool *)
 }
 
 (* Each driver is an independent pool task: the worker boots the
@@ -20,9 +22,10 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
     ?(reps = 2) ?(budget = 3000) ?(jobs = 1) ?cache ?engine () : variant_result =
   let drivers = Array.of_list (Corpus.Registry.ablation_drivers ()) in
   let partials =
-    Kernelgpt.Pool.map ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (e : Corpus.Types.entry) -> Printf.sprintf "ablation:%s:%s" name e.name)
-      (fun (e : Corpus.Types.entry) ->
+      ~init:(fun () -> ())
+      ~f:(fun () (e : Corpus.Types.entry) ->
         let machine = Vkernel.Machine.boot [ e ] in
         let kernel = machine.Vkernel.Machine.index in
         let oracle = Oracle.create ~profile ~knowledge:kernel () in
@@ -52,17 +55,20 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
   let cov = ref 0.0 in
   let queries = ref 0 and tokens = ref 0 in
   let execs = ref 0 in
+  let dropped = ref 0 in
   Array.iter
-    (fun (q, t, e, fuzzed) ->
-      queries := !queries + q;
-      tokens := !tokens + t;
-      execs := !execs + e;
-      match fuzzed with
-      | Some (s, ty, c) ->
-          syscalls := !syscalls + s;
-          types := !types + ty;
-          cov := !cov +. c
-      | None -> ())
+    (function
+      | Kernelgpt.Pool.Failed _ -> incr dropped
+      | Kernelgpt.Pool.Ok (q, t, e, fuzzed) -> (
+          queries := !queries + q;
+          tokens := !tokens + t;
+          execs := !execs + e;
+          match fuzzed with
+          | Some (s, ty, c) ->
+              syscalls := !syscalls + s;
+              types := !types + ty;
+              cov := !cov +. c
+          | None -> ()))
     partials;
   {
     v_name = name;
@@ -72,6 +78,8 @@ let measure ~(name : string) ~(profile : Profile.t) ~(mode : Kernelgpt.Pipeline.
     v_queries = !queries;
     v_tokens = !tokens;
     v_execs = !execs;
+    v_drivers = Array.length drivers;
+    v_dropped = !dropped;
   }
 
 type ablation = { iter_rows : variant_result list; llm_rows : variant_result list }
@@ -99,8 +107,15 @@ let print_rows title rows =
     ~header:[ ""; "#Syscalls"; "#Types"; "Cov"; "Queries"; "Prompt tokens" ]
     (List.map
        (fun v ->
+         let name =
+           if v.v_dropped > 0 then begin
+             Exp_resilience.note_degraded ();
+             Printf.sprintf "%s [degraded %d/%d drivers]" v.v_name v.v_dropped v.v_drivers
+           end
+           else v.v_name
+         in
          [
-           v.v_name;
+           name;
            string_of_int v.v_syscalls;
            string_of_int v.v_types;
            Printf.sprintf "%.0f" v.v_cov;
@@ -125,6 +140,8 @@ type sched_row = {
   s_ucb_ttc : int option;  (** same, under UCB scheduling *)
   s_uniform_cov : float;  (** mean module coverage, uniform *)
   s_ucb_cov : float;  (** mean module coverage, UCB *)
+  s_uniform_deg : bool;  (** that mode's campaign task was quarantined *)
+  s_ucb_deg : bool;
 }
 
 type sched_ablation = { sched_rows : sched_row list; sa_execs : int }
@@ -147,7 +164,7 @@ let run_sched ?(budget = 20_000) ?(seeds = 3) ?(jobs = 1) ?engine (ctx : Suites.
          modules)
   in
   let results =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (m, mode) ->
         Printf.sprintf "ablation-sched:%s:%s" m (Fuzzer.Schedule.mode_to_string mode))
       ~init:(fun () -> Hashtbl.create 8)
@@ -195,11 +212,15 @@ let run_sched ?(budget = 20_000) ?(seeds = 3) ?(jobs = 1) ?engine (ctx : Suites.
       tasks
   in
   let find_mode m mode =
-    let row = ref (None, 0.0, 0) in
+    (* a quarantined task leaves the mode's numbers unknown, not zero *)
+    let row = ref ((None, 0.0, 0), false) in
     Array.iteri
       (fun i r ->
         let m', mode' = tasks.(i) in
-        if m' = m && mode' = mode then row := r)
+        if m' = m && mode' = mode then
+          match r with
+          | Kernelgpt.Pool.Ok v -> row := (v, false)
+          | Kernelgpt.Pool.Failed _ -> row := ((None, 0.0, 0), true))
       results;
     !row
   in
@@ -207,41 +228,59 @@ let run_sched ?(budget = 20_000) ?(seeds = 3) ?(jobs = 1) ?engine (ctx : Suites.
     sched_rows =
       List.map
         (fun m ->
-          let u_ttc, u_cov, _ = find_mode m Fuzzer.Schedule.Uniform in
-          let a_ttc, a_cov, _ = find_mode m Fuzzer.Schedule.Ucb in
+          let (u_ttc, u_cov, _), u_deg = find_mode m Fuzzer.Schedule.Uniform in
+          let (a_ttc, a_cov, _), a_deg = find_mode m Fuzzer.Schedule.Ucb in
           {
             s_module = m;
             s_uniform_ttc = u_ttc;
             s_ucb_ttc = a_ttc;
             s_uniform_cov = u_cov;
             s_ucb_cov = a_cov;
+            s_uniform_deg = u_deg;
+            s_ucb_deg = a_deg;
           })
         modules;
-    sa_execs = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results;
+    sa_execs =
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | Kernelgpt.Pool.Ok (_, _, e) -> acc + e
+          | Kernelgpt.Pool.Failed _ -> acc)
+        0 results;
   }
 
 let print_sched (a : sched_ablation) =
   Table.section "Ablation 3: uniform vs UCB seed/operator scheduling (Table 4 modules)";
-  let ttc = function Some e -> string_of_int e | None -> "-" in
+  let ttc ~degraded = function
+    | Some e -> string_of_int e
+    | None -> if degraded then "?" else "-"
+  in
+  let cov ~degraded c = if degraded then "?" else Printf.sprintf "%.0f" c in
   Table.print
     ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R ]
     ~header:[ "Module"; "Uniform TTC"; "UCB TTC"; "Uniform Cov"; "UCB Cov" ]
     (List.map
        (fun r ->
+         if r.s_uniform_deg || r.s_ucb_deg then Exp_resilience.note_degraded ();
          [
            r.s_module;
-           ttc r.s_uniform_ttc;
-           ttc r.s_ucb_ttc;
-           Printf.sprintf "%.0f" r.s_uniform_cov;
-           Printf.sprintf "%.0f" r.s_ucb_cov;
+           ttc ~degraded:r.s_uniform_deg r.s_uniform_ttc;
+           ttc ~degraded:r.s_ucb_deg r.s_ucb_ttc;
+           cov ~degraded:r.s_uniform_deg r.s_uniform_cov;
+           cov ~degraded:r.s_ucb_deg r.s_ucb_cov;
          ])
        a.sched_rows);
+  if List.exists (fun r -> r.s_uniform_deg || r.s_ucb_deg) a.sched_rows then
+    Printf.printf "? = campaign quarantined by the worker pool; result unknown\n";
   (* TTC = executions to the first *injected* (Table 4) crash, best
      seed; lower is better; "-" = never triggered within budget *)
   let wins =
     List.length
       (List.filter
          (fun r ->
+           (* a degraded mode has an unknown TTC, not a losing one *)
+           (not (r.s_uniform_deg || r.s_ucb_deg))
+           &&
            match (r.s_uniform_ttc, r.s_ucb_ttc) with
            | Some u, Some a -> a < u
            | None, Some _ -> true

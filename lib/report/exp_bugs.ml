@@ -10,6 +10,9 @@ type bug_row = {
   br_found_kgpt : bool;
   br_found_syzkaller : bool;
   br_found_syzdescribe : bool;
+  br_deg_kgpt : bool;  (** that family's campaign for this module was quarantined *)
+  br_deg_syzkaller : bool;
+  br_deg_syzdescribe : bool;
 }
 
 type table4 = {
@@ -72,29 +75,37 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine ?sche
          families)
   in
   let results =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (tag, m, _) -> Printf.sprintf "table4:%s:%s" tag m)
       ~init:(fun () -> Hashtbl.create 8)
       ~f:(fun cache (_, m, spec) ->
         fuzz_module ~cache ~budget ~seeds ?supervisor ?engine ?sched m spec)
       tasks
   in
+  let degraded = Hashtbl.create 8 in
   let found_with tag =
     let tbl = Hashtbl.create 32 in
     Array.iteri
-      (fun i (titles, _) ->
-        let tag', _, _ = tasks.(i) in
-        if tag' = tag then Hashtbl.iter (fun t () -> Hashtbl.replace tbl t ()) titles)
+      (fun i r ->
+        let tag', m, _ = tasks.(i) in
+        match r with
+        | Kernelgpt.Pool.Ok (titles, _) ->
+            if tag' = tag then Hashtbl.iter (fun t () -> Hashtbl.replace tbl t ()) titles
+        | Kernelgpt.Pool.Failed _ -> Hashtbl.replace degraded (tag', m) ())
       results;
     tbl
   in
   let kgpt_found = found_with "kgpt" in
   let syz_found = found_with "syz" in
   let sd_found = found_with "sd" in
+  let deg tag m = Hashtbl.mem degraded (tag, m) in
   {
     t4_exec =
       Array.fold_left
-        (fun acc (_, e) -> Exp_resilience.exec_sum acc e)
+        (fun acc r ->
+          match r with
+          | Kernelgpt.Pool.Ok (_, e) -> Exp_resilience.exec_sum acc e
+          | Kernelgpt.Pool.Failed _ -> acc)
         Exp_resilience.exec_empty results;
     bug_rows =
       List.map
@@ -104,13 +115,19 @@ let table4 ?(budget = 30_000) ?(seeds = 3) ?(jobs = 1) ?supervisor ?engine ?sche
             br_found_kgpt = Hashtbl.mem kgpt_found b.bug_title;
             br_found_syzkaller = Hashtbl.mem syz_found b.bug_title;
             br_found_syzdescribe = Hashtbl.mem sd_found b.bug_title;
+            br_deg_kgpt = deg "kgpt" b.bug_module;
+            br_deg_syzkaller = deg "syz" b.bug_module;
+            br_deg_syzdescribe = deg "sd" b.bug_module;
           })
         Corpus.Registry.bugs;
   }
 
 let print_table4 (t : table4) =
   Table.section "Table 4: New bugs detected by KernelGPT";
-  let mark b = if b then "X" else "-" in
+  (* "?" = that family's campaign for the module was quarantined, so
+     "not found" would overclaim — the cell is explicitly unknown *)
+  let mark ?(degraded = false) b = if b then "X" else if degraded then "?" else "-" in
+  let any_degraded = ref false in
   Table.print
     ~align:[ Table.L; Table.L; Table.L; Table.L; Table.L; Table.L; Table.L ]
     ~header:
@@ -118,16 +135,26 @@ let print_table4 (t : table4) =
     (List.map
        (fun r ->
          let b = r.br_bug in
+         if
+           (r.br_deg_kgpt && not r.br_found_kgpt)
+           || (r.br_deg_syzkaller && not r.br_found_syzkaller)
+           || (r.br_deg_syzdescribe && not r.br_found_syzdescribe)
+         then begin
+           any_degraded := true;
+           Exp_resilience.note_degraded ()
+         end;
          [
            b.bug_title;
-           mark r.br_found_kgpt;
+           mark ~degraded:r.br_deg_kgpt r.br_found_kgpt;
            mark b.bug_confirmed;
            mark b.bug_fixed;
            Option.value b.bug_cve ~default:"";
-           mark r.br_found_syzkaller;
-           mark r.br_found_syzdescribe;
+           mark ~degraded:r.br_deg_syzkaller r.br_found_syzkaller;
+           mark ~degraded:r.br_deg_syzdescribe r.br_found_syzdescribe;
          ])
        t.bug_rows);
+  if !any_degraded then
+    Printf.printf "? = campaign quarantined by the worker pool; result unknown\n";
   let found = List.length (List.filter (fun r -> r.br_found_kgpt) t.bug_rows) in
   let base =
     List.length (List.filter (fun r -> r.br_found_syzkaller || r.br_found_syzdescribe) t.bug_rows)

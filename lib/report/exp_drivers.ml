@@ -5,7 +5,12 @@
     prescribes), [reps] seeds each; Cov is the mean coverage inside the
     driver's module. *)
 
-type cell = { c_sys : int option; c_cov : float option; c_crash : float }
+type cell = {
+  c_sys : int option;
+  c_cov : float option;  (** mean over surviving reps; [None] if none survived *)
+  c_crash : float;
+  c_dropped : int;  (** repetitions quarantined by the pool *)
+}
 
 type row = {
   r_name : string;  (** paper row label *)
@@ -19,7 +24,7 @@ type table5 = {
   t5_execs : int;  (** total program executions (feeds BENCH_*.json) *)
 }
 
-let na = { c_sys = None; c_cov = None; c_crash = 0.0 }
+let na = { c_sys = None; c_cov = None; c_crash = 0.0; c_dropped = 0 }
 
 (* One pool task per (driver, suite, repetition). Workers cache one
    booted machine per driver — [Vkernel.Machine.boot [entry]] is
@@ -53,16 +58,21 @@ let run_task ?engine ?sched (cache : (string, Vkernel.Machine.t) Hashtbl.t) (tk 
     float_of_int (Hashtbl.length res.crashes),
     res.executions )
 
-(** Fold [reps] per-repetition (coverage, crashes) results into a cell,
-    averaging in the same order the sequential loop did. *)
-let cell_of_reps (spec : Syzlang.Ast.spec) (per_rep : (float * float * int) list) : cell =
-  let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] per_rep in
-  let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] per_rep in
+(** Fold [reps] per-repetition (coverage, crashes) outcomes into a cell,
+    averaging the surviving repetitions in the same order the sequential
+    loop did; quarantined repetitions count as dropped. *)
+let cell_of_reps (spec : Syzlang.Ast.spec)
+    (per_rep : (float * float * int) Kernelgpt.Pool.outcome list) : cell =
+  let ok = List.filter_map (function Kernelgpt.Pool.Ok r -> Some r | Kernelgpt.Pool.Failed _ -> None) per_rep in
+  let dropped = List.length per_rep - List.length ok in
+  let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] ok in
+  let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] ok in
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
   {
     c_sys = Some (Syzlang.Ast.count_syscalls spec);
-    c_cov = Some (mean covs);
+    c_cov = (if ok = [] then None else Some (mean covs));
     c_crash = mean crashes;
+    c_dropped = dropped;
   }
 
 let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites.ctx) :
@@ -96,7 +106,7 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites
       entries
   in
   let results =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ tk -> Printf.sprintf "table5:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
       ~init:(fun () -> Hashtbl.create 8)
       ~f:(run_task ?engine ?sched) (Array.of_list tasks)
@@ -139,20 +149,35 @@ let table5 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites
   let rows = na_row "ashmem" :: na_row "fd#" :: rows in
   {
     driver_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows;
-    t5_execs = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results;
+    t5_execs =
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | Kernelgpt.Pool.Ok (_, _, e) -> acc + e
+          | Kernelgpt.Pool.Failed _ -> acc)
+        0 results;
   }
 
+(* degraded markers: "123*" = mean over the surviving repetitions only,
+   "?" = every repetition of the cell was quarantined *)
 let cell_strings (c : cell) =
   [
     (match c.c_sys with Some n -> string_of_int n | None -> "N/A");
-    (match c.c_cov with Some f -> Printf.sprintf "%.0f" f | None -> "-");
+    (match (c.c_cov, c.c_dropped) with
+    | Some f, 0 -> Printf.sprintf "%.0f" f
+    | Some f, _ -> Printf.sprintf "%.0f*" f
+    | None, 0 -> "-"
+    | None, _ -> "?");
   ]
+
+let row_dropped r = r.r_syzkaller.c_dropped + r.r_syzdescribe.c_dropped + r.r_kernelgpt.c_dropped
 
 let print_table5 (t : table5) =
   Table.section "Table 5: Driver specification comparison (#Sys / Cov)";
   let rows =
     List.map
       (fun r ->
+        if row_dropped r > 0 then Exp_resilience.note_degraded ();
         (r.r_name :: cell_strings r.r_syzkaller)
         @ cell_strings r.r_syzdescribe @ cell_strings r.r_kernelgpt)
       t.driver_rows
@@ -178,6 +203,9 @@ let print_table5 (t : table5) =
     ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ]
     ~header:[ ""; "Syz #Sys"; "Syz Cov"; "SD #Sys"; "SD Cov"; "KGPT #Sys"; "KGPT Cov" ]
     (rows @ [ total ]);
+  if List.exists (fun r -> row_dropped r > 0) t.driver_rows then
+    Printf.printf
+      "* = mean over surviving reps; ? = all reps quarantined by the worker pool\n";
   (* who wins where *)
   let wins =
     List.fold_left

@@ -7,21 +7,27 @@
 
 type suite_result = {
   sr_name : string;
-  sr_cov : float;  (** mean total coverage *)
+  sr_cov : float;  (** mean total coverage over surviving repetitions *)
   sr_unique : int;  (** statements beyond the Syzkaller-only union *)
   sr_crashes : float;  (** mean unique crashes *)
   sr_union_cov : (int, unit) Hashtbl.t;
+  sr_reps : int;  (** repetitions scheduled *)
+  sr_dropped : int;  (** repetitions quarantined by the pool *)
 }
 
-let suite_of_reps ~name (reps : Fuzzer.Campaign.result list) : suite_result =
+let suite_of_reps ~name (reps : Fuzzer.Campaign.result Kernelgpt.Pool.outcome list) :
+    suite_result =
   let union = Hashtbl.create 4096 in
   let covs = ref [] in
   let crashes = ref [] in
+  let dropped = ref 0 in
   List.iter
-    (fun (res : Fuzzer.Campaign.result) ->
-      covs := float_of_int (Fuzzer.Campaign.total_coverage res) :: !covs;
-      crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes;
-      Hashtbl.iter (fun sid () -> Hashtbl.replace union sid ()) res.coverage)
+    (function
+      | Kernelgpt.Pool.Failed _ -> incr dropped
+      | Kernelgpt.Pool.Ok (res : Fuzzer.Campaign.result) ->
+          covs := float_of_int (Fuzzer.Campaign.total_coverage res) :: !covs;
+          crashes := float_of_int (Hashtbl.length res.crashes) :: !crashes;
+          Hashtbl.iter (fun sid () -> Hashtbl.replace union sid ()) res.coverage)
     reps;
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
   {
@@ -30,6 +36,8 @@ let suite_of_reps ~name (reps : Fuzzer.Campaign.result list) : suite_result =
     sr_unique = 0;
     sr_crashes = mean !crashes;
     sr_union_cov = union;
+    sr_reps = List.length reps;
+    sr_dropped = !dropped;
   }
 
 type table3 = {
@@ -57,7 +65,7 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine ?sched
       (fun i -> (i / reps, (i mod reps) + 1))
   in
   let results =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (si, rep) -> Printf.sprintf "table3:%s:rep%d" (fst suites.(si)) rep)
       ~init:(fun () ->
         if jobs <= 1 then ctx.Suites.machine else Vkernel.Machine.boot ctx.entries)
@@ -84,7 +92,10 @@ let table3 ?(reps = 3) ?(budget = 6000) ?(jobs = 1) ?supervisor ?engine ?sched
       ];
     t3_exec =
       Array.fold_left
-        (fun acc r -> Exp_resilience.exec_add acc r)
+        (fun acc r ->
+          match r with
+          | Kernelgpt.Pool.Ok res -> Exp_resilience.exec_add acc res
+          | Kernelgpt.Pool.Failed _ -> acc)
         Exp_resilience.exec_empty results;
   }
 
@@ -95,8 +106,15 @@ let print_table3 (t : table3) =
     ~header:[ ""; "Cov"; "Unique Cov"; "Crash" ]
     (List.map
        (fun r ->
+         let name =
+           if r.sr_dropped > 0 then begin
+             Exp_resilience.note_degraded ();
+             Printf.sprintf "%s [degraded %d/%d reps]" r.sr_name r.sr_dropped r.sr_reps
+           end
+           else r.sr_name
+         in
          [
-           r.sr_name;
+           name;
            Printf.sprintf "%.0f" r.sr_cov;
            (if r.sr_unique = 0 && r.sr_name = "Syzkaller" then "-" else string_of_int r.sr_unique);
            Table.fmt_float r.sr_crashes;

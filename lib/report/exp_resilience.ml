@@ -86,6 +86,62 @@ let print_exec (t : exec_totals) =
     "%d campaigns: %d executor reboots, %d executions lost to injected wedges.\n"
     t.e_campaigns t.e_restarts t.e_lost
 
+(* --------------------------------------------------------------- *)
+(* Worker-pool resilience (report runs under [--pool-faults])       *)
+(* --------------------------------------------------------------- *)
+
+(* Tables register the degraded rows they actually rendered, so the
+   summary can report "quarantined tasks -> degraded rows" without
+   re-deriving table layout here. *)
+let degraded_row_count = ref 0
+
+let reset_pool_notes () = degraded_row_count := 0
+let note_degraded ?(rows = 1) () = degraded_row_count := !degraded_row_count + rows
+
+type pool_totals = {
+  p_injected : int;  (** injected worker faults (crashes + stalls) *)
+  p_crashes : int;
+  p_stalls : int;
+  p_retries : int;  (** failed attempts requeued to another worker *)
+  p_quarantined : int;  (** tasks that exhausted their retry budget *)
+  p_degraded_rows : int;  (** table rows rendered with degraded cells *)
+}
+
+(* Everything here is a pure function of the fault plan (hash of
+   label/attempt), never of scheduling, so the section below is safe to
+   print on stdout: byte-identical for any [--jobs]. Steals, worker
+   deaths, and real straggler flags stay on stderr ({!Pool.report}). *)
+let pool_totals () : pool_totals =
+  let s = Kernelgpt.Pool.stats () in
+  {
+    p_injected = s.s_faults_injected;
+    p_crashes = s.s_faults_injected - s.s_stalls;
+    p_stalls = s.s_stalls;
+    p_retries = s.s_retries;
+    p_quarantined = s.s_quarantined;
+    p_degraded_rows = !degraded_row_count;
+  }
+
+let print_pool ?(degraded_modules = []) (t : pool_totals) =
+  Table.section "Resilience (worker pool fault injection)";
+  Printf.printf
+    "%d injected worker faults (%d task crashes, %d stalls); %d retries, %d tasks \
+     quarantined.\n"
+    t.p_injected t.p_crashes t.p_stalls t.p_retries t.p_quarantined;
+  if t.p_quarantined = 0 then
+    Printf.printf
+      "All injected pool faults recovered within the retry budget; every table is \
+       complete.\n"
+  else begin
+    Printf.printf
+      "%d quarantined task(s) left %d degraded table row(s); the run completed on the \
+       survivors.\n"
+      t.p_quarantined t.p_degraded_rows;
+    List.iter
+      (fun (name, why) -> Printf.printf "  degraded pipeline: %s (%s)\n" name why)
+      degraded_modules
+  end
+
 let print (t : t) =
   Table.section "Resilience (oracle fault injection)";
   let row r =

@@ -1,7 +1,12 @@
 (** E7: per-socket comparison — the paper's Table 6 (Syzkaller vs
     KernelGPT; SyzDescribe cannot analyze sockets). *)
 
-type cell = { c_sys : int; c_cov : float; c_crash : float }
+type cell = {
+  c_sys : int;
+  c_cov : float option;  (** mean over surviving reps; [None] if none survived *)
+  c_crash : float;
+  c_dropped : int;  (** repetitions quarantined by the pool *)
+}
 
 type row = { r_name : string; r_syzkaller : cell option; r_kernelgpt : cell option }
 
@@ -44,7 +49,7 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites
       entries
   in
   let results =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (tk : Exp_drivers.task) ->
         Printf.sprintf "table6:%s:%s:rep%d" tk.tk_entry.name tk.tk_suite tk.tk_rep)
       ~init:(fun () -> Hashtbl.create 8)
@@ -57,11 +62,22 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites
     | Some spec ->
         let per_rep = List.init reps (fun i -> results.(!cursor + i)) in
         cursor := !cursor + reps;
-        let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] per_rep in
-        let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] per_rep in
+        let ok =
+          List.filter_map
+            (function Kernelgpt.Pool.Ok r -> Some r | Kernelgpt.Pool.Failed _ -> None)
+            per_rep
+        in
+        let dropped = List.length per_rep - List.length ok in
+        let covs = List.fold_left (fun acc (c, _, _) -> c :: acc) [] ok in
+        let crashes = List.fold_left (fun acc (_, x, _) -> x :: acc) [] ok in
         let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
         Some
-          { c_sys = Syzlang.Ast.count_syscalls spec; c_cov = mean covs; c_crash = mean crashes }
+          {
+            c_sys = Syzlang.Ast.count_syscalls spec;
+            c_cov = (if ok = [] then None else Some (mean covs));
+            c_crash = mean crashes;
+            c_dropped = dropped;
+          }
   in
   let rows =
     List.map
@@ -84,25 +100,47 @@ let table6 ?(reps = 3) ?(budget = 4000) ?(jobs = 1) ?engine ?sched (ctx : Suites
   in
   {
     socket_rows = List.sort (fun a b -> compare a.r_name b.r_name) rows;
-    t6_execs = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 results;
+    t6_execs =
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | Kernelgpt.Pool.Ok (_, _, e) -> acc + e
+          | Kernelgpt.Pool.Failed _ -> acc)
+        0 results;
   }
 
+(* degraded markers: "123*" = mean over the surviving repetitions only,
+   "?" = every repetition of the cell was quarantined *)
 let cell_strings = function
-  | Some c -> [ string_of_int c.c_sys; Printf.sprintf "%.0f" c.c_cov; Table.fmt_float c.c_crash ]
+  | Some c ->
+      [
+        string_of_int c.c_sys;
+        (match (c.c_cov, c.c_dropped) with
+        | Some f, 0 -> Printf.sprintf "%.0f" f
+        | Some f, _ -> Printf.sprintf "%.0f*" f
+        | None, _ -> "?");
+        Table.fmt_float c.c_crash;
+      ]
   | None -> [ "-"; "-"; "-" ]
+
+let cell_dropped = function Some c -> c.c_dropped | None -> 0
 
 let print_table6 (t : table6) =
   Table.section "Table 6: Socket specification comparison";
+  let row_dropped r = cell_dropped r.r_syzkaller + cell_dropped r.r_kernelgpt in
   let rows =
     List.map
-      (fun r -> (r.r_name :: cell_strings r.r_syzkaller) @ cell_strings r.r_kernelgpt)
+      (fun r ->
+        if row_dropped r > 0 then Exp_resilience.note_degraded ();
+        (r.r_name :: cell_strings r.r_syzkaller) @ cell_strings r.r_kernelgpt)
       t.socket_rows
   in
   let sum f =
     List.fold_left
       (fun (s, c, x) r ->
         match f r with
-        | Some cell -> (s + cell.c_sys, c +. cell.c_cov, x +. cell.c_crash)
+        | Some cell ->
+            (s + cell.c_sys, c +. Option.value cell.c_cov ~default:0.0, x +. cell.c_crash)
         | None -> (s, c, x))
       (0, 0.0, 0.0) t.socket_rows
   in
@@ -117,4 +155,7 @@ let print_table6 (t : table6) =
   Table.print
     ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ]
     ~header:[ ""; "Syz #Sys"; "Syz Cov"; "Syz Crash"; "KGPT #Sys"; "KGPT Cov"; "KGPT Crash" ]
-    (rows @ [ total ])
+    (rows @ [ total ]);
+  if List.exists (fun r -> row_dropped r > 0) t.socket_rows then
+    Printf.printf
+      "* = mean over surviving reps; ? = all reps quarantined by the worker pool\n"

@@ -94,8 +94,14 @@ let string_of_which = function
     either adds a resilience table right after generation.
     [exec_faults] injects deterministic executor wedges into the Table
     3/4 campaigns (the {!Fuzzer.Supervisor}) and adds an executor
-    resilience section after the tables. With none of the three, output
-    is byte-identical to a run without the fault layers.
+    resilience section after the tables. [pool_faults] injects
+    deterministic worker-pool faults ({!Kernelgpt.Pool.Faults}) into
+    every pool task of the run: tasks that recover within the retry
+    budget leave stdout untouched, quarantined tasks render as
+    explicitly degraded rows, and a pool resilience section prints after
+    the tables (its numbers are a pure function of the plan, so stdout
+    stays byte-identical for any [jobs]). With none of the fault layers,
+    output is byte-identical to a run without them.
 
     [oracle_cache] routes every generation and ablation query through a
     shared {!Cache}: on a warm cache the whole report performs zero
@@ -119,7 +125,7 @@ let string_of_which = function
     with and without a collector print identical tables; writing the
     file is the caller's job. *)
 let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_faults
-    ?oracle_cache ?engine ?sched ?bench () =
+    ?pool_faults ?oracle_cache ?engine ?sched ?bench () =
   let b = budgets_of scale in
   Obs.with_span
     ~attrs:(fun () ->
@@ -131,6 +137,8 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
   Kernelgpt.Pool.reset_stats ();
+  Kernelgpt.Pool.set_faults pool_faults;
+  Exp_resilience.reset_pool_notes ();
   Printf.printf "Booting synthetic kernel and generating specifications...\n%!";
   let ctx = Suites.build ~jobs ?faults ?query_budget ?cache:oracle_cache () in
   (match bench with
@@ -224,6 +232,11 @@ let run ?(scale = Quick) ?(which = All) ?(jobs = 1) ?faults ?query_budget ?exec_
          ctx);
   if wants which Correctness then Exp_correctness.print (Exp_correctness.audit ctx);
   if exec_faults <> None then Exp_resilience.print_exec !exec_totals;
+  (* the pool section also prints when a run without a plan quarantined
+     real failures — degradation is never silent *)
+  let pt = Exp_resilience.pool_totals () in
+  if pool_faults <> None || pt.Exp_resilience.p_quarantined > 0 then
+    Exp_resilience.print_pool ~degraded_modules:ctx.Suites.degraded pt;
   (match bench with
   | Some bch -> Bench_json.set_total bch (Unix.gettimeofday () -. t0)
   | None -> ());

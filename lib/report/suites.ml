@@ -11,6 +11,9 @@ type ctx = {
       (** the run's shared query budget, when one was set *)
   kgpt : (string, Kernelgpt.Pipeline.outcome) Hashtbl.t;
   sd : (string, Baseline.Syzdescribe.outcome) Hashtbl.t;
+  degraded : (string * string) list;
+      (** pipeline tasks quarantined by the pool (entry name, reason),
+          in entry order; downstream suites treat them as spec-less *)
 }
 
 (** Modules KernelGPT generates specs for in §5.1: loaded handlers with
@@ -41,15 +44,17 @@ let build ?(profile = Profile.gpt4) ?(jobs = 1) ?faults ?query_budget ?cache () 
   let budget = Option.map Client.budget query_budget in
   let client_of oracle = Client.create ?plan:faults ?query_budget:budget ?cache oracle in
   let oracle = Oracle.create ~profile ~knowledge:kernel () in
-  let client = client_of oracle in
   let kgpt = Hashtbl.create 256 in
   let sd = Hashtbl.create 256 in
   let targets = Array.of_list (generation_targets entries) in
   let outcomes =
-    Kernelgpt.Pool.map_init ~jobs
+    Kernelgpt.Pool.map_outcomes ~jobs
       ~label:(fun _ (e : Corpus.Types.entry) -> "pipeline:" ^ e.name)
       ~init:(fun () ->
-        if jobs <= 1 then (client, kernel)
+        (* every worker — the sequential one included — gets a private
+           oracle; accounting folds from the successful outcomes below,
+           so a retried attempt never double-counts queries or tokens *)
+        if jobs <= 1 then (client_of (Oracle.create ~profile ~knowledge:kernel ()), kernel)
         else
           let m = Vkernel.Machine.boot entries in
           let k = m.Vkernel.Machine.index in
@@ -59,22 +64,29 @@ let build ?(profile = Profile.gpt4) ?(jobs = 1) ?faults ?query_budget ?cache () 
         (Kernelgpt.Pipeline.run ~client ~oracle ~kernel e, Baseline.Syzdescribe.run e))
       targets
   in
+  let degraded = ref [] in
   Array.iteri
-    (fun i (kg_out, sd_out) ->
+    (fun i out ->
       let e = targets.(i) in
-      Hashtbl.replace kgpt e.Corpus.Types.name kg_out;
-      Hashtbl.replace sd e.Corpus.Types.name sd_out)
+      match out with
+      | Kernelgpt.Pool.Ok ((kg_out : Kernelgpt.Pipeline.outcome), sd_out) ->
+          Hashtbl.replace kgpt e.Corpus.Types.name kg_out;
+          Hashtbl.replace sd e.Corpus.Types.name sd_out;
+          oracle.Oracle.queries <- oracle.Oracle.queries + kg_out.o_queries;
+          oracle.Oracle.prompt_tokens <- oracle.Oracle.prompt_tokens + kg_out.o_tokens
+      | Kernelgpt.Pool.Failed fl ->
+          degraded := (e.Corpus.Types.name, Printexc.to_string fl.f_exn) :: !degraded)
     outcomes;
-  if jobs > 1 then
-    (* fold the workers' oracle accounting into the shared oracle; each
-       outcome carries its own query/token deltas, so the totals equal
-       the sequential run's *)
-    Array.iter
-      (fun ((kg_out : Kernelgpt.Pipeline.outcome), _) ->
-        oracle.Oracle.queries <- oracle.Oracle.queries + kg_out.o_queries;
-        oracle.Oracle.prompt_tokens <- oracle.Oracle.prompt_tokens + kg_out.o_tokens)
-      outcomes;
-  { machine; kernel; entries; oracle; query_budget = budget; kgpt; sd }
+  {
+    machine;
+    kernel;
+    entries;
+    oracle;
+    query_budget = budget;
+    kgpt;
+    sd;
+    degraded = List.rev !degraded;
+  }
 
 let kgpt_outcome ctx name = Hashtbl.find_opt ctx.kgpt name
 

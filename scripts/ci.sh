@@ -437,4 +437,66 @@ if ! grep -q 'unsupported checkpoint version 1 (this build reads version 2)' "$t
 fi
 echo "OK: a version-1 checkpoint is rejected naming both versions"
 
+echo "== pool fault injection: deterministic recovery, pass-through, quarantine =="
+# Worker-pool faults fire on a pure hash of (seed, label, attempt), so a
+# plan's stdout — retry counts, quarantine counts, degraded rows — must
+# be byte-identical for any --jobs. A fully-recovered plan must print
+# the very tables of an unfaulted run (plus its own resilience section),
+# and a rate-100 plan must degrade rows instead of crashing the run.
+strip_pool_resilience() {
+  awk '
+    skip == 1 { if ($0 ~ /^All injected pool faults|quarantined task\(s\) left/) skip = 0; next }
+    $0 == "Resilience (worker pool fault injection)" { blank = 0; skip = 1; next }
+    blank == 1 { print ""; blank = 0 }
+    $0 == "" { blank = 1; next }
+    { print }
+    END { if (blank) print "" }
+  '
+}
+dune exec --no-build bench/main.exe -- --exp table3 --pool-faults 15:7 --jobs 1 2>/dev/null | filter > "$tmp/pf_seq.out"
+dune exec --no-build bench/main.exe -- --exp table3 --pool-faults 15:7 --jobs 4 2>/dev/null | filter > "$tmp/pf_par.out"
+if ! diff -u "$tmp/pf_seq.out" "$tmp/pf_par.out"; then
+  echo "FAIL: --pool-faults 15:7 output depends on --jobs" >&2
+  exit 1
+fi
+if ! grep -Eq '^[1-9][0-9]* injected worker faults' "$tmp/pf_seq.out"; then
+  echo "FAIL: --pool-faults 15:7 injected no worker faults at all" >&2
+  exit 1
+fi
+if ! grep -q '^All injected pool faults recovered within the retry budget' "$tmp/pf_seq.out"; then
+  echo "FAIL: --pool-faults 15:7 did not fully recover" >&2
+  grep 'quarantined' "$tmp/pf_seq.out" >&2 || true
+  exit 1
+fi
+strip_pool_resilience < "$tmp/pf_seq.out" > "$tmp/pf_strip.out"
+if ! diff -u "$tmp/seq.out" "$tmp/pf_strip.out"; then
+  echo "FAIL: recovered --pool-faults 15:7 tables differ from the un-faulted run" >&2
+  exit 1
+fi
+dune exec --no-build bench/main.exe -- --exp table3 --pool-faults 0 2>/dev/null \
+  | filter | strip_pool_resilience > "$tmp/pf0.out"
+if ! diff -u "$tmp/seq.out" "$tmp/pf0.out"; then
+  echo "FAIL: --pool-faults 0 output differs from a run without pool fault injection" >&2
+  exit 1
+fi
+if ! dune exec --no-build bench/main.exe -- --exp table3 --pool-faults 100:3 --jobs 4 \
+     --metrics 2>"$tmp/pfq.err" | filter > "$tmp/pfq.out"; then
+  echo "FAIL: a rate-100 pool fault plan crashed the run instead of degrading it" >&2
+  exit 1
+fi
+if ! grep -q '\[degraded .*/.* reps\]' "$tmp/pfq.out"; then
+  echo "FAIL: quarantined campaigns did not render as degraded rows" >&2
+  exit 1
+fi
+if ! grep -Eq 'quarantined task\(s\) left [1-9][0-9]* degraded table row' "$tmp/pfq.out"; then
+  echo "FAIL: quarantine summary missing from the pool resilience section" >&2
+  exit 1
+fi
+if ! grep -Eq '^\[metrics\] pool\.quarantined +[1-9]' "$tmp/pfq.err"; then
+  echo "FAIL: no pool.quarantined metric on stderr" >&2
+  grep '^\[metrics\] pool\.' "$tmp/pfq.err" >&2 || true
+  exit 1
+fi
+echo "OK: pool faults recover byte-identically (jobs 1/4), rate 0 passes through, rate 100 degrades"
+
 echo "== CI green =="
