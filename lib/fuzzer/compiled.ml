@@ -165,7 +165,12 @@ let compile (spec : spec) : t =
   in
   let plan_of_comp (cd : comp_def) : comp_plan =
     let fields = Array.of_list cd.comp_fields in
-    let cp_fields = Array.map (fun f -> (f.fname, gen_of_typ f.ftyp)) fields in
+    (* intern the field names once at spec-compile time: they key the
+       executor-side field stores of every materialized user struct, so
+       the Stbl probes there hit the pointer-compare fast path *)
+    let cp_fields =
+      Array.map (fun f -> (Vkernel.Value.intern f.fname, gen_of_typ f.ftyp)) fields
+    in
     let first_index_named nm =
       let n = Array.length fields in
       let rec go i =

@@ -152,32 +152,55 @@ let splice (r : Rng.t) ~(partner : unit -> prog) (prog : prog) : prog =
    draw: the no-op depends only on the program, so replay is exact. *)
 let insert_dependent (t : Proggen.t) (r : Rng.t) (prog : prog) : prog =
   let open Syzlang.Ast in
+  (* the reversal is shared: the latest-producer scan walks it, and the
+     appended program is rebuilt from it, so the whole operator touches
+     the program twice instead of the old mapi + concat + per-element
+     remove_assoc + [prog @ [_]] pile-up (quadratic over a chain) *)
+  let rev_prog = List.rev prog in
   let resource_at =
-    List.concat
-      (List.mapi
-         (fun i (c : call) ->
-           List.filter_map
-             (fun (res, pidx) ->
-               if t.Proggen.syscalls.(pidx).call_name = c.c_name then Some (res, i)
-               else None)
-             t.Proggen.producer_idx)
-         prog)
-    (* mapi runs front to back, so keeping the last binding per resource
-       selects the latest producer *)
-    |> List.fold_left (fun acc (res, i) -> (res, i) :: List.remove_assoc res acc) []
+    (* backward, keeping the first binding seen per resource = the
+       latest producer, same mapping the old forward fold computed *)
+    let rec scan i acc = function
+      | [] -> acc
+      | (c : call) :: earlier ->
+          let acc =
+            List.fold_left
+              (fun acc (res, pidx) ->
+                if
+                  t.Proggen.syscalls.(pidx).call_name = c.c_name
+                  && not (List.mem_assoc res acc)
+                then (res, i) :: acc
+                else acc)
+              acc t.Proggen.producer_idx
+          in
+          scan (i - 1) acc earlier
+    in
+    scan (List.length rev_prog - 1) [] rev_prog
   in
-  let candidates = ref [] in
+  let cand = ref [] in
+  let ncand = ref 0 in
   Array.iteri
     (fun idx req ->
-      if req <> [] && List.for_all (fun res -> List.mem_assoc res resource_at) req then
-        candidates := idx :: !candidates)
+      if req <> [] && List.for_all (fun res -> List.mem_assoc res resource_at) req then begin
+        cand := idx :: !cand;
+        incr ncand
+      end)
     t.Proggen.required;
-  match List.rev !candidates with
-  | [] -> prog
-  | candidates ->
-      let idx = List.nth candidates (Rng.int r (List.length candidates)) in
-      let args = Proggen.args_of_index t r ~resource_at idx in
-      prog @ [ { c_name = t.Proggen.syscalls.(idx).call_name; c_args = args } ]
+  if !ncand = 0 then prog
+  else begin
+    (* !cand is descending; filling back-to-front restores the ascending
+       order the old [List.rev !candidates] fed to the same single draw *)
+    let arr = Array.make !ncand 0 in
+    let k = ref (!ncand - 1) in
+    List.iter
+      (fun idx ->
+        arr.(!k) <- idx;
+        decr k)
+      !cand;
+    let idx = arr.(Rng.int r !ncand) in
+    let args = Proggen.args_of_index t r ~resource_at idx in
+    List.rev ({ c_name = t.Proggen.syscalls.(idx).call_name; c_args = args } :: rev_prog)
+  end
 
 (** Apply one operator. An empty program regenerates from scratch and an
     over-long one trims back to a window regardless of the operator

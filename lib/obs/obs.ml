@@ -122,15 +122,37 @@ module Json = struct
                  | 'b' -> Buffer.add_char b '\b'; incr pos
                  | 'f' -> Buffer.add_char b '\012'; incr pos
                  | 'u' ->
-                     if !pos + 4 >= n then fail "truncated \\u escape";
-                     let hex = String.sub s (!pos + 1) 4 in
-                     (match int_of_string_opt ("0x" ^ hex) with
-                     | None -> fail "bad \\u escape"
-                     | Some code ->
-                         (match Uchar.of_int code with
-                         | u -> Buffer.add_utf_8_uchar b u
-                         | exception Invalid_argument _ -> fail "bad \\u codepoint"));
-                     pos := !pos + 5
+                     (* [!pos] sits on the 'u'; helpers read the 4 hex
+                        digits after a given 'u' position *)
+                     let hex_at upos =
+                       if upos + 4 >= n then fail "truncated \\u escape";
+                       match int_of_string_opt ("0x" ^ String.sub s (upos + 1) 4) with
+                       | Some code -> code
+                       | None -> fail "bad \\u escape"
+                     in
+                     let code = hex_at !pos in
+                     if code >= 0xD800 && code <= 0xDBFF then begin
+                       (* high surrogate: must pair with \uDC00-\uDFFF;
+                          the pair encodes one supplementary scalar *)
+                       if
+                         not
+                           (!pos + 6 < n && s.[!pos + 5] = '\\' && s.[!pos + 6] = 'u')
+                       then fail "lone high surrogate in \\u escape";
+                       let lo = hex_at (!pos + 6) in
+                       if not (lo >= 0xDC00 && lo <= 0xDFFF) then
+                         fail "high surrogate not followed by low surrogate";
+                       let scalar =
+                         0x10000 + (((code - 0xD800) lsl 10) lor (lo - 0xDC00))
+                       in
+                       Buffer.add_utf_8_uchar b (Uchar.of_int scalar);
+                       pos := !pos + 11
+                     end
+                     else if code >= 0xDC00 && code <= 0xDFFF then
+                       fail "lone low surrogate in \\u escape"
+                     else begin
+                       Buffer.add_utf_8_uchar b (Uchar.of_int code);
+                       pos := !pos + 5
+                     end
                  | _ -> fail "unknown escape");
               go ()
           | c -> Buffer.add_char b c; incr pos; go ()

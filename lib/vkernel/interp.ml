@@ -10,7 +10,12 @@
     - userspace data ({!Value.uval}) crossing the boundary only through
       [copy_from_user]-style builtins, field-by-field, so that wrong
       specifications produce kernel-side zeroes instead of meaningful
-      values. *)
+      values.
+
+    Values use {!Value}'s tagged representation: integers that fit 63
+    bits are immediates, so the arithmetic core below allocates nothing
+    on its fast paths. Cold paths match through {!Value.view}; hot paths
+    use {!Value.is_imm}/{!Value.imm}/{!Value.boxed} directly. *)
 
 open Value
 
@@ -30,6 +35,10 @@ type state = {
           walk, type classification and composite lookup happen once per
           struct name, not once per instantiation. Owned by the machine
           and shared across the per-execution states it creates. *)
+  frames : Pool.t;
+      (** free-list pool for the jit's per-call slot arrays. Owned by
+          the machine (like [layouts]) so steady-state execution reuses
+          frames across programs instead of allocating per guest call. *)
   mutable tracked_objs : obj list;  (** explicit allocations, for leak scan *)
   mutable next_oid : int;
   mutable steps : int;
@@ -51,22 +60,29 @@ type state = {
     allocate fresh objects (nested composites, non-char arrays). *)
 and filler = F_const of value | F_fill of (state -> string -> value)
 
-and layout = (string * int * filler) array
-(** field name, its precomputed {!Value.Stbl.hash}, and how to fill it *)
+and layout = { l_names : string array; l_fillers : filler array }
+(** interned field names (shared with every instance as the typed
+    object's [tnames]) and how to fill each *)
 
-let create ~(index : Csrc.Index.t) ?layouts ?(step_budget = 200_000) ?on_cover () =
-  (* When the caller supplies its own coverage hook the per-state table
-     is never consulted, so it stays tiny: sizing it for a full run
-     would charge every sink-driven execution ~1k words for nothing. *)
+(* When the caller supplies its own coverage hook the per-state table is
+   never consulted — all sink-driven states share this one dead table
+   instead of allocating ~20 words each, millions of times per
+   campaign. It is never written (the hook replaces the default
+   recorder), so sharing it across states and domains is safe. *)
+let dead_coverage : (int, unit) Hashtbl.t = Hashtbl.create 1
+
+let create ~(index : Csrc.Index.t) ?layouts ?frames ?(step_budget = 200_000)
+    ?on_cover () =
   let coverage =
-    Hashtbl.create (match on_cover with Some _ -> 16 | None -> 1024)
+    match on_cover with Some _ -> dead_coverage | None -> Hashtbl.create 1024
   in
   let st =
     {
       index;
-      globals = Stbl.create 64;
+      globals = Stbl.create 16;
       coverage;
       layouts = (match layouts with Some l -> l | None -> Stbl.create 16);
+      frames = (match frames with Some f -> f | None -> Pool.create ());
       tracked_objs = [];
       next_oid = 1;
       steps = 0;
@@ -104,18 +120,21 @@ let rec is_char_type (index : Csrc.Index.t) (ty : Csrc.Ast.ctype) =
       | None -> n = "u8" || n = "__u8" || n = "s8" || n = "__s8")
   | _ -> false
 
+(* shared immutable zeros: one static value serves every instantiation *)
+let empty_str : value = vstr ""
+
 (** Default value for a struct field or local of the given type. *)
 let rec zero_value st ~fn (ty : Csrc.Ast.ctype) : value =
   match ty with
   | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
   | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
-      Int 0L
-  | Csrc.Ast.Array (elem, _) when is_char_type st.index elem -> Str ""
+      vzero
+  | Csrc.Ast.Array (elem, _) when is_char_type st.index elem -> empty_str
   | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 ->
       let cells = Array.init n (fun _ -> zero_value st ~fn elem) in
-      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
-  | Csrc.Ast.Array (_, _) -> Ptr (new_obj st ~fn ~tracked:false (Cells [||]))
-  | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name -> Ptr (typed_obj st ~fn name)
+      vptr (new_obj st ~fn ~tracked:false (Cells cells))
+  | Csrc.Ast.Array (_, _) -> vptr (new_obj st ~fn ~tracked:false (Cells [||]))
+  | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name -> vptr (typed_obj st ~fn name)
 
 (** Classify a field type once: fields whose zero is an immutable
     scalar share one static value across every instantiation; the rest
@@ -125,23 +144,25 @@ and filler_of (index : Csrc.Index.t) (ty : Csrc.Ast.ctype) : filler =
   match ty with
   | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
   | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
-      F_const (Int 0L)
-  | Csrc.Ast.Array (elem, _) when is_char_type index elem -> F_const (Str "")
+      F_const vzero
+  | Csrc.Ast.Array (elem, _) when is_char_type index elem -> F_const empty_str
   | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 -> (
       match filler_of index elem with
       | F_const z ->
           (* immutable zeros: one shared element value, no per-element
              closure calls (memset, not a field-by-field walk) *)
-          F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells (Array.make n z))))
-      | F_fill f -> F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> f st fn))))))
+          F_fill (fun st fn -> vptr (new_obj st ~fn ~tracked:false (Cells (Array.make n z))))
+      | F_fill f -> F_fill (fun st fn -> vptr (new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> f st fn))))))
   | Csrc.Ast.Array (_, _) ->
-      F_fill (fun st fn -> Ptr (new_obj st ~fn ~tracked:false (Cells [||])))
+      F_fill (fun st fn -> vptr (new_obj st ~fn ~tracked:false (Cells [||])))
   | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name ->
-      F_fill (fun st fn -> Ptr (typed_obj st ~fn name))
+      F_fill (fun st fn -> vptr (typed_obj st ~fn name))
 
 (** Object for a struct/union type, fields initialized per the layout.
     The layout plan (field list, type classification, composite lookup)
-    is computed once per struct name and memoized in [st.layouts]. *)
+    is computed once per struct name and memoized in [st.layouts].
+    Field names are interned so every later probe on them takes the
+    {!Value.Stbl} pointer-compare fast path. *)
 and typed_obj st ~fn (comp_name : string) : obj =
   let layout =
     match Stbl.find_opt st.layouts comp_name with
@@ -150,26 +171,32 @@ and typed_obj st ~fn (comp_name : string) : obj =
         let l =
           match Csrc.Index.find_composite st.index comp_name with
           | Some cd ->
-              Array.of_list
-                (List.map
-                   (fun f ->
-                     let fname = f.Csrc.Ast.field_name in
-                     (fname, Stbl.hash fname, filler_of st.index f.Csrc.Ast.field_type))
-                   cd.fields)
-          | None -> [||]
+              let fields = Array.of_list cd.fields in
+              {
+                l_names =
+                  Array.map (fun f -> intern f.Csrc.Ast.field_name) fields;
+                l_fillers =
+                  Array.map (fun f -> filler_of st.index f.Csrc.Ast.field_type) fields;
+              }
+          | None -> { l_names = [||]; l_fillers = [||] }
         in
         Stbl.replace st.layouts comp_name l;
         l
   in
-  (* sized to the layout: most corpus structs have a handful of fields,
-     so the bucket array stays at the 4-bucket floor instead of 8 *)
-  let tbl = Stbl.create (Array.length layout) in
-  Array.iter
-    (fun (fname, fh, filler) ->
-      Stbl.replace_h tbl fh fname
-        (match filler with F_const v -> v | F_fill f -> f st fn))
-    layout;
-  new_obj st ~fn ~tracked:false (Fields tbl)
+  let nf = Array.length layout.l_names in
+  if nf = 0 then
+    (* unknown composite (mutex, timer_list, ...): plain lazy fields,
+       every store is an out-of-layout name anyway *)
+    new_obj st ~fn ~tracked:false (Fields (Stbl.create 0))
+  else begin
+    let cells = Array.make nf vzero in
+    for i = 0 to nf - 1 do
+      match layout.l_fillers.(i) with
+      | F_const v -> cells.(i) <- v
+      | F_fill f -> cells.(i) <- f st fn
+    done;
+    new_obj st ~fn ~tracked:false (Typed { tnames = layout.l_names; tcells = cells })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Object access                                                       *)
@@ -177,10 +204,23 @@ and typed_obj st ~fn (comp_name : string) : obj =
 
 let check_alive ~fn o = if o.freed then Crash.raise_crash Crash.Kasan_uaf fn
 
+(* A store to a name outside a typed object's layout (lock/list/debug
+   pseudo-fields like "__locked", "__deref" cell fallbacks) migrates the
+   object to the generic hash-table shape, bindings preserved. *)
+let migrate_to_fields o (tf : Value.tfields) : value Stbl.t =
+  let n = Array.length tf.tnames in
+  let tbl = Stbl.create (n + 4) in
+  for i = 0 to n - 1 do
+    Stbl.replace tbl tf.tnames.(i) tf.tcells.(i)
+  done;
+  o.data <- Fields tbl;
+  tbl
+
 let obj_fields ~fn o =
   check_alive ~fn o;
   match o.data with
   | Fields tbl -> tbl
+  | Typed tf -> migrate_to_fields o tf
   | Opaque ->
       (* promote a raw allocation on first structured access *)
       let tbl = Stbl.create 8 in
@@ -189,22 +229,72 @@ let obj_fields ~fn o =
   | Cells _ -> raise (Exec_error "field access on array object")
 
 let get_field ~fn o name =
-  let tbl = obj_fields ~fn o in
-  match Stbl.find_opt tbl name with Some v -> v | None -> Int 0L
+  check_alive ~fn o;
+  match o.data with
+  | Typed tf ->
+      let i = Value.tindex tf name in
+      if i >= 0 then tf.tcells.(i) else vzero
+  | Fields tbl -> (
+      match Stbl.find_opt tbl name with Some v -> v | None -> vzero)
+  | Opaque ->
+      (* promote on read too: the shape switch is observable to the
+         structural memcpy/memset arms *)
+      o.data <- Fields (Stbl.create 8);
+      vzero
+  | Cells _ -> raise (Exec_error "field access on array object")
 
 let set_field ~fn o name v =
-  let tbl = obj_fields ~fn o in
-  Stbl.replace tbl name v
+  check_alive ~fn o;
+  match o.data with
+  | Typed tf ->
+      let i = Value.tindex tf name in
+      if i >= 0 then tf.tcells.(i) <- v
+      else Stbl.replace (migrate_to_fields o tf) name v
+  | Fields tbl -> Stbl.replace tbl name v
+  | Opaque ->
+      let tbl = Stbl.create 8 in
+      o.data <- Fields tbl;
+      Stbl.replace tbl name v
+  | Cells _ -> raise (Exec_error "field access on array object")
 
 (* Precomputed-hash mirrors for the jit, which knows every field name
    at compile time. [h] must be [Stbl.hash name]. *)
 let get_field_h ~fn o h name =
-  let tbl = obj_fields ~fn o in
-  match Stbl.find_opt_h tbl h name with Some v -> v | None -> Int 0L
+  check_alive ~fn o;
+  match o.data with
+  | Typed tf ->
+      let i = Value.tindex tf name in
+      if i >= 0 then tf.tcells.(i) else vzero
+  | Fields tbl -> (
+      match Stbl.find_opt_h tbl h name with Some v -> v | None -> vzero)
+  | Opaque ->
+      o.data <- Fields (Stbl.create 8);
+      vzero
+  | Cells _ -> raise (Exec_error "field access on array object")
 
 let set_field_h ~fn o h name v =
-  let tbl = obj_fields ~fn o in
-  Stbl.replace_h tbl h name v
+  check_alive ~fn o;
+  match o.data with
+  | Typed tf ->
+      let i = Value.tindex tf name in
+      if i >= 0 then tf.tcells.(i) <- v
+      else Stbl.replace (migrate_to_fields o tf) name v
+  | Fields tbl -> Stbl.replace_h tbl h name v
+  | Opaque ->
+      let tbl = Stbl.create 8 in
+      o.data <- Fields tbl;
+      Stbl.replace_h tbl h name v
+  | Cells _ -> raise (Exec_error "field access on array object")
+
+(* Structural struct copy: every binding of [src_o] lands in [dst_o].
+   Mirrors the historical hash-table/hash-table copy — any combo
+   involving a raw or array shape stays a no-op. *)
+let copy_struct ~fn dst_o src_o =
+  match (dst_o.data, src_o.data) with
+  | (Fields _ | Typed _), Fields s -> Stbl.iter (fun k v -> set_field ~fn dst_o k v) s
+  | (Fields _ | Typed _), Typed tf ->
+      Array.iteri (fun i n -> set_field ~fn dst_o n tf.tcells.(i)) tf.tnames
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Userspace data materialization                                      *)
@@ -212,24 +302,34 @@ let set_field_h ~fn o h name v =
 
 let rec value_of_uval st ~fn (uv : uval) : value =
   match uv with
-  | U_int v -> Int v
-  | U_str s -> Str s
-  | U_null -> Int 0L
+  | U_int v -> vint v
+  | U_str s -> vstr s
+  | U_null -> vzero
   | U_arr xs ->
-      let cells = Array.of_list (List.map (value_of_uval st ~fn) xs) in
-      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+      (* single pass, left to right like the List.map it replaces: the
+         per-element materialization allocates, so order is oid order *)
+      let n = List.length xs in
+      let cells = Array.make n vzero in
+      let rec fill i = function
+        | [] -> ()
+        | x :: rest ->
+            cells.(i) <- value_of_uval st ~fn x;
+            fill (i + 1) rest
+      in
+      fill 0 xs;
+      vptr (new_obj st ~fn ~tracked:false (Cells cells))
   | U_struct (_, fields) ->
       let o = fields_obj st ~fn () in
       List.iter (fun (f, v) -> set_field ~fn o f (value_of_uval st ~fn v)) fields;
-      Ptr o
+      vptr o
 
 (** Copy user data into an existing kernel object, field by field. *)
 let materialize_into st ~fn (dst : obj) (uv : uval) : unit =
   match uv with
   | U_struct (_, fields) ->
       List.iter (fun (f, v) -> set_field ~fn dst f (value_of_uval st ~fn v)) fields
-  | U_int v -> set_field ~fn dst "__scalar" (Int v)
-  | U_str s -> set_field ~fn dst "__scalar" (Str s)
+  | U_int v -> set_field ~fn dst "__scalar" (vint v)
+  | U_str s -> set_field ~fn dst "__scalar" (vstr s)
   | U_arr _ -> set_field ~fn dst "__scalar" (value_of_uval st ~fn uv)
   | U_null -> ()
 
@@ -244,6 +344,7 @@ type lvalue =
   | L_global of string
   | L_field of obj * string
   | L_cell of obj * int
+
 
 let step_state (st : state) =
   st.steps <- st.steps + 1;
@@ -270,10 +371,10 @@ and init_global (st : state) (g : Csrc.Ast.global_def) : value =
   let fn = "__init" in
   let base =
     match g.global_type with
-    | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n -> Ptr (typed_obj st ~fn n)
+    | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n -> vptr (typed_obj st ~fn n)
     | Csrc.Ast.Array (elem, Some count) when count > 0 && count <= 4096 ->
         let cells = Array.init count (fun _ -> zero_value st ~fn elem) in
-        Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+        vptr (new_obj st ~fn ~tracked:false (Cells cells))
     | ty -> zero_value st ~fn ty
   in
   (* publish before applying the initializer so cross-references resolve *)
@@ -281,9 +382,12 @@ and init_global (st : state) (g : Csrc.Ast.global_def) : value =
   (match g.global_init with
   | None -> ()
   | Some gi -> (
-      match (base, gi) with
-      | Ptr o, Csrc.Ast.Init_designated fields ->
-          List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields
+      match gi with
+      | Csrc.Ast.Init_designated fields when not (is_imm base) -> (
+          match boxed base with
+          | B_ptr o ->
+              List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields
+          | _ -> Stbl.replace st.globals g.global_name (init_value st gi))
       | _ -> Stbl.replace st.globals g.global_name (init_value st gi)));
   match Stbl.find_opt st.globals g.global_name with Some v -> v | None -> base
 
@@ -305,35 +409,35 @@ and init_value (st : state) (gi : Csrc.Ast.ginit) : value =
   match gi with
   | Csrc.Ast.Init_expr (Csrc.Ast.Ident name) -> (
       match Csrc.Index.find_function st.index name with
-      | Some _ -> Fn name
+      | Some _ -> vfn name
       | None -> (
           match get_global st name with
           | Some v -> v
           | None -> (
               match Csrc.Index.eval_macro st.index name with
-              | Some v -> Int v
+              | Some v -> vint v
               | None -> (
                   match Csrc.Index.find_enum_item st.index name with
                   | Some e -> (
-                      match Csrc.Index.eval_opt st.index e with Some v -> Int v | None -> Int 0L)
+                      match Csrc.Index.eval_opt st.index e with Some v -> vint v | None -> vzero)
                   | None -> (
                       match Csrc.Index.string_macro st.index name with
-                      | Some s -> Str s
-                      | None -> Int 0L)))))
+                      | Some s -> vstr s
+                      | None -> vzero)))))
   | Csrc.Ast.Init_expr (Csrc.Ast.Addr_of (Csrc.Ast.Ident name)) -> (
-      match get_global st name with Some v -> v | None -> Int 0L)
+      match get_global st name with Some v -> v | None -> vzero)
   | Csrc.Ast.Init_expr e -> (
       match Csrc.Index.eval_opt st.index e with
-      | Some v -> Int v
+      | Some v -> vint v
       | None -> (
-          match Csrc.Index.eval_string st.index e with Some s -> Str s | None -> Int 0L))
+          match Csrc.Index.eval_string st.index e with Some s -> vstr s | None -> vzero))
   | Csrc.Ast.Init_designated fields ->
       let o = fields_obj st ~fn () in
       List.iter (fun (f, gi) -> set_field ~fn o f (init_value st gi)) fields;
-      Ptr o
+      vptr o
   | Csrc.Ast.Init_list items ->
       let cells = Array.of_list (List.map (init_value st) items) in
-      Ptr (new_obj st ~fn ~tracked:false (Cells cells))
+      vptr (new_obj st ~fn ~tracked:false (Cells cells))
 
 let lookup_var env name : value option =
   match Stbl.find_opt env.locals name with
@@ -346,53 +450,124 @@ let lookup_var env name : value option =
 
 let as_int v = Value.to_int v
 
-let bool_v b = Int (if b then 1L else 0L)
+let bool_v = vbool
+
+(* Strict binop slow path: at least one operand is boxed. The Ptr/Str
+   comparison arms live here; everything else coerces through {!as_int}
+   exactly as before. (The historical [Ptr = 0] arms fell through to the
+   int path with identical results — Ptr coerces to 1 — so they are
+   simply gone.) *)
+let binop_slow ~fn (op : Csrc.Ast.binop) (va : value) (vb : value) : value =
+  let special =
+    match op with
+    | Csrc.Ast.Eq | Csrc.Ast.Ne ->
+        if is_imm va || is_imm vb then None
+        else (
+          match (boxed va, boxed vb) with
+          | B_ptr x, B_ptr y ->
+              let e = x.oid = y.oid in
+              Some (vbool (if op = Csrc.Ast.Eq then e else not e))
+          | B_str x, B_str y ->
+              let e = String.equal x y in
+              Some (vbool (if op = Csrc.Ast.Eq then e else not e))
+          | _ -> None)
+    | _ -> None
+  in
+  match special with
+  | Some r -> r
+  | None -> (
+      let x = as_int va and y = as_int vb in
+      match op with
+      | Csrc.Ast.Add -> vint (Int64.add x y)
+      | Csrc.Ast.Sub -> vint (Int64.sub x y)
+      | Csrc.Ast.Mul -> vint (Int64.mul x y)
+      | Csrc.Ast.Div ->
+          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
+          else vint (Int64.div x y)
+      | Csrc.Ast.Mod ->
+          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
+          else vint (Int64.rem x y)
+      | Csrc.Ast.Shl -> vint (Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
+      | Csrc.Ast.Shr -> vint (Int64.shift_right_logical x (Int64.to_int (Int64.logand y 63L)))
+      | Csrc.Ast.Band -> vint (Int64.logand x y)
+      | Csrc.Ast.Bor -> vint (Int64.logor x y)
+      | Csrc.Ast.Bxor -> vint (Int64.logxor x y)
+      | Csrc.Ast.Eq -> vbool (Int64.equal x y)
+      | Csrc.Ast.Ne -> vbool (not (Int64.equal x y))
+      | Csrc.Ast.Lt -> vbool (Int64.compare x y < 0)
+      | Csrc.Ast.Le -> vbool (Int64.compare x y <= 0)
+      | Csrc.Ast.Gt -> vbool (Int64.compare x y > 0)
+      | Csrc.Ast.Ge -> vbool (Int64.compare x y >= 0)
+      | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false)
 
 (** Strict (non-short-circuit) binary operators over already-evaluated
     values: shared by the tree-walking evaluator and the closure
-    compiler ({!Jit}), so both produce identical results and crashes. *)
+    compiler ({!Jit}), so both produce identical results and crashes.
+
+    Both-immediate operands take native-int fast paths that allocate
+    nothing unless the exact 64-bit result needs the 64th bit; all
+    semantics stay 64-bit two's-complement (an immediate is its own
+    sign-extension, so native compares, bitwise ops and truncating
+    div/mod agree with the [Int64] versions bit for bit). *)
 let binop_values ~fn (op : Csrc.Ast.binop) (va : value) (vb : value) : value =
-  match (op, va, vb) with
-  | Csrc.Ast.Eq, Ptr x, Ptr y -> bool_v (x.oid = y.oid)
-  | Csrc.Ast.Ne, Ptr x, Ptr y -> bool_v (x.oid <> y.oid)
-  | Csrc.Ast.Eq, Str x, Str y -> bool_v (String.equal x y)
-  | Csrc.Ast.Ne, Str x, Str y -> bool_v (not (String.equal x y))
-  | Csrc.Ast.Eq, Ptr _, Int 0L | Csrc.Ast.Eq, Int 0L, Ptr _ -> bool_v false
-  | Csrc.Ast.Ne, Ptr _, Int 0L | Csrc.Ast.Ne, Int 0L, Ptr _ -> bool_v true
-  | _ -> (
-      let x = as_int va and y = as_int vb in
-      match op with
-      | Csrc.Ast.Add -> Int (Int64.add x y)
-      | Csrc.Ast.Sub -> Int (Int64.sub x y)
-      | Csrc.Ast.Mul -> Int (Int64.mul x y)
-      | Csrc.Ast.Div ->
-          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
-          else Int (Int64.div x y)
-      | Csrc.Ast.Mod ->
-          if Int64.equal y 0L then Crash.raise_crash Crash.Divide_error fn
-          else Int (Int64.rem x y)
-      | Csrc.Ast.Shl -> Int (Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
-      | Csrc.Ast.Shr -> Int (Int64.shift_right_logical x (Int64.to_int (Int64.logand y 63L)))
-      | Csrc.Ast.Band -> Int (Int64.logand x y)
-      | Csrc.Ast.Bor -> Int (Int64.logor x y)
-      | Csrc.Ast.Bxor -> Int (Int64.logxor x y)
-      | Csrc.Ast.Eq -> bool_v (Int64.equal x y)
-      | Csrc.Ast.Ne -> bool_v (not (Int64.equal x y))
-      | Csrc.Ast.Lt -> bool_v (Int64.compare x y < 0)
-      | Csrc.Ast.Le -> bool_v (Int64.compare x y <= 0)
-      | Csrc.Ast.Gt -> bool_v (Int64.compare x y > 0)
-      | Csrc.Ast.Ge -> bool_v (Int64.compare x y >= 0)
-      | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false)
+  if is_imm va && is_imm vb then
+    let a = imm va and b = imm vb in
+    match op with
+    | Csrc.Ast.Add ->
+        let s = a + b in
+        if (a lxor s) land (b lxor s) < 0 then
+          vint (Int64.add (Int64.of_int a) (Int64.of_int b))
+        else fix s
+    | Csrc.Ast.Sub ->
+        let s = a - b in
+        if (a lxor b) land (a lxor s) < 0 then
+          vint (Int64.sub (Int64.of_int a) (Int64.of_int b))
+        else fix s
+    | Csrc.Ast.Mul ->
+        (* exact when both factors fit 31 bits; otherwise fall back to
+           the 64-bit multiply and renormalize *)
+        if
+          a >= -0x4000_0000 && a < 0x4000_0000 && b >= -0x4000_0000
+          && b < 0x4000_0000
+        then fix (a * b)
+        else vint (Int64.mul (Int64.of_int a) (Int64.of_int b))
+    | Csrc.Ast.Div ->
+        if b = 0 then Crash.raise_crash Crash.Divide_error fn
+        else if b = -1 then
+          (* negating the 63-bit minimum needs the boxed fallback (and
+             native division would trap on it) *)
+          vint (Int64.neg (Int64.of_int a))
+        else fix (a / b)
+    | Csrc.Ast.Mod ->
+        if b = 0 then Crash.raise_crash Crash.Divide_error fn
+        else if b = -1 then vzero
+        else fix (a mod b)
+    | Csrc.Ast.Shl -> vint (Int64.shift_left (Int64.of_int a) (b land 63))
+    | Csrc.Ast.Shr -> vint (Int64.shift_right_logical (Int64.of_int a) (b land 63))
+    | Csrc.Ast.Band -> fix (a land b)
+    | Csrc.Ast.Bor -> fix (a lor b)
+    | Csrc.Ast.Bxor -> fix (a lxor b)
+    | Csrc.Ast.Eq -> vbool (a = b)
+    | Csrc.Ast.Ne -> vbool (a <> b)
+    | Csrc.Ast.Lt -> vbool (a < b)
+    | Csrc.Ast.Le -> vbool (a <= b)
+    | Csrc.Ast.Gt -> vbool (a > b)
+    | Csrc.Ast.Ge -> vbool (a >= b)
+    | Csrc.Ast.Land | Csrc.Ast.Lor -> assert false
+  else binop_slow ~fn op va vb
 
 (* ------------------------------------------------------------------ *)
 (* Builtins (value level)                                              *)
 (* ------------------------------------------------------------------ *)
 
 let expect_obj ~fn what v =
-  match v with
-  | Ptr o -> o
-  | Int 0L -> Crash.raise_crash Crash.Gpf fn
-  | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" fn what))
+  if is_imm v then
+    if imm v = 0 then Crash.raise_crash Crash.Gpf fn
+    else raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" fn what))
+  else
+    match boxed v with
+    | B_ptr o -> o
+    | _ -> raise (Exec_error (Printf.sprintf "%s: %s expects a kernel pointer" fn what))
 
 (* Every name the [builtin_values] match below handles. The closure
    compiler ({!Jit}) consults this at compile time to decide
@@ -461,212 +636,210 @@ let builtin_values_id (st : state) ~fn (id : int) (name : string) (b : builtin_c
   let alloc_checked size ~vmalloc =
     if vmalloc && Int64.equal size 0L then Crash.raise_crash Crash.Zero_size_vmalloc fn;
     if Int64.compare size 0x7fffffffL > 0 then Crash.raise_crash Crash.Kmalloc_bug fn;
-    if Int64.compare size 0L <= 0 then Int 0L
-    else Ptr (new_obj st ~fn ~tracked:true Opaque)
+    if Int64.compare size 0L <= 0 then vzero
+    else vptr (new_obj st ~fn ~tracked:true Opaque)
   in
   let scalar_of_uval = function
-    | U_int x -> Int x
-    | U_str s -> Str s
-    | U_arr (U_int x :: _) -> Int x
-    | U_arr _ | U_struct _ | U_null -> Int 0L
+    | U_int x -> vint x
+    | U_str s -> vstr s
+    | U_arr (U_int x :: _) -> vint x
+    | U_arr _ | U_struct _ | U_null -> vzero
   in
   match id with
   | 0 -> (
       let src = v 1 in
       let copy_user uv =
-        if uv = U_null then Int 1L
+        if uv = U_null then vone
         else
-          match b.braw 0 with
+          match view (b.braw 0) with
           | Ptr o ->
               check_alive ~fn o;
               materialize_into st ~fn o uv;
-              Int 0L
-          | _ -> if b.bsstore 0 (scalar_of_uval uv) then Int 0L else Int 1L
+              vzero
+          | _ -> if b.bsstore 0 (scalar_of_uval uv) then vzero else vone
       in
-      match src with
+      match view src with
       | Uptr uv -> Some (copy_user uv)
       | Str s -> Some (copy_user (U_str s))
       | Ptr src_o -> (
           check_alive ~fn src_o;
-          match b.braw 0 with
+          match view (b.braw 0) with
           | Ptr dst_o ->
               check_alive ~fn dst_o;
-              (match (dst_o.data, src_o.data) with
-              | Fields d, Fields s -> Stbl.iter (fun k v -> Stbl.replace d k v) s
-              | _ -> ());
-              Some (Int 0L)
-          | _ -> Some (Int 1L))
-      | Int _ | Unit | Fn _ -> Some (Int 1L))
+              copy_struct ~fn dst_o src_o;
+              Some vzero
+          | _ -> Some vone)
+      | Int _ | Unit | Fn _ -> Some vone)
   | 1 -> (
-      match v 0 with
-      | Uptr U_null | Int 0L -> Some (Int 1L)
-      | _ -> Some (Int 0L))
+      match view (v 0) with
+      | Uptr U_null | Int 0L -> Some vone
+      | _ -> Some vzero)
   | 2 -> (
-      match v 0 with
-      | Uptr U_null | Int 0L -> Some (Int 0L)
+      match view (v 0) with
+      | Uptr U_null | Int 0L -> Some vzero
       | Uptr uv ->
           let o = new_obj st ~fn ~tracked:true (Fields (Stbl.create 8)) in
           materialize_into st ~fn o uv;
-          Some (Ptr o)
-      | Ptr o -> Some (Ptr o)
-      | _ -> Some (Int 0L))
+          Some (vptr o)
+      | Ptr o -> Some (vptr o)
+      | _ -> Some vzero)
   | 3 -> (
-      match (v 0, v 1) with
-      | _, (Uptr U_null | Int 0L) -> Some (Int (-14L))
+      match (view (v 0), view (v 1)) with
+      | _, (Uptr U_null | Int 0L) -> Some (vint (-14L))
       | lv, Uptr (U_str s) ->
           (match lv with
-          | Ptr o -> set_field ~fn o "__scalar" (Str s)
+          | Ptr o -> set_field ~fn o "__scalar" (vstr s)
           | _ -> ());
-          ignore (b.bstore 0 (Str s));
-          Some (Int (Int64.of_int (String.length s)))
-      | _, _ -> Some (Int 0L))
+          ignore (b.bstore 0 (vstr s));
+          Some (vint (Int64.of_int (String.length s)))
+      | _, _ -> Some vzero)
   | 4 | 5 -> Some (alloc_checked (iv 0) ~vmalloc:false)
   | 6 -> Some (alloc_checked (iv 0) ~vmalloc:false)
   | 7 -> Some (alloc_checked (Int64.mul (iv 0) (iv 1)) ~vmalloc:false)
   | 8 | 9 -> Some (alloc_checked (iv 0) ~vmalloc:true)
   | 10 | 11 | 12 -> (
-      match v 0 with
-      | Int 0L | Unit -> Some (Int 0L)
+      match view (v 0) with
+      | Int 0L | Unit -> Some vzero
       | Ptr o ->
           if o.freed then Crash.raise_crash Crash.Double_free fn;
           o.freed <- true;
-          Some (Int 0L)
-      | _ -> Some (Int 0L))
+          Some vzero
+      | _ -> Some vzero)
   | 13 | 14 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__locked" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__locked" vzero;
+      Some vzero
   | 15 | 16 ->
       let o = expect_obj ~fn name (v 0) in
       if truthy (get_field ~fn o "__locked") then Crash.raise_crash Crash.Deadlock fn;
-      set_field ~fn o "__locked" (Int 1L);
-      Some (Int 0L)
+      set_field ~fn o "__locked" vone;
+      Some vzero
   | 17 | 18 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__locked" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__locked" vzero;
+      Some vzero
   | 19 | 20 ->
       let o = expect_obj ~fn name (v 0) in
       if truthy (get_field ~fn o "__on_list") then
         Crash.raise_crash Crash.List_corruption fn;
-      set_field ~fn o "__on_list" (Int 1L);
-      Some (Int 0L)
+      set_field ~fn o "__on_list" vone;
+      Some vzero
   | 21 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__on_list" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__on_list" vzero;
+      Some vzero
   | 22 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__on_list" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__on_list" vzero;
+      Some vzero
   | 23 | 24 ->
       let c = v 0 in
       if truthy c then Crash.raise_crash Crash.Warning fn;
       Some c
   | 25 ->
       if truthy (v 0) then Crash.raise_crash Crash.Kernel_bug fn;
-      Some (Int 0L)
+      Some vzero
   | 26 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__done" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__done" vzero;
+      Some vzero
   | 27 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__done" (Int 1L);
-      Some (Int 0L)
+      set_field ~fn o "__done" vone;
+      Some vzero
   | 28 ->
       let o = expect_obj ~fn name (v 0) in
       if not (truthy (get_field ~fn o "__done")) then
         Crash.raise_crash Crash.Task_hung fn;
-      Some (Int 0L)
+      Some vzero
   | 29 ->
       let o = expect_obj ~fn name (v 0) in
-      set_field ~fn o "__pending" (Int 0L);
-      Some (Int 0L)
+      set_field ~fn o "__pending" vzero;
+      Some vzero
   | 30 ->
       let o = expect_obj ~fn name (v 0) in
       if truthy (get_field ~fn o "__pending") then Crash.raise_crash Crash.Odebug fn;
-      set_field ~fn o "__pending" (Int 1L);
-      Some (Int 0L)
+      set_field ~fn o "__pending" vone;
+      Some vzero
   | 31 | 32 -> (
-      match v 0 with
+      match view (v 0) with
       | Ptr o ->
-          set_field ~fn o "__pending" (Int 0L);
-          Some (Int 0L)
-      | _ -> Some (Int 0L))
-  | 33 | 34 -> Some (Int 0L)
-  | 35 -> Some (Int 1L)
-  | 36 | 37 | 38 | 39 -> Some (Int 0L)
+          set_field ~fn o "__pending" vzero;
+          Some vzero
+      | _ -> Some vzero)
+  | 33 | 34 -> Some vzero
+  | 35 -> Some vone
+  | 36 | 37 | 38 | 39 -> Some vzero
   | 40 -> (
-      match v 0 with
+      match view (v 0) with
       | Ptr o ->
           check_alive ~fn o;
           (match o.data with
           | Fields tbl -> Stbl.reset tbl
-          | Cells cells -> Array.fill cells 0 (Array.length cells) (Int (iv 1))
+          | Typed tf -> Array.fill tf.tcells 0 (Array.length tf.tcells) vzero
+          | Cells cells -> Array.fill cells 0 (Array.length cells) (vint (iv 1))
           | Opaque -> ());
           Some (v 0)
-      | _ -> Some (Int 0L))
+      | _ -> Some vzero)
   | 41 -> (
-      match (v 0, v 1) with
+      match (view (v 0), view (v 1)) with
       | Ptr d, Ptr s ->
           check_alive ~fn d;
           check_alive ~fn s;
           (match (d.data, s.data) with
-          | Fields dt, Fields st' -> Stbl.iter (fun k v -> Stbl.replace dt k v) st'
           | Cells dc, Cells sc ->
               Array.blit sc 0 dc 0 (min (Array.length sc) (Array.length dc))
-          | _ -> ());
+          | _ -> copy_struct ~fn d s);
           Some (v 0)
-      | _ -> Some (Int 0L))
+      | _ -> Some vzero)
   | 42 -> (
-      match (v 0, v 1) with
-      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
-      | Ptr a, Ptr b -> Some (bool_v (a.oid <> b.oid))
-      | _ -> Some (Int 1L))
+      match (view (v 0), view (v 1)) with
+      | Str a, Str b -> Some (vint (Int64.of_int (String.compare a b)))
+      | Ptr a, Ptr b -> Some (vbool (a.oid <> b.oid))
+      | _ -> Some vone)
   | 43 -> (
-      match (v 0, v 1) with
-      | Str a, Str b -> Some (Int (Int64.of_int (String.compare a b)))
-      | _ -> Some (Int 1L))
+      match (view (v 0), view (v 1)) with
+      | Str a, Str b -> Some (vint (Int64.of_int (String.compare a b)))
+      | _ -> Some vone)
   | 44 -> (
-      match (v 0, v 1) with
+      match (view (v 0), view (v 1)) with
       | Str a, Str b ->
           let n = Int64.to_int (iv 2) in
           let trunc s = if String.length s > n then String.sub s 0 n else s in
-          Some (Int (Int64.of_int (String.compare (trunc a) (trunc b))))
-      | _ -> Some (Int 1L))
+          Some (vint (Int64.of_int (String.compare (trunc a) (trunc b))))
+      | _ -> Some vone)
   | 45 -> (
-      match v 0 with
-      | Str s -> Some (Int (Int64.of_int (String.length s)))
-      | _ -> Some (Int 0L))
+      match view (v 0) with
+      | Str s -> Some (vint (Int64.of_int (String.length s)))
+      | _ -> Some vzero)
   | 46 | 47 ->
-      let src = match v 1 with Str s -> s | other -> Value.to_string other in
+      let src = match view (v 1) with Str s -> s | _ -> Value.to_string (v 1) in
       let n = Int64.to_int (iv 2) in
       let src = if String.length src > n then String.sub src 0 n else src in
-      if b.bstore 0 (Str src) then Some (Int (Int64.of_int (String.length src)))
-      else Some (Int 0L)
+      if b.bstore 0 (vstr src) then Some (vint (Int64.of_int (String.length src)))
+      else Some vzero
   | 48 ->
-      let text = match v 2 with Str s -> s | other -> Value.to_string other in
-      if b.bstore 0 (Str text) then Some (Int (Int64.of_int (String.length text)))
-      else Some (Int 0L)
+      let text = match view (v 2) with Str s -> s | _ -> Value.to_string (v 2) in
+      if b.bstore 0 (vstr text) then Some (vint (Int64.of_int (String.length text)))
+      else Some vzero
   | 49 | 50 -> (
       match b.bn with
-      | 2 -> Some (Int (min (as_int (b.braw 0)) (as_int (b.braw 1))))
-      | 3 -> Some (Int (min (as_int (b.braw 1)) (as_int (b.braw 2))))
-      | _ -> Some (Int 0L))
+      | 2 -> Some (vint (min (as_int (b.braw 0)) (as_int (b.braw 1))))
+      | 3 -> Some (vint (min (as_int (b.braw 1)) (as_int (b.braw 2))))
+      | _ -> Some vzero)
   | 51 | 52 -> (
       match b.bn with
-      | 2 -> Some (Int (max (as_int (b.braw 0)) (as_int (b.braw 1))))
-      | 3 -> Some (Int (max (as_int (b.braw 1)) (as_int (b.braw 2))))
-      | _ -> Some (Int 0L))
+      | 2 -> Some (vint (max (as_int (b.braw 0)) (as_int (b.braw 1))))
+      | 3 -> Some (vint (max (as_int (b.braw 1)) (as_int (b.braw 2))))
+      | _ -> Some vzero)
   | 53 ->
       let i = iv 0 and n = iv 1 in
-      Some (Int (if Int64.compare i n < 0 && Int64.compare i 0L >= 0 then i else 0L))
-  | 54 | 55 | 56 -> Some (Int 0L)
-  | 57 -> Some (Int (Int64.logand (iv 0) 0xffL))
-  | 58 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 8) 0xffL))
-  | 59 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 16) 0x3fffL))
-  | 60 -> Some (Int (Int64.logand (Int64.shift_right_logical (iv 0) 30) 0x3L))
+      Some (vint (if Int64.compare i n < 0 && Int64.compare i 0L >= 0 then i else 0L))
+  | 54 | 55 | 56 -> Some vzero
+  | 57 -> Some (vint (Int64.logand (iv 0) 0xffL))
+  | 58 -> Some (vint (Int64.logand (Int64.shift_right_logical (iv 0) 8) 0xffL))
+  | 59 -> Some (vint (Int64.logand (Int64.shift_right_logical (iv 0) 16) 0x3fffL))
+  | 60 -> Some (vint (Int64.logand (Int64.shift_right_logical (iv 0) 30) 0x3L))
   | 61 | 62 | 63 | 64 | 65 ->
       (* constant contexts resolve through the index; runtime occurrences
          use the same encoder *)
@@ -675,13 +848,13 @@ let builtin_values_id (st : state) ~fn (id : int) (name : string) (b : builtin_c
       (* anon_inode_getfd("name", &some_fops, priv, flags) returns a fresh
          fd dispatching through the given operation handler *)
       match (b.bfops (), st.spawn_fd) with
-      | Some g, Some spawn -> Some (Int (spawn g))
-      | _ -> Some (Int (-22L)))
+      | Some g, Some spawn -> Some (vint (spawn g))
+      | _ -> Some (vint (-22L)))
   | 67 | 68 | 69 | 70
   | 71 | 72 | 73 | 74 | 75
   | 76 ->
-      Some (Int 0L)
-  | 77 | 78 -> Some (Int 0L)
+      Some vzero
+  | 77 | 78 -> Some vzero
   | _ -> None
 
 
@@ -694,16 +867,16 @@ let builtin_values (st : state) ~fn (name : string) (b : builtin_ctx) : value op
 
 let rec eval env (e : Csrc.Ast.expr) : value =
   match e with
-  | Csrc.Ast.Const_int v -> Int v
-  | Csrc.Ast.Const_char c -> Int (Int64.of_int (Char.code c))
-  | Csrc.Ast.Const_str s -> Str s
+  | Csrc.Ast.Const_int v -> vint v
+  | Csrc.Ast.Const_char c -> fix (Char.code c)
+  | Csrc.Ast.Const_str s -> vstr s
   | Csrc.Ast.Ident name -> eval_ident env name
   | Csrc.Ast.Unop (op, a) -> (
       let v = eval env a in
       match op with
-      | Csrc.Ast.Neg -> Int (Int64.neg (as_int v))
-      | Csrc.Ast.Not -> bool_v (not (truthy v))
-      | Csrc.Ast.Bit_not -> Int (Int64.lognot (as_int v)))
+      | Csrc.Ast.Neg -> vneg v
+      | Csrc.Ast.Not -> vbool (not (truthy v))
+      | Csrc.Ast.Bit_not -> vlognot v)
   | Csrc.Ast.Binop (op, a, b) -> eval_binop env op a b
   | Csrc.Ast.Assign (lhs, rhs) ->
       let v = eval env rhs in
@@ -711,36 +884,43 @@ let rec eval env (e : Csrc.Ast.expr) : value =
       v
   | Csrc.Ast.Call (name, args) -> eval_call env name args
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
-      match eval env a with
-      | Ptr o -> get_field ~fn:env.fn o f
-      | Uptr (U_struct (_, fields)) -> (
-          match List.assoc_opt f fields with
-          | Some uv -> value_of_uval env.st ~fn:env.fn uv
-          | None -> Int 0L)
-      | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.fn
-      | Int _ -> Crash.raise_crash Crash.Gpf env.fn
-      | _ -> raise (Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
+      let base = eval env a in
+      if is_imm base then Crash.raise_crash Crash.Gpf env.fn
+      else
+        match boxed base with
+        | B_ptr o -> get_field ~fn:env.fn o f
+        | B_uptr (U_struct (_, fields)) -> (
+            match List.assoc_opt f fields with
+            | Some uv -> value_of_uval env.st ~fn:env.fn uv
+            | None -> vzero)
+        | B_uptr U_null | B_i64 _ -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
       let idx = Int64.to_int (as_int (eval env i)) in
-      match eval env a with
-      | Ptr o -> (
-          check_alive ~fn:env.fn o;
-          match o.data with
-          | Cells cells ->
-              if idx < 0 || idx >= Array.length cells then
-                Crash.raise_crash Crash.Ubsan_oob env.fn
-              else cells.(idx)
-          | Fields _ | Opaque -> Int 0L)
-      | Str s -> if idx >= 0 && idx < String.length s then Int (Int64.of_int (Char.code s.[idx])) else Int 0L
-      | Uptr (U_arr xs) -> (
-          match List.nth_opt xs idx with
-          | Some uv -> value_of_uval env.st ~fn:env.fn uv
-          | None -> Int 0L)
-      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-      | _ -> Int 0L)
+      let base = eval env a in
+      if is_imm base then
+        if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn else vzero
+      else
+        match boxed base with
+        | B_ptr o -> (
+            check_alive ~fn:env.fn o;
+            match o.data with
+            | Cells cells ->
+                if idx < 0 || idx >= Array.length cells then
+                  Crash.raise_crash Crash.Ubsan_oob env.fn
+                else cells.(idx)
+            | Fields _ | Typed _ | Opaque -> vzero)
+        | B_str s ->
+            if idx >= 0 && idx < String.length s then fix (Char.code s.[idx])
+            else vzero
+        | B_uptr (U_arr xs) -> (
+            match List.nth_opt xs idx with
+            | Some uv -> value_of_uval env.st ~fn:env.fn uv
+            | None -> vzero)
+        | _ -> vzero)
   | Csrc.Ast.Cast (_, a) -> eval env a
-  | Csrc.Ast.Sizeof_type ty -> Int (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
-  | Csrc.Ast.Sizeof_expr _ -> Int 8L
+  | Csrc.Ast.Sizeof_type ty -> vint (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
+  | Csrc.Ast.Sizeof_expr _ -> vint 8L
   | Csrc.Ast.Ternary (c, t, f) -> if truthy (eval env c) then eval env t else eval env f
   | Csrc.Ast.Addr_of a -> (
       (* &x where x is a struct local/global is the object itself; &arr[i]
@@ -748,31 +928,33 @@ let rec eval env (e : Csrc.Ast.expr) : value =
       match a with
       | Csrc.Ast.Ident _ | Csrc.Ast.Member _ | Csrc.Ast.Arrow _ | Csrc.Ast.Index _ -> eval env a
       | _ -> eval env a)
-  | Csrc.Ast.Deref a -> (
-      match eval env a with
-      | Ptr o ->
-          check_alive ~fn:env.fn o;
-          Ptr o
-      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-      | v -> v)
-  | Csrc.Ast.Type_arg ty -> Int (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
+  | Csrc.Ast.Deref a ->
+      let v = eval env a in
+      (if is_imm v then (
+         if imm v = 0 then Crash.raise_crash Crash.Gpf env.fn)
+       else
+         match boxed v with
+         | B_ptr o -> check_alive ~fn:env.fn o
+         | _ -> ());
+      v
+  | Csrc.Ast.Type_arg ty -> vint (Int64.of_int (Csrc.Index.sizeof env.st.index ty))
 
 and eval_ident env name =
   match lookup_var env name with
   | Some v -> v
   | None -> (
       match Csrc.Index.ident_const env.st.index name with
-      | Csrc.Index.C_int v -> Int v
-      | Csrc.Index.C_str s -> Str s
+      | Csrc.Index.C_int v -> vint v
+      | Csrc.Index.C_str s -> vstr s
       | Csrc.Index.C_none -> (
           match Csrc.Index.find_function env.st.index name with
-          | Some _ -> Fn name
-          | None -> Int 0L))
+          | Some _ -> vfn name
+          | None -> vzero))
 
 and eval_binop env op a b =
   match op with
-  | Csrc.Ast.Land -> bool_v (truthy (eval env a) && truthy (eval env b))
-  | Csrc.Ast.Lor -> bool_v (truthy (eval env a) || truthy (eval env b))
+  | Csrc.Ast.Land -> vbool (truthy (eval env a) && truthy (eval env b))
+  | Csrc.Ast.Lor -> vbool (truthy (eval env a) || truthy (eval env b))
   | _ ->
       let va = eval env a in
       let vb = eval env b in
@@ -785,32 +967,43 @@ and eval_lval env (e : Csrc.Ast.expr) : lvalue =
       else if get_global env.st name <> None then L_global name
       else L_local name (* implicit declaration (for-loop desugaring) *)
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
-      match eval env a with
-      | Ptr o ->
-          check_alive ~fn:env.fn o;
-          L_field (o, f)
-      | Int _ -> Crash.raise_crash Crash.Gpf env.fn
-      | _ -> raise (Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
+      let base = eval env a in
+      if is_imm base then Crash.raise_crash Crash.Gpf env.fn
+      else
+        match boxed base with
+        | B_ptr o ->
+            check_alive ~fn:env.fn o;
+            L_field (o, f)
+        | B_i64 _ -> Crash.raise_crash Crash.Gpf env.fn
+        | _ -> raise (Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
       let idx = Int64.to_int (as_int (eval env i)) in
-      match eval env a with
-      | Ptr o -> (
-          check_alive ~fn:env.fn o;
-          match o.data with
-          | Cells cells ->
-              if idx < 0 || idx >= Array.length cells then
-                Crash.raise_crash Crash.Ubsan_oob env.fn
-              else L_cell (o, idx)
-          | Fields _ | Opaque -> L_field (o, Printf.sprintf "__idx%d" idx))
-      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-      | _ -> raise (Exec_error (env.fn ^ ": bad array lvalue")))
+      let base = eval env a in
+      if is_imm base then
+        if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn
+        else raise (Exec_error (env.fn ^ ": bad array lvalue"))
+      else
+        match boxed base with
+        | B_ptr o -> (
+            check_alive ~fn:env.fn o;
+            match o.data with
+            | Cells cells ->
+                if idx < 0 || idx >= Array.length cells then
+                  Crash.raise_crash Crash.Ubsan_oob env.fn
+                else L_cell (o, idx)
+            | Fields _ | Typed _ | Opaque -> L_field (o, Printf.sprintf "__idx%d" idx))
+        | _ -> raise (Exec_error (env.fn ^ ": bad array lvalue")))
   | Csrc.Ast.Deref a -> (
-      match eval env a with
-      | Ptr o ->
-          check_alive ~fn:env.fn o;
-          L_field (o, "__deref")
-      | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-      | _ -> raise (Exec_error (env.fn ^ ": bad deref lvalue")))
+      let base = eval env a in
+      if is_imm base then
+        if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn
+        else raise (Exec_error (env.fn ^ ": bad deref lvalue"))
+      else
+        match boxed base with
+        | B_ptr o ->
+            check_alive ~fn:env.fn o;
+            L_field (o, "__deref")
+        | _ -> raise (Exec_error (env.fn ^ ": bad deref lvalue")))
   | Csrc.Ast.Cast (_, a) -> eval_lval env a
   | _ -> raise (Exec_error (env.fn ^ ": expression is not an lvalue"))
 
@@ -822,7 +1015,7 @@ and store env (lv : lvalue) (v : value) : unit =
   | L_cell (o, idx) -> (
       match o.data with
       | Cells cells -> cells.(idx) <- v
-      | Fields _ | Opaque -> raise (Exec_error "cell store on non-array"))
+      | Fields _ | Typed _ | Opaque -> raise (Exec_error "cell store on non-array"))
 
 (* ------------------------------------------------------------------ *)
 (* Builtins                                                            *)
@@ -836,7 +1029,7 @@ and eval_call env name (args : Csrc.Ast.expr list) : value =
       | Some fd when fd.fun_body <> [] ->
           let argv = List.map (eval env) args in
           call_function env.st name fd argv
-      | Some _ | None -> Int 0L)
+      | Some _ | None -> vzero)
 
 (* The expr-level face of {!builtin_values}: evaluates arguments on
    demand through the tree walker. The name check up front keeps the
@@ -867,7 +1060,9 @@ and builtin env name (args : Csrc.Ast.expr list) : value option =
           (fun i ->
             (* user pointers to plain byte buffers behave like strings
                for the string builtins *)
-            match eval env (arg i) with Uptr (U_str s) -> Str s | x -> x);
+            let x = eval env (arg i) in
+            if is_imm x then x
+            else match boxed x with B_uptr (U_str s) -> vstr s | _ -> x);
         braw = (fun i -> eval env (arg i));
         bstore =
           (fun i sv ->
@@ -895,8 +1090,8 @@ and builtin env name (args : Csrc.Ast.expr list) : value option =
         bio =
           (fun () ->
             match Csrc.Index.eval_opt env.st.index (Csrc.Ast.Call (name, args)) with
-            | Some x -> Int x
-            | None -> Int 0L);
+            | Some x -> vint x
+            | None -> vzero);
       }
     in
     builtin_values_id env.st ~fn:env.fn id name b
@@ -949,7 +1144,7 @@ and exec_stmt env (s : Csrc.Ast.stmt) : unit =
          done
        with Break_exc -> ())
   | Csrc.Ast.Return e ->
-      let v = match e with Some e -> eval env e | None -> Unit in
+      let v = match e with Some e -> eval env e | None -> vunit in
       raise (Return_exc v)
   | Csrc.Ast.Break -> raise Break_exc
   | Csrc.Ast.Continue -> raise Continue_exc
@@ -1001,7 +1196,7 @@ and call_function (st : state) (fname : string) (fd : Csrc.Ast.func_def) (argv :
     match (params, argv) with
     | [], _ -> ()
     | (_, pname) :: ps, [] ->
-        Stbl.replace locals pname (Int 0L);
+        Stbl.replace locals pname vzero;
         bind ps []
     | (_, pname) :: ps, a :: rest ->
         Stbl.replace locals pname a;
@@ -1028,7 +1223,7 @@ and call_function (st : state) (fname : string) (fd : Csrc.Ast.func_def) (argv :
     let rec run stmts =
       try
         List.iter (exec_stmt env) stmts;
-        Unit
+        vunit
       with
       | Return_exc v -> v
       | Goto_exc l -> (
@@ -1060,23 +1255,36 @@ let leaked_objects (st : state) ~(roots : value list) : string list =
      otherwise walks every touched global's object graph per execution *)
   if st.tracked_objs = [] then []
   else begin
-  let reached = Hashtbl.create 64 in
+  (* oids count up from 1 per state, so the reached set is a bitmap
+     indexed by oid — the mark phase visits every live object and a
+     hash table here costs a probe per edge *)
+  let reached = Bytes.make ((st.next_oid lsr 3) + 1) '\000' in
+  let mem oid =
+    Char.code (Bytes.unsafe_get reached (oid lsr 3)) land (1 lsl (oid land 7)) <> 0
+  in
+  let add oid =
+    Bytes.unsafe_set reached (oid lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get reached (oid lsr 3)) lor (1 lsl (oid land 7))))
+  in
   let rec mark v =
-    match v with
-    | Ptr o ->
-        if not (Hashtbl.mem reached o.oid) then begin
-          Hashtbl.replace reached o.oid ();
-          match o.data with
-          | Fields tbl -> Stbl.iter (fun _ v -> mark v) tbl
-          | Cells cells -> Array.iter mark cells
-          | Opaque -> ()
-        end
-    | Int _ | Str _ | Fn _ | Uptr _ | Unit -> ()
+    if not (is_imm v) then
+      match boxed v with
+      | B_ptr o ->
+          if not (mem o.oid) then begin
+            add o.oid;
+            match o.data with
+            | Fields tbl -> Stbl.iter (fun _ v -> mark v) tbl
+            | Typed tf -> Array.iter mark tf.tcells
+            | Cells cells -> Array.iter mark cells
+            | Opaque -> ()
+          end
+      | _ -> ()
   in
   List.iter mark roots;
   Stbl.iter (fun _ v -> mark v) st.globals;
   List.filter_map
     (fun o ->
-      if (not o.freed) && not (Hashtbl.mem reached o.oid) then Some o.alloc_fn else None)
+      if (not o.freed) && not (mem o.oid) then Some o.alloc_fn else None)
     st.tracked_objs
   end

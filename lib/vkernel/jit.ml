@@ -8,17 +8,22 @@
     everything a frozen index can resolve at compile time:
 
     - every local and parameter name becomes an integer slot into a
-      preallocated [value array] (no per-call hashtable, no string
-      hashing on the hot path);
+      pooled [value array] (no per-call hashtable, no string hashing,
+      and — via {!Value.Pool} — no per-call array allocation on the hot
+      path);
     - builtin call sites pre-compile one closure per argument and per
-      lvalue argument, then feed the value-level core
-      {!Interp.builtin_values} (the AST is never re-walked);
+      lvalue argument plus one {!Interp.builtin_ctx} record per site
+      (the current frame threads through a mutable cell, so steady-state
+      builtin execution allocates nothing for dispatch);
     - user call sites resolve their callee's compiled code once;
     - [goto] raises a pre-resolved statement index instead of searching
       a label list;
     - each global's initializer is lowered once ({!get_global} runs the
       compiled plan on first touch instead of re-walking the AST per
-      fresh state).
+      fresh state);
+    - every static field and global name is {!Value.intern}ed, so the
+      [Stbl] probes the compiled code performs hit the pointer-compare
+      fast path.
 
     The compiled code is an exact semantic mirror of {!Interp}: it
     shares the interpreter's state, builtins, crash and timeout
@@ -34,12 +39,13 @@ open Value
     the current function's body array. *)
 exception Goto_idx of int
 
-(* A value no program can construct (every [Str] the executor makes
-   comes from parsing or concatenation, never this literal cell):
-   compared physically, it marks a slot whose declaration has not
-   executed yet, so name resolution falls back to globals/constants
-   exactly where the interpreter's hashtable probe would miss. *)
-let unbound : value = Str "__slot_unbound"
+(* The slot sentinel is {!Value.unbound}: a dedicated static block no
+   program can construct (immediates never equal a heap block, and the
+   [B_unbound] constructor is private to slot bookkeeping), compared
+   physically. It marks a slot whose declaration has not executed yet,
+   so name resolution falls back to globals/constants exactly where the
+   interpreter's hashtable probe would miss. *)
+let unbound : value = Value.unbound
 
 (** Per-call frame of a compiled function. *)
 type jenv = { st : Interp.state; slots : value array; fn : string }
@@ -56,7 +62,15 @@ type t = {
   funs : fun_code Stbl.t;
   ginits : (Interp.state -> value) Stbl.t;
       (** compiled global initializers, one plan per global *)
+  dummy_env : jenv;
+      (** placeholder frame for builtin-site context cells before their
+          first invocation; never executed against *)
 }
+
+(* The frame a builtin call site's pre-built context closures read
+   through: set on entry, restored on exit (builtins can re-enter the
+   same site through a user-function callee). *)
+type ctx_cell = { mutable ccur : jenv }
 
 (* Per-function compile context: name -> slot is decided here, on
    demand, so every mention of a name in one function shares a slot. *)
@@ -68,6 +82,14 @@ type ctx = {
           like the interpreter's label search *)
   cslots : int Stbl.t;
   mutable cnslots : int;
+  mutable ctop : bool;
+      (** compiling a direct child of the function body (not nested in
+          any block) — the region where a declaration dominates every
+          later mention of its name *)
+  mutable cdefer : (int * int * int * (Interp.state -> value)) list;
+      (** (slot, oid-base slot, oid count, zero builder) for
+          declarations whose zero construction is deferred to first
+          read; see [Decl_stmt] below *)
 }
 
 let slot_of (ctx : ctx) (name : string) : int =
@@ -109,15 +131,16 @@ let rec compile_zero (eng : t) ~(fn : string) (ty : Csrc.Ast.ctype) :
   match ty with
   | Csrc.Ast.Void | Csrc.Ast.Bool | Csrc.Ast.Int _ | Csrc.Ast.Named _
   | Csrc.Ast.Enum_ref _ | Csrc.Ast.Ptr _ | Csrc.Ast.Func_ptr _ ->
-      fun _ -> Int 0L
-  | Csrc.Ast.Array (elem, _) when Interp.is_char_type eng.index elem -> fun _ -> Str ""
+      fun _ -> vzero
+  | Csrc.Ast.Array (elem, _) when Interp.is_char_type eng.index elem ->
+      fun _ -> Interp.empty_str
   | Csrc.Ast.Array (elem, Some n) when n > 0 && n <= 4096 ->
       let cz = compile_zero eng ~fn elem in
-      fun st -> Ptr (Interp.new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> cz st))))
+      fun st -> vptr (Interp.new_obj st ~fn ~tracked:false (Cells (Array.init n (fun _ -> cz st))))
   | Csrc.Ast.Array (_, _) ->
-      fun st -> Ptr (Interp.new_obj st ~fn ~tracked:false (Cells [||]))
+      fun st -> vptr (Interp.new_obj st ~fn ~tracked:false (Cells [||]))
   | Csrc.Ast.Struct_ref name | Csrc.Ast.Union_ref name ->
-      fun st -> Ptr (Interp.typed_obj st ~fn name)
+      fun st -> vptr (Interp.typed_obj st ~fn name)
 
 (* Mirror of [Interp.init_value]: all index lookups (function names,
    macros, enum items, string macros, constant folding) happen here,
@@ -130,56 +153,64 @@ let rec compile_init (eng : t) (gi : Csrc.Ast.ginit) : Interp.state -> value =
   | Csrc.Ast.Init_expr (Csrc.Ast.Ident name) -> (
       match Csrc.Index.find_function eng.index name with
       | Some _ ->
-          let c = Fn name in
+          let c = vfn name in
           fun _ -> c
       | None -> (
           match Csrc.Index.find_global eng.index name with
           | Some _ ->
+              let name = intern name in
               let gh = Stbl.hash name in
               fun st -> (
-                match get_global_h eng st gh name with Some v -> v | None -> Int 0L)
+                match get_global_h eng st gh name with Some v -> v | None -> vzero)
           | None -> (
               let c =
                 match Csrc.Index.eval_macro eng.index name with
-                | Some v -> Int v
+                | Some v -> vint v
                 | None -> (
                     match Csrc.Index.find_enum_item eng.index name with
                     | Some e -> (
                         match Csrc.Index.eval_opt eng.index e with
-                        | Some v -> Int v
-                        | None -> Int 0L)
+                        | Some v -> vint v
+                        | None -> vzero)
                     | None -> (
                         match Csrc.Index.string_macro eng.index name with
-                        | Some s -> Str s
-                        | None -> Int 0L))
+                        | Some s -> vstr s
+                        | None -> vzero))
               in
               fun _ -> c)))
   | Csrc.Ast.Init_expr (Csrc.Ast.Addr_of (Csrc.Ast.Ident name)) -> (
       match Csrc.Index.find_global eng.index name with
       | Some _ ->
+          let name = intern name in
           let gh = Stbl.hash name in
-          fun st -> (match get_global_h eng st gh name with Some v -> v | None -> Int 0L)
-      | None -> fun _ -> Int 0L)
+          fun st -> (match get_global_h eng st gh name with Some v -> v | None -> vzero)
+      | None -> fun _ -> vzero)
   | Csrc.Ast.Init_expr e ->
       let c =
         match Csrc.Index.eval_opt eng.index e with
-        | Some v -> Int v
+        | Some v -> vint v
         | None -> (
             match Csrc.Index.eval_string eng.index e with
-            | Some s -> Str s
-            | None -> Int 0L)
+            | Some s -> vstr s
+            | None -> vzero)
       in
       fun _ -> c
   | Csrc.Ast.Init_designated fields ->
-      let cfields = List.map (fun (f, gi) -> (f, Stbl.hash f, compile_init eng gi)) fields in
+      let cfields =
+        List.map
+          (fun (f, gi) ->
+            let f = intern f in
+            (f, Stbl.hash f, compile_init eng gi))
+          fields
+      in
       fun st ->
         let o = Interp.fields_obj st ~fn () in
         List.iter (fun (f, fh, ci) -> Interp.set_field_h ~fn o fh f (ci st)) cfields;
-        Ptr o
+        vptr o
   | Csrc.Ast.Init_list items ->
       let citems = List.map (compile_init eng) items in
       fun st ->
-        Ptr
+        vptr
           (Interp.new_obj st ~fn ~tracked:false
              (Cells (Array.of_list (List.map (fun ci -> ci st) citems))))
 
@@ -192,11 +223,11 @@ let compile_ginit (eng : t) (g : Csrc.Ast.global_def) : Interp.state -> value =
   let base : Interp.state -> value =
     match g.Csrc.Ast.global_type with
     | Csrc.Ast.Struct_ref n | Csrc.Ast.Union_ref n ->
-        fun st -> Ptr (Interp.typed_obj st ~fn n)
+        fun st -> vptr (Interp.typed_obj st ~fn n)
     | Csrc.Ast.Array (elem, Some count) when count > 0 && count <= 4096 ->
         let cz = compile_zero eng ~fn elem in
         fun st ->
-          Ptr
+          vptr
             (Interp.new_obj st ~fn ~tracked:false
                (Cells (Array.init count (fun _ -> cz st))))
     | ty -> compile_zero eng ~fn ty
@@ -220,15 +251,25 @@ let compile_ginit (eng : t) (g : Csrc.Ast.global_def) : Interp.state -> value =
       in
       (match (ptr_base, gi) with
       | true, Csrc.Ast.Init_designated fields ->
-          let cfields = List.map (fun (f, gi) -> (f, Stbl.hash f, compile_init eng gi)) fields in
+          let cfields =
+            List.map
+              (fun (f, gi) ->
+                let f = intern f in
+                (f, Stbl.hash f, compile_init eng gi))
+              fields
+          in
           fun st ->
             let bv = base st in
             (* publish before applying the initializer so
                cross-references resolve *)
             Stbl.replace st.Interp.globals name bv;
-            (match bv with
-            | Ptr o -> List.iter (fun (f, fh, ci) -> Interp.set_field_h ~fn o fh f (ci st)) cfields
-            | _ -> ());
+            (if not (is_imm bv) then
+               match boxed bv with
+               | B_ptr o ->
+                   List.iter
+                     (fun (f, fh, ci) -> Interp.set_field_h ~fn o fh f (ci st))
+                     cfields
+               | _ -> ());
             finish st bv
       | _ ->
           let cinit = compile_init eng gi in
@@ -246,19 +287,21 @@ let compile_ginit (eng : t) (g : Csrc.Ast.global_def) : Interp.state -> value =
    unwind-protect: an escaping exception leaves the depth bumped there
    too, and the two executors must drift identically). Parameter
    binding is one simultaneous walk: extra arguments are dropped,
-   missing parameters read as zero. *)
+   missing parameters read as zero. Frames come from the state's
+   {!Value.Pool} and return to it on normal completion; a frame lost to
+   an exception unwind is simply collected. *)
 let rec exec_fun (st : Interp.state) (fc : fun_code) (argv : value list) : value =
   if st.Interp.depth > 64 then
     raise (Interp.Exec_error ("recursion too deep at " ^ fc.fc_name));
   st.Interp.depth <- st.Interp.depth + 1;
-  let slots = Array.make fc.fc_nslots unbound in
+  let slots = Pool.acquire st.Interp.frames fc.fc_nslots in
   let params = fc.fc_params in
   let nparams = Array.length params in
   let rec bind i argv =
     if i < nparams then
       match argv with
       | [] ->
-          slots.(params.(i)) <- Int 0L;
+          slots.(params.(i)) <- vzero;
           bind (i + 1) []
       | a :: rest ->
           slots.(params.(i)) <- a;
@@ -275,13 +318,14 @@ and exec_body (st : Interp.state) (fc : fun_code) (slots : value array) : value 
       for j = i to n - 1 do
         fc.fc_body.(j) env
       done;
-      Unit
+      vunit
     with
     | Interp.Return_exc v -> v
     | Goto_idx j -> run j
   in
   let result = run 0 in
   st.Interp.depth <- st.Interp.depth - 1;
+  Pool.release st.Interp.frames slots;
   result
 
 (** Entry for compiled call sites: arguments evaluate (all of them,
@@ -289,7 +333,7 @@ and exec_body (st : Interp.state) (fc : fun_code) (slots : value array) : value 
     callee's slot array — no intermediate argument list. *)
 and exec_fun_args (st : Interp.state) (fc : fun_code) (cargs : (jenv -> value) array)
     (caller : jenv) : value =
-  let slots = Array.make fc.fc_nslots unbound in
+  let slots = Pool.acquire st.Interp.frames fc.fc_nslots in
   let params = fc.fc_params in
   let nparams = Array.length params in
   let ncargs = Array.length cargs in
@@ -298,7 +342,7 @@ and exec_fun_args (st : Interp.state) (fc : fun_code) (cargs : (jenv -> value) a
     if k < nparams then slots.(params.(k)) <- v
   done;
   for k = ncargs to nparams - 1 do
-    slots.(params.(k)) <- Int 0L
+    slots.(params.(k)) <- vzero
   done;
   if st.Interp.depth > 64 then
     raise (Interp.Exec_error ("recursion too deep at " ^ fc.fc_name));
@@ -319,52 +363,73 @@ let call (eng : t) (st : Interp.state) (fname : string) (argv : value list) : va
 let rec compile_expr (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value =
   match e with
   | Csrc.Ast.Const_int v ->
-      let c = Int v in
+      let c = vint v in
       fun _ -> c
   | Csrc.Ast.Const_char ch ->
-      let c = Int (Int64.of_int (Char.code ch)) in
+      let c = fix (Char.code ch) in
       fun _ -> c
   | Csrc.Ast.Const_str s ->
-      let c = Str s in
+      let c = vstr s in
       fun _ -> c
-  | Csrc.Ast.Ident name ->
+  | Csrc.Ast.Ident name -> (
       (* local vs global vs constant is decided here; only "has the
          declaration run yet" (and lazy global init) stays runtime *)
       let i = slot_of ctx name in
+      match List.find_opt (fun (j, _, _, _) -> j = i) ctx.cdefer with
+      | Some (_, ib, k, cz) ->
+          (* deferred declaration: the slot is unbound until the first
+             read, which builds the zero object inside the oid range the
+             declaration reserved — the oid stream is exactly the eager
+             one, so nothing downstream can tell the difference *)
+          fun env ->
+            let s = env.slots.(i) in
+            if s != unbound then s
+            else begin
+              let st = env.st in
+              let saved = st.Interp.next_oid in
+              st.Interp.next_oid <- imm env.slots.(ib);
+              let v = cz st in
+              assert (st.Interp.next_oid = imm env.slots.(ib) + k);
+              st.Interp.next_oid <- saved;
+              env.slots.(i) <- v;
+              v
+            end
+      | None ->
       let eng = ctx.eng in
       if Csrc.Index.find_global eng.index name <> None then
+        let name = intern name in
         let gh = Stbl.hash name in
         fun env ->
           let s = env.slots.(i) in
           if s != unbound then s
-          else (match get_global_h eng env.st gh name with Some v -> v | None -> Int 0L)
+          else (match get_global_h eng env.st gh name with Some v -> v | None -> vzero)
       else
         let fallback =
           match Csrc.Index.ident_const eng.index name with
-          | Csrc.Index.C_int v -> Int v
-          | Csrc.Index.C_str s -> Str s
+          | Csrc.Index.C_int v -> vint v
+          | Csrc.Index.C_str s -> vstr s
           | Csrc.Index.C_none -> (
               match Csrc.Index.find_function eng.index name with
-              | Some _ -> Fn name
-              | None -> Int 0L)
+              | Some _ -> vfn name
+              | None -> vzero)
         in
         fun env ->
           let s = env.slots.(i) in
-          if s != unbound then s else fallback
+          if s != unbound then s else fallback)
   | Csrc.Ast.Unop (op, a) -> (
       let ca = compile_expr ctx a in
       match op with
-      | Csrc.Ast.Neg -> fun env -> Int (Int64.neg (Interp.as_int (ca env)))
-      | Csrc.Ast.Not -> fun env -> Interp.bool_v (not (truthy (ca env)))
-      | Csrc.Ast.Bit_not -> fun env -> Int (Int64.lognot (Interp.as_int (ca env))))
+      | Csrc.Ast.Neg -> fun env -> vneg (ca env)
+      | Csrc.Ast.Not -> fun env -> vbool (not (truthy (ca env)))
+      | Csrc.Ast.Bit_not -> fun env -> vlognot (ca env))
   | Csrc.Ast.Binop (op, a, b) -> (
       match op with
       | Csrc.Ast.Land ->
           let ca = compile_expr ctx a and cb = compile_expr ctx b in
-          fun env -> Interp.bool_v (truthy (ca env) && truthy (cb env))
+          fun env -> vbool (truthy (ca env) && truthy (cb env))
       | Csrc.Ast.Lor ->
           let ca = compile_expr ctx a and cb = compile_expr ctx b in
-          fun env -> Interp.bool_v (truthy (ca env) || truthy (cb env))
+          fun env -> vbool (truthy (ca env) || truthy (cb env))
       | _ ->
           let ca = compile_expr ctx a and cb = compile_expr ctx b in
           fun env ->
@@ -381,45 +446,51 @@ let rec compile_expr (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value =
   | Csrc.Ast.Call (name, args) -> compile_call ctx name args
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
       let ca = compile_expr ctx a in
+      let f = intern f in
       let fh = Stbl.hash f in
       fun env ->
-        match ca env with
-        | Ptr o -> Interp.get_field_h ~fn:env.fn o fh f
-        | Uptr (U_struct (_, fields)) -> (
-            match List.assoc_opt f fields with
-            | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
-            | None -> Int 0L)
-        | Int 0L | Uptr U_null -> Crash.raise_crash Crash.Gpf env.fn
-        | Int _ -> Crash.raise_crash Crash.Gpf env.fn
-        | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
+        let base = ca env in
+        if is_imm base then Crash.raise_crash Crash.Gpf env.fn
+        else
+          match boxed base with
+          | B_ptr o -> Interp.get_field_h ~fn:env.fn o fh f
+          | B_uptr (U_struct (_, fields)) -> (
+              match List.assoc_opt f fields with
+              | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
+              | None -> vzero)
+          | B_uptr U_null | B_i64 _ -> Crash.raise_crash Crash.Gpf env.fn
+          | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad field base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
       let ci = compile_expr ctx i in
       let ca = compile_expr ctx a in
       fun env ->
         let idx = Int64.to_int (Interp.as_int (ci env)) in
-        match ca env with
-        | Ptr o -> (
-            Interp.check_alive ~fn:env.fn o;
-            match o.data with
-            | Cells cells ->
-                if idx < 0 || idx >= Array.length cells then
-                  Crash.raise_crash Crash.Ubsan_oob env.fn
-                else cells.(idx)
-            | Fields _ | Opaque -> Int 0L)
-        | Str s ->
-            if idx >= 0 && idx < String.length s then Int (Int64.of_int (Char.code s.[idx]))
-            else Int 0L
-        | Uptr (U_arr xs) -> (
-            match List.nth_opt xs idx with
-            | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
-            | None -> Int 0L)
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-        | _ -> Int 0L)
+        let base = ca env in
+        if is_imm base then
+          if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn else vzero
+        else
+          match boxed base with
+          | B_ptr o -> (
+              Interp.check_alive ~fn:env.fn o;
+              match o.data with
+              | Cells cells ->
+                  if idx < 0 || idx >= Array.length cells then
+                    Crash.raise_crash Crash.Ubsan_oob env.fn
+                  else cells.(idx)
+              | Fields _ | Typed _ | Opaque -> vzero)
+          | B_str s ->
+              if idx >= 0 && idx < String.length s then fix (Char.code s.[idx])
+              else vzero
+          | B_uptr (U_arr xs) -> (
+              match List.nth_opt xs idx with
+              | Some uv -> Interp.value_of_uval env.st ~fn:env.fn uv
+              | None -> vzero)
+          | _ -> vzero)
   | Csrc.Ast.Cast (_, a) -> compile_expr ctx a
   | Csrc.Ast.Sizeof_type ty ->
-      let c = Int (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
+      let c = vint (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
       fun _ -> c
-  | Csrc.Ast.Sizeof_expr _ -> fun _ -> Int 8L
+  | Csrc.Ast.Sizeof_expr _ -> fun _ -> vint 8L
   | Csrc.Ast.Ternary (c, t, f) ->
       let cc = compile_expr ctx c and ct = compile_expr ctx t and cf = compile_expr ctx f in
       fun env -> if truthy (cc env) then ct env else cf env
@@ -430,14 +501,16 @@ let rec compile_expr (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value =
   | Csrc.Ast.Deref a -> (
       let ca = compile_expr ctx a in
       fun env ->
-        match ca env with
-        | Ptr o ->
-            Interp.check_alive ~fn:env.fn o;
-            Ptr o
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-        | v -> v)
+        let v = ca env in
+        (if is_imm v then (
+           if imm v = 0 then Crash.raise_crash Crash.Gpf env.fn)
+         else
+           match boxed v with
+           | B_ptr o -> Interp.check_alive ~fn:env.fn o
+           | _ -> ());
+        v)
   | Csrc.Ast.Type_arg ty ->
-      let c = Int (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
+      let c = vint (Int64.of_int (Csrc.Index.sizeof ctx.eng.index ty)) in
       fun _ -> c
 
 (* Mirror of [Interp.eval_lval] + [Interp.store], fused: the lvalue
@@ -450,6 +523,7 @@ and compile_store (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value -> unit =
       let i = slot_of ctx name in
       if Csrc.Index.find_global ctx.eng.index name <> None then
         let eng = ctx.eng in
+        let name = intern name in
         let gh = Stbl.hash name in
         fun env v ->
           if env.slots.(i) != unbound then env.slots.(i) <- v
@@ -463,39 +537,52 @@ and compile_store (ctx : ctx) (e : Csrc.Ast.expr) : jenv -> value -> unit =
       else fun env v -> env.slots.(i) <- v
   | Csrc.Ast.Member (a, f) | Csrc.Ast.Arrow (a, f) -> (
       let ca = compile_expr ctx a in
+      let f = intern f in
       let fh = Stbl.hash f in
       fun env v ->
-        match ca env with
-        | Ptr o ->
-            Interp.check_alive ~fn:env.fn o;
-            Interp.set_field_h ~fn:env.fn o fh f v
-        | Int _ -> Crash.raise_crash Crash.Gpf env.fn
-        | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
+        let base = ca env in
+        if is_imm base then Crash.raise_crash Crash.Gpf env.fn
+        else
+          match boxed base with
+          | B_ptr o ->
+              Interp.check_alive ~fn:env.fn o;
+              Interp.set_field_h ~fn:env.fn o fh f v
+          | B_i64 _ -> Crash.raise_crash Crash.Gpf env.fn
+          | _ -> raise (Interp.Exec_error (Printf.sprintf "%s: bad lvalue base for .%s" env.fn f)))
   | Csrc.Ast.Index (a, i) -> (
       let ci = compile_expr ctx i in
       let ca = compile_expr ctx a in
       fun env v ->
         let idx = Int64.to_int (Interp.as_int (ci env)) in
-        match ca env with
-        | Ptr o -> (
-            Interp.check_alive ~fn:env.fn o;
-            match o.data with
-            | Cells cells ->
-                if idx < 0 || idx >= Array.length cells then
-                  Crash.raise_crash Crash.Ubsan_oob env.fn
-                else cells.(idx) <- v
-            | Fields _ | Opaque -> Interp.set_field ~fn:env.fn o (Printf.sprintf "__idx%d" idx) v)
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-        | _ -> raise (Interp.Exec_error (env.fn ^ ": bad array lvalue")))
+        let base = ca env in
+        if is_imm base then
+          if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn
+          else raise (Interp.Exec_error (env.fn ^ ": bad array lvalue"))
+        else
+          match boxed base with
+          | B_ptr o -> (
+              Interp.check_alive ~fn:env.fn o;
+              match o.data with
+              | Cells cells ->
+                  if idx < 0 || idx >= Array.length cells then
+                    Crash.raise_crash Crash.Ubsan_oob env.fn
+                  else cells.(idx) <- v
+              | Fields _ | Typed _ | Opaque ->
+                  Interp.set_field ~fn:env.fn o (Printf.sprintf "__idx%d" idx) v)
+          | _ -> raise (Interp.Exec_error (env.fn ^ ": bad array lvalue")))
   | Csrc.Ast.Deref a -> (
       let ca = compile_expr ctx a in
       fun env v ->
-        match ca env with
-        | Ptr o ->
-            Interp.check_alive ~fn:env.fn o;
-            Interp.set_field ~fn:env.fn o "__deref" v
-        | Int 0L -> Crash.raise_crash Crash.Gpf env.fn
-        | _ -> raise (Interp.Exec_error (env.fn ^ ": bad deref lvalue")))
+        let base = ca env in
+        if is_imm base then
+          if imm base = 0 then Crash.raise_crash Crash.Gpf env.fn
+          else raise (Interp.Exec_error (env.fn ^ ": bad deref lvalue"))
+        else
+          match boxed base with
+          | B_ptr o ->
+              Interp.check_alive ~fn:env.fn o;
+              Interp.set_field ~fn:env.fn o "__deref" v
+          | _ -> raise (Interp.Exec_error (env.fn ^ ": bad deref lvalue")))
   | Csrc.Ast.Cast (_, a) -> compile_store ctx a
   | _ -> fun env _ -> raise (Interp.Exec_error (env.fn ^ ": expression is not an lvalue"))
 
@@ -555,8 +642,8 @@ and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv 
     in
     let io_const =
       match Csrc.Index.eval_opt eng.index (Csrc.Ast.Call (name, args)) with
-      | Some v -> Int v
-      | None -> Int 0L
+      | Some v -> vint v
+      | None -> vzero
     in
     (* constant-returning builtins never consult their context (the
        tree walker's lazy callbacks mean it never evaluates their
@@ -567,28 +654,33 @@ and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv 
     | "misc_register" | "misc_deregister" | "register_chrdev" | "unregister_chrdev"
     | "cdev_init" | "cdev_add" | "device_create" | "class_create" | "sock_register"
     | "proto_register" ->
-        let c = Int 0L in
-        fun _ -> c
-    | "capable" ->
-        let c = Int 1L in
-        fun _ -> c
+        fun _ -> vzero
+    | "capable" -> fun _ -> vone
     | "_IO" | "_IOR" | "_IOW" | "_IOWR" | "_IOC" -> fun _ -> io_const
     | _ ->
-        let mk env : Interp.builtin_ctx =
+        (* one context record per call site, not per execution: the
+           closures reach the live frame through [cell], which the
+           invocation wrapper saves/restores (re-entry through a
+           recursive user callee must see its own frame, and an
+           escaping crash/timeout must not leave a stale one) *)
+        let cell = { ccur = eng.dummy_env } in
+        let b : Interp.builtin_ctx =
           {
             Interp.bn = n;
             bv =
               (fun i ->
-                if i < n then
-                  match cargs.(i) env with Uptr (U_str s) -> Str s | x -> x
-                else Int 0L);
-            braw = (fun i -> if i < n then cargs.(i) env else Int 0L);
+                if i < n then (
+                  let x = cargs.(i) cell.ccur in
+                  if is_imm x then x
+                  else match boxed x with B_uptr (U_str s) -> vstr s | _ -> x)
+                else vzero);
+            braw = (fun i -> if i < n then cargs.(i) cell.ccur else vzero);
             bstore =
               (fun i sv ->
                 i < n
                 &&
                 try
-                  cstores.(i) env sv;
+                  cstores.(i) cell.ccur sv;
                   true
                 with Interp.Exec_error _ -> false);
             bsstore =
@@ -598,7 +690,7 @@ and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv 
                 match csstores.(i) with
                 | Some cs -> (
                     try
-                      cs env sv;
+                      cs cell.ccur sv;
                       true
                     with Interp.Exec_error _ -> false)
                 | None -> false);
@@ -606,20 +698,30 @@ and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv 
             bio = (fun () -> io_const);
           }
         in
+        let invoke env =
+          let saved = cell.ccur in
+          cell.ccur <- env;
+          match Interp.builtin_values_id env.st ~fn:env.fn bid name b with
+          | r ->
+              cell.ccur <- saved;
+              r
+          | exception e ->
+              cell.ccur <- saved;
+              raise e
+        in
         (match user_path with
         | Some up ->
             fun env -> (
-              match Interp.builtin_values_id env.st ~fn:env.fn bid name (mk env) with
+              match invoke env with
               | Some v -> v
               | None -> up env)
         | None ->
-            let zero = Int 0L in
             fun env -> (
-              match Interp.builtin_values_id env.st ~fn:env.fn bid name (mk env) with
+              match invoke env with
               | Some v -> v
-              | None -> zero))
+              | None -> vzero))
     end
-  | None -> ( match user_path with Some up -> up | None -> fun _ -> Int 0L)
+  | None -> ( match user_path with Some up -> up | None -> fun _ -> vzero)
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
@@ -628,9 +730,13 @@ and compile_call (ctx : ctx) (name : string) (args : Csrc.Ast.expr list) : jenv 
 and compile_stmt (ctx : ctx) (s : Csrc.Ast.stmt) : jenv -> unit =
   let sid = s.Csrc.Ast.sid in
   let node = compile_node ctx s.Csrc.Ast.node in
+  (* step accounting inlined: this wrapper runs once per executed guest
+     statement, the hottest closure in the engine *)
   fun env ->
-    Interp.step_state env.st;
-    env.st.Interp.on_cover sid;
+    let st = env.st in
+    st.Interp.steps <- st.Interp.steps + 1;
+    if st.Interp.steps > st.Interp.step_budget then raise Interp.Exec_timeout;
+    st.Interp.on_cover sid;
     node env
 
 and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
@@ -639,6 +745,7 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
       let ce = compile_expr ctx e in
       fun env -> ignore (ce env)
   | Csrc.Ast.Decl_stmt (ty, name, init) -> (
+      let fresh = Stbl.find_opt ctx.cslots name = None in
       let i = slot_of ctx name in
       match init with
       | Some e ->
@@ -646,7 +753,42 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
           fun env -> env.slots.(i) <- ce env
       | None ->
           let cz = compile_zero ctx.eng ~fn:ctx.cfn ty in
-          fun env -> env.slots.(i) <- cz env.st)
+          (* Composite locals are expensive to zero (an object per
+             struct, per nested array, per nested struct), and ioctl
+             handlers habitually declare one scratch struct per command
+             up front while each execution touches at most one. When the
+             declaration provably dominates every mention of the name —
+             it is a top-level statement, the function has no labels (so
+             no goto can bypass it), the name was never mentioned before
+             it, and it shadows no global — construction can wait for
+             the first read. The declaration still reserves the exact
+             oid range eager zeroing would have consumed (the count is
+             static per type, measured once here on a scratch state), so
+             the object-id stream — observable through pointer rendering
+             and leak-bitmap sizing — is byte-identical to eager
+             execution, and the tree-walking engine needs no mirror. *)
+          let deferrable =
+            fresh && ctx.ctop
+            && ctx.clabels = []
+            && Csrc.Index.find_global ctx.eng.index name = None
+          in
+          let k =
+            if deferrable then (
+              let scratch = ctx.eng.dummy_env.st in
+              let before = scratch.Interp.next_oid in
+              ignore (cz scratch);
+              scratch.Interp.next_oid - before)
+            else 0
+          in
+          if k > 0 then begin
+            let ib = slot_of ctx ("\000defer." ^ name) in
+            ctx.cdefer <- (i, ib, k, cz) :: ctx.cdefer;
+            fun env ->
+              let st = env.st in
+              env.slots.(ib) <- fix st.Interp.next_oid;
+              st.Interp.next_oid <- st.Interp.next_oid + k
+          end
+          else fun env -> env.slots.(i) <- cz env.st)
   | Csrc.Ast.If (c, t, f) -> (
       let cc = compile_expr ctx c in
       let ct = compile_block ctx t in
@@ -657,17 +799,6 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
       | None -> fun env -> if truthy (cc env) then ct env)
   | Csrc.Ast.Switch (scrut, cases) ->
       let cscrut = compile_expr ctx scrut in
-      let clabels =
-        Array.of_list
-          (List.map
-             (fun c ->
-               List.filter_map
-                 (function
-                   | Csrc.Ast.Case e -> Some (compile_expr ctx e)
-                   | Csrc.Ast.Default -> None)
-                 c.Csrc.Ast.labels)
-             cases)
-      in
       let cbodies =
         Array.of_list (List.map (fun c -> compile_block ctx c.Csrc.Ast.case_body) cases)
       in
@@ -681,26 +812,78 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
         find 0 cases
       in
       let ncases = Array.length cbodies in
-      fun env ->
-        let key = Interp.as_int (cscrut env) in
-        let start =
-          let rec find i =
-            if i >= ncases then default_idx
-            else if
-              List.exists (fun ce -> Int64.equal (Interp.as_int (ce env)) key) clabels.(i)
-            then Some i
-            else find (i + 1)
-          in
-          find 0
-        in
-        (match start with
+      (* case labels are C constant expressions; when the index folds
+         every one the dispatch becomes a scan of a static int64 table
+         instead of a per-execution closure evaluation per label *)
+      let static_labels =
+        let exception Dynamic in
+        try
+          Some
+            (Array.of_list
+               (List.map
+                  (fun c ->
+                    Array.of_list
+                      (List.filter_map
+                         (function
+                           | Csrc.Ast.Case e -> (
+                               match Csrc.Index.eval_opt ctx.eng.index e with
+                               | Some v -> Some v
+                               | None -> raise Dynamic)
+                           | Csrc.Ast.Default -> None)
+                         c.Csrc.Ast.labels))
+                  cases))
+        with Dynamic -> None
+      in
+      let run_from start env =
+        match start with
         | None -> ()
         | Some i -> (
             try
               for j = i to ncases - 1 do
                 cbodies.(j) env
               done
-            with Interp.Break_exc -> ()))
+            with Interp.Break_exc -> ())
+      in
+      (match static_labels with
+      | Some slabels ->
+          fun env ->
+            let key = Interp.as_int (cscrut env) in
+            let start =
+              let rec find i =
+                if i >= ncases then default_idx
+                else if Array.exists (Int64.equal key) slabels.(i) then Some i
+                else find (i + 1)
+              in
+              find 0
+            in
+            run_from start env
+      | None ->
+          let clabels =
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   List.filter_map
+                     (function
+                       | Csrc.Ast.Case e -> Some (compile_expr ctx e)
+                       | Csrc.Ast.Default -> None)
+                     c.Csrc.Ast.labels)
+                 cases)
+          in
+          fun env ->
+            let key = Interp.as_int (cscrut env) in
+            let start =
+              let rec find i =
+                if i >= ncases then default_idx
+                else if
+                  List.exists
+                    (fun ce -> Int64.equal (Interp.as_int (ce env)) key)
+                    clabels.(i)
+                then Some i
+                else find (i + 1)
+              in
+              find 0
+            in
+            run_from start env)
   | Csrc.Ast.While (c, body) ->
       let cc = compile_expr ctx c in
       let cb = compile_block ctx body in
@@ -743,7 +926,7 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
       | Some e ->
           let ce = compile_expr ctx e in
           fun env -> raise (Interp.Return_exc (ce env))
-      | None -> fun _ -> raise (Interp.Return_exc Unit))
+      | None -> fun _ -> raise (Interp.Return_exc vunit))
   | Csrc.Ast.Break -> fun _ -> raise Interp.Break_exc
   | Csrc.Ast.Continue -> fun _ -> raise Interp.Continue_exc
   | Csrc.Ast.Goto l -> (
@@ -762,12 +945,20 @@ and compile_node (ctx : ctx) (node : Csrc.Ast.stmt_node) : jenv -> unit =
   | Csrc.Ast.Block b -> compile_block ctx b
 
 and compile_block (ctx : ctx) (b : Csrc.Ast.block) : jenv -> unit =
-  match b with
-  | [] -> fun _ -> ()
-  | [ s ] -> compile_stmt ctx s
-  | _ ->
-      let arr = Array.of_list (List.map (compile_stmt ctx) b) in
-      fun env -> Array.iter (fun f -> f env) arr
+  (* children of any nested block are not "top of the function body":
+     declarations inside them don't qualify for deferral *)
+  let saved = ctx.ctop in
+  ctx.ctop <- false;
+  let r =
+    match b with
+    | [] -> fun _ -> ()
+    | [ s ] -> compile_stmt ctx s
+    | _ ->
+        let arr = Array.of_list (List.map (compile_stmt ctx) b) in
+        fun env -> Array.iter (fun f -> f env) arr
+  in
+  ctx.ctop <- saved;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Whole-index compilation                                             *)
@@ -784,7 +975,17 @@ let compile_fun (eng : t) (name : string) (fd : Csrc.Ast.func_def) : fun_code =
               | _ -> (i + 1, acc))
             (0, []) fd.Csrc.Ast.fun_body))
   in
-  let ctx = { eng; cfn = name; clabels = labels; cslots = Stbl.create 16; cnslots = 0 } in
+  let ctx =
+    {
+      eng;
+      cfn = name;
+      clabels = labels;
+      cslots = Stbl.create 16;
+      cnslots = 0;
+      ctop = true;
+      cdefer = [];
+    }
+  in
   let params = Array.of_list (List.map (fun (_, p) -> slot_of ctx p) fd.Csrc.Ast.fun_params) in
   let body = Array.of_list (List.map (compile_stmt ctx) fd.Csrc.Ast.fun_body) in
   { fc_name = name; fc_nslots = ctx.cnslots; fc_params = params; fc_body = body }
@@ -793,7 +994,10 @@ let compile_fun (eng : t) (name : string) (fd : Csrc.Ast.func_def) : fun_code =
     once. The index is frozen after {!Machine.boot}, so both tables are
     read-only afterwards. *)
 let of_index (index : Csrc.Index.t) : t =
-  let eng = { index; funs = Stbl.create 256; ginits = Stbl.create 256 } in
+  let dummy_env =
+    { st = Interp.create ~index (); slots = [||]; fn = "__never_run" }
+  in
+  let eng = { index; funs = Stbl.create 256; ginits = Stbl.create 256; dummy_env } in
   Hashtbl.iter
     (fun name g -> Stbl.replace eng.ginits name (compile_ginit eng g))
     index.Csrc.Index.globals;

@@ -50,6 +50,9 @@ type t = {
       (** composite layout plans shared by every per-execution state:
           the index is frozen after boot, so a struct's field walk is
           computed once per machine, not once per instantiation *)
+  frames : Value.Pool.t;
+      (** free-list pool for call frames (jit slot arrays), shared by
+          every per-execution state of this machine like [layouts] *)
   n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 
@@ -106,6 +109,7 @@ let boot (entries : Corpus.Types.entry list) : t =
     modules = List.map (fun (e : Corpus.Types.entry) -> e.name) entries;
     jit = lazy (Jit.of_index index);
     layouts = Value.Stbl.create 64;
+    frames = Value.Pool.create ();
     n_sids = !sid;
   }
 
@@ -124,10 +128,11 @@ type cov_sink = {
   mutable cs_bits : Bytes.t;  (** bit per sid, set while touched this run *)
   mutable cs_buf : int array;  (** sids touched this run, first [cs_n] *)
   mutable cs_n : int;
+  mutable cs_hook : int -> unit;
+      (** [sink_record] on this sink, built once — the hot loop hands it
+          to every execution's state instead of closing over the sink
+          again per program *)
 }
-
-let new_sink (t : t) : cov_sink =
-  { cs_bits = Bytes.make ((t.n_sids / 8) + 1) '\000'; cs_buf = Array.make 1024 0; cs_n = 0 }
 
 let sink_record (sk : cov_sink) (sid : int) : unit =
   let byte = sid lsr 3 in
@@ -149,6 +154,18 @@ let sink_record (sk : cov_sink) (sid : int) : unit =
     sk.cs_buf.(sk.cs_n) <- sid;
     sk.cs_n <- sk.cs_n + 1
   end
+
+let new_sink (t : t) : cov_sink =
+  let sk =
+    {
+      cs_bits = Bytes.make ((t.n_sids / 8) + 1) '\000';
+      cs_buf = Array.make 1024 0;
+      cs_n = 0;
+      cs_hook = ignore;
+    }
+  in
+  sk.cs_hook <- (fun sid -> sink_record sk sid);
+  sk
 
 (** Clear only the touched bits (not the whole bitmap) and rewind the
     buffer, readying the sink for the next execution. *)
@@ -187,19 +204,31 @@ type run = {
 
 let errno v = Int64.neg (Int64.of_int v)
 
-(* Handler field names hashed once: dispatch resolves fops globals and
-   their function-pointer fields on every syscall, so the string hashes
-   are hoisted out of the hot path (for both engines). *)
-let h_open = Value.Stbl.hash "open"
-let h_release = Value.Stbl.hash "release"
-let h_poll = Value.Stbl.hash "poll"
-let h_mmap = Value.Stbl.hash "mmap"
-let h_connect = Value.Stbl.hash "connect"
-let h_accept = Value.Stbl.hash "accept"
-let h_ioctl = Value.Stbl.hash "ioctl"
-let h_unlocked_ioctl = Value.Stbl.hash "unlocked_ioctl"
-let h_sendmsg = Value.Stbl.hash "sendmsg"
-let h_recvmsg = Value.Stbl.hash "recvmsg"
+(* Handler field names interned and hashed once: dispatch resolves fops
+   globals and their function-pointer fields on every syscall, so the
+   string hashes are hoisted out of the hot path (for both engines),
+   and interning lets the field probe hit the pointer-compare fast path
+   against layout-built field names. *)
+let f_open = Value.intern "open"
+let f_release = Value.intern "release"
+let f_poll = Value.intern "poll"
+let f_mmap = Value.intern "mmap"
+let f_connect = Value.intern "connect"
+let f_accept = Value.intern "accept"
+let f_ioctl = Value.intern "ioctl"
+let f_unlocked_ioctl = Value.intern "unlocked_ioctl"
+let f_sendmsg = Value.intern "sendmsg"
+let f_recvmsg = Value.intern "recvmsg"
+let h_open = Value.Stbl.hash f_open
+let h_release = Value.Stbl.hash f_release
+let h_poll = Value.Stbl.hash f_poll
+let h_mmap = Value.Stbl.hash f_mmap
+let h_connect = Value.Stbl.hash f_connect
+let h_accept = Value.Stbl.hash f_accept
+let h_ioctl = Value.Stbl.hash f_ioctl
+let h_unlocked_ioctl = Value.Stbl.hash f_unlocked_ioctl
+let h_sendmsg = Value.Stbl.hash f_sendmsg
+let h_recvmsg = Value.Stbl.hash f_recvmsg
 
 let handler run ~(ops : string) ~(oh : int) (field : string) (fh : int) : string option =
   (* the fops global initializes lazily on first touch; each engine
@@ -210,11 +239,14 @@ let handler run ~(ops : string) ~(oh : int) (field : string) (fh : int) : string
     else Interp.get_global_h run.st oh ops
   in
   match fops with
-  | Some (Value.Ptr o) -> (
-      match Interp.get_field_h ~fn:"__dispatch" o fh field with
-      | Value.Fn name -> Some name
+  | Some v -> (
+      match Value.view v with
+      | Value.Ptr o -> (
+          match Value.view (Interp.get_field_h ~fn:"__dispatch" o fh field) with
+          | Value.Fn name -> Some name
+          | _ -> None)
       | _ -> None)
-  | _ -> None
+  | None -> None
 
 let call_handler run ~ops ~oh field fh args ~(default : int64) : int64 =
   match handler run ~ops ~oh field fh with
@@ -235,12 +267,13 @@ let resolve_fd run (retvals : int64 array) (a : parg) : fd_entry option * int64 
 
 let arg_value (a : parg) (retvals : int64 array) : Value.value =
   match a with
-  | P_int v -> Value.Int v
-  | P_str s -> Value.Str s
-  | P_data uv -> Value.Uptr uv
-  | P_null -> Value.Int 0L
+  | P_int v -> Value.vint v
+  | P_str s -> Value.vstr s
+  | P_data uv -> Value.vuptr uv
+  | P_null -> Value.vzero
   | P_result i ->
-      if i >= 0 && i < Array.length retvals then Value.Int retvals.(i) else Value.Int (-1L)
+      if i >= 0 && i < Array.length retvals then Value.vint retvals.(i)
+      else Value.vint (-1L)
 
 let nth_arg args i = match List.nth_opt args i with Some a -> a | None -> P_null
 
@@ -275,8 +308,8 @@ let op_open (run : run) (retvals : int64 array) (c : call) : int64 =
       let file = Interp.typed_obj st ~fn "file" in
       let inode = Interp.typed_obj st ~fn "inode" in
       let r =
-        call_handler run ~ops:dev.dev_fops ~oh:(Value.Stbl.hash dev.dev_fops) "open" h_open
-          [ Value.Ptr inode; Value.Ptr file ]
+        call_handler run ~ops:dev.dev_fops ~oh:(Value.Stbl.hash dev.dev_fops) f_open h_open
+          [ Value.vptr inode; Value.vptr file ]
           ~default:0L
       in
       if Int64.compare r 0L < 0 then r
@@ -322,7 +355,7 @@ let op_socket (run : run) (retvals : int64 array) (c : call) : int64 =
   | None -> errno 97 (* EAFNOSUPPORT *)
   | Some reg ->
       let sock = Interp.typed_obj st ~fn "socket" in
-      Interp.set_field ~fn sock "sk_type" (Value.Int (Int64.of_int styp));
+      Interp.set_field ~fn sock "sk_type" (Value.vint (Int64.of_int styp));
       let inode = Interp.typed_obj st ~fn "inode" in
       new_fd run
         {
@@ -339,10 +372,11 @@ let op_close (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, fdnum ->
       Hashtbl.remove run.fds (Int64.to_int fdnum);
       if e.fd_is_socket then
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release [ Value.Ptr e.fd_file ] ~default:0L
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_release h_release
+          [ Value.vptr e.fd_file ] ~default:0L
       else
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release
-          [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_release h_release
+          [ Value.vptr e.fd_inode; Value.vptr e.fd_file ]
           ~default:0L
 
 let op_ioctl (run : run) (retvals : int64 array) (c : call) : int64 =
@@ -353,10 +387,10 @@ let op_ioctl (run : run) (retvals : int64 array) (c : call) : int64 =
       let cmd = int_of args retvals 1 in
       let argv = val_of args retvals 2 in
       let field, fh =
-        if e.fd_is_socket then ("ioctl", h_ioctl) else ("unlocked_ioctl", h_unlocked_ioctl)
+        if e.fd_is_socket then (f_ioctl, h_ioctl) else (f_unlocked_ioctl, h_unlocked_ioctl)
       in
       call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h field fh
-        [ Value.Ptr e.fd_file; Value.Int cmd; argv ]
+        [ Value.vptr e.fd_file; Value.vint cmd; argv ]
         ~default:(errno 25 (* ENOTTY *))
 
 let op_rw (run : run) (retvals : int64 array) (c : call) : int64 =
@@ -365,7 +399,7 @@ let op_rw (run : run) (retvals : int64 array) (c : call) : int64 =
   | None, _ -> errno 9
   | Some e, _ ->
       call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
-        [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
+        [ Value.vptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.vzero ]
         ~default:(errno 22)
 
 let op_poll (run : run) (retvals : int64 array) (c : call) : int64 =
@@ -373,19 +407,20 @@ let op_poll (run : run) (retvals : int64 array) (c : call) : int64 =
   | None, _ -> errno 9
   | Some e, _ ->
       if e.fd_is_socket then
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "poll" h_poll
-          [ Value.Int 0L; Value.Ptr e.fd_file; Value.Int 0L ]
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_poll h_poll
+          [ Value.vzero; Value.vptr e.fd_file; Value.vzero ]
           ~default:0L
       else
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "poll" h_poll [ Value.Ptr e.fd_file; Value.Int 0L ] ~default:0L
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_poll h_poll
+          [ Value.vptr e.fd_file; Value.vzero ] ~default:0L
 
 let op_mmap (run : run) (retvals : int64 array) (c : call) : int64 =
   let args = c.c_args in
   match resolve_fd run retvals (get args 0) with
   | None, _ -> errno 9
   | Some e, _ ->
-      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "mmap" h_mmap
-        [ Value.Ptr e.fd_file; val_of args retvals 1 ]
+      call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_mmap h_mmap
+        [ Value.vptr e.fd_file; val_of args retvals 1 ]
         ~default:(errno 19)
 
 let op_sock_generic (run : run) (retvals : int64 array) (c : call) : int64 =
@@ -404,7 +439,7 @@ let op_sock_generic (run : run) (retvals : int64 array) (c : call) : int64 =
           | _ -> []
         in
         call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
-          (Value.Ptr e.fd_file :: rest)
+          (Value.vptr e.fd_file :: rest)
           ~default:(errno 95)
   | Some _, _ -> errno 88 (* ENOTSOCK *)
 
@@ -415,8 +450,8 @@ let op_connect (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ when e.fd_is_socket ->
       if Value.is_zero (val_of args retvals 1) then errno 14
       else
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "connect" h_connect
-          [ Value.Ptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.Int 0L ]
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_connect h_connect
+          [ Value.vptr e.fd_file; val_of args retvals 1; val_of args retvals 2; Value.vzero ]
           ~default:(errno 95)
   | Some _, _ -> errno 88
 
@@ -428,8 +463,8 @@ let op_accept (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ when e.fd_is_socket ->
       let newsock = Interp.typed_obj st ~fn "socket" in
       let r =
-        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "accept" h_accept
-          [ Value.Ptr e.fd_file; Value.Ptr newsock; Value.Int 0L ]
+        call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_accept h_accept
+          [ Value.vptr e.fd_file; Value.vptr newsock; Value.vzero ]
           ~default:(errno 95)
       in
       if Int64.compare r 0L < 0 then r
@@ -451,7 +486,7 @@ let op_sockopt (run : run) (retvals : int64 array) (c : call) : int64 =
   | Some e, _ when e.fd_is_socket ->
       call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
         [
-          Value.Ptr e.fd_file;
+          Value.vptr e.fd_file;
           val_of args retvals 1;
           val_of args retvals 2;
           val_of args retvals 3;
@@ -468,7 +503,7 @@ let op_sendrecvmsg (run : run) (retvals : int64 array) (c : call) : int64 =
   | None, _ -> errno 9
   | Some e, _ when e.fd_is_socket ->
       let msg = Interp.typed_obj st ~fn "msghdr" in
-      (match val_of args retvals 1 with
+      (match Value.view (val_of args retvals 1) with
       | Value.Uptr uv -> Interp.materialize_into st ~fn msg uv
       | _ -> ());
       let extra =
@@ -477,7 +512,7 @@ let op_sendrecvmsg (run : run) (retvals : int64 array) (c : call) : int64 =
         else [ int_of args retvals 2 ]
       in
       call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h c.c_name (Value.Stbl.hash c.c_name)
-        (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
+        (Value.vptr e.fd_file :: Value.vptr msg :: List.map Value.vint extra)
         ~default:(errno 95)
   | Some _, _ -> errno 88
 
@@ -493,16 +528,16 @@ let op_sendto (run : run) (retvals : int64 array) (c : call) : int64 =
       let msg = Interp.typed_obj st ~fn "msghdr" in
       Interp.set_field ~fn msg "msg_iov" (val_of args retvals 1);
       Interp.set_field ~fn msg "msg_name" (val_of args retvals 4);
-      Interp.set_field ~fn msg "msg_namelen" (Value.Int (int_of args retvals 5));
+      Interp.set_field ~fn msg "msg_namelen" (Value.vint (int_of args retvals 5));
       let field, fh =
-        if c.c_name = "sendto" then ("sendmsg", h_sendmsg) else ("recvmsg", h_recvmsg)
+        if c.c_name = "sendto" then (f_sendmsg, h_sendmsg) else (f_recvmsg, h_recvmsg)
       in
       let extra =
-        if field = "recvmsg" then [ int_of args retvals 2; int_of args retvals 3 ]
+        if field == f_recvmsg then [ int_of args retvals 2; int_of args retvals 3 ]
         else [ int_of args retvals 2 ]
       in
       call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h field fh
-        (Value.Ptr e.fd_file :: Value.Ptr msg :: List.map (fun v -> Value.Int v) extra)
+        (Value.vptr e.fd_file :: Value.vptr msg :: List.map Value.vint extra)
         ~default:(errno 95)
   | Some _, _ -> errno 88
 
@@ -549,10 +584,11 @@ let exec_call (run : run) (retvals : int64 array) (c : call) : int64 =
 (** Execute a whole program against a fresh kernel state. *)
 let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink option)
     (t : t) (prog : prog) : exec_result =
-  let on_cover =
-    match sink with Some sk -> Some (fun sid -> sink_record sk sid) | None -> None
+  let on_cover = match sink with Some sk -> Some sk.cs_hook | None -> None in
+  let st =
+    Interp.create ~index:t.index ~layouts:t.layouts ~frames:t.frames ~step_budget
+      ?on_cover ()
   in
-  let st = Interp.create ~index:t.index ~layouts:t.layouts ~step_budget ?on_cover () in
   let run =
     { machine = t; st; fds = Hashtbl.create 8; next_fd = 3; use_jit = engine = `Jit }
   in
@@ -606,11 +642,13 @@ let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink opt
          (fun (fd, e) ->
            Hashtbl.remove run.fds fd;
            if e.fd_is_socket then
-             ignore (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release [ Value.Ptr e.fd_file ] ~default:0L)
+             ignore
+               (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_release h_release
+                  [ Value.vptr e.fd_file ] ~default:0L)
            else
              ignore
-               (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h "release" h_release
-                  [ Value.Ptr e.fd_inode; Value.Ptr e.fd_file ]
+               (call_handler run ~ops:e.fd_ops ~oh:e.fd_ops_h f_release h_release
+                  [ Value.vptr e.fd_inode; Value.vptr e.fd_file ]
                   ~default:0L))
          open_fds
      with
@@ -625,7 +663,9 @@ let exec_prog_core ~(step_budget : int) ~(engine : engine) ~(sink : cov_sink opt
      here are an artifact of the exhausted budget, not bugs. *)
   if !crash = None && not !timed_out then begin
     let roots =
-      Hashtbl.fold (fun _ e acc -> Value.Ptr e.fd_file :: Value.Ptr e.fd_inode :: acc) run.fds []
+      Hashtbl.fold
+        (fun _ e acc -> Value.vptr e.fd_file :: Value.vptr e.fd_inode :: acc)
+        run.fds []
     in
     match Interp.leaked_objects st ~roots with
     | [] -> ()

@@ -49,6 +49,9 @@ type t = {
           never execute programs pay nothing *)
   layouts : Interp.layout Value.Stbl.t;
       (** composite layout plans shared by every per-execution state *)
+  frames : Value.Pool.t;
+      (** free-list pool for call frames (jit slot arrays), shared by
+          every per-execution state like [layouts] *)
   n_sids : int;  (** statement-id count, sizes coverage bitmaps *)
 }
 
@@ -73,6 +76,8 @@ type cov_sink = {
   mutable cs_bits : Bytes.t;
   mutable cs_buf : int array;
   mutable cs_n : int;
+  mutable cs_hook : int -> unit;
+      (** [sink_record] on this sink, built once by {!new_sink} *)
 }
 
 val new_sink : t -> cov_sink

@@ -367,6 +367,48 @@ then
 fi
 echo "OK: compiled throughput exceeds interpreted on table4"
 
+echo "== BENCH regression gate: within 0.9x of the committed baseline =="
+# The committed BENCH_*_quick.json artifacts record the throughput this
+# machine reached when they were last refreshed. A run below 0.9x the
+# committed number means an execution-path performance regression (the
+# 10% headroom absorbs scheduler noise). Ambient machine load can eat
+# that headroom on any single run, so a failing measurement is retried
+# on a fresh run, best of three: a real regression fails all three, a
+# load spike doesn't. A gate passing well above 1.0x means the
+# artifacts are stale and should be refreshed.
+check_regression() {
+  fresh=$1; committed=$2; label=$3
+  python3 - "$fresh" "$committed" "$label" <<'EOF'
+import json, sys
+fresh = {t["name"]: t for t in json.load(open(sys.argv[1]))["tables"]}["table4"]["execs_per_s"]
+committed = {t["name"]: t for t in json.load(open(sys.argv[2]))["tables"]}["table4"]["execs_per_s"]
+ratio = fresh / committed
+print("%s: %.0f execs/s vs committed %.0f (%.2fx)" % (sys.argv[3], fresh, committed, ratio))
+assert ratio >= 0.9, "%s throughput regressed to %.2fx of the committed baseline" % (sys.argv[3], ratio)
+EOF
+}
+gate() {
+  first=$1; committed=$2; label=$3; engine_flag=$4
+  if check_regression "$first" "$committed" "$label"; then return 0; fi
+  for retry in 1 2; do
+    echo "retrying $label bench (attempt $((retry + 1))/3, ruling out a load spike)"
+    # shellcheck disable=SC2086
+    dune exec --no-build bench/main.exe -- --exp table4 --jobs 1 $engine_flag \
+      --bench-out "$tmp/bench_retry.json" >/dev/null 2>&1
+    if check_regression "$tmp/bench_retry.json" "$committed" "$label"; then return 0; fi
+  done
+  return 1
+}
+if ! gate "$tmp/bench_c1.json" BENCH_table4_quick.json compiled ""; then
+  echo "FAIL: compiled table4 throughput fell below 0.9x the committed baseline (best of 3)" >&2
+  exit 1
+fi
+if ! gate "$tmp/bench_i1.json" BENCH_table4-interpreted_quick.json interpreted "--interpreted"; then
+  echo "FAIL: interpreted table4 throughput fell below 0.9x the committed baseline (best of 3)" >&2
+  exit 1
+fi
+echo "OK: both engines are within 0.9x of their committed BENCH baselines"
+
 echo "== UCB scheduling: stop/resume, shard independence, sched pinning =="
 # The UCB scheduler's state (per-slot visit/reward counters, operator
 # credit) lives in the checkpoint, so a stopped --sched ucb campaign

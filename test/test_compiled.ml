@@ -291,7 +291,7 @@ let dual_of src =
 type runner = ?args:Vkernel.Value.value list -> string -> Vkernel.Value.value
 
 let check_both name expect (interp : runner) (jit : runner) fn args =
-  let args = List.map (fun v -> Vkernel.Value.Int v) args in
+  let args = List.map Vkernel.Value.vint args in
   Alcotest.(check int64) (name ^ " (interp)") expect
     (Vkernel.Value.to_int (interp ~args fn));
   Alcotest.(check int64) (name ^ " (jit)") expect
@@ -355,7 +355,7 @@ static long f(long x)
 |}
   in
   let msg (run : runner) =
-    match run ~args:[ Vkernel.Value.Int 1L ] "f" with
+    match run ~args:[ Vkernel.Value.vint 1L ] "f" with
     | _ -> Alcotest.fail "expected Exec_error"
     | exception Vkernel.Interp.Exec_error m -> m
   in
@@ -474,8 +474,75 @@ static long f(long a, long b)
   QCheck.Test.make ~name:"builtin core and wrapper agree" ~count:200
     QCheck.(pair (int_bound 2000) (int_bound 2000))
     (fun (a, b) ->
-      let args = [ Vkernel.Value.Int (Int64.of_int (a - 1000)); Vkernel.Value.Int (Int64.of_int b) ] in
+      let args = [ Vkernel.Value.vint (Int64.of_int (a - 1000)); Vkernel.Value.vint (Int64.of_int b) ] in
       interp ~args "f" = jit ~args "f")
+
+let test_integer_edge_semantics () =
+  (* pins for the tagged value representation: every arithmetic edge
+     where a result or operand crosses the fixnum/boxed boundary must
+     keep exact 64-bit two's-complement semantics, identically in both
+     engines *)
+  let interp, jit =
+    dual_of
+      {|
+static long div2(long a, long b) { return a / b; }
+static long rem2(long a, long b) { return a % b; }
+static long shl2(long a, long b) { return a << b; }
+static long shr2(long a, long b) { return a >> b; }
+static long band2(long a, long b) { return a & b; }
+static long add2(long a, long b) { return a + b; }
+static long sub2(long a, long b) { return a - b; }
+static long mul2(long a, long b) { return a * b; }
+static long eq2(long a, long b) { return a == b; }
+static long lt2(long a, long b) { return a < b; }
+static long neg1(long a) { return -a; }
+static long not1(long a) { return ~a; }
+|}
+  in
+  let min64 = Int64.min_int and max64 = Int64.max_int in
+  (* Int64.min_int / -1 wraps to itself; % -1 is 0 (no trap) *)
+  check_both "min_int / -1" min64 interp jit "div2" [ min64; -1L ];
+  check_both "min_int % -1" 0L interp jit "rem2" [ min64; -1L ];
+  check_both "min_int / 1" min64 interp jit "div2" [ min64; 1L ];
+  check_both "min_int % 7" (-1L) interp jit "rem2" [ min64; 7L ];
+  (* shifts by 63 and by-64 wraparound; >> is logical *)
+  check_both "1 << 63" min64 interp jit "shl2" [ 1L; 63L ];
+  check_both "-1 << 63" min64 interp jit "shl2" [ -1L; 63L ];
+  check_both "1 << 64 wraps the count" 1L interp jit "shl2" [ 1L; 64L ];
+  check_both "-1 >> 63" 1L interp jit "shr2" [ -1L; 63L ];
+  check_both "min_int >> 63" 1L interp jit "shr2" [ min64; 63L ];
+  check_both "-1 >> 1" max64 interp jit "shr2" [ -1L; 1L ];
+  (* full-width masks *)
+  check_both "min_int & -1" min64 interp jit "band2" [ min64; -1L ];
+  check_both "0x1234 & -1" 0x1234L interp jit "band2" [ 0x1234L; -1L ];
+  (* results crossing the 63-bit boundary in either direction *)
+  check_both "fixnum max + 1 boxes" 0x4000_0000_0000_0000L interp jit "add2"
+    [ 0x3fff_ffff_ffff_ffffL; 1L ];
+  check_both "boxed - 1 re-normalizes" 0x3fff_ffff_ffff_ffffL interp jit "sub2"
+    [ 0x4000_0000_0000_0000L; 1L ];
+  check_both "2^32 * 2^32 wraps to 0" 0L interp jit "mul2"
+    [ 0x1_0000_0000L; 0x1_0000_0000L ];
+  check_both "max64 + 1 wraps to min" min64 interp jit "add2" [ max64; 1L ];
+  (* comparisons across the fixnum/boxed boundary *)
+  check_both "fixnum max < first boxed" 1L interp jit "lt2"
+    [ 0x3fff_ffff_ffff_ffffL; 0x4000_0000_0000_0000L ];
+  check_both "equal boxed values" 1L interp jit "eq2" [ min64; min64 ];
+  check_both "boxed != fixnum" 0L interp jit "eq2" [ 0x4000_0000_0000_0000L; 1L ];
+  check_both "min_int < 0" 1L interp jit "lt2" [ min64; 0L ];
+  (* unary edges *)
+  check_both "-min_int wraps to itself" min64 interp jit "neg1" [ min64 ];
+  check_both "-(first boxed) is fixnum min" (-0x4000_0000_0000_0000L) interp jit "neg1"
+    [ 0x4000_0000_0000_0000L ];
+  check_both "~min_int" max64 interp jit "not1" [ min64 ];
+  (* divide-by-zero still crashes identically *)
+  let crash_title (run : runner) =
+    match run ~args:[ Vkernel.Value.vint 1L; Vkernel.Value.vint 0L ] "div2" with
+    | _ -> Alcotest.fail "expected a crash"
+    | exception Vkernel.Crash.Crash cr -> Vkernel.Crash.title cr
+  in
+  let ti = crash_title interp and tj = crash_title jit in
+  Alcotest.(check string) "same crash title" ti tj;
+  Alcotest.(check string) "divide error title" "divide error in div2" ti
 
 let test_builtin_names_cover_ids () =
   (* every published builtin name resolves through the id table to the
@@ -518,6 +585,7 @@ let () =
           t "global init parity" test_global_init_parity;
           QCheck_alcotest.to_alcotest qcheck_builtin_value_core_parity;
           t "builtin ids dense" test_builtin_names_cover_ids;
+          t "integer edge semantics" test_integer_edge_semantics;
         ] );
       ( "bugfixes",
         [

@@ -34,7 +34,7 @@ static int f(int x)
 }
 |}
   in
-  let run x = int_of (call ~args:[ Vkernel.Value.Int x ] st "f") in
+  let run x = int_of (call ~args:[ Vkernel.Value.vint x ] st "f") in
   Alcotest.(check int64) "case 1 falls through" 11L (run 1L);
   Alcotest.(check int64) "case 2" 10L (run 2L);
   Alcotest.(check int64) "case 3" 100L (run 3L);
@@ -57,9 +57,9 @@ out:
 |}
   in
   Alcotest.(check int64) "skips on goto" 1L
-    (int_of (call ~args:[ Vkernel.Value.Int (-1L) ] st "f"));
+    (int_of (call ~args:[ Vkernel.Value.vint (-1L) ] st "f"));
   Alcotest.(check int64) "falls through" 2L
-    (int_of (call ~args:[ Vkernel.Value.Int 1L ] st "f"))
+    (int_of (call ~args:[ Vkernel.Value.vint 1L ] st "f"))
 
 let test_while_and_break () =
   let st =
@@ -117,7 +117,7 @@ static int fact(int n)
 }
 |}
   in
-  Alcotest.(check int64) "factorial" 120L (int_of (call ~args:[ Vkernel.Value.Int 5L ] st "fact"))
+  Alcotest.(check int64) "factorial" 120L (int_of (call ~args:[ Vkernel.Value.vint 5L ] st "fact"))
 
 let test_global_array_state () =
   let st =
@@ -139,11 +139,11 @@ static int get(int i)
 }
 |}
   in
-  ignore (call ~args:[ Vkernel.Value.Int 2L; Vkernel.Value.Int 77L ] st "put");
+  ignore (call ~args:[ Vkernel.Value.vint 2L; Vkernel.Value.vint 77L ] st "put");
   Alcotest.(check int64) "array persists" 77L
-    (int_of (call ~args:[ Vkernel.Value.Int 2L ] st "get"));
+    (int_of (call ~args:[ Vkernel.Value.vint 2L ] st "get"));
   Alcotest.(check int64) "bounds enforced by guard" (-22L)
-    (int_of (call ~args:[ Vkernel.Value.Int 9L; Vkernel.Value.Int 1L ] st "put"))
+    (int_of (call ~args:[ Vkernel.Value.vint 9L; Vkernel.Value.vint 1L ] st "put"))
 
 let expect_crash title f =
   match f () with
@@ -216,7 +216,7 @@ static int f(int i)
 |}
   in
   expect_crash "UBSAN: array-index-out-of-bounds in f" (fun () ->
-      call ~args:[ Vkernel.Value.Int 7L ] st "f")
+      call ~args:[ Vkernel.Value.vint 7L ] st "f")
 
 let test_divide_crash () =
   let st = state_of {|
@@ -226,8 +226,8 @@ static int f(int d)
 }
 |} in
   Alcotest.(check int64) "normal division" 25L
-    (int_of (call ~args:[ Vkernel.Value.Int 4L ] st "f"));
-  expect_crash "divide error in f" (fun () -> call ~args:[ Vkernel.Value.Int 0L ] st "f")
+    (int_of (call ~args:[ Vkernel.Value.vint 4L ] st "f"));
+  expect_crash "divide error in f" (fun () -> call ~args:[ Vkernel.Value.vint 0L ] st "f")
 
 let test_oversized_alloc_crash () =
   let st =
@@ -245,8 +245,8 @@ static int f(unsigned long size)
 |}
   in
   Alcotest.(check int64) "normal alloc" 0L
-    (int_of (call ~args:[ Vkernel.Value.Int 4096L ] st "f"));
-  expect_crash "kmalloc bug in f" (fun () -> call ~args:[ Vkernel.Value.Int 0x9000_0000L ] st "f")
+    (int_of (call ~args:[ Vkernel.Value.vint 4096L ] st "f"));
+  expect_crash "kmalloc bug in f" (fun () -> call ~args:[ Vkernel.Value.vint 0x9000_0000L ] st "f")
 
 let test_deadlock_crash () =
   let st =
@@ -294,8 +294,8 @@ static int f(unsigned long arg)
 }
 |}
   in
-  let good = Vkernel.Value.(Uptr (U_struct ("req", [ ("mode", U_int 7L) ]))) in
-  let confused = Vkernel.Value.(Uptr (U_struct ("other", [ ("field_0", U_int 7L) ]))) in
+  let good = Vkernel.Value.(vuptr (U_struct ("req", [ ("mode", U_int 7L) ]))) in
+  let confused = Vkernel.Value.(vuptr (U_struct ("other", [ ("field_0", U_int 7L) ]))) in
   Alcotest.(check int64) "matching names reach the branch" 1L
     (int_of (call ~args:[ good ] st "f"));
   Alcotest.(check int64) "confused layout reads zero" 0L

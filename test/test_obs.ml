@@ -44,6 +44,8 @@ let test_json_roundtrip () =
       Str "plain";
       Str "esc \" \\ \n \t \r controls \x01\x1f";
       Str "unicode \xc3\xa9\xe2\x82\xac";
+      Str "astral \xf0\x9f\x98\x80 \xf0\x9d\x84\x9e";
+      Str "all controls \x00\x08\x0b\x0c\x1e";
       List [];
       List [ Int 1; Str "two"; Null ];
       Obj [];
@@ -57,6 +59,43 @@ let test_json_roundtrip () =
       | Ok v' -> Alcotest.(check bool) ("roundtrip " ^ s) true (v = v')
       | Error e -> Alcotest.failf "parse failed on %s: %s" s e)
     values
+
+let test_json_surrogate_pairs () =
+  let open Obs.Json in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec scan i = i + ln <= lh && (String.sub hay i ln = needle || scan (i + 1)) in
+    scan 0
+  in
+  let ok s expect label =
+    match parse s with
+    | Ok (Str got) -> Alcotest.(check string) label expect got
+    | Ok _ -> Alcotest.failf "%s: expected a string" label
+    | Error e -> Alcotest.failf "%s: rejected: %s" label e
+  in
+  (* \uD83D\uDE00 = U+1F600, \uD834\uDD1E = U+1D11E *)
+  ok "\"\\uD83D\\uDE00\"" "\xf0\x9f\x98\x80" "surrogate pair decodes to one scalar";
+  ok "\"a\\uD834\\uDD1Ez\"" "a\xf0\x9d\x84\x9ez" "embedded pair";
+  ok "\"\\ud83d\\ude00\"" "\xf0\x9f\x98\x80" "lowercase hex pair";
+  ok "\"\\u00e9\"" "\xc3\xa9" "BMP escape still works";
+  ok "\"\\uFFFF\"" "\xef\xbf\xbf" "top of BMP";
+  List.iter
+    (fun (s, needle) ->
+      match parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S fails mentioning %S (got %S)" s needle e)
+            true (contains e needle))
+    [
+      ("\"\\uD800\"", "lone high surrogate");
+      ("\"\\uD800x\"", "lone high surrogate");
+      ("\"\\uD800\\n\"", "lone high surrogate");
+      ("\"\\uDC00\"", "lone low surrogate");
+      ("\"\\uDFFF ok\"", "lone low surrogate");
+      ("\"\\uD800\\u0041\"", "not followed by low surrogate");
+      ("\"\\uD800\\uD800\"", "not followed by low surrogate");
+    ]
 
 let test_json_rejects_garbage () =
   let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
@@ -270,6 +309,7 @@ let () =
       ( "obs",
         [
           t "json round-trip" test_json_roundtrip;
+          t "json surrogate pairs" test_json_surrogate_pairs;
           t "json rejects garbage" test_json_rejects_garbage;
           t "span nesting and ids" test_span_nesting_ids;
           t "span error attribute" test_span_error_attr;

@@ -147,7 +147,7 @@ static const struct file_operations arith_fops = {
       let st = Vkernel.Interp.create ~index:idx () in
       let v =
         Vkernel.Interp.call st "arith_ioctl"
-          [ Vkernel.Value.Int 0L; Vkernel.Value.Int 0L; Vkernel.Value.Int 0L ]
+          [ Vkernel.Value.vint 0L; Vkernel.Value.vint 0L; Vkernel.Value.vint 0L ]
       in
       let expected =
         let x = ((a * 3) + b) mod 97 in
